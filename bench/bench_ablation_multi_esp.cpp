@@ -1,0 +1,42 @@
+// Ablation (extension): edge-provider competition. The paper's single ESP
+// extracts a zero-delay premium; this bench quantifies how entry by
+// identical zero-delay providers collapses it (Bertrand), across fork
+// rates.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/multi_esp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hecmine;
+  const support::CliArgs args(argc, argv);
+  core::SpSolveOptions options;
+  options.grid_points = args.get("grid", 24);
+  options.max_rounds = 25;
+
+  support::Table table({"beta", "pe_monopoly", "pe_competitive",
+                        "price_ratio", "Ve_monopoly", "Ve_competitive_total",
+                        "edge_units_monopoly", "edge_units_competitive"});
+  for (double beta : {0.1, 0.2, 0.3, 0.4}) {
+    core::NetworkParams params;
+    params.reward = 100.0;
+    params.fork_rate = beta;
+    params.edge_success = 0.9;
+    params.edge_capacity = 50.0;
+    const auto monopoly = core::solve_sp_equilibrium_homogeneous(
+        params, 200.0, 5, core::EdgeMode::kConnected, options);
+    const auto competitive =
+        core::solve_multi_esp_bertrand(params, 200.0, 5, 2);
+    table.add_row({beta, monopoly.prices.edge, competitive.price_edge,
+                   monopoly.prices.edge / competitive.price_edge,
+                   monopoly.profits.edge, competitive.profit_edge_total,
+                   5.0 * monopoly.follower.request.edge,
+                   5.0 * competitive.follower.request.edge});
+  }
+  bench::emit("ablation_multi_esp", table);
+  std::cout << "Expected: competition pins the edge price to cost, wiping "
+               "the ESP rents while multiplying the edge units miners "
+               "actually buy — the premium the paper's monopoly ESP earns "
+               "is a market-structure artifact, not a technology one.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: the population-uncertainty premium under Gaussian vs Poisson
+// miner-count laws (the Poisson is the canonical population-game model;
+// its variance is tied to its mean). Extends the paper's Sec. V.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/dynamic.hpp"
+#include "core/dynamic_types.hpp"
+#include "core/population.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hecmine;
+  const support::CliArgs args(argc, argv);
+
+  core::DynamicGameConfig config;
+  config.params.reward = 100.0;
+  config.params.fork_rate = 0.2;
+  config.params.edge_capacity = 8.0;
+  config.prices = {2.0, 1.0};
+  config.budget = args.get("budget", 12.0);
+  config.edge_success = args.get("h", 0.5);
+
+  support::Table table({"mu", "edge_fixed", "edge_gaussian_sd2",
+                        "edge_poisson", "premium_gaussian_pct",
+                        "premium_poisson_pct"});
+  for (double mu = 8.0; mu <= 16.01; mu += 2.0) {
+    const auto gaussian = core::PopulationModel::around(mu, 2.0);
+    const auto poisson = core::PopulationModel::poisson_around(mu);
+    const auto eq_gaussian = core::solve_dynamic_symmetric(config, gaussian);
+    const auto eq_poisson = core::solve_dynamic_symmetric(config, poisson);
+    const auto fixed = core::fixed_population_benchmark(config, gaussian);
+    table.add_row(
+        {mu, fixed.edge, eq_gaussian.request.edge, eq_poisson.request.edge,
+         100.0 * (eq_gaussian.request.edge / fixed.edge - 1.0),
+         100.0 * (eq_poisson.request.edge / fixed.edge - 1.0)});
+  }
+  bench::emit("ablation_population_models", table);
+  std::cout << "Expected: both uncertainty models inflate the edge request "
+               "over the fixed-N benchmark; the Poisson premium grows with "
+               "mu's square-root variance tie (sigma^2 = mu > 4 here), so "
+               "it exceeds the fixed-sigma Gaussian premium at larger mu.\n";
+
+  // Typed extension: budget inequality under uncertainty — sweep the poor
+  // type's share and watch the mixture's edge demand.
+  support::Table typed_table({"poor_fraction", "edge_poor", "edge_rich",
+                              "mixture_edge", "expected_total_edge"});
+  const core::PopulationModel population = core::PopulationModel::around(10.0, 2.0);
+  for (double poor : {0.2, 0.4, 0.6, 0.8}) {
+    const auto typed = core::solve_dynamic_types(
+        config, population, {{3.0, poor}, {30.0, 1.0 - poor}});
+    typed_table.add_row({poor, typed.requests[0].edge,
+                         typed.requests[1].edge, typed.mixture.edge,
+                         typed.expected_total_edge});
+  }
+  bench::emit("ablation_population_types", typed_table);
+  std::cout << "Typed extension: a growing poor majority (budget-capped) "
+               "drags aggregate edge demand down while the rich type "
+               "partially compensates.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: the paper's conditional transfer model vs a fully independent
+// per-miner transfer simulation (EXPERIMENTS.md, "modeling gaps" #1).
+//
+// The paper evaluates each miner's connected-mode winning probability
+// conditioning on that miner's transfer alone (Eq. 9); summed over miners
+// the probabilities come to 1 - (1-h) beta < 1. A real network draws every
+// miner's transfer each round and always awards the block. This bench
+// sweeps h and beta and reports both the model sum and the simulated
+// aggregate utility gap, confirming the leak formula R (1-h) beta.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/winning.hpp"
+#include "net/network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hecmine;
+  const support::CliArgs args(argc, argv);
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get("rounds", 150000));
+  const std::vector<core::MinerRequest> profile{
+      {2.0, 1.0}, {1.5, 2.5}, {1.0, 4.0}};
+  const core::Totals totals = core::aggregate(profile);
+  const core::Prices prices{2.0, 1.0};
+
+  support::Table table({"h", "beta", "model_prob_sum", "predicted_leak",
+                        "simulated_utility_gap"});
+  std::uint64_t seed = 1000;
+  for (double h : {0.5, 0.7, 0.9}) {
+    for (double beta : {0.1, 0.25, 0.4}) {
+      core::NetworkParams params;
+      params.reward = 100.0;
+      params.fork_rate = beta;
+      params.edge_success = h;
+
+      double model_sum = 0.0;
+      for (const auto& request : profile)
+        model_sum += core::win_prob_connected(request, totals, beta, h);
+
+      net::EdgePolicy policy{core::EdgeMode::kConnected, h, 100.0};
+      net::MiningNetwork network(params, policy, prices, ++seed);
+      network.run_rounds(profile, rounds);
+      double gap = 0.0;
+      for (std::size_t i = 0; i < profile.size(); ++i) {
+        const double conditional =
+            params.reward *
+                core::win_prob_connected(profile[i], totals, beta, h) -
+            core::request_cost(profile[i], prices);
+        gap += network.stats().utility[i].mean() - conditional;
+      }
+      table.add_row({h, beta, model_sum, params.reward * (1.0 - h) * beta,
+                     gap});
+    }
+  }
+  bench::emit("ablation_transfer_leak", table);
+  std::cout << "Expected: model_prob_sum = 1 - (1-h) beta; the simulated "
+               "aggregate utility gap matches the predicted leak "
+               "R (1-h) beta.\n";
+  return 0;
+}

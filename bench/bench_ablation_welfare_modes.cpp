@@ -1,0 +1,53 @@
+// Ablation: welfare decomposition across edge operation modes as the
+// ESP's capacity varies (extends the paper's Sec. VI-B prose with a rent-
+// dissipation view: PoW competition dissipates the reward; the standalone
+// cap acts as a commitment device that restrains edge over-buying).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/equilibrium.hpp"
+#include "core/welfare.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hecmine;
+  const support::CliArgs args(argc, argv);
+  const core::Prices prices{args.get("price-edge", 2.0),
+                            args.get("price-cloud", 1.0)};
+  const int n = args.get("miners", 5);
+  const double budget = args.get("budget", 200.0);
+
+  support::Table table({"edge_capacity", "dissipation_connected",
+                        "dissipation_standalone", "miner_surplus_connected",
+                        "miner_surplus_standalone", "sp_profit_connected",
+                        "sp_profit_standalone", "social_welfare_connected",
+                        "social_welfare_standalone"});
+  for (double cap : {2.0, 4.0, 8.0, 12.0, 16.0, 24.0}) {
+    core::NetworkParams params;
+    params.reward = 100.0;
+    params.fork_rate = 0.2;
+    params.edge_success = 0.9;
+    params.edge_capacity = cap;
+    const auto connected =
+        core::solve_symmetric_connected(params, prices, budget, n);
+    const auto standalone =
+        core::solve_symmetric_standalone(params, prices, budget, n);
+    const core::Totals totals_connected{n * connected.request.edge,
+                                        n * connected.request.cloud};
+    const core::Totals totals_standalone{n * standalone.request.edge,
+                                         n * standalone.request.cloud};
+    const auto w_connected =
+        core::welfare_report(params, prices, totals_connected);
+    const auto w_standalone =
+        core::welfare_report(params, prices, totals_standalone);
+    table.add_row({cap, w_connected.dissipation, w_standalone.dissipation,
+                   w_connected.miner_surplus, w_standalone.miner_surplus,
+                   w_connected.sp_profit(), w_standalone.sp_profit(),
+                   w_connected.social_welfare, w_standalone.social_welfare});
+  }
+  bench::emit("ablation_welfare_modes", table);
+  std::cout << "Expected: a tight standalone cap lowers dissipation and "
+               "raises miner surplus relative to connected mode; the gap "
+               "closes as the cap loosens (and reverses sign once the\n"
+               "unconstrained standalone h=1 demand exceeds connected's).\n";
+  return 0;
+}

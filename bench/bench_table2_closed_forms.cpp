@@ -1,0 +1,77 @@
+// Table II reproduction: homogeneous miners with sufficiently large
+// budgets — closed-form prices, requests and profits in the connected and
+// standalone modes, next to the numerical solvers.
+//
+// Also prints the refinement documented in EXPERIMENTS.md: the standalone
+// equilibrium *without* the paper's imposed sell-out constraint (the CSP
+// undercuts just below the sell-out price).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/closed_forms.hpp"
+#include "core/sp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hecmine;
+  const support::CliArgs args(argc, argv);
+  core::NetworkParams params;
+  params.reward = args.get("reward", 100.0);
+  params.fork_rate = args.get("beta", 0.2);
+  params.edge_success = args.get("h", 0.9);
+  params.edge_capacity = args.get("capacity", 4.0);  // scarce edge capacity
+  params.cost_edge = args.get("cost-edge", 1.0);
+  params.cost_cloud = args.get("cost-cloud", 0.4);
+  const int n = args.get("miners", 5);
+  const double budget = args.get("budget", 1e4);
+  core::SpSolveOptions options;
+  options.grid_points = args.get("grid", 48);
+
+  // Columns: one row per (mode x source).
+  support::Table table({"row_id", "price_edge", "price_cloud", "edge_total",
+                        "cloud_total", "profit_edge", "profit_cloud"});
+  const auto add = [&](double id, const core::Prices& prices, double e_total,
+                       double c_total) {
+    table.add_row({id, prices.edge, prices.cloud, e_total, c_total,
+                   (prices.edge - params.cost_edge) * e_total,
+                   (prices.cloud - params.cost_cloud) * c_total});
+  };
+
+  // Row 1: connected mode, numerical (Theorem 4 structure).
+  const auto connected = core::solve_sp_equilibrium_homogeneous(
+      params, budget, n, core::EdgeMode::kConnected, options);
+  add(1, connected.prices,
+      static_cast<double>(n) * connected.follower.request.edge,
+      static_cast<double>(n) * connected.follower.request.cloud);
+
+  // Row 2: standalone sell-out (Problem 2c), numerical.
+  const auto sellout = core::solve_sp_standalone_sellout(params, budget, n, options);
+  add(2, sellout.prices,
+      static_cast<double>(n) * sellout.follower.request.edge,
+      static_cast<double>(n) * sellout.follower.request.cloud);
+
+  // Row 3: standalone sell-out, closed form (Table II).
+  const auto closed = core::standalone_sp_closed_form(params, n);
+  {
+    const auto follower =
+        core::standalone_sufficient_request(params, closed.prices, n);
+    add(3, closed.prices, static_cast<double>(n) * follower.request.edge,
+        static_cast<double>(n) * follower.request.cloud);
+  }
+
+  // Row 4: standalone without the sell-out constraint (CSP may undercut).
+  const auto free_game = core::solve_sp_equilibrium_homogeneous(
+      params, budget, n, core::EdgeMode::kStandalone, options);
+  add(4, free_game.prices,
+      static_cast<double>(n) * free_game.follower.request.edge,
+      static_cast<double>(n) * free_game.follower.request.cloud);
+
+  bench::emit("table2_closed_forms", table);
+  std::cout <<
+      "rows: 1 = connected numerical | 2 = standalone sell-out numerical\n"
+      "      3 = standalone Table II closed form | 4 = standalone free "
+      "(CSP undercut refinement)\n"
+      "Expected (paper Table II & Sec. IV-C.3): rows 2 and 3 agree; the\n"
+      "standalone ESP charges more and profits more than connected when\n"
+      "capacity is scarce; total sold units are comparable across modes.\n";
+  return 0;
+}

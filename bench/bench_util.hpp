@@ -1,0 +1,35 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints its series as aligned ASCII tables (the rows the paper
+// plots) and mirrors them to CSV under bench_out/ for plotting.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace hecmine::bench {
+
+/// Default parameters shared by the figure benches (the paper's small
+/// network: 5 miners, R = 100, h = 0.9).
+struct BenchDefaults {
+  int miners = 5;
+  double reward = 100.0;
+  double fork_rate = 0.2;
+  double edge_success = 0.9;
+  double budget = 200.0;  // the simulation section's B_i = 200
+};
+
+/// Prints the table and writes bench_out/<name>.csv.
+inline void emit(const std::string& name, const support::Table& table,
+                 int precision = 4) {
+  support::print_section(std::cout, name);
+  table.print(std::cout, precision);
+  const std::string path = "bench_out/" + name + ".csv";
+  table.write_csv(path);
+  std::cout << "[csv] " << path << "\n";
+}
+
+}  // namespace hecmine::bench

@@ -1,0 +1,175 @@
+// hecmine_cli — scenario-file driver for the full library.
+//
+//   hecmine_cli solve    <scenario-file>             equilibrium + welfare
+//   hecmine_cli simulate <scenario-file> [--rounds=N]  replay on the simulator
+//   hecmine_cli dynamic  <scenario-file>             Sec. V uncertainty view
+//
+// Scenario files are flat key=value text; see examples/scenarios/ and
+// core/scenario.hpp for the schema.
+#include <cstdio>
+#include <string>
+
+#include "core/equilibrium.hpp"
+#include "core/dynamic.hpp"
+#include "core/scenario.hpp"
+#include "core/welfare.hpp"
+#include "net/network.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace hecmine;
+
+struct SolvedScenario {
+  core::Prices prices;
+  core::MinerEquilibrium followers;
+};
+
+/// Solves the scenario's follower stage (and, without fixed prices, the
+/// leader stage first).
+SolvedScenario solve_scenario(const core::Scenario& scenario) {
+  SolvedScenario solved;
+  if (scenario.fixed_prices) {
+    solved.prices = *scenario.fixed_prices;
+  } else {
+    HECMINE_REQUIRE(scenario.homogeneous(),
+                    "SP-stage solve requires homogeneous budgets; set "
+                    "price_edge/price_cloud for heterogeneous scenarios");
+    const auto sp = core::solve_sp_equilibrium_homogeneous(
+        scenario.params, scenario.budgets.front(), scenario.miners(),
+        scenario.mode);
+    solved.prices = sp.prices;
+  }
+  solved.followers =
+      scenario.mode == core::EdgeMode::kConnected
+          ? core::solve_connected_nep(scenario.params, solved.prices,
+                                      scenario.budgets)
+          : core::solve_standalone_gnep(scenario.params, solved.prices,
+                                        scenario.budgets);
+  return solved;
+}
+
+int cmd_solve(const core::Scenario& scenario) {
+  const auto solved = solve_scenario(scenario);
+  std::printf("prices: P_e=%.4f P_c=%.4f%s\n", solved.prices.edge,
+              solved.prices.cloud,
+              scenario.fixed_prices ? " (fixed by scenario)" : " (SP stage)");
+  for (std::size_t i = 0; i < scenario.budgets.size(); ++i) {
+    std::printf("miner %zu (B=%6.1f): e=%8.4f c=%8.4f U=%8.4f\n", i,
+                scenario.budgets[i], solved.followers.requests[i].edge,
+                solved.followers.requests[i].cloud,
+                solved.followers.utilities[i]);
+  }
+  std::printf("totals: E=%.4f C=%.4f", solved.followers.totals.edge,
+              solved.followers.totals.cloud);
+  if (scenario.mode == core::EdgeMode::kStandalone) {
+    std::printf("  (surcharge mu=%.4f, cap %s)",
+                solved.followers.surcharge,
+                solved.followers.cap_active ? "ACTIVE" : "slack");
+  }
+  std::printf("\n");
+  const auto welfare = core::welfare_report(scenario.params, solved.prices,
+                                            solved.followers.totals);
+  std::printf("welfare: miner surplus %.3f | SP profit %.3f (edge %.3f, "
+              "cloud %.3f) | dissipation %.1f%%\n",
+              welfare.miner_surplus, welfare.sp_profit(),
+              welfare.sp_profit_edge, welfare.sp_profit_cloud,
+              100.0 * welfare.dissipation);
+  return 0;
+}
+
+int cmd_simulate(const core::Scenario& scenario, std::size_t rounds) {
+  const auto solved = solve_scenario(scenario);
+  net::EdgePolicy policy;
+  policy.mode = scenario.mode;
+  policy.success_prob = scenario.params.edge_success;
+  policy.capacity = scenario.params.edge_capacity;
+  net::MiningNetwork network(scenario.params, policy, solved.prices, 97);
+  auto profile = solved.followers.requests;
+  if (scenario.mode == core::EdgeMode::kStandalone) {
+    const double total_edge = solved.followers.totals.edge;
+    if (total_edge > scenario.params.edge_capacity * (1.0 - 1e-9)) {
+      const double shrink =
+          scenario.params.edge_capacity * (1.0 - 1e-9) / total_edge;
+      for (auto& request : profile) request.edge *= shrink;
+    }
+  }
+  network.run_rounds(profile, rounds);
+  std::printf("%zu rounds simulated (transfers=%zu rejections=%zu)\n",
+              rounds, network.stats().transfers, network.stats().rejections);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    std::printf("miner %zu: wins=%6zu (rate %.4f)  mean utility %8.4f "
+                "(model %8.4f)\n",
+                i, network.stats().wins[i],
+                static_cast<double>(network.stats().wins[i]) /
+                    static_cast<double>(rounds),
+                network.stats().utility[i].mean(),
+                solved.followers.utilities[i]);
+  }
+  std::printf("SP revenue/round: edge %.3f cloud %.3f; ledger height %zu, "
+              "fork fraction %.4f\n",
+              network.stats().revenue_edge / static_cast<double>(rounds),
+              network.stats().revenue_cloud / static_cast<double>(rounds),
+              network.ledger().height(), network.ledger().fork_fraction());
+  return 0;
+}
+
+int cmd_dynamic(const core::Scenario& scenario) {
+  HECMINE_REQUIRE(scenario.population.has_value(),
+                  "dynamic command requires population_mean in the scenario");
+  HECMINE_REQUIRE(scenario.fixed_prices.has_value(),
+                  "dynamic command requires fixed prices in the scenario");
+  HECMINE_REQUIRE(scenario.homogeneous(),
+                  "dynamic command requires homogeneous budgets");
+  core::DynamicGameConfig config;
+  config.params = scenario.params;
+  config.prices = *scenario.fixed_prices;
+  config.budget = scenario.budgets.front();
+  config.edge_success = scenario.edge_success_dynamic;
+  const auto& population = *scenario.population;
+  const auto dynamic = core::solve_dynamic_symmetric(config, population);
+  const auto fixed = core::fixed_population_benchmark(config, population);
+  std::printf("population: mean %.2f variance %.2f on [%d, %d]\n",
+              population.mean(), population.variance(),
+              population.min_miners(), population.max_miners());
+  std::printf("dynamic equilibrium: e*=%.4f c*=%.4f (converged=%d)\n",
+              dynamic.request.edge, dynamic.request.cloud,
+              dynamic.converged ? 1 : 0);
+  std::printf("fixed-N benchmark:  e*=%.4f c*=%.4f\n", fixed.edge,
+              fixed.cloud);
+  std::printf("uncertainty premium on e*: %+.2f%%\n",
+              100.0 * (dynamic.request.edge / fixed.edge - 1.0));
+  std::printf("expected total edge demand %.3f vs capacity %.1f -> %s\n",
+              dynamic.expected_total_edge, scenario.params.edge_capacity,
+              dynamic.exceeds_capacity ? "EXCEEDS E_max" : "within E_max");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hecmine_cli <solve|simulate|dynamic> <scenario-file> "
+               "[--rounds=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::CliArgs args(argc, argv);
+  if (args.positional().size() < 2) return usage();
+  const std::string command = args.positional()[0];
+  const std::string path = args.positional()[1];
+  try {
+    const core::Scenario scenario = core::load_scenario(path);
+    if (command == "solve") return cmd_solve(scenario);
+    if (command == "simulate")
+      return cmd_simulate(scenario,
+                          static_cast<std::size_t>(args.get("rounds", 20000)));
+    if (command == "dynamic") return cmd_dynamic(scenario);
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

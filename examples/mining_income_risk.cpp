@@ -1,0 +1,78 @@
+// Income-risk view of equilibrium mining (extension): the game layer gives
+// expected utilities, but a miner lives one sample path. This example runs
+// long campaigns at the equilibrium strategies and reports the income
+// process — reward volatility, realized decentralization, and what the
+// difficulty controller does to block intervals as the population churns.
+//
+//   $ ./mining_income_risk [--blocks=20000] [--mu=4] [--stddev=1]
+#include <cmath>
+#include <cstdio>
+
+#include "core/decentralization.hpp"
+#include "core/equilibrium.hpp"
+#include "net/campaign.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hecmine;
+  const support::CliArgs args(argc, argv);
+
+  core::NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  params.edge_capacity = 10.0;
+  const core::Prices prices{2.0, 1.0};
+  const std::vector<double> budgets{10.0, 14.0, 18.0, 40.0};
+
+  // Equilibrium strategies for the fixed miner set.
+  const auto equilibrium = core::solve_connected_nep(params, prices, budgets);
+  std::printf("equilibrium requests (connected mode):\n");
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    std::printf("  miner %zu (B=%4.0f): e=%.3f c=%.3f  E[U]=%.3f\n", i,
+                budgets[i], equilibrium.requests[i].edge,
+                equilibrium.requests[i].cloud, equilibrium.utilities[i]);
+  }
+
+  // Campaign with population churn and difficulty retargeting.
+  net::CampaignConfig campaign;
+  campaign.params = params;
+  campaign.policy = {core::EdgeMode::kConnected, params.edge_success,
+                     params.edge_capacity};
+  campaign.prices = prices;
+  // Truncate the population law to the fixed consortium size.
+  campaign.population = core::PopulationModel(
+      args.get("mu", 4.0), args.get("stddev", 1.0), 1,
+      static_cast<int>(budgets.size()));
+  campaign.difficulty.target_interval = 1.0;
+  campaign.difficulty.window = 32;
+  campaign.blocks = static_cast<std::size_t>(args.get("blocks", 20000));
+  const auto result = run_campaign(campaign, equilibrium.requests, 2027);
+
+  std::printf("\ncampaign over %zu blocks (population mu=%.1f):\n",
+              campaign.blocks, campaign.population->mean());
+  for (std::size_t i = 0; i < result.miners.size(); ++i) {
+    const auto& miner = result.miners[i];
+    const double mean_u = miner.round_utility.mean();
+    const double sd_u = miner.round_utility.stddev();
+    std::printf("  miner %zu: active %5zu rounds, %4zu wins, net %9.1f, "
+                "per-round U %6.3f +/- %6.2f (CV %4.1fx)\n",
+                i, miner.rounds_active, miner.wins, miner.net(), mean_u,
+                sd_u, sd_u / std::max(std::abs(mean_u), 1e-9));
+  }
+  std::printf("\nchain health: %zu blocks, fork rate %.4f, mean interval "
+              "%.3f (target %.1f, %zu retargets, final rate %.3f)\n",
+              result.blocks_mined,
+              static_cast<double>(result.forks) /
+                  static_cast<double>(result.blocks_mined),
+              result.block_intervals.mean(),
+              campaign.difficulty.target_interval, result.retargets,
+              result.final_unit_rate);
+  std::printf("realized decentralization: HHI %.4f (effective miners "
+              "%.2f)\n",
+              result.realized_hhi, 1.0 / result.realized_hhi);
+  std::printf("\nTakeaway: per-round utility noise is several times its "
+              "mean (see the CV column) — the economic reason real miners "
+              "join pools.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "chain/block.hpp"
+
+namespace hecmine::chain {
+
+void Ledger::append(Block block) {
+  block.height = blocks_.size();
+  if (block.fork_resolved) ++orphans_;
+  blocks_.push_back(block);
+}
+
+std::size_t Ledger::blocks_owned_by(std::size_t miner) const noexcept {
+  std::size_t owned = 0;
+  for (const auto& block : blocks_)
+    if (block.owner == miner) ++owned;
+  return owned;
+}
+
+double Ledger::fork_fraction() const noexcept {
+  if (blocks_.empty()) return 0.0;
+  return static_cast<double>(orphans_) / static_cast<double>(blocks_.size());
+}
+
+}  // namespace hecmine::chain

@@ -1,0 +1,42 @@
+// Block and ledger types of the PoW mining simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hecmine::chain {
+
+/// Where the winning PoW solution was computed.
+enum class BlockSource { kEdge, kCloud };
+
+/// One block appended to the chain.
+struct Block {
+  std::size_t height = 0;       ///< position in the chain (genesis = 0)
+  std::size_t owner = 0;        ///< winning miner index
+  BlockSource source = BlockSource::kEdge;
+  double solve_time = 0.0;      ///< PoW race duration of this round
+  bool fork_resolved = false;   ///< a conflicting block was discarded
+};
+
+/// Append-only ledger with fork statistics.
+class Ledger {
+ public:
+  /// Appends the winner of one mining round.
+  void append(Block block);
+
+  [[nodiscard]] std::size_t height() const noexcept { return blocks_.size(); }
+  [[nodiscard]] const std::vector<Block>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] std::size_t orphan_count() const noexcept { return orphans_; }
+  /// Number of on-chain blocks owned by `miner`.
+  [[nodiscard]] std::size_t blocks_owned_by(std::size_t miner) const noexcept;
+  /// Fraction of rounds that resolved a fork.
+  [[nodiscard]] double fork_fraction() const noexcept;
+
+ private:
+  std::vector<Block> blocks_;
+  std::size_t orphans_ = 0;
+};
+
+}  // namespace hecmine::chain

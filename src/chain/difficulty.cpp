@@ -1,0 +1,42 @@
+#include "chain/difficulty.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace hecmine::chain {
+
+DifficultyController::DifficultyController(Config config)
+    : config_(config), rate_(config.initial_rate) {
+  HECMINE_REQUIRE(config_.target_interval > 0.0,
+                  "DifficultyController: target_interval > 0");
+  HECMINE_REQUIRE(config_.window > 0, "DifficultyController: window > 0");
+  HECMINE_REQUIRE(config_.max_adjustment > 1.0,
+                  "DifficultyController: max_adjustment > 1");
+  HECMINE_REQUIRE(config_.initial_rate > 0.0,
+                  "DifficultyController: initial_rate > 0");
+}
+
+void DifficultyController::observe_block(double solve_time) {
+  HECMINE_REQUIRE(solve_time >= 0.0,
+                  "DifficultyController: solve_time >= 0");
+  window_time_ += solve_time;
+  if (++window_blocks_ < config_.window) return;
+  const double observed_mean =
+      window_time_ / static_cast<double>(config_.window);
+  // Blocks too fast (observed < target) -> reduce the rate (raise
+  // difficulty) proportionally, clamped like Bitcoin's retarget.
+  double factor = observed_mean / config_.target_interval;
+  factor = std::clamp(factor, 1.0 / config_.max_adjustment,
+                      config_.max_adjustment);
+  rate_ *= factor;
+  window_time_ = 0.0;
+  window_blocks_ = 0;
+  ++retargets_;
+}
+
+double DifficultyController::relative_difficulty() const noexcept {
+  return config_.initial_rate / rate_;
+}
+
+}  // namespace hecmine::chain

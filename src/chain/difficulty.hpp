@@ -1,0 +1,51 @@
+// Difficulty retargeting for the PoW substrate.
+//
+// The paper holds total hash power fixed within a mining round, but a
+// realistic chain keeps the *block interval* stable while offloaded power
+// fluctuates (miners join/leave — exactly the population dynamics of
+// Sec. V). DifficultyController implements Bitcoin-style windowed
+// retargeting on the race's per-unit hash rate: after every `window`
+// blocks the rate is scaled by observed_mean_interval / target_interval,
+// clamped to a maximal adjustment factor per retarget (Bitcoin uses 4x).
+#pragma once
+
+#include <cstddef>
+
+#include "chain/race.hpp"
+
+namespace hecmine::chain {
+
+/// Windowed difficulty retargeting.
+class DifficultyController {
+ public:
+  struct Config {
+    double target_interval = 1.0;  ///< desired mean solve time
+    std::size_t window = 16;       ///< blocks per retarget period
+    double max_adjustment = 4.0;   ///< clamp factor per retarget (>1)
+    double initial_rate = 1.0;     ///< starting per-unit hash rate
+  };
+
+  explicit DifficultyController(Config config);
+
+  /// Current per-unit hash rate to use in RaceConfig::unit_hash_rate.
+  [[nodiscard]] double unit_hash_rate() const noexcept { return rate_; }
+
+  /// Observes one solved block's interval; retargets at window boundaries.
+  void observe_block(double solve_time);
+
+  /// Number of retargets performed so far.
+  [[nodiscard]] std::size_t retargets() const noexcept { return retargets_; }
+
+  /// Difficulty relative to the initial rate (rate_0 / rate): higher
+  /// difficulty = lower per-unit rate, mirroring Bitcoin's convention.
+  [[nodiscard]] double relative_difficulty() const noexcept;
+
+ private:
+  Config config_;
+  double rate_;
+  double window_time_ = 0.0;
+  std::size_t window_blocks_ = 0;
+  std::size_t retargets_ = 0;
+};
+
+}  // namespace hecmine::chain

@@ -1,0 +1,57 @@
+#include "chain/race.hpp"
+
+#include "support/error.hpp"
+
+namespace hecmine::chain {
+
+std::optional<RaceOutcome> run_race(const std::vector<Allocation>& allocations,
+                                    const RaceConfig& config,
+                                    support::Rng& rng) {
+  HECMINE_REQUIRE(config.fork_rate >= 0.0 && config.fork_rate < 1.0,
+                  "run_race: fork_rate must be in [0, 1)");
+  HECMINE_REQUIRE(config.unit_hash_rate > 0.0,
+                  "run_race: unit_hash_rate must be positive");
+  double edge_total = 0.0;
+  double cloud_total = 0.0;
+  for (const auto& allocation : allocations) {
+    HECMINE_REQUIRE(allocation.edge_units >= 0.0 &&
+                        allocation.cloud_units >= 0.0,
+                    "run_race: allocations must be non-negative");
+    edge_total += allocation.edge_units;
+    cloud_total += allocation.cloud_units;
+  }
+  const double grand_total = edge_total + cloud_total;
+  if (grand_total <= 0.0) return std::nullopt;
+
+  RaceOutcome outcome;
+  outcome.solve_time = rng.exponential(grand_total * config.unit_hash_rate);
+
+  // First solver: a unit drawn uniformly from all active units.
+  const bool first_is_edge = rng.bernoulli(edge_total / grand_total);
+  std::vector<double> weights(allocations.size());
+  for (std::size_t i = 0; i < allocations.size(); ++i)
+    weights[i] = first_is_edge ? allocations[i].edge_units
+                               : allocations[i].cloud_units;
+  outcome.first_solver = rng.categorical(weights);
+  outcome.winner = outcome.first_solver;
+  outcome.winner_via_edge = first_is_edge;
+
+  // Fork exposure: only cloud-solved blocks are exposed during propagation,
+  // and only edge units can produce a conflicting block that wins.
+  if (!first_is_edge && edge_total > 0.0 &&
+      rng.bernoulli(config.fork_rate)) {
+    outcome.fork_occurred = true;
+    std::vector<double> edge_weights(allocations.size());
+    for (std::size_t i = 0; i < allocations.size(); ++i)
+      edge_weights[i] = allocations[i].edge_units;
+    const std::size_t conflict_owner = rng.categorical(edge_weights);
+    if (conflict_owner != outcome.first_solver) {
+      outcome.winner = conflict_owner;
+      outcome.winner_via_edge = true;
+      outcome.fork_stole = true;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace hecmine::chain

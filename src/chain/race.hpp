@@ -1,0 +1,55 @@
+// One PoW mining round as a stochastic race (paper Section III semantics).
+//
+// Every computing unit runs an independent exponential clock, so the first
+// solver is categorical in the unit counts and the solve time is
+// exponential in the total. Propagation matters only through its effect on
+// forks: edge-solved blocks reach consensus immediately, while a
+// cloud-solved block is exposed for the CSP delay D_avg, during which a
+// conflicting block appears with probability beta = ForkModel::fork_rate(D).
+// A conflicting block is attributed to an edge unit (edge blocks are the
+// only ones that can overtake), so it belongs to miner j with probability
+// e_j / E. If the conflict owner is the original solver itself the reward
+// is unaffected (the paper's "m_i still wins").
+//
+// This generative process reproduces Eq. (4)-(6) exactly; the Monte Carlo
+// tests in tests/chain check the match against core::win_prob_full.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace hecmine::chain {
+
+/// Effective computing power actually serving a miner in one round.
+struct Allocation {
+  double edge_units = 0.0;
+  double cloud_units = 0.0;
+};
+
+/// Parameters of the race.
+struct RaceConfig {
+  double fork_rate = 0.2;       ///< beta in [0, 1)
+  double unit_hash_rate = 1.0;  ///< PoW solutions per time unit per unit
+  double cloud_delay = 1.0;     ///< D_avg, recorded in timing stats
+};
+
+/// Outcome of one round.
+struct RaceOutcome {
+  std::size_t winner = 0;        ///< miner receiving the reward
+  bool winner_via_edge = false;  ///< winning block solved at the edge
+  std::size_t first_solver = 0;  ///< miner whose block was found first
+  bool fork_occurred = false;    ///< a conflicting block appeared
+  bool fork_stole = false;       ///< the conflict changed the winner
+  double solve_time = 0.0;       ///< duration of the PoW race
+};
+
+/// Runs one mining round over the given allocations. Returns nullopt when
+/// no computing power is active. Requires non-negative allocations and
+/// fork_rate in [0, 1).
+[[nodiscard]] std::optional<RaceOutcome> run_race(
+    const std::vector<Allocation>& allocations, const RaceConfig& config,
+    support::Rng& rng);
+
+}  // namespace hecmine::chain

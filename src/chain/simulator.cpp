@@ -1,0 +1,47 @@
+#include "chain/simulator.hpp"
+
+#include "support/error.hpp"
+
+namespace hecmine::chain {
+
+double WinTally::win_rate(std::size_t i) const {
+  HECMINE_REQUIRE(i < wins.size(), "WinTally: miner index out of range");
+  if (rounds == 0) return 0.0;
+  return static_cast<double>(wins[i]) / static_cast<double>(rounds);
+}
+
+MiningSimulator::MiningSimulator(RaceConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+WinTally MiningSimulator::run(const std::vector<Allocation>& allocations,
+                              std::size_t rounds) {
+  WinTally tally;
+  tally.wins.assign(allocations.size(), 0);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const auto outcome = step(allocations);
+    if (!outcome) continue;
+    ++tally.rounds;
+    ++tally.wins[outcome->winner];
+    if (outcome->fork_occurred) ++tally.forks;
+    if (outcome->fork_stole) ++tally.steals;
+    tally.solve_times.add(outcome->solve_time);
+  }
+  return tally;
+}
+
+std::optional<RaceOutcome> MiningSimulator::step(
+    const std::vector<Allocation>& allocations) {
+  const auto outcome = run_race(allocations, config_, rng_);
+  if (outcome) {
+    Block block;
+    block.owner = outcome->winner;
+    block.source = outcome->winner_via_edge ? BlockSource::kEdge
+                                            : BlockSource::kCloud;
+    block.solve_time = outcome->solve_time;
+    block.fork_resolved = outcome->fork_occurred;
+    ledger_.append(block);
+  }
+  return outcome;
+}
+
+}  // namespace hecmine::chain

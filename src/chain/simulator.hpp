@@ -1,0 +1,52 @@
+// Multi-round mining simulation with per-miner tallies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/race.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace hecmine::chain {
+
+/// Aggregated results of a batch of mining rounds.
+struct WinTally {
+  std::vector<std::size_t> wins;   ///< on-chain blocks per miner
+  std::size_t rounds = 0;          ///< rounds with at least one active unit
+  std::size_t forks = 0;           ///< rounds where a conflict appeared
+  std::size_t steals = 0;          ///< rounds where the conflict flipped the winner
+  support::Accumulator solve_times;
+
+  /// Empirical winning probability of miner `i`.
+  [[nodiscard]] double win_rate(std::size_t i) const;
+};
+
+/// Drives repeated races over a fixed allocation profile and maintains the
+/// ledger. The allocation can also vary per round through the functional
+/// overload (used by the offloading network and the RL environment).
+class MiningSimulator {
+ public:
+  MiningSimulator(RaceConfig config, std::uint64_t seed);
+
+  /// Runs `rounds` races over a fixed allocation profile.
+  [[nodiscard]] WinTally run(const std::vector<Allocation>& allocations,
+                             std::size_t rounds);
+
+  /// Runs one race and appends the winner to the ledger; returns the
+  /// outcome (nullopt if nobody mines).
+  [[nodiscard]] std::optional<RaceOutcome> step(
+      const std::vector<Allocation>& allocations);
+
+  [[nodiscard]] const Ledger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] const RaceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] support::Rng& rng() noexcept { return rng_; }
+
+ private:
+  RaceConfig config_;
+  support::Rng rng_;
+  Ledger ledger_;
+};
+
+}  // namespace hecmine::chain

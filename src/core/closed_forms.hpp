@@ -1,0 +1,90 @@
+// Closed-form equilibria for homogeneous miners (paper Sec. IV-B, IV-C.3).
+//
+// All expressions are stated for general h; the paper prints the h = 1
+// specialization in Corollary 1 and Table II (standalone mode has h = 1 by
+// construction). Every formula here is cross-validated against the
+// numerical NEP/GNEP solvers in tests.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/types.hpp"
+
+namespace hecmine::core {
+
+/// Condition of Theorem 3: a mixed (edge+cloud) equilibrium requires
+/// P_c < (1-beta) P_e / (1-beta+h beta); returns that upper bound on P_c.
+[[nodiscard]] double mixed_strategy_cloud_price_bound(
+    const NetworkParams& params, double price_edge);
+
+/// Per-miner spend at the unconstrained symmetric NE:
+/// R (n-1)(1-beta+h beta) / n^2. Budgets strictly below this bind.
+[[nodiscard]] double homogeneous_budget_threshold(const NetworkParams& params,
+                                                  int n);
+
+/// Theorem 3 — symmetric NE when the identical budget B binds:
+///   e* = B beta h / ((1-beta+beta h)(P_e - P_c)),
+///   c* = B ((1-beta)(P_e-P_c) - beta h P_c) / (P_c (1-beta+beta h)(P_e-P_c)).
+/// Requires the mixed-strategy price condition and P_e > P_c.
+[[nodiscard]] MinerRequest homogeneous_binding_request(
+    const NetworkParams& params, const Prices& prices, double budget, int n);
+
+/// Corollary 1 (general h) — symmetric NE with sufficient budget:
+///   e* = h beta R (n-1) / (n^2 (P_e - P_c)),
+///   c* = R (n-1)((1-beta)(P_e-P_c) - h beta P_c) / (n^2 P_c (P_e-P_c)).
+/// Requires the mixed-strategy price condition and P_e > P_c.
+[[nodiscard]] MinerRequest homogeneous_sufficient_request(
+    const NetworkParams& params, const Prices& prices, int n);
+
+/// Symmetric NE of the connected-mode subgame for any budget: picks the
+/// Theorem 3 or Corollary 1 branch by comparing B to the spend threshold.
+[[nodiscard]] MinerRequest homogeneous_connected_request(
+    const NetworkParams& params, const Prices& prices, double budget, int n);
+
+/// Edge-only symmetric NE (the regime where the Theorem 3 price condition
+/// fails and cloud mining is unattractive): a Tullock contest with prize
+/// R(1-beta+h beta), giving e* = min(R(1-beta+h beta)(n-1)/(n^2 P_e), B/P_e).
+[[nodiscard]] MinerRequest homogeneous_edge_only_request(
+    const NetworkParams& params, const Prices& prices, double budget, int n);
+
+/// Standalone-mode symmetric variational equilibrium with sufficient
+/// budgets (paper Table II; h = 1).
+struct StandaloneSufficientEquilibrium {
+  MinerRequest request;     ///< per-miner (e*, c*)
+  double surcharge = 0.0;   ///< shared shadow price mu* on E <= E_max
+  bool cap_active = false;  ///< unconstrained edge demand exceeded E_max
+};
+
+/// Closed form: unconstrained edge demand E_u = beta R (n-1)/(n (P_e-P_c));
+/// if E_u > E_max the common multiplier lifts the effective edge price to
+/// P_c + beta R (n-1)/(n E_max) so that E = E_max exactly; the grand total
+/// S = (1-beta) R (n-1) / (n P_c) is unaffected by the cap (it depends only
+/// on P_c). Requires P_e > P_c and the h=1 mixed-price condition at the
+/// *effective* edge price.
+[[nodiscard]] StandaloneSufficientEquilibrium standalone_sufficient_request(
+    const NetworkParams& params, const Prices& prices, int n);
+
+/// SP-side closed form in standalone mode with sufficient budgets (our
+/// Table II derivation, verified against Algorithm 2 numerically):
+///   P_c* = sqrt( C_c (1-beta) R (n-1) / (n E_max) ),
+///   P_e* = P_c* + beta R (n-1) / (n E_max)   (the sell-out price).
+struct StandaloneSpClosedForm {
+  Prices prices;
+  double profit_edge = 0.0;   ///< (P_e* - C_e) E_max
+  double profit_cloud = 0.0;  ///< (P_c* - C_c) (S - E_max)
+  bool valid = false;  ///< cloud demand positive and P_c* above cost
+};
+
+[[nodiscard]] StandaloneSpClosedForm standalone_sp_closed_form(
+    const NetworkParams& params, int n);
+
+/// Theorem 4's CSP reaction curve P_c*(P_e) in the sufficient-budget
+/// connected game, in closed form: the CSP's first-order condition on
+///   V_c ∝ (P_c - C_c) ((1-beta)(P_e-P_c) - h beta P_c) / (P_c (P_e-P_c))
+/// is a cubic in P_c; the admissible root (above cost, below both P_e and
+/// the mixed-strategy bound) is returned. Returns a negative value when no
+/// admissible interior root exists (the best response is then a corner,
+/// handled by the numerical reaction).
+[[nodiscard]] double csp_reaction_sufficient_closed(
+    const NetworkParams& params, double price_edge);
+
+}  // namespace hecmine::core

@@ -1,0 +1,70 @@
+#include "core/decentralization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/winning.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+namespace {
+
+double checked_total(const std::vector<double>& shares) {
+  HECMINE_REQUIRE(!shares.empty(), "decentralization: empty share vector");
+  double total = 0.0;
+  for (double share : shares) {
+    HECMINE_REQUIRE(share >= 0.0, "decentralization: negative share");
+    total += share;
+  }
+  HECMINE_REQUIRE(total > 0.0, "decentralization: all shares are zero");
+  return total;
+}
+
+}  // namespace
+
+double herfindahl_index(const std::vector<double>& shares) {
+  const double total = checked_total(shares);
+  double hhi = 0.0;
+  for (double share : shares) {
+    const double normalized = share / total;
+    hhi += normalized * normalized;
+  }
+  return hhi;
+}
+
+double gini_coefficient(const std::vector<double>& shares) {
+  const double total = checked_total(shares);
+  const double n = static_cast<double>(shares.size());
+  double abs_diff_sum = 0.0;
+  for (double a : shares)
+    for (double b : shares) abs_diff_sum += std::abs(a - b);
+  return abs_diff_sum / (2.0 * n * total);
+}
+
+std::size_t nakamoto_coefficient(const std::vector<double>& shares) {
+  const double total = checked_total(shares);
+  std::vector<double> sorted = shares;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double mass = 0.0;
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    mass += sorted[k];
+    if (mass > 0.5 * total) return k + 1;
+  }
+  return sorted.size();
+}
+
+double effective_miners(const std::vector<double>& shares) {
+  return 1.0 / herfindahl_index(shares);
+}
+
+std::vector<double> winning_shares(const std::vector<MinerRequest>& requests,
+                                   double fork_rate) {
+  const Totals totals = aggregate(requests);
+  std::vector<double> shares(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    shares[i] = win_prob_full(requests[i], totals, fork_rate);
+  return shares;
+}
+
+}  // namespace hecmine::core

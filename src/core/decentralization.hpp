@@ -1,0 +1,42 @@
+// Decentralization metrics over winning-probability profiles.
+//
+// A mining market's health is usually judged by how concentrated block
+// production is. Given the per-miner winning probabilities of Section III
+// (which sum to 1 by Theorem 1), the standard measures apply directly:
+//
+//   * HHI               sum w_i^2 (1/n = perfectly even, 1 = monopoly)
+//   * Gini              mean absolute difference / (2 * mean)
+//   * Nakamoto number   smallest k with top-k mass > 1/2 (51% attack size)
+//   * effective miners  1 / HHI
+//
+// These support the mode/pricing comparisons: e.g. heterogeneous budgets
+// concentrate block production, and the standalone capacity cap equalizes
+// edge access.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hecmine::core {
+
+/// Herfindahl–Hirschman index of a share vector (normalized internally).
+/// Requires at least one strictly positive share; shares must be >= 0.
+[[nodiscard]] double herfindahl_index(const std::vector<double>& shares);
+
+/// Gini coefficient in [0, 1).
+[[nodiscard]] double gini_coefficient(const std::vector<double>& shares);
+
+/// Smallest k such that the k largest shares exceed 1/2 of the total.
+[[nodiscard]] std::size_t nakamoto_coefficient(
+    const std::vector<double>& shares);
+
+/// 1 / HHI — the "effective number of miners".
+[[nodiscard]] double effective_miners(const std::vector<double>& shares);
+
+/// Winning-probability shares of a request profile (Theorem 1 weights).
+[[nodiscard]] std::vector<double> winning_shares(
+    const std::vector<MinerRequest>& requests, double fork_rate);
+
+}  // namespace hecmine::core

@@ -1,0 +1,160 @@
+#include "core/dynamic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/equilibrium.hpp"
+#include "numerics/pga.hpp"
+#include "numerics/projection.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+namespace {
+
+void check_config(const DynamicGameConfig& config) {
+  config.params.validate();
+  HECMINE_REQUIRE(config.prices.edge > 0.0 && config.prices.cloud > 0.0,
+                  "dynamic game: prices must be positive");
+  HECMINE_REQUIRE(config.budget > 0.0, "dynamic game: budget must be > 0");
+  HECMINE_REQUIRE(config.edge_success > 0.0 && config.edge_success <= 1.0,
+                  "dynamic game: edge_success must be in (0, 1]");
+}
+
+}  // namespace
+
+double dynamic_miner_utility(const DynamicGameConfig& config,
+                             const PopulationModel& population,
+                             const MinerRequest& own,
+                             const MinerRequest& others_symmetric) {
+  check_config(config);
+  HECMINE_REQUIRE(own.edge >= 0.0 && own.cloud >= 0.0,
+                  "dynamic game: requests must be non-negative");
+  const double beta = config.params.fork_rate;
+  const double h = config.edge_success;
+  double expected_win = 0.0;
+  for (int k = population.min_miners(); k <= population.max_miners(); ++k) {
+    const double mass = population.pmf(k);
+    if (mass <= 0.0) continue;
+    const double opponents = static_cast<double>(k - 1);
+    const double s_k = own.total() + opponents * others_symmetric.total();
+    const double e_k = own.edge + opponents * others_symmetric.edge;
+    double win = 0.0;
+    if (s_k > 0.0) win += (1.0 - beta) * own.total() / s_k;
+    if (own.edge > 0.0 && e_k > 0.0) win += beta * h * own.edge / e_k;
+    expected_win += mass * win;
+  }
+  return config.params.reward * expected_win -
+         request_cost(own, config.prices);
+}
+
+std::pair<double, double> dynamic_miner_gradient(
+    const DynamicGameConfig& config, const PopulationModel& population,
+    const MinerRequest& own, const MinerRequest& others_symmetric) {
+  check_config(config);
+  const double beta = config.params.fork_rate;
+  const double h = config.edge_success;
+  double d_share = 0.0;  // d/d(e or c) of the (1-beta)(e+c)/S_k part
+  double d_edge = 0.0;   // d/de of the beta h e/E_k part
+  for (int k = population.min_miners(); k <= population.max_miners(); ++k) {
+    const double mass = population.pmf(k);
+    if (mass <= 0.0) continue;
+    const double opponents = static_cast<double>(k - 1);
+    const double s_others = opponents * others_symmetric.total();
+    const double e_others = opponents * others_symmetric.edge;
+    const double s_k = own.total() + s_others;
+    const double e_k = own.edge + e_others;
+    if (s_k > 0.0) d_share += mass * (1.0 - beta) * s_others / (s_k * s_k);
+    if (e_k > 0.0) d_edge += mass * beta * h * e_others / (e_k * e_k);
+  }
+  const double r = config.params.reward;
+  return {r * (d_share + d_edge) - config.prices.edge,
+          r * d_share - config.prices.cloud};
+}
+
+MinerRequest dynamic_best_response(const DynamicGameConfig& config,
+                                   const PopulationModel& population,
+                                   const MinerRequest& others_symmetric) {
+  check_config(config);
+  const std::vector<double> prices{config.prices.edge, config.prices.cloud};
+  const auto project = [&](const std::vector<double>& point) {
+    return num::project_budget_set(point, prices, config.budget);
+  };
+  const auto objective = [&](const std::vector<double>& x) {
+    return dynamic_miner_utility(config, population, {x[0], x[1]},
+                                 others_symmetric);
+  };
+  const auto gradient = [&](const std::vector<double>& x) {
+    const auto [du_de, du_dc] = dynamic_miner_gradient(
+        config, population, {x[0], x[1]}, others_symmetric);
+    return std::vector<double>{du_de, du_dc};
+  };
+  num::PgaOptions options;
+  options.tolerance = 1e-11;
+  options.max_iterations = 20000;
+  options.initial_step = 0.1 / (config.prices.edge + config.prices.cloud);
+  const std::vector<double> start{
+      std::max(others_symmetric.edge, 1e-3),
+      std::max(others_symmetric.cloud, 1e-3)};
+  const auto pga = num::projected_gradient_ascent(objective, gradient, project,
+                                                  start, options);
+  return {pga.point[0], pga.point[1]};
+}
+
+DynamicEquilibrium solve_dynamic_symmetric(const DynamicGameConfig& config,
+                                           const PopulationModel& population,
+                                           double damping, double tolerance,
+                                           int max_iterations) {
+  check_config(config);
+  HECMINE_REQUIRE(damping > 0.0 && damping <= 1.0,
+                  "dynamic solve: damping in (0, 1]");
+  DynamicEquilibrium result;
+  MinerRequest current{0.25 * config.budget / config.prices.edge,
+                       0.25 * config.budget / config.prices.cloud};
+  // The best response steepens with the opponent count, so a fixed damping
+  // can fall into a period-2 orbit; halve the damping whenever the residual
+  // stops improving.
+  double step = damping;
+  double best_residual = std::numeric_limits<double>::infinity();
+  int stalled = 0;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    const MinerRequest response =
+        dynamic_best_response(config, population, current);
+    const double change = std::max(std::abs(response.edge - current.edge),
+                                   std::abs(response.cloud - current.cloud));
+    current.edge = (1.0 - step) * current.edge + step * response.edge;
+    current.cloud = (1.0 - step) * current.cloud + step * response.cloud;
+    if (change < tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (change < 0.95 * best_residual) {
+      best_residual = change;
+      stalled = 0;
+    } else if (++stalled >= 40 && step > 0.02) {
+      step *= 0.5;
+      stalled = 0;
+    }
+  }
+  result.request = current;
+  result.expected_total_edge = population.mean() * current.edge;
+  result.exceeds_capacity =
+      result.expected_total_edge > config.params.edge_capacity;
+  return result;
+}
+
+MinerRequest fixed_population_benchmark(const DynamicGameConfig& config,
+                                        const PopulationModel& population) {
+  check_config(config);
+  const int n = std::max(
+      2, static_cast<int>(std::lround(population.nominal_mean())));
+  NetworkParams params = config.params;
+  params.edge_success = config.edge_success;
+  const auto symmetric =
+      solve_symmetric_connected(params, config.prices, config.budget, n);
+  return symmetric.request;
+}
+
+}  // namespace hecmine::core

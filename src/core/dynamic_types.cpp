@@ -1,0 +1,86 @@
+#include "core/dynamic_types.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+TypedDynamicEquilibrium solve_dynamic_types(const DynamicGameConfig& config,
+                                            const PopulationModel& population,
+                                            const std::vector<MinerType>& types,
+                                            double damping, double tolerance,
+                                            int max_iterations) {
+  HECMINE_REQUIRE(!types.empty(), "dynamic types: at least one type");
+  HECMINE_REQUIRE(damping > 0.0 && damping <= 1.0,
+                  "dynamic types: damping in (0, 1]");
+  double fraction_total = 0.0;
+  for (const auto& type : types) {
+    HECMINE_REQUIRE(type.budget > 0.0, "dynamic types: budgets positive");
+    HECMINE_REQUIRE(type.fraction > 0.0, "dynamic types: fractions positive");
+    fraction_total += type.fraction;
+  }
+  HECMINE_REQUIRE(std::abs(fraction_total - 1.0) < 1e-9,
+                  "dynamic types: fractions must sum to 1");
+
+  TypedDynamicEquilibrium result;
+  result.requests.resize(types.size());
+  for (std::size_t t = 0; t < types.size(); ++t) {
+    result.requests[t] = {0.25 * types[t].budget / config.prices.edge,
+                          0.25 * types[t].budget / config.prices.cloud};
+  }
+
+  const auto mixture_of = [&](const std::vector<MinerRequest>& requests) {
+    MinerRequest mixture;
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      mixture.edge += types[t].fraction * requests[t].edge;
+      mixture.cloud += types[t].fraction * requests[t].cloud;
+    }
+    return mixture;
+  };
+
+  // Same adaptive-damping pattern as the symmetric solver: the response
+  // steepens with the population size.
+  double step = damping;
+  double best_residual = std::numeric_limits<double>::infinity();
+  int stalled = 0;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    const MinerRequest mixture = mixture_of(result.requests);
+    double change = 0.0;
+    std::vector<MinerRequest> responses(types.size());
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      DynamicGameConfig typed = config;
+      typed.budget = types[t].budget;
+      responses[t] = dynamic_best_response(typed, population, mixture);
+      change = std::max(
+          change, std::max(std::abs(responses[t].edge - result.requests[t].edge),
+                           std::abs(responses[t].cloud -
+                                    result.requests[t].cloud)));
+    }
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      result.requests[t].edge = (1.0 - step) * result.requests[t].edge +
+                                step * responses[t].edge;
+      result.requests[t].cloud = (1.0 - step) * result.requests[t].cloud +
+                                 step * responses[t].cloud;
+    }
+    if (change < tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (change < 0.95 * best_residual) {
+      best_residual = change;
+      stalled = 0;
+    } else if (++stalled >= 40 && step > 0.02) {
+      step *= 0.5;
+      stalled = 0;
+    }
+  }
+  result.mixture = mixture_of(result.requests);
+  result.expected_total_edge = population.mean() * result.mixture.edge;
+  return result;
+}
+
+}  // namespace hecmine::core

@@ -1,0 +1,50 @@
+// Heterogeneous miner types under population uncertainty (extension of
+// Sec. V, which assumes homogeneous miners).
+//
+// Miners come in budget classes ("types"); whenever k miners are active, a
+// fraction f_t of them is of type t (proportional mixing). A focal miner
+// of type t then faces k-1 opponents whose mean strategy is the mixture
+// m = sum_t f_t (e_t, c_t), and its expected utility is the Sec.-V
+// expression with the mixture field:
+//
+//   U_t(e, c) = R sum_k P(k) [ (1-beta)(e+c)/S_k + beta h e/E_k ]
+//               - P_e e - P_c c,
+//   S_k = (e+c) + (k-1)(m_e + m_c),  E_k = e + (k-1) m_e,
+//
+// maximized over type t's budget polytope. The equilibrium is the fixed
+// point over all type strategies (damped best-response; each best response
+// via projected gradient ascent). With a single type this reduces exactly
+// to core/dynamic.hpp's symmetric equilibrium.
+#pragma once
+
+#include <vector>
+
+#include "core/dynamic.hpp"
+#include "core/population.hpp"
+#include "core/types.hpp"
+
+namespace hecmine::core {
+
+/// One budget class.
+struct MinerType {
+  double budget = 0.0;    ///< B_t
+  double fraction = 0.0;  ///< f_t, population share; fractions sum to 1
+};
+
+/// Equilibrium of the typed dynamic game.
+struct TypedDynamicEquilibrium {
+  std::vector<MinerRequest> requests;  ///< per-type strategy (e_t, c_t)
+  MinerRequest mixture;                ///< sum_t f_t (e_t, c_t)
+  double expected_total_edge = 0.0;    ///< E[N] * mixture.edge
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Solves the typed dynamic game. `config.budget` is ignored (budgets come
+/// from the types); fractions must be positive and sum to 1 (1e-9).
+[[nodiscard]] TypedDynamicEquilibrium solve_dynamic_types(
+    const DynamicGameConfig& config, const PopulationModel& population,
+    const std::vector<MinerType>& types, double damping = 0.35,
+    double tolerance = 1e-7, int max_iterations = 3000);
+
+}  // namespace hecmine::core

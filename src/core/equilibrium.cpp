@@ -1,0 +1,500 @@
+#include "core/equilibrium.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "core/closed_forms.hpp"
+
+#include "game/gnep.hpp"
+#include "numerics/projection.hpp"
+#include "numerics/vi.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+namespace {
+
+using game::Profile;
+
+Profile seed_profile(const Prices& prices, const std::vector<double>& budgets,
+                     double edge_cap) {
+  Profile start(budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    // Positive seeds keep the contest away from the degenerate origin; cap
+    // the total edge seed below capacity so standalone starts feasible.
+    const double seed_edge =
+        std::min(0.25 * budgets[i] / prices.edge,
+                 0.5 * edge_cap / static_cast<double>(budgets.size()));
+    const double seed_cloud = 0.25 * budgets[i] / prices.cloud;
+    start[i] = {seed_edge, seed_cloud};
+  }
+  return start;
+}
+
+std::vector<MinerRequest> to_requests(const Profile& profile) {
+  std::vector<MinerRequest> requests(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i)
+    requests[i] = {profile[i][0], profile[i][1]};
+  return requests;
+}
+
+MinerEnv make_env(const NetworkParams& params, const Prices& prices,
+                  double budget, double edge_success, double surcharge,
+                  const Totals& others) {
+  MinerEnv env;
+  env.reward = params.reward;
+  env.fork_rate = params.fork_rate;
+  env.edge_success = edge_success;
+  env.prices = prices;
+  env.edge_surcharge = surcharge;
+  env.budget = budget;
+  env.others = others;
+  return env;
+}
+
+Totals others_of(const Profile& profile, std::size_t player) {
+  Totals others;
+  for (std::size_t j = 0; j < profile.size(); ++j) {
+    if (j == player) continue;
+    others.edge += profile[j][0];
+    others.cloud += profile[j][1];
+  }
+  return others;
+}
+
+void finish_equilibrium(const NetworkParams& params, const Prices& prices,
+                        const std::vector<double>& budgets,
+                        double edge_success, MinerEquilibrium& result) {
+  result.totals = aggregate(result.requests);
+  result.utilities.resize(result.requests.size());
+  for (std::size_t i = 0; i < result.requests.size(); ++i) {
+    Totals others = result.totals;
+    others.edge -= result.requests[i].edge;
+    others.cloud -= result.requests[i].cloud;
+    const MinerEnv env =
+        make_env(params, prices, budgets[i], edge_success, 0.0, others);
+    result.utilities[i] = miner_utility(env, result.requests[i]);
+  }
+}
+
+void check_inputs(const NetworkParams& params, const Prices& prices,
+                  const std::vector<double>& budgets) {
+  params.validate();
+  HECMINE_REQUIRE(prices.edge > 0.0 && prices.cloud > 0.0,
+                  "follower solve: prices must be positive");
+  HECMINE_REQUIRE(!budgets.empty(), "follower solve: no miners");
+  for (double b : budgets)
+    HECMINE_REQUIRE(b >= 0.0, "follower solve: budgets must be >= 0");
+}
+
+}  // namespace
+
+MinerEquilibrium solve_connected_nep(const NetworkParams& params,
+                                     const Prices& prices,
+                                     const std::vector<double>& budgets,
+                                     const MinerSolveOptions& options) {
+  check_inputs(params, prices, budgets);
+  const double h = params.edge_success;
+  const game::BestResponseFn oracle = [&](const Profile& profile,
+                                          std::size_t player) {
+    const MinerEnv env = make_env(params, prices, budgets[player], h, 0.0,
+                                  others_of(profile, player));
+    const MinerRequest response = miner_best_response(env);
+    return std::vector<double>{response.edge, response.cloud};
+  };
+  game::BestResponseOptions br;
+  br.damping = options.damping;
+  br.tolerance = options.tolerance;
+  br.max_iterations = options.max_iterations;
+  auto nash = game::solve_best_response(
+      oracle,
+      seed_profile(prices, budgets, std::numeric_limits<double>::infinity()),
+      br);
+
+  MinerEquilibrium result;
+  result.requests = to_requests(nash.profile);
+  result.converged = nash.converged;
+  result.iterations = nash.iterations;
+  result.residual = nash.residual;
+  finish_equilibrium(params, prices, budgets, h, result);
+  if (!result.converged) {
+    // The movement test can floor at the line-search noise while the point
+    // is already an exact equilibrium; certify by exploitability instead.
+    const double gain = miner_exploitability(params, prices, budgets,
+                                             result.requests, true);
+    result.converged = gain <= 1e-7 * params.reward;
+  }
+  return result;
+}
+
+MinerEquilibrium solve_standalone_gnep(const NetworkParams& params,
+                                       const Prices& prices,
+                                       const std::vector<double>& budgets,
+                                       const MinerSolveOptions& options) {
+  check_inputs(params, prices, budgets);
+  const game::PenalizedBestResponseFn oracle =
+      [&](const Profile& profile, std::size_t player, double surcharge) {
+        const MinerEnv env = make_env(params, prices, budgets[player], 1.0,
+                                      surcharge, others_of(profile, player));
+        const MinerRequest response = miner_best_response(env);
+        return std::vector<double>{response.edge, response.cloud};
+      };
+  const game::SharedUsageFn usage = [](const Profile& profile) {
+    double edge = 0.0;
+    for (const auto& strategy : profile) edge += strategy[0];
+    return edge;
+  };
+  game::SharedPriceGnepOptions gnep_options;
+  gnep_options.inner.damping = options.damping;
+  gnep_options.inner.tolerance = options.tolerance;
+  gnep_options.inner.max_iterations = options.max_iterations;
+  gnep_options.surcharge_hi0 = 0.25 * prices.edge;
+  auto gnep = game::solve_shared_price_gnep(
+      oracle, usage, params.edge_capacity,
+      seed_profile(prices, budgets, params.edge_capacity), gnep_options);
+
+  MinerEquilibrium result;
+  result.requests = to_requests(gnep.profile);
+  result.surcharge = gnep.surcharge;
+  result.cap_active = gnep.cap_active;
+  result.converged = gnep.converged;
+  result.iterations = gnep.inner_solves;
+  result.residual = 0.0;
+  finish_equilibrium(params, prices, budgets, 1.0, result);
+  if (!result.converged &&
+      result.totals.edge <= params.edge_capacity * (1.0 + 1e-6)) {
+    // Same certification as the NEP path: accept when no miner can gain in
+    // the mu-penalized decoupled game (the variational KKT condition).
+    const double gain = miner_exploitability(
+        params, prices, budgets, result.requests, false, result.surcharge);
+    result.converged = gain <= 1e-7 * params.reward;
+  }
+  return result;
+}
+
+MinerEquilibrium solve_standalone_gnep_vi(const NetworkParams& params,
+                                          const Prices& prices,
+                                          const std::vector<double>& budgets,
+                                          const MinerSolveOptions& options) {
+  check_inputs(params, prices, budgets);
+  const std::size_t n = budgets.size();
+
+  std::vector<num::BudgetBlock> blocks(n);
+  for (std::size_t i = 0; i < n; ++i)
+    blocks[i] = {{prices.edge, prices.cloud}, budgets[i]};
+  std::vector<double> weights(2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) weights[2 * i] = 1.0;  // edge coords
+
+  num::VariationalInequality problem;
+  problem.project = [&, blocks, weights](const std::vector<double>& point) {
+    return num::project_shared_cap(point, blocks, weights,
+                                   params.edge_capacity);
+  };
+  problem.map = [&](const std::vector<double>& flat) {
+    std::vector<double> f(flat.size());
+    Totals totals;
+    for (std::size_t i = 0; i < n; ++i) {
+      totals.edge += flat[2 * i];
+      totals.cloud += flat[2 * i + 1];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Totals others = totals;
+      others.edge -= flat[2 * i];
+      others.cloud -= flat[2 * i + 1];
+      const MinerEnv env =
+          make_env(params, prices, budgets[i], 1.0, 0.0, others);
+      const auto [du_de, du_dc] =
+          miner_utility_gradient(env, {flat[2 * i], flat[2 * i + 1]});
+      f[2 * i] = -du_de;
+      f[2 * i + 1] = -du_dc;
+    }
+    return f;
+  };
+
+  const auto start_profile = seed_profile(prices, budgets, params.edge_capacity);
+  num::ExtragradientOptions eg;
+  eg.tolerance = options.vi_tolerance;
+  eg.max_iterations = options.max_iterations * 20;
+  auto vi = num::solve_extragradient(problem, game::flatten(start_profile), eg);
+
+  MinerEquilibrium result;
+  result.requests.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    result.requests[i] = {vi.point[2 * i], vi.point[2 * i + 1]};
+  result.converged = vi.converged;
+  result.iterations = vi.iterations;
+  result.residual = vi.residual;
+  finish_equilibrium(params, prices, budgets, 1.0, result);
+  result.cap_active =
+      result.totals.edge >= params.edge_capacity - 1e-6 * (1.0 + params.edge_capacity);
+  // Recover the shared multiplier from any miner with interior edge request:
+  // at the variational equilibrium, dU/de = mu for such miners.
+  for (std::size_t i = 0; i < n && result.cap_active; ++i) {
+    if (result.requests[i].edge > 1e-9) {
+      Totals others = result.totals;
+      others.edge -= result.requests[i].edge;
+      others.cloud -= result.requests[i].cloud;
+      const MinerEnv env =
+          make_env(params, prices, budgets[i], 1.0, 0.0, others);
+      const double spend = request_cost(result.requests[i], env.prices);
+      if (spend < budgets[i] - 1e-7 * (1.0 + budgets[i])) {
+        result.surcharge =
+            std::max(0.0, miner_utility_gradient(env, result.requests[i]).first);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Damped fixed point of the symmetric best response at a given surcharge.
+SymmetricEquilibrium symmetric_fixed_point(const NetworkParams& params,
+                                           const Prices& prices, double budget,
+                                           int n, double edge_success,
+                                           double surcharge,
+                                           const MinerSolveOptions& options,
+                                           MinerRequest seed) {
+  SymmetricEquilibrium result;
+  MinerRequest current = seed;
+  const double dn = static_cast<double>(n);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    Totals others;
+    others.edge = (dn - 1.0) * current.edge;
+    others.cloud = (dn - 1.0) * current.cloud;
+    MinerEnv env;
+    env.reward = params.reward;
+    env.fork_rate = params.fork_rate;
+    env.edge_success = edge_success;
+    env.prices = prices;
+    env.edge_surcharge = surcharge;
+    env.budget = budget;
+    env.others = others;
+    const MinerRequest response = miner_best_response(env);
+    const double change = std::max(std::abs(response.edge - current.edge),
+                                   std::abs(response.cloud - current.cloud));
+    current.edge = (1.0 - options.damping) * current.edge +
+                   options.damping * response.edge;
+    current.cloud = (1.0 - options.damping) * current.cloud +
+                    options.damping * response.cloud;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.request = current;
+  result.surcharge = surcharge;
+  return result;
+}
+
+MinerRequest symmetric_seed(const Prices& prices, double budget) {
+  return {0.25 * budget / prices.edge, 0.25 * budget / prices.cloud};
+}
+
+/// Confirms a closed-form candidate is a symmetric fixed point of the best
+/// response; returns the finished equilibrium when it checks out.
+std::optional<SymmetricEquilibrium> verify_symmetric_candidate(
+    const NetworkParams& params, const Prices& prices, double budget, int n,
+    double edge_success, double surcharge, const MinerRequest& candidate) {
+  if (candidate.edge < 0.0 || candidate.cloud < 0.0) return std::nullopt;
+  if (request_cost(candidate, prices) > budget * (1.0 + 1e-9))
+    return std::nullopt;
+  MinerEnv env;
+  env.reward = params.reward;
+  env.fork_rate = params.fork_rate;
+  env.edge_success = edge_success;
+  env.prices = prices;
+  env.edge_surcharge = surcharge;
+  env.budget = budget;
+  env.others = {(static_cast<double>(n) - 1.0) * candidate.edge,
+                (static_cast<double>(n) - 1.0) * candidate.cloud};
+  const MinerRequest response = miner_best_response(env);
+  const double scale = 1.0 + candidate.total();
+  if (std::abs(response.edge - candidate.edge) > 1e-7 * scale ||
+      std::abs(response.cloud - candidate.cloud) > 1e-7 * scale)
+    return std::nullopt;
+  SymmetricEquilibrium equilibrium;
+  equilibrium.request = candidate;
+  equilibrium.surcharge = surcharge;
+  equilibrium.converged = true;
+  equilibrium.iterations = 0;
+  return equilibrium;
+}
+
+/// Closed-form candidate for the connected-mode symmetric NE, covering the
+/// mixed (Thm 3 / Cor 1) and edge-only price regions.
+std::optional<SymmetricEquilibrium> try_connected_closed_form(
+    const NetworkParams& params, const Prices& prices, double budget, int n) {
+  const double bound = mixed_strategy_cloud_price_bound(params, prices.edge);
+  MinerRequest candidate;
+  if (prices.edge > prices.cloud && prices.cloud < bound * (1.0 - 1e-9)) {
+    candidate = homogeneous_connected_request(params, prices, budget, n);
+  } else {
+    candidate = homogeneous_edge_only_request(params, prices, budget, n);
+  }
+  return verify_symmetric_candidate(params, prices, budget, n,
+                                    params.edge_success, 0.0, candidate);
+}
+
+/// Closed-form candidate for the standalone symmetric variational
+/// equilibrium with sufficient budgets (Table II), cap-aware. Handles
+/// P_e <= P_c through the cap (unconstrained edge demand is unbounded, so
+/// the cap certainly binds and the effective price is set by capacity).
+std::optional<SymmetricEquilibrium> try_standalone_closed_form(
+    const NetworkParams& params, const Prices& prices, double budget, int n) {
+  const double beta = params.fork_rate;
+  const double dn = static_cast<double>(n);
+  const double demand_scale = params.reward * (dn - 1.0) / dn;
+  const double s_total = (1.0 - beta) * demand_scale / prices.cloud;
+  double e_total = std::numeric_limits<double>::infinity();
+  if (prices.edge > prices.cloud)
+    e_total = beta * demand_scale / (prices.edge - prices.cloud);
+  double surcharge = 0.0;
+  bool cap_active = false;
+  if (e_total > params.edge_capacity) {
+    cap_active = true;
+    e_total = params.edge_capacity;
+    const double effective_edge_price =
+        prices.cloud + beta * demand_scale / params.edge_capacity;
+    surcharge = effective_edge_price - prices.edge;
+    if (surcharge < 0.0) return std::nullopt;  // inconsistent region
+  }
+  if (s_total < e_total) {
+    // Edge-only regime (cloud priced out): symmetric Tullock over edge
+    // units with prize R, cap-aware.
+    double e_only = params.reward * (dn - 1.0) / (dn * dn * prices.edge);
+    double mu = 0.0;
+    bool only_cap = false;
+    if (dn * e_only > params.edge_capacity) {
+      only_cap = true;
+      e_only = params.edge_capacity / dn;
+      const double effective =
+          params.reward * (dn - 1.0) / (dn * params.edge_capacity);
+      mu = effective - prices.edge;
+      if (mu < 0.0) return std::nullopt;
+    }
+    auto verified = verify_symmetric_candidate(params, prices, budget, n, 1.0,
+                                               mu, {e_only, 0.0});
+    if (verified) verified->cap_active = only_cap;
+    return verified;
+  }
+  const MinerRequest candidate{e_total / dn, (s_total - e_total) / dn};
+  auto verified = verify_symmetric_candidate(params, prices, budget, n, 1.0,
+                                             surcharge, candidate);
+  if (verified) verified->cap_active = cap_active;
+  return verified;
+}
+
+}  // namespace
+
+SymmetricEquilibrium solve_symmetric_connected(const NetworkParams& params,
+                                               const Prices& prices,
+                                               double budget, int n,
+                                               const MinerSolveOptions& options) {
+  check_inputs(params, prices, {budget});
+  HECMINE_REQUIRE(n >= 2, "solve_symmetric_connected requires n >= 2");
+  // Fast path: the closed forms of Sec. IV-B cover most of the price plane;
+  // each candidate is verified as an actual best-response fixed point.
+  if (const auto closed = try_connected_closed_form(params, prices, budget, n))
+    return *closed;
+  return symmetric_fixed_point(params, prices, budget, n, params.edge_success,
+                               0.0, options, symmetric_seed(prices, budget));
+}
+
+SymmetricEquilibrium solve_symmetric_standalone(const NetworkParams& params,
+                                                const Prices& prices,
+                                                double budget, int n,
+                                                const MinerSolveOptions& options) {
+  check_inputs(params, prices, {budget});
+  HECMINE_REQUIRE(n >= 2, "solve_symmetric_standalone requires n >= 2");
+  // Fast path: Table II's sufficient-budget closed form, verified.
+  if (const auto closed = try_standalone_closed_form(params, prices, budget, n))
+    return *closed;
+  const double dn = static_cast<double>(n);
+  const double cap_per_miner = params.edge_capacity / dn;
+  MinerRequest seed = symmetric_seed(prices, budget);
+  seed.edge = std::min(seed.edge, 0.5 * cap_per_miner);
+
+  auto at_surcharge = [&](double mu) {
+    auto fp = symmetric_fixed_point(params, prices, budget, n, 1.0, mu,
+                                    options, seed);
+    seed = fp.request;  // warm start the next bisection step
+    return fp;
+  };
+
+  auto unconstrained = at_surcharge(0.0);
+  const double tol = 1e-9 * (1.0 + cap_per_miner);
+  if (unconstrained.request.edge <= cap_per_miner + tol) {
+    unconstrained.cap_active = unconstrained.request.edge >= cap_per_miner - tol;
+    return unconstrained;
+  }
+
+  // Cap binds: bisect the common surcharge to complementarity. Seed the
+  // bracket from the sufficient-budget analytic multiplier so the
+  // expansion loop rarely runs.
+  const double analytic_mu =
+      prices.cloud +
+      params.fork_rate * params.reward * (dn - 1.0) /
+          (dn * params.edge_capacity) -
+      prices.edge;
+  double lo = 0.0;
+  double hi = std::max(0.25 * prices.edge, 2.0 * std::max(analytic_mu, 0.0));
+  bool converged = unconstrained.converged;
+  for (int expansion = 0; expansion < 80; ++expansion) {
+    const auto at_hi = at_surcharge(hi);
+    converged = converged && at_hi.converged;
+    if (at_hi.request.edge <= cap_per_miner) break;
+    lo = hi;
+    hi *= 2.0;
+    HECMINE_REQUIRE(hi < 1e30, "solve_symmetric_standalone: surcharge blowup");
+  }
+  SymmetricEquilibrium last;
+  for (int step = 0; step < 200; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    last = at_surcharge(mid);
+    converged = converged && last.converged;
+    if (std::abs(last.request.edge - cap_per_miner) <= tol) {
+      lo = hi = mid;
+      break;
+    }
+    if (last.request.edge > cap_per_miner)
+      lo = mid;
+    else
+      hi = mid;
+    if (hi - lo <= 1e-14 * (1.0 + hi)) break;
+  }
+  last = at_surcharge(0.5 * (lo + hi));
+  last.cap_active = true;
+  last.converged = converged && last.converged;
+  return last;
+}
+
+double miner_exploitability(const NetworkParams& params, const Prices& prices,
+                            const std::vector<double>& budgets,
+                            const std::vector<MinerRequest>& requests,
+                            bool mode_connected, double surcharge) {
+  check_inputs(params, prices, budgets);
+  HECMINE_REQUIRE(requests.size() == budgets.size(),
+                  "miner_exploitability: profile/budget size mismatch");
+  const double h = mode_connected ? params.edge_success : 1.0;
+  const Totals totals = aggregate(requests);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Totals others = totals;
+    others.edge -= requests[i].edge;
+    others.cloud -= requests[i].cloud;
+    const MinerEnv env =
+        make_env(params, prices, budgets[i], h, surcharge, others);
+    const double current = miner_penalized_utility(env, requests[i]);
+    const double best =
+        miner_penalized_utility(env, miner_best_response(env));
+    worst = std::max(worst, best - current);
+  }
+  return worst;
+}
+
+}  // namespace hecmine::core

@@ -1,0 +1,166 @@
+#include "core/miner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/optimize.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+void MinerEnv::validate() const {
+  HECMINE_REQUIRE(reward > 0.0, "MinerEnv: reward must be positive");
+  HECMINE_REQUIRE(fork_rate >= 0.0 && fork_rate < 1.0,
+                  "MinerEnv: fork_rate must be in [0, 1)");
+  HECMINE_REQUIRE(edge_success > 0.0 && edge_success <= 1.0,
+                  "MinerEnv: edge_success must be in (0, 1]");
+  HECMINE_REQUIRE(prices.edge > 0.0 && prices.cloud > 0.0,
+                  "MinerEnv: prices must be positive");
+  HECMINE_REQUIRE(edge_surcharge >= 0.0,
+                  "MinerEnv: edge_surcharge must be non-negative");
+  HECMINE_REQUIRE(budget >= 0.0, "MinerEnv: budget must be non-negative");
+  HECMINE_REQUIRE(others.edge >= 0.0 && others.cloud >= 0.0,
+                  "MinerEnv: opponent totals must be non-negative");
+}
+
+namespace {
+
+/// Expected winning probability of Eq. (9)/(23) with degenerate-pool guards.
+double win_probability(const MinerEnv& env, const MinerRequest& own) {
+  const double s = env.others.grand() + own.total();
+  if (s <= 0.0) return 0.0;
+  const double base = (1.0 - env.fork_rate) * own.total() / s;
+  if (own.edge <= 0.0) return base;
+  const double e_total = env.others.edge + own.edge;
+  return base + env.fork_rate * env.edge_success * own.edge / e_total;
+}
+
+}  // namespace
+
+double miner_utility(const MinerEnv& env, const MinerRequest& own) {
+  HECMINE_REQUIRE(own.edge >= 0.0 && own.cloud >= 0.0,
+                  "miner_utility: requests must be non-negative");
+  return env.reward * win_probability(env, own) -
+         request_cost(own, env.prices);
+}
+
+double miner_penalized_utility(const MinerEnv& env, const MinerRequest& own) {
+  return miner_utility(env, own) - env.edge_surcharge * own.edge;
+}
+
+std::pair<double, double> miner_utility_gradient(const MinerEnv& env,
+                                                 const MinerRequest& own) {
+  const double s = env.others.grand() + own.total();
+  HECMINE_REQUIRE(s > 0.0, "miner_utility_gradient: empty network");
+  const double s_others = env.others.grand();
+  const double share_term =
+      env.reward * (1.0 - env.fork_rate) * s_others / (s * s);
+  double edge_term = 0.0;
+  const double e_total = env.others.edge + own.edge;
+  if (e_total > 0.0) {
+    edge_term = env.reward * env.fork_rate * env.edge_success *
+                env.others.edge / (e_total * e_total);
+  }
+  const double du_de =
+      share_term + edge_term - env.prices.edge - env.edge_surcharge;
+  const double du_dc = share_term - env.prices.cloud;
+  return {du_de, du_dc};
+}
+
+MinerRequest miner_interior_point(const MinerEnv& env) {
+  env.validate();
+  const double effective_edge_price = env.prices.edge + env.edge_surcharge;
+  HECMINE_REQUIRE(effective_edge_price > env.prices.cloud,
+                  "miner_interior_point requires P_e + mu > P_c");
+  HECMINE_REQUIRE(env.others.edge > 0.0 && env.others.grand() > 0.0,
+                  "miner_interior_point requires active opponents");
+  // Paper Eq. (14) with lambda = 0:
+  //   E = sigma_1 sqrt(E_{-i}),  sigma_1^2 = h beta R / (P_e - P_c)
+  //   S = sigma_2 sqrt(S_{-i}),  sigma_2^2 = (1 - beta) R / P_c
+  const double sigma1_sq = env.edge_success * env.fork_rate * env.reward /
+                           (effective_edge_price - env.prices.cloud);
+  const double sigma2_sq =
+      (1.0 - env.fork_rate) * env.reward / env.prices.cloud;
+  const double e_total = std::sqrt(sigma1_sq * env.others.edge);
+  const double s_total = std::sqrt(sigma2_sq * env.others.grand());
+  MinerRequest interior;
+  interior.edge = e_total - env.others.edge;
+  interior.cloud = s_total - env.others.grand() - interior.edge;
+  return interior;
+}
+
+namespace {
+
+/// Maximizes the concave penalized utility along the parametrized segment
+/// request(t), t in [lo, hi].
+MinerRequest maximize_on_segment(
+    const MinerEnv& env, double lo, double hi,
+    const std::function<MinerRequest(double)>& request_at) {
+  if (hi <= lo) return request_at(lo);
+  num::Maximize1DOptions options;
+  options.tolerance = 1e-12 * (1.0 + hi - lo);
+  options.max_iterations = 400;
+  const auto objective = [&](double t) {
+    return miner_penalized_utility(env, request_at(t));
+  };
+  const auto best = num::golden_section_maximize(objective, lo, hi, options);
+  return request_at(best.argmax);
+}
+
+}  // namespace
+
+MinerRequest miner_best_response(const MinerEnv& env) {
+  env.validate();
+  if (env.budget <= 0.0) return {0.0, 0.0};
+  const double max_edge = env.budget / env.prices.edge;
+  const double max_cloud = env.budget / env.prices.cloud;
+
+  // Degenerate opponents: the supremum is approached as the request shrinks
+  // to zero, where the contest share jumps. Return a small probe so
+  // best-response dynamics can bootstrap a live market (epsilon-BR).
+  if (env.others.grand() <= 0.0) {
+    const double probe = std::min(1e-6, 0.5 * max_edge);
+    return {probe, 0.0};
+  }
+
+  std::vector<MinerRequest> candidates;
+
+  // 1. Interior stationary point (exact KKT with inactive constraints).
+  const double effective_edge_price = env.prices.edge + env.edge_surcharge;
+  if (effective_edge_price > env.prices.cloud && env.others.edge > 0.0) {
+    const MinerRequest interior = miner_interior_point(env);
+    if (interior.edge >= 0.0 && interior.cloud >= 0.0 &&
+        request_cost(interior, env.prices) <= env.budget) {
+      candidates.push_back(interior);
+    }
+  }
+
+  // 2. Budget line: P_e e + P_c c = B, e in [0, B/P_e].
+  candidates.push_back(maximize_on_segment(
+      env, 0.0, max_edge, [&](double e) -> MinerRequest {
+        const double c = (env.budget - env.prices.edge * e) / env.prices.cloud;
+        return {e, std::max(c, 0.0)};
+      }));
+
+  // 3. Edge axis: c = 0.
+  candidates.push_back(maximize_on_segment(
+      env, 0.0, max_edge, [&](double e) -> MinerRequest { return {e, 0.0}; }));
+
+  // 4. Cloud axis: e = 0.
+  candidates.push_back(maximize_on_segment(
+      env, 0.0, max_cloud,
+      [&](double c) -> MinerRequest { return {0.0, c}; }));
+
+  MinerRequest best{0.0, 0.0};
+  double best_value = miner_penalized_utility(env, best);
+  for (const auto& candidate : candidates) {
+    const double value = miner_penalized_utility(env, candidate);
+    if (value > best_value) {
+      best_value = value;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace hecmine::core

@@ -1,0 +1,66 @@
+// A single miner's decision problem (paper Problems 1/1a/1c).
+//
+// The miner maximizes  U_i = R W_i - (P_e e_i + P_c c_i)  over its budget
+// polytope { e, c >= 0 : P_e e + P_c c <= B }. In connected mode
+// W_i = (1-beta)(e_i+c_i)/S + beta h e_i/E (Eq. 9); standalone mode is the
+// same expression with h = 1 (Eq. 23) — its shared capacity constraint is
+// handled one level up by the GNEP solver through an *objective-only* edge
+// surcharge mu (the variational multiplier), which this module supports via
+// MinerEnv::edge_surcharge.
+//
+// The best response combines the exact interior KKT point (the paper's
+// Eq. 14) with one-dimensional concave searches along the boundary of the
+// budget polytope, and returns the utility-maximal candidate. This is exact
+// for interior optima and accurate to the line-search tolerance on the
+// boundary; tests cross-validate it against projected gradient ascent.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hecmine::core {
+
+/// Everything miner i sees when choosing its request.
+struct MinerEnv {
+  double reward = 100.0;       ///< R
+  double fork_rate = 0.2;      ///< beta in [0, 1)
+  double edge_success = 1.0;   ///< h in (0, 1]; 1 in standalone mode
+  Prices prices;               ///< P_e, P_c — the *paid* unit prices
+  double edge_surcharge = 0.0; ///< mu >= 0 — objective-only edge penalty
+  double budget = 0.0;         ///< B_i
+  Totals others;               ///< E_{-i}, C_{-i}
+
+  /// Throws PreconditionError unless all fields are in range.
+  void validate() const;
+};
+
+/// True expected utility U_i (no surcharge) of playing `own` against
+/// `env.others` — Eq. (10a) / (24a).
+[[nodiscard]] double miner_utility(const MinerEnv& env,
+                                   const MinerRequest& own);
+
+/// Objective maximized by the best response: miner_utility minus
+/// edge_surcharge * e (identical to miner_utility when the surcharge is 0).
+[[nodiscard]] double miner_penalized_utility(const MinerEnv& env,
+                                             const MinerRequest& own);
+
+/// Analytic gradient of miner_penalized_utility w.r.t. (e_i, c_i).
+/// Requires own.edge + env.others.edge > 0 when edge terms are active.
+[[nodiscard]] std::pair<double, double> miner_utility_gradient(
+    const MinerEnv& env, const MinerRequest& own);
+
+/// The miner's best response (argmax of miner_penalized_utility over the
+/// budget polytope). When opponents request nothing the supremum is not
+/// attained (standard Tullock degeneracy); a documented epsilon-probe is
+/// returned instead so best-response dynamics can leave the origin.
+[[nodiscard]] MinerRequest miner_best_response(const MinerEnv& env);
+
+/// The unconstrained interior KKT point of the paper's Eq. (14) with
+/// lambda = 0 (may be infeasible or have negative components; exposed for
+/// tests and the closed-form derivations). Requires env.others.edge > 0,
+/// env.others.grand() > 0 and an effective price gap
+/// (P_e + mu) > P_c.
+[[nodiscard]] MinerRequest miner_interior_point(const MinerEnv& env);
+
+}  // namespace hecmine::core

@@ -1,0 +1,43 @@
+#include "core/params.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+void NetworkParams::validate() const {
+  HECMINE_REQUIRE(reward > 0.0, "NetworkParams: reward must be positive");
+  HECMINE_REQUIRE(fork_rate >= 0.0 && fork_rate < 1.0,
+                  "NetworkParams: fork_rate must be in [0, 1)");
+  HECMINE_REQUIRE(edge_success > 0.0 && edge_success <= 1.0,
+                  "NetworkParams: edge_success must be in (0, 1]");
+  HECMINE_REQUIRE(edge_capacity > 0.0,
+                  "NetworkParams: edge_capacity must be positive");
+  HECMINE_REQUIRE(cost_edge >= 0.0,
+                  "NetworkParams: cost_edge must be non-negative");
+  HECMINE_REQUIRE(cost_cloud >= 0.0,
+                  "NetworkParams: cost_cloud must be non-negative");
+}
+
+ForkModel::ForkModel(double tau) : tau_(tau) {
+  HECMINE_REQUIRE(tau > 0.0, "ForkModel: tau must be positive");
+}
+
+double ForkModel::fork_rate(double delay) const {
+  HECMINE_REQUIRE(delay >= 0.0, "ForkModel: delay must be non-negative");
+  return 1.0 - std::exp(-delay / tau_);
+}
+
+double ForkModel::collision_pdf(double t) const {
+  HECMINE_REQUIRE(t >= 0.0, "ForkModel: t must be non-negative");
+  return std::exp(-t / tau_) / tau_;
+}
+
+double ForkModel::delay_for_rate(double rate) const {
+  HECMINE_REQUIRE(rate >= 0.0 && rate < 1.0,
+                  "ForkModel: rate must be in [0, 1)");
+  return -tau_ * std::log1p(-rate);
+}
+
+}  // namespace hecmine::core

@@ -1,0 +1,48 @@
+// Environment parameters of the mobile blockchain mining network
+// (paper Table I) and the fork-rate model of Section III-A.
+#pragma once
+
+namespace hecmine::core {
+
+/// Fixed environment of one mining network instance.
+///
+/// Defaults follow the simulation section's small network: 5 miners, a
+/// moderate fork rate and an edge success probability h = 0.9.
+struct NetworkParams {
+  double reward = 100.0;       ///< R — mining reward per block
+  double fork_rate = 0.2;      ///< beta in [0, 1) — fork rate from CSP delay
+  double edge_success = 0.9;   ///< h in (0, 1] — connected-mode service prob.
+  double edge_capacity = 30.0; ///< E_max — standalone-mode ESP units
+  double cost_edge = 1.0;      ///< C_e — ESP unit operating cost
+  double cost_cloud = 0.4;     ///< C_c — CSP unit operating cost
+
+  /// Throws PreconditionError unless every field is in its documented range.
+  void validate() const;
+};
+
+/// Fork-rate model substituting the paper's Bitcoin measurement (Fig 2).
+///
+/// Block collisions during a propagation window of length D arrive as a
+/// Poisson process with characteristic time tau, so
+///   collision PDF  f(t) = exp(-t / tau) / tau,
+///   fork rate      beta(D) = 1 - exp(-D / tau),
+/// which is monotone and approximately linear for D << tau — exactly the
+/// CDF shape the paper reads off Decker & Wattenhofer's Bitcoin data.
+class ForkModel {
+ public:
+  /// tau — mean collision inter-arrival time, in the same unit as delays.
+  explicit ForkModel(double tau);
+
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+  /// beta(D); requires delay >= 0.
+  [[nodiscard]] double fork_rate(double delay) const;
+  /// Collision PDF f(t); requires t >= 0.
+  [[nodiscard]] double collision_pdf(double t) const;
+  /// Inverse of fork_rate: the delay giving the requested rate in [0, 1).
+  [[nodiscard]] double delay_for_rate(double rate) const;
+
+ private:
+  double tau_;
+};
+
+}  // namespace hecmine::core

@@ -1,0 +1,123 @@
+#include "core/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+namespace {
+
+double normal_cdf(double x, double mean, double stddev) {
+  if (stddev == 0.0) return x >= mean ? 1.0 : 0.0;
+  return 0.5 * std::erfc(-(x - mean) / (stddev * std::sqrt(2.0)));
+}
+
+}  // namespace
+
+PopulationModel::PopulationModel(double mean, double stddev, int min_miners,
+                                 int max_miners)
+    : min_(min_miners),
+      max_(max_miners),
+      nominal_mean_(mean),
+      nominal_stddev_(stddev) {
+  HECMINE_REQUIRE(min_miners >= 1, "PopulationModel: min_miners >= 1");
+  HECMINE_REQUIRE(max_miners >= min_miners,
+                  "PopulationModel: max_miners >= min_miners");
+  HECMINE_REQUIRE(stddev >= 0.0, "PopulationModel: stddev >= 0");
+  pmf_.resize(static_cast<std::size_t>(max_ - min_ + 1));
+  double total = 0.0;
+  for (int k = min_; k <= max_; ++k) {
+    // Centered discretization: P(k) = Phi(k + 1/2) - Phi(k - 1/2). The
+    // paper prints Phi(k) - Phi(k-1), which shifts the discrete mean by
+    // half a miner and would bias its own fixed-N = mu comparison; the
+    // centered bins preserve the intended law (sigma -> 0 recovers N = mu).
+    const double mass =
+        normal_cdf(static_cast<double>(k) + 0.5, mean, stddev) -
+        normal_cdf(static_cast<double>(k) - 0.5, mean, stddev);
+    pmf_[static_cast<std::size_t>(k - min_)] = mass;
+    total += mass;
+  }
+  HECMINE_REQUIRE(total > 0.0,
+                  "PopulationModel: truncation removed all probability mass");
+  for (double& mass : pmf_) mass /= total;
+}
+
+PopulationModel::PopulationModel(int min_miners, int max_miners,
+                                 double nominal_mean, double nominal_stddev,
+                                 std::vector<double> pmf)
+    : min_(min_miners),
+      max_(max_miners),
+      nominal_mean_(nominal_mean),
+      nominal_stddev_(nominal_stddev),
+      pmf_(std::move(pmf)) {}
+
+PopulationModel PopulationModel::poisson(double mean, int min_miners,
+                                         int max_miners) {
+  HECMINE_REQUIRE(mean > 0.0, "PopulationModel::poisson: mean > 0");
+  HECMINE_REQUIRE(min_miners >= 1, "PopulationModel: min_miners >= 1");
+  HECMINE_REQUIRE(max_miners >= min_miners,
+                  "PopulationModel: max_miners >= min_miners");
+  std::vector<double> pmf(static_cast<std::size_t>(max_miners - min_miners + 1));
+  double total = 0.0;
+  for (int k = min_miners; k <= max_miners; ++k) {
+    // log-space evaluation avoids overflow for large means/counts.
+    const double log_mass = static_cast<double>(k) * std::log(mean) - mean -
+                            std::lgamma(static_cast<double>(k) + 1.0);
+    const double mass = std::exp(log_mass);
+    pmf[static_cast<std::size_t>(k - min_miners)] = mass;
+    total += mass;
+  }
+  HECMINE_REQUIRE(total > 0.0,
+                  "PopulationModel::poisson: truncation removed all mass");
+  for (double& mass : pmf) mass /= total;
+  return PopulationModel(min_miners, max_miners, mean, std::sqrt(mean),
+                         std::move(pmf));
+}
+
+PopulationModel PopulationModel::poisson_around(double mean) {
+  const double spread = 4.0 * std::sqrt(mean);
+  const int lo = std::max(1, static_cast<int>(std::floor(mean - spread)));
+  const int hi = std::max(lo, static_cast<int>(std::ceil(mean + spread)));
+  return poisson(mean, lo, hi);
+}
+
+PopulationModel PopulationModel::around(double mean, double stddev) {
+  const int lo = std::max(1, static_cast<int>(std::floor(mean - 4.0 * stddev)));
+  const int hi = std::max(
+      lo, static_cast<int>(std::ceil(mean + 4.0 * stddev)));
+  return PopulationModel(mean, stddev, lo, hi);
+}
+
+double PopulationModel::pmf(int k) const {
+  if (k < min_ || k > max_) return 0.0;
+  return pmf_[static_cast<std::size_t>(k - min_)];
+}
+
+double PopulationModel::mean() const noexcept {
+  double m = 0.0;
+  for (int k = min_; k <= max_; ++k) m += static_cast<double>(k) * pmf(k);
+  return m;
+}
+
+double PopulationModel::variance() const noexcept {
+  const double m = mean();
+  double v = 0.0;
+  for (int k = min_; k <= max_; ++k) {
+    const double d = static_cast<double>(k) - m;
+    v += d * d * pmf(k);
+  }
+  return v;
+}
+
+int PopulationModel::sample(support::Rng& rng) const {
+  double target = rng.uniform();
+  for (int k = min_; k <= max_; ++k) {
+    target -= pmf(k);
+    if (target < 0.0) return k;
+  }
+  return max_;
+}
+
+}  // namespace hecmine::core

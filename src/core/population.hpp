@@ -1,0 +1,57 @@
+// Population uncertainty (paper Section V).
+//
+// Permissionless chains let miners join and leave, so the miner count N is
+// a random variable; the paper takes N ~ Gaussian(mu, sigma^2) discretized
+// by P(N = k) = Phi(k) - Phi(k-1) (their Fig 3 toy uses mu = 10,
+// sigma^2 = 4). We truncate to a finite integer support and renormalize.
+#pragma once
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace hecmine::core {
+
+/// Discretized, truncated Gaussian distribution of the miner count.
+class PopulationModel {
+ public:
+  /// Truncates to [min_miners, max_miners] and renormalizes.
+  /// Requires 1 <= min_miners <= max_miners and stddev >= 0.
+  PopulationModel(double mean, double stddev, int min_miners, int max_miners);
+
+  /// Convenience: support spanning mean +/- 4 stddev clipped to >= 1.
+  static PopulationModel around(double mean, double stddev);
+
+  /// Extension beyond the paper: Poisson-distributed miner count (the
+  /// canonical population-uncertainty model of Myerson's Poisson games),
+  /// truncated to [min_miners, max_miners] and renormalized. Its variance
+  /// equals its mean, so it interpolates naturally into the Fig-9 variance
+  /// sweeps. Requires mean > 0.
+  static PopulationModel poisson(double mean, int min_miners, int max_miners);
+
+  /// Poisson with support mean +/- 4 sqrt(mean), clipped to >= 1.
+  static PopulationModel poisson_around(double mean);
+
+  [[nodiscard]] double pmf(int k) const;
+  [[nodiscard]] int min_miners() const noexcept { return min_; }
+  [[nodiscard]] int max_miners() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept;      ///< of the truncated law
+  [[nodiscard]] double variance() const noexcept;  ///< of the truncated law
+  [[nodiscard]] double nominal_mean() const noexcept { return nominal_mean_; }
+  [[nodiscard]] double nominal_stddev() const noexcept { return nominal_stddev_; }
+
+  /// Draws a miner count.
+  [[nodiscard]] int sample(support::Rng& rng) const;
+
+ private:
+  PopulationModel(int min_miners, int max_miners, double nominal_mean,
+                  double nominal_stddev, std::vector<double> pmf);
+
+  int min_;
+  int max_;
+  double nominal_mean_;
+  double nominal_stddev_;
+  std::vector<double> pmf_;  // pmf_[k - min_]
+};
+
+}  // namespace hecmine::core

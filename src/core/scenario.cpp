@@ -1,0 +1,83 @@
+#include "core/scenario.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+bool Scenario::homogeneous() const {
+  for (double budget : budgets) {
+    if (std::abs(budget - budgets.front()) > 1e-12) return false;
+  }
+  return !budgets.empty();
+}
+
+Scenario scenario_from_config(const support::Config& config) {
+  Scenario scenario;
+  scenario.params.reward = config.get("reward", 100.0);
+  if (config.has("beta")) {
+    scenario.params.fork_rate = config.get("beta", 0.2);
+  } else if (config.has("delay")) {
+    const ForkModel model(config.get("tau", 12.6));
+    scenario.params.fork_rate = model.fork_rate(config.get("delay", 2.0));
+  }
+  scenario.params.edge_success = config.get("h", 0.9);
+  scenario.params.edge_capacity = config.get("capacity", 30.0);
+  scenario.params.cost_edge = config.get("cost_edge", 1.0);
+  scenario.params.cost_cloud = config.get("cost_cloud", 0.4);
+  scenario.params.validate();
+
+  const std::string mode = config.get("mode", std::string("connected"));
+  if (mode == "connected") {
+    scenario.mode = EdgeMode::kConnected;
+  } else if (mode == "standalone") {
+    scenario.mode = EdgeMode::kStandalone;
+  } else {
+    throw support::PreconditionError(
+        "Scenario: mode must be 'connected' or 'standalone', got " + mode);
+  }
+
+  if (config.has("budgets")) {
+    scenario.budgets = config.get_list("budgets", {});
+  } else {
+    const int miners = config.get("miners", 5);
+    HECMINE_REQUIRE(miners >= 2, "Scenario: at least two miners");
+    scenario.budgets.assign(static_cast<std::size_t>(miners),
+                            config.get("budget", 40.0));
+  }
+  for (double budget : scenario.budgets)
+    HECMINE_REQUIRE(budget > 0.0, "Scenario: budgets must be positive");
+
+  if (config.has("price_edge") || config.has("price_cloud")) {
+    Prices prices;
+    prices.edge = config.get("price_edge", 2.0);
+    prices.cloud = config.get("price_cloud", 1.0);
+    HECMINE_REQUIRE(prices.edge > 0.0 && prices.cloud > 0.0,
+                    "Scenario: prices must be positive");
+    scenario.fixed_prices = prices;
+  }
+
+  if (config.has("population_mean")) {
+    const double mean = config.get("population_mean", 10.0);
+    const double stddev = config.get("population_stddev", 2.0);
+    const std::string law = config.get("population_law", std::string("gaussian"));
+    if (law == "gaussian") {
+      scenario.population = PopulationModel::around(mean, stddev);
+    } else if (law == "poisson") {
+      scenario.population = PopulationModel::poisson_around(mean);
+    } else {
+      throw support::PreconditionError(
+          "Scenario: population_law must be 'gaussian' or 'poisson', got " +
+          law);
+    }
+    scenario.edge_success_dynamic = config.get("h_dynamic", 0.5);
+  }
+  return scenario;
+}
+
+Scenario load_scenario(const std::string& path) {
+  return scenario_from_config(support::Config::load(path));
+}
+
+}  // namespace hecmine::core

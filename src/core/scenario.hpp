@@ -1,0 +1,59 @@
+// Binding between support::Config scenario files and the game objects.
+//
+// A scenario file fully describes one experiment:
+//
+//   # market
+//   reward = 100
+//   beta = 0.2            # or: delay = 2.5 with tau = 12.6
+//   h = 0.9
+//   capacity = 8
+//   cost_edge = 1.0
+//   cost_cloud = 0.4
+//   mode = connected      # or standalone
+//   # miners
+//   budgets = 20, 30, 40, 50, 60
+//   # optional: population uncertainty (Sec. V)
+//   population_mean = 10
+//   population_stddev = 2
+//   # optional fixed prices (otherwise the SP game is solved)
+//   price_edge = 2.0
+//   price_cloud = 1.0
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/population.hpp"
+#include "core/sp.hpp"
+#include "core/types.hpp"
+#include "support/config.hpp"
+
+namespace hecmine::core {
+
+/// A fully described experiment scenario.
+struct Scenario {
+  NetworkParams params;
+  EdgeMode mode = EdgeMode::kConnected;
+  std::vector<double> budgets;          ///< one per miner
+  std::optional<Prices> fixed_prices;   ///< set -> skip the SP stage
+  std::optional<PopulationModel> population;  ///< set -> Sec. V dynamics
+  double edge_success_dynamic = 0.5;    ///< h of the dynamic game
+
+  [[nodiscard]] int miners() const noexcept {
+    return static_cast<int>(budgets.size());
+  }
+  /// True when every budget is identical (enables the fast solvers).
+  [[nodiscard]] bool homogeneous() const;
+};
+
+/// Parses a scenario from a Config; unknown keys are ignored so files can
+/// carry extra annotations. `beta` wins over `delay`+`tau` when both are
+/// present. Throws PreconditionError on inconsistent values.
+[[nodiscard]] Scenario scenario_from_config(const support::Config& config);
+
+/// Convenience: load + parse a scenario file.
+[[nodiscard]] Scenario load_scenario(const std::string& path);
+
+}  // namespace hecmine::core

@@ -1,0 +1,108 @@
+#include "core/sensitivity.hpp"
+
+#include "core/closed_forms.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+RequestSensitivity binding_request_sensitivity(const NetworkParams& params,
+                                               const Prices& prices,
+                                               double budget, int n) {
+  // Validate through the closed form itself (same preconditions).
+  (void)homogeneous_binding_request(params, prices, budget, n);
+  const double beta = params.fork_rate;
+  const double h = params.edge_success;
+  const double d = 1.0 - beta + beta * h;
+  const double gap = prices.edge - prices.cloud;
+  const double pc = prices.cloud;
+
+  RequestSensitivity s;
+  // e* = B beta h / (d gap)
+  s.de_dprice_edge = -budget * beta * h / (d * gap * gap);
+  s.de_dprice_cloud = budget * beta * h / (d * gap * gap);
+  // d/dbeta of  B beta h / ((1-beta+beta h) gap):
+  //   = B h (1-beta+beta h) - B beta h (h-1)  over (d^2 gap)
+  s.de_dfork_rate = (budget * h * d - budget * beta * h * (h - 1.0)) /
+                    (d * d * gap);
+
+  // c* = B ((1-beta) gap - beta h pc) / (pc d gap). Factoring B/(pc d):
+  // c* = B/(pc d) * num/gap with num' wrt P_e = (1-beta), so
+  // dc/dP_e = B/(pc d) * ((1-beta) gap - num)/gap^2.
+  const double numerator = (1.0 - beta) * gap - beta * h * pc;
+  s.dc_dprice_edge =
+      budget / (pc * d) * ((1.0 - beta) * gap - numerator) / (gap * gap);
+  // dc/dP_c: num depends on pc (d(num)/dpc = -(1-beta) - beta h since
+  // gap = pe - pc), and the prefactor 1/(pc gap) depends on pc too.
+  {
+    // c* = B/d * num/(pc gap); quotient rule in pc (gap = pe - pc).
+    const double dnum_dpc = -(1.0 - beta) - beta * h;
+    const double df_dpc =
+        (dnum_dpc * pc * gap - numerator * (gap - pc)) / (pc * gap * pc * gap);
+    s.dc_dprice_cloud = budget / d * df_dpc;
+  }
+  // dc/dbeta: c* = B num / (pc d gap); d(num)/dbeta = -gap - h pc;
+  // d(d)/dbeta = h - 1.
+  {
+    const double dnum_dbeta = -gap - h * pc;
+    s.dc_dfork_rate = budget *
+                      (dnum_dbeta * d - numerator * (h - 1.0)) /
+                      (pc * d * d * gap);
+  }
+  return s;
+}
+
+RequestSensitivity sufficient_request_sensitivity(const NetworkParams& params,
+                                                  const Prices& prices,
+                                                  int n) {
+  (void)homogeneous_sufficient_request(params, prices, n);
+  const double beta = params.fork_rate;
+  const double h = params.edge_success;
+  const double gap = prices.edge - prices.cloud;
+  const double pc = prices.cloud;
+  const double dn = static_cast<double>(n);
+  const double scale = params.reward * (dn - 1.0) / (dn * dn);
+
+  RequestSensitivity s;
+  // e* = scale h beta / gap
+  s.de_dprice_edge = -scale * h * beta / (gap * gap);
+  s.de_dprice_cloud = scale * h * beta / (gap * gap);
+  s.de_dfork_rate = scale * h / gap;
+
+  // c* = scale ((1-beta) gap - h beta pc) / (pc gap)
+  const double numerator = (1.0 - beta) * gap - h * beta * pc;
+  // dc/dP_e = scale/(pc) * ((1-beta) gap - num)/gap^2
+  s.dc_dprice_edge =
+      scale / pc * ((1.0 - beta) * gap - numerator) / (gap * gap);
+  {
+    const double dnum_dpc = -(1.0 - beta) - h * beta;
+    const double df_dpc =
+        (dnum_dpc * pc * gap - numerator * (gap - pc)) / (pc * gap * pc * gap);
+    s.dc_dprice_cloud = scale * df_dpc;
+  }
+  s.dc_dfork_rate = scale * (-gap - h * pc) / (pc * gap);
+  return s;
+}
+
+PriceSensitivity sp_price_sensitivity(const NetworkParams& params,
+                                      double budget, int n, EdgeMode mode,
+                                      double step,
+                                      const SpSolveOptions& options) {
+  params.validate();
+  HECMINE_REQUIRE(step > 0.0, "sp_price_sensitivity: step must be positive");
+  NetworkParams lo = params;
+  lo.cost_edge = params.cost_edge - step;
+  HECMINE_REQUIRE(lo.cost_edge >= 0.0,
+                  "sp_price_sensitivity: step larger than the cost");
+  NetworkParams hi = params;
+  hi.cost_edge = params.cost_edge + step;
+  const auto eq_lo =
+      solve_sp_equilibrium_homogeneous(lo, budget, n, mode, options);
+  const auto eq_hi =
+      solve_sp_equilibrium_homogeneous(hi, budget, n, mode, options);
+  PriceSensitivity s;
+  s.dpe_dcost_edge = (eq_hi.prices.edge - eq_lo.prices.edge) / (2.0 * step);
+  s.dpc_dcost_edge = (eq_hi.prices.cloud - eq_lo.prices.cloud) / (2.0 * step);
+  return s;
+}
+
+}  // namespace hecmine::core

@@ -1,0 +1,56 @@
+// Comparative statics of the homogeneous equilibria (Sec. IV-B).
+//
+// The closed forms of Theorem 3 / Corollary 1 differentiate cleanly, so
+// the qualitative claims the paper reads off its figures become signed,
+// quantitative statements:
+//
+//   binding budget (Thm 3):   e* = B beta h / (D (P_e - P_c)),
+//                             c* = B ((1-beta)(P_e-P_c) - beta h P_c)
+//                                  / (P_c D (P_e - P_c)),
+//                             D = 1 - beta + beta h;
+//   sufficient budget (Cor 1): e* = h beta R (n-1) / (n^2 (P_e - P_c)), ...
+//
+// All expressions here are verified against central finite differences in
+// the tests; the SP-stage sensitivities (equilibrium price vs. operating
+// cost — Fig. 8's "linear" claim) are numerical by nature and exposed as a
+// finite-difference helper over the solver.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/sp.hpp"
+#include "core/types.hpp"
+
+namespace hecmine::core {
+
+/// Partial derivatives of a per-miner equilibrium request (e*, c*).
+struct RequestSensitivity {
+  double de_dprice_edge = 0.0;
+  double de_dprice_cloud = 0.0;
+  double de_dfork_rate = 0.0;
+  double dc_dprice_edge = 0.0;
+  double dc_dprice_cloud = 0.0;
+  double dc_dfork_rate = 0.0;
+};
+
+/// Analytic derivatives of the Theorem-3 (binding-budget) equilibrium.
+/// Requires the Theorem-3 validity conditions (see closed_forms.hpp).
+[[nodiscard]] RequestSensitivity binding_request_sensitivity(
+    const NetworkParams& params, const Prices& prices, double budget, int n);
+
+/// Analytic derivatives of the Corollary-1 (sufficient-budget) equilibrium.
+[[nodiscard]] RequestSensitivity sufficient_request_sensitivity(
+    const NetworkParams& params, const Prices& prices, int n);
+
+/// Numerical sensitivity of the SP-stage equilibrium prices to the ESP's
+/// unit cost (central difference over the full Stackelberg solve):
+/// d(P_e*, P_c*)/d C_e. Fig. 8's claim is dPe_dcost > 0.
+struct PriceSensitivity {
+  double dpe_dcost_edge = 0.0;
+  double dpc_dcost_edge = 0.0;
+};
+
+[[nodiscard]] PriceSensitivity sp_price_sensitivity(
+    const NetworkParams& params, double budget, int n, EdgeMode mode,
+    double step = 0.05, const SpSolveOptions& options = {});
+
+}  // namespace hecmine::core

@@ -1,0 +1,297 @@
+#include "core/sp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "game/stackelberg.hpp"
+#include "numerics/optimize.hpp"
+#include "numerics/roots.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+SpProfits sp_profits(const NetworkParams& params, const Prices& prices,
+                     const Totals& totals) {
+  params.validate();
+  SpProfits profits;
+  profits.edge = (prices.edge - params.cost_edge) * totals.edge;
+  profits.cloud = (prices.cloud - params.cost_cloud) * totals.cloud;
+  return profits;
+}
+
+namespace {
+
+struct PriceBox {
+  game::ActionBounds edge;
+  game::ActionBounds cloud;
+};
+
+PriceBox price_box(const NetworkParams& params, const SpSolveOptions& options) {
+  // Default ceiling: demand is ~R/n-scale per unit price gap, so prices
+  // beyond a few times the cost plus a reward fraction sell nothing;
+  // keeping the box tight keeps the scan resolution useful.
+  const double ceiling =
+      options.price_ceiling > 0.0
+          ? options.price_ceiling
+          : 2.0 * std::max(params.cost_edge, params.cost_cloud) +
+                0.5 * params.reward;
+  PriceBox box;
+  box.edge = {params.cost_edge * (1.0 + options.price_margin) + 1e-9, ceiling};
+  box.cloud = {params.cost_cloud * (1.0 + options.price_margin) + 1e-9,
+               ceiling};
+  HECMINE_REQUIRE(box.edge.lo < box.edge.hi && box.cloud.lo < box.cloud.hi,
+                  "SP solve: price ceiling below the cost floor");
+  return box;
+}
+
+/// Follower totals under homogeneous miners at the given prices. Scan
+/// probes cap the inner iteration budget: closed forms handle the common
+/// regions instantly, and an approximate demand in an exotic price corner
+/// is fine for locating the leader optimum.
+Totals homogeneous_totals(const NetworkParams& params, const Prices& prices,
+                          double budget, int n, EdgeMode mode,
+                          const MinerSolveOptions& follower) {
+  MinerSolveOptions scan_options = follower;
+  scan_options.max_iterations = std::min(scan_options.max_iterations, 600);
+  const SymmetricEquilibrium eq =
+      mode == EdgeMode::kConnected
+          ? solve_symmetric_connected(params, prices, budget, n, scan_options)
+          : solve_symmetric_standalone(params, prices, budget, n, scan_options);
+  Totals totals;
+  totals.edge = static_cast<double>(n) * eq.request.edge;
+  totals.cloud = static_cast<double>(n) * eq.request.cloud;
+  return totals;
+}
+
+}  // namespace
+
+namespace {
+
+/// Finishes a homogeneous result from final prices.
+HomogeneousStackelbergResult finish_homogeneous(
+    const NetworkParams& params, double budget, int n, EdgeMode mode,
+    const SpSolveOptions& options, const Prices& prices) {
+  HomogeneousStackelbergResult result;
+  result.prices = prices;
+  result.follower =
+      mode == EdgeMode::kConnected
+          ? solve_symmetric_connected(params, prices, budget, n,
+                                      options.follower)
+          : solve_symmetric_standalone(params, prices, budget, n,
+                                       options.follower);
+  Totals totals;
+  totals.edge = static_cast<double>(n) * result.follower.request.edge;
+  totals.cloud = static_cast<double>(n) * result.follower.request.cloud;
+  result.profits = sp_profits(params, prices, totals);
+  return result;
+}
+
+}  // namespace
+
+HomogeneousStackelbergResult solve_sp_equilibrium_homogeneous(
+    const NetworkParams& params, double budget, int n, EdgeMode mode,
+    const SpSolveOptions& options) {
+  params.validate();
+  HECMINE_REQUIRE(budget > 0.0, "SP solve: budget must be positive");
+  HECMINE_REQUIRE(n >= 2, "SP solve: n >= 2 required");
+  const PriceBox box = price_box(params, options);
+
+  const game::LeaderPayoffFn payoff = [&](const std::vector<double>& actions,
+                                          std::size_t leader) {
+    const Prices prices{actions[0], actions[1]};
+    const Totals totals =
+        homogeneous_totals(params, prices, budget, n, mode, options.follower);
+    const SpProfits profits = sp_profits(params, prices, totals);
+    return leader == 0 ? profits.edge : profits.cloud;
+  };
+
+  game::StackelbergOptions driver;
+  driver.tolerance = options.tolerance;
+  driver.max_rounds = options.max_rounds;
+  driver.grid_points = options.grid_points;
+  const std::vector<double> start{
+      std::min(box.edge.hi, 2.0 * params.cost_edge + 1.0),
+      std::min(box.cloud.hi, 2.0 * params.cost_cloud + 0.5)};
+  const auto leader =
+      game::solve_stackelberg(payoff, start, {box.edge, box.cloud}, driver);
+
+  if (leader.converged) {
+    auto result = finish_homogeneous(params, budget, n, mode, options,
+                                     {leader.actions[0], leader.actions[1]});
+    result.method = SpSolveMethod::kBestResponse;
+    result.converged = true;
+    result.rounds = leader.rounds;
+    return result;
+  }
+  // The simultaneous price game cycles (no pure NE): fall back to the
+  // sequential construction that Theorem 4 analyzes.
+  auto result = solve_sp_sequential_homogeneous(params, budget, n, mode, options);
+  result.rounds += leader.rounds;
+  return result;
+}
+
+double csp_reaction_homogeneous(const NetworkParams& params, double budget,
+                                int n, EdgeMode mode, double price_edge,
+                                const SpSolveOptions& options) {
+  params.validate();
+  HECMINE_REQUIRE(price_edge > 0.0, "csp_reaction: price_edge must be > 0");
+  const PriceBox box = price_box(params, options);
+  num::Maximize1DOptions scan;
+  scan.grid_points = options.grid_points;
+  scan.tolerance = 1e-8;
+  const auto objective = [&](double price_cloud) {
+    const Prices prices{price_edge, price_cloud};
+    const Totals totals =
+        homogeneous_totals(params, prices, budget, n, mode, options.follower);
+    return sp_profits(params, prices, totals).cloud;
+  };
+  return num::maximize_scan(objective, box.cloud.lo, box.cloud.hi, scan).argmax;
+}
+
+HomogeneousStackelbergResult solve_sp_sequential_homogeneous(
+    const NetworkParams& params, double budget, int n, EdgeMode mode,
+    const SpSolveOptions& options) {
+  params.validate();
+  const PriceBox box = price_box(params, options);
+  num::Maximize1DOptions scan;
+  // The composite objective can carry a narrow spike at the capacity
+  // sell-out price (the ESP's optimum sits just below the point where the
+  // CSP would rather undercut), so the outer scan is run much finer than
+  // the inner reaction scans.
+  scan.grid_points = std::max(4 * options.grid_points, 160);
+  scan.tolerance = 1e-7;
+  // V_e with the CSP reaction substituted (Theorem 4's re-written Eq. 22).
+  const auto composite = [&](double price_edge) {
+    const double price_cloud =
+        csp_reaction_homogeneous(params, budget, n, mode, price_edge, options);
+    const Prices prices{price_edge, price_cloud};
+    const Totals totals =
+        homogeneous_totals(params, prices, budget, n, mode, options.follower);
+    return sp_profits(params, prices, totals).edge;
+  };
+  const auto best = num::maximize_scan(composite, box.edge.lo, box.edge.hi, scan);
+
+  Prices prices;
+  prices.edge = best.argmax;
+  prices.cloud =
+      csp_reaction_homogeneous(params, budget, n, mode, prices.edge, options);
+  auto result = finish_homogeneous(params, budget, n, mode, options, prices);
+  result.method = SpSolveMethod::kSequential;
+  result.converged = true;
+  result.rounds = 1;
+  return result;
+}
+
+HomogeneousStackelbergResult solve_sp_standalone_sellout(
+    const NetworkParams& params, double budget, int n,
+    const SpSolveOptions& options) {
+  params.validate();
+  HECMINE_REQUIRE(budget > 0.0, "SP solve: budget must be positive");
+  HECMINE_REQUIRE(n >= 2, "SP solve: n >= 2 required");
+  const PriceBox box = price_box(params, options);
+
+  // Unconstrained (cap-free) standalone edge demand at the given prices:
+  // the h = 1 connected game.
+  NetworkParams uncapped = params;
+  uncapped.edge_success = 1.0;
+  const auto edge_demand = [&](const Prices& prices) {
+    MinerSolveOptions fast = options.follower;
+    fast.max_iterations = std::min(fast.max_iterations, 600);
+    const auto eq =
+        solve_symmetric_connected(uncapped, prices, budget, n, fast);
+    return static_cast<double>(n) * eq.request.edge;
+  };
+
+  // Sell-out price: demand is decreasing in P_e; find the crossing with
+  // E_max (exists whenever capacity is scarce near the CSP price).
+  const auto sellout_price = [&](double price_cloud) {
+    const double lo = std::max(box.edge.lo, price_cloud * (1.0 + 1e-6));
+    const auto excess = [&](double pe) {
+      return edge_demand({pe, price_cloud}) - params.edge_capacity;
+    };
+    if (excess(lo) <= 0.0) return lo;  // capacity slack even at the floor
+    num::RootOptions root;
+    root.tolerance = 1e-9;
+    return num::decreasing_root_unbounded(excess, lo, lo + 1.0, root);
+  };
+
+  // CSP profit under the sell-out constraint.
+  num::Maximize1DOptions scan;
+  scan.grid_points = options.grid_points;
+  scan.tolerance = 1e-7;
+  const auto csp_profit = [&](double price_cloud) {
+    const Prices prices{sellout_price(price_cloud), price_cloud};
+    MinerSolveOptions fast = options.follower;
+    fast.max_iterations = std::min(fast.max_iterations, 600);
+    const auto eq = solve_symmetric_standalone(params, prices, budget, n, fast);
+    return (price_cloud - params.cost_cloud) * static_cast<double>(n) *
+           eq.request.cloud;
+  };
+  const auto best_cloud =
+      num::maximize_scan(csp_profit, box.cloud.lo, box.cloud.hi, scan);
+
+  Prices prices;
+  prices.cloud = best_cloud.argmax;
+  prices.edge = sellout_price(prices.cloud);
+  auto result = finish_homogeneous(params, budget, n, EdgeMode::kStandalone,
+                                   options, prices);
+  result.method = SpSolveMethod::kSequential;
+  result.converged = true;
+  result.rounds = 1;
+  if (static_cast<double>(n) * result.follower.request.edge <
+      params.edge_capacity * (1.0 - 0.05)) {
+    throw support::ConvergenceError(
+        "solve_sp_standalone_sellout: capacity is not scarce at the "
+        "computed prices; the sell-out equilibrium of Problem 2c does not "
+        "apply");
+  }
+  return result;
+}
+
+StackelbergEquilibriumResult solve_sp_equilibrium(
+    const NetworkParams& params, const std::vector<double>& budgets,
+    EdgeMode mode, const SpSolveOptions& options) {
+  params.validate();
+  HECMINE_REQUIRE(!budgets.empty(), "SP solve: no miners");
+  const PriceBox box = price_box(params, options);
+
+  const auto follower_totals = [&](const Prices& prices) {
+    const MinerEquilibrium eq =
+        mode == EdgeMode::kConnected
+            ? solve_connected_nep(params, prices, budgets, options.follower)
+            : solve_standalone_gnep(params, prices, budgets, options.follower);
+    return eq.totals;
+  };
+  const game::LeaderPayoffFn payoff = [&](const std::vector<double>& actions,
+                                          std::size_t leader) {
+    const Prices prices{actions[0], actions[1]};
+    const SpProfits profits =
+        sp_profits(params, prices, follower_totals(prices));
+    return leader == 0 ? profits.edge : profits.cloud;
+  };
+
+  game::StackelbergOptions driver;
+  driver.tolerance = options.tolerance;
+  driver.max_rounds = options.max_rounds;
+  driver.grid_points = options.grid_points;
+  const std::vector<double> start{
+      std::min(box.edge.hi, 2.0 * params.cost_edge + 1.0),
+      std::min(box.cloud.hi, 2.0 * params.cost_cloud + 0.5)};
+  const auto leader =
+      game::solve_stackelberg(payoff, start, {box.edge, box.cloud}, driver);
+
+  StackelbergEquilibriumResult result;
+  result.prices = {leader.actions[0], leader.actions[1]};
+  result.followers =
+      mode == EdgeMode::kConnected
+          ? solve_connected_nep(params, result.prices, budgets,
+                                options.follower)
+          : solve_standalone_gnep(params, result.prices, budgets,
+                                  options.follower);
+  result.profits = sp_profits(params, result.prices, result.followers.totals);
+  result.converged = leader.converged;
+  result.rounds = leader.rounds;
+  return result;
+}
+
+}  // namespace hecmine::core

@@ -1,0 +1,108 @@
+// The service-provider (leader) subgame and the full Stackelberg game
+// (paper Problems 2/2a/2b/2c, Algorithms 1 and 2, Theorem 4).
+//
+// Each SP picks its unit price anticipating the follower-stage equilibrium;
+// we embed the miner solvers of core/equilibrium.hpp in the leader payoff
+// and run asynchronous best-response over prices (Algorithm 1; with the
+// standalone follower oracle this is exactly Algorithm 2's price
+// bargaining). A sequential variant reproduces the structure of Theorem 4:
+// the CSP's reaction curve P_c*(P_e) is computed first and the ESP
+// maximizes over it.
+#pragma once
+
+#include <vector>
+
+#include "core/equilibrium.hpp"
+#include "core/params.hpp"
+#include "core/types.hpp"
+
+namespace hecmine::core {
+
+/// Edge operation mode (Sec. II-A).
+enum class EdgeMode { kConnected, kStandalone };
+
+/// SP profits V_e = (P_e - C_e) E and V_c = (P_c - C_c) C (Eq. 2).
+struct SpProfits {
+  double edge = 0.0;
+  double cloud = 0.0;
+};
+
+[[nodiscard]] SpProfits sp_profits(const NetworkParams& params,
+                                   const Prices& prices, const Totals& totals);
+
+/// Options for the leader-stage solvers.
+struct SpSolveOptions {
+  double price_margin = 1e-4;  ///< price lower bounds: cost * (1 + margin)
+  double price_ceiling = 0.0;  ///< upper bound; 0 = cost + reward (heuristic)
+  int grid_points = 40;        ///< 1-D scan resolution per price update
+  double tolerance = 1e-5;     ///< max price change per round at convergence
+  int max_rounds = 60;
+  MinerSolveOptions follower;  ///< options for the embedded miner solves
+};
+
+/// How the leader-stage solution was obtained.
+enum class SpSolveMethod {
+  kBestResponse,  ///< asynchronous best response converged (Algorithm 1/2)
+  kSequential,    ///< Theorem 4's leader-anticipates-reaction construction
+};
+
+/// Stackelberg equilibrium of the homogeneous-miner game.
+struct HomogeneousStackelbergResult {
+  Prices prices;                 ///< leader prices (P_e*, P_c*)
+  SpProfits profits;             ///< V_e*, V_c*
+  SymmetricEquilibrium follower; ///< per-miner NE request at those prices
+  SpSolveMethod method = SpSolveMethod::kBestResponse;
+  bool converged = false;
+  int rounds = 0;
+};
+
+/// Leader-stage solve with n identical miners of budget B. Runs Algorithm 1
+/// (connected) / Algorithm 2 (standalone) asynchronous price best response
+/// first; when that cycles — the simultaneous-move leader game can lack a
+/// pure NE exactly as Theorem 4 anticipates — it falls back to the
+/// sequential construction of solve_sp_sequential_homogeneous and reports
+/// method = kSequential. The follower stage is solved by the symmetric
+/// fixed point, making price sweeps cheap.
+[[nodiscard]] HomogeneousStackelbergResult solve_sp_equilibrium_homogeneous(
+    const NetworkParams& params, double budget, int n, EdgeMode mode,
+    const SpSolveOptions& options = {});
+
+/// Theorem 4 structure: the CSP's best response P_c*(P_e) for fixed P_e.
+[[nodiscard]] double csp_reaction_homogeneous(const NetworkParams& params,
+                                              double budget, int n,
+                                              EdgeMode mode, double price_edge,
+                                              const SpSolveOptions& options = {});
+
+/// Sequential solve reproducing Theorem 4: substitute the CSP reaction
+/// curve into V_e and maximize the one-dimensional composite over P_e.
+[[nodiscard]] HomogeneousStackelbergResult solve_sp_sequential_homogeneous(
+    const NetworkParams& params, double budget, int n, EdgeMode mode,
+    const SpSolveOptions& options = {});
+
+/// The paper's standalone SP equilibrium concept (Problem 2c): the leader
+/// stage is solved *subject to the sell-out constraint E = E_max* — the ESP
+/// prices exactly at the level where unconstrained edge demand meets its
+/// capacity, and the CSP best-responds given that the ESP sells out
+/// (Table II). Requires the capacity to be scarce (unconstrained demand
+/// must exceed E_max somewhere above the CSP price); throws
+/// ConvergenceError otherwise. Compare with solve_sp_equilibrium_homogeneous,
+/// which lets the CSP undercut the sell-out point — see EXPERIMENTS.md.
+[[nodiscard]] HomogeneousStackelbergResult solve_sp_standalone_sellout(
+    const NetworkParams& params, double budget, int n,
+    const SpSolveOptions& options = {});
+
+/// Stackelberg equilibrium with heterogeneous budgets; the follower stage
+/// is the full profile NEP/GNEP. Slower — intended for small n.
+struct StackelbergEquilibriumResult {
+  Prices prices;
+  SpProfits profits;
+  MinerEquilibrium followers;
+  bool converged = false;
+  int rounds = 0;
+};
+
+[[nodiscard]] StackelbergEquilibriumResult solve_sp_equilibrium(
+    const NetworkParams& params, const std::vector<double>& budgets,
+    EdgeMode mode, const SpSolveOptions& options = {});
+
+}  // namespace hecmine::core

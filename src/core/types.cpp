@@ -1,0 +1,30 @@
+#include "core/types.hpp"
+
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+Totals aggregate(const std::vector<MinerRequest>& requests) {
+  Totals totals;
+  for (const auto& request : requests) {
+    totals.edge += request.edge;
+    totals.cloud += request.cloud;
+  }
+  return totals;
+}
+
+Totals aggregate_excluding(const std::vector<MinerRequest>& requests,
+                           std::size_t excluded) {
+  HECMINE_REQUIRE(excluded < requests.size(),
+                  "aggregate_excluding: miner index out of range");
+  Totals totals = aggregate(requests);
+  totals.edge -= requests[excluded].edge;
+  totals.cloud -= requests[excluded].cloud;
+  return totals;
+}
+
+double request_cost(const MinerRequest& request, const Prices& prices) noexcept {
+  return prices.edge * request.edge + prices.cloud * request.cloud;
+}
+
+}  // namespace hecmine::core

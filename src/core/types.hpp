@@ -1,0 +1,41 @@
+// Basic value types of the mining game.
+#pragma once
+
+#include <vector>
+
+namespace hecmine::core {
+
+/// A miner's computing-unit request r_i = [e_i, c_i]^T (paper Table I).
+struct MinerRequest {
+  double edge = 0.0;   ///< e_i — units requested from the ESP
+  double cloud = 0.0;  ///< c_i — units requested from the CSP
+
+  [[nodiscard]] double total() const noexcept { return edge + cloud; }
+};
+
+/// Aggregate demand across all miners.
+struct Totals {
+  double edge = 0.0;   ///< E = sum_i e_i
+  double cloud = 0.0;  ///< C = sum_i c_i
+
+  [[nodiscard]] double grand() const noexcept { return edge + cloud; }  ///< S
+};
+
+/// Sums a request profile into aggregate demand.
+[[nodiscard]] Totals aggregate(const std::vector<MinerRequest>& requests);
+
+/// Aggregates excluding miner `i` (E_{-i}, S_{-i} in the derivations).
+[[nodiscard]] Totals aggregate_excluding(
+    const std::vector<MinerRequest>& requests, std::size_t excluded);
+
+/// Unit prices announced by the service providers.
+struct Prices {
+  double edge = 0.0;   ///< P_e
+  double cloud = 0.0;  ///< P_c
+};
+
+/// Cost of a request at the given prices.
+[[nodiscard]] double request_cost(const MinerRequest& request,
+                                  const Prices& prices) noexcept;
+
+}  // namespace hecmine::core

@@ -1,0 +1,39 @@
+#include "core/welfare.hpp"
+
+#include "core/winning.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+WelfareReport welfare_report(const NetworkParams& params, const Prices& prices,
+                             const Totals& totals) {
+  params.validate();
+  HECMINE_REQUIRE(prices.edge > 0.0 && prices.cloud > 0.0,
+                  "welfare_report: prices must be positive");
+  HECMINE_REQUIRE(totals.edge >= 0.0 && totals.cloud >= 0.0,
+                  "welfare_report: totals must be non-negative");
+  WelfareReport report;
+  report.miner_spend = prices.edge * totals.edge + prices.cloud * totals.cloud;
+  report.miner_surplus = params.reward - report.miner_spend;
+  report.sp_profit_edge = (prices.edge - params.cost_edge) * totals.edge;
+  report.sp_profit_cloud = (prices.cloud - params.cost_cloud) * totals.cloud;
+  report.resource_cost =
+      params.cost_edge * totals.edge + params.cost_cloud * totals.cloud;
+  report.social_welfare = params.reward - report.resource_cost;
+  report.dissipation = report.miner_spend / params.reward;
+  return report;
+}
+
+double aggregate_utility(const NetworkParams& params, const Prices& prices,
+                         const std::vector<MinerRequest>& requests) {
+  params.validate();
+  const Totals totals = aggregate(requests);
+  double sum = 0.0;
+  for (const auto& request : requests) {
+    sum += params.reward * win_prob_full(request, totals, params.fork_rate) -
+           request_cost(request, prices);
+  }
+  return sum;
+}
+
+}  // namespace hecmine::core

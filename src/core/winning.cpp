@@ -1,0 +1,95 @@
+#include "core/winning.hpp"
+
+#include "support/error.hpp"
+
+namespace hecmine::core {
+
+namespace {
+
+void check_inputs(const MinerRequest& own, const Totals& totals,
+                  double fork_rate) {
+  HECMINE_REQUIRE(own.edge >= 0.0 && own.cloud >= 0.0,
+                  "winning probability: requests must be non-negative");
+  HECMINE_REQUIRE(fork_rate >= 0.0 && fork_rate < 1.0,
+                  "winning probability: fork_rate must be in [0, 1)");
+  HECMINE_REQUIRE(totals.edge >= own.edge - 1e-12 &&
+                      totals.cloud >= own.cloud - 1e-12,
+                  "winning probability: totals must include the own request");
+}
+
+}  // namespace
+
+double win_prob_edge_part(const MinerRequest& own, const Totals& totals,
+                          double fork_rate) {
+  check_inputs(own, totals, fork_rate);
+  const double s = totals.grand();
+  if (s <= 0.0 || own.edge <= 0.0) return 0.0;
+  // E > 0 is implied by own.edge > 0.
+  const double others_cloud = totals.cloud - own.cloud;
+  return own.edge / s +
+         fork_rate * own.edge * others_cloud / (totals.edge * s);
+}
+
+double win_prob_cloud_part(const MinerRequest& own, const Totals& totals,
+                           double fork_rate) {
+  check_inputs(own, totals, fork_rate);
+  const double s = totals.grand();
+  if (s <= 0.0 || own.cloud <= 0.0) return 0.0;
+  if (totals.edge <= 0.0) return own.cloud / s;  // all-cloud network
+  const double others_edge = totals.edge - own.edge;
+  return own.cloud / s -
+         fork_rate * own.cloud * others_edge / (totals.edge * s);
+}
+
+double win_prob_full(const MinerRequest& own, const Totals& totals,
+                     double fork_rate) {
+  return win_prob_edge_part(own, totals, fork_rate) +
+         win_prob_cloud_part(own, totals, fork_rate);
+}
+
+double win_prob_connected_failure(const MinerRequest& own,
+                                  const Totals& totals, double fork_rate) {
+  check_inputs(own, totals, fork_rate);
+  const double s = totals.grand();
+  if (s <= 0.0) return 0.0;
+  return (1.0 - fork_rate) * own.total() / s;
+}
+
+double win_prob_standalone_rejection(const MinerRequest& own,
+                                     const Totals& totals, double fork_rate) {
+  check_inputs(own, totals, fork_rate);
+  const double pool = totals.grand() - own.edge;
+  if (pool <= 0.0 || own.cloud <= 0.0) return 0.0;
+  return (1.0 - fork_rate) * own.cloud / pool;
+}
+
+double win_prob_connected(const MinerRequest& own, const Totals& totals,
+                          double fork_rate, double edge_success) {
+  HECMINE_REQUIRE(edge_success > 0.0 && edge_success <= 1.0,
+                  "winning probability: edge_success must be in (0, 1]");
+  return edge_success * win_prob_full(own, totals, fork_rate) +
+         (1.0 - edge_success) *
+             win_prob_connected_failure(own, totals, fork_rate);
+}
+
+double win_prob_connected(const std::vector<MinerRequest>& all, std::size_t i,
+                          double fork_rate, double edge_success) {
+  HECMINE_REQUIRE(i < all.size(), "winning probability: index out of range");
+  return win_prob_connected(all[i], aggregate(all), fork_rate, edge_success);
+}
+
+double win_prob_standalone(const MinerRequest& own, const Totals& totals,
+                           double fork_rate) {
+  return win_prob_full(own, totals, fork_rate);
+}
+
+double total_win_probability(const std::vector<MinerRequest>& all,
+                             double fork_rate) {
+  const Totals totals = aggregate(all);
+  double sum = 0.0;
+  for (const auto& request : all)
+    sum += win_prob_full(request, totals, fork_rate);
+  return sum;
+}
+
+}  // namespace hecmine::core

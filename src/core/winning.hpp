@@ -1,0 +1,73 @@
+// Individual winning probabilities (paper Section III).
+//
+// All formulas are written against aggregate demand E, C, S = E + C and a
+// miner's own request [e_i, c_i]. Degenerate aggregates are defined by the
+// natural limits: with S = 0 nobody can win (probability 0); with E = 0 the
+// edge-advantage terms vanish (an all-cloud network has symmetric delays, so
+// no block beats another).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hecmine::core {
+
+/// W_i^e (Eq. 4): probability the reward comes through i's *edge* units —
+/// i's edge block is first, plus i's edge block overtaking another miner's
+/// cloud-solved block during propagation.
+[[nodiscard]] double win_prob_edge_part(const MinerRequest& own,
+                                        const Totals& totals,
+                                        double fork_rate);
+
+/// W_i^c (Eq. 5): probability the reward comes through i's *cloud* units,
+/// discounted by the chance a conflicting edge-solved block (of another
+/// miner) reaches consensus first.
+[[nodiscard]] double win_prob_cloud_part(const MinerRequest& own,
+                                         const Totals& totals,
+                                         double fork_rate);
+
+/// W_i^h (Eq. 6): winning probability when [e_i, c_i] is fully satisfied.
+/// Equals win_prob_edge_part + win_prob_cloud_part; algebraically
+/// (1-beta)(e_i+c_i)/S + beta e_i / E.
+[[nodiscard]] double win_prob_full(const MinerRequest& own,
+                                   const Totals& totals, double fork_rate);
+
+/// W_i^{1-h} (Eq. 7): connected-mode failure — the edge request was
+/// auto-transferred to the cloud, so the whole request mines with cloud
+/// delay: (1-beta)(e_i+c_i)/S.
+[[nodiscard]] double win_prob_connected_failure(const MinerRequest& own,
+                                                const Totals& totals,
+                                                double fork_rate);
+
+/// Standalone-mode rejection (Eq. 8): the edge request was rejected, so only
+/// c_i mines and the pool shrinks to S - e_i: (1-beta) c_i / (S - e_i).
+[[nodiscard]] double win_prob_standalone_rejection(const MinerRequest& own,
+                                                   const Totals& totals,
+                                                   double fork_rate);
+
+/// Connected-mode expected winning probability (Eq. 9):
+/// h W_i^h + (1-h) W_i^{1-h} = (1-beta)(e_i+c_i)/S + beta h e_i / E.
+[[nodiscard]] double win_prob_connected(const MinerRequest& own,
+                                        const Totals& totals,
+                                        double fork_rate,
+                                        double edge_success);
+
+/// Convenience: win_prob_connected for miner `i` of a full profile.
+[[nodiscard]] double win_prob_connected(const std::vector<MinerRequest>& all,
+                                        std::size_t i, double fork_rate,
+                                        double edge_success);
+
+/// Standalone-mode winning probability when the capacity constraint holds
+/// (Eq. 23) — identical to W_i^h.
+[[nodiscard]] double win_prob_standalone(const MinerRequest& own,
+                                         const Totals& totals,
+                                         double fork_rate);
+
+/// Sum of win_prob_full over a profile; Theorem 1 asserts this is 1 for any
+/// profile with S > 0 (and E > 0). Exposed for property tests.
+[[nodiscard]] double total_win_probability(
+    const std::vector<MinerRequest>& all, double fork_rate);
+
+}  // namespace hecmine::core

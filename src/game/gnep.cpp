@@ -1,0 +1,90 @@
+#include "game/gnep.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::game {
+
+SharedPriceGnepResult solve_shared_price_gnep(
+    const PenalizedBestResponseFn& penalized_best_response,
+    const SharedUsageFn& shared_usage, double cap, Profile start,
+    const SharedPriceGnepOptions& options) {
+  HECMINE_REQUIRE(cap >= 0.0, "solve_shared_price_gnep requires cap >= 0");
+  SharedPriceGnepResult result;
+  int inner_solves = 0;
+
+  // Solves the decoupled NEP at surcharge mu, warm-starting from the last
+  // profile so the bisection's inner solves stay cheap.
+  Profile warm = std::move(start);
+  const auto solve_at = [&](double mu) {
+    const BestResponseFn oracle = [&](const Profile& profile,
+                                      std::size_t player) {
+      return penalized_best_response(profile, player, mu);
+    };
+    auto nash = solve_best_response(oracle, warm, options.inner);
+    ++inner_solves;
+    warm = nash.profile;
+    return nash;
+  };
+
+  auto at_zero = solve_at(0.0);
+  double usage = shared_usage(at_zero.profile);
+  if (usage <= cap + options.complementarity_tol) {
+    result.profile = std::move(at_zero.profile);
+    result.surcharge = 0.0;
+    result.shared_usage = usage;
+    result.cap_active = usage >= cap - options.complementarity_tol;
+    result.converged = at_zero.converged;
+    result.inner_solves = inner_solves;
+    return result;
+  }
+
+  // The cap binds: bracket mu* (usage is non-increasing in mu), then bisect.
+  double lo = 0.0;
+  double hi = options.surcharge_hi0;
+  bool inner_ok = at_zero.converged;
+  for (int expansion = 0; expansion < 80; ++expansion) {
+    const auto at_hi = solve_at(hi);
+    inner_ok = inner_ok && at_hi.converged;
+    if (shared_usage(at_hi.profile) <= cap) break;
+    lo = hi;
+    hi *= 2.0;
+    HECMINE_REQUIRE(hi < 1e30,
+                    "solve_shared_price_gnep: surcharge bracket exploded; "
+                    "usage does not fall with the surcharge");
+  }
+  NashResult last;
+  for (int step = 0; step < options.max_bisection_steps; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    last = solve_at(mid);
+    inner_ok = inner_ok && last.converged;
+    usage = shared_usage(last.profile);
+    if (std::abs(usage - cap) <= options.complementarity_tol) {
+      lo = hi = mid;
+      break;
+    }
+    if (usage > cap)
+      lo = mid;
+    else
+      hi = mid;
+    if (hi - lo <= 1e-14 * (1.0 + hi)) break;
+  }
+  const double mu = 0.5 * (lo + hi);
+  last = solve_at(mu);
+  inner_ok = inner_ok && last.converged;
+
+  result.profile = std::move(last.profile);
+  result.surcharge = mu;
+  result.shared_usage = shared_usage(result.profile);
+  result.cap_active = true;
+  // Complementarity may sit slightly off cap at the final bisection width;
+  // accept within 10x the requested tolerance.
+  result.converged =
+      inner_ok &&
+      std::abs(result.shared_usage - cap) <= 10.0 * options.complementarity_tol;
+  result.inner_solves = inner_solves;
+  return result;
+}
+
+}  // namespace hecmine::game

@@ -1,0 +1,61 @@
+// Jointly convex generalized Nash equilibrium problems (GNEPs) with one
+// shared linear constraint.
+//
+// The standalone-mode miner subgame couples strategies through
+// sum_i a_i . x_i <= cap (the ESP capacity). For jointly convex GNEPs the
+// *variational equilibrium* — the GNE at which every player sees the same
+// shadow price on the shared constraint — is the solution of VI(K, F)
+// (Facchinei & Kanzow, 4OR 2007). We compute it two independent ways:
+//
+//  1. shared-price decomposition: charge every player a common surcharge mu
+//     on the shared resource, solve the resulting *decoupled* NEP with the
+//     caller's best-response oracle, and bisect mu to complementarity;
+//  2. the extragradient method on VI(K, F) directly (see numerics/vi.hpp).
+//
+// Tests cross-validate the two paths on the paper's game.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "game/nash.hpp"
+
+namespace hecmine::game {
+
+/// Best-response oracle of the *penalized* game: player `i`'s argmax when
+/// the shared resource carries an extra unit price `mu` on top of the
+/// underlying game's own prices.
+using PenalizedBestResponseFn = std::function<std::vector<double>(
+    const Profile&, std::size_t player, double surcharge)>;
+
+/// Shared linear usage a . x of a profile (e.g. total ESP units requested).
+using SharedUsageFn = std::function<double(const Profile&)>;
+
+/// Options for the shared-price GNEP decomposition.
+struct SharedPriceGnepOptions {
+  BestResponseOptions inner;          ///< options for each inner NEP solve
+  double complementarity_tol = 1e-7;  ///< |usage - cap| tolerance when mu > 0
+  double surcharge_hi0 = 1.0;         ///< initial upper bracket for mu
+  int max_bisection_steps = 200;
+};
+
+/// Variational equilibrium found by the shared-price decomposition.
+struct SharedPriceGnepResult {
+  Profile profile;
+  double surcharge = 0.0;     ///< common multiplier mu* on the shared cap
+  double shared_usage = 0.0;  ///< a . x at the equilibrium
+  bool cap_active = false;    ///< whether the shared constraint binds
+  bool converged = false;
+  int inner_solves = 0;       ///< number of NEP solves performed
+};
+
+/// Computes the variational equilibrium of a jointly convex GNEP whose only
+/// coupling is `shared_usage(profile) <= cap`, given a best-response oracle
+/// for the mu-penalized decoupled game. Usage must be non-increasing in mu
+/// (true whenever the shared resource is a normal good, as in the paper).
+[[nodiscard]] SharedPriceGnepResult solve_shared_price_gnep(
+    const PenalizedBestResponseFn& penalized_best_response,
+    const SharedUsageFn& shared_usage, double cap, Profile start,
+    const SharedPriceGnepOptions& options = {});
+
+}  // namespace hecmine::game

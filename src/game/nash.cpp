@@ -1,0 +1,115 @@
+#include "game/nash.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace hecmine::game {
+
+std::vector<double> flatten(const Profile& profile) {
+  std::vector<double> flat;
+  for (const auto& strategy : profile)
+    flat.insert(flat.end(), strategy.begin(), strategy.end());
+  return flat;
+}
+
+Profile unflatten(const std::vector<double>& flat,
+                  const std::vector<std::size_t>& sizes) {
+  std::size_t total = 0;
+  for (std::size_t s : sizes) total += s;
+  HECMINE_REQUIRE(total == flat.size(),
+                  "unflatten: sizes must tile the flat vector");
+  Profile profile(sizes.size());
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    profile[i].assign(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                      flat.begin() + static_cast<std::ptrdiff_t>(offset + sizes[i]));
+    offset += sizes[i];
+  }
+  return profile;
+}
+
+namespace {
+
+double profile_distance(const Profile& a, const Profile& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t k = 0; k < a[i].size(); ++k)
+      worst = std::max(worst, std::abs(a[i][k] - b[i][k]));
+  return worst;
+}
+
+void blend_into(std::vector<double>& target, const std::vector<double>& image,
+                double damping) {
+  for (std::size_t k = 0; k < target.size(); ++k)
+    target[k] = (1.0 - damping) * target[k] + damping * image[k];
+}
+
+}  // namespace
+
+NashResult solve_best_response(const BestResponseFn& best_response,
+                               Profile start,
+                               const BestResponseOptions& options) {
+  HECMINE_REQUIRE(!start.empty(), "solve_best_response requires players");
+  HECMINE_REQUIRE(options.damping > 0.0 && options.damping <= 1.0,
+                  "best-response damping must be in (0, 1]");
+  NashResult result;
+  result.profile = std::move(start);
+  // Best responses steepen with the player count in aggregative games, so
+  // a fixed damping can orbit; halve the step whenever the residual stops
+  // improving.
+  double damping = options.damping;
+  double best_residual = std::numeric_limits<double>::infinity();
+  int stalled = 0;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    const Profile before = result.profile;
+    if (options.sweep == BestResponseOptions::Sweep::kGaussSeidel) {
+      for (std::size_t i = 0; i < result.profile.size(); ++i) {
+        const auto response = best_response(result.profile, i);
+        HECMINE_REQUIRE(response.size() == result.profile[i].size(),
+                        "best response must preserve strategy dimension");
+        blend_into(result.profile[i], response, damping);
+      }
+    } else {
+      Profile responses(result.profile.size());
+      for (std::size_t i = 0; i < result.profile.size(); ++i) {
+        responses[i] = best_response(result.profile, i);
+        HECMINE_REQUIRE(responses[i].size() == result.profile[i].size(),
+                        "best response must preserve strategy dimension");
+      }
+      for (std::size_t i = 0; i < result.profile.size(); ++i)
+        blend_into(result.profile[i], responses[i], damping);
+    }
+    result.residual = profile_distance(before, result.profile);
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    if (result.residual < 0.95 * best_residual) {
+      best_residual = result.residual;
+      stalled = 0;
+    } else if (++stalled >= 30 && damping > 0.02) {
+      damping *= 0.5;
+      stalled = 0;
+    }
+  }
+  return result;
+}
+
+double exploitability(const BestResponseFn& best_response,
+                      const UtilityFn& utility, const Profile& profile) {
+  double worst_gain = 0.0;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const double current = utility(profile, i);
+    Profile deviated = profile;
+    deviated[i] = best_response(profile, i);
+    const double best = utility(deviated, i);
+    worst_gain = std::max(worst_gain, best - current);
+  }
+  return worst_gain;
+}
+
+}  // namespace hecmine::game

@@ -1,0 +1,62 @@
+// Generic Nash-equilibrium machinery for games with vector strategies.
+//
+// A game is described by per-player strategy dimensions, a best-response
+// oracle and (optionally) a utility oracle for verification. The miner
+// subgames and the SP pricing subgame of the paper both plug into this.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace hecmine::game {
+
+/// A strategy profile stored per player.
+using Profile = std::vector<std::vector<double>>;
+
+/// Flattens a profile into one contiguous vector (player-major order).
+[[nodiscard]] std::vector<double> flatten(const Profile& profile);
+
+/// Splits a flat vector back into per-player strategies of the given sizes.
+[[nodiscard]] Profile unflatten(const std::vector<double>& flat,
+                                const std::vector<std::size_t>& sizes);
+
+/// Best-response oracle: the argmax of player `i`'s utility given the full
+/// current profile (its own entry is ignored).
+using BestResponseFn =
+    std::function<std::vector<double>(const Profile&, std::size_t player)>;
+
+/// Utility oracle used for equilibrium verification.
+using UtilityFn =
+    std::function<double(const Profile&, std::size_t player)>;
+
+/// Options for best-response dynamics.
+struct BestResponseOptions {
+  enum class Sweep { kGaussSeidel, kJacobi };
+  Sweep sweep = Sweep::kGaussSeidel;  ///< in-place vs simultaneous updates
+  double damping = 1.0;               ///< blend toward the best response
+  double tolerance = 1e-9;            ///< max-norm profile change to stop
+  int max_iterations = 5000;          ///< sweep budget
+};
+
+/// Outcome of best-response dynamics.
+struct NashResult {
+  Profile profile;
+  double residual = 0.0;  ///< max-norm profile change in the last sweep
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs damped best-response dynamics from `start` until the profile stops
+/// moving. Convergence to the unique NE is guaranteed for the paper's miner
+/// subgame (Thm 2); for other games the result reports the residual.
+[[nodiscard]] NashResult solve_best_response(const BestResponseFn& best_response,
+                                             Profile start,
+                                             const BestResponseOptions& options = {});
+
+/// Largest unilateral utility improvement any player can realize by playing
+/// its best response against `profile`; ~0 at a Nash equilibrium.
+[[nodiscard]] double exploitability(const BestResponseFn& best_response,
+                                    const UtilityFn& utility,
+                                    const Profile& profile);
+
+}  // namespace hecmine::game

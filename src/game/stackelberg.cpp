@@ -1,0 +1,57 @@
+#include "game/stackelberg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/optimize.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::game {
+
+StackelbergResult solve_stackelberg(const LeaderPayoffFn& payoff,
+                                    std::vector<double> start,
+                                    const std::vector<ActionBounds>& bounds,
+                                    const StackelbergOptions& options) {
+  HECMINE_REQUIRE(!start.empty(), "solve_stackelberg requires leaders");
+  HECMINE_REQUIRE(start.size() == bounds.size(),
+                  "solve_stackelberg requires bounds per leader");
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    HECMINE_REQUIRE(bounds[i].lo < bounds[i].hi,
+                    "solve_stackelberg requires lo < hi per leader");
+    start[i] = std::clamp(start[i], bounds[i].lo, bounds[i].hi);
+  }
+
+  StackelbergResult result;
+  result.actions = std::move(start);
+  num::Maximize1DOptions scan_options;
+  scan_options.grid_points = options.grid_points;
+  scan_options.tolerance = options.refine_tolerance;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    result.rounds = round + 1;
+    double round_change = 0.0;
+    for (std::size_t leader = 0; leader < result.actions.size(); ++leader) {
+      auto actions = result.actions;
+      const auto objective = [&](double action) {
+        actions[leader] = action;
+        return payoff(actions, leader);
+      };
+      const auto best = num::maximize_scan(objective, bounds[leader].lo,
+                                           bounds[leader].hi, scan_options);
+      round_change =
+          std::max(round_change, std::abs(best.argmax - result.actions[leader]));
+      result.actions[leader] = best.argmax;
+    }
+    result.residual = round_change;
+    if (round_change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.payoffs.resize(result.actions.size());
+  for (std::size_t leader = 0; leader < result.actions.size(); ++leader)
+    result.payoffs[leader] = payoff(result.actions, leader);
+  return result;
+}
+
+}  // namespace hecmine::game

@@ -1,0 +1,51 @@
+// Multi-leader Stackelberg driver (Algorithm 1 / Algorithm 2 of the paper).
+//
+// Leaders hold scalar actions (unit prices). Each leader's payoff is
+// evaluated *after* the followers re-equilibrate, so the follower
+// equilibrium computation is embedded in the leader payoff oracle supplied
+// by the caller. The driver runs asynchronous (Gauss-Seidel) best-response
+// over leaders, each best response computed by a robust 1-D scan+refine.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace hecmine::game {
+
+/// Payoff of leader `i` when the leader action vector is `actions`
+/// (followers assumed at their equilibrium for those actions).
+using LeaderPayoffFn =
+    std::function<double(const std::vector<double>& actions, std::size_t leader)>;
+
+/// Per-leader action interval.
+struct ActionBounds {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Options for the Stackelberg leader iteration.
+struct StackelbergOptions {
+  double tolerance = 1e-6;  ///< max action change across one round to stop
+  int max_rounds = 200;     ///< leader best-response rounds
+  int grid_points = 48;     ///< coarse scan resolution per 1-D best response
+  double refine_tolerance = 1e-8;
+};
+
+/// Outcome of the leader iteration.
+struct StackelbergResult {
+  std::vector<double> actions;   ///< leader actions (prices) at the end
+  std::vector<double> payoffs;   ///< corresponding leader payoffs
+  double residual = 0.0;         ///< last round's max action change
+  int rounds = 0;
+  bool converged = false;
+};
+
+/// Asynchronous best-response over leaders (paper's Algorithm 1; with the
+/// follower oracle of the standalone mode it realizes Algorithm 2's price
+/// bargaining). Bounds must satisfy lo < hi per leader.
+[[nodiscard]] StackelbergResult solve_stackelberg(
+    const LeaderPayoffFn& payoff, std::vector<double> start,
+    const std::vector<ActionBounds>& bounds,
+    const StackelbergOptions& options = {});
+
+}  // namespace hecmine::game

@@ -1,0 +1,72 @@
+#include "game/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::game {
+
+namespace {
+
+double max_distance(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+}  // namespace
+
+CycleReport run_dynamics(const DynamicsMap& map, std::vector<double> start,
+                         int max_iterations, double tolerance,
+                         int max_period) {
+  HECMINE_REQUIRE(!start.empty(), "run_dynamics: empty action vector");
+  HECMINE_REQUIRE(max_iterations > 0, "run_dynamics: max_iterations > 0");
+  HECMINE_REQUIRE(max_period >= 2, "run_dynamics: max_period >= 2");
+
+  CycleReport report;
+  report.trajectory.push_back({0, start});
+  std::vector<double> current = std::move(start);
+  for (int iteration = 1; iteration <= max_iterations; ++iteration) {
+    std::vector<double> next = map(current);
+    HECMINE_REQUIRE(next.size() == current.size(),
+                    "run_dynamics: map must preserve dimension");
+    report.trajectory.push_back({iteration, next});
+    if (max_distance(next, current) < tolerance) {
+      report.converged = true;
+      return report;
+    }
+    // Look for a revisit of an earlier state within the last max_period
+    // steps (period >= 2; period 1 is convergence, handled above).
+    const auto& path = report.trajectory;
+    for (int period = 2;
+         period <= max_period && period < static_cast<int>(path.size());
+         ++period) {
+      const auto& earlier =
+          path[path.size() - 1 - static_cast<std::size_t>(period)].actions;
+      if (max_distance(next, earlier) < tolerance) {
+        report.cycling = true;
+        report.period = period;
+        // Amplitude: action range across one cycle.
+        for (std::size_t k = 0; k < next.size(); ++k) {
+          double lo = next[k], hi = next[k];
+          for (int back = 0; back <= period; ++back) {
+            const double value =
+                path[path.size() - 1 - static_cast<std::size_t>(back)]
+                    .actions[k];
+            lo = std::min(lo, value);
+            hi = std::max(hi, value);
+          }
+          report.amplitude = std::max(report.amplitude, hi - lo);
+        }
+        return report;
+      }
+    }
+    current = std::move(next);
+  }
+  return report;
+}
+
+}  // namespace hecmine::game

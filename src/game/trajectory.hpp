@@ -1,0 +1,44 @@
+// Best-response trajectory recording and limit-cycle detection.
+//
+// Simultaneous best-response dynamics need not converge — the paper's SP
+// price game is a live example (EXPERIMENTS.md, gap #2). This module runs
+// the dynamics while recording the action path and detects period-k limit
+// cycles by revisit distance, turning "did not converge" into an
+// actionable diagnosis.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace hecmine::game {
+
+/// One recorded step of a dynamics run.
+struct TrajectoryPoint {
+  int iteration = 0;
+  std::vector<double> actions;
+};
+
+/// Diagnosis of a recorded trajectory.
+struct CycleReport {
+  bool converged = false;   ///< the path settled to a fixed point
+  bool cycling = false;     ///< a period >= 2 revisit was found
+  int period = 0;           ///< detected cycle length (0 if none)
+  double amplitude = 0.0;   ///< max action range over the last cycle
+  std::vector<TrajectoryPoint> trajectory;
+};
+
+/// Update map of a discrete dynamics: current actions -> next actions.
+using DynamicsMap =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// Runs `map` from `start` for up to `max_iterations`, recording every
+/// step. Converged when successive actions move less than `tolerance`;
+/// cycling when the state revisits an earlier state (within `tolerance`,
+/// checked over the last `max_period` steps).
+[[nodiscard]] CycleReport run_dynamics(const DynamicsMap& map,
+                                       std::vector<double> start,
+                                       int max_iterations = 200,
+                                       double tolerance = 1e-6,
+                                       int max_period = 12);
+
+}  // namespace hecmine::game

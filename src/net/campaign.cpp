@@ -1,0 +1,150 @@
+#include "net/campaign.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "chain/race.hpp"
+#include "core/decentralization.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::net {
+
+void CampaignConfig::validate() const {
+  params.validate();
+  policy.validate();
+  HECMINE_REQUIRE(prices.edge > 0.0 && prices.cloud > 0.0,
+                  "CampaignConfig: prices must be positive");
+  HECMINE_REQUIRE(blocks > 0, "CampaignConfig: blocks must be positive");
+}
+
+namespace {
+
+/// Shared implementation; `pool_of` may be empty (all solo).
+CampaignResult run_campaign_impl(
+    const CampaignConfig& config,
+    const std::vector<core::MinerRequest>& strategies,
+    const std::vector<int>& pool_of, std::uint64_t seed) {
+  config.validate();
+  HECMINE_REQUIRE(!strategies.empty(), "run_campaign: no miners");
+  if (config.population) {
+    HECMINE_REQUIRE(
+        static_cast<int>(strategies.size()) >=
+            config.population->max_miners(),
+        "run_campaign: strategy pool smaller than the population support");
+  }
+  HECMINE_REQUIRE(pool_of.empty() || pool_of.size() == strategies.size(),
+                  "run_campaign: pool assignment size mismatch");
+
+  support::Rng rng{seed};
+  chain::DifficultyController difficulty(config.difficulty);
+
+  CampaignResult result;
+  result.miners.resize(strategies.size());
+
+  std::vector<std::size_t> order(strategies.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (std::size_t block = 0; block < config.blocks; ++block) {
+    // Population churn: which miners show up for this block.
+    std::size_t active_count = strategies.size();
+    if (config.population) {
+      active_count = std::min<std::size_t>(
+          static_cast<std::size_t>(config.population->sample(rng)),
+          strategies.size());
+    }
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    std::vector<std::size_t> active(order.begin(),
+                                    order.begin() + static_cast<std::ptrdiff_t>(active_count));
+
+    std::vector<core::MinerRequest> requests(active.size());
+    for (std::size_t a = 0; a < active.size(); ++a)
+      requests[a] = strategies[active[a]];
+
+    const auto records =
+        admit_requests(requests, config.policy, config.prices, rng);
+    std::vector<chain::Allocation> allocations(records.size());
+    for (std::size_t a = 0; a < records.size(); ++a) {
+      allocations[a] = records[a].granted;
+      if (records[a].edge_status == ServiceStatus::kTransferred)
+        ++result.transfers;
+      if (records[a].edge_status == ServiceStatus::kRejected)
+        ++result.rejections;
+    }
+
+    chain::RaceConfig race;
+    race.fork_rate = config.params.fork_rate;
+    race.unit_hash_rate = difficulty.unit_hash_rate();
+    const auto outcome = chain::run_race(allocations, race, rng);
+
+    // Reward flow: solo winners keep the block reward; a pooled winner's
+    // reward is split pro rata over the pool's active units this round.
+    std::vector<double> payouts(active.size(), 0.0);
+    if (outcome) {
+      const std::size_t winner_global = active[outcome->winner];
+      const int winner_pool =
+          pool_of.empty() ? -1 : pool_of[winner_global];
+      if (winner_pool < 0) {
+        payouts[outcome->winner] = config.params.reward;
+      } else {
+        double pool_units = 0.0;
+        for (std::size_t a = 0; a < active.size(); ++a) {
+          if (pool_of[active[a]] == winner_pool)
+            pool_units += strategies[active[a]].total();
+        }
+        for (std::size_t a = 0; a < active.size(); ++a) {
+          if (pool_of[active[a]] == winner_pool && pool_units > 0.0) {
+            payouts[a] = config.params.reward *
+                         strategies[active[a]].total() / pool_units;
+          }
+        }
+      }
+    }
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      auto& miner = result.miners[active[a]];
+      ++miner.rounds_active;
+      const double payment =
+          records[a].payment_edge + records[a].payment_cloud;
+      miner.payments += payment;
+      if (outcome && outcome->winner == a) ++miner.wins;
+      miner.income += payouts[a];
+      miner.round_utility.add(payouts[a] - payment);
+    }
+    if (outcome) {
+      ++result.blocks_mined;
+      if (outcome->fork_occurred) ++result.forks;
+      result.block_intervals.add(outcome->solve_time);
+      difficulty.observe_block(outcome->solve_time);
+    }
+  }
+
+  result.final_unit_rate = difficulty.unit_hash_rate();
+  result.retargets = difficulty.retargets();
+  std::vector<double> win_shares;
+  win_shares.reserve(result.miners.size());
+  bool any_wins = false;
+  for (const auto& miner : result.miners) {
+    win_shares.push_back(static_cast<double>(miner.wins));
+    any_wins = any_wins || miner.wins > 0;
+  }
+  if (any_wins) result.realized_hhi = core::herfindahl_index(win_shares);
+  return result;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config,
+                            const std::vector<core::MinerRequest>& strategies,
+                            std::uint64_t seed) {
+  return run_campaign_impl(config, strategies, {}, seed);
+}
+
+CampaignResult run_campaign_with_pools(
+    const CampaignConfig& config,
+    const std::vector<core::MinerRequest>& strategies,
+    const std::vector<int>& pool_of, std::uint64_t seed) {
+  HECMINE_REQUIRE(pool_of.size() == strategies.size(),
+                  "run_campaign_with_pools: one pool id per miner");
+  return run_campaign_impl(config, strategies, pool_of, seed);
+}
+
+}  // namespace hecmine::net

@@ -1,0 +1,178 @@
+#include "net/event_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace hecmine::net {
+
+void EventSimConfig::validate() const {
+  policy.validate();
+  latency.validate();
+  HECMINE_REQUIRE(unit_hash_rate > 0.0,
+                  "EventSimConfig: unit_hash_rate must be positive");
+}
+
+double EventSimStats::measured_fork_rate() const {
+  if (cloud_first == 0) return 0.0;
+  return static_cast<double>(cloud_overtaken) /
+         static_cast<double>(cloud_first);
+}
+
+EventDrivenNetwork::EventDrivenNetwork(EventSimConfig config,
+                                       std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  config_.validate();
+}
+
+namespace {
+
+/// A block candidate: a sub-request's first PoW solution with its
+/// consensus time (found + propagation).
+struct Candidate {
+  std::size_t miner = 0;
+  chain::BlockSource source = chain::BlockSource::kEdge;
+  double found = 0.0;
+  double consensus = 0.0;
+};
+
+}  // namespace
+
+std::optional<EventRoundOutcome> EventDrivenNetwork::run_round(
+    const std::vector<core::MinerRequest>& requests) {
+  if (stats_.wins.size() != requests.size())
+    stats_.wins.assign(requests.size(), 0);
+  trace_.clear();
+
+  sim::EventQueue queue;
+  const LatencyModel& lat = config_.latency;
+  const bool standalone = config_.policy.mode == core::EdgeMode::kStandalone;
+
+  std::vector<Candidate> candidates;
+  const auto record = [&](double time, EventKind kind, std::size_t miner,
+                          chain::BlockSource source) {
+    if (config_.record_trace) trace_.push_back({time, kind, miner, source});
+  };
+
+  // Compute placement: draws the sub-request's first PoW solution and its
+  // consensus time. Cloud blocks carry one backbone propagation leg.
+  const auto place = [&](std::size_t miner, double units,
+                         chain::BlockSource source, double when) {
+    queue.schedule_at(when, [&, miner, units, source] {
+      record(queue.now(), EventKind::kPlaced, miner, source);
+      const double solve_duration =
+          rng_.exponential(units * config_.unit_hash_rate);
+      const double found = queue.now() + solve_duration;
+      const double propagation = source == chain::BlockSource::kCloud
+                                     ? config_.effective_cloud_propagation()
+                                     : 0.0;
+      queue.schedule_at(found, [&, miner, source, found, propagation] {
+        record(found, EventKind::kBlockFound, miner, source);
+        candidates.push_back(
+            {miner, source, found, found + propagation});
+      });
+    });
+  };
+
+  // Standalone admission processes arrivals in random order (the ESP sees
+  // near-simultaneous submissions).
+  std::vector<std::size_t> arrival_order(requests.size());
+  std::iota(arrival_order.begin(), arrival_order.end(), std::size_t{0});
+  std::shuffle(arrival_order.begin(), arrival_order.end(), rng_.engine());
+  double remaining_capacity = config_.policy.capacity;
+
+  bool any_units = false;
+  for (std::size_t index : arrival_order) {
+    const auto& request = requests[index];
+    HECMINE_REQUIRE(request.edge >= 0.0 && request.cloud >= 0.0,
+                    "EventDrivenNetwork: requests must be non-negative");
+    if (request.cloud > 0.0) {
+      any_units = true;
+      record(0.0, EventKind::kSubmitCloud, index, chain::BlockSource::kCloud);
+      place(index, request.cloud, chain::BlockSource::kCloud,
+            lat.miner_cloud);
+    }
+    if (request.edge <= 0.0) continue;
+    any_units = true;
+    record(0.0, EventKind::kSubmitEdge, index, chain::BlockSource::kEdge);
+    const double at_esp = lat.miner_edge;
+    if (!standalone) {
+      if (rng_.bernoulli(config_.policy.success_prob)) {
+        place(index, request.edge, chain::BlockSource::kEdge, at_esp);
+      } else {
+        record(at_esp, EventKind::kTransferred, index,
+               chain::BlockSource::kCloud);
+        // The whole edge part now computes in the cloud, arriving after
+        // the backbone leg and propagating like any cloud block.
+        place(index, request.edge, chain::BlockSource::kCloud,
+              at_esp + lat.edge_cloud);
+      }
+      continue;
+    }
+    if (request.edge <= remaining_capacity) {
+      remaining_capacity -= request.edge;
+      place(index, request.edge, chain::BlockSource::kEdge, at_esp);
+    } else {
+      // Rejected: notice after the admission epoch, then the miner resends
+      // the edge part to the CSP itself.
+      const double notice = at_esp + lat.admission_epoch + lat.miner_edge;
+      record(notice, EventKind::kRejected, index, chain::BlockSource::kEdge);
+      record(notice, EventKind::kResent, index, chain::BlockSource::kCloud);
+      place(index, request.edge, chain::BlockSource::kCloud,
+            notice + lat.miner_cloud);
+    }
+  }
+  if (!any_units) return std::nullopt;
+
+  queue.run();
+  HECMINE_REQUIRE(!candidates.empty(),
+                  "EventDrivenNetwork: no block candidates (internal)");
+
+  // Consensus: earliest consensus time wins; a fork happened when some
+  // other candidate was *found* before the winner.
+  const auto winner_it = std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const Candidate& a, const Candidate& b) {
+        if (a.consensus != b.consensus) return a.consensus < b.consensus;
+        return a.found < b.found;
+      });
+  const auto first_found_it = std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const Candidate& a, const Candidate& b) { return a.found < b.found; });
+
+  EventRoundOutcome outcome;
+  outcome.winner = winner_it->miner;
+  outcome.winner_via_edge = winner_it->source == chain::BlockSource::kEdge;
+  outcome.found_time = winner_it->found;
+  outcome.consensus_time = winner_it->consensus;
+  outcome.fork = first_found_it->found < winner_it->found;
+  record(outcome.consensus_time, EventKind::kConsensus, outcome.winner,
+         winner_it->source);
+  if (config_.record_trace) {
+    // Some records are written when their *time* is computed rather than
+    // when the kernel reaches them; present the trace in time order.
+    std::stable_sort(trace_.begin(), trace_.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.time < b.time;
+                     });
+  }
+
+  ++stats_.rounds;
+  ++stats_.wins[outcome.winner];
+  if (outcome.fork) ++stats_.forks;
+  if (first_found_it->source == chain::BlockSource::kCloud) {
+    ++stats_.cloud_first;
+    if (outcome.fork) ++stats_.cloud_overtaken;
+  }
+  stats_.consensus_times.add(outcome.consensus_time);
+  return outcome;
+}
+
+void EventDrivenNetwork::run_rounds(
+    const std::vector<core::MinerRequest>& requests, std::size_t rounds) {
+  for (std::size_t round = 0; round < rounds; ++round) run_round(requests);
+}
+
+}  // namespace hecmine::net

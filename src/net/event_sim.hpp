@@ -1,0 +1,119 @@
+// Message-level discrete-event simulation of the Fig-1 protocol.
+//
+// Where net::MiningNetwork uses the paper's *abstracted* race (fork rate
+// beta given exogenously), EventDrivenNetwork plays out each mining round
+// as timed messages on the sim::EventQueue kernel:
+//
+//   submit -> (ESP admission: serve / transfer / reject+resend) -> placed
+//   -> PoW solve (exponential in placed units) -> block found ->
+//   propagation (edge: instant; cloud: one backbone delay) -> consensus.
+//
+// The winner is the block with the earliest *consensus* time, so a cloud
+// block found first can be overtaken by an edge block found during its
+// propagation window — the paper's fork mechanism, with the fork rate now
+// *endogenous*: beta_measured = 1 - exp(-E * rate * D), exactly the
+// exponential ForkModel this library substitutes for the Bitcoin data
+// (tests verify the match).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "net/latency.hpp"
+#include "net/offload.hpp"
+#include "sim/event_queue.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace hecmine::net {
+
+/// Trace record kinds (message/Protocol milestones of one round).
+enum class EventKind {
+  kSubmitEdge,     ///< edge part left the miner
+  kSubmitCloud,    ///< cloud part left the miner
+  kPlaced,         ///< compute started at a provider
+  kTransferred,    ///< ESP auto-transferred the edge part (connected)
+  kRejected,       ///< ESP rejected the edge part (standalone)
+  kResent,         ///< miner resent the rejected part to the CSP
+  kBlockFound,     ///< a PoW solution appeared
+  kConsensus,      ///< the round's winning block reached consensus
+};
+
+/// One timestamped trace record.
+struct TraceEvent {
+  double time = 0.0;
+  EventKind kind = EventKind::kSubmitEdge;
+  std::size_t miner = 0;
+  chain::BlockSource source = chain::BlockSource::kEdge;
+};
+
+/// Configuration of the event-driven network.
+struct EventSimConfig {
+  EdgePolicy policy;
+  LatencyModel latency;
+  double unit_hash_rate = 1.0;  ///< PoW solutions per time unit per unit
+  /// Block broadcast delay of cloud-found blocks (the fork window D_avg);
+  /// negative = use latency.miner_cloud. Kept separate from the placement
+  /// legs because the paper's Eq. (6) models *only* this back-end delay —
+  /// front-end placement latency gives edge units a measurable head start
+  /// the paper ignores (see the event-sim tests).
+  double cloud_propagation = -1.0;
+  bool record_trace = false;    ///< keep per-round traces (costly)
+
+  void validate() const;
+  [[nodiscard]] double effective_cloud_propagation() const {
+    return cloud_propagation < 0.0 ? latency.miner_cloud : cloud_propagation;
+  }
+};
+
+/// Outcome of one event-driven round.
+struct EventRoundOutcome {
+  std::size_t winner = 0;
+  bool winner_via_edge = false;
+  double found_time = 0.0;      ///< when the winning block was solved
+  double consensus_time = 0.0;  ///< when it reached consensus
+  bool fork = false;            ///< the winner overtook an earlier block
+};
+
+/// Aggregate statistics over rounds.
+struct EventSimStats {
+  std::vector<std::size_t> wins;
+  std::size_t rounds = 0;
+  std::size_t forks = 0;            ///< rounds won by overtaking
+  std::size_t cloud_first = 0;      ///< rounds whose first-found block was cloud
+  std::size_t cloud_overtaken = 0;  ///< of those, how many were overtaken
+  support::Accumulator consensus_times;
+
+  /// Empirical fork rate of first-found cloud blocks — the endogenous
+  /// counterpart of the paper's beta.
+  [[nodiscard]] double measured_fork_rate() const;
+};
+
+/// The Fig-1 protocol on a discrete-event kernel.
+class EventDrivenNetwork {
+ public:
+  EventDrivenNetwork(EventSimConfig config, std::uint64_t seed);
+
+  /// Plays one full round; returns nullopt when no units are placed.
+  std::optional<EventRoundOutcome> run_round(
+      const std::vector<core::MinerRequest>& requests);
+
+  /// Plays `rounds` rounds over a fixed profile.
+  void run_rounds(const std::vector<core::MinerRequest>& requests,
+                  std::size_t rounds);
+
+  [[nodiscard]] const EventSimStats& stats() const noexcept { return stats_; }
+  /// Trace of the most recent round (empty unless record_trace).
+  [[nodiscard]] const std::vector<TraceEvent>& last_trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  EventSimConfig config_;
+  support::Rng rng_;
+  EventSimStats stats_;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace hecmine::net

@@ -1,0 +1,75 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace hecmine::net {
+
+void LatencyModel::validate() const {
+  HECMINE_REQUIRE(miner_edge >= 0.0 && edge_cloud >= 0.0 &&
+                      miner_cloud >= 0.0 && admission_epoch >= 0.0,
+                  "LatencyModel: legs must be non-negative");
+}
+
+double LatencyModel::edge_placement_latency(ServiceStatus status) const {
+  switch (status) {
+    case ServiceStatus::kServed:
+      return miner_edge;
+    case ServiceStatus::kTransferred:
+      return miner_edge + edge_cloud;
+    case ServiceStatus::kRejected:
+      // submit + (instant ~d_me reject notice after the epoch) + resend
+      return 2.0 * miner_edge + admission_epoch + miner_cloud;
+  }
+  return miner_edge;
+}
+
+LatencyStats estimate_latency_stats(
+    const std::vector<core::MinerRequest>& requests, const EdgePolicy& policy,
+    const LatencyModel& model, std::size_t rounds, std::uint64_t seed) {
+  policy.validate();
+  model.validate();
+  HECMINE_REQUIRE(rounds > 0, "estimate_latency_stats: rounds > 0");
+  support::Rng rng{seed};
+  const core::Prices unit_prices{1.0, 1.0};  // payments irrelevant here
+
+  LatencyStats stats;
+  stats.rounds = rounds;
+  double edge_latency_sum = 0.0;
+  std::size_t edge_requests = 0;
+  double worst_sum = 0.0;
+  std::size_t worst_count = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const auto records = admit_requests(requests, policy, unit_prices, rng);
+    for (const auto& record : records) {
+      double worst = 0.0;
+      bool active = false;
+      if (record.requested.edge > 0.0) {
+        const double latency =
+            model.edge_placement_latency(record.edge_status);
+        edge_latency_sum += latency;
+        ++edge_requests;
+        worst = std::max(worst, latency);
+        active = true;
+        if (record.edge_status != ServiceStatus::kServed) ++stats.failures;
+      }
+      if (record.requested.cloud > 0.0) {
+        worst = std::max(worst, model.cloud_placement_latency());
+        active = true;
+      }
+      if (active) {
+        worst_sum += worst;
+        ++worst_count;
+      }
+    }
+  }
+  if (edge_requests > 0)
+    stats.mean_edge_placement =
+        edge_latency_sum / static_cast<double>(edge_requests);
+  if (worst_count > 0)
+    stats.mean_worst_placement = worst_sum / static_cast<double>(worst_count);
+  return stats;
+}
+
+}  // namespace hecmine::net

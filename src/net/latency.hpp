@@ -1,0 +1,57 @@
+// Request-placement latency model (paper Sec. I / II-A).
+//
+// The paper's game abstracts communication delay into the fork rate beta,
+// but its prose makes an engineering claim worth quantifying: when the ESP
+// is overloaded, the *connected* mode transfers the request inline
+// (ESP -> CSP, one backbone leg), while in *standalone* mode the miner
+// only learns of the rejection after the admission epoch and must resend
+// to the CSP itself — "considerably longer" end-to-end placement.
+//
+// Legs (paper defaults: miner<->ESP ~ 0, everything involving the CSP ~
+// D_avg):
+//   miner -> ESP      submit            (d_me)
+//   ESP -> CSP        automatic transfer (d_ec)
+//   miner -> CSP      direct submit      (d_mc)
+// plus an admission epoch: the standalone ESP batches admission decisions,
+// so a rejection is only observed after `admission_epoch`.
+#pragma once
+
+#include "net/offload.hpp"
+
+namespace hecmine::net {
+
+/// Per-leg latencies of the offloading fabric.
+struct LatencyModel {
+  double miner_edge = 0.0;       ///< d_me — miner <-> ESP (paper: ~0)
+  double edge_cloud = 1.0;       ///< d_ec — ESP -> CSP backbone (D_avg)
+  double miner_cloud = 1.0;      ///< d_mc — miner -> CSP (D_avg)
+  double admission_epoch = 0.0;  ///< standalone admission batching delay
+
+  void validate() const;
+
+  /// Placement latency of the *edge part* of a request under the given
+  /// service outcome: served -> d_me; transferred (connected) ->
+  /// d_me + d_ec; rejected (standalone) -> d_me + epoch + d_mc (reject
+  /// notice travels the ~0 miner-ESP leg, then the miner resends).
+  [[nodiscard]] double edge_placement_latency(ServiceStatus status) const;
+
+  /// Placement latency of the cloud part: always d_mc (direct submit).
+  [[nodiscard]] double cloud_placement_latency() const { return miner_cloud; }
+};
+
+/// Mean placement latencies over many admission rounds.
+struct LatencyStats {
+  double mean_edge_placement = 0.0;   ///< over requests with e_i > 0
+  double mean_worst_placement = 0.0;  ///< per-miner max over both parts
+  std::size_t failures = 0;           ///< transfers + rejections observed
+  std::size_t rounds = 0;
+};
+
+/// Runs `rounds` admission rounds under `policy` and accumulates placement
+/// latency statistics — the quantitative form of the paper's
+/// "considerably longer in standalone mode" claim.
+[[nodiscard]] LatencyStats estimate_latency_stats(
+    const std::vector<core::MinerRequest>& requests, const EdgePolicy& policy,
+    const LatencyModel& model, std::size_t rounds, std::uint64_t seed);
+
+}  // namespace hecmine::net

@@ -1,0 +1,112 @@
+#include "net/network.hpp"
+
+#include "support/error.hpp"
+
+namespace hecmine::net {
+
+namespace {
+
+chain::RaceConfig race_config(const core::NetworkParams& params) {
+  chain::RaceConfig config;
+  config.fork_rate = params.fork_rate;
+  return config;
+}
+
+}  // namespace
+
+MiningNetwork::MiningNetwork(const core::NetworkParams& params,
+                             EdgePolicy policy, core::Prices prices,
+                             std::uint64_t seed)
+    : params_(params),
+      policy_(policy),
+      prices_(prices),
+      simulator_(race_config(params), seed),
+      rng_(seed ^ 0x5bf0'3635'dcd6'e1a7ULL) {
+  params_.validate();
+  policy_.validate();
+  HECMINE_REQUIRE(prices.edge > 0.0 && prices.cloud > 0.0,
+                  "MiningNetwork: prices must be positive");
+}
+
+void MiningNetwork::set_prices(const core::Prices& prices) {
+  HECMINE_REQUIRE(prices.edge > 0.0 && prices.cloud > 0.0,
+                  "MiningNetwork: prices must be positive");
+  prices_ = prices;
+}
+
+void MiningNetwork::reset_stats(std::size_t miner_count) {
+  stats_ = NetworkStats{};
+  stats_.wins.assign(miner_count, 0);
+  stats_.utility.assign(miner_count, support::Accumulator{});
+}
+
+RoundReport MiningNetwork::run_round(
+    const std::vector<core::MinerRequest>& requests) {
+  if (stats_.wins.size() != requests.size()) reset_stats(requests.size());
+
+  RoundReport report;
+  report.service = admit_requests(requests, policy_, prices_, rng_);
+
+  std::vector<chain::Allocation> allocations(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    allocations[i] = report.service[i].granted;
+    stats_.revenue_edge += report.service[i].payment_edge;
+    stats_.revenue_cloud += report.service[i].payment_cloud;
+    if (report.service[i].edge_status == ServiceStatus::kTransferred)
+      ++stats_.transfers;
+    if (report.service[i].edge_status == ServiceStatus::kRejected)
+      ++stats_.rejections;
+  }
+
+  report.race = simulator_.step(allocations);
+  report.realized_utility.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const double income =
+        (report.race && report.race->winner == i) ? params_.reward : 0.0;
+    report.realized_utility[i] = income - report.service[i].payment_edge -
+                                 report.service[i].payment_cloud;
+    stats_.utility[i].add(report.realized_utility[i]);
+  }
+  if (report.race) ++stats_.wins[report.race->winner];
+  ++stats_.rounds;
+  return report;
+}
+
+void MiningNetwork::run_rounds(const std::vector<core::MinerRequest>& requests,
+                               std::size_t rounds) {
+  for (std::size_t round = 0; round < rounds; ++round) run_round(requests);
+}
+
+double estimate_focal_win_probability(
+    const core::NetworkParams& params, const EdgePolicy& policy,
+    const std::vector<core::MinerRequest>& requests, std::size_t focal,
+    std::size_t rounds, std::uint64_t seed) {
+  params.validate();
+  policy.validate();
+  HECMINE_REQUIRE(focal < requests.size(),
+                  "estimate_focal_win_probability: focal out of range");
+  HECMINE_REQUIRE(rounds > 0,
+                  "estimate_focal_win_probability: rounds must be positive");
+  support::Rng rng{seed};
+  chain::MiningSimulator simulator(race_config(params), seed ^ 0x9e37ULL);
+  const core::Prices unit_prices{1.0, 1.0};  // payments irrelevant here
+  const double fail_prob = policy.mode == core::EdgeMode::kConnected
+                               ? 1.0 - policy.success_prob
+                               : 1.0;  // standalone validation forces failure
+  std::size_t focal_wins = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const bool fail = policy.mode == core::EdgeMode::kConnected
+                          ? rng.bernoulli(fail_prob)
+                          : true;
+    const auto service =
+        admit_requests_focal(requests, policy, unit_prices, focal, fail);
+    std::vector<chain::Allocation> allocations(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      allocations[i] = service[i].granted;
+    const auto outcome = simulator.step(allocations);
+    if (outcome && outcome->winner == focal) ++focal_wins;
+  }
+  return static_cast<double>(focal_wins) / static_cast<double>(rounds);
+}
+
+}  // namespace hecmine::net

@@ -1,0 +1,76 @@
+// End-to-end mining-network orchestration: admission -> PoW race ->
+// settlement, with running statistics for miners and SPs. Used by the
+// integration tests, the Monte-Carlo validation of Section III, and as the
+// stochastic environment of the RL framework (Sec. VI-C).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "chain/simulator.hpp"
+#include "core/params.hpp"
+#include "net/offload.hpp"
+#include "support/stats.hpp"
+
+namespace hecmine::net {
+
+/// Result of one orchestrated round.
+struct RoundReport {
+  std::vector<ServiceRecord> service;      ///< admission outcomes
+  std::optional<chain::RaceOutcome> race;  ///< nullopt if nobody mined
+  std::vector<double> realized_utility;    ///< R * won - payments, per miner
+};
+
+/// Running tallies across rounds.
+struct NetworkStats {
+  std::vector<std::size_t> wins;
+  std::vector<support::Accumulator> utility;  ///< realized utility per miner
+  double revenue_edge = 0.0;   ///< sum of edge payments received
+  double revenue_cloud = 0.0;  ///< sum of cloud payments received
+  std::size_t transfers = 0;   ///< connected-mode auto-transfers
+  std::size_t rejections = 0;  ///< standalone-mode rejections
+  std::size_t rounds = 0;
+};
+
+/// The assembled mining network of Fig. 1.
+class MiningNetwork {
+ public:
+  /// `params` supplies R and beta; `policy` the ESP mode; `prices` the SP
+  /// prices charged to miners.
+  MiningNetwork(const core::NetworkParams& params, EdgePolicy policy,
+                core::Prices prices, std::uint64_t seed);
+
+  /// Runs one full round for the submitted requests.
+  RoundReport run_round(const std::vector<core::MinerRequest>& requests);
+
+  /// Runs `rounds` rounds over a fixed request profile.
+  void run_rounds(const std::vector<core::MinerRequest>& requests,
+                  std::size_t rounds);
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const chain::Ledger& ledger() const noexcept {
+    return simulator_.ledger();
+  }
+  [[nodiscard]] const core::Prices& prices() const noexcept { return prices_; }
+  void set_prices(const core::Prices& prices);
+  /// Clears the running statistics (ledger is kept).
+  void reset_stats(std::size_t miner_count);
+
+ private:
+  core::NetworkParams params_;
+  EdgePolicy policy_;
+  core::Prices prices_;
+  chain::MiningSimulator simulator_;
+  support::Rng rng_;
+  NetworkStats stats_;
+};
+
+/// Monte-Carlo estimate of a miner's winning probability under the paper's
+/// *conditional* failure semantics (only the focal miner's edge request
+/// fails, with the mode's probability): validates Eqs. (7)-(9) / (23).
+[[nodiscard]] double estimate_focal_win_probability(
+    const core::NetworkParams& params, const EdgePolicy& policy,
+    const std::vector<core::MinerRequest>& requests, std::size_t focal,
+    std::size_t rounds, std::uint64_t seed);
+
+}  // namespace hecmine::net

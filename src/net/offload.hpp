@@ -1,0 +1,60 @@
+// The edge-cloud offloading fabric (paper Fig. 1).
+//
+// Miners submit requests [e_i, c_i]; the CSP always serves, while the ESP
+// applies its operation-mode policy:
+//  * connected  — each edge request is served with probability h and
+//    otherwise auto-transferred to the CSP (path (3) in Fig. 1), degrading
+//    the request to [0, e_i + c_i];
+//  * standalone — requests are admitted in random order while E_max units
+//    remain; a request that no longer fits is rejected outright, degrading
+//    it to [0, c_i].
+//
+// Payments follow the paper's utility model: a miner always pays
+// P_e e_i + P_c c_i for what it *requested* (Eqs. 10a/24a/26 charge the
+// full cost in the failure branches too).
+#pragma once
+
+#include <vector>
+
+#include "chain/race.hpp"
+#include "core/sp.hpp"
+#include "core/types.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine::net {
+
+/// ESP operation-mode policy.
+struct EdgePolicy {
+  core::EdgeMode mode = core::EdgeMode::kConnected;
+  double success_prob = 0.9;  ///< h — connected mode only
+  double capacity = 30.0;     ///< E_max — standalone mode only
+
+  void validate() const;
+};
+
+/// How an edge request fared this round.
+enum class ServiceStatus { kServed, kTransferred, kRejected };
+
+/// Per-miner outcome of the admission stage.
+struct ServiceRecord {
+  core::MinerRequest requested;  ///< what the miner asked for
+  chain::Allocation granted;     ///< effective units entering the PoW race
+  ServiceStatus edge_status = ServiceStatus::kServed;
+  double payment_edge = 0.0;     ///< P_e * e_i (always charged)
+  double payment_cloud = 0.0;    ///< P_c * c_i (always charged)
+};
+
+/// Applies the ESP policy and the CSP's unconditional service to a batch of
+/// requests. Standalone admission order is randomized per call.
+[[nodiscard]] std::vector<ServiceRecord> admit_requests(
+    const std::vector<core::MinerRequest>& requests, const EdgePolicy& policy,
+    const core::Prices& prices, support::Rng& rng);
+
+/// Validation variant: only `focal` is subjected to transfer/rejection and
+/// the draw is forced by `fail_focal`; everyone else is served in full.
+/// This reproduces the conditional experiments behind Eqs. (7)-(9) exactly.
+[[nodiscard]] std::vector<ServiceRecord> admit_requests_focal(
+    const std::vector<core::MinerRequest>& requests, const EdgePolicy& policy,
+    const core::Prices& prices, std::size_t focal, bool fail_focal);
+
+}  // namespace hecmine::net

@@ -1,0 +1,42 @@
+#include "numerics/fixed_point.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::num {
+
+double max_norm_diff(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  HECMINE_REQUIRE(a.size() == b.size(), "max_norm_diff requires equal sizes");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+FixedPointResult iterate_fixed_point(
+    const std::function<std::vector<double>(const std::vector<double>&)>& map,
+    std::vector<double> start, const FixedPointOptions& options) {
+  HECMINE_REQUIRE(options.damping > 0.0 && options.damping <= 1.0,
+                  "fixed-point damping must be in (0, 1]");
+  FixedPointResult result;
+  result.point = std::move(start);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    const std::vector<double> image = map(result.point);
+    HECMINE_REQUIRE(image.size() == result.point.size(),
+                    "fixed-point map must preserve dimension");
+    result.residual = max_norm_diff(image, result.point);
+    result.iterations = iteration + 1;
+    for (std::size_t i = 0; i < result.point.size(); ++i)
+      result.point[i] = (1.0 - options.damping) * result.point[i] +
+                        options.damping * image[i];
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace hecmine::num

@@ -1,0 +1,34 @@
+// 1-D maximization used by the SP pricing subgames and closed-form checks.
+#pragma once
+
+#include <functional>
+
+namespace hecmine::num {
+
+/// Options for the scalar maximizers.
+struct Maximize1DOptions {
+  double tolerance = 1e-10;  ///< absolute x-tolerance of the final interval
+  int max_iterations = 300;  ///< golden-section budget
+  int grid_points = 64;      ///< coarse scan resolution for maximize_scan
+};
+
+/// Result of a scalar maximization.
+struct Maximize1DResult {
+  double argmax = 0.0;
+  double value = 0.0;
+};
+
+/// Golden-section search for a maximum of a unimodal `f` on [lo, hi].
+/// Requires lo < hi. For non-unimodal functions use maximize_scan.
+[[nodiscard]] Maximize1DResult golden_section_maximize(
+    const std::function<double(double)>& f, double lo, double hi,
+    const Maximize1DOptions& options = {});
+
+/// Robust maximizer for possibly multi-modal `f` on [lo, hi]: evaluates a
+/// uniform grid, then refines around the best grid cell with golden-section.
+/// Requires lo < hi.
+[[nodiscard]] Maximize1DResult maximize_scan(
+    const std::function<double(double)>& f, double lo, double hi,
+    const Maximize1DOptions& options = {});
+
+}  // namespace hecmine::num

@@ -1,0 +1,68 @@
+#include "numerics/pga.hpp"
+
+#include <cmath>
+
+#include "numerics/fixed_point.hpp"
+#include "numerics/gradient.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::num {
+
+PgaResult projected_gradient_ascent(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        gradient,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        project,
+    std::vector<double> start, const PgaOptions& options) {
+  HECMINE_REQUIRE(options.initial_step > 0.0,
+                  "projected_gradient_ascent requires a positive step");
+  PgaResult result;
+  result.point = project(std::move(start));
+  result.value = objective(result.point);
+  double step = options.initial_step;
+
+  const auto eval_gradient = [&](const std::vector<double>& x) {
+    if (gradient) return gradient(x);
+    return central_gradient(objective, x, options.gradient_step);
+  };
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    const auto grad = eval_gradient(result.point);
+    bool accepted = false;
+    for (int backtrack = 0; backtrack < 60; ++backtrack) {
+      std::vector<double> trial(result.point.size());
+      for (std::size_t i = 0; i < trial.size(); ++i)
+        trial[i] = result.point[i] + step * grad[i];
+      trial = project(trial);
+      const double movement = max_norm_diff(trial, result.point);
+      if (movement < options.tolerance) {
+        // Stationary: the projected gradient step no longer moves the point.
+        result.converged = true;
+        return result;
+      }
+      const double trial_value = objective(trial);
+      // Armijo condition on the projected step.
+      double inner = 0.0;
+      for (std::size_t i = 0; i < trial.size(); ++i)
+        inner += grad[i] * (trial[i] - result.point[i]);
+      if (trial_value >= result.value + options.armijo * inner) {
+        result.point = std::move(trial);
+        result.value = trial_value;
+        accepted = true;
+        step *= 1.5;  // recover step length after successes
+        break;
+      }
+      step *= options.backtrack;
+    }
+    if (!accepted) {
+      // The line search failed even at a tiny step: numerically stationary.
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace hecmine::num

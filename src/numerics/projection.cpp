@@ -1,0 +1,135 @@
+#include "numerics/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace hecmine::num {
+
+std::vector<double> project_box(const std::vector<double>& point,
+                                const std::vector<double>& lo,
+                                const std::vector<double>& hi) {
+  HECMINE_REQUIRE(point.size() == lo.size() && point.size() == hi.size(),
+                  "project_box requires matching sizes");
+  std::vector<double> projected(point.size());
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    HECMINE_REQUIRE(lo[i] <= hi[i], "project_box requires lo <= hi");
+    projected[i] = std::clamp(point[i], lo[i], hi[i]);
+  }
+  return projected;
+}
+
+namespace {
+
+// x(nu) = max(point - nu * prices, 0); spend(nu) = prices . x(nu) is
+// continuous, non-increasing and piecewise linear in nu.
+double spend_at(const std::vector<double>& point,
+                const std::vector<double>& prices, double nu) {
+  double spend = 0.0;
+  for (std::size_t i = 0; i < point.size(); ++i)
+    spend += prices[i] * std::max(point[i] - nu * prices[i], 0.0);
+  return spend;
+}
+
+}  // namespace
+
+std::vector<double> project_budget_set(const std::vector<double>& point,
+                                       const std::vector<double>& prices,
+                                       double budget) {
+  HECMINE_REQUIRE(point.size() == prices.size(),
+                  "project_budget_set requires matching sizes");
+  HECMINE_REQUIRE(budget >= 0.0, "project_budget_set requires budget >= 0");
+  for (double p : prices)
+    HECMINE_REQUIRE(p > 0.0, "project_budget_set requires positive prices");
+
+  std::vector<double> projected(point.size());
+  for (std::size_t i = 0; i < point.size(); ++i)
+    projected[i] = std::max(point[i], 0.0);
+  if (spend_at(point, prices, 0.0) <= budget) return projected;
+
+  // Budget constraint is active: find nu >= 0 with spend(nu) = budget.
+  // spend(nu) hits zero once nu >= max_i point_i / prices_i.
+  double hi = 0.0;
+  for (std::size_t i = 0; i < point.size(); ++i)
+    hi = std::max(hi, std::max(point[i], 0.0) / prices[i]);
+  double lo = 0.0;
+  for (int iteration = 0; iteration < 200 && (hi - lo) > 1e-15 * (1.0 + hi);
+       ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (spend_at(point, prices, mid) > budget)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double nu = 0.5 * (lo + hi);
+  for (std::size_t i = 0; i < point.size(); ++i)
+    projected[i] = std::max(point[i] - nu * prices[i], 0.0);
+  return projected;
+}
+
+std::vector<double> project_shared_cap(
+    const std::vector<double>& point, const std::vector<BudgetBlock>& blocks,
+    const std::vector<double>& shared_weights, double cap, double tolerance) {
+  HECMINE_REQUIRE(cap >= 0.0, "project_shared_cap requires cap >= 0");
+  HECMINE_REQUIRE(point.size() == shared_weights.size(),
+                  "project_shared_cap requires one weight per coordinate");
+  std::size_t total = 0;
+  for (const auto& block : blocks) total += block.prices.size();
+  HECMINE_REQUIRE(total == point.size(),
+                  "project_shared_cap blocks must tile the point");
+  for (double w : shared_weights)
+    HECMINE_REQUIRE(w >= 0.0,
+                    "project_shared_cap requires non-negative weights");
+
+  // x(mu) = blockwise projection of (point - mu * shared_weights); the
+  // shared usage a . x(mu) is continuous and non-increasing in mu, so the
+  // complementary multiplier is found by bisection.
+  const auto project_blocks = [&](double mu) {
+    std::vector<double> shifted(point.size());
+    for (std::size_t i = 0; i < point.size(); ++i)
+      shifted[i] = point[i] - mu * shared_weights[i];
+    std::vector<double> projected;
+    projected.reserve(point.size());
+    std::size_t offset = 0;
+    for (const auto& block : blocks) {
+      const std::vector<double> block_point(
+          shifted.begin() + static_cast<std::ptrdiff_t>(offset),
+          shifted.begin() +
+              static_cast<std::ptrdiff_t>(offset + block.prices.size()));
+      const auto block_projected =
+          project_budget_set(block_point, block.prices, block.budget);
+      projected.insert(projected.end(), block_projected.begin(),
+                       block_projected.end());
+      offset += block.prices.size();
+    }
+    return projected;
+  };
+  const auto shared_usage = [&](const std::vector<double>& x) {
+    double usage = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      usage += shared_weights[i] * x[i];
+    return usage;
+  };
+
+  auto projected = project_blocks(0.0);
+  if (shared_usage(projected) <= cap + tolerance) return projected;
+
+  // Upper bound: once mu * w_i exceeds every positive coordinate of the
+  // shifted point, the blockwise projection has zero shared usage.
+  double hi = 1.0;
+  while (shared_usage(project_blocks(hi)) > cap && hi < 1e18) hi *= 2.0;
+  double lo = 0.0;
+  for (int iteration = 0;
+       iteration < 200 && (hi - lo) > tolerance * (1.0 + hi); ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (shared_usage(project_blocks(mid)) > cap)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return project_blocks(0.5 * (lo + hi));
+}
+
+}  // namespace hecmine::num

@@ -1,0 +1,44 @@
+// Euclidean projections onto the constraint sets of the mining game.
+//
+// The miner strategy set is the "budget polytope"
+//   K(p, B) = { x >= 0 : p . x <= B },   p > 0, B >= 0,
+// and the standalone-mode joint set adds one shared linear cap
+//   a . x <= cap  across all miners. Both projections reduce to monotone
+// one-dimensional multiplier searches, implemented here.
+#pragma once
+
+#include <vector>
+
+namespace hecmine::num {
+
+/// Projects `point` onto the box [lo, hi] componentwise.
+/// Requires matching sizes and lo <= hi componentwise.
+[[nodiscard]] std::vector<double> project_box(const std::vector<double>& point,
+                                              const std::vector<double>& lo,
+                                              const std::vector<double>& hi);
+
+/// Projects `point` onto { x >= 0 : prices . x <= budget }.
+/// Requires prices > 0 componentwise, budget >= 0, matching sizes.
+[[nodiscard]] std::vector<double> project_budget_set(
+    const std::vector<double>& point, const std::vector<double>& prices,
+    double budget);
+
+/// Description of one block (player) of a product-of-budget-sets domain.
+struct BudgetBlock {
+  std::vector<double> prices;  ///< per-coordinate unit prices (> 0)
+  double budget = 0.0;         ///< per-player budget (>= 0)
+};
+
+/// Projects onto the jointly constrained set
+///   { x : x_i in K(prices_i, budget_i)  and  shared_weights . x <= cap },
+/// where `shared_weights` has one entry per flattened coordinate (>= 0) and
+/// blocks are laid out consecutively. This is the strategy set of the
+/// standalone-mode GNEP (shared ESP capacity). Solved by bisection on the
+/// shared constraint's multiplier; exact complementary slackness holds at
+/// the returned point up to the tolerance.
+[[nodiscard]] std::vector<double> project_shared_cap(
+    const std::vector<double>& point, const std::vector<BudgetBlock>& blocks,
+    const std::vector<double>& shared_weights, double cap,
+    double tolerance = 1e-12);
+
+}  // namespace hecmine::num

@@ -1,0 +1,110 @@
+#include "numerics/roots.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::num {
+
+using support::ConvergenceError;
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const RootOptions& options) {
+  HECMINE_REQUIRE(lo < hi, "bisect requires lo < hi");
+  double f_lo = f(lo);
+  double f_hi = f(hi);
+  if (f_lo == 0.0) return lo;
+  if (f_hi == 0.0) return hi;
+  HECMINE_REQUIRE(std::signbit(f_lo) != std::signbit(f_hi),
+                  "bisect requires a sign change on [lo, hi]");
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    const double f_mid = f(mid);
+    if (f_mid == 0.0 || 0.5 * (hi - lo) < options.tolerance) return mid;
+    if (std::signbit(f_mid) == std::signbit(f_lo)) {
+      lo = mid;
+      f_lo = f_mid;
+    } else {
+      hi = mid;
+    }
+  }
+  throw ConvergenceError("bisect: iteration budget exhausted");
+}
+
+double brent_root(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& options) {
+  HECMINE_REQUIRE(lo < hi, "brent_root requires lo < hi");
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  HECMINE_REQUIRE(std::signbit(fa) != std::signbit(fb),
+                  "brent_root requires a sign change on [lo, hi]");
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool used_bisection = true;
+  double d = 0.0;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    double s;
+    if (fa != fc && fb != fc) {
+      // inverse quadratic interpolation
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      s = b - fb * (b - a) / (fb - fa);  // secant
+    }
+    const double midpoint = 0.5 * (a + b);
+    const bool out_of_range = (s < std::min(midpoint, b)) ||
+                              (s > std::max(midpoint, b));
+    const bool slow_progress =
+        used_bisection
+            ? std::abs(s - b) >= 0.5 * std::abs(b - c)
+            : std::abs(s - b) >= 0.5 * std::abs(c - d);
+    if (out_of_range || slow_progress) {
+      s = midpoint;
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (std::signbit(fa) != std::signbit(fs)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+    if (fb == 0.0 || std::abs(b - a) < options.tolerance) return b;
+  }
+  throw ConvergenceError("brent_root: iteration budget exhausted");
+}
+
+double decreasing_root_unbounded(const std::function<double(double)>& f,
+                                 double lo, double hi0,
+                                 const RootOptions& options) {
+  HECMINE_REQUIRE(hi0 > lo, "decreasing_root_unbounded requires hi0 > lo");
+  const double f_lo = f(lo);
+  HECMINE_REQUIRE(f_lo >= 0.0,
+                  "decreasing_root_unbounded requires f(lo) >= 0");
+  if (f_lo == 0.0) return lo;
+  double hi = hi0;
+  for (int expansion = 0; expansion < 60; ++expansion) {
+    if (f(hi) <= 0.0) return brent_root(f, lo, hi, options);
+    hi = lo + 2.0 * (hi - lo);
+  }
+  throw ConvergenceError(
+      "decreasing_root_unbounded: no sign change within expansion budget");
+}
+
+}  // namespace hecmine::num

@@ -1,0 +1,34 @@
+// Scalar root finding.
+#pragma once
+
+#include <functional>
+
+namespace hecmine::num {
+
+/// Options shared by the scalar root finders.
+struct RootOptions {
+  double tolerance = 1e-12;   ///< absolute half-width of the final bracket
+  int max_iterations = 200;   ///< iteration budget before ConvergenceError
+};
+
+/// Finds a root of `f` in [lo, hi] by bisection.
+/// Requires lo < hi and f(lo), f(hi) of opposite sign (or either being 0).
+/// Throws ConvergenceError if the budget is exhausted.
+[[nodiscard]] double bisect(const std::function<double(double)>& f, double lo,
+                            double hi, const RootOptions& options = {});
+
+/// Brent's method (inverse quadratic + secant + bisection safeguards).
+/// Same contract as bisect(); typically an order of magnitude fewer calls.
+[[nodiscard]] double brent_root(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const RootOptions& options = {});
+
+/// Finds a root of a monotone non-increasing function on [lo, +inf).
+/// Expands the bracket geometrically from `hi0` until f changes sign, then
+/// delegates to brent_root. Requires f(lo) >= 0; returns lo if f(lo) == 0.
+/// Throws ConvergenceError if no sign change is found within ~2^60 * hi0.
+[[nodiscard]] double decreasing_root_unbounded(
+    const std::function<double(double)>& f, double lo, double hi0,
+    const RootOptions& options = {});
+
+}  // namespace hecmine::num

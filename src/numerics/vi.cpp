@@ -1,0 +1,109 @@
+#include "numerics/vi.hpp"
+
+#include <cmath>
+
+#include "numerics/fixed_point.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::num {
+
+namespace {
+
+std::vector<double> axpy(const std::vector<double>& x, double alpha,
+                         const std::vector<double>& y) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + alpha * y[i];
+  return out;
+}
+
+double norm2(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+std::vector<double> subtract(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace
+
+double natural_residual(const VariationalInequality& problem,
+                        const std::vector<double>& point) {
+  const auto step = problem.project(axpy(point, -1.0, problem.map(point)));
+  return max_norm_diff(point, step);
+}
+
+VIResult solve_extragradient(const VariationalInequality& problem,
+                             std::vector<double> start,
+                             const ExtragradientOptions& options) {
+  HECMINE_REQUIRE(options.initial_step > 0.0,
+                  "extragradient requires a positive initial step");
+  HECMINE_REQUIRE(options.backtrack > 0.0 && options.backtrack < 1.0,
+                  "extragradient backtrack factor must be in (0, 1)");
+  VIResult result;
+  result.point = problem.project(std::move(start));
+  double tau = options.initial_step;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    const auto f_x = problem.map(result.point);
+    // Backtracking: shrink tau until the extrapolation step satisfies the
+    // standard Lipschitz-surrogate test tau * ||F(x) - F(y)|| <= nu ||x - y||.
+    std::vector<double> y;
+    std::vector<double> f_y;
+    constexpr double kNu = 0.9;
+    for (int backtrack = 0; backtrack < 60; ++backtrack) {
+      y = problem.project(axpy(result.point, -tau, f_x));
+      f_y = problem.map(y);
+      const double lhs = tau * norm2(subtract(f_x, f_y));
+      const double rhs = kNu * norm2(subtract(result.point, y));
+      if (lhs <= rhs || rhs == 0.0) break;
+      tau *= options.backtrack;
+    }
+    const auto next = problem.project(axpy(result.point, -tau, f_y));
+    const double movement = max_norm_diff(next, result.point);
+    result.point = next;
+    // Cheap movement test first; the exact natural residual costs one more
+    // map + projection, so only confirm when movement is already small.
+    if (movement < options.tolerance) {
+      result.residual = natural_residual(problem, result.point);
+      if (result.residual < 10.0 * options.tolerance) {
+        result.converged = true;
+        return result;
+      }
+    }
+    // Gentle step growth lets tau recover after an early conservative phase.
+    tau *= 1.05;
+  }
+  result.residual = natural_residual(problem, result.point);
+  result.converged = result.residual < options.tolerance;
+  return result;
+}
+
+double monotonicity_quotient(
+    const std::function<std::vector<double>(const std::vector<double>&)>& map,
+    const std::vector<std::vector<double>>& points) {
+  HECMINE_REQUIRE(points.size() >= 2,
+                  "monotonicity_quotient requires at least two points");
+  double worst = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> images;
+  images.reserve(points.size());
+  for (const auto& p : points) images.push_back(map(p));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const auto dx = subtract(points[i], points[j]);
+      const auto df = subtract(images[i], images[j]);
+      double inner = 0.0;
+      for (std::size_t k = 0; k < dx.size(); ++k) inner += dx[k] * df[k];
+      const double denom = norm2(dx);
+      if (denom == 0.0) continue;
+      worst = std::min(worst, inner / (denom * denom));
+    }
+  }
+  return worst;
+}
+
+}  // namespace hecmine::num

@@ -1,0 +1,59 @@
+// Variational inequality (VI) solver.
+//
+// The standalone-mode miner subgame is a jointly convex GNEP; its
+// variational equilibrium is the solution of VI(K, F) with F the stacked
+// negated utility gradients and K the shared-constraint polytope
+// (Facchinei & Kanzow 2007). We solve it with the Korpelevich extragradient
+// method with adaptive step backtracking, which converges for monotone F
+// without needing a Lipschitz constant up front.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace hecmine::num {
+
+/// A VI(K, F) instance: find x* in K with F(x*).(y - x*) >= 0 for all y in K.
+struct VariationalInequality {
+  /// The (monotone) operator F.
+  std::function<std::vector<double>(const std::vector<double>&)> map;
+  /// Euclidean projection onto the closed convex set K.
+  std::function<std::vector<double>(const std::vector<double>&)> project;
+};
+
+/// Options for the extragradient solver.
+struct ExtragradientOptions {
+  double initial_step = 0.1;   ///< starting tau; adapted by backtracking
+  double backtrack = 0.5;      ///< step shrink factor when the cone test fails
+  double tolerance = 1e-9;     ///< natural residual at convergence
+  int max_iterations = 20000;  ///< outer iteration budget
+};
+
+/// Outcome of the extragradient method.
+struct VIResult {
+  std::vector<double> point;
+  double residual = 0.0;  ///< ||x - P_K(x - F(x))||_inf (natural residual)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Natural residual ||x - P_K(x - F(x))||_inf of a candidate point.
+[[nodiscard]] double natural_residual(const VariationalInequality& problem,
+                                      const std::vector<double>& point);
+
+/// Solves VI(K, F) by the extragradient method from `start` (projected onto
+/// K first). Requires a monotone F for guaranteed convergence; the result
+/// reports the achieved residual either way.
+[[nodiscard]] VIResult solve_extragradient(
+    const VariationalInequality& problem, std::vector<double> start,
+    const ExtragradientOptions& options = {});
+
+/// Empirical monotonicity probe: returns the minimum over sampled pairs
+/// (x, y) of (F(x) - F(y)) . (x - y) / ||x - y||^2. Non-negative values
+/// support monotonicity of F on the sampled region. Points are sampled by
+/// the caller; this just evaluates the quotient over all pairs.
+[[nodiscard]] double monotonicity_quotient(
+    const std::function<std::vector<double>(const std::vector<double>&)>& map,
+    const std::vector<std::vector<double>>& points);
+
+}  // namespace hecmine::num

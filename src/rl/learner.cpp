@@ -1,0 +1,187 @@
+#include "rl/learner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace hecmine::rl {
+
+ActionGrid ActionGrid::budget_grid(const core::Prices& prices, double budget,
+                                   int edge_steps, int cloud_steps) {
+  HECMINE_REQUIRE(prices.edge > 0.0 && prices.cloud > 0.0,
+                  "ActionGrid: prices must be positive");
+  HECMINE_REQUIRE(budget > 0.0, "ActionGrid: budget must be positive");
+  HECMINE_REQUIRE(edge_steps >= 2 && cloud_steps >= 2,
+                  "ActionGrid: at least 2 steps per axis");
+  ActionGrid grid;
+  const double max_edge = budget / prices.edge;
+  for (int i = 0; i < edge_steps; ++i) {
+    const double e = max_edge * static_cast<double>(i) /
+                     static_cast<double>(edge_steps - 1);
+    // Remaining budget after the edge purchase bounds the cloud axis.
+    const double max_cloud = (budget - prices.edge * e) / prices.cloud;
+    for (int j = 0; j < cloud_steps; ++j) {
+      const double c = max_cloud * static_cast<double>(j) /
+                       static_cast<double>(cloud_steps - 1);
+      grid.actions.push_back({e, c});
+    }
+  }
+  return grid;
+}
+
+BanditLearner::BanditLearner(std::size_t num_actions, double epsilon,
+                             double learning_rate)
+    : values_(num_actions, 0.0),
+      counts_(num_actions, 0),
+      epsilon_(epsilon),
+      learning_rate_(learning_rate) {
+  HECMINE_REQUIRE(num_actions > 0, "BanditLearner: num_actions > 0");
+  HECMINE_REQUIRE(epsilon >= 0.0 && epsilon <= 1.0,
+                  "BanditLearner: epsilon in [0, 1]");
+  HECMINE_REQUIRE(learning_rate > 0.0 && learning_rate <= 1.0,
+                  "BanditLearner: learning_rate in (0, 1]");
+}
+
+std::size_t BanditLearner::select(support::Rng& rng) {
+  if (rng.bernoulli(epsilon_))
+    return static_cast<std::size_t>(rng.uniform_index(values_.size()));
+  return best_action();
+}
+
+void BanditLearner::update(std::size_t action, double reward) {
+  HECMINE_REQUIRE(action < values_.size(),
+                  "BanditLearner: action out of range");
+  ++counts_[action];
+  // Unvisited arms use their first sample outright; afterwards a constant
+  // step tracks the (non-stationary) payoff as opponents keep learning.
+  const double step =
+      counts_[action] == 1 ? 1.0 : learning_rate_;
+  values_[action] += step * (reward - values_[action]);
+}
+
+std::size_t BanditLearner::best_action() const {
+  return static_cast<std::size_t>(std::distance(
+      values_.begin(), std::max_element(values_.begin(), values_.end())));
+}
+
+void BanditLearner::decay_epsilon(double factor, double floor) {
+  HECMINE_REQUIRE(factor > 0.0 && factor <= 1.0,
+                  "BanditLearner: decay factor in (0, 1]");
+  HECMINE_REQUIRE(floor >= 0.0, "BanditLearner: epsilon floor >= 0");
+  epsilon_ = std::max(floor, epsilon_ * factor);
+}
+
+void BanditLearner::set_annealing(double factor, double floor) {
+  HECMINE_REQUIRE(factor > 0.0 && factor <= 1.0,
+                  "BanditLearner: anneal factor in (0, 1]");
+  HECMINE_REQUIRE(floor >= 0.0, "BanditLearner: anneal floor >= 0");
+  anneal_factor_ = factor;
+  anneal_floor_ = floor;
+}
+
+void BanditLearner::end_round() {
+  decay_epsilon(anneal_factor_, anneal_floor_);
+}
+
+Ucb1Learner::Ucb1Learner(std::size_t num_actions, double exploration)
+    : means_(num_actions, 0.0),
+      counts_(num_actions, 0),
+      exploration_(exploration) {
+  HECMINE_REQUIRE(num_actions > 0, "Ucb1Learner: num_actions > 0");
+  HECMINE_REQUIRE(exploration >= 0.0, "Ucb1Learner: exploration >= 0");
+}
+
+std::size_t Ucb1Learner::select(support::Rng& rng) {
+  // Play each arm once first, in random order to break symmetry across the
+  // learner pool.
+  std::vector<std::size_t> unvisited;
+  for (std::size_t a = 0; a < counts_.size(); ++a)
+    if (counts_[a] == 0) unvisited.push_back(a);
+  if (!unvisited.empty())
+    return unvisited[rng.uniform_index(unvisited.size())];
+
+  const double scale = std::max(reward_hi_ - reward_lo_, 1e-9);
+  const double log_term =
+      2.0 * std::log(static_cast<double>(std::max<std::size_t>(total_plays_, 2)));
+  std::size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < means_.size(); ++a) {
+    const double bonus =
+        exploration_ * scale *
+        std::sqrt(log_term / static_cast<double>(counts_[a]));
+    const double score = means_[a] + bonus;
+    if (score > best_score) {
+      best_score = score;
+      best = a;
+    }
+  }
+  return best;
+}
+
+void Ucb1Learner::update(std::size_t action, double reward) {
+  HECMINE_REQUIRE(action < means_.size(), "Ucb1Learner: action out of range");
+  ++counts_[action];
+  ++total_plays_;
+  means_[action] +=
+      (reward - means_[action]) / static_cast<double>(counts_[action]);
+  if (!scale_seen_) {
+    reward_lo_ = reward_hi_ = reward;
+    scale_seen_ = true;
+  } else {
+    reward_lo_ = std::min(reward_lo_, reward);
+    reward_hi_ = std::max(reward_hi_, reward);
+  }
+}
+
+std::size_t Ucb1Learner::best_action() const {
+  return static_cast<std::size_t>(std::distance(
+      means_.begin(), std::max_element(means_.begin(), means_.end())));
+}
+
+BoltzmannLearner::BoltzmannLearner(std::size_t num_actions, double temperature,
+                                   double learning_rate, double cooling,
+                                   double floor)
+    : values_(num_actions, 0.0),
+      counts_(num_actions, 0),
+      temperature_(temperature),
+      learning_rate_(learning_rate),
+      cooling_(cooling),
+      floor_(floor) {
+  HECMINE_REQUIRE(num_actions > 0, "BoltzmannLearner: num_actions > 0");
+  HECMINE_REQUIRE(temperature > 0.0, "BoltzmannLearner: temperature > 0");
+  HECMINE_REQUIRE(learning_rate > 0.0 && learning_rate <= 1.0,
+                  "BoltzmannLearner: learning_rate in (0, 1]");
+  HECMINE_REQUIRE(cooling > 0.0 && cooling <= 1.0,
+                  "BoltzmannLearner: cooling in (0, 1]");
+  HECMINE_REQUIRE(floor > 0.0, "BoltzmannLearner: temperature floor > 0");
+}
+
+std::size_t BoltzmannLearner::select(support::Rng& rng) {
+  // Softmax with the max subtracted for numerical stability.
+  const double peak = *std::max_element(values_.begin(), values_.end());
+  std::vector<double> weights(values_.size());
+  for (std::size_t a = 0; a < values_.size(); ++a)
+    weights[a] = std::exp((values_[a] - peak) / temperature_);
+  return rng.categorical(weights);
+}
+
+void BoltzmannLearner::update(std::size_t action, double reward) {
+  HECMINE_REQUIRE(action < values_.size(),
+                  "BoltzmannLearner: action out of range");
+  ++counts_[action];
+  const double step = counts_[action] == 1 ? 1.0 : learning_rate_;
+  values_[action] += step * (reward - values_[action]);
+}
+
+std::size_t BoltzmannLearner::best_action() const {
+  return static_cast<std::size_t>(std::distance(
+      values_.begin(), std::max_element(values_.begin(), values_.end())));
+}
+
+void BoltzmannLearner::end_round() {
+  temperature_ = std::max(floor_, temperature_ * cooling_);
+}
+
+}  // namespace hecmine::rl

@@ -1,0 +1,133 @@
+// Model-free learners for the RL validation framework (paper Sec. VI-C).
+//
+// Each miner's action space is a discretized grid of affordable requests
+// (e, c); an epsilon-greedy incremental-Q bandit learns action values from
+// repeated mining rounds. This mirrors the paper's setup: strategies are
+// private, so each miner only observes its own realized/expected payoff and
+// adapts through repeated interaction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine::rl {
+
+/// Discrete action set over the budget polytope.
+struct ActionGrid {
+  std::vector<core::MinerRequest> actions;
+
+  /// Cartesian grid of edge_steps x cloud_steps affordable requests:
+  /// e in {0, ..., B/P_e * s_e}, c scaled so the pair stays within budget.
+  /// Requires positive prices/budget and at least 2 steps per axis.
+  [[nodiscard]] static ActionGrid budget_grid(const core::Prices& prices,
+                                              double budget, int edge_steps,
+                                              int cloud_steps);
+
+  [[nodiscard]] std::size_t size() const noexcept { return actions.size(); }
+};
+
+/// Common interface of the bandit learners (the trainer is agnostic to the
+/// exploration strategy; Sec. VI-C's framework is epsilon-greedy, UCB1 and
+/// Boltzmann are ablation variants).
+class Learner {
+ public:
+  virtual ~Learner() = default;
+
+  /// Picks an action for this round.
+  [[nodiscard]] virtual std::size_t select(support::Rng& rng) = 0;
+  /// Feeds back the realized/expected payoff of the chosen action.
+  virtual void update(std::size_t action, double reward) = 0;
+  /// Current greedy choice.
+  [[nodiscard]] virtual std::size_t best_action() const = 0;
+  /// Called once per mining round (anneal exploration).
+  virtual void end_round() {}
+};
+
+/// Epsilon-greedy bandit with constant-step incremental value estimates.
+class BanditLearner final : public Learner {
+ public:
+  /// Requires num_actions > 0, epsilon in [0, 1], learning_rate in (0, 1].
+  BanditLearner(std::size_t num_actions, double epsilon, double learning_rate);
+
+  /// Picks an action: uniform with probability epsilon, else greedy.
+  [[nodiscard]] std::size_t select(support::Rng& rng) override;
+
+  /// Q[action] += learning_rate * (reward - Q[action]).
+  void update(std::size_t action, double reward) override;
+
+  /// Greedy action under the current estimates (ties -> lowest index).
+  [[nodiscard]] std::size_t best_action() const override;
+
+  /// Multiplies epsilon by `factor`, never dropping below `floor`.
+  void decay_epsilon(double factor, double floor);
+
+  /// Configures the per-round annealing applied by end_round().
+  void set_annealing(double factor, double floor);
+  void end_round() override;
+
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::vector<double> values_;
+  std::vector<std::size_t> counts_;
+  double epsilon_;
+  double learning_rate_;
+  double anneal_factor_ = 1.0;
+  double anneal_floor_ = 0.0;
+};
+
+/// UCB1 bandit (Auer et al.): plays the arm maximizing
+/// mean + c * sqrt(2 ln t / n_a); unvisited arms first. Reward scale is
+/// normalized by a running range estimate so the exploration bonus stays
+/// comparable to the utilities.
+class Ucb1Learner final : public Learner {
+ public:
+  /// Requires num_actions > 0 and exploration >= 0.
+  Ucb1Learner(std::size_t num_actions, double exploration = 1.0);
+
+  [[nodiscard]] std::size_t select(support::Rng& rng) override;
+  void update(std::size_t action, double reward) override;
+  [[nodiscard]] std::size_t best_action() const override;
+
+ private:
+  std::vector<double> means_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_plays_ = 0;
+  double exploration_;
+  double reward_lo_ = 0.0;
+  double reward_hi_ = 1.0;
+  bool scale_seen_ = false;
+};
+
+/// Boltzmann (softmax) bandit: plays arm a with probability proportional
+/// to exp(Q_a / temperature); the temperature anneals per round.
+class BoltzmannLearner final : public Learner {
+ public:
+  /// Requires num_actions > 0, temperature > 0, learning_rate in (0, 1],
+  /// cooling in (0, 1], floor > 0.
+  BoltzmannLearner(std::size_t num_actions, double temperature,
+                   double learning_rate, double cooling, double floor);
+
+  [[nodiscard]] std::size_t select(support::Rng& rng) override;
+  void update(std::size_t action, double reward) override;
+  [[nodiscard]] std::size_t best_action() const override;
+  void end_round() override;
+
+  [[nodiscard]] double temperature() const noexcept { return temperature_; }
+
+ private:
+  std::vector<double> values_;
+  std::vector<std::size_t> counts_;
+  double temperature_;
+  double learning_rate_;
+  double cooling_;
+  double floor_;
+};
+
+}  // namespace hecmine::rl

@@ -1,0 +1,232 @@
+#include "rl/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "chain/race.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::rl {
+
+namespace {
+
+/// Expected utility of active miner `i` against the chosen active profile,
+/// with the dynamic game's h-weighted winning probability (Eq. 26 reduced).
+double expected_utility(const core::NetworkParams& params,
+                        const core::Prices& prices, double edge_success,
+                        const std::vector<core::MinerRequest>& active,
+                        std::size_t i) {
+  const core::Totals totals = core::aggregate(active);
+  const double beta = params.fork_rate;
+  double win = 0.0;
+  if (totals.grand() > 0.0)
+    win += (1.0 - beta) * active[i].total() / totals.grand();
+  if (active[i].edge > 0.0 && totals.edge > 0.0)
+    win += beta * edge_success * active[i].edge / totals.edge;
+  return params.reward * win - core::request_cost(active[i], prices);
+}
+
+/// Realized utility: edge requests independently served w.p. h (else
+/// transferred to the cloud), then one PoW race decides the reward.
+std::vector<double> realized_utilities(
+    const core::NetworkParams& params, const core::Prices& prices,
+    double edge_success, const std::vector<core::MinerRequest>& active,
+    support::Rng& rng) {
+  std::vector<chain::Allocation> allocations(active.size());
+  std::vector<double> payments(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    payments[i] = core::request_cost(active[i], prices);
+    const bool transferred =
+        active[i].edge > 0.0 && !rng.bernoulli(edge_success);
+    allocations[i] = transferred
+                         ? chain::Allocation{0.0, active[i].total()}
+                         : chain::Allocation{active[i].edge, active[i].cloud};
+  }
+  chain::RaceConfig race;
+  race.fork_rate = params.fork_rate;
+  const auto outcome = chain::run_race(allocations, race, rng);
+  std::vector<double> utilities(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const double income =
+        (outcome && outcome->winner == i) ? params.reward : 0.0;
+    utilities[i] = income - payments[i];
+  }
+  return utilities;
+}
+
+}  // namespace
+
+TrainerResult train_miners(const core::NetworkParams& params,
+                           const core::Prices& prices, double budget,
+                           const core::PopulationModel& population,
+                           const TrainerConfig& config, std::uint64_t seed) {
+  params.validate();
+  HECMINE_REQUIRE(prices.edge > 0.0 && prices.cloud > 0.0,
+                  "train_miners: prices must be positive");
+  HECMINE_REQUIRE(budget > 0.0, "train_miners: budget must be positive");
+  HECMINE_REQUIRE(config.blocks > 0, "train_miners: blocks must be positive");
+  HECMINE_REQUIRE(config.edge_success > 0.0 && config.edge_success <= 1.0,
+                  "train_miners: edge_success in (0, 1]");
+
+  const ActionGrid grid = ActionGrid::budget_grid(
+      prices, budget, config.edge_steps, config.cloud_steps);
+  const std::size_t pool =
+      static_cast<std::size_t>(population.max_miners());
+  std::vector<std::unique_ptr<Learner>> learners;
+  learners.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    switch (config.learner) {
+      case LearnerKind::kEpsilonGreedy: {
+        auto learner = std::make_unique<BanditLearner>(
+            grid.size(), config.epsilon, config.learning_rate);
+        learner->set_annealing(config.epsilon_decay, config.epsilon_floor);
+        learners.push_back(std::move(learner));
+        break;
+      }
+      case LearnerKind::kUcb1:
+        learners.push_back(
+            std::make_unique<Ucb1Learner>(grid.size(), config.ucb_exploration));
+        break;
+      case LearnerKind::kBoltzmann:
+        learners.push_back(std::make_unique<BoltzmannLearner>(
+            grid.size(), config.boltzmann_temperature, config.learning_rate,
+            config.boltzmann_cooling, config.boltzmann_floor));
+        break;
+    }
+  }
+  support::Rng rng{seed};
+
+  std::vector<std::size_t> order(pool);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  TrainerResult result;
+  const auto record_curve_point = [&](int block) {
+    CurvePoint point;
+    point.block = block;
+    for (const auto& learner : learners) {
+      const auto& action = grid.actions[learner->best_action()];
+      point.mean_greedy.edge += action.edge;
+      point.mean_greedy.cloud += action.cloud;
+    }
+    point.mean_greedy.edge /= static_cast<double>(pool);
+    point.mean_greedy.cloud /= static_cast<double>(pool);
+    result.curve.push_back(point);
+  };
+
+  for (int block = 0; block < config.blocks; ++block) {
+    const int active_count =
+        std::min<int>(population.sample(rng), static_cast<int>(pool));
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    std::vector<std::size_t> active(order.begin(),
+                                    order.begin() + active_count);
+    std::vector<std::size_t> chosen(active.size());
+    std::vector<core::MinerRequest> profile(active.size());
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      chosen[a] = learners[active[a]]->select(rng);
+      profile[a] = grid.actions[chosen[a]];
+    }
+    if (config.feedback == FeedbackMode::kExpected) {
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        const double reward = expected_utility(
+            params, prices, config.edge_success, profile, a);
+        learners[active[a]]->update(chosen[a], reward);
+      }
+    } else {
+      const auto utilities = realized_utilities(
+          params, prices, config.edge_success, profile, rng);
+      for (std::size_t a = 0; a < active.size(); ++a)
+        learners[active[a]]->update(chosen[a], utilities[a]);
+    }
+    for (auto& learner : learners) learner->end_round();
+    if (config.curve_stride > 0 &&
+        (block + 1) % config.curve_stride == 0) {
+      record_curve_point(block + 1);
+    }
+  }
+
+  result.greedy.resize(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    result.greedy[i] = grid.actions[learners[i]->best_action()];
+    result.mean.edge += result.greedy[i].edge;
+    result.mean.cloud += result.greedy[i].cloud;
+  }
+  result.mean.edge /= static_cast<double>(pool);
+  result.mean.cloud /= static_cast<double>(pool);
+  result.mean_expected_total_edge = population.mean() * result.mean.edge;
+  return result;
+}
+
+AdaptivePricingResult adaptive_pricing_loop(
+    const core::NetworkParams& params, core::Prices initial_prices,
+    double budget, const core::PopulationModel& population,
+    const AdaptivePricingConfig& config, std::uint64_t seed) {
+  params.validate();
+  AdaptivePricingResult result;
+  result.prices = initial_prices;
+  double step = config.price_step;
+  std::uint64_t stream = seed;
+
+  // Profit of each SP when miners re-learn at candidate prices. Common
+  // random numbers (same stream per period) keep probe comparisons fair.
+  const auto profits_at = [&](const core::Prices& prices,
+                              std::uint64_t probe_seed) {
+    const TrainerResult miners = train_miners(params, prices, budget,
+                                              population, config.trainer,
+                                              probe_seed);
+    const double mean_n = population.mean();
+    const double edge_units = mean_n * miners.mean.edge;
+    const double cloud_units = mean_n * miners.mean.cloud;
+    return std::pair<double, double>{
+        (prices.edge - params.cost_edge) * edge_units,
+        (prices.cloud - params.cost_cloud) * cloud_units};
+  };
+
+  for (int period = 0; period < config.max_periods; ++period) {
+    result.periods = period + 1;
+    const std::uint64_t period_seed = stream + static_cast<std::uint64_t>(period);
+    const auto [base_edge, base_cloud] = profits_at(result.prices, period_seed);
+    core::Prices best = result.prices;
+    double best_edge = base_edge;
+    double best_cloud = base_cloud;
+    // ESP hill-climb.
+    for (double direction : {1.0 + step, 1.0 / (1.0 + step)}) {
+      core::Prices probe = result.prices;
+      probe.edge = std::max(params.cost_edge * 1.0001, probe.edge * direction);
+      const auto [edge_profit, cloud_profit] = profits_at(probe, period_seed);
+      (void)cloud_profit;
+      if (edge_profit > best_edge) {
+        best_edge = edge_profit;
+        best.edge = probe.edge;
+      }
+    }
+    // CSP hill-climb.
+    for (double direction : {1.0 + step, 1.0 / (1.0 + step)}) {
+      core::Prices probe = result.prices;
+      probe.cloud =
+          std::max(params.cost_cloud * 1.0001, probe.cloud * direction);
+      const auto [edge_profit, cloud_profit] = profits_at(probe, period_seed);
+      (void)edge_profit;
+      if (cloud_profit > best_cloud) {
+        best_cloud = cloud_profit;
+        best.cloud = probe.cloud;
+      }
+    }
+    const double movement = std::max(std::abs(best.edge - result.prices.edge),
+                                     std::abs(best.cloud - result.prices.cloud));
+    result.prices = best;
+    if (movement < config.price_tolerance) {
+      if (step < 1e-3) {
+        result.converged = true;
+        break;
+      }
+      step *= config.step_decay;  // refine the search before declaring done
+    }
+  }
+  result.miners = train_miners(params, result.prices, budget, population,
+                               config.trainer, stream + 977);
+  return result;
+}
+
+}  // namespace hecmine::rl

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace hecmine::sim {
+
+void EventQueue::schedule_at(double when, Handler handler) {
+  HECMINE_REQUIRE(when >= now_, "EventQueue: cannot schedule in the past");
+  HECMINE_REQUIRE(static_cast<bool>(handler),
+                  "EventQueue: handler must be callable");
+  heap_.push(Entry{when, next_sequence_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(double delay, Handler handler) {
+  HECMINE_REQUIRE(delay >= 0.0, "EventQueue: delay must be non-negative");
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!heap_.empty() && processed < max_events) {
+    // Copy out before pop: the handler may schedule new events.
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.when;
+    entry.handler();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t EventQueue::run_until(double horizon) {
+  std::size_t processed = 0;
+  while (!heap_.empty() && heap_.top().when <= horizon) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.when;
+    entry.handler();
+    ++processed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return processed;
+}
+
+}  // namespace hecmine::sim

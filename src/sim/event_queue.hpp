@@ -1,0 +1,56 @@
+// A minimal discrete-event simulation kernel.
+//
+// Events are closures scheduled at absolute times; ties break by insertion
+// order (FIFO) so traces are deterministic. The kernel knows nothing about
+// the mining domain — net/event_sim.hpp builds the Fig-1 protocol on top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hecmine::sim {
+
+/// Discrete-event scheduler with deterministic FIFO tie-breaking.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `when` (>= now).
+  void schedule_at(double when, Handler handler);
+
+  /// Schedules `handler` `delay` time units from now (delay >= 0).
+  void schedule_in(double delay, Handler handler);
+
+  /// Runs until the queue drains or `max_events` have fired.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs until simulated time would exceed `horizon` (events at exactly
+  /// `horizon` still fire). Returns the number of events processed.
+  std::size_t run_until(double horizon);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t sequence;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;  // FIFO among equal times
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace hecmine::sim

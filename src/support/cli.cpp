@@ -1,0 +1,65 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/error.hpp"
+
+namespace hecmine::support {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double CliArgs::get(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  HECMINE_REQUIRE(end != nullptr && *end == '\0',
+                  "flag --" + name + " is not a number: " + it->second);
+  return value;
+}
+
+int CliArgs::get(const std::string& name, int fallback) const {
+  const double value = get(name, static_cast<double>(fallback));
+  return static_cast<int>(value);
+}
+
+std::vector<std::string> CliArgs::unknown_flags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, _] : flags_) {
+    if (queried_.find(name) == queried_.end()) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace hecmine::support

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the examples and bench binaries.
+//
+// Supported syntax: --name=value and --name value; everything else is a
+// positional argument. Unknown flags are kept and can be rejected by the
+// caller via unknown_flags().
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hecmine::support {
+
+/// Parsed command line with typed, defaulted accessors.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// String flag value or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  /// Numeric flag value or `fallback`; throws on a malformed number.
+  [[nodiscard]] double get(const std::string& name, double fallback) const;
+  [[nodiscard]] int get(const std::string& name, int fallback) const;
+  /// Flags seen but never queried through any accessor.
+  [[nodiscard]] std::vector<std::string> unknown_flags() const;
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hecmine::support

@@ -1,0 +1,113 @@
+#include "support/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hecmine::support {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config config;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    HECMINE_REQUIRE(eq != std::string::npos,
+                    "Config: malformed line " + std::to_string(line_number) +
+                        ": " + line);
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    HECMINE_REQUIRE(!key.empty(), "Config: empty key at line " +
+                                      std::to_string(line_number));
+    config.entries_[key] = value;
+  }
+  return config;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+bool Config::has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+std::string Config::get(const std::string& key,
+                        const std::string& fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+double Config::get(const std::string& key, double fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  HECMINE_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+                  "Config: key '" + key + "' is not a number: " + it->second);
+  return value;
+}
+
+int Config::get(const std::string& key, int fallback) const {
+  return static_cast<int>(get(key, static_cast<double>(fallback)));
+}
+
+bool Config::get(const std::string& key, bool fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  std::string value = it->second;
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  throw PreconditionError("Config: key '" + key +
+                          "' is not a boolean: " + it->second);
+}
+
+std::vector<double> Config::get_list(
+    const std::string& key, const std::vector<double>& fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  std::vector<double> values;
+  std::istringstream stream(it->second);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    token = trim(token);
+    if (token.empty()) continue;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    HECMINE_REQUIRE(end != nullptr && *end == '\0',
+                    "Config: list element of '" + key +
+                        "' is not a number: " + token);
+    values.push_back(value);
+  }
+  HECMINE_REQUIRE(!values.empty(),
+                  "Config: list '" + key + "' has no elements");
+  return values;
+}
+
+}  // namespace hecmine::support

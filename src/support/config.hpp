@@ -1,0 +1,45 @@
+// Flat key-value configuration files for experiment scenarios.
+//
+// Format: one `key = value` per line; `#` starts a comment; blank lines
+// ignored; values are free text (typed access via the getters). Lists are
+// comma-separated. This is deliberately minimal — scenarios are small and
+// human-edited.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hecmine::support {
+
+/// A parsed configuration file (or inline text).
+class Config {
+ public:
+  /// Parses `key = value` text. Throws PreconditionError on malformed
+  /// lines (anything that is neither blank, comment, nor key=value).
+  static Config parse(const std::string& text);
+
+  /// Reads and parses a file; throws on I/O failure.
+  static Config load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Typed getters with defaults; numeric getters throw on malformed
+  /// values.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& key, double fallback) const;
+  [[nodiscard]] int get(const std::string& key, int fallback) const;
+  [[nodiscard]] bool get(const std::string& key, bool fallback) const;
+  /// Comma-separated list of doubles (empty -> fallback).
+  [[nodiscard]] std::vector<double> get_list(
+      const std::string& key, const std::vector<double>& fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace hecmine::support

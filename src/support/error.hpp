@@ -1,0 +1,61 @@
+// Precondition / invariant checking helpers.
+//
+// Public API errors are reported with exceptions carrying a formatted
+// message (per the project convention: exceptions for contract violations,
+// never error codes). Internal invariants use check_invariant(), which
+// throws std::logic_error — an internal bug, not a user error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hecmine::support {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what_arg)
+      : std::invalid_argument(what_arg) {}
+};
+
+/// Thrown when an iterative solver fails to converge within its budget.
+class ConvergenceError : public std::runtime_error {
+ public:
+  explicit ConvergenceError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+inline std::string format_check_message(std::string_view expr,
+                                        std::string_view message,
+                                        std::string_view file, int line) {
+  std::ostringstream os;
+  os << "check failed: " << expr;
+  if (!message.empty()) os << " — " << message;
+  os << " (" << file << ":" << line << ")";
+  return os.str();
+}
+}  // namespace detail
+
+/// Validates a documented precondition of a public entry point.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw PreconditionError(std::string(message));
+}
+
+/// Validates an internal invariant; failure indicates a library bug.
+inline void check_invariant(bool condition, std::string_view message) {
+  if (!condition) throw std::logic_error("invariant violated: " + std::string(message));
+}
+
+}  // namespace hecmine::support
+
+/// Precondition check that records the failing expression and location.
+#define HECMINE_REQUIRE(expr, message)                                   \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      throw ::hecmine::support::PreconditionError(                       \
+          ::hecmine::support::detail::format_check_message(              \
+              #expr, (message), __FILE__, __LINE__));                    \
+  } while (false)

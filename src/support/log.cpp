@@ -1,0 +1,42 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace hecmine::support {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed))
+    return;
+  std::string line;
+  line.reserve(message.size() + 12);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::cerr << line;  // single write keeps concurrent lines intact
+}
+
+}  // namespace hecmine::support

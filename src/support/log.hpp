@@ -1,0 +1,60 @@
+// Lightweight leveled logging.
+//
+// The solvers and simulators log convergence diagnostics at debug level;
+// benches and examples run at info by default. There is deliberately no
+// global mutable formatting state beyond the level, and the logger is
+// thread-compatible (the level is atomic; message emission is a single
+// ostream write).
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hecmine::support {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that is actually emitted.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Sets the process-wide minimum emitted level.
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one line to stderr as `[level] message` when `level` is enabled.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Parts>
+std::string concat(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(parts...));
+}
+
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(parts...));
+}
+
+template <typename... Parts>
+void log_warn(const Parts&... parts) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(parts...));
+}
+
+template <typename... Parts>
+void log_error(const Parts&... parts) {
+  log_message(LogLevel::kError, detail::concat(parts...));
+}
+
+}  // namespace hecmine::support

@@ -1,0 +1,161 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace hecmine::support {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
+  // Seed expansion through SplitMix64, as recommended by the authors;
+  // guarantees the state is never all-zero.
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256StarStar::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> accumulated{};
+  for (std::uint64_t jump_word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (jump_word & (std::uint64_t{1} << bit)) {
+        for (std::size_t i = 0; i < state_.size(); ++i)
+          accumulated[i] ^= state_[i];
+      }
+      (*this)();
+    }
+  }
+  state_ = accumulated;
+}
+
+Rng Rng::split(std::uint64_t stream_index) noexcept {
+  // Mix the stream index into a fresh seed, then jump that many times is
+  // unnecessary: distinct SplitMix64-mixed seeds already give independent
+  // xoshiro streams for practical purposes. One jump decorrelates from the
+  // parent's current position as well.
+  std::uint64_t mix = stream_index ^ 0xa0761d6478bd642fULL;
+  const std::uint64_t child_seed = splitmix64(mix) ^ engine_();
+  Rng child{child_seed};
+  child.engine_.jump();
+  return child;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  HECMINE_REQUIRE(lo < hi, "uniform(lo, hi) requires lo < hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  HECMINE_REQUIRE(n > 0, "uniform_index requires n > 0");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t raw = engine_();
+    if (raw >= threshold) return raw % n;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  HECMINE_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli requires p in [0, 1]");
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  HECMINE_REQUIRE(rate > 0.0, "exponential requires rate > 0");
+  // -log(1 - U) with U in [0, 1) never evaluates log(0).
+  return -std::log1p(-uniform()) / rate;
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) {
+  HECMINE_REQUIRE(stddev >= 0.0, "normal requires stddev >= 0");
+  return mean + stddev * normal();
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo,
+                             double hi) {
+  HECMINE_REQUIRE(lo <= hi, "truncated_normal requires lo <= hi");
+  HECMINE_REQUIRE(stddev >= 0.0, "truncated_normal requires stddev >= 0");
+  if (stddev == 0.0) {
+    HECMINE_REQUIRE(mean >= lo && mean <= hi,
+                    "degenerate truncated_normal: mean outside [lo, hi]");
+    return mean;
+  }
+  // Rejection sampling is fine here: every caller keeps [lo, hi] within a
+  // few stddev of the mean. Guard against pathological regions anyway.
+  constexpr int kMaxAttempts = 100000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const double draw = normal(mean, stddev);
+    if (draw >= lo && draw <= hi) return draw;
+  }
+  throw PreconditionError(
+      "truncated_normal: acceptance region too far from the mean");
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  HECMINE_REQUIRE(!weights.empty(), "categorical requires weights");
+  double total = 0.0;
+  for (double w : weights) {
+    HECMINE_REQUIRE(w >= 0.0, "categorical requires non-negative weights");
+    total += w;
+  }
+  HECMINE_REQUIRE(total > 0.0, "categorical requires a positive weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: target landed on `total`
+}
+
+}  // namespace hecmine::support

@@ -1,0 +1,106 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::support {
+
+void Accumulator::add(double sample) noexcept {
+  ++count_;
+  sum_ += sample;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+}
+
+double Accumulator::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::stderr_mean() const noexcept {
+  return count_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  HECMINE_REQUIRE(hi > lo, "Histogram requires hi > lo");
+  HECMINE_REQUIRE(bins > 0, "Histogram requires at least one bin");
+}
+
+void Histogram::add(double sample) noexcept {
+  const double offset = (sample - lo_) / width_;
+  std::size_t bin = 0;
+  if (offset > 0.0) {
+    bin = std::min(counts_.size() - 1,
+                   static_cast<std::size_t>(offset));
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  HECMINE_REQUIRE(bin < counts_.size(), "Histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  HECMINE_REQUIRE(bin < counts_.size(), "Histogram bin out of range");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) /
+         (static_cast<double>(total_) * width_);
+}
+
+double Histogram::cdf(std::size_t bin) const {
+  HECMINE_REQUIRE(bin < counts_.size(), "Histogram bin out of range");
+  if (total_ == 0) return 0.0;
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i <= bin; ++i) cumulative += counts_[i];
+  return static_cast<double>(cumulative) / static_cast<double>(total_);
+}
+
+void QuantileSketch::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+double QuantileSketch::quantile(double q) const {
+  HECMINE_REQUIRE(!samples_.empty(), "QuantileSketch: no samples");
+  HECMINE_REQUIRE(q >= 0.0 && q <= 1.0, "QuantileSketch: q in [0, 1]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_.front();
+  const double position = q * static_cast<double>(samples_.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= samples_.size()) return samples_.back();
+  return samples_[lower] * (1.0 - fraction) + samples_[lower + 1] * fraction;
+}
+
+bool approx_equal(double a, double b, double rtol, double atol) noexcept {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  HECMINE_REQUIRE(a.size() == b.size(), "max_abs_diff requires equal sizes");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+}  // namespace hecmine::support

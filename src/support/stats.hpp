@@ -1,0 +1,91 @@
+// Streaming statistics used by the simulators and benches.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace hecmine::support {
+
+/// Welford streaming accumulator: mean / variance / extrema in one pass.
+class Accumulator {
+ public:
+  void add(double sample) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Mean of the samples; 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 with fewer than two samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin so totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double sample) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  /// Midpoint of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Empirical density of a bin (count / (total * width)); 0 when empty.
+  [[nodiscard]] double density(std::size_t bin) const;
+  /// Empirical CDF evaluated at the right edge of a bin.
+  [[nodiscard]] double cdf(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact sample quantiles over a retained sample set. Unlike Accumulator
+/// this stores its samples; use for bounded-size series (latency
+/// distributions, per-round incomes), not unbounded streams.
+class QuantileSketch {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  /// Quantile in [0, 1] by linear interpolation between order statistics.
+  /// Requires at least one sample and q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  /// Interquartile range, a robust spread measure.
+  [[nodiscard]] double iqr() const {
+    return quantile(0.75) - quantile(0.25);
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// True when |a - b| <= atol + rtol * max(|a|, |b|).
+[[nodiscard]] bool approx_equal(double a, double b, double rtol = 1e-9,
+                                double atol = 1e-12) noexcept;
+
+/// Maximum absolute componentwise difference; requires equal sizes.
+[[nodiscard]] double max_abs_diff(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+}  // namespace hecmine::support

@@ -1,0 +1,85 @@
+#include "support/table.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hecmine::support {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  HECMINE_REQUIRE(!columns_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(const std::vector<double>& values) {
+  HECMINE_REQUIRE(values.size() == columns_.size(),
+                  "Table row width must match the column count");
+  rows_.push_back(values);
+}
+
+double Table::at(std::size_t row, std::size_t column) const {
+  HECMINE_REQUIRE(row < rows_.size(), "Table row out of range");
+  HECMINE_REQUIRE(column < columns_.size(), "Table column out of range");
+  return rows_[row][column];
+}
+
+namespace {
+std::string format_value(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+}  // namespace
+
+void Table::print(std::ostream& os, int precision) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    cells[r].resize(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      cells[r][c] = format_value(rows_[r][c], precision);
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  auto print_row = [&](const auto& row_text) {
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+         << row_text[c];
+    os << " |\n";
+  };
+  print_row(columns_);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : cells) print_row(row);
+}
+
+void Table::write_csv(const std::string& path, int precision) const {
+  const std::filesystem::path file_path{path};
+  if (file_path.has_parent_path())
+    std::filesystem::create_directories(file_path.parent_path());
+  std::ofstream out{file_path};
+  if (!out) throw std::runtime_error("cannot open CSV file: " + path);
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << (c == 0 ? "" : ",") << columns_[c];
+  out << '\n';
+  out << std::setprecision(precision);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << (c == 0 ? "" : ",") << row[c];
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("failed writing CSV file: " + path);
+}
+
+void print_section(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace hecmine::support

@@ -1,0 +1,43 @@
+// Tabular output for the figure/table benches: aligned ASCII to stdout and
+// CSV files for plotting, from the same row data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hecmine::support {
+
+/// Collects rows of doubles under named columns, then renders them as an
+/// aligned ASCII table and/or a CSV file. Used by every bench binary so the
+/// reproduced figures share one output format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends one row. Requires exactly one value per column.
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  /// Value at (row, column); both bounds-checked.
+  [[nodiscard]] double at(std::size_t row, std::size_t column) const;
+
+  /// Renders an aligned ASCII table with `precision` fractional digits.
+  void print(std::ostream& os, int precision = 4) const;
+
+  /// Writes RFC-4180-ish CSV (header + rows) to `path`, creating parent
+  /// directories if needed. Throws on I/O failure.
+  void write_csv(const std::string& path, int precision = 10) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Prints a `== title ==` section banner used between bench sections.
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace hecmine::support

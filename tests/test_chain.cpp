@@ -1,0 +1,178 @@
+// Tests for the chain substrate: the PoW race must reproduce the paper's
+// winning probabilities (Section III) by Monte Carlo, and the ledger must
+// keep honest tallies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chain/block.hpp"
+#include "chain/race.hpp"
+#include "chain/simulator.hpp"
+#include "core/winning.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine::chain {
+namespace {
+
+constexpr std::size_t kRounds = 300000;
+
+std::vector<core::MinerRequest> to_requests(
+    const std::vector<Allocation>& allocations) {
+  std::vector<core::MinerRequest> requests(allocations.size());
+  for (std::size_t i = 0; i < allocations.size(); ++i)
+    requests[i] = {allocations[i].edge_units, allocations[i].cloud_units};
+  return requests;
+}
+
+TEST(Race, EmptyPoolYieldsNoWinner) {
+  support::Rng rng{51};
+  const auto outcome = run_race({{0.0, 0.0}, {0.0, 0.0}}, {}, rng);
+  EXPECT_FALSE(outcome.has_value());
+}
+
+TEST(Race, ValidatesInputs) {
+  support::Rng rng{52};
+  RaceConfig bad;
+  bad.fork_rate = 1.0;
+  EXPECT_THROW((void)run_race({{1.0, 0.0}}, bad, rng),
+               support::PreconditionError);
+  EXPECT_THROW((void)run_race({{-1.0, 0.0}}, {}, rng),
+               support::PreconditionError);
+}
+
+TEST(Race, SingleMinerAlwaysWins) {
+  support::Rng rng{53};
+  RaceConfig config;
+  config.fork_rate = 0.5;
+  for (int i = 0; i < 1000; ++i) {
+    const auto outcome = run_race({{1.0, 2.0}}, config, rng);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(outcome->winner, 0u);
+  }
+}
+
+TEST(Race, SolveTimeIsExponentialInTotalPower) {
+  support::Rng rng{54};
+  RaceConfig config;
+  config.fork_rate = 0.0;
+  config.unit_hash_rate = 2.0;
+  support::Accumulator times;
+  for (std::size_t i = 0; i < 100000; ++i) {
+    const auto outcome = run_race({{3.0, 0.0}, {0.0, 2.0}}, config, rng);
+    times.add(outcome->solve_time);
+  }
+  // Mean = 1 / (S * rate) = 1 / 10.
+  EXPECT_NEAR(times.mean(), 0.1, 0.002);
+}
+
+TEST(Race, WithoutForksWinRateIsProportionalToPower) {
+  MiningSimulator simulator({0.0, 1.0, 1.0}, 55);
+  const std::vector<Allocation> allocations{{4.0, 0.0}, {0.0, 1.0}};
+  const auto tally = simulator.run(allocations, kRounds);
+  EXPECT_NEAR(tally.win_rate(0), 0.8, 0.005);
+  EXPECT_NEAR(tally.win_rate(1), 0.2, 0.005);
+  EXPECT_EQ(tally.forks, 0u);
+}
+
+TEST(Race, WinRatesMatchPaperEquation6) {
+  // The generative race must reproduce W_i^h for a heterogeneous profile.
+  const double beta = 0.3;
+  MiningSimulator simulator({beta, 1.0, 1.0}, 56);
+  const std::vector<Allocation> allocations{
+      {2.0, 1.0}, {1.0, 3.0}, {0.5, 2.5}};
+  const auto requests = to_requests(allocations);
+  const core::Totals totals = core::aggregate(requests);
+  const auto tally = simulator.run(allocations, kRounds);
+  for (std::size_t i = 0; i < allocations.size(); ++i) {
+    EXPECT_NEAR(tally.win_rate(i),
+                core::win_prob_full(requests[i], totals, beta), 0.005)
+        << "miner " << i;
+  }
+}
+
+TEST(Race, ForkFrequencyMatchesBetaTimesCloudShare) {
+  // Forks only threaten cloud-solved blocks: P(fork) = beta * C / S.
+  const double beta = 0.4;
+  MiningSimulator simulator({beta, 1.0, 1.0}, 57);
+  const std::vector<Allocation> allocations{{3.0, 0.0}, {0.0, 5.0}};
+  const auto tally = simulator.run(allocations, kRounds);
+  const double fork_rate =
+      static_cast<double>(tally.forks) / static_cast<double>(tally.rounds);
+  EXPECT_NEAR(fork_rate, beta * 5.0 / 8.0, 0.005);
+}
+
+TEST(Race, AllCloudNetworkHasNoForkSteals) {
+  MiningSimulator simulator({0.5, 1.0, 1.0}, 58);
+  const std::vector<Allocation> allocations{{0.0, 2.0}, {0.0, 3.0}};
+  const auto tally = simulator.run(allocations, kRounds / 10);
+  EXPECT_EQ(tally.steals, 0u);
+  EXPECT_NEAR(tally.win_rate(0), 0.4, 0.01);
+}
+
+TEST(Race, SelfConflictDoesNotStealTheReward) {
+  // One miner holds all edge power: any conflict lands on itself when it
+  // also solves first in the cloud, so its combined share is 1 against an
+  // empty field... use two miners: miner 0 all edge, miner 1 all cloud.
+  // Miner 1's cloud block survives with probability (1 - beta); a fork
+  // always belongs to miner 0.
+  const double beta = 0.25;
+  MiningSimulator simulator({beta, 1.0, 1.0}, 59);
+  const std::vector<Allocation> allocations{{2.0, 0.0}, {0.0, 2.0}};
+  const auto tally = simulator.run(allocations, kRounds);
+  const auto requests = to_requests(allocations);
+  const core::Totals totals = core::aggregate(requests);
+  EXPECT_NEAR(tally.win_rate(1),
+              core::win_prob_full(requests[1], totals, beta), 0.005);
+}
+
+TEST(Ledger, TracksOwnershipAndForks) {
+  Ledger ledger;
+  ledger.append({.height = 0, .owner = 1, .source = BlockSource::kEdge,
+                 .solve_time = 0.5, .fork_resolved = false});
+  ledger.append({.height = 0, .owner = 1, .source = BlockSource::kCloud,
+                 .solve_time = 0.7, .fork_resolved = true});
+  ledger.append({.height = 0, .owner = 0, .source = BlockSource::kEdge,
+                 .solve_time = 0.2, .fork_resolved = false});
+  EXPECT_EQ(ledger.height(), 3u);
+  EXPECT_EQ(ledger.blocks_owned_by(1), 2u);
+  EXPECT_EQ(ledger.blocks_owned_by(0), 1u);
+  EXPECT_EQ(ledger.orphan_count(), 1u);
+  EXPECT_NEAR(ledger.fork_fraction(), 1.0 / 3.0, 1e-12);
+  // Heights are assigned sequentially by the ledger.
+  EXPECT_EQ(ledger.blocks()[2].height, 2u);
+}
+
+TEST(Simulator, LedgerGrowsWithRounds) {
+  MiningSimulator simulator({0.2, 1.0, 1.0}, 60);
+  const std::vector<Allocation> allocations{{1.0, 1.0}, {2.0, 0.5}};
+  (void)simulator.run(allocations, 500);
+  EXPECT_EQ(simulator.ledger().height(), 500u);
+  const auto& blocks = simulator.ledger().blocks();
+  std::size_t edge_blocks = 0;
+  for (const auto& block : blocks)
+    if (block.source == BlockSource::kEdge) ++edge_blocks;
+  EXPECT_GT(edge_blocks, 0u);
+  EXPECT_LT(edge_blocks, blocks.size());
+}
+
+TEST(Simulator, WinTallyValidatesIndex) {
+  WinTally tally;
+  tally.wins = {1, 2};
+  tally.rounds = 3;
+  EXPECT_THROW((void)tally.win_rate(2), support::PreconditionError);
+  EXPECT_NEAR(tally.win_rate(1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Simulator, DeterministicUnderSeed) {
+  const std::vector<Allocation> allocations{{1.0, 2.0}, {2.0, 1.0}};
+  MiningSimulator a({0.3, 1.0, 1.0}, 61);
+  MiningSimulator b({0.3, 1.0, 1.0}, 61);
+  const auto tally_a = a.run(allocations, 2000);
+  const auto tally_b = b.run(allocations, 2000);
+  EXPECT_EQ(tally_a.wins, tally_b.wins);
+  EXPECT_EQ(tally_a.forks, tally_b.forks);
+}
+
+}  // namespace
+}  // namespace hecmine::chain

@@ -1,0 +1,268 @@
+// Tests for core/closed_forms: Theorem 3, Corollary 1, Table II and their
+// agreement with the numerical solvers.
+#include "core/closed_forms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/equilibrium.hpp"
+#include "core/miner.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+namespace {
+
+NetworkParams default_params() {
+  NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  params.edge_capacity = 8.0;
+  params.cost_edge = 1.0;
+  params.cost_cloud = 0.4;
+  return params;
+}
+
+TEST(MixedPriceBound, MatchesFormula) {
+  const NetworkParams params = default_params();
+  const double bound = mixed_strategy_cloud_price_bound(params, 2.0);
+  EXPECT_NEAR(bound, (1.0 - 0.2) * 2.0 / (1.0 - 0.2 + 0.9 * 0.2), 1e-14);
+}
+
+TEST(BudgetThreshold, MatchesSpendAtUnconstrainedNe) {
+  // The threshold is the per-miner spend at the Corollary-1 point, so a
+  // miner given exactly that budget is on the boundary of both branches.
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const int n = 5;
+  const double threshold = homogeneous_budget_threshold(params, n);
+  const MinerRequest sufficient = homogeneous_sufficient_request(params, prices, n);
+  EXPECT_NEAR(request_cost(sufficient, prices), threshold, 1e-9);
+}
+
+TEST(Theorem3, BindingRequestExhaustsBudgetExactly) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  for (double budget : {5.0, 10.0, 12.0}) {
+    const MinerRequest request =
+        homogeneous_binding_request(params, prices, budget, 5);
+    EXPECT_NEAR(request_cost(request, prices), budget, 1e-10);
+    EXPECT_GT(request.edge, 0.0);
+    EXPECT_GT(request.cloud, 0.0);
+  }
+}
+
+TEST(Theorem3, BindingRequestIsBestResponseFixedPoint) {
+  // Each miner's closed-form strategy must be a best response to n-1
+  // copies of itself.
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const int n = 5;
+  const double budget = 10.0;
+  ASSERT_LT(budget, homogeneous_budget_threshold(params, n));
+  const MinerRequest ne = homogeneous_binding_request(params, prices, budget, n);
+  MinerEnv env;
+  env.reward = params.reward;
+  env.fork_rate = params.fork_rate;
+  env.edge_success = params.edge_success;
+  env.prices = prices;
+  env.budget = budget;
+  env.others = {(n - 1.0) * ne.edge, (n - 1.0) * ne.cloud};
+  const MinerRequest response = miner_best_response(env);
+  EXPECT_NEAR(response.edge, ne.edge, 1e-6);
+  EXPECT_NEAR(response.cloud, ne.cloud, 1e-6);
+}
+
+TEST(Theorem3, MatchesSymmetricSolver) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const double budget = 8.0;
+  const int n = 5;
+  const auto numeric = solve_symmetric_connected(params, prices, budget, n);
+  ASSERT_TRUE(numeric.converged);
+  const MinerRequest closed =
+      homogeneous_binding_request(params, prices, budget, n);
+  EXPECT_NEAR(numeric.request.edge, closed.edge, 1e-6);
+  EXPECT_NEAR(numeric.request.cloud, closed.cloud, 1e-6);
+}
+
+TEST(Theorem3, RequiresMixedPriceCondition) {
+  const NetworkParams params = default_params();
+  // P_c above the bound: the closed form must refuse.
+  const double pe = 2.0;
+  const double bad_pc = mixed_strategy_cloud_price_bound(params, pe) * 1.01;
+  EXPECT_THROW(
+      (void)homogeneous_binding_request(params, {pe, bad_pc}, 10.0, 5),
+      support::PreconditionError);
+  EXPECT_THROW((void)homogeneous_binding_request(params, {1.0, 2.0}, 10.0, 5),
+               support::PreconditionError);
+}
+
+TEST(Corollary1, SufficientRequestSatisfiesFoc) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const int n = 5;
+  const MinerRequest ne = homogeneous_sufficient_request(params, prices, n);
+  MinerEnv env;
+  env.reward = params.reward;
+  env.fork_rate = params.fork_rate;
+  env.edge_success = params.edge_success;
+  env.prices = prices;
+  env.budget = 1e9;
+  env.others = {(n - 1.0) * ne.edge, (n - 1.0) * ne.cloud};
+  const auto [du_de, du_dc] = miner_utility_gradient(env, ne);
+  EXPECT_NEAR(du_de, 0.0, 1e-9);
+  EXPECT_NEAR(du_dc, 0.0, 1e-9);
+}
+
+TEST(Corollary1, MatchesSymmetricSolverWithLargeBudget) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const int n = 5;
+  const auto numeric = solve_symmetric_connected(params, prices, 1e5, n);
+  ASSERT_TRUE(numeric.converged);
+  const MinerRequest closed = homogeneous_sufficient_request(params, prices, n);
+  EXPECT_NEAR(numeric.request.edge, closed.edge, 1e-5);
+  EXPECT_NEAR(numeric.request.cloud, closed.cloud, 1e-5);
+}
+
+TEST(Corollary1, PaperPrintedFormIsTheHEqualOneCase) {
+  NetworkParams params = default_params();
+  params.edge_success = 1.0;
+  const Prices prices{2.0, 1.0};
+  const int n = 5;
+  const MinerRequest ne = homogeneous_sufficient_request(params, prices, n);
+  const double beta = params.fork_rate, r = params.reward;
+  const double dn = n;
+  EXPECT_NEAR(ne.edge, beta * r * (dn - 1.0) / (dn * dn * (2.0 - 1.0)), 1e-12);
+  // c* = R(n-1)[(1-beta) P_e - P_c] / (n^2 P_c (P_e - P_c)).
+  EXPECT_NEAR(ne.cloud,
+              r * (dn - 1.0) * ((1.0 - beta) * 2.0 - 1.0) /
+                  (dn * dn * 1.0 * (2.0 - 1.0)),
+              1e-12);
+}
+
+TEST(ConnectedSelector, PicksBranchByThreshold) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const int n = 5;
+  const double threshold = homogeneous_budget_threshold(params, n);
+  const MinerRequest below =
+      homogeneous_connected_request(params, prices, 0.5 * threshold, n);
+  const MinerRequest binding =
+      homogeneous_binding_request(params, prices, 0.5 * threshold, n);
+  EXPECT_NEAR(below.edge, binding.edge, 1e-12);
+  const MinerRequest above =
+      homogeneous_connected_request(params, prices, 2.0 * threshold, n);
+  const MinerRequest sufficient = homogeneous_sufficient_request(params, prices, n);
+  EXPECT_NEAR(above.edge, sufficient.edge, 1e-12);
+}
+
+TEST(EdgeOnly, TullockContestCappedByBudget) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 5.0};
+  const int n = 5;
+  const MinerRequest rich =
+      homogeneous_edge_only_request(params, prices, 1e6, n);
+  const double prize = params.reward * (1.0 - 0.2 + 0.9 * 0.2);
+  EXPECT_NEAR(rich.edge, prize * 4.0 / (25.0 * 2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rich.cloud, 0.0);
+  const MinerRequest poor =
+      homogeneous_edge_only_request(params, prices, 1.0, n);
+  EXPECT_NEAR(poor.edge, 0.5, 1e-12);  // budget / P_e
+}
+
+TEST(StandaloneClosedForm, SlackCapMatchesCorollary1AtHEqualOne) {
+  NetworkParams params = default_params();
+  params.edge_capacity = 1e6;
+  const Prices prices{2.0, 1.0};
+  const int n = 5;
+  const auto standalone = standalone_sufficient_request(params, prices, n);
+  EXPECT_FALSE(standalone.cap_active);
+  NetworkParams h1 = params;
+  h1.edge_success = 1.0;
+  const MinerRequest expectation = homogeneous_sufficient_request(h1, prices, n);
+  EXPECT_NEAR(standalone.request.edge, expectation.edge, 1e-10);
+  EXPECT_NEAR(standalone.request.cloud, expectation.cloud, 1e-10);
+}
+
+TEST(StandaloneClosedForm, BindingCapMatchesGnepSolver) {
+  const NetworkParams params = default_params();  // E_max = 8
+  const Prices prices{2.0, 1.0};
+  const int n = 5;
+  const auto closed = standalone_sufficient_request(params, prices, n);
+  ASSERT_TRUE(closed.cap_active);
+  const auto numeric = solve_symmetric_standalone(params, prices, 1e5, n);
+  ASSERT_TRUE(numeric.converged);
+  EXPECT_NEAR(closed.request.edge, numeric.request.edge, 1e-4);
+  EXPECT_NEAR(closed.request.cloud, numeric.request.cloud, 1e-3);
+  EXPECT_NEAR(closed.surcharge, numeric.surcharge, 1e-3);
+  // Total edge demand hits the cap exactly.
+  EXPECT_NEAR(5.0 * closed.request.edge, params.edge_capacity, 1e-10);
+}
+
+TEST(StandaloneClosedForm, GrandTotalIndependentOfCap) {
+  // S depends only on P_c (paper: standalone changes the edge/cloud split,
+  // not the total), so tightening the cap must keep e + c constant.
+  const Prices prices{2.0, 1.0};
+  const int n = 5;
+  NetworkParams loose = default_params();
+  loose.edge_capacity = 1e6;
+  NetworkParams tight = default_params();
+  tight.edge_capacity = 5.0;
+  const auto a = standalone_sufficient_request(loose, prices, n);
+  const auto b = standalone_sufficient_request(tight, prices, n);
+  EXPECT_NEAR(a.request.total(), b.request.total(), 1e-9);
+  EXPECT_GT(a.request.edge, b.request.edge);
+}
+
+TEST(StandaloneSpClosedForm, MatchesDerivedExpressions) {
+  const NetworkParams params = default_params();
+  const int n = 5;
+  const auto sp = standalone_sp_closed_form(params, n);
+  const double beta = params.fork_rate;
+  const double scale = params.reward * 4.0 / 5.0;
+  EXPECT_NEAR(sp.prices.cloud,
+              std::sqrt(params.cost_cloud * (1.0 - beta) * scale /
+                        params.edge_capacity),
+              1e-12);
+  EXPECT_NEAR(sp.prices.edge,
+              sp.prices.cloud + beta * scale / params.edge_capacity, 1e-12);
+  EXPECT_TRUE(sp.valid);
+  EXPECT_GT(sp.profit_edge, 0.0);
+  EXPECT_GT(sp.profit_cloud, 0.0);
+}
+
+TEST(StandaloneSpClosedForm, CspPriceIsOptimalAgainstDemandCurve) {
+  // V_c(P_c) = (P_c - C_c)(S(P_c) - E_max) with S = (1-beta)R(n-1)/(n P_c):
+  // probe prices around P_c* must not beat it.
+  const NetworkParams params = default_params();
+  const int n = 5;
+  const auto sp = standalone_sp_closed_form(params, n);
+  const double scale = (1.0 - params.fork_rate) * params.reward * 4.0 / 5.0;
+  const auto profit = [&](double pc) {
+    return (pc - params.cost_cloud) * (scale / pc - params.edge_capacity);
+  };
+  const double best = profit(sp.prices.cloud);
+  for (double factor : {0.8, 0.9, 1.1, 1.25}) {
+    EXPECT_LE(profit(sp.prices.cloud * factor), best + 1e-10);
+  }
+}
+
+TEST(ClosedForms, ValidateArguments) {
+  const NetworkParams params = default_params();
+  EXPECT_THROW((void)homogeneous_budget_threshold(params, 1),
+               support::PreconditionError);
+  EXPECT_THROW(
+      (void)homogeneous_sufficient_request(params, {2.0, 1.0}, 1),
+      support::PreconditionError);
+  EXPECT_THROW(
+      (void)homogeneous_binding_request(params, {2.0, 1.0}, 0.0, 5),
+      support::PreconditionError);
+  EXPECT_THROW((void)standalone_sufficient_request(params, {1.0, 2.0}, 5),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hecmine::core

@@ -1,0 +1,101 @@
+// Tests for core/decentralization metrics.
+#include "core/decentralization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/equilibrium.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+namespace {
+
+TEST(Decentralization, UniformSharesAreMaximallyEven) {
+  const std::vector<double> uniform(5, 0.2);
+  EXPECT_NEAR(herfindahl_index(uniform), 0.2, 1e-12);
+  EXPECT_NEAR(gini_coefficient(uniform), 0.0, 1e-12);
+  EXPECT_EQ(nakamoto_coefficient(uniform), 3u);
+  EXPECT_NEAR(effective_miners(uniform), 5.0, 1e-9);
+}
+
+TEST(Decentralization, MonopolyIsMaximallyConcentrated) {
+  const std::vector<double> monopoly{1.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(herfindahl_index(monopoly), 1.0, 1e-12);
+  EXPECT_EQ(nakamoto_coefficient(monopoly), 1u);
+  EXPECT_NEAR(gini_coefficient(monopoly), 0.75, 1e-12);  // (n-1)/n
+}
+
+TEST(Decentralization, ScaleInvariant) {
+  const std::vector<double> shares{2.0, 3.0, 5.0};
+  std::vector<double> scaled{20.0, 30.0, 50.0};
+  EXPECT_NEAR(herfindahl_index(shares), herfindahl_index(scaled), 1e-12);
+  EXPECT_NEAR(gini_coefficient(shares), gini_coefficient(scaled), 1e-12);
+  EXPECT_EQ(nakamoto_coefficient(shares), nakamoto_coefficient(scaled));
+}
+
+TEST(Decentralization, HandComputedExample) {
+  const std::vector<double> shares{0.5, 0.25, 0.25};
+  EXPECT_NEAR(herfindahl_index(shares), 0.375, 1e-12);
+  EXPECT_EQ(nakamoto_coefficient(shares), 2u);
+  // Gini: mean |xi-xj| over pairs = (0+.25+.25+.25+0+0+.25+0+0)/9 = 1/9;
+  // mean = 1/3 -> gini = (1/9)/(2/3) = 1/6.
+  EXPECT_NEAR(gini_coefficient(shares), 1.0 / 6.0, 1e-12);
+}
+
+TEST(Decentralization, Validates) {
+  EXPECT_THROW((void)herfindahl_index({}), support::PreconditionError);
+  EXPECT_THROW((void)herfindahl_index({0.0, 0.0}),
+               support::PreconditionError);
+  EXPECT_THROW((void)gini_coefficient({1.0, -0.5}),
+               support::PreconditionError);
+}
+
+TEST(Decentralization, WinningSharesSumToOne) {
+  const std::vector<MinerRequest> profile{{2.0, 1.0}, {1.0, 3.0}, {0.5, 2.0}};
+  const auto shares = winning_shares(profile, 0.25);
+  double total = 0.0;
+  for (double share : shares) total += share;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Decentralization, BudgetInequalityConcentratesBlockProduction) {
+  NetworkParams params;
+  params.reward = 1000.0;  // budgets bind across the sweep
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  const Prices prices{2.0, 1.0};
+  const auto equal = solve_connected_nep(params, prices, {50, 50, 50, 50});
+  const auto skewed = solve_connected_nep(params, prices, {10, 20, 60, 110});
+  const auto shares_equal =
+      winning_shares(equal.requests, params.fork_rate);
+  const auto shares_skewed =
+      winning_shares(skewed.requests, params.fork_rate);
+  EXPECT_GT(herfindahl_index(shares_skewed),
+            herfindahl_index(shares_equal));
+  EXPECT_GT(gini_coefficient(shares_skewed),
+            gini_coefficient(shares_equal));
+}
+
+TEST(Decentralization, StandaloneCapEqualizesEdgeAccess) {
+  // With heterogeneous budgets, the standalone shared constraint levels
+  // rich miners' edge requests (the surcharge binds them all equally), so
+  // block production is less concentrated than in connected mode.
+  NetworkParams params;
+  params.reward = 1000.0;
+  params.fork_rate = 0.3;
+  params.edge_success = 0.9;
+  params.edge_capacity = 6.0;
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets{10.0, 20.0, 60.0, 120.0};
+  const auto connected = solve_connected_nep(params, prices, budgets);
+  const auto standalone = solve_standalone_gnep(params, prices, budgets);
+  const double hhi_connected =
+      herfindahl_index(winning_shares(connected.requests, params.fork_rate));
+  const double hhi_standalone =
+      herfindahl_index(winning_shares(standalone.requests, params.fork_rate));
+  EXPECT_LE(hhi_standalone, hhi_connected + 1e-9);
+}
+
+}  // namespace
+}  // namespace hecmine::core

@@ -1,0 +1,96 @@
+// Tests for the heterogeneous-type dynamic game.
+#include "core/dynamic_types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::core {
+namespace {
+
+DynamicGameConfig default_config() {
+  DynamicGameConfig config;
+  config.params.reward = 100.0;
+  config.params.fork_rate = 0.2;
+  config.params.edge_capacity = 8.0;
+  config.prices = {2.0, 1.0};
+  config.budget = 0.0;  // ignored by the typed solver
+  config.edge_success = 0.5;
+  return config;
+}
+
+TEST(DynamicTypes, SingleTypeReducesToTheSymmetricSolver) {
+  DynamicGameConfig config = default_config();
+  const PopulationModel population = PopulationModel::around(10.0, 2.0);
+  const auto typed = solve_dynamic_types(config, population,
+                                         {{12.0, 1.0}});
+  ASSERT_TRUE(typed.converged);
+  config.budget = 12.0;
+  const auto symmetric = solve_dynamic_symmetric(config, population);
+  ASSERT_TRUE(symmetric.converged);
+  EXPECT_NEAR(typed.requests[0].edge, symmetric.request.edge, 2e-4);
+  EXPECT_NEAR(typed.requests[0].cloud, symmetric.request.cloud, 2e-3);
+  EXPECT_NEAR(typed.expected_total_edge, symmetric.expected_total_edge, 2e-3);
+}
+
+TEST(DynamicTypes, RicherTypeRequestsWeaklyMore) {
+  const DynamicGameConfig config = default_config();
+  const PopulationModel population = PopulationModel::around(8.0, 2.0);
+  const auto typed = solve_dynamic_types(
+      config, population, {{3.0, 0.5}, {40.0, 0.5}});
+  ASSERT_TRUE(typed.converged);
+  // The poor type is budget-limited; the rich type plays the unconstrained
+  // best response against the mixture.
+  EXPECT_LT(request_cost(typed.requests[0], config.prices), 3.0 + 1e-7);
+  EXPECT_GE(typed.requests[1].total(), typed.requests[0].total() - 1e-9);
+}
+
+TEST(DynamicTypes, EqualBudgetsCollapseTypeDistinctions) {
+  const DynamicGameConfig config = default_config();
+  const PopulationModel population = PopulationModel::around(8.0, 1.5);
+  const auto typed = solve_dynamic_types(
+      config, population, {{12.0, 0.3}, {12.0, 0.7}});
+  ASSERT_TRUE(typed.converged);
+  EXPECT_NEAR(typed.requests[0].edge, typed.requests[1].edge, 1e-5);
+  EXPECT_NEAR(typed.requests[0].cloud, typed.requests[1].cloud, 1e-4);
+}
+
+TEST(DynamicTypes, MixtureIsTheFractionWeightedAverage) {
+  const DynamicGameConfig config = default_config();
+  const PopulationModel population = PopulationModel::around(8.0, 1.5);
+  const auto typed = solve_dynamic_types(
+      config, population, {{5.0, 0.25}, {30.0, 0.75}});
+  ASSERT_TRUE(typed.converged);
+  EXPECT_NEAR(typed.mixture.edge,
+              0.25 * typed.requests[0].edge + 0.75 * typed.requests[1].edge,
+              1e-12);
+}
+
+TEST(DynamicTypes, PoorMajorityDampensAggregateEdgeDemand) {
+  const DynamicGameConfig config = default_config();
+  const PopulationModel population = PopulationModel::around(10.0, 2.0);
+  const auto rich_heavy = solve_dynamic_types(
+      config, population, {{3.0, 0.2}, {30.0, 0.8}});
+  const auto poor_heavy = solve_dynamic_types(
+      config, population, {{3.0, 0.8}, {30.0, 0.2}});
+  ASSERT_TRUE(rich_heavy.converged);
+  ASSERT_TRUE(poor_heavy.converged);
+  EXPECT_LT(poor_heavy.expected_total_edge, rich_heavy.expected_total_edge);
+}
+
+TEST(DynamicTypes, Validates) {
+  const DynamicGameConfig config = default_config();
+  const PopulationModel population = PopulationModel::around(8.0, 1.0);
+  EXPECT_THROW((void)solve_dynamic_types(config, population, {}),
+               support::PreconditionError);
+  EXPECT_THROW((void)solve_dynamic_types(config, population,
+                                         {{10.0, 0.5}, {10.0, 0.6}}),
+               support::PreconditionError);
+  EXPECT_THROW((void)solve_dynamic_types(config, population, {{0.0, 1.0}}),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hecmine::core

@@ -1,0 +1,214 @@
+// Tests for core/equilibrium: the connected-mode NEP (Theorem 2), the
+// standalone-mode GNEP (Theorem 5) via both the shared-price decomposition
+// and the VI/extragradient path, and the symmetric fast paths.
+#include "core/equilibrium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/closed_forms.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+namespace {
+
+NetworkParams default_params() {
+  NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  params.edge_capacity = 8.0;
+  params.cost_edge = 1.0;
+  params.cost_cloud = 0.4;
+  return params;
+}
+
+TEST(ConnectedNep, ConvergesAndIsUnexploitable) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets{20.0, 30.0, 40.0, 50.0, 60.0};
+  const auto eq = solve_connected_nep(params, prices, budgets);
+  ASSERT_TRUE(eq.converged);
+  EXPECT_NEAR(
+      miner_exploitability(params, prices, budgets, eq.requests, true), 0.0,
+      1e-5);
+  // Totals are the sums of the individual requests.
+  const Totals manual = aggregate(eq.requests);
+  EXPECT_NEAR(manual.edge, eq.totals.edge, 1e-12);
+  EXPECT_NEAR(manual.cloud, eq.totals.cloud, 1e-12);
+}
+
+TEST(ConnectedNep, UniqueAcrossDampingAndSweeps) {
+  // Theorem 2: the NE is unique, so different dynamics find the same point.
+  const NetworkParams params = default_params();
+  const Prices prices{2.5, 1.0};
+  const std::vector<double> budgets{25.0, 35.0, 45.0};
+  MinerSolveOptions a;
+  a.damping = 0.5;
+  MinerSolveOptions b;
+  b.damping = 0.9;
+  const auto eq_a = solve_connected_nep(params, prices, budgets, a);
+  const auto eq_b = solve_connected_nep(params, prices, budgets, b);
+  ASSERT_TRUE(eq_a.converged);
+  ASSERT_TRUE(eq_b.converged);
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    EXPECT_NEAR(eq_a.requests[i].edge, eq_b.requests[i].edge, 1e-6);
+    EXPECT_NEAR(eq_a.requests[i].cloud, eq_b.requests[i].cloud, 1e-6);
+  }
+}
+
+TEST(ConnectedNep, RicherMinersRequestMore) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets{10.0, 20.0, 40.0, 80.0, 160.0};
+  const auto eq = solve_connected_nep(params, prices, budgets);
+  ASSERT_TRUE(eq.converged);
+  for (std::size_t i = 1; i < budgets.size(); ++i) {
+    EXPECT_GE(eq.requests[i].total(), eq.requests[i - 1].total() - 1e-6);
+  }
+}
+
+TEST(ConnectedNep, BudgetsAreRespected) {
+  const NetworkParams params = default_params();
+  const Prices prices{3.0, 1.2};
+  const std::vector<double> budgets{5.0, 15.0, 25.0};
+  const auto eq = solve_connected_nep(params, prices, budgets);
+  for (std::size_t i = 0; i < budgets.size(); ++i)
+    EXPECT_LE(request_cost(eq.requests[i], prices), budgets[i] + 1e-6);
+}
+
+TEST(ConnectedNep, UtilitiesAreIndividuallyRational) {
+  // Playing (0,0) yields utility 0, so NE utilities must be >= 0.
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets{20.0, 30.0, 40.0};
+  const auto eq = solve_connected_nep(params, prices, budgets);
+  for (double u : eq.utilities) EXPECT_GE(u, -1e-8);
+}
+
+TEST(ConnectedNep, ValidatesInputs) {
+  const NetworkParams params = default_params();
+  EXPECT_THROW((void)solve_connected_nep(params, {0.0, 1.0}, {10.0}),
+               support::PreconditionError);
+  EXPECT_THROW((void)solve_connected_nep(params, {2.0, 1.0}, {}),
+               support::PreconditionError);
+  EXPECT_THROW((void)solve_connected_nep(params, {2.0, 1.0}, {-1.0}),
+               support::PreconditionError);
+}
+
+TEST(SymmetricConnected, MatchesFullProfileSolverOnHomogeneousMiners) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const double budget = 40.0;
+  const int n = 5;
+  const auto symmetric = solve_symmetric_connected(params, prices, budget, n);
+  ASSERT_TRUE(symmetric.converged);
+  const auto full = solve_connected_nep(params, prices,
+                                        std::vector<double>(n, budget));
+  ASSERT_TRUE(full.converged);
+  for (const auto& request : full.requests) {
+    EXPECT_NEAR(request.edge, symmetric.request.edge, 1e-5);
+    EXPECT_NEAR(request.cloud, symmetric.request.cloud, 1e-5);
+  }
+}
+
+TEST(StandaloneGnep, SlackCapacityReducesToPlainNep) {
+  NetworkParams params = default_params();
+  params.edge_capacity = 1e6;
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets{20.0, 30.0, 40.0};
+  const auto gnep = solve_standalone_gnep(params, prices, budgets);
+  ASSERT_TRUE(gnep.converged);
+  EXPECT_FALSE(gnep.cap_active);
+  EXPECT_DOUBLE_EQ(gnep.surcharge, 0.0);
+  // h = 1 connected solve is the same game.
+  NetworkParams h1 = params;
+  h1.edge_success = 1.0;
+  const auto nep = solve_connected_nep(h1, prices, budgets);
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    EXPECT_NEAR(gnep.requests[i].edge, nep.requests[i].edge, 1e-5);
+    EXPECT_NEAR(gnep.requests[i].cloud, nep.requests[i].cloud, 1e-5);
+  }
+}
+
+TEST(StandaloneGnep, BindingCapacityReachesComplementarity) {
+  const NetworkParams params = default_params();  // E_max = 8
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets{30.0, 40.0, 50.0, 60.0};
+  const auto gnep = solve_standalone_gnep(params, prices, budgets);
+  ASSERT_TRUE(gnep.converged);
+  EXPECT_TRUE(gnep.cap_active);
+  EXPECT_GT(gnep.surcharge, 0.0);
+  EXPECT_NEAR(gnep.totals.edge, params.edge_capacity,
+              1e-5 * params.edge_capacity);
+  // At the variational equilibrium no miner can gain in the mu-penalized
+  // game (the KKT-equivalent decoupled game).
+  EXPECT_NEAR(miner_exploitability(params, prices, budgets, gnep.requests,
+                                   false, gnep.surcharge),
+              0.0, 1e-5);
+}
+
+TEST(StandaloneGnep, AgreesWithExtragradientVi) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets{30.0, 45.0, 60.0};
+  const auto decomposition = solve_standalone_gnep(params, prices, budgets);
+  MinerSolveOptions vi_options;
+  vi_options.vi_tolerance = 1e-9;
+  vi_options.max_iterations = 8000;
+  const auto vi = solve_standalone_gnep_vi(params, prices, budgets, vi_options);
+  ASSERT_TRUE(decomposition.converged);
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    EXPECT_NEAR(decomposition.requests[i].edge, vi.requests[i].edge, 5e-3);
+    EXPECT_NEAR(decomposition.requests[i].cloud, vi.requests[i].cloud, 5e-3);
+  }
+  EXPECT_NEAR(decomposition.totals.edge, vi.totals.edge, 5e-3);
+}
+
+TEST(SymmetricStandalone, MatchesFullGnepOnHomogeneousMiners) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const double budget = 50.0;
+  const int n = 4;
+  const auto symmetric = solve_symmetric_standalone(params, prices, budget, n);
+  const auto full =
+      solve_standalone_gnep(params, prices, std::vector<double>(n, budget));
+  ASSERT_TRUE(symmetric.converged);
+  ASSERT_TRUE(full.converged);
+  EXPECT_EQ(symmetric.cap_active, full.cap_active);
+  for (const auto& request : full.requests) {
+    EXPECT_NEAR(request.edge, symmetric.request.edge, 2e-4);
+    EXPECT_NEAR(request.cloud, symmetric.request.cloud, 2e-4);
+  }
+  EXPECT_NEAR(symmetric.surcharge, full.surcharge, 2e-3);
+}
+
+TEST(SymmetricStandalone, CapScalesEdgeDemand) {
+  // Tightening E_max must not increase per-miner edge requests.
+  const Prices prices{2.0, 1.0};
+  double previous_edge = 1e18;
+  for (double cap : {50.0, 20.0, 10.0, 5.0, 2.0}) {
+    NetworkParams params = default_params();
+    params.edge_capacity = cap;
+    const auto eq = solve_symmetric_standalone(params, prices, 60.0, 5);
+    EXPECT_LE(eq.request.edge, previous_edge + 1e-7);
+    EXPECT_LE(5.0 * eq.request.edge, cap + 1e-5);
+    previous_edge = eq.request.edge;
+  }
+}
+
+TEST(StandaloneGnep, StandaloneBuysMoreEdgeThanConnected) {
+  // Paper Sec. IV-C.3 / Table II: with the cap slack, standalone (h = 1)
+  // encourages strictly more edge purchases than connected (h < 1).
+  NetworkParams params = default_params();
+  params.edge_capacity = 1e6;
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets{40.0, 40.0, 40.0, 40.0};
+  const auto standalone = solve_standalone_gnep(params, prices, budgets);
+  const auto connected = solve_connected_nep(params, prices, budgets);
+  EXPECT_GT(standalone.totals.edge, connected.totals.edge);
+}
+
+}  // namespace
+}  // namespace hecmine::core

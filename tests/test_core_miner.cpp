@@ -1,0 +1,225 @@
+// Tests for core/miner: utilities, gradients, and the best response
+// cross-validated against independent oracles (finite differences,
+// projected gradient ascent, the paper's Eq. (15) multiplier form).
+#include "core/miner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/pga.hpp"
+#include "numerics/projection.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine::core {
+namespace {
+
+MinerEnv default_env() {
+  MinerEnv env;
+  env.reward = 100.0;
+  env.fork_rate = 0.2;
+  env.edge_success = 0.9;
+  env.prices = {2.0, 1.0};
+  env.budget = 50.0;
+  env.others = {10.0, 20.0};
+  return env;
+}
+
+TEST(MinerUtility, MatchesHandComputation) {
+  MinerEnv env = default_env();
+  const MinerRequest own{3.0, 4.0};
+  // S = 30 + 7 = 37, E = 13.
+  const double win = (1.0 - 0.2) * 7.0 / 37.0 + 0.2 * 0.9 * 3.0 / 13.0;
+  const double expected = 100.0 * win - (2.0 * 3.0 + 1.0 * 4.0);
+  EXPECT_NEAR(miner_utility(env, own), expected, 1e-12);
+}
+
+TEST(MinerUtility, PenalizedSubtractsSurcharge) {
+  MinerEnv env = default_env();
+  env.edge_surcharge = 0.5;
+  const MinerRequest own{3.0, 4.0};
+  EXPECT_NEAR(miner_penalized_utility(env, own),
+              miner_utility(env, own) - 0.5 * 3.0, 1e-12);
+}
+
+TEST(MinerUtility, ZeroRequestCostsNothing) {
+  MinerEnv env = default_env();
+  EXPECT_DOUBLE_EQ(miner_utility(env, {0.0, 0.0}), 0.0);
+}
+
+TEST(MinerUtility, ValidatesInputs) {
+  MinerEnv env = default_env();
+  EXPECT_THROW((void)miner_utility(env, {-1.0, 0.0}),
+               support::PreconditionError);
+  env.prices.edge = 0.0;
+  EXPECT_THROW(env.validate(), support::PreconditionError);
+}
+
+TEST(MinerGradient, MatchesFiniteDifferences) {
+  support::Rng rng{21};
+  for (int trial = 0; trial < 100; ++trial) {
+    MinerEnv env = default_env();
+    env.fork_rate = rng.uniform(0.0, 0.9);
+    env.edge_success = rng.uniform(0.1, 1.0);
+    env.others = {rng.uniform(0.5, 30.0), rng.uniform(0.5, 30.0)};
+    env.edge_surcharge = rng.uniform(0.0, 1.0);
+    const MinerRequest own{rng.uniform(0.1, 10.0), rng.uniform(0.1, 10.0)};
+    const auto [du_de, du_dc] = miner_utility_gradient(env, own);
+    const double step = 1e-6;
+    const double fd_e = (miner_penalized_utility(env, {own.edge + step, own.cloud}) -
+                         miner_penalized_utility(env, {own.edge - step, own.cloud})) /
+                        (2.0 * step);
+    const double fd_c = (miner_penalized_utility(env, {own.edge, own.cloud + step}) -
+                         miner_penalized_utility(env, {own.edge, own.cloud - step})) /
+                        (2.0 * step);
+    EXPECT_NEAR(du_de, fd_e, 1e-5 * (1.0 + std::abs(fd_e)));
+    EXPECT_NEAR(du_dc, fd_c, 1e-5 * (1.0 + std::abs(fd_c)));
+  }
+}
+
+TEST(MinerInteriorPoint, SatisfiesFirstOrderConditions) {
+  MinerEnv env = default_env();
+  env.budget = 1e9;  // interior: budget never binds
+  const MinerRequest interior = miner_interior_point(env);
+  ASSERT_GT(interior.edge, 0.0);
+  ASSERT_GT(interior.cloud, 0.0);
+  const auto [du_de, du_dc] = miner_utility_gradient(env, interior);
+  EXPECT_NEAR(du_de, 0.0, 1e-9);
+  EXPECT_NEAR(du_dc, 0.0, 1e-9);
+}
+
+TEST(MinerInteriorPoint, ValidatesPriceGapAndOpponents) {
+  MinerEnv env = default_env();
+  env.prices = {1.0, 2.0};  // P_e < P_c
+  EXPECT_THROW((void)miner_interior_point(env), support::PreconditionError);
+  env = default_env();
+  env.others = {0.0, 5.0};
+  EXPECT_THROW((void)miner_interior_point(env), support::PreconditionError);
+}
+
+TEST(MinerBestResponse, UnconstrainedMatchesInteriorPoint) {
+  MinerEnv env = default_env();
+  env.budget = 1e9;
+  const MinerRequest best = miner_best_response(env);
+  const MinerRequest interior = miner_interior_point(env);
+  EXPECT_NEAR(best.edge, interior.edge, 1e-8);
+  EXPECT_NEAR(best.cloud, interior.cloud, 1e-8);
+}
+
+TEST(MinerBestResponse, RespectsBudget) {
+  support::Rng rng{22};
+  for (int trial = 0; trial < 100; ++trial) {
+    MinerEnv env = default_env();
+    env.budget = rng.uniform(0.5, 20.0);
+    env.others = {rng.uniform(0.5, 40.0), rng.uniform(0.5, 40.0)};
+    const MinerRequest best = miner_best_response(env);
+    EXPECT_LE(request_cost(best, env.prices), env.budget + 1e-7);
+    EXPECT_GE(best.edge, 0.0);
+    EXPECT_GE(best.cloud, 0.0);
+  }
+}
+
+TEST(MinerBestResponse, BindingBudgetSatisfiesEq15Multiplier) {
+  // With a small budget the optimum exhausts it, and the multiplier of the
+  // paper's Eq. (15) reproduces the same (e, c) through Eq. (14).
+  MinerEnv env = default_env();
+  env.budget = 10.0;
+  const MinerRequest best = miner_best_response(env);
+  ASSERT_NEAR(request_cost(best, env.prices), env.budget, 1e-6);
+  ASSERT_GT(best.edge, 1e-6);
+  ASSERT_GT(best.cloud, 1e-6);
+  const double beta = env.fork_rate, h = env.edge_success, r = env.reward;
+  const double pe = env.prices.edge, pc = env.prices.cloud;
+  const double sigma1 = std::sqrt(h * beta * r / (pe - pc));
+  const double sigma2 = std::sqrt((1.0 - beta) * r / pc);
+  const double e_others = env.others.edge;
+  const double s_others = env.others.grand();
+  const double sqrt_one_plus_lambda =
+      ((pe - pc) * sigma1 * std::sqrt(e_others) +
+       pc * sigma2 * std::sqrt(s_others)) /
+      (env.budget + (pe - pc) * e_others + pc * s_others);
+  ASSERT_GT(sqrt_one_plus_lambda, 1.0);  // budget truly binds
+  const double e_total = sigma1 * std::sqrt(e_others) / sqrt_one_plus_lambda;
+  const double s_total = sigma2 * std::sqrt(s_others) / sqrt_one_plus_lambda;
+  EXPECT_NEAR(best.edge, e_total - e_others, 1e-5);
+  EXPECT_NEAR(best.cloud, s_total - s_others - best.edge, 1e-5);
+}
+
+TEST(MinerBestResponse, AgreesWithProjectedGradientAscent) {
+  support::Rng rng{23};
+  for (int trial = 0; trial < 60; ++trial) {
+    MinerEnv env = default_env();
+    env.fork_rate = rng.uniform(0.05, 0.8);
+    env.edge_success = rng.uniform(0.2, 1.0);
+    env.prices = {rng.uniform(0.5, 4.0), rng.uniform(0.2, 2.0)};
+    env.budget = rng.uniform(2.0, 80.0);
+    env.edge_surcharge = rng.bernoulli(0.3) ? rng.uniform(0.0, 1.0) : 0.0;
+    env.others = {rng.uniform(1.0, 30.0), rng.uniform(1.0, 30.0)};
+    const MinerRequest best = miner_best_response(env);
+
+    const std::vector<double> price_vec{env.prices.edge, env.prices.cloud};
+    const auto project = [&](const std::vector<double>& x) {
+      return num::project_budget_set(x, price_vec, env.budget);
+    };
+    const auto objective = [&](const std::vector<double>& x) {
+      // Clamp: the finite-difference probe may dip epsilon below zero.
+      return miner_penalized_utility(
+          env, {std::max(x[0], 0.0), std::max(x[1], 0.0)});
+    };
+    num::PgaOptions options;
+    options.tolerance = 1e-12;
+    options.max_iterations = 40000;
+    options.initial_step = 0.05;
+    const auto pga = num::projected_gradient_ascent(
+        objective, nullptr, project, {best.edge + 0.1, best.cloud + 0.1},
+        options);
+    const double u_best = miner_penalized_utility(env, best);
+    // The closed-form/segment-search best response must not be worse than
+    // an independent numerical maximizer (small slack for PGA precision).
+    EXPECT_GE(u_best, pga.value - 1e-5 * (1.0 + std::abs(pga.value)));
+  }
+}
+
+TEST(MinerBestResponse, CloudDominatedWhenEdgeCheaper) {
+  MinerEnv env = default_env();
+  env.prices = {0.5, 1.0};  // edge strictly cheaper -> no reason to buy cloud
+  const MinerRequest best = miner_best_response(env);
+  EXPECT_GT(best.edge, 0.0);
+  EXPECT_NEAR(best.cloud, 0.0, 1e-9);
+}
+
+TEST(MinerBestResponse, HugeEdgePriceGapPushesToCloudOnly) {
+  MinerEnv env = default_env();
+  env.prices = {500.0, 1.0};
+  const MinerRequest best = miner_best_response(env);
+  EXPECT_NEAR(best.edge, 0.0, 1e-7);
+  EXPECT_GT(best.cloud, 0.0);
+}
+
+TEST(MinerBestResponse, ZeroBudgetGivesZeroRequest) {
+  MinerEnv env = default_env();
+  env.budget = 0.0;
+  const MinerRequest best = miner_best_response(env);
+  EXPECT_DOUBLE_EQ(best.edge, 0.0);
+  EXPECT_DOUBLE_EQ(best.cloud, 0.0);
+}
+
+TEST(MinerBestResponse, DegenerateOpponentsGetEpsilonProbe) {
+  MinerEnv env = default_env();
+  env.others = {0.0, 0.0};
+  const MinerRequest best = miner_best_response(env);
+  EXPECT_GT(best.edge, 0.0);
+  EXPECT_LE(best.edge, 1e-6 + 1e-12);
+}
+
+TEST(MinerBestResponse, SurchargeReducesEdgeDemand) {
+  MinerEnv with_surcharge = default_env();
+  with_surcharge.edge_surcharge = 1.0;
+  const MinerRequest penalized = miner_best_response(with_surcharge);
+  const MinerRequest free = miner_best_response(default_env());
+  EXPECT_LT(penalized.edge, free.edge);
+}
+
+}  // namespace
+}  // namespace hecmine::core

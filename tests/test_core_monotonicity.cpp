@@ -1,0 +1,75 @@
+// Numerical stand-in for the paper's supplementary uniqueness argument:
+// Theorem 2's uniqueness (and the convergence of the VI machinery behind
+// Theorem 5) rests on the monotonicity of the game map
+// F(r) = (-grad U_i)_i. The closed-form proof lives on the authors'
+// supplementary site; here we verify the *property* numerically — the
+// monotonicity quotient of F stays non-negative over sampled strategy
+// regions for a grid of game parameters.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/miner.hpp"
+#include "core/params.hpp"
+#include "numerics/vi.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine::core {
+namespace {
+
+/// The stacked negated-gradient map of the n-miner game at (beta, h).
+std::function<std::vector<double>(const std::vector<double>&)> game_map(
+    double beta, double h, std::size_t n, const Prices& prices) {
+  return [beta, h, n, prices](const std::vector<double>& flat) {
+    Totals totals;
+    for (std::size_t i = 0; i < n; ++i) {
+      totals.edge += flat[2 * i];
+      totals.cloud += flat[2 * i + 1];
+    }
+    std::vector<double> f(flat.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      MinerEnv env;
+      env.reward = 100.0;
+      env.fork_rate = beta;
+      env.edge_success = h;
+      env.prices = prices;
+      env.budget = 1e9;
+      env.others = {totals.edge - flat[2 * i],
+                    totals.cloud - flat[2 * i + 1]};
+      const auto [du_de, du_dc] =
+          miner_utility_gradient(env, {flat[2 * i], flat[2 * i + 1]});
+      f[2 * i] = -du_de;
+      f[2 * i + 1] = -du_dc;
+    }
+    return f;
+  };
+}
+
+class MonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<double, double, std::size_t>> {};
+
+TEST_P(MonotonicityTest, GameMapIsMonotoneOnSampledRegion) {
+  const auto [beta, h, n] = GetParam();
+  const Prices prices{2.0, 1.0};
+  const auto map = game_map(beta, h, n, prices);
+  support::Rng rng{4242 + n};
+  // Sample interior profiles away from the degenerate origin (the paper's
+  // game is played on requests bounded away from zero by profitability).
+  std::vector<std::vector<double>> points;
+  for (int p = 0; p < 24; ++p) {
+    std::vector<double> point(2 * n);
+    for (double& coordinate : point) coordinate = rng.uniform(0.5, 12.0);
+    points.push_back(point);
+  }
+  const double quotient = num::monotonicity_quotient(map, points);
+  EXPECT_GE(quotient, -1e-9) << "beta=" << beta << " h=" << h << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MonotonicityTest,
+    ::testing::Combine(::testing::Values(0.05, 0.2, 0.45),
+                       ::testing::Values(0.5, 0.9, 1.0),
+                       ::testing::Values<std::size_t>(2, 3, 5)));
+
+}  // namespace
+}  // namespace hecmine::core

@@ -1,0 +1,117 @@
+// Tests for the multi-ESP competition extension and the QuantileSketch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/multi_esp.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace hecmine {
+namespace {
+
+core::NetworkParams default_params() {
+  core::NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  params.edge_capacity = 50.0;
+  params.cost_edge = 1.0;
+  params.cost_cloud = 0.4;
+  return params;
+}
+
+TEST(MultiEsp, BertrandCollapsesEdgePriceToCost) {
+  const auto eq =
+      core::solve_multi_esp_bertrand(default_params(), 200.0, 5, 2);
+  EXPECT_NEAR(eq.price_edge, 1.0, 0.01);
+  EXPECT_GT(eq.price_cloud, 0.4);
+  EXPECT_LT(eq.price_cloud, eq.price_edge);
+  // At ~cost pricing the pooled ESPs earn ~nothing.
+  EXPECT_LT(eq.profit_edge_total, 0.1);
+  EXPECT_GT(eq.follower.request.edge, 0.0);
+}
+
+TEST(MultiEsp, CompetitionInflatesEdgeDemand) {
+  // Cheap edge units: miners buy far more edge than under the monopoly.
+  const core::NetworkParams params = default_params();
+  const auto competitive =
+      core::solve_multi_esp_bertrand(params, 200.0, 5, 3);
+  core::SpSolveOptions options;
+  options.grid_points = 24;
+  options.max_rounds = 25;
+  const auto monopoly = core::solve_sp_equilibrium_homogeneous(
+      params, 200.0, 5, core::EdgeMode::kConnected, options);
+  EXPECT_GT(competitive.follower.request.edge,
+            monopoly.follower.request.edge);
+}
+
+TEST(MultiEsp, PremiumReportQuantifiesTheMonopolyRents) {
+  const core::NetworkParams params = default_params();
+  core::SpSolveOptions options;
+  options.grid_points = 24;
+  options.max_rounds = 25;
+  const auto report =
+      core::edge_premium_under_competition(params, 200.0, 5, 2, options);
+  // The paper's monopoly ESP prices several times above cost.
+  EXPECT_GT(report.price_ratio, 2.0);
+  EXPECT_GT(report.profit_ratio, 5.0);
+}
+
+TEST(MultiEsp, Validates) {
+  const core::NetworkParams params = default_params();
+  EXPECT_THROW((void)core::solve_multi_esp_bertrand(params, 0.0, 5, 2),
+               support::PreconditionError);
+  EXPECT_THROW((void)core::solve_multi_esp_bertrand(params, 10.0, 1, 2),
+               support::PreconditionError);
+  EXPECT_THROW((void)core::solve_multi_esp_bertrand(params, 10.0, 5, 1),
+               support::PreconditionError);
+}
+
+TEST(QuantileSketch, ExactQuantilesOfKnownData) {
+  support::QuantileSketch sketch;
+  for (double x : {5.0, 1.0, 3.0, 2.0, 4.0}) sketch.add(x);
+  EXPECT_DOUBLE_EQ(sketch.median(), 3.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(sketch.iqr(), 2.0);
+}
+
+TEST(QuantileSketch, InterpolatesBetweenOrderStatistics) {
+  support::QuantileSketch sketch;
+  sketch.add(0.0);
+  sketch.add(10.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.9), 9.0);
+}
+
+TEST(QuantileSketch, UniformSamplesMatchTheLaw) {
+  support::Rng rng{81};
+  support::QuantileSketch sketch;
+  for (int i = 0; i < 100000; ++i) sketch.add(rng.uniform());
+  EXPECT_NEAR(sketch.median(), 0.5, 0.01);
+  EXPECT_NEAR(sketch.quantile(0.9), 0.9, 0.01);
+  EXPECT_NEAR(sketch.iqr(), 0.5, 0.01);
+}
+
+TEST(QuantileSketch, SupportsInterleavedAddAndQuery) {
+  support::QuantileSketch sketch;
+  sketch.add(1.0);
+  EXPECT_DOUBLE_EQ(sketch.median(), 1.0);
+  sketch.add(3.0);
+  EXPECT_DOUBLE_EQ(sketch.median(), 2.0);
+  sketch.add(2.0);
+  EXPECT_DOUBLE_EQ(sketch.median(), 2.0);
+}
+
+TEST(QuantileSketch, Validates) {
+  support::QuantileSketch sketch;
+  EXPECT_THROW((void)sketch.median(), support::PreconditionError);
+  sketch.add(1.0);
+  EXPECT_THROW((void)sketch.quantile(1.5), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hecmine

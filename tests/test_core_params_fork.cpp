@@ -1,0 +1,152 @@
+// Tests for core/params: parameter validation and the ForkModel
+// substitution (exponential collision model, DESIGN.md §5).
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/population.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine::core {
+namespace {
+
+TEST(NetworkParams, DefaultsAreValid) {
+  NetworkParams params;
+  EXPECT_NO_THROW(params.validate());
+}
+
+TEST(NetworkParams, RejectsEachBadField) {
+  const NetworkParams valid;
+  {
+    NetworkParams params = valid;
+    params.reward = 0.0;
+    EXPECT_THROW(params.validate(), support::PreconditionError);
+  }
+  {
+    NetworkParams params = valid;
+    params.fork_rate = 1.0;
+    EXPECT_THROW(params.validate(), support::PreconditionError);
+  }
+  {
+    NetworkParams params = valid;
+    params.fork_rate = -0.1;
+    EXPECT_THROW(params.validate(), support::PreconditionError);
+  }
+  {
+    NetworkParams params = valid;
+    params.edge_success = 0.0;
+    EXPECT_THROW(params.validate(), support::PreconditionError);
+  }
+  {
+    NetworkParams params = valid;
+    params.edge_success = 1.1;
+    EXPECT_THROW(params.validate(), support::PreconditionError);
+  }
+  {
+    NetworkParams params = valid;
+    params.edge_capacity = 0.0;
+    EXPECT_THROW(params.validate(), support::PreconditionError);
+  }
+  {
+    NetworkParams params = valid;
+    params.cost_edge = -1.0;
+    EXPECT_THROW(params.validate(), support::PreconditionError);
+  }
+}
+
+TEST(ForkModel, RejectsBadInputs) {
+  EXPECT_THROW(ForkModel(0.0), support::PreconditionError);
+  const ForkModel model(10.0);
+  EXPECT_THROW((void)model.fork_rate(-1.0), support::PreconditionError);
+  EXPECT_THROW((void)model.collision_pdf(-1.0), support::PreconditionError);
+  EXPECT_THROW((void)model.delay_for_rate(1.0), support::PreconditionError);
+}
+
+TEST(ForkModel, RateIsMonotoneAndBounded) {
+  const ForkModel model(12.6);
+  double previous = -1.0;
+  for (double delay = 0.0; delay <= 100.0; delay += 5.0) {
+    const double rate = model.fork_rate(delay);
+    EXPECT_GT(rate, previous);
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LT(rate, 1.0);
+    previous = rate;
+  }
+  EXPECT_DOUBLE_EQ(model.fork_rate(0.0), 0.0);
+}
+
+TEST(ForkModel, LinearForSmallDelays) {
+  // The Bitcoin CDF regime of Fig. 2(b): beta(D) ~ D/tau for D << tau.
+  const ForkModel model(12.6);
+  for (double delay : {0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(model.fork_rate(delay), delay / 12.6,
+                0.05 * delay / 12.6);
+  }
+}
+
+TEST(ForkModel, PdfIntegratesToOne) {
+  const ForkModel model(5.0);
+  double integral = 0.0;
+  const double dt = 0.01;
+  for (double t = 0.0; t < 80.0; t += dt)
+    integral += model.collision_pdf(t + 0.5 * dt) * dt;
+  EXPECT_NEAR(integral, 1.0, 1e-4);
+}
+
+TEST(ForkModel, DelayForRateInvertsExactly) {
+  const ForkModel model(7.3);
+  for (double rate : {0.0, 0.05, 0.3, 0.7, 0.99}) {
+    EXPECT_NEAR(model.fork_rate(model.delay_for_rate(rate)), rate, 1e-12);
+  }
+}
+
+TEST(PoissonPopulation, PmfSumsToOneWithPoissonShape) {
+  const auto model = PopulationModel::poisson(6.0, 1, 30);
+  double total = 0.0;
+  for (int k = 1; k <= 30; ++k) total += model.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Mode of Poisson(6) is at k = 5 and 6 (equal mass).
+  EXPECT_NEAR(model.pmf(5), model.pmf(6), 1e-12);
+  EXPECT_GT(model.pmf(6), model.pmf(8));
+}
+
+TEST(PoissonPopulation, MomentsMatchTheLaw) {
+  const auto model = PopulationModel::poisson_around(9.0);
+  EXPECT_NEAR(model.mean(), 9.0, 0.05);
+  EXPECT_NEAR(model.variance(), 9.0, 0.3);
+}
+
+TEST(PoissonPopulation, SamplesFollowThePmf) {
+  const auto model = PopulationModel::poisson_around(4.0);
+  support::Rng rng{99};
+  std::vector<int> counts(40, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i)
+    ++counts[static_cast<std::size_t>(model.sample(rng))];
+  for (int k = model.min_miners(); k <= model.max_miners(); ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(k)]) / draws,
+                model.pmf(k), 0.01);
+  }
+}
+
+TEST(PoissonPopulation, Validates) {
+  EXPECT_THROW((void)PopulationModel::poisson(0.0, 1, 10),
+               support::PreconditionError);
+  EXPECT_THROW((void)PopulationModel::poisson(5.0, 0, 10),
+               support::PreconditionError);
+  EXPECT_THROW((void)PopulationModel::poisson(1e-9, 300, 400),
+               support::PreconditionError);
+}
+
+TEST(PoissonPopulation, LargeMeanStaysFinite) {
+  // log-space evaluation: no overflow even for big populations.
+  const auto model = PopulationModel::poisson_around(400.0);
+  EXPECT_NEAR(model.mean(), 400.0, 1.0);
+  EXPECT_GT(model.pmf(400), 0.0);
+}
+
+}  // namespace
+}  // namespace hecmine::core

@@ -1,0 +1,141 @@
+// Tests for core/sensitivity: analytic comparative statics vs central
+// finite differences of the closed forms, and the signed claims the paper
+// reads off its figures.
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/closed_forms.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+namespace {
+
+NetworkParams default_params() {
+  NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  params.edge_capacity = 4.0;
+  params.cost_edge = 1.0;
+  params.cost_cloud = 0.4;
+  return params;
+}
+
+template <typename F>
+double fd(F value_of, double x, double step) {
+  return (value_of(x + step) - value_of(x - step)) / (2.0 * step);
+}
+
+TEST(BindingSensitivity, MatchesFiniteDifferences) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const double budget = 10.0;
+  const int n = 5;
+  const auto s = binding_request_sensitivity(params, prices, budget, n);
+  const double step = 1e-6;
+
+  const auto e_of_pe = [&](double pe) {
+    return homogeneous_binding_request(params, {pe, prices.cloud}, budget, n)
+        .edge;
+  };
+  EXPECT_NEAR(s.de_dprice_edge, fd(e_of_pe, prices.edge, step),
+              1e-4 * std::abs(s.de_dprice_edge) + 1e-8);
+  const auto e_of_pc = [&](double pc) {
+    return homogeneous_binding_request(params, {prices.edge, pc}, budget, n)
+        .edge;
+  };
+  EXPECT_NEAR(s.de_dprice_cloud, fd(e_of_pc, prices.cloud, step),
+              1e-4 * std::abs(s.de_dprice_cloud) + 1e-8);
+  const auto e_of_beta = [&](double beta) {
+    NetworkParams p = params;
+    p.fork_rate = beta;
+    return homogeneous_binding_request(p, prices, budget, n).edge;
+  };
+  EXPECT_NEAR(s.de_dfork_rate, fd(e_of_beta, params.fork_rate, step),
+              1e-4 * std::abs(s.de_dfork_rate) + 1e-8);
+
+  const auto c_of_pe = [&](double pe) {
+    return homogeneous_binding_request(params, {pe, prices.cloud}, budget, n)
+        .cloud;
+  };
+  EXPECT_NEAR(s.dc_dprice_edge, fd(c_of_pe, prices.edge, step),
+              1e-4 * std::abs(s.dc_dprice_edge) + 1e-8);
+  const auto c_of_pc = [&](double pc) {
+    return homogeneous_binding_request(params, {prices.edge, pc}, budget, n)
+        .cloud;
+  };
+  EXPECT_NEAR(s.dc_dprice_cloud, fd(c_of_pc, prices.cloud, step),
+              1e-4 * std::abs(s.dc_dprice_cloud) + 1e-6);
+  const auto c_of_beta = [&](double beta) {
+    NetworkParams p = params;
+    p.fork_rate = beta;
+    return homogeneous_binding_request(p, prices, budget, n).cloud;
+  };
+  EXPECT_NEAR(s.dc_dfork_rate, fd(c_of_beta, params.fork_rate, step),
+              1e-4 * std::abs(s.dc_dfork_rate) + 1e-6);
+}
+
+TEST(SufficientSensitivity, MatchesFiniteDifferences) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const int n = 5;
+  const auto s = sufficient_request_sensitivity(params, prices, n);
+  const double step = 1e-6;
+
+  const auto e_of_pe = [&](double pe) {
+    return homogeneous_sufficient_request(params, {pe, prices.cloud}, n).edge;
+  };
+  EXPECT_NEAR(s.de_dprice_edge, fd(e_of_pe, prices.edge, step),
+              1e-4 * std::abs(s.de_dprice_edge) + 1e-8);
+  const auto c_of_pc = [&](double pc) {
+    return homogeneous_sufficient_request(params, {prices.edge, pc}, n).cloud;
+  };
+  EXPECT_NEAR(s.dc_dprice_cloud, fd(c_of_pc, prices.cloud, step),
+              1e-4 * std::abs(s.dc_dprice_cloud) + 1e-6);
+  const auto e_of_beta = [&](double beta) {
+    NetworkParams p = params;
+    p.fork_rate = beta;
+    return homogeneous_sufficient_request(p, prices, n).edge;
+  };
+  EXPECT_NEAR(s.de_dfork_rate, fd(e_of_beta, params.fork_rate, step),
+              1e-4 * std::abs(s.de_dfork_rate) + 1e-8);
+}
+
+TEST(Sensitivity, SignsMatchThePaperReadings) {
+  // Fig. 4: raising P_c pushes e* up, c* down. Fig. 5: raising beta (more
+  // delay) pushes e* up, c* down. Raising P_e pushes e* down.
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  for (bool binding : {true, false}) {
+    const RequestSensitivity s =
+        binding ? binding_request_sensitivity(params, prices, 10.0, 5)
+                : sufficient_request_sensitivity(params, prices, 5);
+    EXPECT_GT(s.de_dprice_cloud, 0.0) << "binding=" << binding;
+    EXPECT_LT(s.dc_dprice_cloud, 0.0) << "binding=" << binding;
+    EXPECT_LT(s.de_dprice_edge, 0.0) << "binding=" << binding;
+    EXPECT_GT(s.dc_dprice_edge, 0.0) << "binding=" << binding;
+    EXPECT_GT(s.de_dfork_rate, 0.0) << "binding=" << binding;
+    EXPECT_LT(s.dc_dfork_rate, 0.0) << "binding=" << binding;
+  }
+}
+
+TEST(SpPriceSensitivity, EspPriceRisesWithItsCost) {
+  // Fig. 8's claim, quantified: dP_e*/dC_e > 0 in connected mode; the
+  // standalone sell-out price is cost-independent (set by capacity).
+  const NetworkParams params = default_params();
+  SpSolveOptions options;
+  options.grid_points = 24;
+  options.max_rounds = 25;
+  const auto connected = sp_price_sensitivity(
+      params, 40.0, 5, EdgeMode::kConnected, 0.1, options);
+  EXPECT_GT(connected.dpe_dcost_edge, 0.0);
+  EXPECT_THROW((void)sp_price_sensitivity(params, 40.0, 5,
+                                          EdgeMode::kConnected, 2.0, options),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hecmine::core

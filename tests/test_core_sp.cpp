@@ -1,0 +1,216 @@
+// Tests for core/sp: SP profits, the leader-stage equilibria (Algorithms 1
+// and 2), the CSP reaction curve (Theorem 4 structure), and the paper's
+// cross-mode claims.
+#include "core/sp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/closed_forms.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+namespace {
+
+NetworkParams default_params() {
+  NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  params.edge_capacity = 8.0;
+  params.cost_edge = 1.0;
+  params.cost_cloud = 0.4;
+  return params;
+}
+
+SpSolveOptions fast_options() {
+  SpSolveOptions options;
+  options.grid_points = 28;
+  options.max_rounds = 40;
+  options.tolerance = 1e-4;
+  options.follower.tolerance = 1e-8;
+  return options;
+}
+
+TEST(SpProfits, MatchesDefinition) {
+  const NetworkParams params = default_params();
+  const SpProfits profits = sp_profits(params, {2.0, 1.0}, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(profits.edge, (2.0 - 1.0) * 10.0);
+  EXPECT_DOUBLE_EQ(profits.cloud, (1.0 - 0.4) * 20.0);
+}
+
+TEST(HomogeneousStackelberg, ConnectedEquilibriumIsSane) {
+  const NetworkParams params = default_params();
+  const auto result = solve_sp_equilibrium_homogeneous(
+      params, 40.0, 5, EdgeMode::kConnected, fast_options());
+  EXPECT_TRUE(result.converged);
+  // Prices above cost (otherwise an SP would be better off at cost).
+  EXPECT_GT(result.prices.edge, params.cost_edge);
+  EXPECT_GT(result.prices.cloud, params.cost_cloud);
+  // The ESP has no delay penalty: it must command the premium price.
+  EXPECT_GT(result.prices.edge, result.prices.cloud);
+  EXPECT_GE(result.profits.edge, 0.0);
+  EXPECT_GE(result.profits.cloud, 0.0);
+  // Miners actually buy at the equilibrium.
+  EXPECT_GT(result.follower.request.total(), 0.0);
+}
+
+TEST(HomogeneousStackelberg, EquilibriumPricesAreStable) {
+  // At the computed solution: the CSP's price is a best response to P_e*
+  // (it is the Stackelberg follower among leaders per Theorem 4), and the
+  // ESP cannot gain by deviating along the CSP's reaction curve.
+  const NetworkParams params = default_params();
+  const auto options = fast_options();
+  const auto result = solve_sp_equilibrium_homogeneous(
+      params, 40.0, 5, EdgeMode::kConnected, options);
+  const auto cloud_payoff = [&](const Prices& prices) {
+    const auto eq =
+        solve_symmetric_connected(params, prices, 40.0, 5, options.follower);
+    Totals totals{5.0 * eq.request.edge, 5.0 * eq.request.cloud};
+    return sp_profits(params, prices, totals).cloud;
+  };
+  const auto composite_edge_payoff = [&](double pe) {
+    const double pc = csp_reaction_homogeneous(params, 40.0, 5,
+                                               EdgeMode::kConnected, pe,
+                                               options);
+    const auto eq = solve_symmetric_connected(params, {pe, pc}, 40.0, 5,
+                                              options.follower);
+    Totals totals{5.0 * eq.request.edge, 5.0 * eq.request.cloud};
+    return sp_profits(params, {pe, pc}, totals).edge;
+  };
+  const double base_cloud = cloud_payoff(result.prices);
+  const double base_edge = composite_edge_payoff(result.prices.edge);
+  for (double factor : {0.9, 0.97, 1.03, 1.1}) {
+    Prices probe_c = result.prices;
+    probe_c.cloud *= factor;
+    if (probe_c.cloud > params.cost_cloud) {
+      EXPECT_LE(cloud_payoff(probe_c), base_cloud * 1.01 + 1e-6);
+    }
+    const double probe_pe = result.prices.edge * factor;
+    if (probe_pe > params.cost_edge) {
+      EXPECT_LE(composite_edge_payoff(probe_pe), base_edge * 1.01 + 1e-6);
+    }
+  }
+}
+
+TEST(HomogeneousStackelberg, StandaloneSellsOutTheEdge) {
+  // Paper Problem 2c: at the standalone SP equilibrium the ESP sells its
+  // whole capacity (with sufficient miner budgets).
+  const NetworkParams params = default_params();
+  const auto result = solve_sp_equilibrium_homogeneous(
+      params, 500.0, 5, EdgeMode::kStandalone, fast_options());
+  EXPECT_NEAR(5.0 * result.follower.request.edge, params.edge_capacity,
+              0.05 * params.edge_capacity);
+}
+
+TEST(HomogeneousStackelberg, StandaloneEspChargesMoreAndEarnsMore) {
+  // Paper Sec. IV-C.3 & Fig. 8: with scarce edge capacity (the paper's
+  // premise: "limited and expensive edge resources"), the standalone mode
+  // lets the ESP charge a higher price and extract more profit than the
+  // connected mode, while the CSP's profit does not improve.
+  NetworkParams params = default_params();
+  params.edge_capacity = 4.0;
+  const auto connected = solve_sp_equilibrium_homogeneous(
+      params, 500.0, 5, EdgeMode::kConnected, fast_options());
+  const auto standalone =
+      solve_sp_standalone_sellout(params, 500.0, 5, fast_options());
+  EXPECT_GT(standalone.prices.edge, connected.prices.edge);
+  EXPECT_GT(standalone.profits.edge, connected.profits.edge);
+  EXPECT_LT(standalone.profits.cloud, connected.profits.cloud * 1.05);
+}
+
+TEST(HomogeneousStackelberg, StandaloneSelloutMatchesTableIIClosedForm) {
+  const NetworkParams params = default_params();
+  const auto closed = standalone_sp_closed_form(params, 5);
+  ASSERT_TRUE(closed.valid);
+  SpSolveOptions options = fast_options();
+  options.grid_points = 80;
+  const auto numeric = solve_sp_standalone_sellout(params, 1e4, 5, options);
+  EXPECT_NEAR(numeric.prices.cloud, closed.prices.cloud,
+              0.02 * closed.prices.cloud);
+  EXPECT_NEAR(numeric.prices.edge, closed.prices.edge,
+              0.02 * closed.prices.edge);
+  EXPECT_NEAR(numeric.profits.edge, closed.profit_edge,
+              0.02 * closed.profit_edge);
+}
+
+TEST(HomogeneousStackelberg, UnconstrainedStandaloneLetsCspUndercut) {
+  // Observed refinement of the paper's Problem 2c (documented in
+  // EXPERIMENTS.md): without the imposed sell-out constraint, the CSP
+  // undercuts just below the ESP's sell-out price, so the free equilibrium
+  // yields the ESP weakly less profit than the Table II point.
+  const NetworkParams params = default_params();
+  const auto sellout =
+      solve_sp_standalone_sellout(params, 1e4, 5, fast_options());
+  const auto free_game = solve_sp_equilibrium_homogeneous(
+      params, 1e4, 5, EdgeMode::kStandalone, fast_options());
+  EXPECT_LE(free_game.profits.edge, sellout.profits.edge * 1.01);
+}
+
+TEST(CspReaction, LiesBelowMixedBoundAndAboveCost) {
+  const NetworkParams params = default_params();
+  for (double pe : {1.8, 2.5, 3.5}) {
+    const double pc = csp_reaction_homogeneous(params, 40.0, 5,
+                                               EdgeMode::kConnected, pe,
+                                               fast_options());
+    EXPECT_GT(pc, params.cost_cloud);
+    EXPECT_LT(pc, pe);
+  }
+}
+
+TEST(CspReaction, HigherEdgePriceAllowsHigherCloudPrice) {
+  // Strategic complements: the CSP's best response rises with P_e.
+  const NetworkParams params = default_params();
+  const double low = csp_reaction_homogeneous(params, 40.0, 5,
+                                              EdgeMode::kConnected, 2.0,
+                                              fast_options());
+  const double high = csp_reaction_homogeneous(params, 40.0, 5,
+                                               EdgeMode::kConnected, 4.0,
+                                               fast_options());
+  EXPECT_GE(high, low - 1e-3);
+}
+
+TEST(SequentialSolve, AgreesWithSimultaneousOnProfits) {
+  // Theorem 4's sequential construction should give (approximately) the
+  // same outcome as asynchronous best response when the latter converges.
+  const NetworkParams params = default_params();
+  const auto simultaneous = solve_sp_equilibrium_homogeneous(
+      params, 40.0, 5, EdgeMode::kConnected, fast_options());
+  const auto sequential = solve_sp_sequential_homogeneous(
+      params, 40.0, 5, EdgeMode::kConnected, fast_options());
+  EXPECT_NEAR(sequential.profits.edge, simultaneous.profits.edge,
+              0.1 * std::abs(simultaneous.profits.edge) + 0.5);
+}
+
+TEST(FullProfileStackelberg, HeterogeneousBudgetsSolve) {
+  const NetworkParams params = default_params();
+  SpSolveOptions options = fast_options();
+  options.grid_points = 16;
+  options.max_rounds = 15;
+  options.tolerance = 1e-3;
+  const std::vector<double> budgets{20.0, 30.0, 40.0};
+  const auto result =
+      solve_sp_equilibrium(params, budgets, EdgeMode::kConnected, options);
+  EXPECT_GT(result.prices.edge, params.cost_edge);
+  EXPECT_GT(result.prices.cloud, params.cost_cloud);
+  EXPECT_GT(result.followers.totals.grand(), 0.0);
+  // Richer miners buy more at the equilibrium prices.
+  EXPECT_GE(result.followers.requests[2].total(),
+            result.followers.requests[0].total() - 1e-6);
+}
+
+TEST(SpSolve, ValidatesInputs) {
+  const NetworkParams params = default_params();
+  EXPECT_THROW((void)solve_sp_equilibrium_homogeneous(
+                   params, 0.0, 5, EdgeMode::kConnected),
+               support::PreconditionError);
+  EXPECT_THROW((void)solve_sp_equilibrium_homogeneous(
+                   params, 10.0, 1, EdgeMode::kConnected),
+               support::PreconditionError);
+  EXPECT_THROW((void)solve_sp_equilibrium(params, {}, EdgeMode::kConnected),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hecmine::core

@@ -1,0 +1,213 @@
+// Tests for core/winning (paper Section III) — formula identities,
+// Theorem 1, degenerate pools, and the paper's qualitative claims.
+#include "core/winning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine::core {
+namespace {
+
+std::vector<MinerRequest> random_profile(support::Rng& rng, std::size_t n) {
+  std::vector<MinerRequest> requests(n);
+  for (auto& request : requests) {
+    request.edge = rng.uniform(0.0, 10.0);
+    request.cloud = rng.uniform(0.0, 10.0);
+  }
+  return requests;
+}
+
+TEST(WinProbFull, MatchesEquation6OnHandExample) {
+  // Two miners: r_1 = (2, 1), r_2 = (1, 3); E = 3, C = 4, S = 7.
+  const std::vector<MinerRequest> profile{{2.0, 1.0}, {1.0, 3.0}};
+  const Totals totals = aggregate(profile);
+  const double beta = 0.25;
+  // Eq. (6): (e+c)/S + beta (e C - c E)/(E S)
+  const double expected_1 =
+      3.0 / 7.0 + beta * (2.0 * 4.0 - 1.0 * 3.0) / (3.0 * 7.0);
+  EXPECT_NEAR(win_prob_full(profile[0], totals, beta), expected_1, 1e-15);
+  const double expected_2 =
+      4.0 / 7.0 + beta * (1.0 * 4.0 - 3.0 * 3.0) / (3.0 * 7.0);
+  EXPECT_NEAR(win_prob_full(profile[1], totals, beta), expected_2, 1e-15);
+}
+
+TEST(WinProbFull, EqualsReducedForm) {
+  // Algebraic identity: W^h = (1-beta)(e+c)/S + beta e/E.
+  support::Rng rng{11};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto profile = random_profile(rng, 2 + rng.uniform_index(6));
+    const Totals totals = aggregate(profile);
+    if (totals.edge <= 1e-9) continue;
+    const double beta = rng.uniform(0.0, 0.95);
+    for (const auto& request : profile) {
+      const double reduced =
+          (1.0 - beta) * request.total() / totals.grand() +
+          beta * request.edge / totals.edge;
+      EXPECT_NEAR(win_prob_full(request, totals, beta), reduced, 1e-12);
+    }
+  }
+}
+
+TEST(WinProbFull, SplitsIntoEdgeAndCloudParts) {
+  support::Rng rng{12};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto profile = random_profile(rng, 3);
+    const Totals totals = aggregate(profile);
+    const double beta = rng.uniform(0.0, 0.9);
+    for (const auto& request : profile) {
+      EXPECT_NEAR(win_prob_full(request, totals, beta),
+                  win_prob_edge_part(request, totals, beta) +
+                      win_prob_cloud_part(request, totals, beta),
+                  1e-13);
+    }
+  }
+}
+
+// Theorem 1 as a property test over profile sizes.
+class Theorem1Test : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Theorem1Test, WinningProbabilitiesSumToOne) {
+  support::Rng rng{13 + GetParam()};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto profile = random_profile(rng, GetParam());
+    const double beta = rng.uniform(0.0, 0.95);
+    EXPECT_NEAR(total_win_probability(profile, beta), 1.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProfileSizes, Theorem1Test,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u, 64u));
+
+TEST(Theorem1, HoldsInAllEdgeOrAllCloudNetworks) {
+  const double beta = 0.3;
+  const std::vector<MinerRequest> all_edge{{2.0, 0.0}, {3.0, 0.0}};
+  EXPECT_NEAR(total_win_probability(all_edge, beta), 1.0, 1e-12);
+  const std::vector<MinerRequest> all_cloud{{0.0, 2.0}, {0.0, 3.0}};
+  EXPECT_NEAR(total_win_probability(all_cloud, beta), 1.0, 1e-12);
+}
+
+TEST(WinProb, ProbabilitiesLieInUnitInterval) {
+  support::Rng rng{14};
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto profile = random_profile(rng, 2 + rng.uniform_index(5));
+    const Totals totals = aggregate(profile);
+    const double beta = rng.uniform(0.0, 0.95);
+    for (const auto& request : profile) {
+      const double w = win_prob_full(request, totals, beta);
+      EXPECT_GE(w, -1e-12);
+      EXPECT_LE(w, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(WinProbConnectedFailure, MatchesEquation7) {
+  const std::vector<MinerRequest> profile{{2.0, 1.0}, {1.0, 3.0}};
+  const Totals totals = aggregate(profile);
+  const double beta = 0.25;
+  EXPECT_NEAR(win_prob_connected_failure(profile[0], totals, beta),
+              (1.0 - beta) * 3.0 / 7.0, 1e-15);
+}
+
+TEST(WinProbStandaloneRejection, MatchesEquation8) {
+  const std::vector<MinerRequest> profile{{2.0, 1.0}, {1.0, 3.0}};
+  const Totals totals = aggregate(profile);
+  const double beta = 0.25;
+  // Rejected miner keeps only c_i = 1 out of a pool of S - e_i = 5.
+  EXPECT_NEAR(win_prob_standalone_rejection(profile[0], totals, beta),
+              (1.0 - beta) * 1.0 / 5.0, 1e-15);
+}
+
+TEST(WinProbConnected, IsTheLawOfTotalExpectation) {
+  support::Rng rng{15};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto profile = random_profile(rng, 4);
+    const Totals totals = aggregate(profile);
+    const double beta = rng.uniform(0.0, 0.9);
+    const double h = rng.uniform(0.05, 1.0);
+    for (const auto& request : profile) {
+      const double mixture =
+          h * win_prob_full(request, totals, beta) +
+          (1.0 - h) * win_prob_connected_failure(request, totals, beta);
+      EXPECT_NEAR(win_prob_connected(request, totals, beta, h), mixture,
+                  1e-12);
+    }
+  }
+}
+
+TEST(WinProbConnected, ReducesToFullSatisfactionAtHEqualOne) {
+  const std::vector<MinerRequest> profile{{2.0, 1.0}, {1.0, 3.0}};
+  const Totals totals = aggregate(profile);
+  EXPECT_NEAR(win_prob_connected(profile[0], totals, 0.3, 1.0),
+              win_prob_full(profile[0], totals, 0.3), 1e-15);
+  EXPECT_NEAR(win_prob_standalone(profile[0], totals, 0.3),
+              win_prob_full(profile[0], totals, 0.3), 1e-15);
+}
+
+TEST(WinProb, EdgeUnitsBeatCloudUnitsUnderForks) {
+  // Same total demand, one miner edge-heavy, one cloud-heavy: the
+  // edge-heavy miner must have the higher winning probability when beta>0.
+  const std::vector<MinerRequest> profile{{4.0, 1.0}, {1.0, 4.0}};
+  const Totals totals = aggregate(profile);
+  EXPECT_GT(win_prob_full(profile[0], totals, 0.3),
+            win_prob_full(profile[1], totals, 0.3));
+  // Without forks the split is irrelevant.
+  EXPECT_NEAR(win_prob_full(profile[0], totals, 0.0),
+              win_prob_full(profile[1], totals, 0.0), 1e-15);
+}
+
+TEST(WinProb, MonotoneInOwnEdgeRequest) {
+  const double beta = 0.3;
+  double previous = 0.0;
+  for (double e = 0.5; e < 6.0; e += 0.5) {
+    const std::vector<MinerRequest> profile{{e, 1.0}, {2.0, 2.0}};
+    const Totals totals = aggregate(profile);
+    const double w = win_prob_full(profile[0], totals, beta);
+    EXPECT_GT(w, previous);
+    previous = w;
+  }
+}
+
+TEST(WinProb, EmptyNetworkAndValidation) {
+  const Totals empty{};
+  EXPECT_DOUBLE_EQ(win_prob_full({0.0, 0.0}, empty, 0.2), 0.0);
+  EXPECT_THROW((void)win_prob_full({-1.0, 0.0}, empty, 0.2),
+               support::PreconditionError);
+  EXPECT_THROW((void)win_prob_full({1.0, 0.0}, {1.0, 0.0}, 1.0),
+               support::PreconditionError);
+  EXPECT_THROW(
+      (void)win_prob_connected({1.0, 0.0}, {1.0, 0.0}, 0.2, 0.0),
+      support::PreconditionError);
+}
+
+TEST(WinProb, ProfileOverloadMatchesManualTotals) {
+  const std::vector<MinerRequest> profile{{2.0, 1.0}, {1.0, 3.0}};
+  const Totals totals = aggregate(profile);
+  EXPECT_DOUBLE_EQ(win_prob_connected(profile, 1, 0.2, 0.8),
+                   win_prob_connected(profile[1], totals, 0.2, 0.8));
+  EXPECT_THROW((void)win_prob_connected(profile, 5, 0.2, 0.8),
+               support::PreconditionError);
+}
+
+TEST(Aggregate, SumsAndExcludes) {
+  const std::vector<MinerRequest> profile{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Totals totals = aggregate(profile);
+  EXPECT_DOUBLE_EQ(totals.edge, 9.0);
+  EXPECT_DOUBLE_EQ(totals.cloud, 12.0);
+  EXPECT_DOUBLE_EQ(totals.grand(), 21.0);
+  const Totals others = aggregate_excluding(profile, 1);
+  EXPECT_DOUBLE_EQ(others.edge, 6.0);
+  EXPECT_DOUBLE_EQ(others.cloud, 8.0);
+  EXPECT_THROW((void)aggregate_excluding(profile, 3),
+               support::PreconditionError);
+}
+
+TEST(ForkModelSupport, RequestCostIsLinear) {
+  EXPECT_DOUBLE_EQ(request_cost({2.0, 3.0}, {1.5, 0.5}), 4.5);
+}
+
+}  // namespace
+}  // namespace hecmine::core

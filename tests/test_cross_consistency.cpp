@@ -1,0 +1,150 @@
+// Cross-component consistency: independent implementations of the same
+// semantics must agree — campaign vs MiningNetwork accounting, admission
+// fairness, and event-sim vs race-simulator win rates in the regime where
+// their models coincide.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chain/simulator.hpp"
+#include "core/welfare.hpp"
+#include "net/campaign.hpp"
+#include "net/event_sim.hpp"
+#include "net/network.hpp"
+#include "support/error.hpp"
+
+namespace hecmine {
+namespace {
+
+core::NetworkParams default_params() {
+  core::NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  params.edge_capacity = 10.0;
+  return params;
+}
+
+TEST(CrossConsistency, CampaignMatchesMiningNetworkOnFixedPopulation) {
+  // Same policy, same profile, no churn, unit difficulty: the two
+  // orchestrators must produce statistically identical win rates and
+  // exactly identical payment accounting.
+  const core::NetworkParams params = default_params();
+  const core::Prices prices{2.0, 1.0};
+  const std::vector<core::MinerRequest> profile{{2.0, 1.0}, {1.0, 3.0}};
+  const std::size_t rounds = 60000;
+
+  net::EdgePolicy policy{core::EdgeMode::kConnected, params.edge_success,
+                         params.edge_capacity};
+  net::MiningNetwork network(params, policy, prices, 301);
+  network.run_rounds(profile, rounds);
+
+  net::CampaignConfig campaign;
+  campaign.params = params;
+  campaign.policy = policy;
+  campaign.prices = prices;
+  campaign.blocks = rounds;
+  const auto result = run_campaign(campaign, profile, 302);
+
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const double network_rate =
+        static_cast<double>(network.stats().wins[i]) /
+        static_cast<double>(rounds);
+    const double campaign_rate =
+        static_cast<double>(result.miners[i].wins) /
+        static_cast<double>(rounds);
+    EXPECT_NEAR(network_rate, campaign_rate, 0.01) << "miner " << i;
+    EXPECT_NEAR(result.miners[i].payments,
+                static_cast<double>(rounds) *
+                    core::request_cost(profile[i], prices),
+                1e-6);
+  }
+}
+
+TEST(CrossConsistency, StandaloneAdmissionIsFairAcrossEqualRequests) {
+  // Two identical requests, capacity for one: random arrival order must
+  // reject each miner about half the time.
+  net::EdgePolicy policy{core::EdgeMode::kStandalone, 1.0, 2.0};
+  support::Rng rng{303};
+  const std::vector<core::MinerRequest> profile{{2.0, 0.0}, {2.0, 0.0}};
+  std::size_t rejected_first = 0;
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    const auto records =
+        net::admit_requests(profile, policy, {1.0, 1.0}, rng);
+    if (records[0].edge_status == net::ServiceStatus::kRejected)
+      ++rejected_first;
+  }
+  EXPECT_NEAR(static_cast<double>(rejected_first) / trials, 0.5, 0.01);
+}
+
+TEST(CrossConsistency, EventSimMatchesRaceSimulatorWithoutDelays) {
+  // With zero delays the event-driven protocol and the abstract race (at
+  // beta = 0) describe the same process.
+  const std::vector<core::MinerRequest> profile{{2.0, 1.0}, {0.5, 3.5}};
+  const std::size_t rounds = 120000;
+
+  net::EventSimConfig config;
+  config.policy = {core::EdgeMode::kConnected, 1.0, 100.0};
+  config.latency = {};
+  config.latency.edge_cloud = 0.0;
+  config.latency.miner_cloud = 0.0;
+  config.cloud_propagation = 0.0;
+  net::EventDrivenNetwork events(config, 304);
+  events.run_rounds(profile, rounds);
+
+  chain::MiningSimulator race({0.0, 1.0, 1.0}, 305);
+  std::vector<chain::Allocation> allocations;
+  for (const auto& request : profile)
+    allocations.push_back({request.edge, request.cloud});
+  const auto tally = race.run(allocations, rounds);
+
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(events.stats().wins[i]) /
+                    static_cast<double>(rounds),
+                tally.win_rate(i), 0.01)
+        << "miner " << i;
+  }
+}
+
+TEST(CrossConsistency, LatencyStatsAgreeWithTheLatencyModelArithmetic) {
+  // estimate_latency_stats over a policy that always transfers must equal
+  // the model's transfer latency exactly.
+  net::LatencyModel model;
+  model.miner_edge = 0.03;
+  model.edge_cloud = 0.7;
+  net::EdgePolicy policy{core::EdgeMode::kConnected, 1e-12, 100.0};
+  const std::vector<core::MinerRequest> profile{{1.0, 0.0}};
+  const auto stats =
+      net::estimate_latency_stats(profile, policy, model, 500, 306);
+  EXPECT_NEAR(stats.mean_edge_placement,
+              model.edge_placement_latency(net::ServiceStatus::kTransferred),
+              1e-9);
+  EXPECT_EQ(stats.failures, 500u);
+}
+
+TEST(CrossConsistency, WelfareOfReplayedEquilibriumMatchesTheReport) {
+  // Realized long-run per-round flows equal the analytic welfare report
+  // (income conservation makes these identities, not approximations).
+  const core::NetworkParams params = default_params();
+  const core::Prices prices{2.0, 1.0};
+  const std::vector<core::MinerRequest> profile{{2.0, 1.0}, {1.0, 3.0}};
+  const core::Totals totals = core::aggregate(profile);
+  const auto report = core::welfare_report(params, prices, totals);
+
+  net::EdgePolicy policy{core::EdgeMode::kConnected, params.edge_success,
+                         params.edge_capacity};
+  net::MiningNetwork network(params, policy, prices, 307);
+  const std::size_t rounds = 20000;
+  network.run_rounds(profile, rounds);
+  double realized_miner_surplus = 0.0;
+  for (const auto& acc : network.stats().utility)
+    realized_miner_surplus += acc.mean();
+  EXPECT_NEAR(realized_miner_surplus, report.miner_surplus, 1e-9);
+  EXPECT_NEAR((network.stats().revenue_edge + network.stats().revenue_cloud) /
+                  static_cast<double>(rounds),
+              report.miner_spend, 1e-9);
+}
+
+}  // namespace
+}  // namespace hecmine

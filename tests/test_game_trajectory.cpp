@@ -1,0 +1,116 @@
+// Tests for game/trajectory: convergence and limit-cycle diagnosis,
+// including the SP price game's period cycle (EXPERIMENTS.md gap #2).
+#include "game/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/closed_forms.hpp"
+#include "core/equilibrium.hpp"
+#include "core/sp.hpp"
+#include "numerics/optimize.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::game {
+namespace {
+
+TEST(Trajectory, DetectsFixedPoint) {
+  const DynamicsMap contraction = [](const std::vector<double>& x) {
+    return std::vector<double>{0.5 * x[0] + 1.0};
+  };
+  const auto report = run_dynamics(contraction, {10.0}, 500, 1e-9);
+  EXPECT_TRUE(report.converged);
+  EXPECT_FALSE(report.cycling);
+  EXPECT_NEAR(report.trajectory.back().actions[0], 2.0, 1e-6);
+}
+
+TEST(Trajectory, DetectsPeriodTwoCycle) {
+  const DynamicsMap flip = [](const std::vector<double>& x) {
+    return std::vector<double>{3.0 - x[0]};  // 1 <-> 2 oscillation
+  };
+  const auto report = run_dynamics(flip, {1.0}, 100, 1e-9);
+  EXPECT_FALSE(report.converged);
+  EXPECT_TRUE(report.cycling);
+  EXPECT_EQ(report.period, 2);
+  EXPECT_NEAR(report.amplitude, 1.0, 1e-9);
+}
+
+TEST(Trajectory, DetectsLongerCycles) {
+  // Period-3 rotation over {0, 1, 2}.
+  const DynamicsMap rotate = [](const std::vector<double>& x) {
+    return std::vector<double>{x[0] >= 2.0 ? 0.0 : x[0] + 1.0};
+  };
+  const auto report = run_dynamics(rotate, {0.0}, 100, 1e-9, 6);
+  EXPECT_TRUE(report.cycling);
+  EXPECT_EQ(report.period, 3);
+}
+
+TEST(Trajectory, ReportsNeitherOnSlowDrift) {
+  const DynamicsMap drift = [](const std::vector<double>& x) {
+    return std::vector<double>{x[0] + 0.5};
+  };
+  const auto report = run_dynamics(drift, {0.0}, 50, 1e-9);
+  EXPECT_FALSE(report.converged);
+  EXPECT_FALSE(report.cycling);
+  EXPECT_EQ(report.trajectory.size(), 51u);
+}
+
+TEST(Trajectory, ValidatesInputs) {
+  const DynamicsMap identity = [](const std::vector<double>& x) { return x; };
+  EXPECT_THROW((void)run_dynamics(identity, {}, 10), support::PreconditionError);
+  EXPECT_THROW((void)run_dynamics(identity, {1.0}, 0),
+               support::PreconditionError);
+  const DynamicsMap shrink = [](const std::vector<double>&) {
+    return std::vector<double>{};
+  };
+  EXPECT_THROW((void)run_dynamics(shrink, {1.0}, 10),
+               support::PreconditionError);
+}
+
+TEST(Trajectory, SpPriceBestResponseCyclesAsDocumented) {
+  // The literal Algorithm-1 simultaneous price dynamics on the
+  // sufficient-budget homogeneous game: each SP best-responds to the
+  // other's last price. The dynamics must NOT settle (the simultaneous
+  // game lacks a pure NE here) — the diagnosis that motivated the
+  // sequential fallback of solve_sp_equilibrium_homogeneous.
+  core::NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  params.edge_capacity = 8.0;
+  const double budget = 40.0;
+  const int n = 5;
+
+  const auto best_price = [&](bool edge_leader,
+                              const std::vector<double>& prices) {
+    num::Maximize1DOptions scan;
+    scan.grid_points = 60;
+    const auto payoff = [&](double candidate) {
+      const core::Prices p = edge_leader
+                                 ? core::Prices{candidate, prices[1]}
+                                 : core::Prices{prices[0], candidate};
+      const auto eq = core::solve_symmetric_connected(params, p, budget, n);
+      const core::Totals totals{n * eq.request.edge, n * eq.request.cloud};
+      const auto profits = core::sp_profits(params, p, totals);
+      return edge_leader ? profits.edge : profits.cloud;
+    };
+    const double lo = edge_leader ? params.cost_edge * 1.001
+                                  : params.cost_cloud * 1.001;
+    return num::maximize_scan(payoff, lo, 52.0, scan).argmax;
+  };
+  const DynamicsMap price_dynamics = [&](const std::vector<double>& prices) {
+    std::vector<double> next(2);
+    next[0] = best_price(true, prices);
+    next[1] = best_price(false, {next[0], prices[1]});
+    return next;
+  };
+  const auto report = run_dynamics(price_dynamics, {3.0, 1.2}, 30, 1e-3, 10);
+  EXPECT_FALSE(report.converged);
+  EXPECT_TRUE(report.cycling);
+  EXPECT_GE(report.period, 2);
+  EXPECT_GT(report.amplitude, 1.0);  // the cycle spans a wide price range
+}
+
+}  // namespace
+}  // namespace hecmine::game

@@ -1,0 +1,161 @@
+// End-to-end integration tests: the Stackelberg equilibrium computed by the
+// game layer is fed to the offloading network + PoW simulator, and the
+// empirical outcomes must agree with the theory; the paper's cross-mode
+// claims are checked at full-pipeline level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/closed_forms.hpp"
+#include "core/sp.hpp"
+#include "core/winning.hpp"
+#include "net/network.hpp"
+
+namespace hecmine {
+namespace {
+
+core::NetworkParams default_params() {
+  core::NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  params.edge_capacity = 8.0;
+  params.cost_edge = 1.0;
+  params.cost_cloud = 0.4;
+  return params;
+}
+
+core::SpSolveOptions fast_options() {
+  core::SpSolveOptions options;
+  options.grid_points = 24;
+  options.max_rounds = 30;
+  options.tolerance = 1e-4;
+  return options;
+}
+
+TEST(Integration, EquilibriumRequestsSurviveTheRealNetwork) {
+  // Solve the full game, then replay the equilibrium on the simulator:
+  // empirical win rates must match the theoretical winning probabilities
+  // and SP revenues must match prices x units.
+  const core::NetworkParams params = default_params();
+  const auto equilibrium = core::solve_sp_equilibrium_homogeneous(
+      params, 40.0, 5, core::EdgeMode::kConnected, fast_options());
+  const std::vector<core::MinerRequest> profile(5,
+                                                equilibrium.follower.request);
+  const core::Totals totals = core::aggregate(profile);
+
+  net::EdgePolicy policy;
+  policy.mode = core::EdgeMode::kConnected;
+  policy.success_prob = params.edge_success;
+  net::MiningNetwork network(params, policy, equilibrium.prices, 101);
+  const std::size_t rounds = 200000;
+  network.run_rounds(profile, rounds);
+
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const double expected = core::win_prob_connected(
+        profile[i], totals, params.fork_rate, params.edge_success);
+    EXPECT_NEAR(static_cast<double>(network.stats().wins[i]) /
+                    static_cast<double>(rounds),
+                expected, 0.01);
+  }
+  const double revenue_per_round_edge =
+      equilibrium.prices.edge * totals.edge;
+  EXPECT_NEAR(network.stats().revenue_edge,
+              revenue_per_round_edge * rounds, 1e-5 * rounds);
+  // SP profit per round at the equilibrium equals the theoretical V_e.
+  const double profit_edge_per_round =
+      network.stats().revenue_edge / rounds - params.cost_edge * totals.edge;
+  EXPECT_NEAR(profit_edge_per_round, equilibrium.profits.edge, 1e-6);
+}
+
+TEST(Integration, StandaloneEquilibriumNeverRejects) {
+  // The GNEP keeps total edge demand within E_max, so replaying the
+  // equilibrium through the standalone admission policy must yield zero
+  // rejections.
+  const core::NetworkParams params = default_params();
+  const auto equilibrium = core::solve_sp_equilibrium_homogeneous(
+      params, 200.0, 5, core::EdgeMode::kStandalone, fast_options());
+  std::vector<core::MinerRequest> profile(5, equilibrium.follower.request);
+  // Guard the floating-point boundary at a binding cap (E sits exactly on
+  // E_max, where accumulation error in admission could reject a request).
+  const double total_edge = 5.0 * equilibrium.follower.request.edge;
+  if (total_edge > params.edge_capacity * (1.0 - 1e-9)) {
+    const double shrink = params.edge_capacity * (1.0 - 1e-9) / total_edge;
+    for (auto& request : profile) request.edge *= shrink;
+  }
+
+  net::EdgePolicy policy;
+  policy.mode = core::EdgeMode::kStandalone;
+  policy.capacity = params.edge_capacity;
+  net::MiningNetwork network(params, policy, equilibrium.prices, 102);
+  network.run_rounds(profile, 20000);
+  EXPECT_EQ(network.stats().rejections, 0u);
+}
+
+TEST(Integration, SoldUnitsRoughlyEqualAcrossModesWithLargeBudgets) {
+  // Paper Sec. VI-B: with sufficient budgets the total sold units are
+  // approximately equal across edge operation modes (S depends only on
+  // P_c in both).
+  const core::NetworkParams params = default_params();
+  const auto connected = core::solve_sp_equilibrium_homogeneous(
+      params, 2000.0, 5, core::EdgeMode::kConnected, fast_options());
+  const auto standalone = core::solve_sp_equilibrium_homogeneous(
+      params, 2000.0, 5, core::EdgeMode::kStandalone, fast_options());
+  const double total_connected = 5.0 * connected.follower.request.total();
+  const double total_standalone = 5.0 * standalone.follower.request.total();
+  EXPECT_NEAR(total_connected, total_standalone,
+              0.35 * std::max(total_connected, total_standalone));
+}
+
+TEST(Integration, ConnectedModeDiscouragesEdgePurchases) {
+  // Paper conclusion: the connected mode discourages miners from buying
+  // ESP units relative to standalone, at identical prices. (Compared with
+  // a non-binding capacity so the mode effect — h < 1 versus h = 1 — is
+  // isolated from the cap.)
+  core::NetworkParams params = default_params();
+  params.edge_capacity = 100.0;
+  const core::Prices prices{2.0, 1.0};
+  const auto connected =
+      core::solve_symmetric_connected(params, prices, 60.0, 5);
+  const auto standalone =
+      core::solve_symmetric_standalone(params, prices, 60.0, 5);
+  ASSERT_TRUE(connected.converged);
+  ASSERT_TRUE(standalone.converged);
+  // Standalone (h = 1) demand, even capped at E_max/n, exceeds the
+  // connected-mode request.
+  EXPECT_GT(standalone.request.edge, connected.request.edge);
+}
+
+TEST(Integration, WelfareBoundedByBudgetsThenGrowsWithReward) {
+  // Paper Sec. VI-B: SP welfare is capped by total miner budgets for small
+  // budgets; once budgets are ample, welfare scales with the reward R.
+  core::NetworkParams params = default_params();
+  const int n = 5;
+  const double small_budget = 5.0;
+  const auto tight = core::solve_sp_equilibrium_homogeneous(
+      params, small_budget, n, core::EdgeMode::kConnected, fast_options());
+  const double tight_welfare = tight.profits.edge + tight.profits.cloud;
+  EXPECT_LE(tight_welfare, small_budget * n + 1e-6);
+
+  const auto base = core::solve_sp_equilibrium_homogeneous(
+      params, 1e5, n, core::EdgeMode::kConnected, fast_options());
+  core::NetworkParams rich_params = params;
+  rich_params.reward = 2.0 * params.reward;
+  const auto rich = core::solve_sp_equilibrium_homogeneous(
+      rich_params, 1e5, n, core::EdgeMode::kConnected, fast_options());
+  EXPECT_GT(rich.profits.edge + rich.profits.cloud,
+            base.profits.edge + base.profits.cloud);
+}
+
+TEST(Integration, ForkModelRoundTripsDelayAndRate) {
+  const core::ForkModel model(12.6);
+  for (double delay : {0.1, 1.0, 5.0, 20.0}) {
+    const double beta = model.fork_rate(delay);
+    EXPECT_NEAR(model.delay_for_rate(beta), delay, 1e-9);
+  }
+  // Near-linearity for small delays (the Bitcoin CDF regime of Fig. 2).
+  EXPECT_NEAR(model.fork_rate(0.5), 0.5 / 12.6, 0.002);
+}
+
+}  // namespace
+}  // namespace hecmine

@@ -1,0 +1,181 @@
+// Tests for net/campaign: long-horizon mining with churn, difficulty and
+// income accounting.
+#include "net/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::net {
+namespace {
+
+CampaignConfig base_config() {
+  CampaignConfig config;
+  config.params.reward = 100.0;
+  config.params.fork_rate = 0.2;
+  config.params.edge_success = 0.9;
+  config.params.edge_capacity = 10.0;
+  config.policy = {core::EdgeMode::kConnected, 0.9, 10.0};
+  config.prices = {2.0, 1.0};
+  config.difficulty.target_interval = 1.0;
+  config.difficulty.window = 32;
+  config.blocks = 4000;
+  return config;
+}
+
+TEST(Campaign, AccountingIdentitiesHold) {
+  const CampaignConfig config = base_config();
+  const std::vector<core::MinerRequest> strategies{
+      {2.0, 1.0}, {1.0, 3.0}, {0.5, 2.0}};
+  const auto result = run_campaign(config, strategies, 61);
+  ASSERT_EQ(result.miners.size(), 3u);
+  EXPECT_EQ(result.blocks_mined, config.blocks);
+  std::size_t total_wins = 0;
+  for (const auto& miner : result.miners) {
+    total_wins += miner.wins;
+    // Every block, every miner is active (no population law).
+    EXPECT_EQ(miner.rounds_active, config.blocks);
+    // income = wins * R; payments = rounds * request cost.
+    EXPECT_NEAR(miner.income, 100.0 * static_cast<double>(miner.wins), 1e-9);
+  }
+  EXPECT_EQ(total_wins, result.blocks_mined);
+  EXPECT_NEAR(result.miners[0].payments,
+              static_cast<double>(config.blocks) *
+                  core::request_cost(strategies[0], config.prices),
+              1e-6);
+}
+
+TEST(Campaign, DifficultyStabilizesBlockIntervals) {
+  CampaignConfig config = base_config();
+  config.blocks = 20000;
+  // Lots of power: without retargeting intervals would be ~1/9.5.
+  const std::vector<core::MinerRequest> strategies{{4.0, 2.0}, {2.5, 1.0}};
+  const auto result = run_campaign(config, strategies, 62);
+  EXPECT_GT(result.retargets, 100u);
+  // The time-average interval approaches the 1.0 target (wide tolerance:
+  // proportional retargeting is a noisy controller).
+  EXPECT_NEAR(result.block_intervals.mean(), 1.0, 0.15);
+  EXPECT_LT(result.final_unit_rate, 1.0);
+}
+
+TEST(Campaign, PopulationChurnReducesActivity) {
+  CampaignConfig config = base_config();
+  config.population = core::PopulationModel::around(3.0, 1.0);
+  const std::vector<core::MinerRequest> strategies(
+      static_cast<std::size_t>(config.population->max_miners()),
+      {1.0, 1.0});
+  const auto result = run_campaign(config, strategies, 63);
+  std::size_t total_active = 0;
+  for (const auto& miner : result.miners) {
+    EXPECT_LT(miner.rounds_active, config.blocks);
+    total_active += miner.rounds_active;
+  }
+  EXPECT_NEAR(static_cast<double>(total_active) /
+                  static_cast<double>(config.blocks),
+              3.0, 0.2);
+}
+
+TEST(Campaign, RealizedConcentrationTracksRequestShares) {
+  const CampaignConfig config = base_config();
+  // One dominant miner: realized HHI well above uniform 1/3.
+  const std::vector<core::MinerRequest> strategies{
+      {6.0, 8.0}, {0.5, 0.5}, {0.5, 0.5}};
+  const auto result = run_campaign(config, strategies, 64);
+  EXPECT_GT(result.realized_hhi, 0.5);
+}
+
+TEST(Campaign, EdgeHeavyStrategyHasLowerIncomeVarianceThanItsScale) {
+  // Sanity on the volatility accounting: per-round utility stddev is
+  // dominated by the Bernoulli(R) reward lottery.
+  const CampaignConfig config = base_config();
+  const std::vector<core::MinerRequest> strategies{{2.0, 2.0}, {2.0, 2.0}};
+  const auto result = run_campaign(config, strategies, 65);
+  for (const auto& miner : result.miners) {
+    const double p = static_cast<double>(miner.wins) /
+                     static_cast<double>(miner.rounds_active);
+    const double bernoulli_sd = 100.0 * std::sqrt(p * (1.0 - p));
+    EXPECT_NEAR(miner.round_utility.stddev(), bernoulli_sd,
+                0.1 * bernoulli_sd);
+  }
+}
+
+TEST(Campaign, PoolingPreservesExpectedIncome) {
+  // Proportional payouts are share-fair: pooling the first two identical
+  // miners leaves everyone's mean income per round unchanged within noise.
+  CampaignConfig config = base_config();
+  config.blocks = 60000;
+  const std::vector<core::MinerRequest> strategies{
+      {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const auto solo = run_campaign(config, strategies, 66);
+  const auto pooled =
+      run_campaign_with_pools(config, strategies, {0, 0, -1}, 66);
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    const double solo_mean =
+        solo.miners[i].income / static_cast<double>(solo.miners[i].rounds_active);
+    const double pooled_mean =
+        pooled.miners[i].income /
+        static_cast<double>(pooled.miners[i].rounds_active);
+    EXPECT_NEAR(pooled_mean, solo_mean, 0.05 * solo_mean + 0.2)
+        << "miner " << i;
+  }
+}
+
+TEST(Campaign, PoolingShrinksIncomeVariance) {
+  CampaignConfig config = base_config();
+  config.blocks = 30000;
+  const std::vector<core::MinerRequest> strategies{
+      {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const auto solo = run_campaign(config, strategies, 67);
+  // Miners 0-2 form one pool; miner 3 stays solo.
+  const auto pooled =
+      run_campaign_with_pools(config, strategies, {0, 0, 0, -1}, 67);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LT(pooled.miners[i].round_utility.stddev(),
+              0.75 * solo.miners[i].round_utility.stddev())
+        << "miner " << i;
+  }
+  // The solo miner's volatility is unchanged (same lottery).
+  EXPECT_NEAR(pooled.miners[3].round_utility.stddev(),
+              solo.miners[3].round_utility.stddev(),
+              0.05 * solo.miners[3].round_utility.stddev());
+}
+
+TEST(Campaign, PoolRewardIsFullyDistributed) {
+  CampaignConfig config = base_config();
+  config.blocks = 5000;
+  const std::vector<core::MinerRequest> strategies{
+      {1.0, 0.5}, {0.5, 1.5}, {2.0, 1.0}};
+  const auto pooled =
+      run_campaign_with_pools(config, strategies, {0, 0, 0}, 68);
+  double total_income = 0.0;
+  for (const auto& miner : pooled.miners) total_income += miner.income;
+  EXPECT_NEAR(total_income,
+              100.0 * static_cast<double>(pooled.blocks_mined), 1e-6);
+}
+
+TEST(Campaign, PoolValidation) {
+  const CampaignConfig config = base_config();
+  const std::vector<core::MinerRequest> strategies{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_THROW((void)run_campaign_with_pools(config, strategies, {0}, 1),
+               support::PreconditionError);
+}
+
+TEST(Campaign, Validates) {
+  CampaignConfig config = base_config();
+  const std::vector<core::MinerRequest> strategies{{1.0, 1.0}};
+  config.blocks = 0;
+  EXPECT_THROW((void)run_campaign(config, strategies, 1),
+               support::PreconditionError);
+  config = base_config();
+  EXPECT_THROW((void)run_campaign(config, {}, 1),
+               support::PreconditionError);
+  config.population = core::PopulationModel::around(5.0, 1.0);
+  // Pool smaller than the population support.
+  EXPECT_THROW((void)run_campaign(config, strategies, 1),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hecmine::net

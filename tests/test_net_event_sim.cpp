@@ -1,0 +1,184 @@
+// Tests for the message-level event-driven network: the endogenous fork
+// rate matches the exponential ForkModel, win rates match the paper's
+// formulas when beta is matched, and the protocol milestones trace
+// correctly.
+#include "net/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/params.hpp"
+#include "core/winning.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::net {
+namespace {
+
+EventSimConfig base_config() {
+  EventSimConfig config;
+  config.policy = {core::EdgeMode::kConnected, 1.0, 100.0};
+  config.latency.miner_edge = 0.0;
+  config.latency.edge_cloud = 0.3;
+  config.latency.miner_cloud = 0.3;
+  config.unit_hash_rate = 1.0;
+  return config;
+}
+
+TEST(EventSim, EmptyProfileYieldsNoRound) {
+  EventDrivenNetwork network(base_config(), 21);
+  EXPECT_FALSE(network.run_round({{0.0, 0.0}}).has_value());
+  EXPECT_EQ(network.stats().rounds, 0u);
+}
+
+TEST(EventSim, ValidatesConfigAndRequests) {
+  EventSimConfig config = base_config();
+  config.unit_hash_rate = 0.0;
+  EXPECT_THROW(EventDrivenNetwork(config, 1), support::PreconditionError);
+  EventDrivenNetwork network(base_config(), 2);
+  EXPECT_THROW((void)network.run_round({{-1.0, 0.0}}),
+               support::PreconditionError);
+}
+
+TEST(EventSim, ZeroDelayWinRatesAreProportionalToPower) {
+  EventSimConfig config = base_config();
+  config.latency.miner_cloud = 0.0;
+  config.latency.edge_cloud = 0.0;
+  EventDrivenNetwork network(config, 23);
+  const std::vector<core::MinerRequest> profile{{3.0, 0.0}, {0.0, 1.0}};
+  network.run_rounds(profile, 100000);
+  EXPECT_NEAR(static_cast<double>(network.stats().wins[0]) / 100000.0, 0.75,
+              0.01);
+  EXPECT_EQ(network.stats().forks, 0u);
+}
+
+TEST(EventSim, EndogenousForkRateMatchesExponentialModel) {
+  // A first-found cloud block is overtaken iff some edge unit solves
+  // within the propagation window D: P = 1 - exp(-E * rate * D) — exactly
+  // core::ForkModel with tau = 1/(E * rate).
+  EventSimConfig config = base_config();
+  config.latency.miner_cloud = 0.4;
+  EventDrivenNetwork network(config, 24);
+  const std::vector<core::MinerRequest> profile{{2.0, 0.0}, {0.0, 3.0}};
+  network.run_rounds(profile, 200000);
+  const core::ForkModel model(1.0 / 2.0);  // tau = 1/(E * rate), E = 2
+  EXPECT_NEAR(network.stats().measured_fork_rate(),
+              model.fork_rate(0.4), 0.01);
+}
+
+TEST(EventSim, WinRatesMatchPaperFormulaAtMatchedBeta) {
+  // Measure the endogenous beta, then compare win rates against Eq. (6)
+  // evaluated at that beta. The paper models only the back-end broadcast
+  // delay, so placement legs are zeroed here and only cloud_propagation
+  // carries the fork window.
+  EventSimConfig config = base_config();
+  config.latency.miner_cloud = 0.0;
+  config.latency.edge_cloud = 0.0;
+  config.cloud_propagation = 0.25;
+  EventDrivenNetwork network(config, 25);
+  const std::vector<core::MinerRequest> profile{
+      {2.0, 1.0}, {1.0, 3.0}, {0.5, 2.0}};
+  const std::size_t rounds = 300000;
+  network.run_rounds(profile, rounds);
+  const core::Totals totals = core::aggregate(profile);
+  const double beta = network.stats().measured_fork_rate();
+  // Predicted beta from the exponential model: E = 3.5, D = 0.25.
+  EXPECT_NEAR(beta, 1.0 - std::exp(-3.5 * 0.25), 0.01);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const double model = core::win_prob_full(profile[i], totals, beta);
+    EXPECT_NEAR(static_cast<double>(network.stats().wins[i]) /
+                    static_cast<double>(rounds),
+                model, 0.012)
+        << "miner " << i;
+  }
+}
+
+TEST(EventSim, CloudPlacementLatencyGivesEdgeAHeadStart) {
+  // Documented refinement over the paper's Eq. (6): cloud compute starts
+  // one upload leg later than edge compute, so the edge-heavy miner's
+  // realized win rate exceeds the formula evaluated at the matched beta.
+  EventSimConfig config = base_config();
+  config.latency.miner_cloud = 0.25;  // placement AND propagation
+  EventDrivenNetwork network(config, 31);
+  const std::vector<core::MinerRequest> profile{{2.0, 1.0}, {1.0, 3.0}};
+  const std::size_t rounds = 150000;
+  network.run_rounds(profile, rounds);
+  const core::Totals totals = core::aggregate(profile);
+  const double beta = network.stats().measured_fork_rate();
+  const double formula = core::win_prob_full(profile[0], totals, beta);
+  const double realized =
+      static_cast<double>(network.stats().wins[0]) /
+      static_cast<double>(rounds);
+  EXPECT_GT(realized, formula + 0.02);
+}
+
+TEST(EventSim, ConnectedTransfersDegradeToCloudTiming) {
+  // With h < 1, transferred edge parts compute as cloud blocks; at h -> 0
+  // every block is cloud-sourced and no forks can occur (symmetric
+  // propagation).
+  EventSimConfig config = base_config();
+  config.policy.success_prob = 1e-9;
+  EventDrivenNetwork network(config, 26);
+  const std::vector<core::MinerRequest> profile{{2.0, 0.5}, {1.0, 1.5}};
+  network.run_rounds(profile, 20000);
+  EXPECT_EQ(network.stats().forks, 0u);
+}
+
+TEST(EventSim, StandaloneRejectionDelaysPlacement) {
+  // Capacity for one of two identical requests: the rejected miner's edge
+  // part mines from the cloud after the resend path, strictly later — its
+  // win rate drops below 1/2.
+  EventSimConfig config = base_config();
+  config.policy = {core::EdgeMode::kStandalone, 1.0, 2.0};
+  config.latency.admission_epoch = 0.2;
+  config.latency.miner_cloud = 0.4;
+  EventDrivenNetwork network(config, 27);
+  const std::vector<core::MinerRequest> profile{{2.0, 0.0}, {2.0, 0.0}};
+  network.run_rounds(profile, 50000);
+  // Random arrival order symmetrizes which miner is rejected; both win
+  // rates stay near 1/2 but forks now exist (resent blocks are cloudlike).
+  EXPECT_NEAR(static_cast<double>(network.stats().wins[0]) / 50000.0, 0.5,
+              0.02);
+  EXPECT_GT(network.stats().cloud_first, 0u);
+}
+
+TEST(EventSim, TraceRecordsProtocolMilestones) {
+  EventSimConfig config = base_config();
+  config.record_trace = true;
+  config.policy = {core::EdgeMode::kStandalone, 1.0, 1.0};
+  config.latency.admission_epoch = 0.1;
+  EventDrivenNetwork network(config, 28);
+  // One miner fits, one gets rejected and resends.
+  const std::vector<core::MinerRequest> profile{{1.0, 0.0}, {1.0, 0.0}};
+  const auto outcome = network.run_round(profile);
+  ASSERT_TRUE(outcome.has_value());
+  const auto& trace = network.last_trace();
+  ASSERT_FALSE(trace.empty());
+  bool saw_reject = false, saw_resend = false, saw_consensus = false;
+  double previous_consensus_time = -1.0;
+  for (const auto& event : trace) {
+    if (event.kind == EventKind::kRejected) saw_reject = true;
+    if (event.kind == EventKind::kResent) saw_resend = true;
+    if (event.kind == EventKind::kConsensus) {
+      saw_consensus = true;
+      previous_consensus_time = event.time;
+    }
+  }
+  EXPECT_TRUE(saw_reject);
+  EXPECT_TRUE(saw_resend);
+  EXPECT_TRUE(saw_consensus);
+  EXPECT_DOUBLE_EQ(previous_consensus_time, outcome->consensus_time);
+}
+
+TEST(EventSim, ConsensusTimeShrinksWithMorePower) {
+  EventSimConfig config = base_config();
+  EventDrivenNetwork small(config, 29);
+  EventDrivenNetwork large(config, 30);
+  small.run_rounds({{1.0, 0.0}}, 20000);
+  large.run_rounds({{10.0, 0.0}}, 20000);
+  EXPECT_GT(small.stats().consensus_times.mean(),
+            5.0 * large.stats().consensus_times.mean());
+}
+
+}  // namespace
+}  // namespace hecmine::net

@@ -1,0 +1,141 @@
+// Tests for net/latency (the standalone resend penalty) and
+// chain/difficulty (windowed retargeting).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chain/difficulty.hpp"
+#include "chain/simulator.hpp"
+#include "net/latency.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine {
+namespace {
+
+TEST(LatencyModel, PlacementLatenciesFollowTheLegs) {
+  net::LatencyModel model;
+  model.miner_edge = 0.05;
+  model.edge_cloud = 1.0;
+  model.miner_cloud = 1.2;
+  model.admission_epoch = 0.5;
+  EXPECT_DOUBLE_EQ(model.edge_placement_latency(net::ServiceStatus::kServed),
+                   0.05);
+  EXPECT_DOUBLE_EQ(
+      model.edge_placement_latency(net::ServiceStatus::kTransferred), 1.05);
+  EXPECT_DOUBLE_EQ(
+      model.edge_placement_latency(net::ServiceStatus::kRejected),
+      2.0 * 0.05 + 0.5 + 1.2);
+  EXPECT_DOUBLE_EQ(model.cloud_placement_latency(), 1.2);
+}
+
+TEST(LatencyModel, Validates) {
+  net::LatencyModel model;
+  model.miner_edge = -1.0;
+  EXPECT_THROW(model.validate(), support::PreconditionError);
+}
+
+TEST(LatencyStats, StandaloneResendIsSlowerThanConnectedTransfer) {
+  // The paper's prose claim (Sec. I): a rejected-then-resent request takes
+  // considerably longer than an automatic transfer. Force failures in both
+  // modes and compare the mean edge-placement latencies.
+  const std::vector<core::MinerRequest> profile{{2.0, 1.0}, {2.0, 1.0}};
+  net::LatencyModel model;
+  model.miner_edge = 0.02;
+  model.edge_cloud = 1.0;
+  model.miner_cloud = 1.0;
+  model.admission_epoch = 0.5;
+
+  net::EdgePolicy connected{core::EdgeMode::kConnected, 0.5, 10.0};
+  net::EdgePolicy standalone{core::EdgeMode::kStandalone, 0.5, 2.0};
+  const auto stats_connected =
+      net::estimate_latency_stats(profile, connected, model, 20000, 1);
+  const auto stats_standalone =
+      net::estimate_latency_stats(profile, standalone, model, 20000, 2);
+  // Both modes fail roughly half the edge requests here (h = 0.5; capacity
+  // admits exactly one of the two identical requests).
+  EXPECT_GT(stats_connected.failures, 15000u);
+  EXPECT_GT(stats_standalone.failures, 15000u);
+  EXPECT_GT(stats_standalone.mean_edge_placement,
+            stats_connected.mean_edge_placement);
+}
+
+TEST(LatencyStats, AllServedMeansBaseLatency) {
+  const std::vector<core::MinerRequest> profile{{1.0, 1.0}};
+  net::LatencyModel model;
+  model.miner_edge = 0.1;
+  net::EdgePolicy policy{core::EdgeMode::kStandalone, 1.0, 10.0};
+  const auto stats = net::estimate_latency_stats(profile, policy, model, 100, 3);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_NEAR(stats.mean_edge_placement, 0.1, 1e-12);
+}
+
+TEST(Difficulty, ValidatesConfig) {
+  chain::DifficultyController::Config config;
+  config.target_interval = 0.0;
+  EXPECT_THROW(chain::DifficultyController{config},
+               support::PreconditionError);
+  config = {};
+  config.max_adjustment = 1.0;
+  EXPECT_THROW(chain::DifficultyController{config},
+               support::PreconditionError);
+}
+
+TEST(Difficulty, RetargetsTowardTargetInterval) {
+  // Doubled hash power must end up with ~halved per-unit rate so the
+  // interval returns to target. The proportional retarget rule makes the
+  // rate a noisy estimator with lognormal spread ~1/sqrt(window) per
+  // retarget, so track the *time-average* rate over many retargets.
+  chain::DifficultyController::Config config;
+  config.target_interval = 1.0;
+  config.window = 64;
+  chain::DifficultyController controller(config);
+  support::Rng rng{5};
+  const double total_power = 2.0;  // blocks come 2x too fast at rate 1
+  support::Accumulator rates;
+  for (int block = 0; block < 64000; ++block) {
+    const double solve_time =
+        rng.exponential(total_power * controller.unit_hash_rate());
+    controller.observe_block(solve_time);
+    if (block > 1000) rates.add(controller.unit_hash_rate());
+  }
+  EXPECT_GT(controller.retargets(), 500u);
+  EXPECT_NEAR(rates.mean(), 0.5, 0.05);
+}
+
+TEST(Difficulty, ClampsExtremeAdjustments) {
+  chain::DifficultyController::Config config;
+  config.target_interval = 1.0;
+  config.window = 4;
+  config.max_adjustment = 4.0;
+  chain::DifficultyController controller(config);
+  // Absurdly fast blocks: one retarget may shrink the rate by at most 4x.
+  for (int block = 0; block < 4; ++block) controller.observe_block(1e-9);
+  EXPECT_NEAR(controller.unit_hash_rate(), 0.25, 1e-12);
+}
+
+TEST(Difficulty, StabilizesIntervalThroughPowerSwings) {
+  // End-to-end with the race: power doubles midway; after re-convergence
+  // the mean interval is back near target.
+  chain::DifficultyController::Config config;
+  config.target_interval = 0.5;
+  config.window = 16;
+  chain::DifficultyController controller(config);
+  support::Rng rng{6};
+  auto run_phase = [&](double power, int blocks) {
+    support::Accumulator tail_intervals;
+    for (int b = 0; b < blocks; ++b) {
+      const double t = rng.exponential(power * controller.unit_hash_rate());
+      controller.observe_block(t);
+      if (b >= blocks / 2) tail_intervals.add(t);
+    }
+    return tail_intervals.mean();
+  };
+  const double phase1 = run_phase(1.0, 4000);
+  const double phase2 = run_phase(2.0, 4000);
+  EXPECT_NEAR(phase1, 0.5, 0.1);
+  EXPECT_NEAR(phase2, 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace hecmine

@@ -1,0 +1,147 @@
+// Tests for numerics/projection: correctness of the Euclidean projections
+// via feasibility, idempotence and the variational characterization
+// (x - P(x)) . (y - P(x)) <= 0 for all feasible y.
+#include "numerics/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine::num {
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+std::vector<double> minus(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+TEST(ProjectBox, ClampsComponentwise) {
+  const auto projected =
+      project_box({-1.0, 0.5, 9.0}, {0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(projected[0], 0.0);
+  EXPECT_DOUBLE_EQ(projected[1], 0.5);
+  EXPECT_DOUBLE_EQ(projected[2], 1.0);
+}
+
+TEST(ProjectBox, ValidatesInput) {
+  EXPECT_THROW((void)project_box({1.0}, {0.0, 0.0}, {1.0, 1.0}),
+               support::PreconditionError);
+  EXPECT_THROW((void)project_box({1.0}, {2.0}, {1.0}),
+               support::PreconditionError);
+}
+
+TEST(ProjectBudgetSet, InteriorPointIsFixed) {
+  const std::vector<double> point{1.0, 1.0};
+  const auto projected = project_budget_set(point, {1.0, 1.0}, 10.0);
+  EXPECT_DOUBLE_EQ(projected[0], 1.0);
+  EXPECT_DOUBLE_EQ(projected[1], 1.0);
+}
+
+TEST(ProjectBudgetSet, NegativeCoordinatesClampToZero) {
+  const auto projected = project_budget_set({-2.0, 3.0}, {1.0, 1.0}, 10.0);
+  EXPECT_DOUBLE_EQ(projected[0], 0.0);
+  EXPECT_DOUBLE_EQ(projected[1], 3.0);
+}
+
+TEST(ProjectBudgetSet, BindingBudgetLandsOnBudgetLine) {
+  const std::vector<double> prices{2.0, 1.0};
+  const auto projected = project_budget_set({10.0, 10.0}, prices, 8.0);
+  EXPECT_NEAR(dot(projected, prices), 8.0, 1e-9);
+  EXPECT_GE(projected[0], 0.0);
+  EXPECT_GE(projected[1], 0.0);
+}
+
+TEST(ProjectBudgetSet, ZeroBudgetProjectsToOrigin) {
+  const auto projected = project_budget_set({5.0, 5.0}, {1.0, 2.0}, 0.0);
+  EXPECT_NEAR(projected[0], 0.0, 1e-10);
+  EXPECT_NEAR(projected[1], 0.0, 1e-10);
+}
+
+TEST(ProjectBudgetSet, SatisfiesVariationalInequalityOnRandomInstances) {
+  support::Rng rng{21};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t dim = 2 + rng.uniform_index(3);
+    std::vector<double> prices(dim), point(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      prices[i] = rng.uniform(0.2, 3.0);
+      point[i] = rng.uniform(-5.0, 5.0);
+    }
+    const double budget = rng.uniform(0.1, 4.0);
+    const auto projected = project_budget_set(point, prices, budget);
+    // Feasibility.
+    EXPECT_LE(dot(projected, prices), budget + 1e-8);
+    for (double x : projected) EXPECT_GE(x, 0.0);
+    // Idempotence.
+    const auto twice = project_budget_set(projected, prices, budget);
+    for (std::size_t i = 0; i < dim; ++i)
+      EXPECT_NEAR(twice[i], projected[i], 1e-8);
+    // Variational characterization against random feasible points.
+    for (int probe = 0; probe < 10; ++probe) {
+      std::vector<double> y(dim);
+      for (std::size_t i = 0; i < dim; ++i) y[i] = rng.uniform(0.0, 2.0);
+      const double spend = dot(y, prices);
+      if (spend > budget)
+        for (double& v : y) v *= budget / spend;
+      EXPECT_LE(dot(minus(point, projected), minus(y, projected)), 1e-6);
+    }
+  }
+}
+
+TEST(ProjectSharedCap, SlackCapEqualsBlockwiseProjection) {
+  const std::vector<BudgetBlock> blocks{{{1.0, 1.0}, 10.0},
+                                        {{1.0, 1.0}, 10.0}};
+  const std::vector<double> weights{1.0, 0.0, 1.0, 0.0};
+  const std::vector<double> point{1.0, 2.0, 1.5, 0.5};
+  const auto projected = project_shared_cap(point, blocks, weights, 100.0);
+  for (std::size_t i = 0; i < point.size(); ++i)
+    EXPECT_NEAR(projected[i], point[i], 1e-10);
+}
+
+TEST(ProjectSharedCap, EnforcesSharedCapWithComplementarity) {
+  const std::vector<BudgetBlock> blocks{{{1.0, 1.0}, 100.0},
+                                        {{1.0, 1.0}, 100.0}};
+  const std::vector<double> weights{1.0, 0.0, 1.0, 0.0};
+  const std::vector<double> point{5.0, 1.0, 7.0, 2.0};  // shared usage 12
+  const auto projected = project_shared_cap(point, blocks, weights, 6.0);
+  const double usage = projected[0] + projected[2];
+  EXPECT_NEAR(usage, 6.0, 1e-6);
+  // Cloud coordinates are unaffected (their weight is zero).
+  EXPECT_NEAR(projected[1], 1.0, 1e-9);
+  EXPECT_NEAR(projected[3], 2.0, 1e-9);
+  // Symmetric shrink: both edge coords reduced by the same multiplier.
+  EXPECT_NEAR(point[0] - projected[0], point[2] - projected[2], 1e-6);
+}
+
+TEST(ProjectSharedCap, RespectsPerBlockBudgets) {
+  const std::vector<BudgetBlock> blocks{{{1.0, 1.0}, 3.0},
+                                        {{1.0, 1.0}, 3.0}};
+  const std::vector<double> weights{1.0, 0.0, 1.0, 0.0};
+  const auto projected =
+      project_shared_cap({5.0, 5.0, 5.0, 5.0}, blocks, weights, 4.0);
+  EXPECT_LE(projected[0] + projected[1], 3.0 + 1e-8);
+  EXPECT_LE(projected[2] + projected[3], 3.0 + 1e-8);
+  EXPECT_LE(projected[0] + projected[2], 4.0 + 1e-6);
+}
+
+TEST(ProjectSharedCap, ValidatesShapes) {
+  const std::vector<BudgetBlock> blocks{{{1.0, 1.0}, 1.0}};
+  EXPECT_THROW((void)project_shared_cap({1.0}, blocks, {1.0, 0.0}, 1.0),
+               support::PreconditionError);
+  EXPECT_THROW(
+      (void)project_shared_cap({1.0, 1.0}, blocks, {1.0}, 1.0),
+      support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hecmine::num

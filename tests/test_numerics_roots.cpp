@@ -1,0 +1,88 @@
+// Tests for numerics/roots.
+#include "numerics/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hecmine::num {
+namespace {
+
+using support::ConvergenceError;
+using support::PreconditionError;
+
+TEST(Bisect, FindsPolynomialRoot) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  EXPECT_NEAR(bisect(f, 0.0, 2.0), std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, HandlesRootAtEndpoint) {
+  const auto f = [](double x) { return x; };
+  EXPECT_DOUBLE_EQ(bisect(f, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect(f, -1.0, 0.0), 0.0);
+}
+
+TEST(Bisect, RejectsBadBracket) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW((void)bisect(f, -1.0, 1.0), PreconditionError);
+  EXPECT_THROW((void)bisect(f, 1.0, 0.0), PreconditionError);
+}
+
+TEST(Bisect, RespectsIterationBudget) {
+  RootOptions options;
+  options.max_iterations = 2;
+  options.tolerance = 1e-300;
+  const auto f = [](double x) { return x - 0.123456789; };
+  EXPECT_THROW((void)bisect(f, 0.0, 1.0, options), ConvergenceError);
+}
+
+TEST(BrentRoot, FindsTranscendentalRoot) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const double root = brent_root(f, 0.0, 1.0);
+  EXPECT_NEAR(f(root), 0.0, 1e-12);
+  EXPECT_NEAR(root, 0.7390851332151607, 1e-9);
+}
+
+TEST(BrentRoot, MatchesBisectOnPolynomial) {
+  const auto f = [](double x) { return x * x * x - 7.0; };
+  EXPECT_NEAR(brent_root(f, 0.0, 3.0), std::cbrt(7.0), 1e-10);
+}
+
+TEST(BrentRoot, HandlesSteepFunctions) {
+  const auto f = [](double x) { return std::exp(20.0 * x) - 5.0; };
+  const double root = brent_root(f, -1.0, 1.0);
+  EXPECT_NEAR(root, std::log(5.0) / 20.0, 1e-10);
+}
+
+TEST(BrentRoot, RejectsNoSignChange) {
+  const auto f = [](double) { return 1.0; };
+  EXPECT_THROW((void)brent_root(f, 0.0, 1.0), PreconditionError);
+}
+
+TEST(DecreasingRootUnbounded, ExpandsBracket) {
+  // Root far beyond the initial bracket guess.
+  const auto f = [](double x) { return 1000.0 - x; };
+  EXPECT_NEAR(decreasing_root_unbounded(f, 0.0, 1.0), 1000.0, 1e-8);
+}
+
+TEST(DecreasingRootUnbounded, ReturnsLoWhenAlreadyZero) {
+  const auto f = [](double x) { return -x; };
+  EXPECT_DOUBLE_EQ(decreasing_root_unbounded(f, 0.0, 1.0), 0.0);
+}
+
+TEST(DecreasingRootUnbounded, RejectsNegativeStart) {
+  const auto f = [](double x) { return -1.0 - x; };
+  EXPECT_THROW((void)decreasing_root_unbounded(f, 0.0, 1.0),
+               PreconditionError);
+}
+
+TEST(DecreasingRootUnbounded, ThrowsWhenNoRootExists) {
+  const auto f = [](double) { return 1.0; };  // never crosses zero
+  EXPECT_THROW((void)decreasing_root_unbounded(f, 0.0, 1.0),
+               ConvergenceError);
+}
+
+}  // namespace
+}  // namespace hecmine::num

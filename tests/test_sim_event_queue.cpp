@@ -1,0 +1,87 @@
+// Tests for the discrete-event kernel.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hecmine::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule_at(3.0, [&] { fired.push_back(3); });
+  queue.schedule_at(1.0, [&] { fired.push_back(1); });
+  queue.schedule_at(2.0, [&] { fired.push_back(2); });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i)
+    queue.schedule_at(1.0, [&, i] { fired.push_back(i); });
+  (void)queue.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents) {
+  EventQueue queue;
+  std::vector<double> times;
+  // A self-rescheduling ticker.
+  std::function<void()> tick = [&] {
+    times.push_back(queue.now());
+    if (times.size() < 4) queue.schedule_in(0.5, tick);
+  };
+  queue.schedule_at(0.0, tick);
+  (void)queue.run();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[3], 1.5);
+}
+
+TEST(EventQueue, RunUntilRespectsHorizon) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  queue.schedule_at(2.0, [&] { ++fired; });
+  queue.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(2.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.run_until(10.0), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToHorizonWhenIdle) {
+  EventQueue queue;
+  EXPECT_EQ(queue.run_until(7.5), 0u);
+  EXPECT_DOUBLE_EQ(queue.now(), 7.5);
+}
+
+TEST(EventQueue, MaxEventsBudget) {
+  EventQueue queue;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i)
+    queue.schedule_at(static_cast<double>(i), [&] { ++fired; });
+  EXPECT_EQ(queue.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(queue.pending(), 6u);
+}
+
+TEST(EventQueue, RejectsPastAndEmptyHandlers) {
+  EventQueue queue;
+  queue.schedule_at(5.0, [] {});
+  (void)queue.run();
+  EXPECT_THROW(queue.schedule_at(1.0, [] {}), support::PreconditionError);
+  EXPECT_THROW(queue.schedule_in(-1.0, [] {}), support::PreconditionError);
+  EXPECT_THROW(queue.schedule_in(1.0, nullptr), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hecmine::sim

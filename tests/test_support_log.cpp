@@ -1,0 +1,60 @@
+// Tests for the logging facility.
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hecmine::support {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, EmitsAtOrAboveTheLevel) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  log_debug("hidden debug");
+  log_info("hidden info");
+  log_warn("visible warn ", 42);
+  log_error("visible error");
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+  EXPECT_NE(output.find("[warn] visible warn 42"), std::string::npos);
+  EXPECT_NE(output.find("[error] visible error"), std::string::npos);
+}
+
+TEST(Log, DebugLevelShowsEverything) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  log_debug("a=", 1, " b=", 2.5);
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("[debug] a=1 b=2.5"), std::string::npos);
+}
+
+TEST(Log, MessagesEndWithNewline) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  log_info("line");
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(output.empty());
+  EXPECT_EQ(output.back(), '\n');
+}
+
+}  // namespace
+}  // namespace hecmine::support

@@ -1,0 +1,169 @@
+// Tests for support/rng: determinism, distribution moments, edge cases.
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace hecmine::support {
+namespace {
+
+TEST(Xoshiro, IsDeterministicForEqualSeeds) {
+  Xoshiro256StarStar a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DiffersAcrossSeeds) {
+  Xoshiro256StarStar a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, JumpChangesStream) {
+  Xoshiro256StarStar a{7}, b{7};
+  b.jump();
+  EXPECT_NE(a(), b());
+}
+
+TEST(SplitMix, ProducesKnownGoodDispersion) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(first, 0u);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng{5};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng{6};
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.005);
+  EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+  EXPECT_THROW((void)rng.uniform(2.0, 2.0), PreconditionError);
+}
+
+TEST(Rng, UniformIndexCoversSupportWithoutBias) {
+  Rng rng{8};
+  std::vector<int> counts(5, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) EXPECT_NEAR(c, draws / 5, draws / 50);
+  EXPECT_THROW((void)rng.uniform_index(0), PreconditionError);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng{9};
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+  EXPECT_THROW((void)rng.bernoulli(1.5), PreconditionError);
+}
+
+TEST(Rng, BernoulliDegenerateEnds) {
+  Rng rng{10};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{11};
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.exponential(4.0));
+  EXPECT_NEAR(acc.mean(), 0.25, 0.005);
+  EXPECT_THROW((void)rng.exponential(0.0), PreconditionError);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng rng{12};
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.01);
+  EXPECT_NEAR(acc.variance(), 1.0, 0.02);
+}
+
+TEST(Rng, ScaledNormalMoments) {
+  Rng rng{13};
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), PreconditionError);
+}
+
+TEST(Rng, TruncatedNormalStaysInRange) {
+  Rng rng{14};
+  for (int i = 0; i < 20000; ++i) {
+    const double draw = rng.truncated_normal(10.0, 4.0, 1.0, 20.0);
+    EXPECT_GE(draw, 1.0);
+    EXPECT_LE(draw, 20.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalDegenerateStddev) {
+  Rng rng{15};
+  EXPECT_DOUBLE_EQ(rng.truncated_normal(5.0, 0.0, 0.0, 10.0), 5.0);
+  EXPECT_THROW((void)rng.truncated_normal(50.0, 0.0, 0.0, 10.0),
+               PreconditionError);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng{16};
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_NEAR(counts[0], draws * 0.1, draws * 0.01);
+  EXPECT_NEAR(counts[1], draws * 0.3, draws * 0.015);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3], draws * 0.6, draws * 0.015);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng{17};
+  EXPECT_THROW((void)rng.categorical({}), PreconditionError);
+  EXPECT_THROW((void)rng.categorical({0.0, 0.0}), PreconditionError);
+  EXPECT_THROW((void)rng.categorical({1.0, -1.0}), PreconditionError);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent{18};
+  Rng child_a = parent.split(0);
+  Rng child_b = parent.split(1);
+  Accumulator diff;
+  for (int i = 0; i < 10000; ++i)
+    diff.add(child_a.uniform() - child_b.uniform());
+  // Independent uniform differences have mean 0 and variance 1/6.
+  EXPECT_NEAR(diff.mean(), 0.0, 0.02);
+  EXPECT_NEAR(diff.variance(), 1.0 / 6.0, 0.02);
+}
+
+}  // namespace
+}  // namespace hecmine::support

@@ -1,0 +1,116 @@
+// Tests for support/stats: accumulator, histogram, comparisons.
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine::support {
+namespace {
+
+TEST(Accumulator, EmptyIsNeutral) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stderr_mean(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, MatchesNaiveOnRandomData) {
+  Rng rng{3};
+  Accumulator acc;
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    samples.push_back(x);
+    acc.add(x);
+  }
+  double mean = 0.0;
+  for (double x : samples) mean += x;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double x : samples) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(samples.size() - 1);
+  EXPECT_NEAR(acc.mean(), mean, 1e-9);
+  EXPECT_NEAR(acc.variance(), var, 1e-8);
+  EXPECT_NEAR(acc.stderr_mean(), std::sqrt(var / 5000.0), 1e-9);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.add(0.5);    // bin 0
+  hist.add(9.5);    // bin 9
+  hist.add(-5.0);   // clamps to bin 0
+  hist.add(50.0);   // clamps to bin 9
+  EXPECT_EQ(hist.count(0), 2u);
+  EXPECT_EQ(hist.count(9), 2u);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_DOUBLE_EQ(hist.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(hist.bin_center(9), 9.5);
+  EXPECT_THROW((void)hist.count(10), PreconditionError);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Rng rng{4};
+  Histogram hist(0.0, 1.0, 20);
+  for (int i = 0; i < 10000; ++i) hist.add(rng.uniform());
+  double integral = 0.0;
+  for (std::size_t b = 0; b < hist.bins(); ++b)
+    integral += hist.density(b) * (1.0 / 20.0);
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+  EXPECT_NEAR(hist.cdf(hist.bins() - 1), 1.0, 1e-12);
+}
+
+TEST(Histogram, CdfIsMonotone) {
+  Rng rng{5};
+  Histogram hist(0.0, 1.0, 16);
+  for (int i = 0; i < 2000; ++i) hist.add(rng.uniform());
+  double previous = 0.0;
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    EXPECT_GE(hist.cdf(b), previous);
+    previous = hist.cdf(b);
+  }
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(approx_equal(1e10, 1e10 * (1.0 + 1e-10)));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+}
+
+TEST(MaxAbsDiff, ComputesAndValidates) {
+  EXPECT_DOUBLE_EQ(max_abs_diff({1.0, 2.0}, {1.5, 1.0}), 1.0);
+  EXPECT_THROW((void)max_abs_diff({1.0}, {1.0, 2.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hecmine::support
