@@ -23,25 +23,33 @@ int main(int argc, char** argv) {
   support::Table table({"delay_s", "beta", "esp_units", "csp_units",
                         "esp_revenue", "csp_revenue", "total_revenue",
                         "predicted_total_spend"});
-  for (double delay = 0.5; delay <= 8.01; delay += 0.5) {
-    core::NetworkParams params;
-    params.reward = defaults.reward;
-    params.edge_success = defaults.edge_success;
-    params.fork_rate = fork_model.fork_rate(delay);
-    const core::Prices prices{args.get("price-edge", 2.0),
-                              args.get("price-cloud", 1.0)};
-    const auto eq = core::solve_symmetric_connected(params, prices, budget, n);
-    const double esp_rev = prices.edge * n * eq.request.edge;
-    const double csp_rev = prices.cloud * n * eq.request.cloud;
-    const double predicted =
-        defaults.reward * (n - 1.0) *
-        (1.0 - params.fork_rate +
-         params.edge_success * params.fork_rate) /
-        n;
-    table.add_row({delay, params.fork_rate, n * eq.request.edge,
-                   n * eq.request.cloud, esp_rev, csp_rev, esp_rev + csp_rev,
-                   predicted});
-  }
+  const core::Prices prices{args.get("price-edge", 2.0),
+                            args.get("price-cloud", 1.0)};
+  std::vector<double> delays;
+  for (double delay = 0.5; delay <= 8.01; delay += 0.5) delays.push_back(delay);
+  const auto rows = bench::sweep(
+      delays,
+      [&](double delay) {
+        core::NetworkParams params;
+        params.reward = defaults.reward;
+        params.edge_success = defaults.edge_success;
+        params.fork_rate = fork_model.fork_rate(delay);
+        const auto eq =
+            core::solve_symmetric_connected(params, prices, budget, n);
+        const double esp_rev = prices.edge * n * eq.request.edge;
+        const double csp_rev = prices.cloud * n * eq.request.cloud;
+        const double predicted =
+            defaults.reward * (n - 1.0) *
+            (1.0 - params.fork_rate +
+             params.edge_success * params.fork_rate) /
+            n;
+        return std::vector<double>{delay, params.fork_rate,
+                                   n * eq.request.edge, n * eq.request.cloud,
+                                   esp_rev, csp_rev, esp_rev + csp_rev,
+                                   predicted};
+      },
+      args.threads());
+  for (const auto& row : rows) table.add_row(row);
   bench::emit("fig5_revenue_vs_delay", table);
   std::cout << "Expected shape (paper Fig. 5): CSP units/revenue fall with "
                "delay, ESP revenue rises, total revenue ~constant.\n";

@@ -46,41 +46,54 @@ int main(int argc, char** argv) {
   const support::CliArgs args(argc, argv);
   const auto config = make_config(args);
   const double sigma = args.get("stddev", 2.0);
+  const int threads = args.threads();
 
   support::Table mu_table({"mu", "edge_dynamic", "edge_fixed", "rl_edge",
                            "expected_total_edge", "edge_capacity",
                            "exceeds_capacity"});
-  for (double mu = 6.0; mu <= 14.01; mu += 2.0) {
-    const core::PopulationModel population =
-        core::PopulationModel::around(mu, sigma);
-    const auto dynamic = core::solve_dynamic_symmetric(config, population);
-    const auto fixed = core::fixed_population_benchmark(config, population);
-    const auto learned =
-        rl::train_miners(config.params, config.prices, config.budget,
-                         population, trainer_config(config.edge_success),
-                         900 + static_cast<std::uint64_t>(mu));
-    mu_table.add_row({mu, dynamic.request.edge, fixed.edge,
-                      learned.mean.edge, dynamic.expected_total_edge,
-                      config.params.edge_capacity,
-                      dynamic.exceeds_capacity ? 1.0 : 0.0});
-  }
+  std::vector<double> mus;
+  for (double mu = 6.0; mu <= 14.01; mu += 2.0) mus.push_back(mu);
+  const auto mu_rows = bench::sweep(
+      mus,
+      [&](double mu) {
+        const core::PopulationModel population =
+            core::PopulationModel::around(mu, sigma);
+        const auto dynamic = core::solve_dynamic_symmetric(config, population);
+        const auto fixed = core::fixed_population_benchmark(config, population);
+        const auto learned =
+            rl::train_miners(config.params, config.prices, config.budget,
+                             population, trainer_config(config.edge_success),
+                             900 + static_cast<std::uint64_t>(mu));
+        return std::vector<double>{mu, dynamic.request.edge, fixed.edge,
+                                   learned.mean.edge,
+                                   dynamic.expected_total_edge,
+                                   config.params.edge_capacity,
+                                   dynamic.exceeds_capacity ? 1.0 : 0.0};
+      },
+      threads);
+  for (const auto& row : mu_rows) mu_table.add_row(row);
   bench::emit("fig9a_requests_vs_mu", mu_table);
 
   support::Table sigma_table(
       {"sigma_sq", "edge_dynamic", "edge_fixed", "rl_edge"});
   const double mu_b = args.get("mu", 10.0);
-  for (double s : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
-    const core::PopulationModel population =
-        core::PopulationModel::around(mu_b, s);
-    const auto dynamic = core::solve_dynamic_symmetric(config, population);
-    const auto fixed = core::fixed_population_benchmark(config, population);
-    const auto learned =
-        rl::train_miners(config.params, config.prices, config.budget,
-                         population, trainer_config(config.edge_success),
-                         950 + static_cast<std::uint64_t>(10.0 * s));
-    sigma_table.add_row(
-        {s * s, dynamic.request.edge, fixed.edge, learned.mean.edge});
-  }
+  const std::vector<double> sigmas{0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+  const auto sigma_rows = bench::sweep(
+      sigmas,
+      [&](double s) {
+        const core::PopulationModel population =
+            core::PopulationModel::around(mu_b, s);
+        const auto dynamic = core::solve_dynamic_symmetric(config, population);
+        const auto fixed = core::fixed_population_benchmark(config, population);
+        const auto learned =
+            rl::train_miners(config.params, config.prices, config.budget,
+                             population, trainer_config(config.edge_success),
+                             950 + static_cast<std::uint64_t>(10.0 * s));
+        return std::vector<double>{s * s, dynamic.request.edge, fixed.edge,
+                                   learned.mean.edge};
+      },
+      threads);
+  for (const auto& row : sigma_rows) sigma_table.add_row(row);
   bench::emit("fig9b_requests_vs_variance", sigma_table);
   std::cout << "Expected shape (paper Fig. 9): dynamic > fixed edge "
                "requests; the gap grows with the variance; expected totals "

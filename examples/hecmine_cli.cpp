@@ -6,12 +6,18 @@
 //
 // Scenario files are flat key=value text; see examples/scenarios/ and
 // core/scenario.hpp for the schema.
+//
+// --threads=N (or the HECMINE_THREADS environment variable) controls how
+// many threads the SP-stage price scans use; 0 (the default) picks the
+// hardware concurrency. Results are bitwise identical across thread counts.
 #include <cstdio>
 #include <string>
 
 #include "core/equilibrium.hpp"
+#include "core/equilibrium_cache.hpp"
 #include "core/dynamic.hpp"
 #include "core/scenario.hpp"
+#include "core/sp.hpp"
 #include "core/welfare.hpp"
 #include "net/network.hpp"
 #include "support/cli.hpp"
@@ -27,8 +33,9 @@ struct SolvedScenario {
 };
 
 /// Solves the scenario's follower stage (and, without fixed prices, the
-/// leader stage first).
-SolvedScenario solve_scenario(const core::Scenario& scenario) {
+/// leader stage first). `threads` feeds the SP-stage price scans; the
+/// follower cache memoizes repeated solves within the leader iteration.
+SolvedScenario solve_scenario(const core::Scenario& scenario, int threads) {
   SolvedScenario solved;
   if (scenario.fixed_prices) {
     solved.prices = *scenario.fixed_prices;
@@ -36,9 +43,13 @@ SolvedScenario solve_scenario(const core::Scenario& scenario) {
     HECMINE_REQUIRE(scenario.homogeneous(),
                     "SP-stage solve requires homogeneous budgets; set "
                     "price_edge/price_cloud for heterogeneous scenarios");
+    core::FollowerEquilibriumCache cache;
+    core::SpSolveOptions options;
+    options.threads = threads;
+    options.cache = &cache;
     const auto sp = core::solve_sp_equilibrium_homogeneous(
         scenario.params, scenario.budgets.front(), scenario.miners(),
-        scenario.mode);
+        scenario.mode, options);
     solved.prices = sp.prices;
   }
   solved.followers =
@@ -50,8 +61,8 @@ SolvedScenario solve_scenario(const core::Scenario& scenario) {
   return solved;
 }
 
-int cmd_solve(const core::Scenario& scenario) {
-  const auto solved = solve_scenario(scenario);
+int cmd_solve(const core::Scenario& scenario, int threads) {
+  const auto solved = solve_scenario(scenario, threads);
   std::printf("prices: P_e=%.4f P_c=%.4f%s\n", solved.prices.edge,
               solved.prices.cloud,
               scenario.fixed_prices ? " (fixed by scenario)" : " (SP stage)");
@@ -79,8 +90,9 @@ int cmd_solve(const core::Scenario& scenario) {
   return 0;
 }
 
-int cmd_simulate(const core::Scenario& scenario, std::size_t rounds) {
-  const auto solved = solve_scenario(scenario);
+int cmd_simulate(const core::Scenario& scenario, std::size_t rounds,
+                 int threads) {
+  const auto solved = solve_scenario(scenario, threads);
   net::EdgePolicy policy;
   policy.mode = scenario.mode;
   policy.success_prob = scenario.params.edge_success;
@@ -149,7 +161,12 @@ int cmd_dynamic(const core::Scenario& scenario) {
 int usage() {
   std::fprintf(stderr,
                "usage: hecmine_cli <solve|simulate|dynamic> <scenario-file> "
-               "[--rounds=N]\n");
+               "[--rounds=N] [--threads=N]\n"
+               "  --threads=N   threads for the SP-stage price scans; 0 (the\n"
+               "                default) uses all hardware threads. The\n"
+               "                HECMINE_THREADS environment variable provides\n"
+               "                the same override when --threads is absent.\n"
+               "                Results are identical for every thread count.\n");
   return 2;
 }
 
@@ -162,10 +179,12 @@ int main(int argc, char** argv) {
   const std::string path = args.positional()[1];
   try {
     const core::Scenario scenario = core::load_scenario(path);
-    if (command == "solve") return cmd_solve(scenario);
+    const int threads = args.threads();
+    if (command == "solve") return cmd_solve(scenario, threads);
     if (command == "simulate")
       return cmd_simulate(scenario,
-                          static_cast<std::size_t>(args.get("rounds", 20000)));
+                          static_cast<std::size_t>(args.get("rounds", 20000)),
+                          threads);
     if (command == "dynamic") return cmd_dynamic(scenario);
     return usage();
   } catch (const std::exception& error) {

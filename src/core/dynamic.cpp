@@ -8,6 +8,7 @@
 #include "numerics/pga.hpp"
 #include "numerics/projection.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace hecmine::core {
 
@@ -22,6 +23,21 @@ void check_config(const DynamicGameConfig& config) {
                   "dynamic game: edge_success must be in (0, 1]");
 }
 
+/// Focal win probability conditional on the miner count being k (the
+/// bracketed term of Eq. 26's expectation).
+double win_given_count(const DynamicGameConfig& config, const MinerRequest& own,
+                       const MinerRequest& others_symmetric, int k) {
+  const double beta = config.params.fork_rate;
+  const double h = config.edge_success;
+  const double opponents = static_cast<double>(k - 1);
+  const double s_k = own.total() + opponents * others_symmetric.total();
+  const double e_k = own.edge + opponents * others_symmetric.edge;
+  double win = 0.0;
+  if (s_k > 0.0) win += (1.0 - beta) * own.total() / s_k;
+  if (own.edge > 0.0 && e_k > 0.0) win += beta * h * own.edge / e_k;
+  return win;
+}
+
 }  // namespace
 
 double dynamic_miner_utility(const DynamicGameConfig& config,
@@ -31,22 +47,62 @@ double dynamic_miner_utility(const DynamicGameConfig& config,
   check_config(config);
   HECMINE_REQUIRE(own.edge >= 0.0 && own.cloud >= 0.0,
                   "dynamic game: requests must be non-negative");
-  const double beta = config.params.fork_rate;
-  const double h = config.edge_success;
-  double expected_win = 0.0;
-  for (int k = population.min_miners(); k <= population.max_miners(); ++k) {
-    const double mass = population.pmf(k);
-    if (mass <= 0.0) continue;
-    const double opponents = static_cast<double>(k - 1);
-    const double s_k = own.total() + opponents * others_symmetric.total();
-    const double e_k = own.edge + opponents * others_symmetric.edge;
-    double win = 0.0;
-    if (s_k > 0.0) win += (1.0 - beta) * own.total() / s_k;
-    if (own.edge > 0.0 && e_k > 0.0) win += beta * h * own.edge / e_k;
-    expected_win += mass * win;
-  }
+  const double expected_win = population.expectation(
+      [&](int k) { return win_given_count(config, own, others_symmetric, k); });
   return config.params.reward * expected_win -
          request_cost(own, config.prices);
+}
+
+MonteCarloUtility dynamic_miner_utility_monte_carlo(
+    const DynamicGameConfig& config, const PopulationModel& population,
+    const MinerRequest& own, const MinerRequest& others_symmetric,
+    std::size_t samples, std::uint64_t seed, int threads) {
+  check_config(config);
+  HECMINE_REQUIRE(samples > 0, "dynamic MC: samples must be > 0");
+  HECMINE_REQUIRE(own.edge >= 0.0 && own.cloud >= 0.0,
+                  "dynamic game: requests must be non-negative");
+  // The block layout is a function of `samples` alone — never of the
+  // thread count — so every schedule draws the same substream for the
+  // same block and the reduction below is bitwise reproducible.
+  const std::size_t blocks = std::min<std::size_t>(samples, 64);
+  support::Rng parent(seed);
+  auto streams = parent.substreams(blocks);
+  struct BlockSums {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+  };
+  const auto run_block = [&](std::size_t block) {
+    const std::size_t begin = block * samples / blocks;
+    const std::size_t end = (block + 1) * samples / blocks;
+    support::Rng& rng = streams[block];
+    BlockSums sums;
+    for (std::size_t draw = begin; draw < end; ++draw) {
+      const int k = population.sample(rng);
+      const double utility =
+          config.params.reward *
+              win_given_count(config, own, others_symmetric, k) -
+          request_cost(own, config.prices);
+      sums.sum += utility;
+      sums.sum_sq += utility * utility;
+    }
+    return sums;
+  };
+  const auto per_block = support::parallel_map(blocks, run_block, threads);
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& block : per_block) {  // fixed order: block index
+    sum += block.sum;
+    sum_sq += block.sum_sq;
+  }
+  MonteCarloUtility result;
+  result.samples = samples;
+  const double n = static_cast<double>(samples);
+  result.estimate = sum / n;
+  if (samples > 1) {
+    const double variance =
+        std::max(0.0, (sum_sq - sum * sum / n) / (n - 1.0));
+    result.std_error = std::sqrt(variance / n);
+  }
+  return result;
 }
 
 std::pair<double, double> dynamic_miner_gradient(

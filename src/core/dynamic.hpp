@@ -18,6 +18,9 @@
 // the effect grows with the variance.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "core/params.hpp"
 #include "core/population.hpp"
 #include "core/types.hpp"
@@ -38,6 +41,24 @@ struct DynamicGameConfig {
                                            const PopulationModel& population,
                                            const MinerRequest& own,
                                            const MinerRequest& others_symmetric);
+
+/// Monte-Carlo estimate of dynamic_miner_utility.
+struct MonteCarloUtility {
+  double estimate = 0.0;       ///< sample mean of the utility
+  double std_error = 0.0;      ///< standard error of the mean
+  std::size_t samples = 0;
+};
+
+/// Estimates the population expectation by sampling N ~ `population`
+/// `samples` times — the simulation-side check of the pmf sum (compare
+/// net::estimate_focal_win_probability for the fixed-N win model). The
+/// draw sequence is partitioned into fixed blocks, one Rng substream per
+/// block, and blocks are reduced in index order, so the estimate is
+/// bitwise identical for every `threads` setting (0 = auto, 1 = serial).
+[[nodiscard]] MonteCarloUtility dynamic_miner_utility_monte_carlo(
+    const DynamicGameConfig& config, const PopulationModel& population,
+    const MinerRequest& own, const MinerRequest& others_symmetric,
+    std::size_t samples, std::uint64_t seed, int threads = 0);
 
 /// Analytic gradient of dynamic_miner_utility w.r.t. own = (e, c).
 [[nodiscard]] std::pair<double, double> dynamic_miner_gradient(

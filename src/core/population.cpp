@@ -111,6 +111,16 @@ double PopulationModel::variance() const noexcept {
   return v;
 }
 
+double PopulationModel::expectation(
+    const std::function<double(int)>& fn) const {
+  double result = 0.0;
+  for (int k = min_; k <= max_; ++k) {
+    const double mass = pmf(k);
+    if (mass > 0.0) result += mass * fn(k);
+  }
+  return result;
+}
+
 int PopulationModel::sample(support::Rng& rng) const {
   double target = rng.uniform();
   for (int k = min_; k <= max_; ++k) {

@@ -6,6 +6,7 @@
 // sigma^2 = 4). We truncate to a finite integer support and renormalize.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -39,6 +40,10 @@ class PopulationModel {
   [[nodiscard]] double variance() const noexcept;  ///< of the truncated law
   [[nodiscard]] double nominal_mean() const noexcept { return nominal_mean_; }
   [[nodiscard]] double nominal_stddev() const noexcept { return nominal_stddev_; }
+
+  /// E[fn(N)] under the truncated law, summed in support order (so the
+  /// result is a deterministic function of the model and fn alone).
+  [[nodiscard]] double expectation(const std::function<double(int)>& fn) const;
 
   /// Draws a miner count.
   [[nodiscard]] int sample(support::Rng& rng) const;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "core/equilibrium_cache.hpp"
 #include "game/stackelberg.hpp"
 #include "numerics/optimize.hpp"
 #include "numerics/roots.hpp"
@@ -44,19 +46,48 @@ PriceBox price_box(const NetworkParams& params, const SpSolveOptions& options) {
   return box;
 }
 
+/// Non-price identity of a symmetric follower solve, for cache keys.
+std::uint64_t symmetric_env_hash(const NetworkParams& params,
+                                 const MinerSolveOptions& options,
+                                 double budget, int n, EdgeMode mode) {
+  std::uint64_t h = hash_follower_env(params, options);
+  h = hash_mix(h, budget);
+  h = hash_mix(h, static_cast<std::uint64_t>(n));
+  h = hash_mix(h, static_cast<std::uint64_t>(mode));
+  return h;
+}
+
+/// Symmetric follower equilibrium, memoized through options.cache when one
+/// is supplied (the solve then runs at the cache-snapped prices, so every
+/// thread computing a key computes the identical value).
+SymmetricEquilibrium cached_symmetric(const NetworkParams& params,
+                                      const Prices& prices, double budget,
+                                      int n, EdgeMode mode,
+                                      const MinerSolveOptions& follower,
+                                      FollowerEquilibriumCache* cache) {
+  const auto solve_at = [&](const Prices& at) {
+    return mode == EdgeMode::kConnected
+               ? solve_symmetric_connected(params, at, budget, n, follower)
+               : solve_symmetric_standalone(params, at, budget, n, follower);
+  };
+  if (cache == nullptr) return solve_at(prices);
+  const Prices snapped = cache->snap_prices(prices);
+  const auto key = cache->make_key(
+      prices, symmetric_env_hash(params, follower, budget, n, mode));
+  return cache->symmetric(key, [&] { return solve_at(snapped); });
+}
+
 /// Follower totals under homogeneous miners at the given prices. Scan
 /// probes cap the inner iteration budget: closed forms handle the common
 /// regions instantly, and an approximate demand in an exotic price corner
 /// is fine for locating the leader optimum.
 Totals homogeneous_totals(const NetworkParams& params, const Prices& prices,
                           double budget, int n, EdgeMode mode,
-                          const MinerSolveOptions& follower) {
-  MinerSolveOptions scan_options = follower;
+                          const SpSolveOptions& options) {
+  MinerSolveOptions scan_options = options.follower;
   scan_options.max_iterations = std::min(scan_options.max_iterations, 600);
-  const SymmetricEquilibrium eq =
-      mode == EdgeMode::kConnected
-          ? solve_symmetric_connected(params, prices, budget, n, scan_options)
-          : solve_symmetric_standalone(params, prices, budget, n, scan_options);
+  const SymmetricEquilibrium eq = cached_symmetric(
+      params, prices, budget, n, mode, scan_options, options.cache);
   Totals totals;
   totals.edge = static_cast<double>(n) * eq.request.edge;
   totals.cloud = static_cast<double>(n) * eq.request.cloud;
@@ -73,12 +104,8 @@ HomogeneousStackelbergResult finish_homogeneous(
     const SpSolveOptions& options, const Prices& prices) {
   HomogeneousStackelbergResult result;
   result.prices = prices;
-  result.follower =
-      mode == EdgeMode::kConnected
-          ? solve_symmetric_connected(params, prices, budget, n,
-                                      options.follower)
-          : solve_symmetric_standalone(params, prices, budget, n,
-                                       options.follower);
+  result.follower = cached_symmetric(params, prices, budget, n, mode,
+                                     options.follower, options.cache);
   Totals totals;
   totals.edge = static_cast<double>(n) * result.follower.request.edge;
   totals.cloud = static_cast<double>(n) * result.follower.request.cloud;
@@ -100,7 +127,7 @@ HomogeneousStackelbergResult solve_sp_equilibrium_homogeneous(
                                           std::size_t leader) {
     const Prices prices{actions[0], actions[1]};
     const Totals totals =
-        homogeneous_totals(params, prices, budget, n, mode, options.follower);
+        homogeneous_totals(params, prices, budget, n, mode, options);
     const SpProfits profits = sp_profits(params, prices, totals);
     return leader == 0 ? profits.edge : profits.cloud;
   };
@@ -109,6 +136,7 @@ HomogeneousStackelbergResult solve_sp_equilibrium_homogeneous(
   driver.tolerance = options.tolerance;
   driver.max_rounds = options.max_rounds;
   driver.grid_points = options.grid_points;
+  driver.threads = options.threads;
   const std::vector<double> start{
       std::min(box.edge.hi, 2.0 * params.cost_edge + 1.0),
       std::min(box.cloud.hi, 2.0 * params.cost_cloud + 0.5)};
@@ -142,7 +170,7 @@ double csp_reaction_homogeneous(const NetworkParams& params, double budget,
   const auto objective = [&](double price_cloud) {
     const Prices prices{price_edge, price_cloud};
     const Totals totals =
-        homogeneous_totals(params, prices, budget, n, mode, options.follower);
+        homogeneous_totals(params, prices, budget, n, mode, options);
     return sp_profits(params, prices, totals).cloud;
   };
   return num::maximize_scan(objective, box.cloud.lo, box.cloud.hi, scan).argmax;
@@ -161,15 +189,20 @@ HomogeneousStackelbergResult solve_sp_sequential_homogeneous(
   scan.grid_points = std::max(4 * options.grid_points, 160);
   scan.tolerance = 1e-7;
   // V_e with the CSP reaction substituted (Theorem 4's re-written Eq. 22).
+  // Each composite point is one full reaction-curve solve, so the outer
+  // scan is the expensive stage — fan it out over the pool (the nested
+  // reaction scans stay serial inside each point).
   const auto composite = [&](double price_edge) {
     const double price_cloud =
         csp_reaction_homogeneous(params, budget, n, mode, price_edge, options);
     const Prices prices{price_edge, price_cloud};
     const Totals totals =
-        homogeneous_totals(params, prices, budget, n, mode, options.follower);
+        homogeneous_totals(params, prices, budget, n, mode, options);
     return sp_profits(params, prices, totals).edge;
   };
-  const auto best = num::maximize_scan(composite, box.edge.lo, box.edge.hi, scan);
+  const auto best = num::maximize_scan_parallel(composite, box.edge.lo,
+                                                box.edge.hi, scan,
+                                                options.threads);
 
   Prices prices;
   prices.edge = best.argmax;
@@ -223,12 +256,16 @@ HomogeneousStackelbergResult solve_sp_standalone_sellout(
     const Prices prices{sellout_price(price_cloud), price_cloud};
     MinerSolveOptions fast = options.follower;
     fast.max_iterations = std::min(fast.max_iterations, 600);
-    const auto eq = solve_symmetric_standalone(params, prices, budget, n, fast);
+    const auto eq = cached_symmetric(params, prices, budget, n,
+                                     EdgeMode::kStandalone, fast,
+                                     options.cache);
     return (price_cloud - params.cost_cloud) * static_cast<double>(n) *
            eq.request.cloud;
   };
-  const auto best_cloud =
-      num::maximize_scan(csp_profit, box.cloud.lo, box.cloud.hi, scan);
+  // Each point runs a sell-out root-find plus a GNEP solve; independent
+  // across the scan, so fan out like the sequential composite above.
+  const auto best_cloud = num::maximize_scan_parallel(
+      csp_profit, box.cloud.lo, box.cloud.hi, scan, options.threads);
 
   Prices prices;
   prices.cloud = best_cloud.argmax;
@@ -255,18 +292,29 @@ StackelbergEquilibriumResult solve_sp_equilibrium(
   HECMINE_REQUIRE(!budgets.empty(), "SP solve: no miners");
   const PriceBox box = price_box(params, options);
 
-  const auto follower_totals = [&](const Prices& prices) {
-    const MinerEquilibrium eq =
-        mode == EdgeMode::kConnected
-            ? solve_connected_nep(params, prices, budgets, options.follower)
-            : solve_standalone_gnep(params, prices, budgets, options.follower);
-    return eq.totals;
+  std::uint64_t profile_env = 0;
+  if (options.cache != nullptr) {
+    profile_env = symmetric_env_hash(params, options.follower, 0.0,
+                                     static_cast<int>(budgets.size()), mode);
+    for (const double budget : budgets) profile_env = hash_mix(profile_env, budget);
+  }
+  const auto follower_profile = [&](const Prices& prices) {
+    const auto solve_at = [&](const Prices& at) {
+      return mode == EdgeMode::kConnected
+                 ? solve_connected_nep(params, at, budgets, options.follower)
+                 : solve_standalone_gnep(params, at, budgets,
+                                         options.follower);
+    };
+    if (options.cache == nullptr) return solve_at(prices);
+    const Prices snapped = options.cache->snap_prices(prices);
+    return options.cache->profile(options.cache->make_key(prices, profile_env),
+                                  [&] { return solve_at(snapped); });
   };
   const game::LeaderPayoffFn payoff = [&](const std::vector<double>& actions,
                                           std::size_t leader) {
     const Prices prices{actions[0], actions[1]};
     const SpProfits profits =
-        sp_profits(params, prices, follower_totals(prices));
+        sp_profits(params, prices, follower_profile(prices).totals);
     return leader == 0 ? profits.edge : profits.cloud;
   };
 
@@ -274,6 +322,7 @@ StackelbergEquilibriumResult solve_sp_equilibrium(
   driver.tolerance = options.tolerance;
   driver.max_rounds = options.max_rounds;
   driver.grid_points = options.grid_points;
+  driver.threads = options.threads;
   const std::vector<double> start{
       std::min(box.edge.hi, 2.0 * params.cost_edge + 1.0),
       std::min(box.cloud.hi, 2.0 * params.cost_cloud + 0.5)};
@@ -282,12 +331,7 @@ StackelbergEquilibriumResult solve_sp_equilibrium(
 
   StackelbergEquilibriumResult result;
   result.prices = {leader.actions[0], leader.actions[1]};
-  result.followers =
-      mode == EdgeMode::kConnected
-          ? solve_connected_nep(params, result.prices, budgets,
-                                options.follower)
-          : solve_standalone_gnep(params, result.prices, budgets,
-                                  options.follower);
+  result.followers = follower_profile(result.prices);
   result.profits = sp_profits(params, result.prices, result.followers.totals);
   result.converged = leader.converged;
   result.rounds = leader.rounds;

@@ -18,6 +18,8 @@
 
 namespace hecmine::core {
 
+class FollowerEquilibriumCache;  // core/equilibrium_cache.hpp
+
 /// Edge operation mode (Sec. II-A).
 enum class EdgeMode { kConnected, kStandalone };
 
@@ -38,6 +40,15 @@ struct SpSolveOptions {
   double tolerance = 1e-5;     ///< max price change per round at convergence
   int max_rounds = 60;
   MinerSolveOptions follower;  ///< options for the embedded miner solves
+  /// Concurrent follower solves per price scan (0 = auto via
+  /// HECMINE_THREADS / hardware concurrency, 1 = serial). Bitwise
+  /// deterministic for every setting.
+  int threads = 0;
+  /// Optional memoizer for the embedded follower solves; when set, prices
+  /// are snapped to the cache's quantum before solving (see
+  /// core/equilibrium_cache.hpp). Not owned; may be shared across solves
+  /// and threads.
+  FollowerEquilibriumCache* cache = nullptr;
 };
 
 /// How the leader-stage solution was obtained.

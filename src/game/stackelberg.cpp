@@ -5,6 +5,7 @@
 
 #include "numerics/optimize.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace hecmine::game {
 
@@ -23,24 +24,33 @@ StackelbergResult solve_stackelberg(const LeaderPayoffFn& payoff,
 
   StackelbergResult result;
   result.actions = std::move(start);
+  result.payoffs.resize(result.actions.size());
   num::Maximize1DOptions scan_options;
   scan_options.grid_points = options.grid_points;
   scan_options.tolerance = options.refine_tolerance;
+  const int threads = support::resolve_thread_count(options.threads);
 
   for (int round = 0; round < options.max_rounds; ++round) {
     result.rounds = round + 1;
     double round_change = 0.0;
     for (std::size_t leader = 0; leader < result.actions.size(); ++leader) {
-      auto actions = result.actions;
-      const auto objective = [&](double action) {
-        actions[leader] = action;
-        return payoff(actions, leader);
+      // Copies the action vector per evaluation so candidates for one
+      // leader can be scored concurrently; every follower-equilibrium
+      // solve behind `payoff` is independent of the others.
+      const auto objective = [&, leader](double action) {
+        auto candidate = result.actions;
+        candidate[leader] = action;
+        return payoff(candidate, leader);
       };
-      const auto best = num::maximize_scan(objective, bounds[leader].lo,
-                                           bounds[leader].hi, scan_options);
+      const auto best =
+          num::maximize_scan_parallel(objective, bounds[leader].lo,
+                                      bounds[leader].hi, scan_options, threads);
       round_change =
           std::max(round_change, std::abs(best.argmax - result.actions[leader]));
       result.actions[leader] = best.argmax;
+      // Reuse the scan's value instead of re-solving one follower
+      // equilibrium per leader after the loop (see StackelbergResult).
+      result.payoffs[leader] = best.value;
     }
     result.residual = round_change;
     if (round_change < options.tolerance) {
@@ -48,9 +58,10 @@ StackelbergResult solve_stackelberg(const LeaderPayoffFn& payoff,
       break;
     }
   }
-  result.payoffs.resize(result.actions.size());
-  for (std::size_t leader = 0; leader < result.actions.size(); ++leader)
-    result.payoffs[leader] = payoff(result.actions, leader);
+  if (result.rounds == 0) {  // max_rounds == 0: no scan values to reuse
+    for (std::size_t leader = 0; leader < result.actions.size(); ++leader)
+      result.payoffs[leader] = payoff(result.actions, leader);
+  }
   return result;
 }
 

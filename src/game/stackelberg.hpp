@@ -13,7 +13,11 @@
 namespace hecmine::game {
 
 /// Payoff of leader `i` when the leader action vector is `actions`
-/// (followers assumed at their equilibrium for those actions).
+/// (followers assumed at their equilibrium for those actions). With
+/// StackelbergOptions::threads != 1 the driver evaluates candidate actions
+/// concurrently, so the oracle must tolerate concurrent invocation (the
+/// library's follower solvers are pure and qualify; a memoizing oracle must
+/// use a thread-safe cache such as core::FollowerEquilibriumCache).
 using LeaderPayoffFn =
     std::function<double(const std::vector<double>& actions, std::size_t leader)>;
 
@@ -29,12 +33,23 @@ struct StackelbergOptions {
   int max_rounds = 200;     ///< leader best-response rounds
   int grid_points = 48;     ///< coarse scan resolution per 1-D best response
   double refine_tolerance = 1e-8;
+  /// Concurrent payoff evaluations per best response: the scan grid and the
+  /// top-cell refinements fan out over the shared thread pool. 1 = serial;
+  /// 0 = auto (HECMINE_THREADS, else hardware concurrency). Results are
+  /// bitwise identical for every setting.
+  int threads = 0;
 };
 
 /// Outcome of the leader iteration.
 struct StackelbergResult {
   std::vector<double> actions;   ///< leader actions (prices) at the end
-  std::vector<double> payoffs;   ///< corresponding leader payoffs
+  /// Leader payoffs, reused from each leader's final best-response scan
+  /// rather than re-solved at the end (one follower equilibrium per leader
+  /// saved). A leader updated before the last mover of the final round saw
+  /// that mover's previous action, so entries can be stale by at most the
+  /// final `residual` times the payoff's Lipschitz constant — below solver
+  /// noise once converged.
+  std::vector<double> payoffs;
   double residual = 0.0;         ///< last round's max action change
   int rounds = 0;
   bool converged = false;

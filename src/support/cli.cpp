@@ -54,6 +54,25 @@ int CliArgs::get(const std::string& name, int fallback) const {
   return static_cast<int>(value);
 }
 
+int CliArgs::threads() const {
+  // An explicit --threads wins outright: the environment override is only
+  // consulted (and validated) when the flag is absent.
+  const int value = has("threads") ? get("threads", 0) : env_thread_override();
+  HECMINE_REQUIRE(value >= 0, "--threads must be >= 0 (0 = auto)");
+  return value;
+}
+
+int env_thread_override() {
+  const char* raw = std::getenv("HECMINE_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  HECMINE_REQUIRE(end != nullptr && *end == '\0' && value >= 0 &&
+                      value <= 4096,
+                  std::string("HECMINE_THREADS is not a thread count: ") + raw);
+  return static_cast<int>(value);
+}
+
 std::vector<std::string> CliArgs::unknown_flags() const {
   std::vector<std::string> unknown;
   for (const auto& [name, _] : flags_) {

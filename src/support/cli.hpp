@@ -17,6 +17,9 @@ class CliArgs {
   CliArgs(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(const std::string& name) const;
+  /// `--threads` flag with the HECMINE_THREADS environment variable as the
+  /// fallback (0 = auto-detect; see support::resolve_thread_count).
+  [[nodiscard]] int threads() const;
   /// String flag value or `fallback` when absent.
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const;
@@ -34,5 +37,10 @@ class CliArgs {
   mutable std::map<std::string, bool> queried_;
   std::vector<std::string> positional_;
 };
+
+/// Parses the HECMINE_THREADS environment variable: 0 when unset or empty,
+/// its value otherwise. Throws PreconditionError on a malformed or negative
+/// value rather than silently running with a surprising thread count.
+[[nodiscard]] int env_thread_override();
 
 }  // namespace hecmine::support

@@ -69,6 +69,13 @@ Rng Rng::split(std::uint64_t stream_index) noexcept {
   return child;
 }
 
+std::vector<Rng> Rng::substreams(std::size_t count) {
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) streams.push_back(split(i));
+  return streams;
+}
+
 double Rng::uniform() noexcept {
   // 53 random mantissa bits -> uniform double in [0, 1).
   return static_cast<double>(engine_() >> 11) * 0x1.0p-53;

@@ -48,6 +48,13 @@ class Rng {
   /// not overlap with the parent for any realistic draw count.
   [[nodiscard]] Rng split(std::uint64_t stream_index) noexcept;
 
+  /// Derives `count` child streams, one per parallel work item. The
+  /// derivation happens sequentially on the calling thread, so stream i is
+  /// a function of (parent state, i) alone — handing stream i to work item
+  /// i keeps a parallel_map reproducible under any schedule or thread
+  /// count. Advances the parent once per stream (like repeated split()).
+  [[nodiscard]] std::vector<Rng> substreams(std::size_t count);
+
   /// Uniform in [0, 1).
   [[nodiscard]] double uniform() noexcept;
 

@@ -1,0 +1,181 @@
+// Tests for core/equilibrium_cache: key quantization, hit/miss accounting,
+// LRU eviction, map separation, and end-to-end use inside the SP solver.
+#include "core/equilibrium_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sp.hpp"
+
+namespace hecmine::core {
+namespace {
+
+NetworkParams test_params() {
+  NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  return params;
+}
+
+SymmetricEquilibrium fake_symmetric(double edge) {
+  SymmetricEquilibrium eq;
+  eq.request.edge = edge;
+  eq.request.cloud = 2.0 * edge;
+  return eq;
+}
+
+TEST(HashMix, SeparatesValuesAndMergesSignedZero) {
+  const std::uint64_t seed = 17;
+  EXPECT_NE(hash_mix(seed, 1.0), hash_mix(seed, 2.0));
+  EXPECT_NE(hash_mix(seed, std::uint64_t{1}), hash_mix(seed, std::uint64_t{2}));
+  EXPECT_EQ(hash_mix(seed, 0.0), hash_mix(seed, -0.0));
+}
+
+TEST(HashFollowerEnv, ChangesWithParamsAndOptions) {
+  const MinerSolveOptions options;
+  NetworkParams params = test_params();
+  const std::uint64_t base = hash_follower_env(params, options);
+  params.fork_rate = 0.3;
+  EXPECT_NE(hash_follower_env(params, options), base);
+  params = test_params();
+  MinerSolveOptions tighter;
+  tighter.tolerance = 1e-12;
+  EXPECT_NE(hash_follower_env(params, tighter), base);
+}
+
+TEST(FollowerCacheKey, QuantizesWithinTheQuantum) {
+  FollowerEquilibriumCache cache(64, 1e-7);
+  const Prices base{2.0, 1.0};
+  // Inside half a quantum of the same grid point: identical key.
+  const Prices nearby{2.0 + 4e-8, 1.0 - 4e-8};
+  EXPECT_EQ(cache.make_key(base, 7), cache.make_key(nearby, 7));
+  // More than a quantum away: a different key.
+  const Prices distinct{2.0 + 3e-7, 1.0};
+  EXPECT_FALSE(cache.make_key(base, 7) == cache.make_key(distinct, 7));
+  // The environment hash is part of the identity.
+  EXPECT_FALSE(cache.make_key(base, 7) == cache.make_key(base, 8));
+}
+
+TEST(FollowerCache, SnapIsIdempotentAndStaysPositive) {
+  FollowerEquilibriumCache cache(64, 1e-7);
+  const Prices snapped = cache.snap_prices({2.0000000312, 0.0});
+  EXPECT_EQ(cache.snap_prices(snapped).edge, snapped.edge);
+  EXPECT_EQ(cache.snap_prices(snapped).cloud, snapped.cloud);
+  EXPECT_GT(snapped.cloud, 0.0);  // clamped to one quantum
+  EXPECT_NEAR(snapped.edge, 2.0, 1e-6);
+}
+
+TEST(FollowerCache, SecondLookupIsAHitAndSkipsTheSolver) {
+  FollowerEquilibriumCache cache;
+  const auto key = cache.make_key({2.0, 1.0}, 1);
+  int solves = 0;
+  const auto solve = [&] {
+    ++solves;
+    return fake_symmetric(3.0);
+  };
+  const auto first = cache.symmetric(key, solve);
+  const auto second = cache.symmetric(key, solve);
+  EXPECT_EQ(solves, 1);
+  EXPECT_EQ(first.request.edge, second.request.edge);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(FollowerCache, EvictsLeastRecentlyUsed) {
+  FollowerEquilibriumCache cache(2, 1e-7);
+  const auto key_a = cache.make_key({1.0, 1.0}, 1);
+  const auto key_b = cache.make_key({2.0, 1.0}, 1);
+  const auto key_c = cache.make_key({3.0, 1.0}, 1);
+  int solves = 0;
+  const auto solver_for = [&](double edge) {
+    return std::function<SymmetricEquilibrium()>([&solves, edge] {
+      ++solves;
+      return fake_symmetric(edge);
+    });
+  };
+  (void)cache.symmetric(key_a, solver_for(1.0));
+  (void)cache.symmetric(key_b, solver_for(2.0));
+  (void)cache.symmetric(key_a, solver_for(1.0));  // touch A: B becomes LRU
+  (void)cache.symmetric(key_c, solver_for(3.0));  // capacity 2: evicts B
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  const auto a_again = cache.symmetric(key_a, solver_for(99.0));
+  EXPECT_EQ(a_again.request.edge, 1.0);  // A survived
+  EXPECT_EQ(solves, 3);
+  (void)cache.symmetric(key_b, solver_for(2.0));  // B was evicted: re-solve
+  EXPECT_EQ(solves, 4);
+}
+
+TEST(FollowerCache, SymmetricAndProfileMapsAreIndependent) {
+  FollowerEquilibriumCache cache;
+  const auto key = cache.make_key({2.0, 1.0}, 1);
+  int symmetric_solves = 0, profile_solves = 0;
+  (void)cache.symmetric(key, [&] {
+    ++symmetric_solves;
+    return fake_symmetric(1.0);
+  });
+  // The same key in the profile map must still miss.
+  (void)cache.profile(key, [&] {
+    ++profile_solves;
+    MinerEquilibrium eq;
+    eq.requests.push_back({1.0, 2.0});
+    return eq;
+  });
+  EXPECT_EQ(symmetric_solves, 1);
+  EXPECT_EQ(profile_solves, 1);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(FollowerCache, ClearDropsEntriesButKeepsCounters) {
+  FollowerEquilibriumCache cache;
+  const auto key = cache.make_key({2.0, 1.0}, 1);
+  int solves = 0;
+  const auto solve = [&] {
+    ++solves;
+    return fake_symmetric(1.0);
+  };
+  (void)cache.symmetric(key, solve);
+  cache.clear();
+  (void)cache.symmetric(key, solve);
+  EXPECT_EQ(solves, 2);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(FollowerCache, AcceleratesTheLeaderStageWithoutChangingTheAnswer) {
+  const NetworkParams params = test_params();
+  SpSolveOptions plain;
+  plain.grid_points = 16;
+  plain.max_rounds = 8;
+  plain.threads = 1;
+  const auto reference = solve_sp_equilibrium_homogeneous(
+      params, 200.0, 5, EdgeMode::kConnected, plain);
+
+  FollowerEquilibriumCache cache;
+  SpSolveOptions cached = plain;
+  cached.cache = &cache;
+  const auto accelerated = solve_sp_equilibrium_homogeneous(
+      params, 200.0, 5, EdgeMode::kConnected, cached);
+
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.hit_rate(), 0.1);
+  // Snapping perturbs each solve by <= 1e-7, but the leader payoff is
+  // nearly flat around the fixed point, so the terminal *prices* can walk
+  // a few 1e-3 along the plateau. The profits on that plateau are pinned:
+  // compare those, to a tight relative tolerance.
+  const double reference_profit =
+      reference.profits.edge + reference.profits.cloud;
+  const double accelerated_profit =
+      accelerated.profits.edge + accelerated.profits.cloud;
+  EXPECT_NEAR(accelerated_profit, reference_profit,
+              5e-3 * std::abs(reference_profit));
+  EXPECT_NEAR(accelerated.prices.edge, reference.prices.edge, 0.05);
+  EXPECT_NEAR(accelerated.prices.cloud, reference.prices.cloud, 0.05);
+}
+
+}  // namespace
+}  // namespace hecmine::core
