@@ -29,9 +29,9 @@ int main(int argc, char** argv) {
   // The heterogeneous follower NEP runs inside every leader probe; a
   // capped iteration budget keeps the sweep to seconds per row with no
   // visible effect on the located optimum.
-  options.follower.max_iterations = 600;
-  options.follower.tolerance = 1e-7;
-  options.follower.damping = 0.6;
+  options.context.follower.max_iterations = 600;
+  options.context.follower.tolerance = 1e-7;
+  options.context.follower.damping = 0.6;
 
   // Mean-preserving spreads around 60 per miner (total 300).
   const std::vector<std::vector<double>> budget_sets{
@@ -48,10 +48,10 @@ int main(int argc, char** argv) {
   for (const auto& budgets : budget_sets) {
     double spread = 0.0;
     for (double b : budgets) spread += std::abs(b - 60.0);
-    const auto eq = core::solve_sp_equilibrium(
+    const auto eq = core::solve_leader_stage(
         params, budgets, core::EdgeMode::kConnected, options);
     const auto shares =
-        core::winning_shares(eq.followers.requests, params.fork_rate);
+        core::winning_shares(eq.followers.expanded(), params.fork_rate);
     table.add_row({spread, eq.prices.edge, eq.prices.cloud, eq.profits.edge,
                    eq.profits.cloud, core::herfindahl_index(shares),
                    core::gini_coefficient(shares),

@@ -23,15 +23,15 @@ int main(int argc, char** argv) {
     params.fork_rate = beta;
     params.edge_success = 0.9;
     params.edge_capacity = 50.0;
-    const auto monopoly = core::solve_sp_equilibrium_homogeneous(
+    const auto monopoly = core::solve_leader_stage_homogeneous(
         params, 200.0, 5, core::EdgeMode::kConnected, options);
     const auto competitive =
         core::solve_multi_esp_bertrand(params, 200.0, 5, 2);
     table.add_row({beta, monopoly.prices.edge, competitive.price_edge,
                    monopoly.prices.edge / competitive.price_edge,
                    monopoly.profits.edge, competitive.profit_edge_total,
-                   5.0 * monopoly.follower.request.edge,
-                   5.0 * competitive.follower.request.edge});
+                   5.0 * monopoly.followers.request().edge,
+                   5.0 * competitive.follower.request().edge});
   }
   bench::emit("ablation_multi_esp", table);
   std::cout << "Expected: competition pins the edge price to cost, wiping "

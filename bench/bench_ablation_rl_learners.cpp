@@ -6,7 +6,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/equilibrium.hpp"
 #include "rl/trainer.hpp"
 
 int main(int argc, char** argv) {
@@ -23,14 +22,14 @@ int main(int argc, char** argv) {
   const int n = args.get("miners", 5);
   const core::PopulationModel fixed(static_cast<double>(n), 0.0, 1, n);
 
-  const auto analytic =
-      core::solve_symmetric_connected(params, prices, budget, n);
-  std::cout << "analytic symmetric NE: e*=" << analytic.request.edge
-            << " c*=" << analytic.request.cloud << "\n";
+  const auto analytic = rl::equilibrium_reference(params, prices, budget,
+                                                  fixed, params.edge_success);
+  std::cout << "analytic symmetric NE: e*=" << analytic.request().edge
+            << " c*=" << analytic.request().cloud << "\n";
 
   const auto distance = [&](const core::MinerRequest& mean) {
-    return std::hypot(mean.edge - analytic.request.edge,
-                      mean.cloud - analytic.request.cloud);
+    return std::hypot(mean.edge - analytic.request().edge,
+                      mean.cloud - analytic.request().cloud);
   };
 
   support::Table table({"block", "eps_greedy_dist", "ucb1_dist",

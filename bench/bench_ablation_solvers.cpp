@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "support/stats.hpp"
 
 namespace {
@@ -40,12 +40,14 @@ int main(int argc, char** argv) {
     const std::vector<double> budgets(static_cast<std::size_t>(n), 40.0);
     const double t0 = now_ms();
     const auto decomposition =
-        core::solve_standalone_gnep(params, prices, budgets);
+        core::StandaloneGnepOracle(params, budgets).solve(prices);
     const double t1 = now_ms();
     core::MinerSolveOptions vi_options;
     vi_options.vi_tolerance = 1e-8;
-    const auto vi =
-        core::solve_standalone_gnep_vi(params, prices, budgets, vi_options);
+    const auto vi = core::StandaloneGnepOracle(params, budgets,
+                                               core::GnepAlgorithm::kVi,
+                                               vi_options)
+                        .solve(prices);
     const double t2 = now_ms();
     double worst = 0.0;
     for (std::size_t i = 0; i < budgets.size(); ++i) {
@@ -66,7 +68,8 @@ int main(int argc, char** argv) {
   for (double damping : {0.2, 0.35, 0.5, 0.7, 0.9, 1.0}) {
     core::MinerSolveOptions options;
     options.damping = damping;
-    const auto eq = core::solve_connected_nep(params, prices, budgets, options);
+    const auto eq =
+        core::ConnectedNepOracle(params, budgets, options).solve(prices);
     damping_table.add_row({damping, static_cast<double>(eq.iterations),
                            eq.converged ? 1.0 : 0.0, eq.totals.edge});
   }

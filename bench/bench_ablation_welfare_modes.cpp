@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/welfare.hpp"
 
 int main(int argc, char** argv) {
@@ -27,18 +27,12 @@ int main(int argc, char** argv) {
     params.fork_rate = 0.2;
     params.edge_success = 0.9;
     params.edge_capacity = cap;
-    const auto connected =
-        core::solve_symmetric_connected(params, prices, budget, n);
-    const auto standalone =
-        core::solve_symmetric_standalone(params, prices, budget, n);
-    const core::Totals totals_connected{n * connected.request.edge,
-                                        n * connected.request.cloud};
-    const core::Totals totals_standalone{n * standalone.request.edge,
-                                         n * standalone.request.cloud};
-    const auto w_connected =
-        core::welfare_report(params, prices, totals_connected);
-    const auto w_standalone =
-        core::welfare_report(params, prices, totals_standalone);
+    const auto connected = core::solve_followers_symmetric(
+        params, prices, budget, n, core::EdgeMode::kConnected);
+    const auto standalone = core::solve_followers_symmetric(
+        params, prices, budget, n, core::EdgeMode::kStandalone);
+    const auto w_connected = core::welfare_report(params, prices, connected);
+    const auto w_standalone = core::welfare_report(params, prices, standalone);
     table.add_row({cap, w_connected.dissipation, w_standalone.dissipation,
                    w_connected.miner_surplus, w_standalone.miner_surplus,
                    w_connected.sp_profit(), w_standalone.sp_profit(),

@@ -9,7 +9,7 @@
 
 #include "bench_util.hpp"
 #include "core/closed_forms.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 
 int main(int argc, char** argv) {
   using namespace hecmine;
@@ -32,9 +32,10 @@ int main(int argc, char** argv) {
     const double pc =
         0.3 + (0.98 * bound - 0.3) * static_cast<double>(i) / (points - 1);
     const core::Prices prices{price_edge, pc};
-    const auto eq = core::solve_symmetric_connected(params, prices, budget, n);
-    const double e = eq.request.edge;
-    const double c = eq.request.cloud;
+    const auto eq = core::solve_followers_symmetric(
+        params, prices, budget, n, core::EdgeMode::kConnected);
+    const double e = eq.request().edge;
+    const double c = eq.request().cloud;
     const auto closed =
         core::homogeneous_connected_request(params, prices, budget, n);
     table.add_row({pc, e, c, n * e, n * c, price_edge * n * e, pc * n * c,

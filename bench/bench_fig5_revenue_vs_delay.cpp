@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/params.hpp"
 
 int main(int argc, char** argv) {
@@ -34,19 +34,19 @@ int main(int argc, char** argv) {
         params.reward = defaults.reward;
         params.edge_success = defaults.edge_success;
         params.fork_rate = fork_model.fork_rate(delay);
-        const auto eq =
-            core::solve_symmetric_connected(params, prices, budget, n);
-        const double esp_rev = prices.edge * n * eq.request.edge;
-        const double csp_rev = prices.cloud * n * eq.request.cloud;
+        const auto eq = core::solve_followers_symmetric(
+            params, prices, budget, n, core::EdgeMode::kConnected);
+        const double esp_rev = prices.edge * n * eq.request().edge;
+        const double csp_rev = prices.cloud * n * eq.request().cloud;
         const double predicted =
             defaults.reward * (n - 1.0) *
             (1.0 - params.fork_rate +
              params.edge_success * params.fork_rate) /
             n;
-        return std::vector<double>{delay, params.fork_rate,
-                                   n * eq.request.edge, n * eq.request.cloud,
-                                   esp_rev, csp_rev, esp_rev + csp_rev,
-                                   predicted};
+        return std::vector<double>{
+            delay, params.fork_rate, n * eq.request().edge,
+            n * eq.request().cloud, esp_rev, csp_rev, esp_rev + csp_rev,
+            predicted};
       },
       args.threads());
   for (const auto& row : rows) table.add_row(row);

@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/params.hpp"
 #include "core/sp.hpp"
 
@@ -28,14 +28,14 @@ int main(int argc, char** argv) {
     params.fork_rate = defaults.fork_rate;
     params.edge_success = defaults.edge_success;
     params.edge_capacity = cap;
-    const auto standalone =
-        core::solve_symmetric_standalone(params, prices, budget, n);
-    const auto connected =
-        core::solve_symmetric_connected(params, prices, budget, n);
-    capacity_table.add_row({cap, n * standalone.request.edge,
-                            n * standalone.request.cloud,
+    const auto standalone = core::solve_followers_symmetric(
+        params, prices, budget, n, core::EdgeMode::kStandalone);
+    const auto connected = core::solve_followers_symmetric(
+        params, prices, budget, n, core::EdgeMode::kConnected);
+    capacity_table.add_row({cap, n * standalone.request().edge,
+                            n * standalone.request().cloud,
                             standalone.surcharge,
-                            n * connected.request.edge});
+                            n * connected.request().edge});
   }
   bench::emit("fig6a_requests_vs_capacity", capacity_table);
 
@@ -53,10 +53,10 @@ int main(int argc, char** argv) {
     options.grid_points = 48;
     const double pc = core::csp_reaction_homogeneous(
         params, budget, n, core::EdgeMode::kStandalone, prices.edge, options);
-    const auto eq = core::solve_symmetric_standalone(
-        params, {prices.edge, pc}, budget, n);
+    const auto eq = core::solve_followers_symmetric(
+        params, {prices.edge, pc}, budget, n, core::EdgeMode::kStandalone);
     price_table.add_row({delay, params.fork_rate, pc,
-                         (pc - params.cost_cloud) * n * eq.request.cloud});
+                         (pc - params.cost_cloud) * n * eq.request().cloud});
   }
   bench::emit("fig6b_csp_price_vs_delay", price_table);
   std::cout << "Expected shape (paper Fig. 6): standalone edge demand rises "

@@ -14,7 +14,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/params.hpp"
 
 int main(int argc, char** argv) {
@@ -43,11 +43,12 @@ int main(int argc, char** argv) {
       params.fork_rate = fork_model.fork_rate(delay);
       std::vector<double> budgets(static_cast<std::size_t>(n), 100.0);
       budgets[0] = budget;
-      const auto eq = core::solve_connected_nep(params, prices, budgets);
-      row.push_back(eq.requests[0].edge);
-      row.push_back(eq.requests[0].cloud);
-      row.push_back(eq.utilities[0]);
-      totals[column++] = eq.requests[0].total();
+      const auto eq = core::solve_followers(params, prices, budgets,
+                                            core::EdgeMode::kConnected);
+      row.push_back(eq.request(0).edge);
+      row.push_back(eq.request(0).cloud);
+      row.push_back(eq.utility(0));
+      totals[column++] = eq.request(0).total();
     }
     row.push_back(totals[0]);
     row.push_back(totals[1]);

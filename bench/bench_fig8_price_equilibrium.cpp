@@ -32,10 +32,10 @@ int main(int argc, char** argv) {
     params.edge_success = defaults.edge_success;
     params.edge_capacity = args.get("capacity", 4.0);  // scarce edge
     params.cost_edge = cost_edge;
-    const auto connected = core::solve_sp_equilibrium_homogeneous(
+    const auto connected = core::solve_leader_stage_homogeneous(
         params, budget, n, core::EdgeMode::kConnected, options);
     const auto standalone =
-        core::solve_sp_standalone_sellout(params, budget, n, options);
+        core::solve_leader_stage_sellout(params, budget, n, options);
     table.add_row({cost_edge, connected.prices.edge, connected.prices.cloud,
                    connected.profits.edge, connected.profits.cloud,
                    standalone.prices.edge, standalone.prices.cloud,
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     params.edge_success = defaults.edge_success;
     params.edge_capacity = args.get("capacity", 4.0);
     params.fork_rate = fork_model.fork_rate(delay);
-    const auto connected = core::solve_sp_equilibrium_homogeneous(
+    const auto connected = core::solve_leader_stage_homogeneous(
         params, budget, n, core::EdgeMode::kConnected, options);
     delay_table.add_row({delay, params.fork_rate, connected.prices.edge,
                          connected.prices.cloud,

@@ -3,8 +3,8 @@
 // extragradient VI solver and the PoW race simulator.
 #include <benchmark/benchmark.h>
 
-#include "core/equilibrium.hpp"
 #include "core/miner.hpp"
+#include "core/oracle.hpp"
 #include "chain/race.hpp"
 #include "support/rng.hpp"
 
@@ -42,9 +42,9 @@ void BM_ConnectedNepSolve(benchmark::State& state) {
   const core::Prices prices{2.0, 1.0};
   const std::vector<double> budgets(static_cast<std::size_t>(state.range(0)),
                                     40.0);
+  const core::ConnectedNepOracle oracle(params, budgets);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::solve_connected_nep(params, prices, budgets));
+    benchmark::DoNotOptimize(oracle.solve(prices));
   }
 }
 BENCHMARK(BM_ConnectedNepSolve)->Arg(3)->Arg(5)->Arg(10);
@@ -52,9 +52,10 @@ BENCHMARK(BM_ConnectedNepSolve)->Arg(3)->Arg(5)->Arg(10);
 void BM_SymmetricConnectedClosedForm(benchmark::State& state) {
   const auto params = bench_params();
   const core::Prices prices{2.0, 1.0};
+  const core::SymmetricFollowerOracle oracle(params, 40.0, 5,
+                                             core::EdgeMode::kConnected);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::solve_symmetric_connected(params, prices, 40.0, 5));
+    benchmark::DoNotOptimize(oracle.solve(prices));
   }
 }
 BENCHMARK(BM_SymmetricConnectedClosedForm);
@@ -64,9 +65,9 @@ void BM_StandaloneGnepSolve(benchmark::State& state) {
   const core::Prices prices{2.0, 1.0};
   const std::vector<double> budgets(static_cast<std::size_t>(state.range(0)),
                                     40.0);
+  const core::StandaloneGnepOracle oracle(params, budgets);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::solve_standalone_gnep(params, prices, budgets));
+    benchmark::DoNotOptimize(oracle.solve(prices));
   }
 }
 BENCHMARK(BM_StandaloneGnepSolve)->Arg(3)->Arg(5);
@@ -77,9 +78,10 @@ void BM_StandaloneGnepVi(benchmark::State& state) {
   const std::vector<double> budgets(3, 40.0);
   core::MinerSolveOptions options;
   options.vi_tolerance = 1e-7;
+  const core::StandaloneGnepOracle oracle(params, budgets,
+                                          core::GnepAlgorithm::kVi, options);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::solve_standalone_gnep_vi(params, prices, budgets, options));
+    benchmark::DoNotOptimize(oracle.solve(prices));
   }
 }
 BENCHMARK(BM_StandaloneGnepVi);

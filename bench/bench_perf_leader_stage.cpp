@@ -1,9 +1,9 @@
 // Leader-stage performance bench: serial vs parallel price scans, with and
 // without the follower-equilibrium cache.
 //
-// Times solve_sp_equilibrium_homogeneous (connected mode — Algorithm 1's
+// Times solve_leader_stage_homogeneous (connected mode — Algorithm 1's
 // hot path: every scanned price triggers a full symmetric follower solve)
-// and the heterogeneous solve_sp_equilibrium (full-profile NEP per price)
+// and the heterogeneous solve_leader_stage (full-profile NEP per price)
 // under four configurations, checks they agree on the equilibrium prices,
 // and emits machine-readable JSON to bench_out/BENCH_leader_stage.json so
 // the perf trajectory is tracked across PRs.
@@ -139,9 +139,9 @@ int main(int argc, char** argv) {
   const auto homogeneous = [&](int run_threads) {
     return [&, run_threads](core::FollowerEquilibriumCache* cache) {
       core::SpSolveOptions options = base;
-      options.threads = run_threads;
-      options.cache = cache;
-      return core::solve_sp_equilibrium_homogeneous(
+      options.context.threads = run_threads;
+      options.context.cache = cache;
+      return core::solve_leader_stage_homogeneous(
           params, budget, n, core::EdgeMode::kConnected, options);
     };
   };
@@ -154,18 +154,14 @@ int main(int argc, char** argv) {
   const auto heterogeneous = [&](int run_threads) {
     return [&, run_threads](core::FollowerEquilibriumCache* cache) {
       core::SpSolveOptions options = base;
-      options.threads = run_threads;
-      options.cache = cache;
-      const auto solved = core::solve_sp_equilibrium(
-          params, budgets, core::EdgeMode::kConnected, options);
-      struct View {
-        core::Prices prices;
-        core::SpProfits profits;
-        int rounds;
-        bool converged;
-      };
-      return View{solved.prices, solved.profits, solved.rounds,
-                  solved.converged};
+      options.context.threads = run_threads;
+      options.context.cache = cache;
+      // Time the raw best-response scan only: the sequential cycle
+      // fallback is a different (composite-scan) workload and would
+      // swamp the number being tracked across PRs.
+      options.sequential_fallback = false;
+      return core::solve_leader_stage(params, budgets,
+                                      core::EdgeMode::kConnected, options);
     };
   };
 

@@ -37,17 +37,15 @@ int main(int argc, char** argv) {
   };
 
   // Row 1: connected mode, numerical (Theorem 4 structure).
-  const auto connected = core::solve_sp_equilibrium_homogeneous(
+  const auto connected = core::solve_leader_stage_homogeneous(
       params, budget, n, core::EdgeMode::kConnected, options);
-  add(1, connected.prices,
-      static_cast<double>(n) * connected.follower.request.edge,
-      static_cast<double>(n) * connected.follower.request.cloud);
+  add(1, connected.prices, connected.followers.totals.edge,
+      connected.followers.totals.cloud);
 
   // Row 2: standalone sell-out (Problem 2c), numerical.
-  const auto sellout = core::solve_sp_standalone_sellout(params, budget, n, options);
-  add(2, sellout.prices,
-      static_cast<double>(n) * sellout.follower.request.edge,
-      static_cast<double>(n) * sellout.follower.request.cloud);
+  const auto sellout = core::solve_leader_stage_sellout(params, budget, n, options);
+  add(2, sellout.prices, sellout.followers.totals.edge,
+      sellout.followers.totals.cloud);
 
   // Row 3: standalone sell-out, closed form (Table II).
   const auto closed = core::standalone_sp_closed_form(params, n);
@@ -59,11 +57,10 @@ int main(int argc, char** argv) {
   }
 
   // Row 4: standalone without the sell-out constraint (CSP may undercut).
-  const auto free_game = core::solve_sp_equilibrium_homogeneous(
+  const auto free_game = core::solve_leader_stage_homogeneous(
       params, budget, n, core::EdgeMode::kStandalone, options);
-  add(4, free_game.prices,
-      static_cast<double>(n) * free_game.follower.request.edge,
-      static_cast<double>(n) * free_game.follower.request.cloud);
+  add(4, free_game.prices, free_game.followers.totals.edge,
+      free_game.followers.totals.cloud);
 
   bench::emit("table2_closed_forms", table);
   std::cout <<

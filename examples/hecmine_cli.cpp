@@ -13,10 +13,11 @@
 #include <cstdio>
 #include <string>
 
-#include "core/equilibrium.hpp"
 #include "core/equilibrium_cache.hpp"
 #include "core/dynamic.hpp"
+#include "core/oracle.hpp"
 #include "core/scenario.hpp"
+#include "core/solve_context.hpp"
 #include "core/sp.hpp"
 #include "core/welfare.hpp"
 #include "net/network.hpp"
@@ -29,35 +30,34 @@ using namespace hecmine;
 
 struct SolvedScenario {
   core::Prices prices;
-  core::MinerEquilibrium followers;
+  core::EquilibriumProfile followers;
 };
 
 /// Solves the scenario's follower stage (and, without fixed prices, the
-/// leader stage first). `threads` feeds the SP-stage price scans; the
-/// follower cache memoizes repeated solves within the leader iteration.
+/// leader stage first), everything routed through the follower-oracle
+/// layer. One SolveContext carries the thread count for the SP-stage
+/// price scans and the cache that memoizes repeated follower solves.
 SolvedScenario solve_scenario(const core::Scenario& scenario, int threads) {
   SolvedScenario solved;
+  core::FollowerEquilibriumCache cache;
+  core::SolveContext context;
+  context.threads = threads;
+  context.cache = &cache;
   if (scenario.fixed_prices) {
     solved.prices = *scenario.fixed_prices;
   } else {
     HECMINE_REQUIRE(scenario.homogeneous(),
                     "SP-stage solve requires homogeneous budgets; set "
                     "price_edge/price_cloud for heterogeneous scenarios");
-    core::FollowerEquilibriumCache cache;
     core::SpSolveOptions options;
-    options.threads = threads;
-    options.cache = &cache;
-    const auto sp = core::solve_sp_equilibrium_homogeneous(
+    options.context = context;
+    const auto sp = core::solve_leader_stage_homogeneous(
         scenario.params, scenario.budgets.front(), scenario.miners(),
         scenario.mode, options);
     solved.prices = sp.prices;
   }
-  solved.followers =
-      scenario.mode == core::EdgeMode::kConnected
-          ? core::solve_connected_nep(scenario.params, solved.prices,
-                                      scenario.budgets)
-          : core::solve_standalone_gnep(scenario.params, solved.prices,
-                                        scenario.budgets);
+  solved.followers = core::solve_followers(
+      scenario.params, solved.prices, scenario.budgets, scenario.mode, context);
   return solved;
 }
 
@@ -68,9 +68,9 @@ int cmd_solve(const core::Scenario& scenario, int threads) {
               scenario.fixed_prices ? " (fixed by scenario)" : " (SP stage)");
   for (std::size_t i = 0; i < scenario.budgets.size(); ++i) {
     std::printf("miner %zu (B=%6.1f): e=%8.4f c=%8.4f U=%8.4f\n", i,
-                scenario.budgets[i], solved.followers.requests[i].edge,
-                solved.followers.requests[i].cloud,
-                solved.followers.utilities[i]);
+                scenario.budgets[i], solved.followers.request(i).edge,
+                solved.followers.request(i).cloud,
+                solved.followers.utility(i));
   }
   std::printf("totals: E=%.4f C=%.4f", solved.followers.totals.edge,
               solved.followers.totals.cloud);
@@ -80,8 +80,8 @@ int cmd_solve(const core::Scenario& scenario, int threads) {
                 solved.followers.cap_active ? "ACTIVE" : "slack");
   }
   std::printf("\n");
-  const auto welfare = core::welfare_report(scenario.params, solved.prices,
-                                            solved.followers.totals);
+  const auto welfare =
+      core::welfare_report(scenario.params, solved.prices, solved.followers);
   std::printf("welfare: miner surplus %.3f | SP profit %.3f (edge %.3f, "
               "cloud %.3f) | dissipation %.1f%%\n",
               welfare.miner_surplus, welfare.sp_profit(),
@@ -98,7 +98,7 @@ int cmd_simulate(const core::Scenario& scenario, std::size_t rounds,
   policy.success_prob = scenario.params.edge_success;
   policy.capacity = scenario.params.edge_capacity;
   net::MiningNetwork network(scenario.params, policy, solved.prices, 97);
-  auto profile = solved.followers.requests;
+  auto profile = solved.followers.expanded();
   if (scenario.mode == core::EdgeMode::kStandalone) {
     const double total_edge = solved.followers.totals.edge;
     if (total_edge > scenario.params.edge_capacity * (1.0 - 1e-9)) {
@@ -117,7 +117,7 @@ int cmd_simulate(const core::Scenario& scenario, std::size_t rounds,
                 static_cast<double>(network.stats().wins[i]) /
                     static_cast<double>(rounds),
                 network.stats().utility[i].mean(),
-                solved.followers.utilities[i]);
+                solved.followers.utility(i));
   }
   std::printf("SP revenue/round: edge %.3f cloud %.3f; ledger height %zu, "
               "fork fraction %.4f\n",

@@ -9,7 +9,6 @@
 #include <cstdio>
 
 #include "core/decentralization.hpp"
-#include "core/equilibrium.hpp"
 #include "net/campaign.hpp"
 #include "support/cli.hpp"
 
@@ -25,15 +24,6 @@ int main(int argc, char** argv) {
   const core::Prices prices{2.0, 1.0};
   const std::vector<double> budgets{10.0, 14.0, 18.0, 40.0};
 
-  // Equilibrium strategies for the fixed miner set.
-  const auto equilibrium = core::solve_connected_nep(params, prices, budgets);
-  std::printf("equilibrium requests (connected mode):\n");
-  for (std::size_t i = 0; i < budgets.size(); ++i) {
-    std::printf("  miner %zu (B=%4.0f): e=%.3f c=%.3f  E[U]=%.3f\n", i,
-                budgets[i], equilibrium.requests[i].edge,
-                equilibrium.requests[i].cloud, equilibrium.utilities[i]);
-  }
-
   // Campaign with population churn and difficulty retargeting.
   net::CampaignConfig campaign;
   campaign.params = params;
@@ -47,7 +37,17 @@ int main(int argc, char** argv) {
   campaign.difficulty.target_interval = 1.0;
   campaign.difficulty.window = 32;
   campaign.blocks = static_cast<std::size_t>(args.get("blocks", 20000));
-  const auto result = run_campaign(campaign, equilibrium.requests, 2027);
+  // Equilibrium strategies for the fixed miner set, solved through the
+  // follower oracle and fed straight into the campaign.
+  const auto outcome = net::run_campaign_at_equilibrium(campaign, budgets, 2027);
+  const auto& equilibrium = outcome.equilibrium;
+  std::printf("equilibrium requests (connected mode):\n");
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    std::printf("  miner %zu (B=%4.0f): e=%.3f c=%.3f  E[U]=%.3f\n", i,
+                budgets[i], equilibrium.request(i).edge,
+                equilibrium.request(i).cloud, equilibrium.utility(i));
+  }
+  const auto& result = outcome.result;
 
   std::printf("\ncampaign over %zu blocks (population mu=%.1f):\n",
               campaign.blocks, campaign.population->mean());

@@ -12,14 +12,14 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "net/network.hpp"
 #include "support/cli.hpp"
 
 namespace {
 
 void print_equilibrium(const char* label,
-                       const hecmine::core::MinerEquilibrium& eq,
+                       const hecmine::core::EquilibriumProfile& eq,
                        const std::vector<double>& budgets,
                        const hecmine::core::Prices& prices) {
   std::printf("%s\n", label);
@@ -52,10 +52,12 @@ int main(int argc, char** argv) {
   const std::vector<double> budgets{6.0, 10.0, 14.0, 18.0, 60.0};
 
   // Follower-stage equilibria in both operation modes.
-  const auto connected = core::solve_connected_nep(params, prices, budgets);
+  const auto connected =
+      core::solve_followers(params, prices, budgets, core::EdgeMode::kConnected);
   print_equilibrium("Connected mode (NEP, unique NE):", connected, budgets,
                     prices);
-  const auto standalone = core::solve_standalone_gnep(params, prices, budgets);
+  const auto standalone = core::solve_followers(params, prices, budgets,
+                                                core::EdgeMode::kStandalone);
   print_equilibrium("Standalone mode (GNEP, variational equilibrium):",
                     standalone, budgets, prices);
 

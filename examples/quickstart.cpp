@@ -4,7 +4,7 @@
 //   $ ./quickstart [--miners=5] [--budget=40] [--reward=100] [--beta=0.2]
 //
 // Walks through the three layers of the library:
-//   1. core::solve_sp_equilibrium_homogeneous — equilibrium prices (leader
+//   1. core::solve_leader_stage_homogeneous — equilibrium prices (leader
 //      stage, Algorithm 1 / Theorem 4) and requests (follower stage,
 //      Theorem 2);
 //   2. net::MiningNetwork — the edge-cloud offloading fabric plus the PoW
@@ -33,21 +33,21 @@ int main(int argc, char** argv) {
   const double budget = args.get("budget", 40.0);
 
   // 1. Solve the two-stage game (prices anticipate miner reactions).
-  const auto equilibrium = core::solve_sp_equilibrium_homogeneous(
+  const auto equilibrium = core::solve_leader_stage_homogeneous(
       params, budget, n, core::EdgeMode::kConnected);
   std::printf("Stackelberg equilibrium (connected mode, %d miners, B=%.0f)\n",
               n, budget);
   std::printf("  prices:   P_e = %.4f   P_c = %.4f\n",
               equilibrium.prices.edge, equilibrium.prices.cloud);
   std::printf("  request:  e* = %.4f    c* = %.4f per miner\n",
-              equilibrium.follower.request.edge,
-              equilibrium.follower.request.cloud);
+              equilibrium.followers.request().edge,
+              equilibrium.followers.request().cloud);
   std::printf("  profits:  V_e = %.3f   V_c = %.3f\n",
               equilibrium.profits.edge, equilibrium.profits.cloud);
 
   // 2. Replay the equilibrium through the offloading network + PoW race.
-  const std::vector<core::MinerRequest> profile(
-      static_cast<std::size_t>(n), equilibrium.follower.request);
+  const std::vector<core::MinerRequest> profile =
+      equilibrium.followers.expanded();
   net::EdgePolicy policy;
   policy.mode = core::EdgeMode::kConnected;
   policy.success_prob = params.edge_success;

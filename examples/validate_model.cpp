@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/closed_forms.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/winning.hpp"
 #include "net/network.hpp"
 #include "support/cli.hpp"
@@ -74,38 +74,41 @@ int main(int argc, char** argv) {
 
   std::printf("\n2. Follower equilibria (two independent solvers)\n");
   const std::vector<double> budgets{30.0, 45.0, 60.0};
-  const auto gnep = core::solve_standalone_gnep(params, prices, budgets);
-  const auto vi = core::solve_standalone_gnep_vi(params, prices, budgets);
+  const auto gnep =
+      core::solve_followers(params, prices, budgets, core::EdgeMode::kStandalone);
+  const auto vi = core::StandaloneGnepOracle(params, budgets,
+                                             core::GnepAlgorithm::kVi)
+                      .solve(prices);
   check("GNEP decomposition vs extragradient VI (total E)",
         gnep.totals.edge, vi.totals.edge, 0.01);
   check("GNEP exploitability at mu*",
-        core::miner_exploitability(params, prices, budgets, gnep.requests,
-                                   false, gnep.surcharge),
+        core::miner_exploitability(params, prices, budgets, gnep,
+                                   core::EdgeMode::kStandalone),
         0.0, 1e-4);
 
   std::printf("\n3. Closed forms vs numerics (homogeneous miners)\n");
   {
-    const auto numeric =
-        core::solve_symmetric_connected(params, prices, 10.0, 5);
+    const auto numeric = core::solve_followers_symmetric(
+        params, prices, 10.0, 5, core::EdgeMode::kConnected);
     const auto closed =
         core::homogeneous_binding_request(params, prices, 10.0, 5);
-    check("Theorem 3 e* (binding budget)", numeric.request.edge, closed.edge,
+    check("Theorem 3 e* (binding budget)", numeric.request().edge, closed.edge,
           1e-6);
     check("Theorem 3 budget exhaustion",
           core::request_cost(closed, prices), 10.0, 1e-9);
   }
   {
-    const auto numeric =
-        core::solve_symmetric_connected(params, prices, 1e5, 5);
+    const auto numeric = core::solve_followers_symmetric(
+        params, prices, 1e5, 5, core::EdgeMode::kConnected);
     const auto closed = core::homogeneous_sufficient_request(params, prices, 5);
-    check("Corollary 1 e* (sufficient budget)", numeric.request.edge,
+    check("Corollary 1 e* (sufficient budget)", numeric.request().edge,
           closed.edge, 1e-6);
   }
   {
     const auto closed = core::standalone_sufficient_request(params, prices, 5);
-    const auto numeric =
-        core::solve_symmetric_standalone(params, prices, 1e5, 5);
-    check("Table II e* (standalone, cap-aware)", numeric.request.edge,
+    const auto numeric = core::solve_followers_symmetric(
+        params, prices, 1e5, 5, core::EdgeMode::kStandalone);
+    check("Table II e* (standalone, cap-aware)", numeric.request().edge,
           closed.request.edge, 1e-4);
     check("Table II surcharge mu*", numeric.surcharge, closed.surcharge,
           1e-3);

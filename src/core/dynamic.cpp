@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "numerics/pga.hpp"
 #include "numerics/projection.hpp"
 #include "support/error.hpp"
@@ -202,15 +202,16 @@ DynamicEquilibrium solve_dynamic_symmetric(const DynamicGameConfig& config,
 }
 
 MinerRequest fixed_population_benchmark(const DynamicGameConfig& config,
-                                        const PopulationModel& population) {
+                                        const PopulationModel& population,
+                                        const SolveContext& context) {
   check_config(config);
   const int n = std::max(
       2, static_cast<int>(std::lround(population.nominal_mean())));
   NetworkParams params = config.params;
   params.edge_success = config.edge_success;
-  const auto symmetric =
-      solve_symmetric_connected(params, config.prices, config.budget, n);
-  return symmetric.request;
+  const EquilibriumProfile profile = solve_followers_symmetric(
+      params, config.prices, config.budget, n, EdgeMode::kConnected, context);
+  return profile.request();
 }
 
 }  // namespace hecmine::core

@@ -23,6 +23,7 @@
 
 #include "core/params.hpp"
 #include "core/population.hpp"
+#include "core/solve_context.hpp"
 #include "core/types.hpp"
 
 namespace hecmine::core {
@@ -85,8 +86,10 @@ struct DynamicEquilibrium {
     double damping = 0.5, double tolerance = 1e-8, int max_iterations = 2000);
 
 /// The fixed-N benchmark at N = round(population mean): the connected-mode
-/// symmetric NE with the same h, for the Fig-9 comparison.
+/// symmetric NE with the same h, for the Fig-9 comparison. Solved through
+/// the follower oracle; `context` carries the cache/tolerances if any.
 [[nodiscard]] MinerRequest fixed_population_benchmark(
-    const DynamicGameConfig& config, const PopulationModel& population);
+    const DynamicGameConfig& config, const PopulationModel& population,
+    const SolveContext& context = {});
 
 }  // namespace hecmine::core

@@ -13,18 +13,11 @@
 
 #include "core/miner.hpp"
 #include "core/params.hpp"
+#include "core/solve_context.hpp"  // MinerSolveOptions lives there now
 #include "core/types.hpp"
 #include "game/nash.hpp"
 
 namespace hecmine::core {
-
-/// Options for the follower-stage solvers.
-struct MinerSolveOptions {
-  double damping = 0.5;       ///< best-response damping (1 = undamped)
-  double tolerance = 1e-9;    ///< profile max-norm change at convergence
-  int max_iterations = 4000;
-  double vi_tolerance = 1e-8; ///< natural-residual target of the VI solver
-};
 
 /// A follower-stage equilibrium.
 struct MinerEquilibrium {

@@ -147,6 +147,12 @@ MinerEquilibrium FollowerEquilibriumCache::profile(
   return lookup_or_solve(profile_, key, solve);
 }
 
+EquilibriumProfile FollowerEquilibriumCache::unified(
+    const FollowerCacheKey& key,
+    const std::function<EquilibriumProfile()>& solve) {
+  return lookup_or_solve(unified_, key, solve);
+}
+
 FollowerCacheStats FollowerEquilibriumCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
@@ -156,6 +162,7 @@ void FollowerEquilibriumCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   symmetric_.clear();
   profile_.clear();
+  unified_.clear();
 }
 
 }  // namespace hecmine::core

@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/types.hpp"
 
 namespace hecmine::core {
@@ -97,6 +98,13 @@ class FollowerEquilibriumCache {
       const FollowerCacheKey& key,
       const std::function<MinerEquilibrium()>& solve);
 
+  /// Cached unified profile for `key` (the FollowerOracle layer's map —
+  /// CachedFollowerOracle keys it on the inner oracle's env_hash());
+  /// see symmetric().
+  [[nodiscard]] EquilibriumProfile unified(
+      const FollowerCacheKey& key,
+      const std::function<EquilibriumProfile()>& solve);
+
   [[nodiscard]] FollowerCacheStats stats() const;
 
   /// Drops every entry; counters are kept.
@@ -132,6 +140,7 @@ class FollowerEquilibriumCache {
   mutable std::mutex mutex_;
   LruMap<SymmetricEquilibrium> symmetric_;
   LruMap<MinerEquilibrium> profile_;
+  LruMap<EquilibriumProfile> unified_;
   FollowerCacheStats stats_;
 };
 

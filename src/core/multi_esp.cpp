@@ -9,7 +9,8 @@ namespace hecmine::core {
 
 MultiEspEquilibrium solve_multi_esp_bertrand(const NetworkParams& params,
                                              double budget, int n,
-                                             int providers, double margin) {
+                                             int providers, double margin,
+                                             const SolveContext& context) {
   params.validate();
   HECMINE_REQUIRE(budget > 0.0, "multi-ESP: budget must be positive");
   HECMINE_REQUIRE(n >= 2, "multi-ESP: n >= 2 required");
@@ -29,6 +30,7 @@ MultiEspEquilibrium solve_multi_esp_bertrand(const NetworkParams& params,
   // the connected follower at the given h.
   SpSolveOptions options;
   options.grid_points = 48;
+  options.context = context;
   equilibrium.price_cloud = csp_reaction_homogeneous(
       params, budget, n, EdgeMode::kConnected, equilibrium.price_edge,
       options);
@@ -41,15 +43,12 @@ MultiEspEquilibrium solve_multi_esp_bertrand(const NetworkParams& params,
   }
 
   const Prices prices{equilibrium.price_edge, equilibrium.price_cloud};
-  equilibrium.follower = solve_symmetric_connected(params, prices, budget, n);
-  const double edge_units =
-      static_cast<double>(n) * equilibrium.follower.request.edge;
-  const double cloud_units =
-      static_cast<double>(n) * equilibrium.follower.request.cloud;
+  equilibrium.follower = solve_followers_symmetric(
+      params, prices, budget, n, EdgeMode::kConnected, context);
   equilibrium.profit_edge_total =
-      (prices.edge - params.cost_edge) * edge_units;
+      (prices.edge - params.cost_edge) * equilibrium.follower.totals.edge;
   equilibrium.profit_cloud =
-      (prices.cloud - params.cost_cloud) * cloud_units;
+      (prices.cloud - params.cost_cloud) * equilibrium.follower.totals.cloud;
   return equilibrium;
 }
 
@@ -57,11 +56,12 @@ EdgePremiumReport edge_premium_under_competition(const NetworkParams& params,
                                                  double budget, int n,
                                                  int providers,
                                                  const SpSolveOptions& options) {
-  const auto monopoly = solve_sp_equilibrium_homogeneous(
+  const auto monopoly = solve_leader_stage_homogeneous(
       params, budget, n, EdgeMode::kConnected, options);
   EdgePremiumReport report;
-  report.competitive =
-      solve_multi_esp_bertrand(params, budget, n, providers);
+  report.competitive = solve_multi_esp_bertrand(params, budget, n, providers,
+                                                1e-3,
+                                                options.resolved_context());
   report.price_ratio =
       monopoly.prices.edge / report.competitive.price_edge;
   const double competitive_profit =

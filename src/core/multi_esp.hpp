@@ -19,7 +19,9 @@
 #pragma once
 
 #include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/params.hpp"
+#include "core/solve_context.hpp"
 #include "core/sp.hpp"
 #include "core/types.hpp"
 
@@ -31,7 +33,7 @@ struct MultiEspEquilibrium {
   double price_cloud = 0.0;    ///< CSP best response to it
   double profit_edge_total = 0.0;  ///< summed over the k ESPs
   double profit_cloud = 0.0;
-  SymmetricEquilibrium follower;   ///< per-miner request at those prices
+  EquilibriumProfile follower;     ///< follower equilibrium at those prices
   int providers = 2;               ///< k
 };
 
@@ -39,10 +41,11 @@ struct MultiEspEquilibrium {
 /// homogeneous miners of budget B. Edge prices settle at
 /// max(C_e (1+margin), lowest price at which a deviation would not gain),
 /// which for perfect substitutes is marginal cost; the CSP then plays its
-/// reaction. Requires n >= 2, k >= 2, budget > 0.
+/// reaction. Requires n >= 2, k >= 2, budget > 0. `context` carries the
+/// follower cache / tolerances for the embedded oracle solves.
 [[nodiscard]] MultiEspEquilibrium solve_multi_esp_bertrand(
     const NetworkParams& params, double budget, int n, int providers,
-    double margin = 1e-3);
+    double margin = 1e-3, const SolveContext& context = {});
 
 /// The competition discount: single-ESP (Theorem-4 sequential) edge price
 /// and total ESP profit divided by their multi-ESP counterparts. Values

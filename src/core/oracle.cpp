@@ -1,0 +1,420 @@
+#include "core/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "core/equilibrium_cache.hpp"
+#include "core/miner.hpp"
+#include "core/scenario.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace hecmine::core {
+
+namespace {
+
+// Oracle-class tags mixed into env_hash so differently shaped games never
+// share a cache key even when all numeric inputs coincide.
+constexpr std::uint64_t kTagConnectedNep = 0xA1;
+constexpr std::uint64_t kTagGnepSharedPrice = 0xA2;
+constexpr std::uint64_t kTagGnepVi = 0xA3;
+constexpr std::uint64_t kTagSymmetric = 0xA4;
+constexpr std::uint64_t kTagPopulation = 0xA5;
+
+std::uint64_t mix_budgets(std::uint64_t h, const std::vector<double>& budgets) {
+  h = hash_mix(h, static_cast<std::uint64_t>(budgets.size()));
+  for (double budget : budgets) h = hash_mix(h, budget);
+  return h;
+}
+
+MinerEnv symmetric_env(const NetworkParams& params, const Prices& prices,
+                       double budget, int n, EdgeMode mode,
+                       const MinerRequest& request) {
+  MinerEnv env;
+  env.reward = params.reward;
+  env.fork_rate = params.fork_rate;
+  env.edge_success =
+      mode == EdgeMode::kConnected ? params.edge_success : 1.0;
+  env.prices = prices;
+  env.edge_surcharge = 0.0;  // true utility, as in the profile solvers
+  env.budget = budget;
+  const double others = static_cast<double>(n) - 1.0;
+  env.others = {others * request.edge, others * request.cloud};
+  return env;
+}
+
+}  // namespace
+
+const MinerRequest& EquilibriumProfile::request(std::size_t i) const {
+  HECMINE_REQUIRE(!requests.empty(), "EquilibriumProfile: empty profile");
+  if (symmetric) return requests.front();
+  HECMINE_REQUIRE(i < requests.size(),
+                  "EquilibriumProfile: miner index out of range");
+  return requests[i];
+}
+
+double EquilibriumProfile::utility(std::size_t i) const {
+  HECMINE_REQUIRE(!utilities.empty(), "EquilibriumProfile: empty profile");
+  if (symmetric) return utilities.front();
+  HECMINE_REQUIRE(i < utilities.size(),
+                  "EquilibriumProfile: miner index out of range");
+  return utilities[i];
+}
+
+std::vector<MinerRequest> EquilibriumProfile::expanded() const {
+  if (!symmetric) return requests;
+  HECMINE_REQUIRE(!requests.empty(), "EquilibriumProfile: empty profile");
+  return std::vector<MinerRequest>(static_cast<std::size_t>(miner_count),
+                                   requests.front());
+}
+
+EquilibriumProfile to_profile(const MinerEquilibrium& eq) {
+  EquilibriumProfile profile;
+  profile.miner_count = static_cast<int>(eq.requests.size());
+  profile.symmetric = false;
+  profile.requests = eq.requests;
+  profile.totals = eq.totals;
+  profile.utilities = eq.utilities;
+  profile.surcharge = eq.surcharge;
+  profile.cap_active = eq.cap_active;
+  profile.converged = eq.converged;
+  profile.iterations = eq.iterations;
+  profile.residual = eq.residual;
+  return profile;
+}
+
+EquilibriumProfile to_profile(const SymmetricEquilibrium& eq,
+                              const NetworkParams& params, const Prices& prices,
+                              double budget, int n, EdgeMode mode) {
+  HECMINE_REQUIRE(n >= 1, "to_profile: miner count must be >= 1");
+  EquilibriumProfile profile;
+  profile.miner_count = n;
+  profile.symmetric = true;
+  profile.requests = {eq.request};
+  const double dn = static_cast<double>(n);
+  profile.totals = {dn * eq.request.edge, dn * eq.request.cloud};
+  const MinerEnv env = symmetric_env(params, prices, budget, n, mode,
+                                     eq.request);
+  profile.utilities = {miner_utility(env, eq.request)};
+  profile.surcharge = eq.surcharge;
+  profile.cap_active = eq.cap_active;
+  profile.converged = eq.converged;
+  profile.iterations = eq.iterations;
+  profile.residual = 0.0;
+  return profile;
+}
+
+MinerEquilibrium to_miner_equilibrium(const EquilibriumProfile& profile) {
+  MinerEquilibrium eq;
+  eq.requests = profile.expanded();
+  eq.totals = profile.totals;
+  if (profile.symmetric) {
+    HECMINE_REQUIRE(!profile.utilities.empty(),
+                    "to_miner_equilibrium: empty profile");
+    eq.utilities.assign(static_cast<std::size_t>(profile.miner_count),
+                        profile.utilities.front());
+  } else {
+    eq.utilities = profile.utilities;
+  }
+  eq.surcharge = profile.surcharge;
+  eq.cap_active = profile.cap_active;
+  eq.converged = profile.converged;
+  eq.iterations = profile.iterations;
+  eq.residual = profile.residual;
+  return eq;
+}
+
+SymmetricEquilibrium to_symmetric(const EquilibriumProfile& profile) {
+  HECMINE_REQUIRE(profile.symmetric,
+                  "to_symmetric: profile is not a symmetric solve");
+  HECMINE_REQUIRE(!profile.requests.empty(), "to_symmetric: empty profile");
+  SymmetricEquilibrium eq;
+  eq.request = profile.requests.front();
+  eq.surcharge = profile.surcharge;
+  eq.cap_active = profile.cap_active;
+  eq.converged = profile.converged;
+  eq.iterations = profile.iterations;
+  return eq;
+}
+
+ConnectedNepOracle::ConnectedNepOracle(NetworkParams params,
+                                       std::vector<double> budgets,
+                                       MinerSolveOptions options)
+    : params_(params), budgets_(std::move(budgets)), options_(options) {
+  HECMINE_REQUIRE(!budgets_.empty(), "ConnectedNepOracle: no miners");
+}
+
+EquilibriumProfile ConnectedNepOracle::solve(const Prices& prices) const {
+  return to_profile(solve_connected_nep(params_, prices, budgets_, options_));
+}
+
+std::uint64_t ConnectedNepOracle::env_hash() const {
+  std::uint64_t h = hash_follower_env(params_, options_);
+  h = hash_mix(h, kTagConnectedNep);
+  return mix_budgets(h, budgets_);
+}
+
+int ConnectedNepOracle::miner_count() const {
+  return static_cast<int>(budgets_.size());
+}
+
+StandaloneGnepOracle::StandaloneGnepOracle(NetworkParams params,
+                                           std::vector<double> budgets,
+                                           GnepAlgorithm algorithm,
+                                           MinerSolveOptions options)
+    : params_(params),
+      budgets_(std::move(budgets)),
+      algorithm_(algorithm),
+      options_(options) {
+  HECMINE_REQUIRE(!budgets_.empty(), "StandaloneGnepOracle: no miners");
+}
+
+EquilibriumProfile StandaloneGnepOracle::solve(const Prices& prices) const {
+  const MinerEquilibrium eq =
+      algorithm_ == GnepAlgorithm::kSharedPrice
+          ? solve_standalone_gnep(params_, prices, budgets_, options_)
+          : solve_standalone_gnep_vi(params_, prices, budgets_, options_);
+  return to_profile(eq);
+}
+
+std::uint64_t StandaloneGnepOracle::env_hash() const {
+  std::uint64_t h = hash_follower_env(params_, options_);
+  h = hash_mix(h, algorithm_ == GnepAlgorithm::kSharedPrice
+                      ? kTagGnepSharedPrice
+                      : kTagGnepVi);
+  return mix_budgets(h, budgets_);
+}
+
+int StandaloneGnepOracle::miner_count() const {
+  return static_cast<int>(budgets_.size());
+}
+
+SymmetricFollowerOracle::SymmetricFollowerOracle(NetworkParams params,
+                                                 double budget, int n,
+                                                 EdgeMode mode,
+                                                 MinerSolveOptions options)
+    : params_(params), budget_(budget), n_(n), mode_(mode), options_(options) {
+  HECMINE_REQUIRE(n >= 2, "SymmetricFollowerOracle: n >= 2 required");
+}
+
+EquilibriumProfile SymmetricFollowerOracle::solve(const Prices& prices) const {
+  const SymmetricEquilibrium eq =
+      mode_ == EdgeMode::kConnected
+          ? solve_symmetric_connected(params_, prices, budget_, n_, options_)
+          : solve_symmetric_standalone(params_, prices, budget_, n_, options_);
+  return to_profile(eq, params_, prices, budget_, n_, mode_);
+}
+
+std::uint64_t SymmetricFollowerOracle::env_hash() const {
+  std::uint64_t h = hash_follower_env(params_, options_);
+  h = hash_mix(h, kTagSymmetric);
+  h = hash_mix(h, budget_);
+  h = hash_mix(h, static_cast<std::uint64_t>(n_));
+  h = hash_mix(h, static_cast<std::uint64_t>(mode_ == EdgeMode::kConnected));
+  return h;
+}
+
+CachedFollowerOracle::CachedFollowerOracle(std::unique_ptr<FollowerOracle> inner,
+                                           FollowerEquilibriumCache& cache)
+    : inner_(std::move(inner)), cache_(cache) {
+  HECMINE_REQUIRE(inner_ != nullptr, "CachedFollowerOracle: null inner oracle");
+}
+
+EquilibriumProfile CachedFollowerOracle::solve(const Prices& prices) const {
+  // Solve at the snapped prices so every thread computing this key computes
+  // identical bits (see core/equilibrium_cache.hpp).
+  const Prices snapped = cache_.snap_prices(prices);
+  const FollowerCacheKey key = cache_.make_key(snapped, inner_->env_hash());
+  return cache_.unified(key, [&] { return inner_->solve(snapped); });
+}
+
+std::uint64_t CachedFollowerOracle::env_hash() const {
+  return inner_->env_hash();
+}
+
+int CachedFollowerOracle::miner_count() const { return inner_->miner_count(); }
+
+EdgeMode CachedFollowerOracle::mode() const { return inner_->mode(); }
+
+PopulationExpectationOracle::PopulationExpectationOracle(
+    NetworkParams params, double budget, PopulationModel population,
+    EdgeMode mode, int samples, SolveContext context)
+    : params_(params),
+      budget_(budget),
+      population_(std::move(population)),
+      mode_(mode),
+      samples_(samples),
+      context_(context) {
+  HECMINE_REQUIRE(samples >= 1,
+                  "PopulationExpectationOracle: samples >= 1 required");
+}
+
+EquilibriumProfile PopulationExpectationOracle::solve(
+    const Prices& prices) const {
+  // Draws depend on rng_root alone; the histogram decouples sampling from
+  // solving so the thread schedule can never reorder the accumulation.
+  support::Rng rng(context_.rng_root);
+  std::map<int, int> histogram;
+  for (int s = 0; s < samples_; ++s) {
+    const int count = std::max(2, population_.sample(rng));
+    ++histogram[count];
+  }
+  std::vector<std::pair<int, int>> counts(histogram.begin(), histogram.end());
+
+  const auto solved = support::parallel_map(
+      counts.size(),
+      [&](std::size_t i) {
+        const int n = counts[i].first;
+        const SymmetricEquilibrium eq =
+            mode_ == EdgeMode::kConnected
+                ? solve_symmetric_connected(params_, prices, budget_, n,
+                                            context_.follower)
+                : solve_symmetric_standalone(params_, prices, budget_, n,
+                                             context_.follower);
+        return to_profile(eq, params_, prices, budget_, n, mode_);
+      },
+      context_.threads);
+
+  EquilibriumProfile result;
+  result.symmetric = true;
+  result.converged = true;
+  MinerRequest request;
+  double utility = 0.0;
+  double expected_count = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double weight = static_cast<double>(counts[i].second) /
+                          static_cast<double>(samples_);
+    const EquilibriumProfile& part = solved[i];
+    request.edge += weight * part.requests.front().edge;
+    request.cloud += weight * part.requests.front().cloud;
+    result.totals.edge += weight * part.totals.edge;
+    result.totals.cloud += weight * part.totals.cloud;
+    utility += weight * part.utilities.front();
+    result.surcharge += weight * part.surcharge;
+    result.cap_active = result.cap_active || part.cap_active;
+    result.converged = result.converged && part.converged;
+    result.iterations += part.iterations;
+    expected_count += weight * static_cast<double>(counts[i].first);
+  }
+  result.requests = {request};
+  result.utilities = {utility};
+  result.miner_count =
+      std::max(2, static_cast<int>(std::lround(expected_count)));
+  return result;
+}
+
+std::uint64_t PopulationExpectationOracle::env_hash() const {
+  std::uint64_t h = hash_follower_env(params_, context_.follower);
+  h = hash_mix(h, kTagPopulation);
+  h = hash_mix(h, budget_);
+  h = hash_mix(h, static_cast<std::uint64_t>(mode_ == EdgeMode::kConnected));
+  h = hash_mix(h, static_cast<std::uint64_t>(samples_));
+  h = hash_mix(h, context_.rng_root);
+  h = hash_mix(h, static_cast<std::uint64_t>(population_.min_miners()));
+  h = hash_mix(h, static_cast<std::uint64_t>(population_.max_miners()));
+  for (int k = population_.min_miners(); k <= population_.max_miners(); ++k)
+    h = hash_mix(h, population_.pmf(k));
+  return h;
+}
+
+int PopulationExpectationOracle::miner_count() const {
+  return std::max(2, static_cast<int>(std::lround(population_.mean())));
+}
+
+std::unique_ptr<FollowerOracle> make_follower_oracle(
+    const NetworkParams& params, const std::vector<double>& budgets,
+    EdgeMode mode, const SolveContext& context) {
+  HECMINE_REQUIRE(!budgets.empty(), "make_follower_oracle: no miners");
+  // The symmetric fast path needs a strictly positive budget; degenerate
+  // all-zero pools fall through to the profile oracles, which return the
+  // empty equilibrium instead of rejecting the input.
+  const bool homogeneous =
+      budgets.size() >= 2 && budgets.front() > 0.0 &&
+      std::all_of(budgets.begin(), budgets.end(),
+                  [&](double b) { return b == budgets.front(); });
+  std::unique_ptr<FollowerOracle> oracle;
+  if (homogeneous) {
+    oracle = std::make_unique<SymmetricFollowerOracle>(
+        params, budgets.front(), static_cast<int>(budgets.size()), mode,
+        context.follower);
+  } else if (mode == EdgeMode::kConnected) {
+    oracle =
+        std::make_unique<ConnectedNepOracle>(params, budgets, context.follower);
+  } else {
+    oracle = std::make_unique<StandaloneGnepOracle>(
+        params, budgets, GnepAlgorithm::kSharedPrice, context.follower);
+  }
+  if (context.cache != nullptr)
+    oracle = std::make_unique<CachedFollowerOracle>(std::move(oracle),
+                                                    *context.cache);
+  return oracle;
+}
+
+std::unique_ptr<FollowerOracle> make_follower_oracle(const Scenario& scenario,
+                                                     const SolveContext& context,
+                                                     int population_samples) {
+  if (scenario.population.has_value()) {
+    HECMINE_REQUIRE(scenario.homogeneous(),
+                    "make_follower_oracle: population scenarios need "
+                    "homogeneous budgets");
+    HECMINE_REQUIRE(!scenario.budgets.empty(),
+                    "make_follower_oracle: no miners");
+    // Sec. V dynamics: the edge success of the dynamic game replaces the
+    // static h (matches fixed_population_benchmark in core/dynamic.cpp).
+    NetworkParams params = scenario.params;
+    if (scenario.mode == EdgeMode::kConnected)
+      params.edge_success = scenario.edge_success_dynamic;
+    std::unique_ptr<FollowerOracle> oracle =
+        std::make_unique<PopulationExpectationOracle>(
+            params, scenario.budgets.front(), *scenario.population,
+            scenario.mode, population_samples, context);
+    if (context.cache != nullptr)
+      oracle = std::make_unique<CachedFollowerOracle>(std::move(oracle),
+                                                      *context.cache);
+    return oracle;
+  }
+  return make_follower_oracle(scenario.params, scenario.budgets, scenario.mode,
+                              context);
+}
+
+EquilibriumProfile solve_followers(const NetworkParams& params,
+                                   const Prices& prices,
+                                   const std::vector<double>& budgets,
+                                   EdgeMode mode, const SolveContext& context) {
+  return make_follower_oracle(params, budgets, mode, context)->solve(prices);
+}
+
+EquilibriumProfile solve_followers_symmetric(const NetworkParams& params,
+                                             const Prices& prices,
+                                             double budget, int n,
+                                             EdgeMode mode,
+                                             const SolveContext& context) {
+  std::unique_ptr<FollowerOracle> oracle =
+      std::make_unique<SymmetricFollowerOracle>(params, budget, n, mode,
+                                                context.follower);
+  if (context.cache != nullptr)
+    oracle = std::make_unique<CachedFollowerOracle>(std::move(oracle),
+                                                    *context.cache);
+  return oracle->solve(prices);
+}
+
+double miner_exploitability(const NetworkParams& params, const Prices& prices,
+                            const std::vector<double>& budgets,
+                            const EquilibriumProfile& profile, EdgeMode mode) {
+  const auto n = static_cast<std::size_t>(profile.miner_count);
+  std::vector<double> per_miner;
+  if (profile.symmetric && budgets.size() == 1) {
+    per_miner.assign(n, budgets.front());
+  } else {
+    HECMINE_REQUIRE(budgets.size() == n,
+                    "miner_exploitability: profile/budget size mismatch");
+    per_miner = budgets;
+  }
+  return miner_exploitability(params, prices, per_miner, profile.expanded(),
+                              mode == EdgeMode::kConnected, profile.surcharge);
+}
+
+}  // namespace hecmine::core

@@ -95,10 +95,8 @@ PriceSensitivity sp_price_sensitivity(const NetworkParams& params,
                   "sp_price_sensitivity: step larger than the cost");
   NetworkParams hi = params;
   hi.cost_edge = params.cost_edge + step;
-  const auto eq_lo =
-      solve_sp_equilibrium_homogeneous(lo, budget, n, mode, options);
-  const auto eq_hi =
-      solve_sp_equilibrium_homogeneous(hi, budget, n, mode, options);
+  const auto eq_lo = solve_leader_stage_homogeneous(lo, budget, n, mode, options);
+  const auto eq_hi = solve_leader_stage_homogeneous(hi, budget, n, mode, options);
   PriceSensitivity s;
   s.dpe_dcost_edge = (eq_hi.prices.edge - eq_lo.prices.edge) / (2.0 * step);
   s.dpc_dcost_edge = (eq_hi.prices.cloud - eq_lo.prices.cloud) / (2.0 * step);

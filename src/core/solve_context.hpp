@@ -1,0 +1,56 @@
+// Shared solver context: the "who owns the knobs" half of the
+// FollowerOracle layer (core/oracle.hpp).
+//
+// Before this header existed the thread count and the follower cache were
+// duplicated across MinerSolveOptions / SpSolveOptions / StackelbergOptions
+// and every new consumer re-plumbed them by hand. A SolveContext owns those
+// resources exactly once:
+//
+//   * threads  — fan-out for price scans / Monte-Carlo blocks (0 = auto via
+//                HECMINE_THREADS else hardware concurrency, 1 = serial);
+//                results are bitwise identical for every setting,
+//   * cache    — optional follower-equilibrium memoizer (not owned; may be
+//                shared across solves and threads),
+//   * rng_root — substream root seed for Monte-Carlo decorators (e.g. the
+//                population-expectation oracle),
+//   * follower — tolerances of the embedded miner solves.
+//
+// The struct is header-only and intentionally tiny so that layers below
+// core (game/) can embed one without linking against core.
+#pragma once
+
+#include <cstdint>
+
+namespace hecmine::core {
+
+class FollowerEquilibriumCache;  // core/equilibrium_cache.hpp
+
+/// Options for the follower-stage solvers.
+struct MinerSolveOptions {
+  double damping = 0.5;       ///< best-response damping (1 = undamped)
+  double tolerance = 1e-9;    ///< profile max-norm change at convergence
+  int max_iterations = 4000;
+  double vi_tolerance = 1e-8; ///< natural-residual target of the VI solver
+
+  /// Member-wise equality; lets option merging detect "still the default"
+  /// (see the deprecated shims in SpSolveOptions).
+  friend bool operator==(const MinerSolveOptions&,
+                         const MinerSolveOptions&) = default;
+};
+
+/// One bundle of cross-cutting solver resources, passed down every layer
+/// that embeds follower solves (leader stage, dynamic population, RL
+/// references, sweeps). Copyable; the cache pointer is shared, not owned.
+struct SolveContext {
+  /// Concurrent payoff/follower evaluations (0 = auto, 1 = serial).
+  int threads = 0;
+  /// Optional memoizer; when set, oracles snap prices to the cache quantum
+  /// before solving so parallel runs stay bitwise equal to serial runs.
+  FollowerEquilibriumCache* cache = nullptr;
+  /// Root seed for Rng substreams drawn by Monte-Carlo decorators.
+  std::uint64_t rng_root = 0x9e3779b97f4a7c15ULL;
+  /// Tolerances of the embedded miner solves.
+  MinerSolveOptions follower;
+};
+
+}  // namespace hecmine::core

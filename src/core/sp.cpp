@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdint>
+#include <memory>
 
 #include "core/equilibrium_cache.hpp"
 #include "game/stackelberg.hpp"
@@ -11,6 +11,14 @@
 #include "support/error.hpp"
 
 namespace hecmine::core {
+
+SolveContext SpSolveOptions::resolved_context() const {
+  SolveContext resolved = context;
+  if (!(follower == MinerSolveOptions{})) resolved.follower = follower;
+  if (threads != 0) resolved.threads = threads;
+  if (cache != nullptr) resolved.cache = cache;
+  return resolved;
+}
 
 SpProfits sp_profits(const NetworkParams& params, const Prices& prices,
                      const Totals& totals) {
@@ -46,114 +54,154 @@ PriceBox price_box(const NetworkParams& params, const SpSolveOptions& options) {
   return box;
 }
 
-/// Non-price identity of a symmetric follower solve, for cache keys.
-std::uint64_t symmetric_env_hash(const NetworkParams& params,
-                                 const MinerSolveOptions& options,
-                                 double budget, int n, EdgeMode mode) {
-  std::uint64_t h = hash_follower_env(params, options);
-  h = hash_mix(h, budget);
-  h = hash_mix(h, static_cast<std::uint64_t>(n));
-  h = hash_mix(h, static_cast<std::uint64_t>(mode));
-  return h;
+std::unique_ptr<FollowerOracle> with_cache(std::unique_ptr<FollowerOracle> oracle,
+                                           FollowerEquilibriumCache* cache) {
+  if (cache == nullptr) return oracle;
+  return std::make_unique<CachedFollowerOracle>(std::move(oracle), *cache);
 }
 
-/// Symmetric follower equilibrium, memoized through options.cache when one
-/// is supplied (the solve then runs at the cache-snapped prices, so every
-/// thread computing a key computes the identical value).
-SymmetricEquilibrium cached_symmetric(const NetworkParams& params,
-                                      const Prices& prices, double budget,
-                                      int n, EdgeMode mode,
-                                      const MinerSolveOptions& follower,
-                                      FollowerEquilibriumCache* cache) {
-  const auto solve_at = [&](const Prices& at) {
-    return mode == EdgeMode::kConnected
-               ? solve_symmetric_connected(params, at, budget, n, follower)
-               : solve_symmetric_standalone(params, at, budget, n, follower);
-  };
-  if (cache == nullptr) return solve_at(prices);
-  const Prices snapped = cache->snap_prices(prices);
-  const auto key = cache->make_key(
-      prices, symmetric_env_hash(params, follower, budget, n, mode));
-  return cache->symmetric(key, [&] { return solve_at(snapped); });
+/// Symmetric fast-path oracle for n identical miners. `scan` caps the inner
+/// iteration budget: closed forms handle the common price regions
+/// instantly, and an approximate demand in an exotic price corner is fine
+/// for locating the leader optimum; the finishing solve runs uncapped.
+std::unique_ptr<FollowerOracle> homogeneous_oracle(const NetworkParams& params,
+                                                   double budget, int n,
+                                                   EdgeMode mode,
+                                                   const SolveContext& context,
+                                                   bool scan) {
+  MinerSolveOptions follower = context.follower;
+  if (scan) follower.max_iterations = std::min(follower.max_iterations, 600);
+  return with_cache(std::make_unique<SymmetricFollowerOracle>(params, budget, n,
+                                                              mode, follower),
+                    context.cache);
 }
 
-/// Follower totals under homogeneous miners at the given prices. Scan
-/// probes cap the inner iteration budget: closed forms handle the common
-/// regions instantly, and an approximate demand in an exotic price corner
-/// is fine for locating the leader optimum.
-Totals homogeneous_totals(const NetworkParams& params, const Prices& prices,
-                          double budget, int n, EdgeMode mode,
-                          const SpSolveOptions& options) {
-  MinerSolveOptions scan_options = options.follower;
-  scan_options.max_iterations = std::min(scan_options.max_iterations, 600);
-  const SymmetricEquilibrium eq = cached_symmetric(
-      params, prices, budget, n, mode, scan_options, options.cache);
-  Totals totals;
-  totals.edge = static_cast<double>(n) * eq.request.edge;
-  totals.cloud = static_cast<double>(n) * eq.request.cloud;
-  return totals;
+/// Full-profile follower oracle (NEP / shared-price GNEP) for arbitrary
+/// budgets.
+std::unique_ptr<FollowerOracle> profile_oracle(
+    const NetworkParams& params, const std::vector<double>& budgets,
+    EdgeMode mode, const SolveContext& context) {
+  std::unique_ptr<FollowerOracle> oracle;
+  if (mode == EdgeMode::kConnected) {
+    oracle = std::make_unique<ConnectedNepOracle>(params, budgets,
+                                                  context.follower);
+  } else {
+    oracle = std::make_unique<StandaloneGnepOracle>(
+        params, budgets, GnepAlgorithm::kSharedPrice, context.follower);
+  }
+  return with_cache(std::move(oracle), context.cache);
 }
 
-}  // namespace
-
-namespace {
-
-/// Finishes a homogeneous result from final prices.
-HomogeneousStackelbergResult finish_homogeneous(
-    const NetworkParams& params, double budget, int n, EdgeMode mode,
-    const SpSolveOptions& options, const Prices& prices) {
-  HomogeneousStackelbergResult result;
+/// Finishes a leader-stage result from final prices with the given
+/// (uncapped) follower oracle.
+LeaderStageResult finish_leader_stage(const NetworkParams& params,
+                                      const FollowerOracle& oracle,
+                                      const Prices& prices) {
+  LeaderStageResult result;
   result.prices = prices;
-  result.follower = cached_symmetric(params, prices, budget, n, mode,
-                                     options.follower, options.cache);
-  Totals totals;
-  totals.edge = static_cast<double>(n) * result.follower.request.edge;
-  totals.cloud = static_cast<double>(n) * result.follower.request.cloud;
-  result.profits = sp_profits(params, prices, totals);
+  result.followers = oracle.solve(prices);
+  result.profits = sp_profits(params, prices, result.followers.totals);
+  return result;
+}
+
+/// Shared Algorithm 1/2 driver: asynchronous leader best response over
+/// prices with the scan-time follower oracle embedded in the payoff.
+game::StackelbergResult run_leader_best_response(const NetworkParams& params,
+                                                 const FollowerOracle& oracle,
+                                                 const PriceBox& box,
+                                                 const SpSolveOptions& options,
+                                                 const SolveContext& context) {
+  const game::LeaderPayoffFn payoff = [&](const std::vector<double>& actions,
+                                          std::size_t leader) {
+    const Prices prices{actions[0], actions[1]};
+    const SpProfits profits =
+        sp_profits(params, prices, oracle.solve(prices).totals);
+    return leader == 0 ? profits.edge : profits.cloud;
+  };
+  game::StackelbergOptions driver;
+  driver.tolerance = options.tolerance;
+  driver.max_rounds = options.max_rounds;
+  driver.grid_points = options.grid_points;
+  driver.context = context;
+  const std::vector<double> start{
+      std::min(box.edge.hi, 2.0 * params.cost_edge + 1.0),
+      std::min(box.cloud.hi, 2.0 * params.cost_cloud + 0.5)};
+  return game::solve_stackelberg(payoff, start, {box.edge, box.cloud}, driver);
+}
+
+/// Oracle-generic Theorem 4 construction: compute the CSP's numeric
+/// reaction curve P_c*(P_e) against the given follower oracle, substitute
+/// it into V_e and maximize the one-dimensional composite. Mirrors
+/// solve_leader_stage_sequential (which keeps the cheaper homogeneous
+/// reaction solver) for arbitrary oracles; solve_leader_stage uses it as
+/// the cycle fallback of the full-profile path.
+LeaderStageResult sequential_with_oracle(const NetworkParams& params,
+                                         const FollowerOracle& oracle,
+                                         const PriceBox& box,
+                                         const SpSolveOptions& options,
+                                         const SolveContext& context) {
+  num::Maximize1DOptions reaction;
+  reaction.grid_points = options.grid_points;
+  reaction.tolerance = 1e-8;
+  const auto csp_reaction = [&](double price_edge) {
+    const auto objective = [&](double price_cloud) {
+      const Prices prices{price_edge, price_cloud};
+      return sp_profits(params, prices, oracle.solve(prices).totals).cloud;
+    };
+    return num::maximize_scan(objective, box.cloud.lo, box.cloud.hi, reaction)
+        .argmax;
+  };
+  num::Maximize1DOptions scan;
+  scan.grid_points = std::max(4 * options.grid_points, 160);
+  scan.tolerance = 1e-7;
+  // Each composite point runs a full reaction scan (serial inside), so the
+  // outer scan is the stage to fan out.
+  const auto composite = [&](double price_edge) {
+    const Prices prices{price_edge, csp_reaction(price_edge)};
+    return sp_profits(params, prices, oracle.solve(prices).totals).edge;
+  };
+  const auto best = num::maximize_scan_parallel(composite, box.edge.lo,
+                                                box.edge.hi, scan,
+                                                context.threads);
+  Prices prices;
+  prices.edge = best.argmax;
+  prices.cloud = csp_reaction(prices.edge);
+  auto result = finish_leader_stage(params, oracle, prices);
+  result.method = SpSolveMethod::kSequential;
+  result.converged = true;
+  result.rounds = 1;
   return result;
 }
 
 }  // namespace
 
-HomogeneousStackelbergResult solve_sp_equilibrium_homogeneous(
-    const NetworkParams& params, double budget, int n, EdgeMode mode,
-    const SpSolveOptions& options) {
+LeaderStageResult solve_leader_stage_homogeneous(const NetworkParams& params,
+                                                 double budget, int n,
+                                                 EdgeMode mode,
+                                                 const SpSolveOptions& options) {
   params.validate();
   HECMINE_REQUIRE(budget > 0.0, "SP solve: budget must be positive");
   HECMINE_REQUIRE(n >= 2, "SP solve: n >= 2 required");
+  const SolveContext context = options.resolved_context();
   const PriceBox box = price_box(params, options);
-
-  const game::LeaderPayoffFn payoff = [&](const std::vector<double>& actions,
-                                          std::size_t leader) {
-    const Prices prices{actions[0], actions[1]};
-    const Totals totals =
-        homogeneous_totals(params, prices, budget, n, mode, options);
-    const SpProfits profits = sp_profits(params, prices, totals);
-    return leader == 0 ? profits.edge : profits.cloud;
-  };
-
-  game::StackelbergOptions driver;
-  driver.tolerance = options.tolerance;
-  driver.max_rounds = options.max_rounds;
-  driver.grid_points = options.grid_points;
-  driver.threads = options.threads;
-  const std::vector<double> start{
-      std::min(box.edge.hi, 2.0 * params.cost_edge + 1.0),
-      std::min(box.cloud.hi, 2.0 * params.cost_cloud + 0.5)};
+  const auto scan = homogeneous_oracle(params, budget, n, mode, context, true);
   const auto leader =
-      game::solve_stackelberg(payoff, start, {box.edge, box.cloud}, driver);
+      run_leader_best_response(params, *scan, box, options, context);
 
-  if (leader.converged) {
-    auto result = finish_homogeneous(params, budget, n, mode, options,
-                                     {leader.actions[0], leader.actions[1]});
+  if (leader.converged || !options.sequential_fallback) {
+    const auto full =
+        homogeneous_oracle(params, budget, n, mode, context, false);
+    auto result = finish_leader_stage(params, *full,
+                                      {leader.actions[0], leader.actions[1]});
     result.method = SpSolveMethod::kBestResponse;
-    result.converged = true;
+    result.converged = leader.converged;
     result.rounds = leader.rounds;
     return result;
   }
   // The simultaneous price game cycles (no pure NE): fall back to the
   // sequential construction that Theorem 4 analyzes.
-  auto result = solve_sp_sequential_homogeneous(params, budget, n, mode, options);
+  auto result =
+      solve_leader_stage_sequential(params, budget, n, mode, options);
   result.rounds += leader.rounds;
   return result;
 }
@@ -163,24 +211,30 @@ double csp_reaction_homogeneous(const NetworkParams& params, double budget,
                                 const SpSolveOptions& options) {
   params.validate();
   HECMINE_REQUIRE(price_edge > 0.0, "csp_reaction: price_edge must be > 0");
+  const SolveContext context = options.resolved_context();
   const PriceBox box = price_box(params, options);
-  num::Maximize1DOptions scan;
-  scan.grid_points = options.grid_points;
-  scan.tolerance = 1e-8;
+  const auto scan = homogeneous_oracle(params, budget, n, mode, context, true);
+  num::Maximize1DOptions scan_options;
+  scan_options.grid_points = options.grid_points;
+  scan_options.tolerance = 1e-8;
   const auto objective = [&](double price_cloud) {
     const Prices prices{price_edge, price_cloud};
-    const Totals totals =
-        homogeneous_totals(params, prices, budget, n, mode, options);
-    return sp_profits(params, prices, totals).cloud;
+    return sp_profits(params, prices, scan->solve(prices).totals).cloud;
   };
-  return num::maximize_scan(objective, box.cloud.lo, box.cloud.hi, scan).argmax;
+  return num::maximize_scan(objective, box.cloud.lo, box.cloud.hi,
+                            scan_options)
+      .argmax;
 }
 
-HomogeneousStackelbergResult solve_sp_sequential_homogeneous(
-    const NetworkParams& params, double budget, int n, EdgeMode mode,
-    const SpSolveOptions& options) {
+LeaderStageResult solve_leader_stage_sequential(const NetworkParams& params,
+                                                double budget, int n,
+                                                EdgeMode mode,
+                                                const SpSolveOptions& options) {
   params.validate();
+  const SolveContext context = options.resolved_context();
   const PriceBox box = price_box(params, options);
+  const auto scan_oracle =
+      homogeneous_oracle(params, budget, n, mode, context, true);
   num::Maximize1DOptions scan;
   // The composite objective can carry a narrow spike at the capacity
   // sell-out price (the ESP's optimum sits just below the point where the
@@ -196,43 +250,45 @@ HomogeneousStackelbergResult solve_sp_sequential_homogeneous(
     const double price_cloud =
         csp_reaction_homogeneous(params, budget, n, mode, price_edge, options);
     const Prices prices{price_edge, price_cloud};
-    const Totals totals =
-        homogeneous_totals(params, prices, budget, n, mode, options);
-    return sp_profits(params, prices, totals).edge;
+    return sp_profits(params, prices, scan_oracle->solve(prices).totals).edge;
   };
   const auto best = num::maximize_scan_parallel(composite, box.edge.lo,
                                                 box.edge.hi, scan,
-                                                options.threads);
+                                                context.threads);
 
   Prices prices;
   prices.edge = best.argmax;
   prices.cloud =
       csp_reaction_homogeneous(params, budget, n, mode, prices.edge, options);
-  auto result = finish_homogeneous(params, budget, n, mode, options, prices);
+  const auto full = homogeneous_oracle(params, budget, n, mode, context, false);
+  auto result = finish_leader_stage(params, *full, prices);
   result.method = SpSolveMethod::kSequential;
   result.converged = true;
   result.rounds = 1;
   return result;
 }
 
-HomogeneousStackelbergResult solve_sp_standalone_sellout(
-    const NetworkParams& params, double budget, int n,
-    const SpSolveOptions& options) {
+LeaderStageResult solve_leader_stage_sellout(const NetworkParams& params,
+                                             double budget, int n,
+                                             const SpSolveOptions& options) {
   params.validate();
   HECMINE_REQUIRE(budget > 0.0, "SP solve: budget must be positive");
   HECMINE_REQUIRE(n >= 2, "SP solve: n >= 2 required");
+  const SolveContext context = options.resolved_context();
   const PriceBox box = price_box(params, options);
 
   // Unconstrained (cap-free) standalone edge demand at the given prices:
-  // the h = 1 connected game.
+  // the h = 1 connected game, through an uncached scan oracle (root-find
+  // probes rarely repeat a price, so caching would only churn the LRU).
   NetworkParams uncapped = params;
   uncapped.edge_success = 1.0;
+  SolveContext uncached = context;
+  uncached.cache = nullptr;
+  const auto demand_oracle = homogeneous_oracle(uncapped, budget, n,
+                                                EdgeMode::kConnected, uncached,
+                                                true);
   const auto edge_demand = [&](const Prices& prices) {
-    MinerSolveOptions fast = options.follower;
-    fast.max_iterations = std::min(fast.max_iterations, 600);
-    const auto eq =
-        solve_symmetric_connected(uncapped, prices, budget, n, fast);
-    return static_cast<double>(n) * eq.request.edge;
+    return demand_oracle->solve(prices).totals.edge;
   };
 
   // Sell-out price: demand is decreasing in P_e; find the crossing with
@@ -249,93 +305,126 @@ HomogeneousStackelbergResult solve_sp_standalone_sellout(
   };
 
   // CSP profit under the sell-out constraint.
+  const auto scan_oracle = homogeneous_oracle(
+      params, budget, n, EdgeMode::kStandalone, context, true);
   num::Maximize1DOptions scan;
   scan.grid_points = options.grid_points;
   scan.tolerance = 1e-7;
   const auto csp_profit = [&](double price_cloud) {
     const Prices prices{sellout_price(price_cloud), price_cloud};
-    MinerSolveOptions fast = options.follower;
-    fast.max_iterations = std::min(fast.max_iterations, 600);
-    const auto eq = cached_symmetric(params, prices, budget, n,
-                                     EdgeMode::kStandalone, fast,
-                                     options.cache);
-    return (price_cloud - params.cost_cloud) * static_cast<double>(n) *
-           eq.request.cloud;
+    const EquilibriumProfile eq = scan_oracle->solve(prices);
+    return (price_cloud - params.cost_cloud) * eq.totals.cloud;
   };
   // Each point runs a sell-out root-find plus a GNEP solve; independent
   // across the scan, so fan out like the sequential composite above.
   const auto best_cloud = num::maximize_scan_parallel(
-      csp_profit, box.cloud.lo, box.cloud.hi, scan, options.threads);
+      csp_profit, box.cloud.lo, box.cloud.hi, scan, context.threads);
 
   Prices prices;
   prices.cloud = best_cloud.argmax;
   prices.edge = sellout_price(prices.cloud);
-  auto result = finish_homogeneous(params, budget, n, EdgeMode::kStandalone,
-                                   options, prices);
+  const auto full = homogeneous_oracle(params, budget, n,
+                                       EdgeMode::kStandalone, context, false);
+  auto result = finish_leader_stage(params, *full, prices);
   result.method = SpSolveMethod::kSequential;
   result.converged = true;
   result.rounds = 1;
-  if (static_cast<double>(n) * result.follower.request.edge <
-      params.edge_capacity * (1.0 - 0.05)) {
+  if (result.followers.totals.edge < params.edge_capacity * (1.0 - 0.05)) {
     throw support::ConvergenceError(
-        "solve_sp_standalone_sellout: capacity is not scarce at the "
+        "solve_leader_stage_sellout: capacity is not scarce at the "
         "computed prices; the sell-out equilibrium of Problem 2c does not "
         "apply");
   }
   return result;
 }
 
+LeaderStageResult solve_leader_stage(const NetworkParams& params,
+                                     const std::vector<double>& budgets,
+                                     EdgeMode mode,
+                                     const SpSolveOptions& options) {
+  params.validate();
+  HECMINE_REQUIRE(!budgets.empty(), "SP solve: no miners");
+  const bool homogeneous =
+      !options.force_profile_oracle && budgets.size() >= 2 &&
+      budgets.front() > 0.0 &&
+      std::all_of(budgets.begin(), budgets.end(),
+                  [&](double b) { return b == budgets.front(); });
+  if (homogeneous) {
+    // Symmetric fast path: identical budgets make the follower stage an
+    // n-fold copy of one miner, so the O(n) symmetric oracle applies.
+    return solve_leader_stage_homogeneous(params, budgets.front(),
+                                          static_cast<int>(budgets.size()),
+                                          mode, options);
+  }
+  const SolveContext context = options.resolved_context();
+  const PriceBox box = price_box(params, options);
+  const auto oracle = profile_oracle(params, budgets, mode, context);
+  const auto leader =
+      run_leader_best_response(params, *oracle, box, options, context);
+  if (leader.converged || !options.sequential_fallback) {
+    auto result = finish_leader_stage(params, *oracle,
+                                      {leader.actions[0], leader.actions[1]});
+    result.method = SpSolveMethod::kBestResponse;
+    result.converged = leader.converged;
+    result.rounds = leader.rounds;
+    return result;
+  }
+  // Same cycle fallback as the homogeneous path (Theorem 4's sequential
+  // construction), so auto-dispatch never changes the equilibrium concept.
+  auto result = sequential_with_oracle(params, *oracle, box, options, context);
+  result.rounds += leader.rounds;
+  return result;
+}
+
+// --- deprecated shims ------------------------------------------------------
+
+namespace {
+
+HomogeneousStackelbergResult to_homogeneous(const LeaderStageResult& result) {
+  HomogeneousStackelbergResult legacy;
+  legacy.prices = result.prices;
+  legacy.profits = result.profits;
+  legacy.follower = to_symmetric(result.followers);
+  legacy.method = result.method;
+  legacy.converged = result.converged;
+  legacy.rounds = result.rounds;
+  return legacy;
+}
+
+}  // namespace
+
+HomogeneousStackelbergResult solve_sp_equilibrium_homogeneous(
+    const NetworkParams& params, double budget, int n, EdgeMode mode,
+    const SpSolveOptions& options) {
+  return to_homogeneous(
+      solve_leader_stage_homogeneous(params, budget, n, mode, options));
+}
+
+HomogeneousStackelbergResult solve_sp_sequential_homogeneous(
+    const NetworkParams& params, double budget, int n, EdgeMode mode,
+    const SpSolveOptions& options) {
+  return to_homogeneous(
+      solve_leader_stage_sequential(params, budget, n, mode, options));
+}
+
+HomogeneousStackelbergResult solve_sp_standalone_sellout(
+    const NetworkParams& params, double budget, int n,
+    const SpSolveOptions& options) {
+  return to_homogeneous(solve_leader_stage_sellout(params, budget, n, options));
+}
+
 StackelbergEquilibriumResult solve_sp_equilibrium(
     const NetworkParams& params, const std::vector<double>& budgets,
     EdgeMode mode, const SpSolveOptions& options) {
-  params.validate();
-  HECMINE_REQUIRE(!budgets.empty(), "SP solve: no miners");
-  const PriceBox box = price_box(params, options);
-
-  std::uint64_t profile_env = 0;
-  if (options.cache != nullptr) {
-    profile_env = symmetric_env_hash(params, options.follower, 0.0,
-                                     static_cast<int>(budgets.size()), mode);
-    for (const double budget : budgets) profile_env = hash_mix(profile_env, budget);
-  }
-  const auto follower_profile = [&](const Prices& prices) {
-    const auto solve_at = [&](const Prices& at) {
-      return mode == EdgeMode::kConnected
-                 ? solve_connected_nep(params, at, budgets, options.follower)
-                 : solve_standalone_gnep(params, at, budgets,
-                                         options.follower);
-    };
-    if (options.cache == nullptr) return solve_at(prices);
-    const Prices snapped = options.cache->snap_prices(prices);
-    return options.cache->profile(options.cache->make_key(prices, profile_env),
-                                  [&] { return solve_at(snapped); });
-  };
-  const game::LeaderPayoffFn payoff = [&](const std::vector<double>& actions,
-                                          std::size_t leader) {
-    const Prices prices{actions[0], actions[1]};
-    const SpProfits profits =
-        sp_profits(params, prices, follower_profile(prices).totals);
-    return leader == 0 ? profits.edge : profits.cloud;
-  };
-
-  game::StackelbergOptions driver;
-  driver.tolerance = options.tolerance;
-  driver.max_rounds = options.max_rounds;
-  driver.grid_points = options.grid_points;
-  driver.threads = options.threads;
-  const std::vector<double> start{
-      std::min(box.edge.hi, 2.0 * params.cost_edge + 1.0),
-      std::min(box.cloud.hi, 2.0 * params.cost_cloud + 0.5)};
-  const auto leader =
-      game::solve_stackelberg(payoff, start, {box.edge, box.cloud}, driver);
-
-  StackelbergEquilibriumResult result;
-  result.prices = {leader.actions[0], leader.actions[1]};
-  result.followers = follower_profile(result.prices);
-  result.profits = sp_profits(params, result.prices, result.followers.totals);
-  result.converged = leader.converged;
-  result.rounds = leader.rounds;
-  return result;
+  const LeaderStageResult result =
+      solve_leader_stage(params, budgets, mode, options);
+  StackelbergEquilibriumResult legacy;
+  legacy.prices = result.prices;
+  legacy.profits = result.profits;
+  legacy.followers = to_miner_equilibrium(result.followers);
+  legacy.converged = result.converged;
+  legacy.rounds = result.rounds;
+  return legacy;
 }
 
 }  // namespace hecmine::core

@@ -2,26 +2,29 @@
 // (paper Problems 2/2a/2b/2c, Algorithms 1 and 2, Theorem 4).
 //
 // Each SP picks its unit price anticipating the follower-stage equilibrium;
-// we embed the miner solvers of core/equilibrium.hpp in the leader payoff
-// and run asynchronous best-response over prices (Algorithm 1; with the
-// standalone follower oracle this is exactly Algorithm 2's price
-// bargaining). A sequential variant reproduces the structure of Theorem 4:
-// the CSP's reaction curve P_c*(P_e) is computed first and the ESP
-// maximizes over it.
+// the follower stage is a FollowerOracle (core/oracle.hpp) embedded in the
+// leader payoff, and the leader iteration is asynchronous best-response
+// over prices (Algorithm 1; with the standalone oracle this is exactly
+// Algorithm 2's price bargaining). A sequential variant reproduces the
+// structure of Theorem 4: the CSP's reaction curve P_c*(P_e) is computed
+// first and the ESP maximizes over it.
+//
+// All entry points return one unified LeaderStageResult; the former
+// HomogeneousStackelbergResult / StackelbergEquilibriumResult split
+// survives only as deprecated shims at the bottom of this header.
 #pragma once
 
 #include <vector>
 
 #include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/params.hpp"
+#include "core/solve_context.hpp"
 #include "core/types.hpp"
 
 namespace hecmine::core {
 
 class FollowerEquilibriumCache;  // core/equilibrium_cache.hpp
-
-/// Edge operation mode (Sec. II-A).
-enum class EdgeMode { kConnected, kStandalone };
 
 /// SP profits V_e = (P_e - C_e) E and V_c = (P_c - C_c) C (Eq. 2).
 struct SpProfits {
@@ -39,16 +42,32 @@ struct SpSolveOptions {
   int grid_points = 40;        ///< 1-D scan resolution per price update
   double tolerance = 1e-5;     ///< max price change per round at convergence
   int max_rounds = 60;
-  MinerSolveOptions follower;  ///< options for the embedded miner solves
-  /// Concurrent follower solves per price scan (0 = auto via
-  /// HECMINE_THREADS / hardware concurrency, 1 = serial). Bitwise
-  /// deterministic for every setting.
+  /// Shared solver resources: thread fan-out, follower cache, RNG root and
+  /// the embedded miner-solve tolerances, owned once (core/solve_context.hpp).
+  SolveContext context;
+  /// Test hook: force the full-profile oracle even when every budget is
+  /// equal (solve_leader_stage normally auto-dispatches the symmetric fast
+  /// path; parity tests pin both paths against each other).
+  bool force_profile_oracle = false;
+  /// When the asynchronous price best response cycles (the simultaneous
+  /// leader game can lack a pure NE — exactly the case Theorem 4
+  /// analyzes), fall back to the sequential leader construction instead of
+  /// returning the non-converged last iterate. On for every caller that
+  /// wants an answer; benches measuring the raw scan turn it off.
+  bool sequential_fallback = true;
+
+  // --- deprecated shims (kept for one release) -----------------------------
+  /// Deprecated: use context.follower. A non-default value wins over the
+  /// context when resolving.
+  MinerSolveOptions follower;
+  /// Deprecated: use context.threads. Non-zero wins over the context.
   int threads = 0;
-  /// Optional memoizer for the embedded follower solves; when set, prices
-  /// are snapped to the cache's quantum before solving (see
-  /// core/equilibrium_cache.hpp). Not owned; may be shared across solves
-  /// and threads.
+  /// Deprecated: use context.cache. Non-null wins over the context.
   FollowerEquilibriumCache* cache = nullptr;
+
+  /// The context actually used by the solvers: `context` with any
+  /// deprecated field that was explicitly set merged on top.
+  [[nodiscard]] SolveContext resolved_context() const;
 };
 
 /// How the leader-stage solution was obtained.
@@ -57,11 +76,13 @@ enum class SpSolveMethod {
   kSequential,    ///< Theorem 4's leader-anticipates-reaction construction
 };
 
-/// Stackelberg equilibrium of the homogeneous-miner game.
-struct HomogeneousStackelbergResult {
-  Prices prices;                 ///< leader prices (P_e*, P_c*)
-  SpProfits profits;             ///< V_e*, V_c*
-  SymmetricEquilibrium follower; ///< per-miner NE request at those prices
+/// Unified leader-stage result: prices, profits, the follower equilibrium
+/// as an EquilibriumProfile (symmetric or full-profile shape, depending on
+/// which oracle the solve dispatched to), and solve metadata.
+struct LeaderStageResult {
+  Prices prices;                ///< leader prices (P_e*, P_c*)
+  SpProfits profits;            ///< V_e*, V_c*
+  EquilibriumProfile followers; ///< follower equilibrium at those prices
   SpSolveMethod method = SpSolveMethod::kBestResponse;
   bool converged = false;
   int rounds = 0;
@@ -71,10 +92,10 @@ struct HomogeneousStackelbergResult {
 /// (connected) / Algorithm 2 (standalone) asynchronous price best response
 /// first; when that cycles — the simultaneous-move leader game can lack a
 /// pure NE exactly as Theorem 4 anticipates — it falls back to the
-/// sequential construction of solve_sp_sequential_homogeneous and reports
-/// method = kSequential. The follower stage is solved by the symmetric
-/// fixed point, making price sweeps cheap.
-[[nodiscard]] HomogeneousStackelbergResult solve_sp_equilibrium_homogeneous(
+/// sequential construction of solve_leader_stage_sequential and reports
+/// method = kSequential. The follower stage is the symmetric fast-path
+/// oracle, making price sweeps cheap.
+[[nodiscard]] LeaderStageResult solve_leader_stage_homogeneous(
     const NetworkParams& params, double budget, int n, EdgeMode mode,
     const SpSolveOptions& options = {});
 
@@ -86,7 +107,7 @@ struct HomogeneousStackelbergResult {
 
 /// Sequential solve reproducing Theorem 4: substitute the CSP reaction
 /// curve into V_e and maximize the one-dimensional composite over P_e.
-[[nodiscard]] HomogeneousStackelbergResult solve_sp_sequential_homogeneous(
+[[nodiscard]] LeaderStageResult solve_leader_stage_sequential(
     const NetworkParams& params, double budget, int n, EdgeMode mode,
     const SpSolveOptions& options = {});
 
@@ -96,14 +117,38 @@ struct HomogeneousStackelbergResult {
 /// capacity, and the CSP best-responds given that the ESP sells out
 /// (Table II). Requires the capacity to be scarce (unconstrained demand
 /// must exceed E_max somewhere above the CSP price); throws
-/// ConvergenceError otherwise. Compare with solve_sp_equilibrium_homogeneous,
+/// ConvergenceError otherwise. Compare with solve_leader_stage_homogeneous,
 /// which lets the CSP undercut the sell-out point — see EXPERIMENTS.md.
-[[nodiscard]] HomogeneousStackelbergResult solve_sp_standalone_sellout(
+[[nodiscard]] LeaderStageResult solve_leader_stage_sellout(
     const NetworkParams& params, double budget, int n,
     const SpSolveOptions& options = {});
 
-/// Stackelberg equilibrium with heterogeneous budgets; the follower stage
-/// is the full profile NEP/GNEP. Slower — intended for small n.
+/// General leader-stage solve over arbitrary budgets. Auto-dispatches: when
+/// every budget is equal (and n >= 2, and the force_profile_oracle hook is
+/// off) this is solve_leader_stage_homogeneous on the symmetric fast path;
+/// otherwise the follower stage is the full-profile NEP/GNEP oracle
+/// (slower — intended for small n). Both paths share the Theorem 4
+/// sequential fallback when the price best response cycles, so the
+/// dispatch choice changes the cost of the solve, never its meaning.
+[[nodiscard]] LeaderStageResult solve_leader_stage(
+    const NetworkParams& params, const std::vector<double>& budgets,
+    EdgeMode mode, const SpSolveOptions& options = {});
+
+// --- deprecated entry points (kept as thin shims for one release) ----------
+
+/// Deprecated result shape of the homogeneous solvers; superseded by
+/// LeaderStageResult.
+struct HomogeneousStackelbergResult {
+  Prices prices;
+  SpProfits profits;
+  SymmetricEquilibrium follower;
+  SpSolveMethod method = SpSolveMethod::kBestResponse;
+  bool converged = false;
+  int rounds = 0;
+};
+
+/// Deprecated result shape of the heterogeneous solver; superseded by
+/// LeaderStageResult.
 struct StackelbergEquilibriumResult {
   Prices prices;
   SpProfits profits;
@@ -112,6 +157,24 @@ struct StackelbergEquilibriumResult {
   int rounds = 0;
 };
 
+/// Deprecated: use solve_leader_stage_homogeneous.
+[[nodiscard]] HomogeneousStackelbergResult solve_sp_equilibrium_homogeneous(
+    const NetworkParams& params, double budget, int n, EdgeMode mode,
+    const SpSolveOptions& options = {});
+
+/// Deprecated: use solve_leader_stage_sequential.
+[[nodiscard]] HomogeneousStackelbergResult solve_sp_sequential_homogeneous(
+    const NetworkParams& params, double budget, int n, EdgeMode mode,
+    const SpSolveOptions& options = {});
+
+/// Deprecated: use solve_leader_stage_sellout.
+[[nodiscard]] HomogeneousStackelbergResult solve_sp_standalone_sellout(
+    const NetworkParams& params, double budget, int n,
+    const SpSolveOptions& options = {});
+
+/// Deprecated: use solve_leader_stage. Inherits its homogeneous-budget
+/// auto-dispatch; the returned MinerEquilibrium is always expanded to the
+/// full per-miner shape.
 [[nodiscard]] StackelbergEquilibriumResult solve_sp_equilibrium(
     const NetworkParams& params, const std::vector<double>& budgets,
     EdgeMode mode, const SpSolveOptions& options = {});

@@ -5,6 +5,9 @@
 
 namespace hecmine::core {
 
+/// Edge operation mode (Sec. II-A).
+enum class EdgeMode { kConnected, kStandalone };
+
 /// A miner's computing-unit request r_i = [e_i, c_i]^T (paper Table I).
 struct MinerRequest {
   double edge = 0.0;   ///< e_i — units requested from the ESP

@@ -24,6 +24,11 @@ WelfareReport welfare_report(const NetworkParams& params, const Prices& prices,
   return report;
 }
 
+WelfareReport welfare_report(const NetworkParams& params, const Prices& prices,
+                             const EquilibriumProfile& profile) {
+  return welfare_report(params, prices, profile.totals);
+}
+
 double aggregate_utility(const NetworkParams& params, const Prices& prices,
                          const std::vector<MinerRequest>& requests) {
   params.validate();
@@ -34,6 +39,11 @@ double aggregate_utility(const NetworkParams& params, const Prices& prices,
            request_cost(request, prices);
   }
   return sum;
+}
+
+double aggregate_utility(const NetworkParams& params, const Prices& prices,
+                         const EquilibriumProfile& profile) {
+  return aggregate_utility(params, prices, profile.expanded());
 }
 
 }  // namespace hecmine::core

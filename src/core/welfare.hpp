@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "core/oracle.hpp"
 #include "core/params.hpp"
 #include "core/types.hpp"
 
@@ -47,11 +48,23 @@ struct WelfareReport {
                                            const Prices& prices,
                                            const Totals& totals);
 
+/// Oracle-layer convenience: decomposition at a unified follower profile
+/// (uses the profile's aggregate totals).
+[[nodiscard]] WelfareReport welfare_report(const NetworkParams& params,
+                                           const Prices& prices,
+                                           const EquilibriumProfile& profile);
+
 /// Convenience: per-miner utilities summed against the aggregate identity
 /// sum_i U_i = R - spend; exposed so tests can check consistency of any
 /// equilibrium the solvers produce.
 [[nodiscard]] double aggregate_utility(const NetworkParams& params,
                                        const Prices& prices,
                                        const std::vector<MinerRequest>& requests);
+
+/// Oracle-layer convenience: aggregate utility of a unified profile
+/// (expands symmetric shapes to the full per-miner request vector).
+[[nodiscard]] double aggregate_utility(const NetworkParams& params,
+                                       const Prices& prices,
+                                       const EquilibriumProfile& profile);
 
 }  // namespace hecmine::core

@@ -28,7 +28,8 @@ StackelbergResult solve_stackelberg(const LeaderPayoffFn& payoff,
   num::Maximize1DOptions scan_options;
   scan_options.grid_points = options.grid_points;
   scan_options.tolerance = options.refine_tolerance;
-  const int threads = support::resolve_thread_count(options.threads);
+  const int threads =
+      support::resolve_thread_count(options.effective_threads());
 
   for (int round = 0; round < options.max_rounds; ++round) {
     result.rounds = round + 1;

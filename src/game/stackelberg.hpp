@@ -10,6 +10,8 @@
 #include <functional>
 #include <vector>
 
+#include "core/solve_context.hpp"  // header-only; game does not link core
+
 namespace hecmine::game {
 
 /// Payoff of leader `i` when the leader action vector is `actions`
@@ -33,11 +35,22 @@ struct StackelbergOptions {
   int max_rounds = 200;     ///< leader best-response rounds
   int grid_points = 48;     ///< coarse scan resolution per 1-D best response
   double refine_tolerance = 1e-8;
-  /// Concurrent payoff evaluations per best response: the scan grid and the
-  /// top-cell refinements fan out over the shared thread pool. 1 = serial;
-  /// 0 = auto (HECMINE_THREADS, else hardware concurrency). Results are
-  /// bitwise identical for every setting.
+  /// Shared solver resources. context.threads bounds the concurrent payoff
+  /// evaluations per best response: the scan grid and the top-cell
+  /// refinements fan out over the shared thread pool. 1 = serial; 0 = auto
+  /// (HECMINE_THREADS, else hardware concurrency). Results are bitwise
+  /// identical for every setting. The driver itself never touches
+  /// context.cache / context.follower — they ride along for the caller's
+  /// payoff oracle.
+  core::SolveContext context;
+  /// Deprecated: use context.threads. A non-zero value wins over the
+  /// context for one release.
   int threads = 0;
+
+  /// Effective thread setting after merging the deprecated field.
+  [[nodiscard]] int effective_threads() const noexcept {
+    return threads != 0 ? threads : context.threads;
+  }
 };
 
 /// Outcome of the leader iteration.

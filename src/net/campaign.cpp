@@ -138,6 +138,26 @@ CampaignResult run_campaign(const CampaignConfig& config,
   return run_campaign_impl(config, strategies, {}, seed);
 }
 
+EquilibriumCampaignResult run_campaign_at_equilibrium(
+    const CampaignConfig& config, const std::vector<double>& budgets,
+    std::uint64_t seed, const core::SolveContext& context) {
+  config.validate();
+  HECMINE_REQUIRE(!budgets.empty(), "run_campaign_at_equilibrium: no miners");
+  // Mirror the campaign's edge policy into the game parameters so the
+  // equilibrium anticipates the same service model the simulator applies.
+  core::NetworkParams params = config.params;
+  if (config.policy.mode == core::EdgeMode::kConnected)
+    params.edge_success = config.policy.success_prob;
+  else
+    params.edge_capacity = config.policy.capacity;
+  EquilibriumCampaignResult outcome;
+  outcome.equilibrium = core::solve_followers(params, config.prices, budgets,
+                                              config.policy.mode, context);
+  outcome.result =
+      run_campaign_impl(config, outcome.equilibrium.expanded(), {}, seed);
+  return outcome;
+}
+
 CampaignResult run_campaign_with_pools(
     const CampaignConfig& config,
     const std::vector<core::MinerRequest>& strategies,

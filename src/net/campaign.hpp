@@ -13,8 +13,10 @@
 
 #include "chain/difficulty.hpp"
 #include "chain/simulator.hpp"
+#include "core/oracle.hpp"
 #include "core/params.hpp"
 #include "core/population.hpp"
+#include "core/solve_context.hpp"
 #include "net/offload.hpp"
 #include "support/stats.hpp"
 
@@ -63,6 +65,22 @@ struct CampaignResult {
 [[nodiscard]] CampaignResult run_campaign(
     const CampaignConfig& config,
     const std::vector<core::MinerRequest>& strategies, std::uint64_t seed);
+
+/// A campaign driven by the game-theoretic equilibrium instead of
+/// hand-picked strategies: the follower equilibrium and the income process
+/// it induces, bridged in one call.
+struct EquilibriumCampaignResult {
+  core::EquilibriumProfile equilibrium;  ///< follower NE at config.prices
+  CampaignResult result;                 ///< campaign under those requests
+};
+
+/// Solves the follower stage at config.prices through the oracle layer
+/// (mode taken from config.policy.mode; symmetric fast path when all
+/// budgets are equal) and runs the campaign with every miner playing its
+/// equilibrium request. `context` carries the follower cache/tolerances.
+[[nodiscard]] EquilibriumCampaignResult run_campaign_at_equilibrium(
+    const CampaignConfig& config, const std::vector<double>& budgets,
+    std::uint64_t seed, const core::SolveContext& context = {});
 
 /// Pool-mining extension (beyond the paper): `pool_of[i]` assigns miner i
 /// to a reward-sharing pool (-1 = solo). When a pool member wins a block,

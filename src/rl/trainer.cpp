@@ -10,6 +10,18 @@
 
 namespace hecmine::rl {
 
+core::EquilibriumProfile equilibrium_reference(
+    const core::NetworkParams& params, const core::Prices& prices,
+    double budget, const core::PopulationModel& population,
+    double edge_success, const core::SolveContext& context) {
+  const int n = std::max(
+      2, static_cast<int>(std::lround(population.nominal_mean())));
+  core::NetworkParams reference = params;
+  reference.edge_success = edge_success;
+  return core::solve_followers_symmetric(reference, prices, budget, n,
+                                         core::EdgeMode::kConnected, context);
+}
+
 namespace {
 
 /// Expected utility of active miner `i` against the chosen active profile,

@@ -14,12 +14,24 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/oracle.hpp"
 #include "core/params.hpp"
 #include "core/population.hpp"
+#include "core/solve_context.hpp"
 #include "core/types.hpp"
 #include "rl/learner.hpp"
 
 namespace hecmine::rl {
+
+/// Model-side reference the learned strategies should approach (the filled
+/// points of Fig. 9): the symmetric connected-mode equilibrium at the
+/// population's nominal mean count (clamped to >= 2), with the dynamic
+/// edge-success h substituted for the static one. Routed through the
+/// follower oracle; `context` carries the cache/tolerances if any.
+[[nodiscard]] core::EquilibriumProfile equilibrium_reference(
+    const core::NetworkParams& params, const core::Prices& prices,
+    double budget, const core::PopulationModel& population,
+    double edge_success, const core::SolveContext& context = {});
 
 /// Payoff feedback given to learners each round.
 enum class FeedbackMode {

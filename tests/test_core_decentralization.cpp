@@ -5,7 +5,7 @@
 
 #include <cmath>
 
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "support/error.hpp"
 
 namespace hecmine::core {
@@ -65,12 +65,14 @@ TEST(Decentralization, BudgetInequalityConcentratesBlockProduction) {
   params.fork_rate = 0.2;
   params.edge_success = 0.9;
   const Prices prices{2.0, 1.0};
-  const auto equal = solve_connected_nep(params, prices, {50, 50, 50, 50});
-  const auto skewed = solve_connected_nep(params, prices, {10, 20, 60, 110});
+  const auto equal =
+      solve_followers(params, prices, {50, 50, 50, 50}, EdgeMode::kConnected);
+  const auto skewed =
+      solve_followers(params, prices, {10, 20, 60, 110}, EdgeMode::kConnected);
   const auto shares_equal =
-      winning_shares(equal.requests, params.fork_rate);
+      winning_shares(equal.expanded(), params.fork_rate);
   const auto shares_skewed =
-      winning_shares(skewed.requests, params.fork_rate);
+      winning_shares(skewed.expanded(), params.fork_rate);
   EXPECT_GT(herfindahl_index(shares_skewed),
             herfindahl_index(shares_equal));
   EXPECT_GT(gini_coefficient(shares_skewed),
@@ -88,8 +90,10 @@ TEST(Decentralization, StandaloneCapEqualizesEdgeAccess) {
   params.edge_capacity = 6.0;
   const Prices prices{2.0, 1.0};
   const std::vector<double> budgets{10.0, 20.0, 60.0, 120.0};
-  const auto connected = solve_connected_nep(params, prices, budgets);
-  const auto standalone = solve_standalone_gnep(params, prices, budgets);
+  const auto connected =
+      solve_followers(params, prices, budgets, EdgeMode::kConnected);
+  const auto standalone =
+      solve_followers(params, prices, budgets, EdgeMode::kStandalone);
   const double hhi_connected =
       herfindahl_index(winning_shares(connected.requests, params.fork_rate));
   const double hhi_standalone =

@@ -150,14 +150,14 @@ TEST(FollowerCache, AcceleratesTheLeaderStageWithoutChangingTheAnswer) {
   SpSolveOptions plain;
   plain.grid_points = 16;
   plain.max_rounds = 8;
-  plain.threads = 1;
-  const auto reference = solve_sp_equilibrium_homogeneous(
+  plain.context.threads = 1;
+  const auto reference = solve_leader_stage_homogeneous(
       params, 200.0, 5, EdgeMode::kConnected, plain);
 
   FollowerEquilibriumCache cache;
   SpSolveOptions cached = plain;
-  cached.cache = &cache;
-  const auto accelerated = solve_sp_equilibrium_homogeneous(
+  cached.context.cache = &cache;
+  const auto accelerated = solve_leader_stage_homogeneous(
       params, 200.0, 5, EdgeMode::kConnected, cached);
 
   const auto stats = cache.stats();

@@ -6,7 +6,7 @@
 #include <cmath>
 
 #include "core/closed_forms.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/winning.hpp"
 #include "support/error.hpp"
 
@@ -27,10 +27,11 @@ TEST(Extremes, NoForksMakesEdgeWorthless) {
   // buys edge units.
   NetworkParams params = base_params();
   params.fork_rate = 0.0;
-  const auto eq = solve_symmetric_connected(params, {2.0, 1.0}, 100.0, 5);
+  const auto eq = solve_followers_symmetric(params, {2.0, 1.0}, 100.0, 5,
+                                            EdgeMode::kConnected);
   ASSERT_TRUE(eq.converged);
-  EXPECT_NEAR(eq.request.edge, 0.0, 1e-7);
-  EXPECT_GT(eq.request.cloud, 0.0);
+  EXPECT_NEAR(eq.request().edge, 0.0, 1e-7);
+  EXPECT_GT(eq.request().cloud, 0.0);
 }
 
 TEST(Extremes, HeavyForksPushEverythingToTheEdge) {
@@ -38,21 +39,22 @@ TEST(Extremes, HeavyForksPushEverythingToTheEdge) {
   // stays a small share even at a large price gap.
   NetworkParams params = base_params();
   params.fork_rate = 0.95;
-  const auto eq = solve_symmetric_connected(params, {4.0, 1.0}, 1e5, 5);
+  const auto eq = solve_followers_symmetric(params, {4.0, 1.0}, 1e5, 5,
+                                            EdgeMode::kConnected);
   ASSERT_TRUE(eq.converged);
-  EXPECT_GT(eq.request.edge, 0.0);
+  EXPECT_GT(eq.request().edge, 0.0);
   const double cloud_share =
-      eq.request.cloud / std::max(eq.request.total(), 1e-12);
+      eq.request().cloud / std::max(eq.request().total(), 1e-12);
   EXPECT_LT(cloud_share, 0.35);
 }
 
 TEST(Extremes, NearEqualPricesAreEdgeOnly) {
   // P_e barely above P_c: the beta h bonus makes edge strictly better.
   const NetworkParams params = base_params();
-  const auto eq =
-      solve_symmetric_connected(params, {1.0 + 1e-6, 1.0}, 100.0, 5);
+  const auto eq = solve_followers_symmetric(params, {1.0 + 1e-6, 1.0}, 100.0,
+                                            5, EdgeMode::kConnected);
   ASSERT_TRUE(eq.converged);
-  EXPECT_NEAR(eq.request.cloud, 0.0, 1e-6);
+  EXPECT_NEAR(eq.request().cloud, 0.0, 1e-6);
 }
 
 TEST(Extremes, LargeNApproachesFullDissipation) {
@@ -61,10 +63,11 @@ TEST(Extremes, LargeNApproachesFullDissipation) {
   const NetworkParams params = base_params();
   const Prices prices{2.0, 1.0};
   const int n = 60;
-  const auto eq = solve_symmetric_connected(params, prices, 1e6, n);
+  const auto eq =
+      solve_followers_symmetric(params, prices, 1e6, n, EdgeMode::kConnected);
   ASSERT_TRUE(eq.converged);
   const double total_spend =
-      n * request_cost(eq.request, prices);
+      n * request_cost(eq.request(), prices);
   const double limit =
       params.reward * (1.0 - 0.2 + 0.9 * 0.2) * (n - 1.0) / n;
   EXPECT_NEAR(total_spend, limit, 1e-3 * limit);
@@ -73,10 +76,11 @@ TEST(Extremes, LargeNApproachesFullDissipation) {
 TEST(Extremes, TwoMinersMatchClosedForm) {
   const NetworkParams params = base_params();
   const Prices prices{2.0, 1.0};
-  const auto eq = solve_symmetric_connected(params, prices, 1e6, 2);
+  const auto eq =
+      solve_followers_symmetric(params, prices, 1e6, 2, EdgeMode::kConnected);
   const auto closed = homogeneous_sufficient_request(params, prices, 2);
-  EXPECT_NEAR(eq.request.edge, closed.edge, 1e-7);
-  EXPECT_NEAR(eq.request.cloud, closed.cloud, 1e-7);
+  EXPECT_NEAR(eq.request().edge, closed.edge, 1e-7);
+  EXPECT_NEAR(eq.request().cloud, closed.cloud, 1e-7);
 }
 
 TEST(Invariance, RewardScalesSufficientRequestsLinearly) {
@@ -118,8 +122,10 @@ TEST(Invariance, MinerPermutationLeavesEquilibriumSetUnchanged) {
   const Prices prices{2.0, 1.0};
   const std::vector<double> budgets{7.0, 11.0, 15.0};
   const std::vector<double> permuted{15.0, 7.0, 11.0};
-  const auto eq_a = solve_connected_nep(params, prices, budgets);
-  const auto eq_b = solve_connected_nep(params, prices, permuted);
+  const auto eq_a =
+      solve_followers(params, prices, budgets, EdgeMode::kConnected);
+  const auto eq_b =
+      solve_followers(params, prices, permuted, EdgeMode::kConnected);
   ASSERT_TRUE(eq_a.converged);
   ASSERT_TRUE(eq_b.converged);
   // Same budgets -> same requests, wherever they sit in the vector.
@@ -133,7 +139,8 @@ TEST(Extremes, TinyCapacityStillYieldsAValidGnep) {
   params.edge_capacity = 0.05;
   const Prices prices{2.0, 1.0};
   const std::vector<double> budgets{30.0, 40.0};
-  const auto eq = solve_standalone_gnep(params, prices, budgets);
+  const auto eq =
+      solve_followers(params, prices, budgets, EdgeMode::kStandalone);
   ASSERT_TRUE(eq.converged);
   EXPECT_TRUE(eq.cap_active);
   EXPECT_LE(eq.totals.edge, params.edge_capacity * (1.0 + 1e-6));

@@ -30,7 +30,7 @@ TEST(MultiEsp, BertrandCollapsesEdgePriceToCost) {
   EXPECT_LT(eq.price_cloud, eq.price_edge);
   // At ~cost pricing the pooled ESPs earn ~nothing.
   EXPECT_LT(eq.profit_edge_total, 0.1);
-  EXPECT_GT(eq.follower.request.edge, 0.0);
+  EXPECT_GT(eq.follower.request().edge, 0.0);
 }
 
 TEST(MultiEsp, CompetitionInflatesEdgeDemand) {
@@ -41,10 +41,10 @@ TEST(MultiEsp, CompetitionInflatesEdgeDemand) {
   core::SpSolveOptions options;
   options.grid_points = 24;
   options.max_rounds = 25;
-  const auto monopoly = core::solve_sp_equilibrium_homogeneous(
+  const auto monopoly = core::solve_leader_stage_homogeneous(
       params, 200.0, 5, core::EdgeMode::kConnected, options);
-  EXPECT_GT(competitive.follower.request.edge,
-            monopoly.follower.request.edge);
+  EXPECT_GT(competitive.follower.request().edge,
+            monopoly.followers.request().edge);
 }
 
 TEST(MultiEsp, PremiumReportQuantifiesTheMonopolyRents) {

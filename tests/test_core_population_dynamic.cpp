@@ -6,7 +6,7 @@
 #include <cmath>
 
 #include "core/dynamic.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/population.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -127,11 +127,11 @@ TEST(DynamicEquilibrium, DegeneratePopulationMatchesFixedNSolver) {
   ASSERT_TRUE(dynamic.converged);
   NetworkParams params = config.params;
   params.edge_success = config.edge_success;
-  const auto static_eq =
-      solve_symmetric_connected(params, config.prices, config.budget, 5);
+  const auto static_eq = solve_followers_symmetric(
+      params, config.prices, config.budget, 5, EdgeMode::kConnected);
   ASSERT_TRUE(static_eq.converged);
-  EXPECT_NEAR(dynamic.request.edge, static_eq.request.edge, 2e-3);
-  EXPECT_NEAR(dynamic.request.cloud, static_eq.request.cloud, 2e-2);
+  EXPECT_NEAR(dynamic.request.edge, static_eq.request().edge, 2e-3);
+  EXPECT_NEAR(dynamic.request.cloud, static_eq.request().cloud, 2e-2);
 }
 
 TEST(DynamicEquilibrium, UncertaintyInflatesEdgeDemand) {

@@ -3,6 +3,8 @@
 // cross-mode claims.
 #include "core/sp.hpp"
 
+#include "core/oracle.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -66,18 +68,20 @@ TEST(HomogeneousStackelberg, EquilibriumPricesAreStable) {
       params, 40.0, 5, EdgeMode::kConnected, options);
   const auto cloud_payoff = [&](const Prices& prices) {
     const auto eq =
-        solve_symmetric_connected(params, prices, 40.0, 5, options.follower);
-    Totals totals{5.0 * eq.request.edge, 5.0 * eq.request.cloud};
-    return sp_profits(params, prices, totals).cloud;
+        solve_followers_symmetric(params, prices, 40.0, 5,
+                                  EdgeMode::kConnected,
+                                  options.resolved_context());
+    return sp_profits(params, prices, eq.totals).cloud;
   };
   const auto composite_edge_payoff = [&](double pe) {
     const double pc = csp_reaction_homogeneous(params, 40.0, 5,
                                                EdgeMode::kConnected, pe,
                                                options);
-    const auto eq = solve_symmetric_connected(params, {pe, pc}, 40.0, 5,
-                                              options.follower);
-    Totals totals{5.0 * eq.request.edge, 5.0 * eq.request.cloud};
-    return sp_profits(params, {pe, pc}, totals).edge;
+    const auto eq =
+        solve_followers_symmetric(params, {pe, pc}, 40.0, 5,
+                                  EdgeMode::kConnected,
+                                  options.resolved_context());
+    return sp_profits(params, {pe, pc}, eq.totals).edge;
   };
   const double base_cloud = cloud_payoff(result.prices);
   const double base_edge = composite_edge_payoff(result.prices.edge);

@@ -4,8 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/equilibrium.hpp"
-#include "core/sp.hpp"
+#include "core/oracle.hpp"
 #include "support/error.hpp"
 
 namespace hecmine::core {
@@ -67,9 +66,10 @@ TEST(Welfare, EquilibriumUtilitiesSumToTheReport) {
   params.edge_success = 1.0;
   const Prices prices{2.0, 1.0};
   const std::vector<double> budgets{20.0, 30.0, 40.0};
-  const auto eq = solve_connected_nep(params, prices, budgets);
+  const auto eq =
+      solve_followers(params, prices, budgets, EdgeMode::kConnected);
   ASSERT_TRUE(eq.converged);
-  const auto report = welfare_report(params, prices, eq.totals);
+  const auto report = welfare_report(params, prices, eq);
   double sum = 0.0;
   for (double u : eq.utilities) sum += u;
   EXPECT_NEAR(sum, report.miner_surplus, 1e-6);
@@ -82,9 +82,9 @@ TEST(Welfare, DissipationRisesWithCompetition) {
   const Prices prices{2.0, 1.0};
   double previous = 0.0;
   for (int n : {2, 3, 5, 10, 20}) {
-    const auto eq = solve_symmetric_connected(params, prices, 1e6, n);
-    Totals totals{n * eq.request.edge, n * eq.request.cloud};
-    const auto report = welfare_report(params, prices, totals);
+    const auto eq = solve_followers_symmetric(params, prices, 1e6, n,
+                                              EdgeMode::kConnected);
+    const auto report = welfare_report(params, prices, eq);
     EXPECT_GT(report.dissipation, previous);
     EXPECT_LT(report.dissipation, 1.0);  // never exceeds the prize
     previous = report.dissipation;
@@ -97,21 +97,19 @@ TEST(Welfare, SocialWelfareHigherWhenCapacityRestrainsCompetition) {
   const NetworkParams params = default_params();  // E_max = 8 binds below
   const Prices prices{2.0, 1.0};
   const std::vector<double> budgets{40.0, 40.0, 40.0, 40.0, 40.0};
-  const auto connected = solve_connected_nep(params, prices, budgets);
-  const auto standalone = solve_standalone_gnep(params, prices, budgets);
+  const auto connected = ConnectedNepOracle(params, budgets).solve(prices);
+  const auto standalone = StandaloneGnepOracle(params, budgets).solve(prices);
   ASSERT_TRUE(standalone.cap_active);
-  const auto report_connected =
-      welfare_report(params, prices, connected.totals);
-  const auto report_standalone =
-      welfare_report(params, prices, standalone.totals);
+  const auto report_connected = welfare_report(params, prices, connected);
+  const auto report_standalone = welfare_report(params, prices, standalone);
   EXPECT_GT(report_standalone.miner_surplus, report_connected.miner_surplus);
 }
 
 TEST(Welfare, ValidatesInputs) {
   const NetworkParams params = default_params();
-  EXPECT_THROW((void)welfare_report(params, {0.0, 1.0}, {1.0, 1.0}),
+  EXPECT_THROW((void)welfare_report(params, {0.0, 1.0}, Totals{1.0, 1.0}),
                support::PreconditionError);
-  EXPECT_THROW((void)welfare_report(params, {1.0, 1.0}, {-1.0, 1.0}),
+  EXPECT_THROW((void)welfare_report(params, {1.0, 1.0}, Totals{-1.0, 1.0}),
                support::PreconditionError);
 }
 

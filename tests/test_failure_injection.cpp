@@ -6,7 +6,7 @@
 
 #include <stdexcept>
 
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "game/nash.hpp"
 #include "game/stackelberg.hpp"
 #include "net/campaign.hpp"
@@ -72,7 +72,8 @@ TEST(FailureInjection, AllZeroRequestsAreHandledEndToEnd) {
 
 TEST(FailureInjection, ZeroBudgetsYieldTheEmptyEquilibrium) {
   core::NetworkParams params;
-  const auto eq = core::solve_connected_nep(params, {2.0, 1.0}, {0.0, 0.0});
+  const auto eq = core::solve_followers(params, {2.0, 1.0}, {0.0, 0.0},
+                                        core::EdgeMode::kConnected);
   EXPECT_NEAR(eq.totals.grand(), 0.0, 1e-9);
   for (double u : eq.utilities) EXPECT_DOUBLE_EQ(u, 0.0);
 }
@@ -116,8 +117,10 @@ TEST(Determinism, SolversAreDeterministicWithoutSeeds) {
   core::NetworkParams params;
   params.reward = 100.0;
   const std::vector<double> budgets{20.0, 35.0};
-  const auto a = core::solve_standalone_gnep(params, {2.0, 1.0}, budgets);
-  const auto b = core::solve_standalone_gnep(params, {2.0, 1.0}, budgets);
+  const auto a = core::solve_followers(params, {2.0, 1.0}, budgets,
+                                       core::EdgeMode::kStandalone);
+  const auto b = core::solve_followers(params, {2.0, 1.0}, budgets,
+                                       core::EdgeMode::kStandalone);
   EXPECT_DOUBLE_EQ(a.requests[0].edge, b.requests[0].edge);
   EXPECT_DOUBLE_EQ(a.surcharge, b.surcharge);
 }

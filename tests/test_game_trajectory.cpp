@@ -7,7 +7,7 @@
 #include <cmath>
 
 #include "core/closed_forms.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/sp.hpp"
 #include "numerics/optimize.hpp"
 #include "support/error.hpp"
@@ -73,7 +73,7 @@ TEST(Trajectory, SpPriceBestResponseCyclesAsDocumented) {
   // sufficient-budget homogeneous game: each SP best-responds to the
   // other's last price. The dynamics must NOT settle (the simultaneous
   // game lacks a pure NE here) — the diagnosis that motivated the
-  // sequential fallback of solve_sp_equilibrium_homogeneous.
+  // sequential fallback of solve_leader_stage_homogeneous.
   core::NetworkParams params;
   params.reward = 100.0;
   params.fork_rate = 0.2;
@@ -90,9 +90,9 @@ TEST(Trajectory, SpPriceBestResponseCyclesAsDocumented) {
       const core::Prices p = edge_leader
                                  ? core::Prices{candidate, prices[1]}
                                  : core::Prices{prices[0], candidate};
-      const auto eq = core::solve_symmetric_connected(params, p, budget, n);
-      const core::Totals totals{n * eq.request.edge, n * eq.request.cloud};
-      const auto profits = core::sp_profits(params, p, totals);
+      const auto eq = core::solve_followers_symmetric(
+          params, p, budget, n, core::EdgeMode::kConnected);
+      const auto profits = core::sp_profits(params, p, eq.totals);
       return edge_leader ? profits.edge : profits.cloud;
     };
     const double lo = edge_leader ? params.cost_edge * 1.001

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "core/closed_forms.hpp"
+#include "core/oracle.hpp"
 #include "core/sp.hpp"
 #include "core/winning.hpp"
 #include "net/network.hpp"
@@ -38,10 +39,10 @@ TEST(Integration, EquilibriumRequestsSurviveTheRealNetwork) {
   // empirical win rates must match the theoretical winning probabilities
   // and SP revenues must match prices x units.
   const core::NetworkParams params = default_params();
-  const auto equilibrium = core::solve_sp_equilibrium_homogeneous(
+  const auto equilibrium = core::solve_leader_stage_homogeneous(
       params, 40.0, 5, core::EdgeMode::kConnected, fast_options());
-  const std::vector<core::MinerRequest> profile(5,
-                                                equilibrium.follower.request);
+  const std::vector<core::MinerRequest> profile =
+      equilibrium.followers.expanded();
   const core::Totals totals = core::aggregate(profile);
 
   net::EdgePolicy policy;
@@ -73,12 +74,12 @@ TEST(Integration, StandaloneEquilibriumNeverRejects) {
   // equilibrium through the standalone admission policy must yield zero
   // rejections.
   const core::NetworkParams params = default_params();
-  const auto equilibrium = core::solve_sp_equilibrium_homogeneous(
+  const auto equilibrium = core::solve_leader_stage_homogeneous(
       params, 200.0, 5, core::EdgeMode::kStandalone, fast_options());
-  std::vector<core::MinerRequest> profile(5, equilibrium.follower.request);
+  std::vector<core::MinerRequest> profile = equilibrium.followers.expanded();
   // Guard the floating-point boundary at a binding cap (E sits exactly on
   // E_max, where accumulation error in admission could reject a request).
-  const double total_edge = 5.0 * equilibrium.follower.request.edge;
+  const double total_edge = 5.0 * equilibrium.followers.request().edge;
   if (total_edge > params.edge_capacity * (1.0 - 1e-9)) {
     const double shrink = params.edge_capacity * (1.0 - 1e-9) / total_edge;
     for (auto& request : profile) request.edge *= shrink;
@@ -97,12 +98,12 @@ TEST(Integration, SoldUnitsRoughlyEqualAcrossModesWithLargeBudgets) {
   // approximately equal across edge operation modes (S depends only on
   // P_c in both).
   const core::NetworkParams params = default_params();
-  const auto connected = core::solve_sp_equilibrium_homogeneous(
+  const auto connected = core::solve_leader_stage_homogeneous(
       params, 2000.0, 5, core::EdgeMode::kConnected, fast_options());
-  const auto standalone = core::solve_sp_equilibrium_homogeneous(
+  const auto standalone = core::solve_leader_stage_homogeneous(
       params, 2000.0, 5, core::EdgeMode::kStandalone, fast_options());
-  const double total_connected = 5.0 * connected.follower.request.total();
-  const double total_standalone = 5.0 * standalone.follower.request.total();
+  const double total_connected = 5.0 * connected.followers.request().total();
+  const double total_standalone = 5.0 * standalone.followers.request().total();
   EXPECT_NEAR(total_connected, total_standalone,
               0.35 * std::max(total_connected, total_standalone));
 }
@@ -115,15 +116,15 @@ TEST(Integration, ConnectedModeDiscouragesEdgePurchases) {
   core::NetworkParams params = default_params();
   params.edge_capacity = 100.0;
   const core::Prices prices{2.0, 1.0};
-  const auto connected =
-      core::solve_symmetric_connected(params, prices, 60.0, 5);
-  const auto standalone =
-      core::solve_symmetric_standalone(params, prices, 60.0, 5);
+  const auto connected = core::solve_followers_symmetric(
+      params, prices, 60.0, 5, core::EdgeMode::kConnected);
+  const auto standalone = core::solve_followers_symmetric(
+      params, prices, 60.0, 5, core::EdgeMode::kStandalone);
   ASSERT_TRUE(connected.converged);
   ASSERT_TRUE(standalone.converged);
   // Standalone (h = 1) demand, even capped at E_max/n, exceeds the
   // connected-mode request.
-  EXPECT_GT(standalone.request.edge, connected.request.edge);
+  EXPECT_GT(standalone.request().edge, connected.request().edge);
 }
 
 TEST(Integration, WelfareBoundedByBudgetsThenGrowsWithReward) {
@@ -132,16 +133,16 @@ TEST(Integration, WelfareBoundedByBudgetsThenGrowsWithReward) {
   core::NetworkParams params = default_params();
   const int n = 5;
   const double small_budget = 5.0;
-  const auto tight = core::solve_sp_equilibrium_homogeneous(
+  const auto tight = core::solve_leader_stage_homogeneous(
       params, small_budget, n, core::EdgeMode::kConnected, fast_options());
   const double tight_welfare = tight.profits.edge + tight.profits.cloud;
   EXPECT_LE(tight_welfare, small_budget * n + 1e-6);
 
-  const auto base = core::solve_sp_equilibrium_homogeneous(
+  const auto base = core::solve_leader_stage_homogeneous(
       params, 1e5, n, core::EdgeMode::kConnected, fast_options());
   core::NetworkParams rich_params = params;
   rich_params.reward = 2.0 * params.reward;
-  const auto rich = core::solve_sp_equilibrium_homogeneous(
+  const auto rich = core::solve_leader_stage_homogeneous(
       rich_params, 1e5, n, core::EdgeMode::kConnected, fast_options());
   EXPECT_GT(rich.profits.edge + rich.profits.cloud,
             base.profits.edge + base.profits.cloud);

@@ -90,11 +90,11 @@ TEST(ParallelDeterminism, SpLeaderStageMatchesSerialBitwise) {
   core::SpSolveOptions options;
   options.grid_points = 12;
   options.max_rounds = 6;  // bounded: determinism needs no convergence
-  options.threads = 1;
-  const auto serial = core::solve_sp_equilibrium_homogeneous(
+  options.context.threads = 1;
+  const auto serial = core::solve_leader_stage_homogeneous(
       params, 200.0, 5, core::EdgeMode::kConnected, options);
-  options.threads = 4;
-  const auto parallel = core::solve_sp_equilibrium_homogeneous(
+  options.context.threads = 4;
+  const auto parallel = core::solve_leader_stage_homogeneous(
       params, 200.0, 5, core::EdgeMode::kConnected, options);
   EXPECT_EQ(parallel.prices.edge, serial.prices.edge);  // bitwise
   EXPECT_EQ(parallel.prices.cloud, serial.prices.cloud);

@@ -8,7 +8,7 @@
 #include <tuple>
 
 #include "core/closed_forms.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/welfare.hpp"
 #include "core/winning.hpp"
 #include "support/rng.hpp"
@@ -59,7 +59,7 @@ TEST_P(EquilibriumSweep, ConnectedNepInvariants) {
   const NetworkParams params = params_of(c);
   const Prices prices{c.price_edge, c.price_cloud};
   const std::vector<double> budgets(static_cast<std::size_t>(c.n), c.budget);
-  const auto eq = solve_connected_nep(params, prices, budgets);
+  const auto eq = ConnectedNepOracle(params, budgets).solve(prices);
   ASSERT_TRUE(eq.converged) << "beta=" << c.beta << " h=" << c.h;
 
   // (1) feasibility: budgets and non-negativity.
@@ -69,8 +69,9 @@ TEST_P(EquilibriumSweep, ConnectedNepInvariants) {
     EXPECT_LE(request_cost(request, prices), c.budget + 1e-6);
   }
   // (2) epsilon-Nash: no unilateral improvement.
-  EXPECT_NEAR(miner_exploitability(params, prices, budgets, eq.requests, true),
-              0.0, 2e-4);
+  EXPECT_NEAR(
+      miner_exploitability(params, prices, budgets, eq, EdgeMode::kConnected),
+      0.0, 2e-4);
   // (3) symmetry: homogeneous miners play identically (unique NE).
   for (const auto& request : eq.requests) {
     EXPECT_NEAR(request.edge, eq.requests[0].edge, 1e-5);
@@ -85,11 +86,11 @@ TEST_P(EquilibriumSweep, ConnectedNepInvariants) {
     const auto report = welfare_report(params, prices, eq.totals);
     EXPECT_NEAR(sum, report.miner_surplus, 1e-5);
   }
-  // (6) the symmetric fast solver agrees with the profile solver.
-  const auto symmetric =
-      solve_symmetric_connected(params, prices, c.budget, c.n);
-  EXPECT_NEAR(symmetric.request.edge, eq.requests[0].edge, 2e-4);
-  EXPECT_NEAR(symmetric.request.cloud, eq.requests[0].cloud, 2e-3);
+  // (6) the symmetric fast oracle agrees with the profile oracle.
+  const auto symmetric = solve_followers_symmetric(params, prices, c.budget,
+                                                   c.n, EdgeMode::kConnected);
+  EXPECT_NEAR(symmetric.request().edge, eq.requests[0].edge, 2e-4);
+  EXPECT_NEAR(symmetric.request().cloud, eq.requests[0].cloud, 2e-3);
 }
 
 TEST_P(EquilibriumSweep, StandaloneGnepInvariants) {
@@ -97,7 +98,7 @@ TEST_P(EquilibriumSweep, StandaloneGnepInvariants) {
   const NetworkParams params = params_of(c);
   const Prices prices{c.price_edge, c.price_cloud};
   const std::vector<double> budgets(static_cast<std::size_t>(c.n), c.budget);
-  const auto eq = solve_standalone_gnep(params, prices, budgets);
+  const auto eq = StandaloneGnepOracle(params, budgets).solve(prices);
   ASSERT_TRUE(eq.converged) << "beta=" << c.beta << " h=" << c.h;
 
   // (1) the shared constraint holds with complementary surcharge.
@@ -114,9 +115,9 @@ TEST_P(EquilibriumSweep, StandaloneGnepInvariants) {
     EXPECT_LE(request_cost(request, prices), c.budget + 1e-6);
   }
   // (3) epsilon-Nash of the mu-penalized decoupled game (variational KKT).
-  EXPECT_NEAR(miner_exploitability(params, prices, budgets, eq.requests,
-                                   false, eq.surcharge),
-              0.0, 2e-4);
+  EXPECT_NEAR(
+      miner_exploitability(params, prices, budgets, eq, EdgeMode::kStandalone),
+      0.0, 2e-4);
 }
 
 TEST_P(EquilibriumSweep, WinningProbabilitiesSumToOneAtEquilibrium) {
@@ -124,7 +125,7 @@ TEST_P(EquilibriumSweep, WinningProbabilitiesSumToOneAtEquilibrium) {
   const NetworkParams params = params_of(c);
   const Prices prices{c.price_edge, c.price_cloud};
   const std::vector<double> budgets(static_cast<std::size_t>(c.n), c.budget);
-  const auto eq = solve_connected_nep(params, prices, budgets);
+  const auto eq = ConnectedNepOracle(params, budgets).solve(prices);
   if (eq.totals.grand() <= 0.0) GTEST_SKIP();
   EXPECT_NEAR(total_win_probability(eq.requests, params.fork_rate), 1.0,
               1e-9);
@@ -149,19 +150,20 @@ TEST_P(ClosedFormSweep, Theorem3AndCorollary1MatchTheSolver) {
   const double threshold = homogeneous_budget_threshold(params, n);
   // Binding branch.
   const double binding_budget = 0.6 * threshold;
-  const auto numeric_binding =
-      solve_symmetric_connected(params, prices, binding_budget, n);
+  const auto numeric_binding = solve_followers_symmetric(
+      params, prices, binding_budget, n, EdgeMode::kConnected);
   const auto closed_binding =
       homogeneous_binding_request(params, prices, binding_budget, n);
-  EXPECT_NEAR(numeric_binding.request.edge, closed_binding.edge, 1e-6);
-  EXPECT_NEAR(numeric_binding.request.cloud, closed_binding.cloud, 1e-6);
+  EXPECT_NEAR(numeric_binding.request().edge, closed_binding.edge, 1e-6);
+  EXPECT_NEAR(numeric_binding.request().cloud, closed_binding.cloud, 1e-6);
   // Sufficient branch.
-  const auto numeric_sufficient =
-      solve_symmetric_connected(params, prices, 10.0 * threshold, n);
+  const auto numeric_sufficient = solve_followers_symmetric(
+      params, prices, 10.0 * threshold, n, EdgeMode::kConnected);
   const auto closed_sufficient =
       homogeneous_sufficient_request(params, prices, n);
-  EXPECT_NEAR(numeric_sufficient.request.edge, closed_sufficient.edge, 1e-6);
-  EXPECT_NEAR(numeric_sufficient.request.cloud, closed_sufficient.cloud, 1e-6);
+  EXPECT_NEAR(numeric_sufficient.request().edge, closed_sufficient.edge, 1e-6);
+  EXPECT_NEAR(numeric_sufficient.request().cloud, closed_sufficient.cloud,
+              1e-6);
 }
 
 INSTANTIATE_TEST_SUITE_P(

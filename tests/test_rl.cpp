@@ -6,7 +6,7 @@
 #include <cmath>
 
 #include "core/dynamic.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "core/sp.hpp"
 #include "rl/fictitious.hpp"
 #include "rl/learner.hpp"
@@ -105,13 +105,13 @@ TEST(TrainMiners, FixedPopulationConvergesNearSymmetricNe) {
   const auto trained = train_miners(params, prices, budget, fixed, config, 92);
 
   core::NetworkParams h_params = params;
-  const auto analytic =
-      core::solve_symmetric_connected(h_params, prices, budget, 5);
+  const auto analytic = core::solve_followers_symmetric(
+      h_params, prices, budget, 5, core::EdgeMode::kConnected);
   ASSERT_TRUE(analytic.converged);
   const double edge_step = (budget / prices.edge) / 20.0;
   const double cloud_step = (budget / prices.cloud) / 20.0;
-  EXPECT_NEAR(trained.mean.edge, analytic.request.edge, 1.5 * edge_step);
-  EXPECT_NEAR(trained.mean.cloud, analytic.request.cloud, 2.5 * cloud_step);
+  EXPECT_NEAR(trained.mean.edge, analytic.request().edge, 1.5 * edge_step);
+  EXPECT_NEAR(trained.mean.cloud, analytic.request().cloud, 2.5 * cloud_step);
 }
 
 TEST(TrainMiners, UncertainPopulationTracksDynamicEquilibrium) {
@@ -210,7 +210,7 @@ TEST(AdaptivePricing, FictitiousPlayDemandRecoversTheCspReaction) {
   core::SpSolveOptions sp_options;
   sp_options.grid_points = 24;
   sp_options.max_rounds = 25;
-  const auto analytic = core::solve_sp_equilibrium_homogeneous(
+  const auto analytic = core::solve_leader_stage_homogeneous(
       params, budget, 5, core::EdgeMode::kConnected, sp_options);
 
   const auto learned_cloud_profit = [&](double pc) {

@@ -6,7 +6,7 @@
 #include <cmath>
 
 #include "core/dynamic.hpp"
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "support/error.hpp"
 
 namespace hecmine::rl {
@@ -31,15 +31,15 @@ TEST(FictitiousPlay, FixedPopulationConvergesToTheNe) {
   config.edge_success = 0.9;
   const auto played =
       run_fictitious_play(params, prices, budget, fixed, config, 51);
-  const auto analytic =
-      core::solve_symmetric_connected(params, prices, budget, 5);
+  const auto analytic = core::solve_followers_symmetric(
+      params, prices, budget, 5, core::EdgeMode::kConnected);
   ASSERT_TRUE(analytic.converged);
   // Continuous actions: fictitious play converges far tighter than the
   // grid-based bandits.
-  EXPECT_NEAR(played.mean.edge, analytic.request.edge, 0.02);
-  EXPECT_NEAR(played.mean.cloud, analytic.request.cloud, 0.1);
+  EXPECT_NEAR(played.mean.edge, analytic.request().edge, 0.02);
+  EXPECT_NEAR(played.mean.cloud, analytic.request().cloud, 0.1);
   // The final belief matches (n-1) times the symmetric strategy.
-  EXPECT_NEAR(played.belief_edge, 4.0 * analytic.request.edge, 0.1);
+  EXPECT_NEAR(played.belief_edge, 4.0 * analytic.request().edge, 0.1);
 }
 
 TEST(FictitiousPlay, UncertainPopulationTracksDynamicEquilibrium) {

@@ -4,7 +4,7 @@
 
 #include <cmath>
 
-#include "core/equilibrium.hpp"
+#include "core/oracle.hpp"
 #include "rl/learner.hpp"
 #include "rl/trainer.hpp"
 #include "support/error.hpp"
@@ -124,11 +124,11 @@ TEST_P(LearnerKindTest, AllLearnersConvergeNearTheSymmetricNe) {
   config.edge_success = 0.9;
   const auto trained =
       train_miners(params, prices, budget, fixed, config, 1234);
-  const auto analytic =
-      core::solve_symmetric_connected(params, prices, budget, 5);
+  const auto analytic = core::solve_followers_symmetric(
+      params, prices, budget, 5, core::EdgeMode::kConnected);
   ASSERT_TRUE(analytic.converged);
   const double edge_step = (budget / prices.edge) / 12.0;
-  EXPECT_NEAR(trained.mean.edge, analytic.request.edge, 2.0 * edge_step);
+  EXPECT_NEAR(trained.mean.edge, analytic.request().edge, 2.0 * edge_step);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, LearnerKindTest,
