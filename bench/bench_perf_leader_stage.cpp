@@ -25,6 +25,7 @@
 #include "core/sp.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -122,6 +123,7 @@ void write_json(const std::string& path, int threads,
 
 int main(int argc, char** argv) {
   const support::CliArgs args(argc, argv);
+  args.apply_log_level();
   bench::BenchDefaults defaults;
   const int n = args.get("miners", defaults.miners);
   const double budget = args.get("budget", defaults.budget);
@@ -217,6 +219,26 @@ int main(int argc, char** argv) {
 
   write_json("bench_out/BENCH_leader_stage.json", threads, runs);
   std::cout << "[json] bench_out/BENCH_leader_stage.json\n";
+
+  // Telemetry pass: deliberately separate from the timed runs above (those
+  // stay sink-free so the tracked numbers measure the solver, not the
+  // instrumentation). One extra cached parallel solve with the sink
+  // attached produces the machine-readable profile.
+  const std::string telemetry_path = args.telemetry_out();
+  if (!telemetry_path.empty()) {
+    support::Telemetry telemetry;
+    core::FollowerEquilibriumCache cache;
+    core::SpSolveOptions options = base;
+    options.context.threads = threads;
+    options.context.cache = &cache;
+    options.context.telemetry = &telemetry;
+    (void)core::solve_leader_stage_homogeneous(
+        params, budget, n, core::EdgeMode::kConnected, options);
+    core::record_cache_stats(telemetry, cache.stats());
+    support::write_json(telemetry, telemetry_path);
+    support::print_summary(std::cout, telemetry);
+    std::cout << "[telemetry] " << telemetry_path << "\n";
+  }
   std::cout << "threads=" << threads << "  parallel speedup "
             << serial_ms / runs[1].wall_ms << "x, parallel+cache speedup "
             << serial_ms / runs[3].wall_ms << "x (hit rate "

@@ -11,6 +11,7 @@
 // many threads the SP-stage price scans use; 0 (the default) picks the
 // hardware concurrency. Results are bitwise identical across thread counts.
 #include <cstdio>
+#include <iostream>
 #include <string>
 
 #include "core/equilibrium_cache.hpp"
@@ -23,6 +24,7 @@
 #include "net/network.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -35,14 +37,13 @@ struct SolvedScenario {
 
 /// Solves the scenario's follower stage (and, without fixed prices, the
 /// leader stage first), everything routed through the follower-oracle
-/// layer. One SolveContext carries the thread count for the SP-stage
-/// price scans and the cache that memoizes repeated follower solves.
-SolvedScenario solve_scenario(const core::Scenario& scenario, int threads) {
+/// layer. The caller's SolveContext carries the thread count for the
+/// SP-stage price scans, the cache that memoizes repeated follower solves
+/// (owned by main so its stats survive the solve), and the optional
+/// telemetry sink.
+SolvedScenario solve_scenario(const core::Scenario& scenario,
+                              const core::SolveContext& context) {
   SolvedScenario solved;
-  core::FollowerEquilibriumCache cache;
-  core::SolveContext context;
-  context.threads = threads;
-  context.cache = &cache;
   if (scenario.fixed_prices) {
     solved.prices = *scenario.fixed_prices;
   } else {
@@ -61,8 +62,9 @@ SolvedScenario solve_scenario(const core::Scenario& scenario, int threads) {
   return solved;
 }
 
-int cmd_solve(const core::Scenario& scenario, int threads) {
-  const auto solved = solve_scenario(scenario, threads);
+int cmd_solve(const core::Scenario& scenario,
+              const core::SolveContext& context) {
+  const auto solved = solve_scenario(scenario, context);
   std::printf("prices: P_e=%.4f P_c=%.4f%s\n", solved.prices.edge,
               solved.prices.cloud,
               scenario.fixed_prices ? " (fixed by scenario)" : " (SP stage)");
@@ -91,8 +93,8 @@ int cmd_solve(const core::Scenario& scenario, int threads) {
 }
 
 int cmd_simulate(const core::Scenario& scenario, std::size_t rounds,
-                 int threads) {
-  const auto solved = solve_scenario(scenario, threads);
+                 const core::SolveContext& context) {
+  const auto solved = solve_scenario(scenario, context);
   net::EdgePolicy policy;
   policy.mode = scenario.mode;
   policy.success_prob = scenario.params.edge_success;
@@ -159,14 +161,22 @@ int cmd_dynamic(const core::Scenario& scenario) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: hecmine_cli <solve|simulate|dynamic> <scenario-file> "
-               "[--rounds=N] [--threads=N]\n"
-               "  --threads=N   threads for the SP-stage price scans; 0 (the\n"
-               "                default) uses all hardware threads. The\n"
-               "                HECMINE_THREADS environment variable provides\n"
-               "                the same override when --threads is absent.\n"
-               "                Results are identical for every thread count.\n");
+  std::fprintf(
+      stderr,
+      "usage: hecmine_cli <solve|simulate|dynamic> <scenario-file> "
+      "[--rounds=N] [--threads=N] [--log-level=L] [--telemetry-out=FILE]\n"
+      "  --threads=N          threads for the SP-stage price scans; 0 (the\n"
+      "                       default) uses all hardware threads. The\n"
+      "                       HECMINE_THREADS environment variable provides\n"
+      "                       the same override when --threads is absent.\n"
+      "                       Results are identical for every thread count.\n"
+      "  --log-level=L        debug|info|warn|error (default info); the\n"
+      "                       HECMINE_LOG_LEVEL environment variable is the\n"
+      "                       fallback when the flag is absent.\n"
+      "  --telemetry-out=F    write a JSON telemetry profile (solver\n"
+      "                       counters, cache stats, solve trace) to F and\n"
+      "                       print the summary tables; HECMINE_TELEMETRY is\n"
+      "                       the fallback. Empty/absent = telemetry off.\n");
   return 2;
 }
 
@@ -178,15 +188,48 @@ int main(int argc, char** argv) {
   const std::string command = args.positional()[0];
   const std::string path = args.positional()[1];
   try {
+    args.apply_log_level();
     const core::Scenario scenario = core::load_scenario(path);
-    const int threads = args.threads();
-    if (command == "solve") return cmd_solve(scenario, threads);
-    if (command == "simulate")
-      return cmd_simulate(scenario,
-                          static_cast<std::size_t>(args.get("rounds", 20000)),
-                          threads);
-    if (command == "dynamic") return cmd_dynamic(scenario);
-    return usage();
+    const std::string telemetry_path = args.telemetry_out();
+    support::Telemetry telemetry;
+    core::FollowerEquilibriumCache cache;
+    core::SolveContext context;
+    context.threads = args.threads();
+    context.cache = &cache;
+    context.telemetry = telemetry_path.empty() ? nullptr : &telemetry;
+
+    int status = 2;
+    if (command == "solve") {
+      status = cmd_solve(scenario, context);
+    } else if (command == "simulate") {
+      status = cmd_simulate(scenario,
+                            static_cast<std::size_t>(args.get("rounds", 20000)),
+                            context);
+    } else if (command == "dynamic") {
+      status = cmd_dynamic(scenario);
+    } else {
+      return usage();
+    }
+
+    // End-of-run observability: the cache counters always get one line
+    // (they used to be silently discarded with the cache), and the full
+    // telemetry summary + JSON profile are emitted when a sink was set.
+    if (command != "dynamic") {
+      const core::FollowerCacheStats stats = cache.stats();
+      std::printf(
+          "follower cache: %llu hits / %llu misses / %llu evictions "
+          "(hit rate %.3f)\n",
+          static_cast<unsigned long long>(stats.hits),
+          static_cast<unsigned long long>(stats.misses),
+          static_cast<unsigned long long>(stats.evictions), stats.hit_rate());
+      if (context.telemetry != nullptr) {
+        core::record_cache_stats(telemetry, stats);
+        support::print_summary(std::cout, telemetry);
+        support::write_json(telemetry, telemetry_path);
+        std::printf("[telemetry] %s\n", telemetry_path.c_str());
+      }
+    }
+    return status;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

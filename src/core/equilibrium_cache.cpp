@@ -4,8 +4,19 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::core {
+
+void record_cache_stats(support::Telemetry& telemetry,
+                        const FollowerCacheStats& stats) {
+  telemetry.metrics.gauge("cache.hits").set(static_cast<double>(stats.hits));
+  telemetry.metrics.gauge("cache.misses")
+      .set(static_cast<double>(stats.misses));
+  telemetry.metrics.gauge("cache.evictions")
+      .set(static_cast<double>(stats.evictions));
+  telemetry.metrics.gauge("cache.hit_rate").set(stats.hit_rate());
+}
 
 std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t value) noexcept {
   std::uint64_t z = seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +

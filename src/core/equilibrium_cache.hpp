@@ -30,6 +30,10 @@
 #include "core/oracle.hpp"
 #include "core/types.hpp"
 
+namespace hecmine::support {
+class Telemetry;  // support/telemetry.hpp
+}  // namespace hecmine::support
+
 namespace hecmine::core {
 
 /// Identity of one follower solve: snapped prices plus a caller-supplied
@@ -54,6 +58,12 @@ struct FollowerCacheStats {
     return total == 0.0 ? 0.0 : static_cast<double>(hits) / total;
   }
 };
+
+/// Publishes `stats` into `telemetry` as gauges (`cache.hits`,
+/// `cache.misses`, `cache.evictions`, `cache.hit_rate`) — the end-of-run
+/// bridge between the cache's own counters and the telemetry export.
+void record_cache_stats(support::Telemetry& telemetry,
+                        const FollowerCacheStats& stats);
 
 /// Mixes one 64-bit word into a running hash (splitmix64 finalizer).
 [[nodiscard]] std::uint64_t hash_mix(std::uint64_t seed,

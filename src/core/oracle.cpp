@@ -11,6 +11,7 @@
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::core {
 
@@ -239,6 +240,56 @@ int CachedFollowerOracle::miner_count() const { return inner_->miner_count(); }
 
 EdgeMode CachedFollowerOracle::mode() const { return inner_->mode(); }
 
+InstrumentedFollowerOracle::InstrumentedFollowerOracle(
+    std::unique_ptr<FollowerOracle> inner, support::Telemetry& telemetry)
+    : inner_(std::move(inner)),
+      telemetry_(&telemetry),
+      solves_(telemetry.metrics.counter("oracle.solves")),
+      nonconverged_(telemetry.metrics.counter("oracle.nonconverged")),
+      solve_ms_(telemetry.metrics.histogram(
+          "oracle.solve_ms", support::geometric_edges(0.001, 2.0, 24))),
+      iterations_(telemetry.metrics.histogram(
+          "oracle.iterations", support::geometric_edges(1.0, 2.0, 16))) {
+  HECMINE_REQUIRE(inner_ != nullptr,
+                  "InstrumentedFollowerOracle: null inner oracle");
+}
+
+EquilibriumProfile InstrumentedFollowerOracle::solve(
+    const Prices& prices) const {
+  // The scope makes the sink visible to the VI/GNEP layers on this thread
+  // for exactly the duration of the inner solve.
+  const support::TelemetryScope scope(telemetry_);
+  support::ScopedTimer timer(&solve_ms_);
+  const EquilibriumProfile profile = inner_->solve(prices);
+  const support::ConvergenceReport report = profile.report();
+  solves_.add();
+  if (!report.converged) nonconverged_.add();
+  iterations_.observe(static_cast<double>(report.iterations));
+  return profile;
+}
+
+std::uint64_t InstrumentedFollowerOracle::env_hash() const {
+  return inner_->env_hash();  // observation never changes the answer
+}
+
+int InstrumentedFollowerOracle::miner_count() const {
+  return inner_->miner_count();
+}
+
+EdgeMode InstrumentedFollowerOracle::mode() const { return inner_->mode(); }
+
+std::unique_ptr<FollowerOracle> decorate_follower_oracle(
+    std::unique_ptr<FollowerOracle> oracle, const SolveContext& context) {
+  HECMINE_REQUIRE(oracle != nullptr, "decorate_follower_oracle: null oracle");
+  if (context.telemetry != nullptr)
+    oracle = std::make_unique<InstrumentedFollowerOracle>(std::move(oracle),
+                                                          *context.telemetry);
+  if (context.cache != nullptr)
+    oracle = std::make_unique<CachedFollowerOracle>(std::move(oracle),
+                                                    *context.cache);
+  return oracle;
+}
+
 PopulationExpectationOracle::PopulationExpectationOracle(
     NetworkParams params, double budget, PopulationModel population,
     EdgeMode mode, int samples, SolveContext context)
@@ -347,10 +398,7 @@ std::unique_ptr<FollowerOracle> make_follower_oracle(
     oracle = std::make_unique<StandaloneGnepOracle>(
         params, budgets, GnepAlgorithm::kSharedPrice, context.follower);
   }
-  if (context.cache != nullptr)
-    oracle = std::make_unique<CachedFollowerOracle>(std::move(oracle),
-                                                    *context.cache);
-  return oracle;
+  return decorate_follower_oracle(std::move(oracle), context);
 }
 
 std::unique_ptr<FollowerOracle> make_follower_oracle(const Scenario& scenario,
@@ -371,10 +419,7 @@ std::unique_ptr<FollowerOracle> make_follower_oracle(const Scenario& scenario,
         std::make_unique<PopulationExpectationOracle>(
             params, scenario.budgets.front(), *scenario.population,
             scenario.mode, population_samples, context);
-    if (context.cache != nullptr)
-      oracle = std::make_unique<CachedFollowerOracle>(std::move(oracle),
-                                                      *context.cache);
-    return oracle;
+    return decorate_follower_oracle(std::move(oracle), context);
   }
   return make_follower_oracle(scenario.params, scenario.budgets, scenario.mode,
                               context);
@@ -395,10 +440,7 @@ EquilibriumProfile solve_followers_symmetric(const NetworkParams& params,
   std::unique_ptr<FollowerOracle> oracle =
       std::make_unique<SymmetricFollowerOracle>(params, budget, n, mode,
                                                 context.follower);
-  if (context.cache != nullptr)
-    oracle = std::make_unique<CachedFollowerOracle>(std::move(oracle),
-                                                    *context.cache);
-  return oracle->solve(prices);
+  return decorate_follower_oracle(std::move(oracle), context)->solve(prices);
 }
 
 double miner_exploitability(const NetworkParams& params, const Prices& prices,

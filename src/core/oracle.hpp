@@ -34,6 +34,13 @@
 #include "core/population.hpp"
 #include "core/solve_context.hpp"
 #include "core/types.hpp"
+#include "support/convergence.hpp"
+
+namespace hecmine::support {
+class Counter;
+class HistogramMetric;
+class Telemetry;
+}  // namespace hecmine::support
 
 namespace hecmine::core {
 
@@ -63,6 +70,13 @@ struct EquilibriumProfile {
   /// Full per-miner request vector of size miner_count (replicates the
   /// shared request when symmetric).
   [[nodiscard]] std::vector<MinerRequest> expanded() const;
+
+  /// Convergence summary in the cross-solver vocabulary
+  /// (support/convergence.hpp); ViResult and SharedPriceGnepResult expose
+  /// the same accessor.
+  [[nodiscard]] support::ConvergenceReport report() const noexcept {
+    return {converged, iterations, residual};
+  }
 };
 
 /// MinerEquilibrium -> unified profile (heterogeneous shape).
@@ -197,6 +211,45 @@ class CachedFollowerOracle final : public FollowerOracle {
   std::unique_ptr<FollowerOracle> inner_;
   FollowerEquilibriumCache& cache_;
 };
+
+/// Observability decorator: counts solves and non-converged results and
+/// histograms per-solve wall time and iteration counts into a
+/// support::Telemetry sink (metric names `oracle.solves`,
+/// `oracle.nonconverged`, `oracle.solve_ms`, `oracle.iterations`). It also
+/// installs the sink as the thread-local telemetry for the duration of each
+/// solve — on whichever pool worker runs it — so the deep numeric layers
+/// (VI extragradient, GNEP bisection) can record through
+/// support::current_telemetry() without signature changes. Layered *inside*
+/// the cache decorator so only true solves (cache misses) are counted.
+class InstrumentedFollowerOracle final : public FollowerOracle {
+ public:
+  InstrumentedFollowerOracle(std::unique_ptr<FollowerOracle> inner,
+                             support::Telemetry& telemetry);
+
+  [[nodiscard]] EquilibriumProfile solve(const Prices& prices) const override;
+  [[nodiscard]] std::uint64_t env_hash() const override;
+  [[nodiscard]] int miner_count() const override;
+  [[nodiscard]] EdgeMode mode() const override;
+  [[nodiscard]] const FollowerOracle& inner() const noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<FollowerOracle> inner_;
+  support::Telemetry* telemetry_;
+  // Instruments are resolved once at construction; registry handles are
+  // stable for the sink's lifetime, so solves never touch a stripe mutex.
+  support::Counter& solves_;
+  support::Counter& nonconverged_;
+  support::HistogramMetric& solve_ms_;
+  support::HistogramMetric& iterations_;
+};
+
+/// Applies the context's cross-cutting decorators to a bare oracle:
+/// instrumentation when context.telemetry is set, then memoization when
+/// context.cache is set — i.e. Cached(Instrumented(inner)), so cache hits
+/// never inflate the solve counters. Both factories and the leader stage
+/// funnel through this helper.
+[[nodiscard]] std::unique_ptr<FollowerOracle> decorate_follower_oracle(
+    std::unique_ptr<FollowerOracle> oracle, const SolveContext& context);
 
 /// Population-uncertainty decorator (paper Sec. V): the miner count is a
 /// random variable, so the oracle reports the Monte-Carlo expectation of

@@ -21,6 +21,10 @@
 
 #include <cstdint>
 
+namespace hecmine::support {
+class Telemetry;  // support/telemetry.hpp
+}  // namespace hecmine::support
+
 namespace hecmine::core {
 
 class FollowerEquilibriumCache;  // core/equilibrium_cache.hpp
@@ -51,6 +55,10 @@ struct SolveContext {
   std::uint64_t rng_root = 0x9e3779b97f4a7c15ULL;
   /// Tolerances of the embedded miner solves.
   MinerSolveOptions follower;
+  /// Optional telemetry sink (not owned). When set, oracle factories wrap
+  /// solves in instrumentation and leader loops record phase spans; when
+  /// null every instrumentation site reduces to one pointer test.
+  support::Telemetry* telemetry = nullptr;
 };
 
 }  // namespace hecmine::core

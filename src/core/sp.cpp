@@ -9,6 +9,7 @@
 #include "numerics/optimize.hpp"
 #include "numerics/roots.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::core {
 
@@ -54,10 +55,27 @@ PriceBox price_box(const NetworkParams& params, const SpSolveOptions& options) {
   return box;
 }
 
-std::unique_ptr<FollowerOracle> with_cache(std::unique_ptr<FollowerOracle> oracle,
-                                           FollowerEquilibriumCache* cache) {
-  if (cache == nullptr) return oracle;
-  return std::make_unique<CachedFollowerOracle>(std::move(oracle), *cache);
+/// Leader-stage telemetry accessors: the phase trace and counters live in
+/// the context's sink; absent sink = null trace (Scope no-ops) and no
+/// counter touches.
+support::SolveTrace* trace_of(const SolveContext& context) {
+  return context.telemetry == nullptr ? nullptr : &context.telemetry->trace;
+}
+
+void count_leader_solve(const SolveContext& context) {
+  if (context.telemetry != nullptr)
+    context.telemetry->metrics.counter("sp.leader_solves").add();
+}
+
+void count_best_response_rounds(const SolveContext& context, int rounds) {
+  if (context.telemetry != nullptr && rounds > 0)
+    context.telemetry->metrics.counter("sp.best_response_rounds")
+        .add(static_cast<std::uint64_t>(rounds));
+}
+
+void count_sequential_fallback(const SolveContext& context) {
+  if (context.telemetry != nullptr)
+    context.telemetry->metrics.counter("sp.sequential_fallbacks").add();
 }
 
 /// Symmetric fast-path oracle for n identical miners. `scan` caps the inner
@@ -71,9 +89,10 @@ std::unique_ptr<FollowerOracle> homogeneous_oracle(const NetworkParams& params,
                                                    bool scan) {
   MinerSolveOptions follower = context.follower;
   if (scan) follower.max_iterations = std::min(follower.max_iterations, 600);
-  return with_cache(std::make_unique<SymmetricFollowerOracle>(params, budget, n,
-                                                              mode, follower),
-                    context.cache);
+  return decorate_follower_oracle(
+      std::make_unique<SymmetricFollowerOracle>(params, budget, n, mode,
+                                                follower),
+      context);
 }
 
 /// Full-profile follower oracle (NEP / shared-price GNEP) for arbitrary
@@ -89,7 +108,7 @@ std::unique_ptr<FollowerOracle> profile_oracle(
     oracle = std::make_unique<StandaloneGnepOracle>(
         params, budgets, GnepAlgorithm::kSharedPrice, context.follower);
   }
-  return with_cache(std::move(oracle), context.cache);
+  return decorate_follower_oracle(std::move(oracle), context);
 }
 
 /// Finishes a leader-stage result from final prices with the given
@@ -183,12 +202,20 @@ LeaderStageResult solve_leader_stage_homogeneous(const NetworkParams& params,
   HECMINE_REQUIRE(budget > 0.0, "SP solve: budget must be positive");
   HECMINE_REQUIRE(n >= 2, "SP solve: n >= 2 required");
   const SolveContext context = options.resolved_context();
+  count_leader_solve(context);
+  const support::SolveTrace::Scope stage(trace_of(context),
+                                         "leader_stage.homogeneous");
   const PriceBox box = price_box(params, options);
   const auto scan = homogeneous_oracle(params, budget, n, mode, context, true);
-  const auto leader =
-      run_leader_best_response(params, *scan, box, options, context);
+  game::StackelbergResult leader;
+  {
+    const support::SolveTrace::Scope phase(trace_of(context), "best_response");
+    leader = run_leader_best_response(params, *scan, box, options, context);
+  }
+  count_best_response_rounds(context, leader.rounds);
 
   if (leader.converged || !options.sequential_fallback) {
+    const support::SolveTrace::Scope phase(trace_of(context), "finish");
     const auto full =
         homogeneous_oracle(params, budget, n, mode, context, false);
     auto result = finish_leader_stage(params, *full,
@@ -200,6 +227,7 @@ LeaderStageResult solve_leader_stage_homogeneous(const NetworkParams& params,
   }
   // The simultaneous price game cycles (no pure NE): fall back to the
   // sequential construction that Theorem 4 analyzes.
+  count_sequential_fallback(context);
   auto result =
       solve_leader_stage_sequential(params, budget, n, mode, options);
   result.rounds += leader.rounds;
@@ -232,6 +260,8 @@ LeaderStageResult solve_leader_stage_sequential(const NetworkParams& params,
                                                 const SpSolveOptions& options) {
   params.validate();
   const SolveContext context = options.resolved_context();
+  const support::SolveTrace::Scope stage(trace_of(context),
+                                         "leader_stage.sequential");
   const PriceBox box = price_box(params, options);
   const auto scan_oracle =
       homogeneous_oracle(params, budget, n, mode, context, true);
@@ -275,6 +305,9 @@ LeaderStageResult solve_leader_stage_sellout(const NetworkParams& params,
   HECMINE_REQUIRE(budget > 0.0, "SP solve: budget must be positive");
   HECMINE_REQUIRE(n >= 2, "SP solve: n >= 2 required");
   const SolveContext context = options.resolved_context();
+  count_leader_solve(context);
+  const support::SolveTrace::Scope stage(trace_of(context),
+                                         "leader_stage.sellout");
   const PriceBox box = price_box(params, options);
 
   // Unconstrained (cap-free) standalone edge demand at the given prices:
@@ -357,11 +390,19 @@ LeaderStageResult solve_leader_stage(const NetworkParams& params,
                                           mode, options);
   }
   const SolveContext context = options.resolved_context();
+  count_leader_solve(context);
+  const support::SolveTrace::Scope stage(trace_of(context),
+                                         "leader_stage.profile");
   const PriceBox box = price_box(params, options);
   const auto oracle = profile_oracle(params, budgets, mode, context);
-  const auto leader =
-      run_leader_best_response(params, *oracle, box, options, context);
+  game::StackelbergResult leader;
+  {
+    const support::SolveTrace::Scope phase(trace_of(context), "best_response");
+    leader = run_leader_best_response(params, *oracle, box, options, context);
+  }
+  count_best_response_rounds(context, leader.rounds);
   if (leader.converged || !options.sequential_fallback) {
+    const support::SolveTrace::Scope phase(trace_of(context), "finish");
     auto result = finish_leader_stage(params, *oracle,
                                       {leader.actions[0], leader.actions[1]});
     result.method = SpSolveMethod::kBestResponse;
@@ -371,6 +412,8 @@ LeaderStageResult solve_leader_stage(const NetworkParams& params,
   }
   // Same cycle fallback as the homogeneous path (Theorem 4's sequential
   // construction), so auto-dispatch never changes the equilibrium concept.
+  count_sequential_fallback(context);
+  const support::SolveTrace::Scope phase(trace_of(context), "sequential");
   auto result = sequential_with_oracle(params, *oracle, box, options, context);
   result.rounds += leader.rounds;
   return result;

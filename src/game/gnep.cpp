@@ -3,8 +3,25 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::game {
+
+namespace {
+
+/// Records one finished shared-price GNEP solve into the thread's telemetry
+/// sink (installed upstream by InstrumentedFollowerOracle).
+void record_gnep_solve(const SharedPriceGnepResult& result) {
+  support::Telemetry* telemetry = support::current_telemetry();
+  if (telemetry == nullptr) return;
+  telemetry->metrics.counter("gnep.solves").add();
+  if (!result.converged) telemetry->metrics.counter("gnep.nonconverged").add();
+  telemetry->metrics
+      .histogram("gnep.inner_solves", support::geometric_edges(1.0, 2.0, 12))
+      .observe(static_cast<double>(result.inner_solves));
+}
+
+}  // namespace
 
 SharedPriceGnepResult solve_shared_price_gnep(
     const PenalizedBestResponseFn& penalized_best_response,
@@ -37,6 +54,7 @@ SharedPriceGnepResult solve_shared_price_gnep(
     result.cap_active = usage >= cap - options.complementarity_tol;
     result.converged = at_zero.converged;
     result.inner_solves = inner_solves;
+    record_gnep_solve(result);
     return result;
   }
 
@@ -84,6 +102,7 @@ SharedPriceGnepResult solve_shared_price_gnep(
       inner_ok &&
       std::abs(result.shared_usage - cap) <= 10.0 * options.complementarity_tol;
   result.inner_solves = inner_solves;
+  record_gnep_solve(result);
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "game/nash.hpp"
+#include "support/convergence.hpp"
 
 namespace hecmine::game {
 
@@ -47,6 +48,13 @@ struct SharedPriceGnepResult {
   bool cap_active = false;    ///< whether the shared constraint binds
   bool converged = false;
   int inner_solves = 0;       ///< number of NEP solves performed
+
+  /// Convergence summary in the cross-solver vocabulary: the decomposition's
+  /// work unit is the inner NEP solve, so iterations := inner_solves; the
+  /// bisection has no single residual, so it reports 0.
+  [[nodiscard]] support::ConvergenceReport report() const noexcept {
+    return {converged, inner_solves, 0.0};
+  }
 };
 
 /// Computes the variational equilibrium of a jointly convex GNEP whose only

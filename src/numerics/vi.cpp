@@ -4,8 +4,27 @@
 
 #include "numerics/fixed_point.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::num {
+
+namespace {
+
+/// Records one finished extragradient solve into the thread's telemetry
+/// sink (installed upstream by InstrumentedFollowerOracle); a null sink
+/// costs one thread-local read.
+void record_vi_solve(const VIResult& result, std::uint64_t backtracks) {
+  support::Telemetry* telemetry = support::current_telemetry();
+  if (telemetry == nullptr) return;
+  telemetry->metrics.counter("vi.solves").add();
+  if (!result.converged) telemetry->metrics.counter("vi.nonconverged").add();
+  if (backtracks > 0) telemetry->metrics.counter("vi.backtracks").add(backtracks);
+  telemetry->metrics
+      .histogram("vi.iterations", support::geometric_edges(1.0, 2.0, 16))
+      .observe(static_cast<double>(result.iterations));
+}
+
+}  // namespace
 
 namespace {
 
@@ -47,6 +66,7 @@ VIResult solve_extragradient(const VariationalInequality& problem,
   VIResult result;
   result.point = problem.project(std::move(start));
   double tau = options.initial_step;
+  std::uint64_t backtracks = 0;
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
     const auto f_x = problem.map(result.point);
@@ -62,6 +82,7 @@ VIResult solve_extragradient(const VariationalInequality& problem,
       const double rhs = kNu * norm2(subtract(result.point, y));
       if (lhs <= rhs || rhs == 0.0) break;
       tau *= options.backtrack;
+      ++backtracks;
     }
     const auto next = problem.project(axpy(result.point, -tau, f_y));
     const double movement = max_norm_diff(next, result.point);
@@ -72,6 +93,7 @@ VIResult solve_extragradient(const VariationalInequality& problem,
       result.residual = natural_residual(problem, result.point);
       if (result.residual < 10.0 * options.tolerance) {
         result.converged = true;
+        record_vi_solve(result, backtracks);
         return result;
       }
     }
@@ -80,6 +102,7 @@ VIResult solve_extragradient(const VariationalInequality& problem,
   }
   result.residual = natural_residual(problem, result.point);
   result.converged = result.residual < options.tolerance;
+  record_vi_solve(result, backtracks);
   return result;
 }
 

@@ -11,6 +11,8 @@
 #include <functional>
 #include <vector>
 
+#include "support/convergence.hpp"
+
 namespace hecmine::num {
 
 /// A VI(K, F) instance: find x* in K with F(x*).(y - x*) >= 0 for all y in K.
@@ -35,6 +37,12 @@ struct VIResult {
   double residual = 0.0;  ///< ||x - P_K(x - F(x))||_inf (natural residual)
   int iterations = 0;
   bool converged = false;
+
+  /// Convergence summary in the cross-solver vocabulary
+  /// (support/convergence.hpp).
+  [[nodiscard]] support::ConvergenceReport report() const noexcept {
+    return {converged, iterations, residual};
+  }
 };
 
 /// Natural residual ||x - P_K(x - F(x))||_inf of a candidate point.

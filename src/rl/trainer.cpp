@@ -7,6 +7,7 @@
 
 #include "chain/race.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::rl {
 
@@ -139,17 +140,29 @@ TrainerResult train_miners(const core::NetworkParams& params,
       chosen[a] = learners[active[a]]->select(rng);
       profile[a] = grid.actions[chosen[a]];
     }
+    double block_reward = 0.0;
     if (config.feedback == FeedbackMode::kExpected) {
       for (std::size_t a = 0; a < active.size(); ++a) {
         const double reward = expected_utility(
             params, prices, config.edge_success, profile, a);
         learners[active[a]]->update(chosen[a], reward);
+        block_reward += reward;
       }
     } else {
       const auto utilities = realized_utilities(
           params, prices, config.edge_success, profile, rng);
-      for (std::size_t a = 0; a < active.size(); ++a)
+      for (std::size_t a = 0; a < active.size(); ++a) {
         learners[active[a]]->update(chosen[a], utilities[a]);
+        block_reward += utilities[a];
+      }
+    }
+    if (config.telemetry != nullptr && !active.empty()) {
+      config.telemetry->metrics.counter("rl.blocks").add();
+      config.telemetry->metrics
+          .histogram("rl.block_mean_reward",
+                     {-10.0, -5.0, -2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 5.0,
+                      10.0, 20.0, 50.0, 100.0})
+          .observe(block_reward / static_cast<double>(active.size()));
     }
     for (auto& learner : learners) learner->end_round();
     if (config.curve_stride > 0 &&
@@ -167,6 +180,13 @@ TrainerResult train_miners(const core::NetworkParams& params,
   result.mean.edge /= static_cast<double>(pool);
   result.mean.cloud /= static_cast<double>(pool);
   result.mean_expected_total_edge = population.mean() * result.mean.edge;
+  if (config.telemetry != nullptr) {
+    config.telemetry->metrics.counter("rl.training_periods").add();
+    config.telemetry->metrics.gauge("rl.mean_greedy_edge")
+        .set(result.mean.edge);
+    config.telemetry->metrics.gauge("rl.mean_greedy_cloud")
+        .set(result.mean.cloud);
+  }
   return result;
 }
 
@@ -238,6 +258,14 @@ AdaptivePricingResult adaptive_pricing_loop(
   }
   result.miners = train_miners(params, result.prices, budget, population,
                                config.trainer, stream + 977);
+  if (config.trainer.telemetry != nullptr) {
+    support::MetricsRegistry& metrics = config.trainer.telemetry->metrics;
+    metrics.gauge("rl.adaptive_periods")
+        .set(static_cast<double>(result.periods));
+    metrics.gauge("rl.adaptive_converged").set(result.converged ? 1.0 : 0.0);
+    metrics.gauge("rl.price_edge").set(result.prices.edge);
+    metrics.gauge("rl.price_cloud").set(result.prices.cloud);
+  }
   return result;
 }
 

@@ -61,6 +61,9 @@ struct TrainerConfig {
   FeedbackMode feedback = FeedbackMode::kExpected;
   int curve_stride = 0;  ///< record the greedy-mean trajectory every k
                          ///< blocks (0 = off)
+  /// Optional telemetry sink (not owned): per-block mean-reward histogram
+  /// and end-of-training greedy-strategy gauges (`rl.*`). Null = off.
+  support::Telemetry* telemetry = nullptr;
 };
 
 /// One sampled point of the learning trajectory.

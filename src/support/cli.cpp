@@ -62,6 +62,36 @@ int CliArgs::threads() const {
   return value;
 }
 
+LogLevel CliArgs::log_level() const {
+  // Mirror of threads(): an explicit --log-level wins outright; the
+  // environment override is only consulted when the flag is absent.
+  if (has("log-level")) return parse_log_level(get("log-level", "info"));
+  return env_log_level();
+}
+
+void CliArgs::apply_log_level() const { set_log_level(log_level()); }
+
+std::string CliArgs::telemetry_out() const {
+  if (has("telemetry-out")) return get("telemetry-out", "");
+  const char* raw = std::getenv("HECMINE_TELEMETRY");
+  return raw == nullptr ? std::string{} : std::string{raw};
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  throw PreconditionError("unknown log level: " + name +
+                          " (expected debug|info|warn|error)");
+}
+
+LogLevel env_log_level() {
+  const char* raw = std::getenv("HECMINE_LOG_LEVEL");
+  if (raw == nullptr || *raw == '\0') return LogLevel::kInfo;
+  return parse_log_level(raw);
+}
+
 int env_thread_override() {
   const char* raw = std::getenv("HECMINE_THREADS");
   if (raw == nullptr || *raw == '\0') return 0;

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "support/log.hpp"
+
 namespace hecmine::support {
 
 /// Parsed command line with typed, defaulted accessors.
@@ -20,6 +22,15 @@ class CliArgs {
   /// `--threads` flag with the HECMINE_THREADS environment variable as the
   /// fallback (0 = auto-detect; see support::resolve_thread_count).
   [[nodiscard]] int threads() const;
+  /// `--log-level` flag (debug|info|warn|error) with the HECMINE_LOG_LEVEL
+  /// environment variable as the fallback; same precedence as threads():
+  /// an explicit flag wins outright. Defaults to kInfo.
+  [[nodiscard]] LogLevel log_level() const;
+  /// Applies log_level() to the process-wide logger (set_log_level).
+  void apply_log_level() const;
+  /// `--telemetry-out` flag (a JSON output path) with the HECMINE_TELEMETRY
+  /// environment variable as the fallback; empty = telemetry off.
+  [[nodiscard]] std::string telemetry_out() const;
   /// String flag value or `fallback` when absent.
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const;
@@ -42,5 +53,13 @@ class CliArgs {
 /// its value otherwise. Throws PreconditionError on a malformed or negative
 /// value rather than silently running with a surprising thread count.
 [[nodiscard]] int env_thread_override();
+
+/// Parses a log-level name (debug|info|warn|error, case-sensitive). Throws
+/// PreconditionError on anything else.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+/// Parses the HECMINE_LOG_LEVEL environment variable: kInfo when unset or
+/// empty, the named level otherwise (throws on an unknown name).
+[[nodiscard]] LogLevel env_log_level();
 
 }  // namespace hecmine::support

@@ -14,9 +14,26 @@ Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
   HECMINE_REQUIRE(!columns_.empty(), "Table requires at least one column");
 }
 
+Table::Table(std::string label_header, std::vector<std::string> columns)
+    : columns_(std::move(columns)),
+      labeled_(true),
+      label_header_(std::move(label_header)) {
+  HECMINE_REQUIRE(!columns_.empty(), "Table requires at least one column");
+}
+
 void Table::add_row(const std::vector<double>& values) {
+  HECMINE_REQUIRE(!labeled_, "labeled Table rows need a label");
   HECMINE_REQUIRE(values.size() == columns_.size(),
                   "Table row width must match the column count");
+  rows_.push_back(values);
+}
+
+void Table::add_row(const std::string& label,
+                    const std::vector<double>& values) {
+  HECMINE_REQUIRE(labeled_, "Table was constructed without a label column");
+  HECMINE_REQUIRE(values.size() == columns_.size(),
+                  "Table row width must match the column count");
+  labels_.push_back(label);
   rows_.push_back(values);
 }
 
@@ -24,6 +41,12 @@ double Table::at(std::size_t row, std::size_t column) const {
   HECMINE_REQUIRE(row < rows_.size(), "Table row out of range");
   HECMINE_REQUIRE(column < columns_.size(), "Table column out of range");
   return rows_[row][column];
+}
+
+const std::string& Table::label(std::size_t row) const {
+  HECMINE_REQUIRE(labeled_, "Table was constructed without a label column");
+  HECMINE_REQUIRE(row < labels_.size(), "Table row out of range");
+  return labels_[row];
 }
 
 namespace {
@@ -35,25 +58,34 @@ std::string format_value(double value, int precision) {
 }  // namespace
 
 void Table::print(std::ostream& os, int precision) const {
-  std::vector<std::size_t> widths(columns_.size());
-  for (std::size_t c = 0; c < columns_.size(); ++c)
-    widths[c] = columns_[c].size();
+  // The label column (when present) is rendered as column 0, left-aligned;
+  // numeric columns stay right-aligned.
+  std::vector<std::string> headers;
+  if (labeled_) headers.push_back(label_header_);
+  headers.insert(headers.end(), columns_.begin(), columns_.end());
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
   std::vector<std::vector<std::string>> cells(rows_.size());
   for (std::size_t r = 0; r < rows_.size(); ++r) {
-    cells[r].resize(columns_.size());
-    for (std::size_t c = 0; c < columns_.size(); ++c) {
-      cells[r][c] = format_value(rows_[r][c], precision);
+    if (labeled_) cells[r].push_back(labels_[r]);
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      cells[r].push_back(format_value(rows_[r][c], precision));
+    for (std::size_t c = 0; c < cells[r].size(); ++c)
       widths[c] = std::max(widths[c], cells[r][c].size());
-    }
   }
   auto print_row = [&](const auto& row_text) {
-    for (std::size_t c = 0; c < columns_.size(); ++c)
-      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
-         << row_text[c];
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      if (labeled_ && c == 0)
+        os << std::left << std::setw(static_cast<int>(widths[c]))
+           << row_text[c] << std::right;
+      else
+        os << std::setw(static_cast<int>(widths[c])) << row_text[c];
+    }
     os << " |\n";
   };
-  print_row(columns_);
-  for (std::size_t c = 0; c < columns_.size(); ++c) {
+  print_row(headers);
+  for (std::size_t c = 0; c < headers.size(); ++c) {
     os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
   }
   os << "-|\n";
@@ -66,13 +98,15 @@ void Table::write_csv(const std::string& path, int precision) const {
     std::filesystem::create_directories(file_path.parent_path());
   std::ofstream out{file_path};
   if (!out) throw std::runtime_error("cannot open CSV file: " + path);
+  if (labeled_) out << label_header_ << ',';
   for (std::size_t c = 0; c < columns_.size(); ++c)
     out << (c == 0 ? "" : ",") << columns_[c];
   out << '\n';
   out << std::setprecision(precision);
-  for (const auto& row : rows_) {
-    for (std::size_t c = 0; c < row.size(); ++c)
-      out << (c == 0 ? "" : ",") << row[c];
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (labeled_) out << labels_[r] << ',';
+    for (std::size_t c = 0; c < rows_[r].size(); ++c)
+      out << (c == 0 ? "" : ",") << rows_[r][c];
     out << '\n';
   }
   if (!out) throw std::runtime_error("failed writing CSV file: " + path);

@@ -10,13 +10,21 @@ namespace hecmine::support {
 
 /// Collects rows of doubles under named columns, then renders them as an
 /// aligned ASCII table and/or a CSV file. Used by every bench binary so the
-/// reproduced figures share one output format.
+/// reproduced figures share one output format. A table may optionally carry
+/// a leading string label per row (the telemetry summaries key rows by
+/// metric name); construct with a label header to enable it.
 class Table {
  public:
   explicit Table(std::vector<std::string> columns);
+  /// Labeled variant: every row starts with a string label rendered under
+  /// `label_header` (left-aligned in ASCII, first CSV column).
+  Table(std::string label_header, std::vector<std::string> columns);
 
-  /// Appends one row. Requires exactly one value per column.
+  /// Appends one row. Requires exactly one value per column (and an
+  /// unlabeled table).
   void add_row(const std::vector<double>& values);
+  /// Appends one labeled row; requires the labeled constructor.
+  void add_row(const std::string& label, const std::vector<double>& values);
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
   [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
@@ -24,6 +32,8 @@ class Table {
   }
   /// Value at (row, column); both bounds-checked.
   [[nodiscard]] double at(std::size_t row, std::size_t column) const;
+  /// Label of `row`; requires a labeled table.
+  [[nodiscard]] const std::string& label(std::size_t row) const;
 
   /// Renders an aligned ASCII table with `precision` fractional digits.
   void print(std::ostream& os, int precision = 4) const;
@@ -35,6 +45,9 @@ class Table {
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<double>> rows_;
+  bool labeled_ = false;
+  std::string label_header_;
+  std::vector<std::string> labels_;
 };
 
 /// Prints a `== title ==` section banner used between bench sections.

@@ -1,0 +1,399 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace hecmine::support {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Lock-free running-minimum update (same shape for max with >).
+template <typename Compare>
+void atomic_extremum(std::atomic<double>& slot, double value,
+                     Compare better) noexcept {
+  double current = slot.load(std::memory_order_relaxed);
+  while (better(value, current) &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& slot, double delta) noexcept {
+  double current = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(current, current + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(std::vector<double> edges) : edges_(std::move(edges)) {
+  HECMINE_REQUIRE(!edges_.empty(), "HistogramMetric requires at least one edge");
+  HECMINE_REQUIRE(std::is_sorted(edges_.begin(), edges_.end()),
+                  "HistogramMetric edges must be sorted ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(edges_.size() + 1);
+  for (std::size_t i = 0; i <= edges_.size(); ++i) buckets_[i] = 0;
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void HistogramMetric::observe(double value) noexcept {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - edges_.begin());  // edges.size() = overflow
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_extremum(min_, value, std::less<double>{});
+  atomic_extremum(max_, value, std::greater<double>{});
+}
+
+std::vector<std::uint64_t> HistogramMetric::counts() const {
+  std::vector<std::uint64_t> out(edges_.size() + 1);
+  for (std::size_t i = 0; i <= edges_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t HistogramMetric::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double HistogramMetric::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double HistogramMetric::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double HistogramMetric::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double HistogramMetric::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<double> geometric_edges(double first, double factor, int count) {
+  HECMINE_REQUIRE(first > 0.0 && factor > 1.0 && count >= 1,
+                  "geometric_edges: need first > 0, factor > 1, count >= 1");
+  std::vector<double> edges(static_cast<std::size_t>(count));
+  double edge = first;
+  for (auto& e : edges) {
+    e = edge;
+    edge *= factor;
+  }
+  return edges;
+}
+
+MetricsRegistry::Stripe& MetricsRegistry::stripe_of(std::string_view name) {
+  return stripes_[std::hash<std::string_view>{}(name) % kStripes];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Stripe& stripe = stripe_of(name);
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto& slot = stripe.counters[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Stripe& stripe = stripe_of(name);
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto& slot = stripe.gauges[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<double>& edges) {
+  Stripe& stripe = stripe_of(name);
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto& slot = stripe.histograms[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>(edges);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const auto& [name, counter] : stripe.counters)
+      snap.counters.push_back({name, counter->value()});
+    for (const auto& [name, gauge] : stripe.gauges)
+      snap.gauges.push_back({name, gauge->value()});
+    for (const auto& [name, histogram] : stripe.histograms) {
+      HistogramSample sample;
+      sample.name = name;
+      sample.edges = histogram->edges();
+      sample.counts = histogram->counts();
+      sample.count = histogram->count();
+      sample.sum = histogram->sum();
+      sample.min = histogram->min();
+      sample.max = histogram->max();
+      snap.histograms.push_back(std::move(sample));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+ScopedTimer::ScopedTimer(HistogramMetric* sink) noexcept : sink_(sink) {
+  if (sink_ != nullptr) start_ns_ = steady_now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (sink_ != nullptr) sink_->observe(elapsed_ms());
+}
+
+double ScopedTimer::elapsed_ms() const noexcept {
+  if (sink_ == nullptr) return 0.0;
+  return static_cast<double>(steady_now_ns() - start_ns_) * 1e-6;
+}
+
+SolveTrace::SolveTrace(std::size_t capacity)
+    : capacity_(capacity), epoch_ns_(steady_now_ns()) {}
+
+double SolveTrace::now_ms() const noexcept {
+  return static_cast<double>(steady_now_ns() - epoch_ns_) * 1e-6;
+}
+
+int SolveTrace::begin(std::string_view name) {
+  const double start = now_ms();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return -1;
+  }
+  auto& stack = open_stacks_[std::this_thread::get_id()];
+  Span span;
+  span.name = std::string(name);
+  span.id = static_cast<int>(spans_.size());
+  span.parent = stack.empty() ? -1 : stack.back();
+  span.depth = static_cast<int>(stack.size());
+  span.start_ms = start;
+  stack.push_back(span.id);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void SolveTrace::end(int id) {
+  if (id < 0) return;
+  const double stop = now_ms();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<std::size_t>(id) >= spans_.size()) return;
+  Span& span = spans_[static_cast<std::size_t>(id)];
+  span.duration_ms = stop - span.start_ms;
+  auto& stack = open_stacks_[std::this_thread::get_id()];
+  // Unwind to the ended span so a missed inner end() cannot wedge the
+  // thread's parent stack.
+  while (!stack.empty()) {
+    const int top = stack.back();
+    stack.pop_back();
+    if (top == id) break;
+  }
+}
+
+std::vector<SolveTrace::Span> SolveTrace::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+namespace {
+thread_local Telemetry* t_current_telemetry = nullptr;
+}  // namespace
+
+Telemetry* current_telemetry() noexcept { return t_current_telemetry; }
+
+TelemetryScope::TelemetryScope(Telemetry* sink) noexcept
+    : previous_(t_current_telemetry) {
+  t_current_telemetry = sink;
+}
+
+TelemetryScope::~TelemetryScope() { t_current_telemetry = previous_; }
+
+namespace {
+
+void json_escape(std::ostream& os, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Round-trippable JSON number; non-finite values (not representable in
+/// JSON) degrade to null.
+void json_number(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  std::ostringstream buffer;
+  buffer.precision(std::numeric_limits<double>::max_digits10);
+  buffer << value;
+  os << buffer.str();
+}
+
+template <typename Range, typename Fn>
+void json_array(std::ostream& os, const Range& range, Fn&& item) {
+  os << '[';
+  bool first = true;
+  for (const auto& value : range) {
+    if (!first) os << ", ";
+    first = false;
+    item(value);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string to_json(const Telemetry& telemetry) {
+  const MetricsSnapshot snap = telemetry.metrics.snapshot();
+  const auto spans = telemetry.trace.snapshot();
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"hecmine.telemetry.v1\",\n";
+
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"";
+    json_escape(os, snap.counters[i].name);
+    os << "\": " << snap.counters[i].value;
+  }
+  os << (snap.counters.empty() ? "}" : "\n  }") << ",\n";
+
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"";
+    json_escape(os, snap.gauges[i].name);
+    os << "\": ";
+    json_number(os, snap.gauges[i].value);
+  }
+  os << (snap.gauges.empty() ? "}" : "\n  }") << ",\n";
+
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSample& h = snap.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"";
+    json_escape(os, h.name);
+    os << "\": {\"edges\": ";
+    json_array(os, h.edges, [&](double e) { json_number(os, e); });
+    os << ", \"counts\": ";
+    json_array(os, h.counts, [&](std::uint64_t c) { os << c; });
+    os << ", \"count\": " << h.count << ", \"sum\": ";
+    json_number(os, h.sum);
+    os << ", \"min\": ";
+    json_number(os, h.min);
+    os << ", \"max\": ";
+    json_number(os, h.max);
+    os << "}";
+  }
+  os << (snap.histograms.empty() ? "}" : "\n  }") << ",\n";
+
+  os << "  \"trace\": {\"dropped\": " << telemetry.trace.dropped()
+     << ", \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SolveTrace::Span& span = spans[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"";
+    json_escape(os, span.name);
+    os << "\", \"id\": " << span.id << ", \"parent\": " << span.parent
+       << ", \"depth\": " << span.depth << ", \"start_ms\": ";
+    json_number(os, span.start_ms);
+    os << ", \"duration_ms\": ";
+    json_number(os, span.duration_ms);
+    os << "}";
+  }
+  os << (spans.empty() ? "]}" : "\n  ]}") << "\n}\n";
+  return os.str();
+}
+
+void write_json(const Telemetry& telemetry, const std::string& path) {
+  const std::filesystem::path file_path{path};
+  if (file_path.has_parent_path())
+    std::filesystem::create_directories(file_path.parent_path());
+  std::ofstream out{file_path};
+  HECMINE_REQUIRE(out.good(), "cannot open telemetry file: " + path);
+  out << to_json(telemetry);
+  HECMINE_REQUIRE(out.good(), "failed writing telemetry file: " + path);
+}
+
+void print_summary(std::ostream& os, const Telemetry& telemetry) {
+  const MetricsSnapshot snap = telemetry.metrics.snapshot();
+  if (!snap.counters.empty()) {
+    Table table("counter", {"value"});
+    for (const auto& sample : snap.counters)
+      table.add_row(sample.name, {static_cast<double>(sample.value)});
+    print_section(os, "telemetry: counters");
+    table.print(os, 0);
+  }
+  if (!snap.gauges.empty()) {
+    Table table("gauge", {"value"});
+    for (const auto& sample : snap.gauges)
+      table.add_row(sample.name, {sample.value});
+    print_section(os, "telemetry: gauges");
+    table.print(os, 4);
+  }
+  if (!snap.histograms.empty()) {
+    Table table("histogram", {"count", "mean", "min", "max"});
+    for (const auto& sample : snap.histograms) {
+      const double n = static_cast<double>(sample.count);
+      table.add_row(sample.name,
+                    {n, sample.count == 0 ? 0.0 : sample.sum / n, sample.min,
+                     sample.max});
+    }
+    print_section(os, "telemetry: histograms");
+    table.print(os, 4);
+  }
+  const auto spans = telemetry.trace.snapshot();
+  if (!spans.empty()) {
+    print_section(os, "telemetry: solve trace");
+    for (const auto& span : spans) {
+      os << std::string(2 * static_cast<std::size_t>(span.depth), ' ')
+         << span.name << "  " << span.duration_ms << " ms\n";
+    }
+    if (telemetry.trace.dropped() > 0)
+      os << "(" << telemetry.trace.dropped() << " spans dropped at capacity)\n";
+  }
+}
+
+}  // namespace hecmine::support

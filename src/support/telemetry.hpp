@@ -1,0 +1,295 @@
+// Telemetry: first-class counters, timers and solve traces for the solver
+// stack.
+//
+// Everything the solvers compute about their own behaviour — convergence
+// iterations, VI residual progress, cache hit rates, per-phase wall time —
+// used to be thrown away at the end of a solve. This header makes those
+// numbers first-class so every perf or robustness claim can be made from a
+// machine-readable profile instead of a stopwatch:
+//
+//   * MetricsRegistry — named monotonic Counters, Gauges and fixed-bucket
+//     Histograms. The registry is lock-striped: a name is resolved to its
+//     instrument under one of kStripes stripe mutexes, and the instruments
+//     themselves are lock-free atomics, so the PR-1 thread pool never
+//     serializes on telemetry. Handles returned by counter()/gauge()/
+//     histogram() stay valid for the registry's lifetime — hot paths
+//     resolve once and increment through the reference.
+//   * ScopedTimer — RAII wall-clock timer feeding a HistogramMetric (or nothing,
+//     when constructed with nullptr: the null-sink path does no clock
+//     reads).
+//   * SolveTrace — a capacity-bounded span recorder capturing the phase
+//     tree of a leader-stage solve (price grid evals -> follower oracle
+//     solves -> VI/NEP inner iterations). Spans nest per thread; spans
+//     begun past the capacity are counted as dropped rather than recorded.
+//   * Telemetry — one sink bundling a registry and a trace. A nullable
+//     `Telemetry*` rides in core::SolveContext; every instrumentation site
+//     guards on it, so an absent sink costs one pointer test.
+//   * to_json / write_json / print_summary — machine-readable export and a
+//     human-readable summary built on support::Table.
+//
+// Deep layers (the VI extragradient loop, the shared-price GNEP bisection)
+// cannot see a SolveContext, so the sink also propagates through a
+// thread-local: TelemetryScope installs a sink for the current thread and
+// current_telemetry() reads it back. The instrumented follower oracle sets
+// the scope around each inner solve — on whichever pool thread runs it —
+// which is how per-solver iteration counts reach the registry without
+// threading a pointer through every numeric call signature.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace hecmine::support {
+
+/// Monotonic event counter. add() is lock-free; never decreases.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (cache hit rate, episode reward, ...). set() and
+/// add() are lock-free.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= edges[i]; one
+/// implicit overflow bucket catches the rest. Edges are fixed at creation
+/// (first registration wins), observations are lock-free.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> edges);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& edges() const noexcept {
+    return edges_;
+  }
+  /// Bucket counts; size edges().size() + 1 (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  /// Smallest / largest observation (0 when empty).
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+ private:
+  std::vector<double> edges_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Geometric bucket edges {first, first*factor, ...} of length `count` —
+/// the usual shape for iteration counts and wall-time histograms.
+[[nodiscard]] std::vector<double> geometric_edges(double first, double factor,
+                                                  int count);
+
+/// One exported instrument value (see MetricsSnapshot).
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;  ///< edges.size() + 1, last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name so
+/// exports are deterministic.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Thread-safe named-instrument registry. Lookup takes one stripe mutex
+/// (striped by name hash); the returned references are stable for the
+/// registry's lifetime and their operations are lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// HistogramMetric under `name`; `edges` is consulted only on first
+  /// registration (later calls with different edges get the original).
+  [[nodiscard]] HistogramMetric& histogram(std::string_view name,
+                                     const std::vector<double>& edges);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<HistogramMetric>> histograms;
+  };
+  [[nodiscard]] Stripe& stripe_of(std::string_view name);
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// RAII wall-clock timer: records elapsed milliseconds into `sink` on
+/// destruction. A null sink skips the clock reads entirely.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramMetric* sink) noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Milliseconds since construction (0 for a null sink).
+  [[nodiscard]] double elapsed_ms() const noexcept;
+
+ private:
+  HistogramMetric* sink_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Capacity-bounded span recorder for the phase tree of a solve. begin()
+/// opens a span whose parent is the innermost open span *on the same
+/// thread* (so coarse phases spanned on the calling thread nest naturally,
+/// and spans opened on pool workers become roots); end() closes it. Spans
+/// past `capacity` are dropped and counted, never silently lost.
+class SolveTrace {
+ public:
+  /// One recorded phase. Times are milliseconds since trace construction.
+  struct Span {
+    std::string name;
+    int id = -1;
+    int parent = -1;  ///< index into the span vector, -1 = root
+    int depth = 0;
+    double start_ms = 0.0;
+    double duration_ms = 0.0;  ///< 0 while still open
+  };
+
+  explicit SolveTrace(std::size_t capacity = 4096);
+
+  /// Opens a span; returns its id, or -1 when the trace is full (the drop
+  /// is counted and end(-1) is a no-op).
+  [[nodiscard]] int begin(std::string_view name);
+  void end(int id);
+
+  [[nodiscard]] std::vector<Span> snapshot() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII span; tolerates a null trace (records nothing).
+  class Scope {
+   public:
+    Scope(SolveTrace* trace, std::string_view name)
+        : trace_(trace), id_(trace ? trace->begin(name) : -1) {}
+    ~Scope() {
+      if (trace_ != nullptr) trace_->end(id_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SolveTrace* trace_;
+    int id_;
+  };
+
+ private:
+  [[nodiscard]] double now_ms() const noexcept;
+
+  const std::size_t capacity_;
+  const std::uint64_t epoch_ns_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::unordered_map<std::thread::id, std::vector<int>> open_stacks_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// One telemetry sink: the metrics registry plus the solve trace. Pass a
+/// pointer down through core::SolveContext; null means "telemetry off" and
+/// costs instrumentation sites a single pointer test.
+class Telemetry {
+ public:
+  MetricsRegistry metrics;
+  SolveTrace trace;
+};
+
+/// The thread's current sink (installed by TelemetryScope), or null.
+[[nodiscard]] Telemetry* current_telemetry() noexcept;
+
+/// Installs `sink` as the thread's current telemetry for the scope's
+/// lifetime (restores the previous sink on destruction). Used by the
+/// instrumented follower oracle so deep layers — the VI loop, the GNEP
+/// bisection — can record without seeing a SolveContext.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(Telemetry* sink) noexcept;
+  ~TelemetryScope();
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  Telemetry* previous_;
+};
+
+/// Serializes the whole sink (counters, gauges, histograms, trace spans)
+/// as one JSON object. Deterministic: instruments are sorted by name.
+[[nodiscard]] std::string to_json(const Telemetry& telemetry);
+
+/// Writes to_json() to `path`, creating parent directories. Throws on I/O
+/// failure.
+void write_json(const Telemetry& telemetry, const std::string& path);
+
+/// Renders the registry and trace as aligned tables (support::Table) — the
+/// end-of-run summary the benches and hecmine_cli print.
+void print_summary(std::ostream& os, const Telemetry& telemetry);
+
+}  // namespace hecmine::support

@@ -1,0 +1,375 @@
+// Telemetry subsystem tests: registry thread-safety under the pool,
+// histogram bucket semantics, JSON export shape, the null-sink zero-cost
+// path, and the cross-solver ConvergenceReport vocabulary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/equilibrium_cache.hpp"
+#include "core/oracle.hpp"
+#include "core/params.hpp"
+#include "numerics/vi.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
+
+namespace {
+
+using namespace hecmine;
+using support::Telemetry;
+
+TEST(Counter, AccumulatesAndNeverDecreases) {
+  support::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  support::Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+}
+
+TEST(HistogramMetric, BucketEdgesAreInclusiveUpperBounds) {
+  support::HistogramMetric histogram({1.0, 2.0, 4.0});
+  // bucket i counts v <= edges[i]; edge values land in their own bucket,
+  // anything beyond the last edge goes to the implicit overflow bucket.
+  histogram.observe(0.5);   // <= 1
+  histogram.observe(1.0);   // <= 1 (inclusive)
+  histogram.observe(1.5);   // <= 2
+  histogram.observe(4.0);   // <= 4
+  histogram.observe(100.0); // overflow
+  const auto counts = histogram.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 100.0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 107.0);
+}
+
+TEST(HistogramMetric, EmptyReportsZeros) {
+  support::HistogramMetric histogram({1.0});
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+}
+
+TEST(HistogramMetric, RejectsUnsortedEdges) {
+  EXPECT_THROW(support::HistogramMetric({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(support::HistogramMetric({}), std::invalid_argument);
+}
+
+TEST(GeometricEdges, GrowsByFactor) {
+  const auto edges = support::geometric_edges(1.0, 2.0, 4);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(edges[3], 8.0);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndFirstEdgesWin) {
+  support::MetricsRegistry registry;
+  support::Counter& a = registry.counter("x");
+  support::Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  support::HistogramMetric& h1 = registry.histogram("h", {1.0, 2.0});
+  support::HistogramMetric& h2 = registry.histogram("h", {5.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.edges().size(), 2u);  // first registration wins
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsUnderThePoolLoseNothing) {
+  support::MetricsRegistry registry;
+  constexpr std::size_t kTasks = 64;
+  constexpr int kPerTask = 1000;
+  // Every task resolves the instruments by name (hammering the stripe
+  // locks) and increments; nothing may be lost or torn.
+  support::parallel_for(
+      kTasks,
+      [&](std::size_t task) {
+        support::Counter& counter = registry.counter("pool.counter");
+        support::HistogramMetric& histogram =
+            registry.histogram("pool.histogram", {10.0, 100.0, 1000.0});
+        for (int i = 0; i < kPerTask; ++i) {
+          counter.add();
+          histogram.observe(static_cast<double>(task));
+        }
+      },
+      0);
+  EXPECT_EQ(registry.counter("pool.counter").value(), kTasks * kPerTask);
+  EXPECT_EQ(registry.histogram("pool.histogram", {}).count(),
+            kTasks * kPerTask);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  support::MetricsRegistry registry;
+  registry.counter("zeta").add();
+  registry.counter("alpha").add();
+  registry.gauge("mid").set(1.0);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+}
+
+TEST(ScopedTimer, NullSinkIsZeroCostAndRecordsNothing) {
+  support::ScopedTimer timer(nullptr);
+  EXPECT_DOUBLE_EQ(timer.elapsed_ms(), 0.0);
+}
+
+TEST(ScopedTimer, RecordsIntoSink) {
+  support::HistogramMetric sink({1e9});
+  {
+    support::ScopedTimer timer(&sink);
+  }
+  EXPECT_EQ(sink.count(), 1u);
+  EXPECT_GE(sink.sum(), 0.0);
+}
+
+TEST(SolveTrace, NestsSpansPerThreadAndDropsAtCapacity) {
+  support::SolveTrace trace(3);
+  const int outer = trace.begin("outer");
+  const int inner = trace.begin("inner");
+  trace.end(inner);
+  trace.end(outer);
+  const int third = trace.begin("third");
+  trace.end(third);
+  EXPECT_EQ(trace.begin("overflow"), -1);  // capacity 3 reached
+  trace.end(-1);                           // must be a safe no-op
+  EXPECT_EQ(trace.dropped(), 1u);
+
+  const auto spans = trace.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].parent, -1);  // third opened after outer closed
+  for (const auto& span : spans) EXPECT_GE(span.duration_ms, 0.0);
+}
+
+TEST(SolveTrace, NullScopeIsNoop) {
+  // Scope must tolerate a null trace — that is the telemetry-off hot path.
+  support::SolveTrace::Scope scope(nullptr, "nothing");
+}
+
+TEST(TelemetryScope, InstallsAndRestoresThreadLocalSink) {
+  EXPECT_EQ(support::current_telemetry(), nullptr);
+  Telemetry sink;
+  {
+    support::TelemetryScope scope(&sink);
+    EXPECT_EQ(support::current_telemetry(), &sink);
+    {
+      Telemetry nested;
+      support::TelemetryScope inner(&nested);
+      EXPECT_EQ(support::current_telemetry(), &nested);
+    }
+    EXPECT_EQ(support::current_telemetry(), &sink);
+  }
+  EXPECT_EQ(support::current_telemetry(), nullptr);
+}
+
+// Minimal structural JSON check: balanced braces/brackets outside strings,
+// and an even number of unescaped quotes. Not a parser, but catches the
+// classic emission bugs (dangling comma handling is covered by substring
+// checks below).
+bool json_balanced(const std::string& text) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+TEST(ToJson, EmptySinkIsWellFormed) {
+  Telemetry telemetry;
+  const std::string json = support::to_json(telemetry);
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"schema\": \"hecmine.telemetry.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+}
+
+TEST(ToJson, CarriesInstrumentsAndTrace) {
+  Telemetry telemetry;
+  telemetry.metrics.counter("a.count").add(7);
+  telemetry.metrics.gauge("b.gauge").set(0.125);
+  telemetry.metrics.histogram("c.hist", {1.0, 2.0}).observe(1.5);
+  {
+    support::SolveTrace::Scope scope(&telemetry.trace, "phase");
+  }
+  const std::string json = support::to_json(telemetry);
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"a.count\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b.gauge\": 0.125"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counts\": [0, 1, 0]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"phase\""), std::string::npos) << json;
+}
+
+TEST(ToJson, NonFiniteGaugesDegradeToNull) {
+  Telemetry telemetry;
+  telemetry.metrics.gauge("bad").set(std::nan(""));
+  const std::string json = support::to_json(telemetry);
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"bad\": null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+}
+
+TEST(WriteJson, RoundTripsThroughTheFile) {
+  Telemetry telemetry;
+  telemetry.metrics.counter("file.count").add(3);
+  const std::string path =
+      testing::TempDir() + "/hecmine_telemetry_roundtrip.json";
+  support::write_json(telemetry, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), support::to_json(telemetry));
+  std::remove(path.c_str());
+}
+
+TEST(PrintSummary, RendersTablesForEverySection) {
+  Telemetry telemetry;
+  telemetry.metrics.counter("s.count").add(2);
+  telemetry.metrics.gauge("s.gauge").set(1.0);
+  telemetry.metrics.histogram("s.hist", {1.0}).observe(0.5);
+  {
+    support::SolveTrace::Scope scope(&telemetry.trace, "root");
+  }
+  std::ostringstream os;
+  support::print_summary(os, telemetry);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("s.count"), std::string::npos);
+  EXPECT_NE(text.find("s.gauge"), std::string::npos);
+  EXPECT_NE(text.find("s.hist"), std::string::npos);
+  EXPECT_NE(text.find("root"), std::string::npos);
+}
+
+// --- cross-solver ConvergenceReport consistency ---------------------------
+
+core::NetworkParams standalone_params() {
+  core::NetworkParams params;
+  params.edge_capacity = 8.0;  // matches test_core_oracle's standalone game
+  return params;
+}
+
+TEST(ConvergenceReport, ProfileViAndGnepAgreeOnTheVocabulary) {
+  const core::NetworkParams params = standalone_params();
+  const core::Prices prices{2.2, 1.0};
+  const std::vector<double> budgets{25.0, 35.0, 45.0};
+
+  // Same game through both GNEP algorithms; each result's report() must
+  // mirror the struct's own fields, and both must converge.
+  for (const auto algorithm :
+       {core::GnepAlgorithm::kSharedPrice, core::GnepAlgorithm::kVi}) {
+    const core::StandaloneGnepOracle oracle(params, budgets, algorithm);
+    const core::EquilibriumProfile profile = oracle.solve(prices);
+    const support::ConvergenceReport report = profile.report();
+    EXPECT_TRUE(report.converged);
+    EXPECT_EQ(report.converged, profile.converged);
+    EXPECT_EQ(report.iterations, profile.iterations);
+    EXPECT_DOUBLE_EQ(report.residual, profile.residual);
+    EXPECT_GT(report.iterations, 0);
+  }
+
+  // A raw VI solve reports through the same vocabulary.
+  num::VariationalInequality vi;
+  vi.map = [](const std::vector<double>& x) {
+    return std::vector<double>{x[0] - 0.5};
+  };
+  vi.project = [](const std::vector<double>& x) {
+    return std::vector<double>{std::clamp(x[0], 0.0, 1.0)};
+  };
+  const num::VIResult solved = num::solve_extragradient(vi, {0.0});
+  const support::ConvergenceReport vi_report = solved.report();
+  EXPECT_TRUE(vi_report.converged);
+  EXPECT_EQ(vi_report.iterations, solved.iterations);
+  EXPECT_DOUBLE_EQ(vi_report.residual, solved.residual);
+}
+
+TEST(InstrumentedOracle, CountsSolvesAndPropagatesTheSinkToDeepLayers) {
+  const core::NetworkParams params = standalone_params();
+  const core::Prices prices{2.2, 1.0};
+  const std::vector<double> budgets{25.0, 35.0, 45.0};
+
+  Telemetry telemetry;
+  core::SolveContext context;
+  context.telemetry = &telemetry;
+  const auto oracle = core::make_follower_oracle(
+      params, budgets, core::EdgeMode::kStandalone, context);
+  (void)oracle->solve(prices);
+
+  EXPECT_EQ(telemetry.metrics.counter("oracle.solves").value(), 1u);
+  // The shared-price GNEP runs under the TLS scope, so its counters land
+  // in the same sink without any plumbing through MinerSolveOptions.
+  EXPECT_EQ(telemetry.metrics.counter("gnep.solves").value(), 1u);
+  EXPECT_EQ(telemetry.metrics.histogram("oracle.iterations", {}).count(), 1u);
+  EXPECT_EQ(support::current_telemetry(), nullptr);  // scope restored
+}
+
+TEST(InstrumentedOracle, CacheHitsDoNotInflateSolveCounters) {
+  const core::NetworkParams params = standalone_params();
+  const core::Prices prices{2.2, 1.0};
+  const std::vector<double> budgets{25.0, 35.0, 45.0};
+
+  Telemetry telemetry;
+  core::FollowerEquilibriumCache cache;
+  core::SolveContext context;
+  context.telemetry = &telemetry;
+  context.cache = &cache;
+  const auto oracle = core::make_follower_oracle(
+      params, budgets, core::EdgeMode::kStandalone, context);
+  (void)oracle->solve(prices);
+  (void)oracle->solve(prices);  // cache hit: must not count as a solve
+
+  EXPECT_EQ(telemetry.metrics.counter("oracle.solves").value(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  core::record_cache_stats(telemetry, cache.stats());
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("cache.hits").value(), 1.0);
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("cache.hit_rate").value(), 0.5);
+}
+
+TEST(NullSink, SolveWithoutTelemetryTouchesNoGlobalState) {
+  const core::NetworkParams params = standalone_params();
+  const core::Prices prices{2.2, 1.0};
+  const std::vector<double> budgets{25.0, 35.0, 45.0};
+
+  // No sink anywhere: the solve must neither crash nor install telemetry.
+  const auto oracle = core::make_follower_oracle(
+      params, budgets, core::EdgeMode::kStandalone, core::SolveContext{});
+  const core::EquilibriumProfile profile = oracle->solve(prices);
+  EXPECT_TRUE(profile.converged);
+  EXPECT_EQ(support::current_telemetry(), nullptr);
+}
+
+}  // namespace
