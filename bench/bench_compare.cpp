@@ -1,0 +1,38 @@
+// CI perf-regression gate over hecmine.bench.v1 ledger files.
+//
+//   bench_compare <baseline.json> <current.json> [--max-regression=0.15]
+//                 [--min-ms=1.0] [--no-config-check] [--no-audit-check]
+//
+// Exit codes: 0 = within tolerance, 1 = regression (timing or equilibrium
+// quality), 2 = usage / IO / schema error.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "compare.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hecmine;
+  const support::CliArgs args(argc, argv);
+  if (args.positional().size() != 2) {
+    std::cerr << "usage: bench_compare <baseline.json> <current.json> "
+                 "[--max-regression=R] [--min-ms=M]\n"
+                 "       [--no-config-check] [--no-audit-check]\n";
+    return 2;
+  }
+  bench::CompareOptions options;
+  options.max_regression = args.get("max-regression", options.max_regression);
+  options.min_ms = args.get("min-ms", options.min_ms);
+  options.check_config = !args.has("no-config-check");
+  options.check_audit = !args.has("no-audit-check");
+  if (options.max_regression <= 0.0) {
+    std::cerr << "bench_compare: --max-regression must be positive\n";
+    return 2;
+  }
+  const bench::CompareResult result = bench::compare_bench_files(
+      args.positional()[0], args.positional()[1], options);
+  bench::print_compare(std::cout, result);
+  if (!result.error.empty()) return 2;
+  return result.ok ? 0 : 1;
+}

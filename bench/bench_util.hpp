@@ -4,11 +4,13 @@
 // plots) and mirrors them to CSV under bench_out/ for plotting.
 #pragma once
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
 
@@ -36,6 +38,21 @@ template <typename Point, typename Fn>
     -> std::vector<decltype(fn(points.front()))> {
   return support::parallel_map(
       points.size(), [&](std::size_t i) { return fn(points[i]); }, threads);
+}
+
+/// Exact sample percentile with linear interpolation between order
+/// statistics (the ledger's p50/p95 come from the repeat samples, which
+/// are few — so no bucketing, unlike HistogramMetric::quantile).
+[[nodiscard]] inline double percentile(std::vector<double> values, double q) {
+  HECMINE_REQUIRE(!values.empty(), "percentile of an empty sample");
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  if (q >= 1.0) return values.back();
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] + frac * (values[lo + 1] - values[lo]);
 }
 
 /// Prints the table and writes bench_out/<name>.csv.

@@ -1,0 +1,63 @@
+// Perf-regression ledger comparison: pairs two hecmine.bench.v1 JSON
+// files (a committed baseline and a fresh run) label-by-label and flags
+// timing regressions beyond a tolerance. Built as a small static library
+// so both the bench_compare CLI gate and the unit tests link the same
+// logic.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace hecmine::bench {
+
+struct CompareOptions {
+  /// Maximum tolerated relative slowdown: current > baseline * (1 + this)
+  /// on the compared timing metric counts as a regression.
+  double max_regression = 0.15;
+  /// Runs faster than this (in both files) are skipped — timer noise on
+  /// sub-millisecond solves would otherwise dominate the ratio.
+  double min_ms = 1.0;
+  /// Refuse to compare files whose "config" objects differ (different
+  /// workload shapes make the ratio meaningless).
+  bool check_config = true;
+  /// Flag equilibrium-quality drift: a current best_response_gap or
+  /// capacity_violation materially above the baseline fails the gate even
+  /// if the timings improved.
+  bool check_audit = true;
+};
+
+struct MetricDelta {
+  std::string label;      ///< run label, or "audit.<metric>"
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;     ///< current / baseline (timings), or absolute gap
+  bool regressed = false;
+  bool skipped = false;   ///< under the noise floor, or missing in one file
+  std::string note;
+};
+
+struct CompareResult {
+  bool ok = false;
+  std::vector<MetricDelta> deltas;
+  std::string error;  ///< non-empty on structural failure (schema, config)
+};
+
+/// Compares two parsed bench documents. Timing metric per run:
+/// wall_ms_p50 when both files carry it, else wall_ms (so v1 files remain
+/// comparable to pre-schema ones).
+[[nodiscard]] CompareResult compare_bench_json(
+    const support::json::Value& baseline, const support::json::Value& current,
+    const CompareOptions& options = {});
+
+/// Loads both files and compares. IO/parse failures surface in .error.
+[[nodiscard]] CompareResult compare_bench_files(
+    const std::string& baseline_path, const std::string& current_path,
+    const CompareOptions& options = {});
+
+/// Human-readable report, one line per delta plus the verdict.
+void print_compare(std::ostream& os, const CompareResult& result);
+
+}  // namespace hecmine::bench

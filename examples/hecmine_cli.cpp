@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/audit.hpp"
 #include "core/equilibrium_cache.hpp"
 #include "core/dynamic.hpp"
 #include "core/oracle.hpp"
@@ -63,7 +64,7 @@ SolvedScenario solve_scenario(const core::Scenario& scenario,
 }
 
 int cmd_solve(const core::Scenario& scenario,
-              const core::SolveContext& context) {
+              const core::SolveContext& context, bool audit) {
   const auto solved = solve_scenario(scenario, context);
   std::printf("prices: P_e=%.4f P_c=%.4f%s\n", solved.prices.edge,
               solved.prices.cloud,
@@ -89,6 +90,16 @@ int cmd_solve(const core::Scenario& scenario,
               welfare.miner_surplus, welfare.sp_profit(),
               welfare.sp_profit_edge, welfare.sp_profit_cloud,
               100.0 * welfare.dissipation);
+  if (audit) {
+    core::AuditOptions options;
+    options.context = context;
+    const core::AuditReport report =
+        core::audit_equilibrium(scenario, solved.prices, solved.followers,
+                                options);
+    core::print_audit(std::cout, report);
+    if (context.telemetry != nullptr)
+      core::record_audit(*context.telemetry, report);
+  }
   return 0;
 }
 
@@ -165,6 +176,7 @@ int usage() {
       stderr,
       "usage: hecmine_cli <solve|simulate|dynamic> <scenario-file> "
       "[--rounds=N] [--threads=N] [--log-level=L] [--telemetry-out=FILE]\n"
+      "                   [--iteration-log=FILE] [--audit]\n"
       "  --threads=N          threads for the SP-stage price scans; 0 (the\n"
       "                       default) uses all hardware threads. The\n"
       "                       HECMINE_THREADS environment variable provides\n"
@@ -176,7 +188,15 @@ int usage() {
       "  --telemetry-out=F    write a JSON telemetry profile (solver\n"
       "                       counters, cache stats, solve trace) to F and\n"
       "                       print the summary tables; HECMINE_TELEMETRY is\n"
-      "                       the fallback. Empty/absent = telemetry off.\n");
+      "                       the fallback. Empty/absent = telemetry off.\n"
+      "  --iteration-log=F    stream one JSONL record per solver iteration\n"
+      "                       (schema hecmine.iterlog.v1: residual, prices,\n"
+      "                       aggregates, step, constraint flags) to F;\n"
+      "                       HECMINE_ITERLOG is the fallback.\n"
+      "  --audit              audit the solved equilibrium (solve command):\n"
+      "                       best-response gap, budget slack, capacity\n"
+      "                       violation, Theorem-2 uniqueness check, leader\n"
+      "                       optimality gap.\n");
   return 2;
 }
 
@@ -191,16 +211,25 @@ int main(int argc, char** argv) {
     args.apply_log_level();
     const core::Scenario scenario = core::load_scenario(path);
     const std::string telemetry_path = args.telemetry_out();
+    const std::string iteration_log_path = args.iteration_log();
+    const bool audit = args.has("audit");
     support::Telemetry telemetry;
     core::FollowerEquilibriumCache cache;
     core::SolveContext context;
     context.threads = args.threads();
     context.cache = &cache;
-    context.telemetry = telemetry_path.empty() ? nullptr : &telemetry;
+    // A sink is attached whenever any consumer needs it: a telemetry JSON
+    // path, a streaming iteration log, or audit gauges.
+    context.telemetry =
+        telemetry_path.empty() && iteration_log_path.empty() && !audit
+            ? nullptr
+            : &telemetry;
+    if (!iteration_log_path.empty())
+      telemetry.probe.stream_to(iteration_log_path);
 
     int status = 2;
     if (command == "solve") {
-      status = cmd_solve(scenario, context);
+      status = cmd_solve(scenario, context, audit);
     } else if (command == "simulate") {
       status = cmd_simulate(scenario,
                             static_cast<std::size_t>(args.get("rounds", 20000)),
@@ -222,11 +251,16 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(stats.hits),
           static_cast<unsigned long long>(stats.misses),
           static_cast<unsigned long long>(stats.evictions), stats.hit_rate());
-      if (context.telemetry != nullptr) {
+      if (context.telemetry != nullptr && !telemetry_path.empty()) {
         core::record_cache_stats(telemetry, stats);
         support::print_summary(std::cout, telemetry);
         support::write_json(telemetry, telemetry_path);
         std::printf("[telemetry] %s\n", telemetry_path.c_str());
+      }
+      if (!iteration_log_path.empty()) {
+        std::printf("[iteration-log] %s (%llu records)\n",
+                    iteration_log_path.c_str(),
+                    static_cast<unsigned long long>(telemetry.probe.total()));
       }
     }
     return status;

@@ -1,0 +1,200 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "core/closed_forms.hpp"
+#include "core/miner.hpp"
+#include "core/sp.hpp"
+#include "numerics/vi.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/telemetry.hpp"
+
+namespace hecmine::core {
+
+namespace {
+
+/// Stacked negated-utility-gradient pseudo-gradient F of the follower game
+/// (the operator whose monotonicity is the Theorem-2 / Theorem-5
+/// uniqueness condition), over the flat layout [e_0, c_0, e_1, c_1, ...].
+std::vector<double> pseudo_gradient(const NetworkParams& params,
+                                    const Prices& prices,
+                                    const std::vector<double>& budgets,
+                                    double edge_success,
+                                    const std::vector<double>& flat) {
+  const std::size_t n = budgets.size();
+  std::vector<double> f(flat.size());
+  Totals totals;
+  for (std::size_t i = 0; i < n; ++i) {
+    totals.edge += flat[2 * i];
+    totals.cloud += flat[2 * i + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    MinerEnv env;
+    env.reward = params.reward;
+    env.fork_rate = params.fork_rate;
+    env.edge_success = edge_success;
+    env.prices = prices;
+    env.budget = budgets[i];
+    env.others = {totals.edge - flat[2 * i], totals.cloud - flat[2 * i + 1]};
+    const auto [du_de, du_dc] =
+        miner_utility_gradient(env, {flat[2 * i], flat[2 * i + 1]});
+    f[2 * i] = -du_de;
+    f[2 * i + 1] = -du_dc;
+  }
+  return f;
+}
+
+/// Deterministic sampling cloud around the equilibrium for the empirical
+/// monotonicity quotient. All coordinates stay strictly positive (the
+/// gradient needs E > 0).
+std::vector<std::vector<double>> sample_cloud(const std::vector<double>& base,
+                                              int samples, double scale,
+                                              std::uint64_t seed) {
+  constexpr double kFloor = 1e-9;
+  std::vector<std::vector<double>> points;
+  points.reserve(static_cast<std::size_t>(samples) + 1);
+  std::vector<double> origin = base;
+  for (double& x : origin) x = std::max(x, kFloor);
+  points.push_back(origin);
+  support::Rng rng(seed);
+  double mean = 0.0;
+  for (double x : base) mean += x;
+  mean = base.empty() ? 1.0 : mean / static_cast<double>(base.size());
+  for (int s = 0; s < samples; ++s) {
+    std::vector<double> point = origin;
+    for (double& x : point) {
+      const double radius = scale * (x + 0.01 * (1.0 + mean));
+      x = std::max(kFloor, x + rng.uniform(-radius, radius));
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace
+
+AuditReport audit_equilibrium(const Scenario& scenario, const Prices& prices,
+                              const EquilibriumProfile& profile,
+                              const AuditOptions& options) {
+  HECMINE_REQUIRE(!scenario.population.has_value(),
+                  "audit_equilibrium: population scenarios have no fixed "
+                  "miner set to audit");
+  HECMINE_REQUIRE(profile.miner_count == scenario.miners(),
+                  "audit_equilibrium: profile/scenario miner count mismatch");
+  HECMINE_REQUIRE(options.price_step > 0.0,
+                  "audit_equilibrium: price_step must be positive");
+  const NetworkParams& params = scenario.params;
+  const bool connected = scenario.mode == EdgeMode::kConnected;
+
+  AuditReport report;
+  report.converged = profile.converged;
+  report.iterations = profile.iterations;
+  report.residual = profile.residual;
+
+  const std::vector<MinerRequest> requests = profile.expanded();
+  const Totals totals = aggregate(requests);
+
+  // Exploitability: the best-response-gap certificate, computed from the
+  // primitives rather than the solver's converged flag.
+  report.best_response_gap = miner_exploitability(
+      params, prices, scenario.budgets, profile, scenario.mode);
+
+  report.budget_slack.resize(requests.size());
+  report.min_budget_slack = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    report.budget_slack[i] =
+        scenario.budgets[i] - request_cost(requests[i], prices);
+    report.min_budget_slack =
+        std::min(report.min_budget_slack, report.budget_slack[i]);
+  }
+
+  report.capacity_violation =
+      connected ? 0.0
+                : std::max(0.0, totals.edge - params.edge_capacity);
+
+  // Theorem-2 / Theorem-5 uniqueness condition: strict monotonicity of the
+  // pseudo-gradient, probed empirically on a cloud around the point.
+  std::vector<double> flat(2 * requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    flat[2 * i] = requests[i].edge;
+    flat[2 * i + 1] = requests[i].cloud;
+  }
+  const double h = connected ? params.edge_success : 1.0;
+  const auto map = [&](const std::vector<double>& point) {
+    return pseudo_gradient(params, prices, scenario.budgets, h, point);
+  };
+  const auto points =
+      sample_cloud(flat, std::max(1, options.monotonicity_samples),
+                   options.perturbation_scale, options.context.rng_root);
+  report.monotonicity_quotient = num::monotonicity_quotient(map, points);
+  report.uniqueness_ok = report.monotonicity_quotient > 0.0;
+
+  report.mixed_price_condition =
+      connected &&
+      prices.cloud < mixed_strategy_cloud_price_bound(params, prices.edge);
+
+  // Leader optimality gap: each SP scales its own price by (1 +/- step)
+  // and the followers re-solve; any profit improvement bounds how far the
+  // prices sit from a leader-stage best response at this scale.
+  const auto oracle = make_follower_oracle(params, scenario.budgets,
+                                           scenario.mode, options.context);
+  const SpProfits base = sp_profits(params, prices, totals);
+  const auto profit_at = [&](const Prices& candidate) {
+    return sp_profits(params, candidate, oracle->solve(candidate).totals);
+  };
+  for (double factor :
+       {1.0 + options.price_step, 1.0 / (1.0 + options.price_step)}) {
+    Prices edge_probe = prices;
+    edge_probe.edge *= factor;
+    if (edge_probe.edge > 0.0)
+      report.leader_gap_edge = std::max(
+          report.leader_gap_edge, profit_at(edge_probe).edge - base.edge);
+    Prices cloud_probe = prices;
+    cloud_probe.cloud *= factor;
+    if (cloud_probe.cloud > 0.0)
+      report.leader_gap_cloud = std::max(
+          report.leader_gap_cloud, profit_at(cloud_probe).cloud - base.cloud);
+  }
+  return report;
+}
+
+void record_audit(support::Telemetry& telemetry, const AuditReport& report) {
+  support::MetricsRegistry& metrics = telemetry.metrics;
+  metrics.gauge("audit.best_response_gap").set(report.best_response_gap);
+  metrics.gauge("audit.min_budget_slack").set(report.min_budget_slack);
+  metrics.gauge("audit.capacity_violation").set(report.capacity_violation);
+  metrics.gauge("audit.monotonicity_quotient")
+      .set(report.monotonicity_quotient);
+  metrics.gauge("audit.uniqueness_ok").set(report.uniqueness_ok ? 1.0 : 0.0);
+  metrics.gauge("audit.mixed_price_condition")
+      .set(report.mixed_price_condition ? 1.0 : 0.0);
+  metrics.gauge("audit.leader_gap_edge").set(report.leader_gap_edge);
+  metrics.gauge("audit.leader_gap_cloud").set(report.leader_gap_cloud);
+  metrics.gauge("audit.converged").set(report.converged ? 1.0 : 0.0);
+}
+
+void print_audit(std::ostream& os, const AuditReport& report) {
+  support::Table table("audit metric", {"value"});
+  table.add_row("best_response_gap", {report.best_response_gap});
+  table.add_row("min_budget_slack", {report.min_budget_slack});
+  table.add_row("capacity_violation", {report.capacity_violation});
+  table.add_row("monotonicity_quotient", {report.monotonicity_quotient});
+  table.add_row("uniqueness_ok", {report.uniqueness_ok ? 1.0 : 0.0});
+  table.add_row("mixed_price_condition",
+                {report.mixed_price_condition ? 1.0 : 0.0});
+  table.add_row("leader_gap_edge", {report.leader_gap_edge});
+  table.add_row("leader_gap_cloud", {report.leader_gap_cloud});
+  table.add_row("solver_converged", {report.converged ? 1.0 : 0.0});
+  table.add_row("solver_iterations",
+                {static_cast<double>(report.iterations)});
+  table.add_row("solver_residual", {report.residual});
+  support::print_section(os, "equilibrium audit");
+  table.print(os, 6);
+}
+
+}  // namespace hecmine::core

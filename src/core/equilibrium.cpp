@@ -11,6 +11,7 @@
 #include "numerics/projection.hpp"
 #include "numerics/vi.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::core {
 
@@ -108,6 +109,7 @@ MinerEquilibrium solve_connected_nep(const NetworkParams& params,
   br.damping = options.damping;
   br.tolerance = options.tolerance;
   br.max_iterations = options.max_iterations;
+  br.probe = game::ProbeBinding{"nep.best_response", prices.edge, prices.cloud};
   auto nash = game::solve_best_response(
       oracle,
       seed_profile(prices, budgets, std::numeric_limits<double>::infinity()),
@@ -150,6 +152,8 @@ MinerEquilibrium solve_standalone_gnep(const NetworkParams& params,
   gnep_options.inner.damping = options.damping;
   gnep_options.inner.tolerance = options.tolerance;
   gnep_options.inner.max_iterations = options.max_iterations;
+  gnep_options.inner.probe =
+      game::ProbeBinding{"gnep.inner", prices.edge, prices.cloud};
   gnep_options.surcharge_hi0 = 0.25 * prices.edge;
   auto gnep = game::solve_shared_price_gnep(
       oracle, usage, params.edge_capacity,
@@ -261,6 +265,12 @@ SymmetricEquilibrium symmetric_fixed_point(const NetworkParams& params,
   SymmetricEquilibrium result;
   MinerRequest current = seed;
   const double dn = static_cast<double>(n);
+  // Probe gating hoisted out of the loop; the disarmed path costs one
+  // thread-local read per solve (this is the symmetric hot path).
+  support::Telemetry* telemetry = support::current_telemetry();
+  if (telemetry != nullptr && !telemetry->probe.armed()) telemetry = nullptr;
+  const std::uint64_t solve_id =
+      telemetry != nullptr ? telemetry->probe.next_solve_id() : 0;
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
     Totals others;
@@ -281,6 +291,20 @@ SymmetricEquilibrium symmetric_fixed_point(const NetworkParams& params,
                    options.damping * response.edge;
     current.cloud = (1.0 - options.damping) * current.cloud +
                     options.damping * response.cloud;
+    if (telemetry != nullptr) {
+      support::IterationProbe::Record record;
+      record.solver = "symmetric.fixed_point";
+      record.solve = solve_id;
+      record.iteration = result.iterations;
+      record.residual = change;
+      record.price_edge = prices.edge;
+      record.price_cloud = prices.cloud;
+      record.total_edge = dn * current.edge;
+      record.total_cloud = dn * current.cloud;
+      record.step = surcharge;
+      record.cap_active = surcharge > 0.0;
+      telemetry->probe.record(record);
+    }
     if (change < options.tolerance) {
       result.converged = true;
       break;

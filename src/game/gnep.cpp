@@ -1,5 +1,6 @@
 #include "game/gnep.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/error.hpp"
@@ -31,6 +32,15 @@ SharedPriceGnepResult solve_shared_price_gnep(
   SharedPriceGnepResult result;
   int inner_solves = 0;
 
+  // Bisection-level probe records (one per inner NEP solve) group under a
+  // single solve id; price context is borrowed from the inner binding when
+  // the caller set one. Gating is hoisted: disarmed solves pay one
+  // thread-local read.
+  support::Telemetry* telemetry = support::current_telemetry();
+  if (telemetry != nullptr && !telemetry->probe.armed()) telemetry = nullptr;
+  const std::uint64_t bisection_id =
+      telemetry != nullptr ? telemetry->probe.next_solve_id() : 0;
+
   // Solves the decoupled NEP at surcharge mu, warm-starting from the last
   // profile so the bisection's inner solves stay cheap.
   Profile warm = std::move(start);
@@ -42,6 +52,22 @@ SharedPriceGnepResult solve_shared_price_gnep(
     auto nash = solve_best_response(oracle, warm, options.inner);
     ++inner_solves;
     warm = nash.profile;
+    if (telemetry != nullptr) {
+      const double used = shared_usage(nash.profile);
+      support::IterationProbe::Record record;
+      record.solver = "gnep.bisection";
+      record.solve = bisection_id;
+      record.iteration = inner_solves;
+      record.residual = std::max(0.0, used - cap);  // capacity violation
+      if (options.inner.probe) {
+        record.price_edge = options.inner.probe->price_edge;
+        record.price_cloud = options.inner.probe->price_cloud;
+      }
+      record.total_edge = used;
+      record.step = mu;
+      record.cap_active = used >= cap - options.complementarity_tol;
+      telemetry->probe.record(record);
+    }
     return nash;
   };
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::game {
 
@@ -47,6 +48,27 @@ void blend_into(std::vector<double>& target, const std::vector<double>& image,
     target[k] = (1.0 - damping) * target[k] + damping * image[k];
 }
 
+/// Feeds one probe record per sweep. Aggregates follow the project-wide
+/// strategy layout: coordinate 0 is the edge request, coordinate 1 (when
+/// present) the cloud request.
+void record_sweep(support::Telemetry& telemetry,
+                  const game::ProbeBinding& binding, std::uint64_t solve_id,
+                  const NashResult& result, double damping) {
+  support::IterationProbe::Record record;
+  record.solver = binding.solver;
+  record.solve = solve_id;
+  record.iteration = result.iterations;
+  record.residual = result.residual;
+  record.price_edge = binding.price_edge;
+  record.price_cloud = binding.price_cloud;
+  record.step = damping;
+  for (const auto& strategy : result.profile) {
+    if (!strategy.empty()) record.total_edge += strategy[0];
+    if (strategy.size() > 1) record.total_cloud += strategy[1];
+  }
+  telemetry.probe.record(record);
+}
+
 }  // namespace
 
 NashResult solve_best_response(const BestResponseFn& best_response,
@@ -63,6 +85,13 @@ NashResult solve_best_response(const BestResponseFn& best_response,
   double damping = options.damping;
   double best_residual = std::numeric_limits<double>::infinity();
   int stalled = 0;
+  // Probe gating is hoisted out of the loop: disarmed or unbound solves pay
+  // one thread-local read here and nothing per sweep.
+  support::Telemetry* telemetry =
+      options.probe ? support::current_telemetry() : nullptr;
+  if (telemetry != nullptr && !telemetry->probe.armed()) telemetry = nullptr;
+  const std::uint64_t solve_id =
+      telemetry != nullptr ? telemetry->probe.next_solve_id() : 0;
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
     const Profile before = result.profile;
@@ -84,6 +113,8 @@ NashResult solve_best_response(const BestResponseFn& best_response,
         blend_into(result.profile[i], responses[i], damping);
     }
     result.residual = profile_distance(before, result.profile);
+    if (telemetry != nullptr)
+      record_sweep(*telemetry, *options.probe, solve_id, result, damping);
     if (result.residual < options.tolerance) {
       result.converged = true;
       return result;

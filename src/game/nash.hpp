@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 namespace hecmine::game {
@@ -29,6 +30,19 @@ using BestResponseFn =
 using UtilityFn =
     std::function<double(const Profile&, std::size_t player)>;
 
+/// Binds an IterationProbe feed to a best-response solve. The generic loop
+/// knows nothing about prices, so the caller supplies the label and the
+/// price context that should ride along on every record; the loop adds the
+/// per-iteration state (residual, damping, aggregates from strategy
+/// coordinates 0/1). Records flow to the thread's current telemetry sink
+/// (support::current_telemetry()) and only when its probe is armed, so the
+/// binding itself costs nothing on the null-sink path.
+struct ProbeBinding {
+  const char* solver = "nash.best_response";  ///< static label, never null
+  double price_edge = 0.0;
+  double price_cloud = 0.0;
+};
+
 /// Options for best-response dynamics.
 struct BestResponseOptions {
   enum class Sweep { kGaussSeidel, kJacobi };
@@ -36,6 +50,8 @@ struct BestResponseOptions {
   double damping = 1.0;               ///< blend toward the best response
   double tolerance = 1e-9;            ///< max-norm profile change to stop
   int max_iterations = 5000;          ///< sweep budget
+  /// Optional iteration-probe binding (see ProbeBinding).
+  std::optional<ProbeBinding> probe;
 };
 
 /// Outcome of best-response dynamics.

@@ -6,6 +6,7 @@
 #include "numerics/optimize.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::game {
 
@@ -31,6 +32,15 @@ StackelbergResult solve_stackelberg(const LeaderPayoffFn& payoff,
   const int threads =
       support::resolve_thread_count(options.effective_threads());
 
+  // Leader-round probe records come from the context sink (the leader stage
+  // runs above the instrumented oracle, so no thread-local scope is
+  // installed here); the two-leader pricing game maps actions 0/1 to
+  // (P_e, P_c).
+  support::Telemetry* probe_sink = options.context.telemetry;
+  if (probe_sink != nullptr && !probe_sink->probe.armed()) probe_sink = nullptr;
+  const std::uint64_t solve_id =
+      probe_sink != nullptr ? probe_sink->probe.next_solve_id() : 0;
+
   for (int round = 0; round < options.max_rounds; ++round) {
     result.rounds = round + 1;
     double round_change = 0.0;
@@ -54,6 +64,16 @@ StackelbergResult solve_stackelberg(const LeaderPayoffFn& payoff,
       result.payoffs[leader] = best.value;
     }
     result.residual = round_change;
+    if (probe_sink != nullptr) {
+      support::IterationProbe::Record record;
+      record.solver = "stackelberg.leader_round";
+      record.solve = solve_id;
+      record.iteration = result.rounds;
+      record.residual = round_change;
+      if (!result.actions.empty()) record.price_edge = result.actions[0];
+      if (result.actions.size() > 1) record.price_cloud = result.actions[1];
+      probe_sink->probe.record(record);
+    }
     if (round_change < options.tolerance) {
       result.converged = true;
       break;

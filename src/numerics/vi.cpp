@@ -67,6 +67,13 @@ VIResult solve_extragradient(const VariationalInequality& problem,
   result.point = problem.project(std::move(start));
   double tau = options.initial_step;
   std::uint64_t backtracks = 0;
+  // Per-iteration probe records. The VI layer is layout-agnostic (it cannot
+  // name prices or aggregates), so records carry only the movement residual
+  // and the adaptive step; gating is hoisted out of the loop.
+  support::Telemetry* probe_sink = support::current_telemetry();
+  if (probe_sink != nullptr && !probe_sink->probe.armed()) probe_sink = nullptr;
+  const std::uint64_t solve_id =
+      probe_sink != nullptr ? probe_sink->probe.next_solve_id() : 0;
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
     const auto f_x = problem.map(result.point);
@@ -87,6 +94,15 @@ VIResult solve_extragradient(const VariationalInequality& problem,
     const auto next = problem.project(axpy(result.point, -tau, f_y));
     const double movement = max_norm_diff(next, result.point);
     result.point = next;
+    if (probe_sink != nullptr) {
+      support::IterationProbe::Record record;
+      record.solver = "vi.extragradient";
+      record.solve = solve_id;
+      record.iteration = result.iterations;
+      record.residual = movement;
+      record.step = tau;
+      probe_sink->probe.record(record);
+    }
     // Cheap movement test first; the exact natural residual costs one more
     // map + projection, so only confirm when movement is already small.
     if (movement < options.tolerance) {

@@ -200,6 +200,13 @@ AdaptivePricingResult adaptive_pricing_loop(
   double step = config.price_step;
   std::uint64_t stream = seed;
 
+  // Per-period probe records: the RL pricing loop's residual is the price
+  // movement, its step size the current hill-climb step.
+  support::Telemetry* probe_sink = config.trainer.telemetry;
+  if (probe_sink != nullptr && !probe_sink->probe.armed()) probe_sink = nullptr;
+  const std::uint64_t solve_id =
+      probe_sink != nullptr ? probe_sink->probe.next_solve_id() : 0;
+
   // Profit of each SP when miners re-learn at candidate prices. Common
   // random numbers (same stream per period) keep probe comparisons fair.
   const auto profits_at = [&](const core::Prices& prices,
@@ -248,6 +255,17 @@ AdaptivePricingResult adaptive_pricing_loop(
     const double movement = std::max(std::abs(best.edge - result.prices.edge),
                                      std::abs(best.cloud - result.prices.cloud));
     result.prices = best;
+    if (probe_sink != nullptr) {
+      support::IterationProbe::Record record;
+      record.solver = "rl.adaptive_pricing";
+      record.solve = solve_id;
+      record.iteration = result.periods;
+      record.residual = movement;
+      record.price_edge = result.prices.edge;
+      record.price_cloud = result.prices.cloud;
+      record.step = step;
+      probe_sink->probe.record(record);
+    }
     if (movement < config.price_tolerance) {
       if (step < 1e-3) {
         result.converged = true;

@@ -54,27 +54,47 @@ int CliArgs::get(const std::string& name, int fallback) const {
   return static_cast<int>(value);
 }
 
+namespace {
+
+/// Validated thread-count parse shared by the flag and environment paths.
+int parse_thread_count(const std::string& text, const std::string& origin) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  HECMINE_REQUIRE(end != nullptr && *end == '\0' && value >= 0 &&
+                      value <= 4096,
+                  origin + " is not a thread count (0..4096): " + text);
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::string CliArgs::flag_or_env(const std::string& name, const char* env_var,
+                                 const std::string& fallback) const {
+  // An explicit flag wins outright: the environment variable is only
+  // consulted (and validated by the caller) when the flag is absent.
+  if (has(name)) return get(name, fallback);
+  const char* raw = std::getenv(env_var);
+  return raw == nullptr || *raw == '\0' ? fallback : std::string{raw};
+}
+
 int CliArgs::threads() const {
-  // An explicit --threads wins outright: the environment override is only
-  // consulted (and validated) when the flag is absent.
-  const int value = has("threads") ? get("threads", 0) : env_thread_override();
-  HECMINE_REQUIRE(value >= 0, "--threads must be >= 0 (0 = auto)");
-  return value;
+  return parse_thread_count(flag_or_env("threads", "HECMINE_THREADS", "0"),
+                            "--threads/HECMINE_THREADS");
 }
 
 LogLevel CliArgs::log_level() const {
-  // Mirror of threads(): an explicit --log-level wins outright; the
-  // environment override is only consulted when the flag is absent.
-  if (has("log-level")) return parse_log_level(get("log-level", "info"));
-  return env_log_level();
+  return parse_log_level(
+      flag_or_env("log-level", "HECMINE_LOG_LEVEL", "info"));
 }
 
 void CliArgs::apply_log_level() const { set_log_level(log_level()); }
 
 std::string CliArgs::telemetry_out() const {
-  if (has("telemetry-out")) return get("telemetry-out", "");
-  const char* raw = std::getenv("HECMINE_TELEMETRY");
-  return raw == nullptr ? std::string{} : std::string{raw};
+  return flag_or_env("telemetry-out", "HECMINE_TELEMETRY");
+}
+
+std::string CliArgs::iteration_log() const {
+  return flag_or_env("iteration-log", "HECMINE_ITERLOG");
 }
 
 LogLevel parse_log_level(const std::string& name) {
@@ -95,12 +115,7 @@ LogLevel env_log_level() {
 int env_thread_override() {
   const char* raw = std::getenv("HECMINE_THREADS");
   if (raw == nullptr || *raw == '\0') return 0;
-  char* end = nullptr;
-  const long value = std::strtol(raw, &end, 10);
-  HECMINE_REQUIRE(end != nullptr && *end == '\0' && value >= 0 &&
-                      value <= 4096,
-                  std::string("HECMINE_THREADS is not a thread count: ") + raw);
-  return static_cast<int>(value);
+  return parse_thread_count(raw, "HECMINE_THREADS");
 }
 
 std::vector<std::string> CliArgs::unknown_flags() const {

@@ -31,6 +31,18 @@ class CliArgs {
   /// `--telemetry-out` flag (a JSON output path) with the HECMINE_TELEMETRY
   /// environment variable as the fallback; empty = telemetry off.
   [[nodiscard]] std::string telemetry_out() const;
+  /// `--iteration-log` flag (a JSONL output path for per-iteration solver
+  /// records) with the HECMINE_ITERLOG environment variable as the
+  /// fallback; empty = iteration logging off.
+  [[nodiscard]] std::string iteration_log() const;
+  /// Flag-beats-environment resolution shared by every flag/env pair: the
+  /// flag's value when present (even when empty), the environment variable
+  /// otherwise, `fallback` when neither is set. All such pairs (threads,
+  /// log-level, telemetry-out, iteration-log) resolve through this one
+  /// helper so precedence cannot drift between them.
+  [[nodiscard]] std::string flag_or_env(const std::string& name,
+                                        const char* env_var,
+                                        const std::string& fallback = {}) const;
   /// String flag value or `fallback` when absent.
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const;

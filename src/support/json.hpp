@@ -1,0 +1,92 @@
+// Minimal JSON reader for the project's own machine-readable artifacts.
+//
+// hecmine emits JSON in several places (telemetry sinks, BENCH_*.json
+// ledger entries, --iteration-log JSONL) but until the perf-regression
+// ledger nothing needed to read it back: to_json() was emit-only and the
+// repo deliberately carries no third-party JSON dependency. bench_compare
+// and the audit tests must parse those artifacts, so this header provides
+// a small recursive-descent parser producing an immutable Value tree.
+//
+// Scope: full JSON syntax (objects, arrays, strings with escapes including
+// \uXXXX, numbers, true/false/null) with a fixed nesting-depth bound.
+// Not a streaming parser and not tuned for huge documents — the ledger
+// files it reads are a few kilobytes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hecmine::support::json {
+
+/// One parsed JSON value. Accessors HECMINE_REQUIRE the matching kind, so
+/// schema mismatches in ledger files fail with a message instead of UB.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  /// std::map keeps object iteration deterministic (sorted by key).
+  using Object = std::map<std::string, Value>;
+
+  Value() : data_(nullptr) {}
+  explicit Value(std::nullptr_t) : data_(nullptr) {}
+  explicit Value(bool value) : data_(value) {}
+  explicit Value(double value) : data_(value) {}
+  explicit Value(std::string value) : data_(std::move(value)) {}
+  explicit Value(Array value) : data_(std::move(value)) {}
+  explicit Value(Object value) : data_(std::move(value)) {}
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(data_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(data_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(data_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<Array>(data_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(data_);
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member by key; throws when absent or not an object.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// Object member by key, or null when absent.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Convenience: member `key` as a number, or `fallback` when absent.
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses one JSON document (throws support::PreconditionError on syntax
+/// errors, trailing garbage, or nesting deeper than an internal bound).
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Reads and parses `path` (throws on I/O or syntax errors).
+[[nodiscard]] Value parse_file(const std::string& path);
+
+/// Parses a JSON-Lines document: one Value per non-empty line.
+[[nodiscard]] std::vector<Value> parse_lines(std::string_view text);
+
+}  // namespace hecmine::support::json

@@ -95,6 +95,34 @@ double HistogramMetric::mean() const noexcept {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+double HistogramMetric::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double lo_obs = min();
+  const double hi_obs = max();
+  if (q <= 0.0) return lo_obs;
+  if (q >= 1.0) return hi_obs;
+  const auto bucket_counts = counts();
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_counts[i]);
+    if (in_bucket > 0.0 && cumulative + in_bucket >= target) {
+      // Interpolate within the bucket, clamped to the observed range so
+      // sparse tail buckets cannot report values outside [min, max].
+      double lo = i == 0 ? lo_obs : edges_[i - 1];
+      double hi = i < edges_.size() ? edges_[i] : hi_obs;
+      lo = std::max(lo, lo_obs);
+      hi = std::min(hi, hi_obs);
+      if (hi < lo) hi = lo;
+      const double fraction = (target - cumulative) / in_bucket;
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return hi_obs;
+}
+
 std::vector<double> geometric_edges(double first, double factor, int count) {
   HECMINE_REQUIRE(first > 0.0 && factor > 1.0 && count >= 1,
                   "geometric_edges: need first > 0, factor > 1, count >= 1");
@@ -153,6 +181,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       sample.sum = histogram->sum();
       sample.min = histogram->min();
       sample.max = histogram->max();
+      sample.p50 = histogram->quantile(0.50);
+      sample.p95 = histogram->quantile(0.95);
+      sample.p99 = histogram->quantile(0.99);
       snap.histograms.push_back(std::move(sample));
     }
   }
@@ -286,7 +317,82 @@ void json_array(std::ostream& os, const Range& range, Fn&& item) {
   os << ']';
 }
 
+/// One iteration-log line ("hecmine.iterlog.v1" record), newline included.
+void jsonl_record(std::ostream& os, const IterationProbe::Record& record) {
+  os << "{\"solver\": \"";
+  json_escape(os, record.solver);
+  os << "\", \"solve\": " << record.solve
+     << ", \"iteration\": " << record.iteration << ", \"residual\": ";
+  json_number(os, record.residual);
+  os << ", \"price_edge\": ";
+  json_number(os, record.price_edge);
+  os << ", \"price_cloud\": ";
+  json_number(os, record.price_cloud);
+  os << ", \"total_edge\": ";
+  json_number(os, record.total_edge);
+  os << ", \"total_cloud\": ";
+  json_number(os, record.total_cloud);
+  os << ", \"step\": ";
+  json_number(os, record.step);
+  os << ", \"cap_active\": " << (record.cap_active ? "true" : "false")
+     << "}\n";
+}
+
 }  // namespace
+
+IterationProbe::IterationProbe(std::size_t capacity) : capacity_(capacity) {
+  HECMINE_REQUIRE(capacity_ >= 1, "IterationProbe requires capacity >= 1");
+}
+
+IterationProbe::~IterationProbe() = default;
+
+void IterationProbe::arm() noexcept {
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void IterationProbe::stream_to(const std::string& path) {
+  const std::filesystem::path file_path{path};
+  if (file_path.has_parent_path())
+    std::filesystem::create_directories(file_path.parent_path());
+  auto out = std::make_unique<std::ofstream>(file_path);
+  HECMINE_REQUIRE(out->good(), "cannot open iteration log: " + path);
+  *out << "{\"schema\": \"hecmine.iterlog.v1\"}\n";
+  HECMINE_REQUIRE(out->good(), "failed writing iteration log: " + path);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stream_ = std::move(out);
+  }
+  arm();
+}
+
+void IterationProbe::record(const Record& record) {
+  if (!armed()) return;
+  total_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[head_] = record;
+    head_ = (head_ + 1) % capacity_;
+  }
+  if (stream_ != nullptr) jsonl_record(*stream_, record);
+}
+
+std::vector<IterationProbe::Record> IterationProbe::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Record> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t IterationProbe::overwritten() const {
+  const std::uint64_t recorded = total();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded - ring_.size();
+}
 
 std::string to_json(const Telemetry& telemetry) {
   const MetricsSnapshot snap = telemetry.metrics.snapshot();
@@ -326,6 +432,12 @@ std::string to_json(const Telemetry& telemetry) {
     json_number(os, h.min);
     os << ", \"max\": ";
     json_number(os, h.max);
+    os << ", \"p50\": ";
+    json_number(os, h.p50);
+    os << ", \"p95\": ";
+    json_number(os, h.p95);
+    os << ", \"p99\": ";
+    json_number(os, h.p99);
     os << "}";
   }
   os << (snap.histograms.empty() ? "}" : "\n  }") << ",\n";
@@ -374,12 +486,12 @@ void print_summary(std::ostream& os, const Telemetry& telemetry) {
     table.print(os, 4);
   }
   if (!snap.histograms.empty()) {
-    Table table("histogram", {"count", "mean", "min", "max"});
+    Table table("histogram", {"count", "mean", "p50", "p95", "p99", "min", "max"});
     for (const auto& sample : snap.histograms) {
       const double n = static_cast<double>(sample.count);
       table.add_row(sample.name,
-                    {n, sample.count == 0 ? 0.0 : sample.sum / n, sample.min,
-                     sample.max});
+                    {n, sample.count == 0 ? 0.0 : sample.sum / n, sample.p50,
+                     sample.p95, sample.p99, sample.min, sample.max});
     }
     print_section(os, "telemetry: histograms");
     table.print(os, 4);

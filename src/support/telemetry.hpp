@@ -105,6 +105,10 @@ class HistogramMetric {
   [[nodiscard]] double min() const noexcept;
   [[nodiscard]] double max() const noexcept;
   [[nodiscard]] double mean() const noexcept;
+  /// Percentile estimate by linear interpolation inside the bucket holding
+  /// rank q*count. Exact at the observed min/max (q <= 0 / q >= 1); inside a
+  /// bucket the error is bounded by the bucket width. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
 
  private:
   std::vector<double> edges_;
@@ -139,6 +143,9 @@ struct HistogramSample {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double p50 = 0.0;  ///< interpolated percentile estimates (see quantile())
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Point-in-time copy of every registered instrument, sorted by name so
@@ -253,13 +260,86 @@ class SolveTrace {
   std::atomic<std::uint64_t> dropped_{0};
 };
 
-/// One telemetry sink: the metrics registry plus the solve trace. Pass a
-/// pointer down through core::SolveContext; null means "telemetry off" and
-/// costs instrumentation sites a single pointer test.
+/// Per-iteration convergence probe. Solver loops (connected-NEP best
+/// response, GNEP price bargaining, VI extragradient, RL training) feed one
+/// Record per iteration so a solve's trajectory — not just its endpoint —
+/// is observable. Records carry no timestamps by design: the probe, like
+/// the rest of the sink, does no clock reads, and the disarmed path costs
+/// one relaxed atomic load. Records land in a bounded in-memory ring
+/// (oldest overwritten once full, overwrites counted) and, when streaming
+/// is enabled, are also appended to a JSONL file — a header line
+/// {"schema": "hecmine.iterlog.v1"} followed by one record object per line.
+class IterationProbe {
+ public:
+  /// One per-iteration observation. `solve` groups the records of a single
+  /// solver-loop invocation; `iteration` is 1-based within it. Fields a
+  /// loop cannot see (e.g. prices inside the price-agnostic best-response
+  /// kernel) are bound by the caller and default to 0.
+  struct Record {
+    std::string solver;        ///< loop label, e.g. "nep.best_response"
+    std::uint64_t solve = 0;   ///< per-probe solve sequence id
+    int iteration = 0;         ///< 1-based iteration index
+    double residual = 0.0;     ///< the loop's own stopping metric
+    double price_edge = 0.0;   ///< P_e in effect for this solve
+    double price_cloud = 0.0;  ///< P_c in effect for this solve
+    double total_edge = 0.0;   ///< aggregate edge demand E at this iterate
+    double total_cloud = 0.0;  ///< aggregate cloud demand C at this iterate
+    double step = 0.0;         ///< damping / step size / bisection knob
+    bool cap_active = false;   ///< shared capacity constraint binding?
+  };
+
+  explicit IterationProbe(std::size_t capacity = 16384);
+  ~IterationProbe();
+  IterationProbe(const IterationProbe&) = delete;
+  IterationProbe& operator=(const IterationProbe&) = delete;
+
+  /// Enables in-memory recording. Until armed, record() is a no-op after
+  /// one relaxed atomic load, so probes wired into hot loops cost nothing
+  /// when nobody is looking.
+  void arm() noexcept;
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the probe and additionally streams every record as one JSON line
+  /// to `path` (parent directories are created; throws on I/O failure).
+  void stream_to(const std::string& path);
+
+  /// Fresh id grouping the records of one solver-loop invocation.
+  [[nodiscard]] std::uint64_t next_solve_id() noexcept {
+    return next_solve_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  void record(const Record& record);
+
+  /// Ring contents in chronological order (oldest surviving record first).
+  [[nodiscard]] std::vector<Record> snapshot() const;
+  /// Records ever offered while armed / records evicted by the ring.
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t overwritten() const;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> next_solve_{0};
+  std::atomic<std::uint64_t> total_{0};
+  mutable std::mutex mutex_;
+  std::vector<Record> ring_;  ///< grows to capacity_, then wraps at head_
+  std::size_t head_ = 0;
+  std::unique_ptr<std::ofstream> stream_;  ///< JSONL sink, null = ring only
+};
+
+/// One telemetry sink: the metrics registry, the solve trace, and the
+/// iteration probe. Pass a pointer down through core::SolveContext; null
+/// means "telemetry off" and costs instrumentation sites a single pointer
+/// test.
 class Telemetry {
  public:
   MetricsRegistry metrics;
   SolveTrace trace;
+  IterationProbe probe;
 };
 
 /// The thread's current sink (installed by TelemetryScope), or null.

@@ -1,0 +1,170 @@
+// Perf-regression ledger gate tests: self-comparison passes, synthetic
+// slowdowns fail, noise-floor and label mismatches are skipped (not
+// failed), config mismatches refuse the comparison, and equilibrium
+// quality drift fails even when the timings improved.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "compare.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace hecmine;
+using support::json::Value;
+
+std::string ledger(double serial_ms, double parallel_ms, double gap,
+                   double violation, int grid = 8) {
+  std::ostringstream out;
+  out << R"({"schema": "hecmine.bench.v1", "bench": "leader_stage",)"
+      << R"( "config": {"miners": 4, "grid": )" << grid << "},"
+      << R"( "runs": [)"
+      << R"({"label": "homogeneous/serial", "wall_ms": )" << serial_ms * 0.9
+      << R"(, "wall_ms_p50": )" << serial_ms << "},"
+      << R"({"label": "homogeneous/parallel", "wall_ms": )" << parallel_ms * 0.9
+      << R"(, "wall_ms_p50": )" << parallel_ms << "}],"
+      << R"( "audit": {"best_response_gap": )" << gap
+      << R"(, "capacity_violation": )" << violation << "}}";
+  return out.str();
+}
+
+Value parse(const std::string& text) { return support::json::parse(text); }
+
+TEST(BenchCompare, SelfComparisonIsClean) {
+  const Value doc = parse(ledger(100.0, 50.0, 0.0, 0.0));
+  const auto result = bench::compare_bench_json(doc, doc);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.error.empty());
+  for (const auto& delta : result.deltas) {
+    EXPECT_FALSE(delta.regressed) << delta.label;
+  }
+}
+
+TEST(BenchCompare, FlagsSlowdownBeyondTolerance) {
+  const Value baseline = parse(ledger(100.0, 50.0, 0.0, 0.0));
+  const Value slowed = parse(ledger(130.0, 50.0, 0.0, 0.0));  // +30%
+  const auto result = bench::compare_bench_json(baseline, slowed);
+  EXPECT_FALSE(result.ok);
+  bool found = false;
+  for (const auto& delta : result.deltas) {
+    if (delta.label == "homogeneous/serial") {
+      EXPECT_TRUE(delta.regressed);
+      EXPECT_NEAR(delta.ratio, 1.3, 1e-12);
+      found = true;
+    } else {
+      EXPECT_FALSE(delta.regressed) << delta.label;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompare, ToleranceIsConfigurable) {
+  const Value baseline = parse(ledger(100.0, 50.0, 0.0, 0.0));
+  const Value slowed = parse(ledger(130.0, 50.0, 0.0, 0.0));
+  bench::CompareOptions generous;
+  generous.max_regression = 0.5;
+  EXPECT_TRUE(bench::compare_bench_json(baseline, slowed, generous).ok);
+}
+
+TEST(BenchCompare, SpeedupIsNotARegression) {
+  const Value baseline = parse(ledger(100.0, 50.0, 0.0, 0.0));
+  const Value faster = parse(ledger(40.0, 20.0, 0.0, 0.0));
+  EXPECT_TRUE(bench::compare_bench_json(baseline, faster).ok);
+}
+
+TEST(BenchCompare, NoiseFloorSkipsSubMillisecondRuns) {
+  // 0.2ms -> 0.9ms is a 4.5x "slowdown" but both sit under the 1ms floor.
+  const Value baseline = parse(ledger(0.2, 0.2, 0.0, 0.0));
+  const Value current = parse(ledger(0.9, 0.9, 0.0, 0.0));
+  const auto result = bench::compare_bench_json(baseline, current);
+  EXPECT_TRUE(result.ok);
+  for (const auto& delta : result.deltas) {
+    if (delta.label.rfind("audit.", 0) == 0) continue;
+    EXPECT_TRUE(delta.skipped) << delta.label;
+  }
+}
+
+TEST(BenchCompare, ConfigMismatchRefusesToCompare) {
+  const Value baseline = parse(ledger(100.0, 50.0, 0.0, 0.0, 8));
+  const Value current = parse(ledger(100.0, 50.0, 0.0, 0.0, 40));
+  const auto result = bench::compare_bench_json(baseline, current);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("config mismatch"), std::string::npos)
+      << result.error;
+
+  bench::CompareOptions no_check;
+  no_check.check_config = false;
+  EXPECT_TRUE(bench::compare_bench_json(baseline, current, no_check).ok);
+}
+
+TEST(BenchCompare, AuditDriftFailsEvenWhenFaster) {
+  const Value baseline = parse(ledger(100.0, 50.0, 1e-9, 0.0));
+  const Value degraded = parse(ledger(50.0, 25.0, 1e-3, 0.0));
+  const auto result = bench::compare_bench_json(baseline, degraded);
+  EXPECT_FALSE(result.ok);
+  bool flagged = false;
+  for (const auto& delta : result.deltas)
+    if (delta.label == "audit.best_response_gap" && delta.regressed)
+      flagged = true;
+  EXPECT_TRUE(flagged);
+
+  bench::CompareOptions no_audit;
+  no_audit.check_audit = false;
+  EXPECT_TRUE(bench::compare_bench_json(baseline, degraded, no_audit).ok);
+}
+
+TEST(BenchCompare, MissingRunInCurrentIsSkippedNotFailed) {
+  const Value baseline = parse(ledger(100.0, 50.0, 0.0, 0.0));
+  const Value current = parse(
+      R"({"schema": "hecmine.bench.v1", "config": {"miners": 4, "grid": 8},)"
+      R"( "runs": [{"label": "homogeneous/serial", "wall_ms": 100.0,)"
+      R"( "wall_ms_p50": 100.0}]})");
+  const auto result = bench::compare_bench_json(baseline, current);
+  EXPECT_TRUE(result.ok);
+  bool skipped = false;
+  for (const auto& delta : result.deltas)
+    if (delta.label == "homogeneous/parallel" && delta.skipped) skipped = true;
+  EXPECT_TRUE(skipped);
+}
+
+TEST(BenchCompare, PreSchemaFilesFallBackToWallMs) {
+  // No "schema", no percentiles, no config: the gate still compares the
+  // legacy wall_ms numbers so old committed ledgers stay usable.
+  const Value baseline = parse(
+      R"({"runs": [{"label": "a", "wall_ms": 100.0}]})");
+  const Value slowed = parse(
+      R"({"runs": [{"label": "a", "wall_ms": 200.0}]})");
+  EXPECT_TRUE(bench::compare_bench_json(baseline, baseline).ok);
+  const auto result = bench::compare_bench_json(baseline, slowed);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.deltas.empty());
+  EXPECT_DOUBLE_EQ(result.deltas[0].baseline, 100.0);
+}
+
+TEST(BenchCompare, StructuralErrorsAreReported) {
+  const Value ok = parse(ledger(100.0, 50.0, 0.0, 0.0));
+  const Value not_ledger = parse(R"({"hello": 1})");
+  EXPECT_FALSE(bench::compare_bench_json(ok, not_ledger).error.empty());
+  const Value bad_schema = parse(
+      R"({"schema": "hecmine.bench.v999", "runs": []})");
+  EXPECT_FALSE(bench::compare_bench_json(bad_schema, bad_schema).error
+                   .empty());
+  // Unreadable file surfaces through .error, not an exception.
+  const auto missing = bench::compare_bench_files(
+      "/nonexistent/baseline.json", "/nonexistent/current.json");
+  EXPECT_FALSE(missing.error.empty());
+}
+
+TEST(BenchCompare, PrintReportsVerdictAndDeltas) {
+  const Value baseline = parse(ledger(100.0, 50.0, 0.0, 0.0));
+  const Value slowed = parse(ledger(130.0, 50.0, 0.0, 0.0));
+  std::ostringstream os;
+  bench::print_compare(os, bench::compare_bench_json(baseline, slowed));
+  const std::string text = os.str();
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos) << text;
+  EXPECT_NE(text.find("homogeneous/serial"), std::string::npos) << text;
+}
+
+}  // namespace

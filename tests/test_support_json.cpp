@@ -1,0 +1,115 @@
+// JSON reader tests: value kinds, accessors, escapes, error handling, the
+// JSONL line parser, and a round trip through the project's own telemetry
+// emitter (the parser's main customer is our own output).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/telemetry.hpp"
+
+namespace {
+
+using namespace hecmine;
+using support::json::Value;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(support::json::parse("null").is_null());
+  EXPECT_TRUE(support::json::parse("true").as_bool());
+  EXPECT_FALSE(support::json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(support::json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(support::json::parse("-1.5e2").as_number(), -150.0);
+  EXPECT_EQ(support::json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  const Value value =
+      support::json::parse(R"("a\"b\\c\nd\tAé")");
+  EXPECT_EQ(value.as_string(), "a\"b\\c\nd\tA\xc3\xa9");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Value doc = support::json::parse(
+      R"({"runs": [{"label": "x", "wall_ms": 1.5}], "ok": true, "n": null})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_TRUE(doc.at("n").is_null());
+  const auto& runs = doc.at("runs").as_array();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].at("label").as_string(), "x");
+  EXPECT_DOUBLE_EQ(runs[0].at("wall_ms").as_number(), 1.5);
+}
+
+TEST(JsonValue, FindAndNumberOr) {
+  const Value doc = support::json::parse(R"({"a": 2.5})");
+  EXPECT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_TRUE(doc.contains("a"));
+  EXPECT_DOUBLE_EQ(doc.number_or("a", -1.0), 2.5);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", -1.0), -1.0);
+  EXPECT_THROW((void)doc.at("missing"), support::PreconditionError);
+}
+
+TEST(JsonValue, KindMismatchThrows) {
+  const Value doc = support::json::parse(R"({"a": "text"})");
+  EXPECT_THROW((void)doc.at("a").as_number(), support::PreconditionError);
+  EXPECT_THROW((void)doc.as_array(), support::PreconditionError);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)support::json::parse(""), support::PreconditionError);
+  EXPECT_THROW((void)support::json::parse("{"), support::PreconditionError);
+  EXPECT_THROW((void)support::json::parse("[1,]"),
+               support::PreconditionError);
+  EXPECT_THROW((void)support::json::parse("{\"a\" 1}"),
+               support::PreconditionError);
+  EXPECT_THROW((void)support::json::parse("1 trailing"),
+               support::PreconditionError);
+  EXPECT_THROW((void)support::json::parse("\"unterminated"),
+               support::PreconditionError);
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_THROW((void)support::json::parse(deep), support::PreconditionError);
+}
+
+TEST(JsonParseLines, SkipsBlankLinesAndParsesEach) {
+  const auto values = support::json::parse_lines(
+      "{\"a\": 1}\n\n{\"a\": 2}\n   \n{\"a\": 3}\n");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[2].at("a").as_number(), 3.0);
+}
+
+TEST(JsonParseFile, ReadsFromDiskAndReportsMissingFiles) {
+  const std::string path = testing::TempDir() + "/hecmine_json_read.json";
+  {
+    std::ofstream out(path);
+    out << R"({"k": [1, 2, 3]})";
+  }
+  const Value doc = support::json::parse_file(path);
+  EXPECT_EQ(doc.at("k").as_array().size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)support::json::parse_file(path),
+               support::PreconditionError);
+}
+
+TEST(JsonParse, RoundTripsTelemetryEmitter) {
+  support::Telemetry telemetry;
+  telemetry.metrics.counter("rt.count").add(7);
+  telemetry.metrics.gauge("rt.gauge").set(0.125);
+  telemetry.metrics.histogram("rt.hist", {1.0, 2.0}).observe(1.5);
+  const Value doc = support::json::parse(support::to_json(telemetry));
+  EXPECT_EQ(doc.at("schema").as_string(), "hecmine.telemetry.v1");
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("rt.count").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("rt.gauge").as_number(), 0.125);
+  EXPECT_TRUE(doc.at("histograms").at("rt.hist").contains("p50"));
+}
+
+}  // namespace

@@ -73,6 +73,45 @@ TEST(HistogramMetric, RejectsUnsortedEdges) {
   EXPECT_THROW(support::HistogramMetric({}), std::invalid_argument);
 }
 
+TEST(HistogramMetric, QuantilesOnAUniformGridAreExact) {
+  // One observation per unit bucket 1..10: every quantile interpolates
+  // exactly. p50 = 5, p95 = 9.5, p99 = 9.9.
+  support::HistogramMetric histogram(
+      {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0});
+  for (int v = 1; v <= 10; ++v) histogram.observe(static_cast<double>(v));
+  EXPECT_NEAR(histogram.quantile(0.50), 5.0, 1e-12);
+  EXPECT_NEAR(histogram.quantile(0.95), 9.5, 1e-12);
+  EXPECT_NEAR(histogram.quantile(0.99), 9.9, 1e-12);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 1.0);   // observed min
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 10.0);  // observed max
+}
+
+TEST(HistogramMetric, QuantilesClampToTheObservedRange) {
+  // All mass at one value inside a wide bucket: interpolation must not
+  // stretch across the bucket — every quantile is the value itself.
+  support::HistogramMetric histogram({10.0});
+  for (int i = 0; i < 10; ++i) histogram.observe(5.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.95), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 5.0);
+}
+
+TEST(HistogramMetric, QuantileOfEmptyIsZero) {
+  support::HistogramMetric histogram({1.0});
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+}
+
+TEST(HistogramMetric, SkewedDistributionSeparatesP50FromTail) {
+  // 95 fast observations and 5 slow ones: the median stays in the fast
+  // bucket while p99 reaches into the tail.
+  support::HistogramMetric histogram({1.0, 2.0, 50.0, 100.0});
+  for (int i = 0; i < 95; ++i) histogram.observe(0.5);
+  for (int i = 0; i < 5; ++i) histogram.observe(80.0);
+  EXPECT_LE(histogram.quantile(0.50), 1.0);
+  EXPECT_GT(histogram.quantile(0.99), 50.0);
+  EXPECT_LE(histogram.quantile(0.99), 80.0);
+}
+
 TEST(GeometricEdges, GrowsByFactor) {
   const auto edges = support::geometric_edges(1.0, 2.0, 4);
   ASSERT_EQ(edges.size(), 4u);
@@ -167,6 +206,107 @@ TEST(SolveTrace, NestsSpansPerThreadAndDropsAtCapacity) {
 TEST(SolveTrace, NullScopeIsNoop) {
   // Scope must tolerate a null trace — that is the telemetry-off hot path.
   support::SolveTrace::Scope scope(nullptr, "nothing");
+}
+
+TEST(MetricsRegistry, SnapshotCarriesHistogramPercentiles) {
+  support::MetricsRegistry registry;
+  auto& histogram = registry.histogram(
+      "p.hist", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0});
+  for (int v = 1; v <= 10; ++v) histogram.observe(static_cast<double>(v));
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_NEAR(snap.histograms[0].p50, 5.0, 1e-12);
+  EXPECT_NEAR(snap.histograms[0].p95, 9.5, 1e-12);
+  EXPECT_NEAR(snap.histograms[0].p99, 9.9, 1e-12);
+}
+
+// --- IterationProbe -------------------------------------------------------
+
+support::IterationProbe::Record probe_record(int iteration, double residual) {
+  support::IterationProbe::Record record;
+  record.solver = "test.solver";
+  record.solve = 1;
+  record.iteration = iteration;
+  record.residual = residual;
+  return record;
+}
+
+TEST(IterationProbe, DisarmedRecordIsDropped) {
+  support::IterationProbe probe;
+  EXPECT_FALSE(probe.armed());
+  probe.record(probe_record(0, 1.0));
+  EXPECT_EQ(probe.total(), 0u);
+  EXPECT_TRUE(probe.snapshot().empty());
+}
+
+TEST(IterationProbe, ArmedRingKeepsTheNewestRecordsInOrder) {
+  support::IterationProbe probe(4);
+  probe.arm();
+  for (int i = 0; i < 10; ++i)
+    probe.record(probe_record(i, 1.0 / (1.0 + i)));
+  EXPECT_EQ(probe.total(), 10u);
+  EXPECT_EQ(probe.overwritten(), 6u);
+  const auto records = probe.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[static_cast<std::size_t>(i)].iteration, 6 + i);
+  }
+}
+
+TEST(IterationProbe, SolveIdsAreUniqueAndIncreasing) {
+  support::IterationProbe probe;
+  const auto a = probe.next_solve_id();
+  const auto b = probe.next_solve_id();
+  EXPECT_GT(a, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(IterationProbe, StreamsJsonlWithSchemaHeader) {
+  const std::string path =
+      testing::TempDir() + "/hecmine_probe_stream.jsonl";
+  {
+    support::IterationProbe probe;
+    probe.stream_to(path);
+    EXPECT_TRUE(probe.armed());  // streaming arms the probe
+    auto record = probe_record(3, 0.25);
+    record.price_edge = 2.0;
+    record.price_cloud = 1.0;
+    record.total_edge = 6.0;
+    record.total_cloud = 12.0;
+    record.step = 0.5;
+    record.cap_active = true;
+    probe.record(record);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(header.find("hecmine.iterlog.v1"), std::string::npos);
+  EXPECT_NE(line.find("\"solver\": \"test.solver\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"iteration\": 3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"residual\": 0.25"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"cap_active\": true"), std::string::npos) << line;
+  std::remove(path.c_str());
+}
+
+TEST(IterationProbe, ConcurrentRecordsUnderThePoolLoseNothing) {
+  support::IterationProbe probe(64);
+  probe.arm();
+  constexpr std::size_t kTasks = 8;
+  constexpr int kPerTask = 100;
+  support::parallel_for(
+      kTasks,
+      [&](std::size_t task) {
+        for (int i = 0; i < kPerTask; ++i)
+          probe.record(probe_record(i, static_cast<double>(task)));
+      },
+      0);
+  EXPECT_EQ(probe.total(), kTasks * kPerTask);
+  EXPECT_EQ(probe.snapshot().size(), 64u);
+  EXPECT_EQ(probe.overwritten(), kTasks * kPerTask - 64u);
 }
 
 TEST(TelemetryScope, InstallsAndRestoresThreadLocalSink) {
@@ -357,6 +497,44 @@ TEST(InstrumentedOracle, CacheHitsDoNotInflateSolveCounters) {
   core::record_cache_stats(telemetry, cache.stats());
   EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("cache.hits").value(), 1.0);
   EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("cache.hit_rate").value(), 0.5);
+}
+
+TEST(TelemetryScope, PoolWorkersNestScopedSolvesWithoutCrossTalk) {
+  // Satellite-case regression: a pool worker installs its own scope, then
+  // spawns a nested scoped solve (the instrumented oracle installs a
+  // second TLS scope around the follower solve). The nested scope must
+  // capture the solve's counters, restore the worker's own sink on exit,
+  // and never leak across workers or to the main thread.
+  const core::NetworkParams params = standalone_params();
+  const core::Prices prices{2.2, 1.0};
+  const std::vector<double> budgets{25.0, 35.0, 45.0};
+  constexpr std::size_t kTasks = 8;
+  std::vector<Telemetry> worker_sinks(kTasks);
+  std::vector<Telemetry> solve_sinks(kTasks);
+  std::vector<int> restored(kTasks, 0);
+  support::parallel_for(
+      kTasks,
+      [&](std::size_t i) {
+        support::TelemetryScope worker_scope(&worker_sinks[i]);
+        worker_sinks[i].metrics.counter("worker.tick").add();
+        core::SolveContext context;
+        context.telemetry = &solve_sinks[i];
+        const auto oracle = core::make_follower_oracle(
+            params, budgets, core::EdgeMode::kStandalone, context);
+        (void)oracle->solve(prices);
+        // The oracle's nested scope must have restored this worker's sink.
+        restored[i] = support::current_telemetry() == &worker_sinks[i];
+      },
+      0);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(restored[i], 1) << "worker " << i;
+    // The solve's counters landed in the nested sink, not the worker's.
+    EXPECT_EQ(solve_sinks[i].metrics.counter("oracle.solves").value(), 1u);
+    EXPECT_EQ(solve_sinks[i].metrics.counter("gnep.solves").value(), 1u);
+    EXPECT_EQ(worker_sinks[i].metrics.counter("oracle.solves").value(), 0u);
+    EXPECT_EQ(worker_sinks[i].metrics.counter("worker.tick").value(), 1u);
+  }
+  EXPECT_EQ(support::current_telemetry(), nullptr);  // main thread untouched
 }
 
 TEST(NullSink, SolveWithoutTelemetryTouchesNoGlobalState) {
