@@ -17,6 +17,8 @@
 #include "core/oracle.hpp"
 #include "chain/race.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/provenance.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -130,25 +132,31 @@ class LedgerReporter : public benchmark::ConsoleReporter {
     benchmark::ConsoleReporter::ReportRuns(runs);
   }
 
-  void write_json(const std::string& path) const {
+  void write_json(const std::string& path,
+                  const support::provenance::RunManifest& manifest) const {
     std::filesystem::create_directories(
         std::filesystem::path(path).parent_path());
     std::ofstream out(path);
     HECMINE_REQUIRE(out.good(), "cannot open " + path);
-    out << "{\n";
-    out << "  \"schema\": \"hecmine.bench.v1\",\n";
-    out << "  \"bench\": \"micro_solvers\",\n";
-    out << "  \"runs\": [\n";
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      const Entry& entry = entries_[i];
-      out << "    {\"label\": \"" << entry.label
-          << "\", \"wall_ms\": " << entry.wall_ms
-          << ", \"wall_ms_p50\": " << entry.wall_ms
-          << ", \"wall_ms_p95\": " << entry.wall_ms << "}"
-          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    support::json::Writer writer(out);
+    writer.begin_object(support::json::Writer::kBlock);
+    writer.member("schema", "hecmine.bench.v1");
+    writer.member("bench", "micro_solvers");
+    writer.key("manifest");
+    support::provenance::write(writer, manifest);
+    writer.key("runs");
+    writer.begin_array(support::json::Writer::kBlock);
+    for (const Entry& entry : entries_) {
+      writer.begin_object();
+      writer.member("label", entry.label);
+      writer.member("wall_ms", entry.wall_ms);
+      writer.member("wall_ms_p50", entry.wall_ms);
+      writer.member("wall_ms_p95", entry.wall_ms);
+      writer.end_object();
     }
-    out << "  ]\n";
-    out << "}\n";
+    writer.end_array();
+    writer.end_object();
+    writer.finish();
     HECMINE_REQUIRE(out.good(), "write failed: " + path);
   }
 
@@ -163,12 +171,16 @@ class LedgerReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Collected before benchmark::Initialize mutates argc/argv. No thread or
+  // seed knobs here, so the run half records only the arguments.
+  const support::provenance::RunManifest manifest =
+      support::provenance::collect(1, 0, argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   LedgerReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   const std::string path = "bench_out/BENCH_micro_solvers.json";
-  reporter.write_json(path);
+  reporter.write_json(path, manifest);
   std::cout << "[json] " << path << "\n";
   return 0;
 }

@@ -27,7 +27,9 @@
 #include "core/scenario.hpp"
 #include "core/sp.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/parallel.hpp"
+#include "support/provenance.hpp"
 #include "support/telemetry.hpp"
 
 namespace {
@@ -94,7 +96,8 @@ struct BenchConfig {
 
 void write_json(const std::string& path, int threads,
                 const BenchConfig& config, const std::vector<RunResult>& runs,
-                const core::AuditReport& audit) {
+                const core::AuditReport& audit,
+                const support::provenance::RunManifest& manifest) {
   std::filesystem::create_directories(
       std::filesystem::path(path).parent_path());
   std::ofstream out(path);
@@ -107,49 +110,60 @@ void write_json(const std::string& path, int threads,
   const auto& serial = find("homogeneous/serial");
   const auto& parallel = find("homogeneous/parallel");
   const auto& parallel_cache = find("homogeneous/parallel+cache");
-  out << "{\n";
-  out << "  \"schema\": \"hecmine.bench.v1\",\n";
-  out << "  \"bench\": \"leader_stage\",\n";
-  out << "  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n";
-  out << "  \"threads\": " << threads << ",\n";
-  out << "  \"config\": {\"miners\": " << config.miners
-      << ", \"budget\": " << config.budget << ", \"grid\": " << config.grid
-      << ", \"repeat\": " << config.repeat
-      << ", \"hetero_miners\": " << config.hetero_miners << "},\n";
-  out << "  \"runs\": [\n";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const auto& run = runs[i];
-    out << "    {\"label\": \"" << run.label << "\", \"wall_ms\": "
-        << run.wall_ms << ", \"wall_ms_p50\": " << run.wall_ms_p50
-        << ", \"wall_ms_p95\": " << run.wall_ms_p95
-        << ", \"price_edge\": " << run.price_edge
-        << ", \"price_cloud\": " << run.price_cloud
-        << ", \"profit_total\": " << run.profit_total
-        << ", \"rounds\": " << run.rounds
-        << ", \"converged\": " << (run.converged ? "true" : "false");
+  support::json::Writer writer(out);
+  writer.begin_object(support::json::Writer::kBlock);
+  writer.member("schema", "hecmine.bench.v1");
+  writer.member("bench", "leader_stage");
+  writer.key("manifest");
+  support::provenance::write(writer, manifest);
+  writer.member("hardware_concurrency",
+                static_cast<int>(std::thread::hardware_concurrency()));
+  writer.member("threads", threads);
+  writer.key("config");
+  writer.begin_object();
+  writer.member("miners", config.miners);
+  writer.member("budget", config.budget);
+  writer.member("grid", config.grid);
+  writer.member("repeat", config.repeat);
+  writer.member("hetero_miners", config.hetero_miners);
+  writer.end_object();
+  writer.key("runs");
+  writer.begin_array(support::json::Writer::kBlock);
+  for (const auto& run : runs) {
+    writer.begin_object();
+    writer.member("label", run.label);
+    writer.member("wall_ms", run.wall_ms);
+    writer.member("wall_ms_p50", run.wall_ms_p50);
+    writer.member("wall_ms_p95", run.wall_ms_p95);
+    writer.member("price_edge", run.price_edge);
+    writer.member("price_cloud", run.price_cloud);
+    writer.member("profit_total", run.profit_total);
+    writer.member("rounds", run.rounds);
+    writer.member("converged", run.converged);
     if (run.cached) {
-      out << ", \"cache_hits\": " << run.cache.hits
-          << ", \"cache_misses\": " << run.cache.misses
-          << ", \"cache_evictions\": " << run.cache.evictions
-          << ", \"cache_hit_rate\": " << run.cache.hit_rate();
+      writer.member("cache_hits", run.cache.hits);
+      writer.member("cache_misses", run.cache.misses);
+      writer.member("cache_evictions", run.cache.evictions);
+      writer.member("cache_hit_rate", run.cache.hit_rate());
     }
-    out << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+    writer.end_object();
   }
-  out << "  ],\n";
-  out << "  \"audit\": {\"best_response_gap\": " << audit.best_response_gap
-      << ", \"capacity_violation\": " << audit.capacity_violation
-      << ", \"min_budget_slack\": " << audit.min_budget_slack
-      << ", \"monotonicity_quotient\": " << audit.monotonicity_quotient
-      << ", \"uniqueness_ok\": " << (audit.uniqueness_ok ? "true" : "false")
-      << ", \"converged\": " << (audit.converged ? "true" : "false")
-      << "},\n";
-  out << "  \"speedup_parallel\": " << serial.wall_ms / parallel.wall_ms
-      << ",\n";
-  out << "  \"speedup_parallel_cache\": "
-      << serial.wall_ms / parallel_cache.wall_ms << ",\n";
-  out << "  \"cache_hit_rate\": " << parallel_cache.cache.hit_rate() << "\n";
-  out << "}\n";
+  writer.end_array();
+  writer.key("audit");
+  writer.begin_object();
+  writer.member("best_response_gap", audit.best_response_gap);
+  writer.member("capacity_violation", audit.capacity_violation);
+  writer.member("min_budget_slack", audit.min_budget_slack);
+  writer.member("monotonicity_quotient", audit.monotonicity_quotient);
+  writer.member("uniqueness_ok", audit.uniqueness_ok);
+  writer.member("converged", audit.converged);
+  writer.end_object();
+  writer.member("speedup_parallel", serial.wall_ms / parallel.wall_ms);
+  writer.member("speedup_parallel_cache",
+                serial.wall_ms / parallel_cache.wall_ms);
+  writer.member("cache_hit_rate", parallel_cache.cache.hit_rate());
+  writer.end_object();
+  writer.finish();
   HECMINE_REQUIRE(out.good(), "write failed: " + path);
 }
 
@@ -271,6 +285,12 @@ int main(int argc, char** argv) {
   const core::AuditReport audit = core::audit_equilibrium(
       audit_scenario, equilibrium_prices, audit_profile, audit_options);
 
+  // Run provenance, embedded in the ledger and every telemetry/trace
+  // export so bench_compare can warn when two ledgers came from different
+  // builds.
+  const support::provenance::RunManifest manifest = support::provenance::collect(
+      threads, core::SolveContext{}.rng_root, argc, argv);
+
   BenchConfig config;
   config.miners = n;
   config.budget = budget;
@@ -278,16 +298,19 @@ int main(int argc, char** argv) {
   config.repeat = repeat;
   config.hetero_miners = hetero_n;
   write_json("bench_out/BENCH_leader_stage.json", threads, config, runs,
-             audit);
+             audit, manifest);
   std::cout << "[json] bench_out/BENCH_leader_stage.json\n";
 
-  // Telemetry pass: deliberately separate from the timed runs above (those
-  // stay sink-free so the tracked numbers measure the solver, not the
-  // instrumentation). One extra cached parallel solve with the sink
-  // attached produces the machine-readable profile.
+  // Telemetry/trace pass: deliberately separate from the timed runs above
+  // (those stay sink-free so the tracked numbers measure the solver, not
+  // the instrumentation). One extra cached parallel solve with the sink
+  // attached produces the machine-readable profile and, when requested,
+  // the Chrome Trace Event timeline.
   const std::string telemetry_path = args.telemetry_out();
-  if (!telemetry_path.empty()) {
+  const std::string trace_path = args.trace_out();
+  if (!telemetry_path.empty() || !trace_path.empty()) {
     support::Telemetry telemetry;
+    telemetry.manifest = manifest;
     core::FollowerEquilibriumCache cache;
     core::SpSolveOptions options = base;
     options.context.threads = threads;
@@ -296,9 +319,16 @@ int main(int argc, char** argv) {
     (void)core::solve_leader_stage_homogeneous(
         params, budget, n, core::EdgeMode::kConnected, options);
     core::record_cache_stats(telemetry, cache.stats());
-    support::write_json(telemetry, telemetry_path);
-    support::print_summary(std::cout, telemetry);
-    std::cout << "[telemetry] " << telemetry_path << "\n";
+    if (!telemetry_path.empty()) {
+      support::write_json(telemetry, telemetry_path);
+      support::print_summary(std::cout, telemetry);
+      std::cout << "[telemetry] " << telemetry_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      support::write_chrome_trace(telemetry, trace_path);
+      std::cout << "[trace] " << trace_path << " ("
+                << telemetry.trace.thread_count() << " tracks)\n";
+    }
   }
   std::cout << "threads=" << threads << "  parallel speedup "
             << serial_ms / runs[1].wall_ms << "x, parallel+cache speedup "

@@ -36,6 +36,31 @@ std::string config_fingerprint(const Value& doc) {
   return out.str();
 }
 
+/// Non-fatal provenance comparison: warns when the two ledgers were
+/// produced by visibly different builds (hecmine.manifest.v1 fields).
+void compare_manifests(const Value& baseline, const Value& current,
+                       std::vector<std::string>& warnings) {
+  const Value* base = baseline.find("manifest");
+  const Value* cur = current.find("manifest");
+  if (base == nullptr || cur == nullptr || !base->is_object() ||
+      !cur->is_object()) {
+    // Pre-manifest ledgers: nothing to compare.
+    return;
+  }
+  for (const char* key : {"git_sha", "build_type", "sanitizer", "compiler"}) {
+    const Value* base_field = base->find(key);
+    const Value* cur_field = cur->find(key);
+    if (base_field == nullptr || cur_field == nullptr ||
+        !base_field->is_string() || !cur_field->is_string())
+      continue;
+    if (base_field->as_string() != cur_field->as_string()) {
+      warnings.push_back(std::string("manifest.") + key +
+                         " differs: baseline \"" + base_field->as_string() +
+                         "\" vs current \"" + cur_field->as_string() + "\"");
+    }
+  }
+}
+
 }  // namespace
 
 CompareResult compare_bench_json(const Value& baseline, const Value& current,
@@ -63,6 +88,8 @@ CompareResult compare_bench_json(const Value& baseline, const Value& current,
       return result;
     }
   }
+
+  compare_manifests(baseline, current, result.warnings);
 
   const bool use_p50 = [&] {
     for (const Value* doc : {&baseline, &current})
@@ -155,6 +182,8 @@ void print_compare(std::ostream& os, const CompareResult& result) {
     os << "bench_compare: error: " << result.error << "\n";
     return;
   }
+  for (const std::string& warning : result.warnings)
+    os << "warn " << warning << "\n";
   for (const MetricDelta& delta : result.deltas) {
     os << (delta.regressed ? "FAIL " : delta.skipped ? "skip " : "ok   ")
        << delta.label << ": " << delta.baseline << " -> " << delta.current;

@@ -43,6 +43,11 @@ struct CompareResult {
   bool ok = false;
   std::vector<MetricDelta> deltas;
   std::string error;  ///< non-empty on structural failure (schema, config)
+  /// Non-fatal provenance mismatches between the two manifests (different
+  /// git sha, build type, sanitizer or compiler). A cross-build comparison
+  /// is often intentional (gating a fresh build against a committed
+  /// baseline), so these warn instead of failing the gate.
+  std::vector<std::string> warnings;
 };
 
 /// Compares two parsed bench documents. Timing metric per run:

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_headstart.dir/bench_ablation_headstart.cpp.o"
+  "CMakeFiles/bench_ablation_headstart.dir/bench_ablation_headstart.cpp.o.d"
+  "bench_ablation_headstart"
+  "bench_ablation_headstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_headstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inequality.dir/bench_ablation_inequality.cpp.o"
+  "CMakeFiles/bench_ablation_inequality.dir/bench_ablation_inequality.cpp.o.d"
+  "bench_ablation_inequality"
+  "bench_ablation_inequality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inequality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

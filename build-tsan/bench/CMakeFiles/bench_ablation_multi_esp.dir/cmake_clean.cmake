@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multi_esp.dir/bench_ablation_multi_esp.cpp.o"
+  "CMakeFiles/bench_ablation_multi_esp.dir/bench_ablation_multi_esp.cpp.o.d"
+  "bench_ablation_multi_esp"
+  "bench_ablation_multi_esp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multi_esp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

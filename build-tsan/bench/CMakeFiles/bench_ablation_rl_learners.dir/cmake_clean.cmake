@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rl_learners.dir/bench_ablation_rl_learners.cpp.o"
+  "CMakeFiles/bench_ablation_rl_learners.dir/bench_ablation_rl_learners.cpp.o.d"
+  "bench_ablation_rl_learners"
+  "bench_ablation_rl_learners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rl_learners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

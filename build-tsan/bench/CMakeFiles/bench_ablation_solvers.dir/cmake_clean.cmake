@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_solvers.dir/bench_ablation_solvers.cpp.o"
+  "CMakeFiles/bench_ablation_solvers.dir/bench_ablation_solvers.cpp.o.d"
+  "bench_ablation_solvers"
+  "bench_ablation_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

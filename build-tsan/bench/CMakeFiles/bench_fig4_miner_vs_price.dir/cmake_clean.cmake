@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_miner_vs_price.dir/bench_fig4_miner_vs_price.cpp.o"
+  "CMakeFiles/bench_fig4_miner_vs_price.dir/bench_fig4_miner_vs_price.cpp.o.d"
+  "bench_fig4_miner_vs_price"
+  "bench_fig4_miner_vs_price.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_miner_vs_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_price_equilibrium.dir/bench_fig8_price_equilibrium.cpp.o"
+  "CMakeFiles/bench_fig8_price_equilibrium.dir/bench_fig8_price_equilibrium.cpp.o.d"
+  "bench_fig8_price_equilibrium"
+  "bench_fig8_price_equilibrium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_price_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_population_uncertainty.dir/bench_fig9_population_uncertainty.cpp.o"
+  "CMakeFiles/bench_fig9_population_uncertainty.dir/bench_fig9_population_uncertainty.cpp.o.d"
+  "bench_fig9_population_uncertainty"
+  "bench_fig9_population_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_population_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

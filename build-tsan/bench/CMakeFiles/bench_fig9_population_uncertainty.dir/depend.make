@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_population_uncertainty.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_solvers.dir/bench_micro_solvers.cpp.o"
+  "CMakeFiles/bench_micro_solvers.dir/bench_micro_solvers.cpp.o.d"
+  "bench_micro_solvers"
+  "bench_micro_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_leader_stage.dir/bench_perf_leader_stage.cpp.o"
+  "CMakeFiles/bench_perf_leader_stage.dir/bench_perf_leader_stage.cpp.o.d"
+  "bench_perf_leader_stage"
+  "bench_perf_leader_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_leader_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecmine_bench_compare.dir/compare.cpp.o"
+  "CMakeFiles/hecmine_bench_compare.dir/compare.cpp.o.d"
+  "libhecmine_bench_compare.a"
+  "libhecmine_bench_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecmine_bench_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

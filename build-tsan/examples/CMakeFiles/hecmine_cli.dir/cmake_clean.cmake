@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecmine_cli.dir/hecmine_cli.cpp.o"
+  "CMakeFiles/hecmine_cli.dir/hecmine_cli.cpp.o.d"
+  "hecmine_cli"
+  "hecmine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hecmine_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_income_risk.dir/mining_income_risk.cpp.o"
+  "CMakeFiles/mining_income_risk.dir/mining_income_risk.cpp.o.d"
+  "mining_income_risk"
+  "mining_income_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_income_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

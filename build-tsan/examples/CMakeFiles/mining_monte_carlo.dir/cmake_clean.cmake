@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_monte_carlo.dir/mining_monte_carlo.cpp.o"
+  "CMakeFiles/mining_monte_carlo.dir/mining_monte_carlo.cpp.o.d"
+  "mining_monte_carlo"
+  "mining_monte_carlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

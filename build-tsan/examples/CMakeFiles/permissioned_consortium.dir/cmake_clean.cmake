@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permissioned_consortium.dir/permissioned_consortium.cpp.o"
+  "CMakeFiles/permissioned_consortium.dir/permissioned_consortium.cpp.o.d"
+  "permissioned_consortium"
+  "permissioned_consortium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permissioned_consortium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

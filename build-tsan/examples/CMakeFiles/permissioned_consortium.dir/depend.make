@@ -1,0 +1,2 @@
+# Empty dependencies file for permissioned_consortium.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permissionless_market.dir/permissionless_market.cpp.o"
+  "CMakeFiles/permissionless_market.dir/permissionless_market.cpp.o.d"
+  "permissionless_market"
+  "permissionless_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permissionless_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_model.dir/validate_model.cpp.o"
+  "CMakeFiles/validate_model.dir/validate_model.cpp.o.d"
+  "validate_model"
+  "validate_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/hecmine_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/hecmine_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/difficulty.cpp" "src/chain/CMakeFiles/hecmine_chain.dir/difficulty.cpp.o" "gcc" "src/chain/CMakeFiles/hecmine_chain.dir/difficulty.cpp.o.d"
+  "/root/repo/src/chain/race.cpp" "src/chain/CMakeFiles/hecmine_chain.dir/race.cpp.o" "gcc" "src/chain/CMakeFiles/hecmine_chain.dir/race.cpp.o.d"
+  "/root/repo/src/chain/simulator.cpp" "src/chain/CMakeFiles/hecmine_chain.dir/simulator.cpp.o" "gcc" "src/chain/CMakeFiles/hecmine_chain.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/hecmine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecmine_chain.dir/block.cpp.o"
+  "CMakeFiles/hecmine_chain.dir/block.cpp.o.d"
+  "CMakeFiles/hecmine_chain.dir/difficulty.cpp.o"
+  "CMakeFiles/hecmine_chain.dir/difficulty.cpp.o.d"
+  "CMakeFiles/hecmine_chain.dir/race.cpp.o"
+  "CMakeFiles/hecmine_chain.dir/race.cpp.o.d"
+  "CMakeFiles/hecmine_chain.dir/simulator.cpp.o"
+  "CMakeFiles/hecmine_chain.dir/simulator.cpp.o.d"
+  "libhecmine_chain.a"
+  "libhecmine_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecmine_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

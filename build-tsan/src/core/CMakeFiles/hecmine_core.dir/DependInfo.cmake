@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/hecmine_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/closed_forms.cpp" "src/core/CMakeFiles/hecmine_core.dir/closed_forms.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/closed_forms.cpp.o.d"
+  "/root/repo/src/core/decentralization.cpp" "src/core/CMakeFiles/hecmine_core.dir/decentralization.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/decentralization.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/core/CMakeFiles/hecmine_core.dir/dynamic.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/core/dynamic_types.cpp" "src/core/CMakeFiles/hecmine_core.dir/dynamic_types.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/dynamic_types.cpp.o.d"
+  "/root/repo/src/core/equilibrium.cpp" "src/core/CMakeFiles/hecmine_core.dir/equilibrium.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/equilibrium.cpp.o.d"
+  "/root/repo/src/core/equilibrium_cache.cpp" "src/core/CMakeFiles/hecmine_core.dir/equilibrium_cache.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/equilibrium_cache.cpp.o.d"
+  "/root/repo/src/core/miner.cpp" "src/core/CMakeFiles/hecmine_core.dir/miner.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/miner.cpp.o.d"
+  "/root/repo/src/core/multi_esp.cpp" "src/core/CMakeFiles/hecmine_core.dir/multi_esp.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/multi_esp.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/hecmine_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/hecmine_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/population.cpp" "src/core/CMakeFiles/hecmine_core.dir/population.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/population.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/hecmine_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/hecmine_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/sp.cpp" "src/core/CMakeFiles/hecmine_core.dir/sp.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/sp.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/hecmine_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/types.cpp.o.d"
+  "/root/repo/src/core/welfare.cpp" "src/core/CMakeFiles/hecmine_core.dir/welfare.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/welfare.cpp.o.d"
+  "/root/repo/src/core/winning.cpp" "src/core/CMakeFiles/hecmine_core.dir/winning.cpp.o" "gcc" "src/core/CMakeFiles/hecmine_core.dir/winning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/game/CMakeFiles/hecmine_game.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/numerics/CMakeFiles/hecmine_numerics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/hecmine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/gnep.cpp" "src/game/CMakeFiles/hecmine_game.dir/gnep.cpp.o" "gcc" "src/game/CMakeFiles/hecmine_game.dir/gnep.cpp.o.d"
+  "/root/repo/src/game/nash.cpp" "src/game/CMakeFiles/hecmine_game.dir/nash.cpp.o" "gcc" "src/game/CMakeFiles/hecmine_game.dir/nash.cpp.o.d"
+  "/root/repo/src/game/stackelberg.cpp" "src/game/CMakeFiles/hecmine_game.dir/stackelberg.cpp.o" "gcc" "src/game/CMakeFiles/hecmine_game.dir/stackelberg.cpp.o.d"
+  "/root/repo/src/game/trajectory.cpp" "src/game/CMakeFiles/hecmine_game.dir/trajectory.cpp.o" "gcc" "src/game/CMakeFiles/hecmine_game.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/numerics/CMakeFiles/hecmine_numerics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/hecmine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

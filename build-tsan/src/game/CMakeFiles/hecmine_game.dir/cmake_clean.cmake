@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecmine_game.dir/gnep.cpp.o"
+  "CMakeFiles/hecmine_game.dir/gnep.cpp.o.d"
+  "CMakeFiles/hecmine_game.dir/nash.cpp.o"
+  "CMakeFiles/hecmine_game.dir/nash.cpp.o.d"
+  "CMakeFiles/hecmine_game.dir/stackelberg.cpp.o"
+  "CMakeFiles/hecmine_game.dir/stackelberg.cpp.o.d"
+  "CMakeFiles/hecmine_game.dir/trajectory.cpp.o"
+  "CMakeFiles/hecmine_game.dir/trajectory.cpp.o.d"
+  "libhecmine_game.a"
+  "libhecmine_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecmine_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/campaign.cpp" "src/net/CMakeFiles/hecmine_net.dir/campaign.cpp.o" "gcc" "src/net/CMakeFiles/hecmine_net.dir/campaign.cpp.o.d"
+  "/root/repo/src/net/event_sim.cpp" "src/net/CMakeFiles/hecmine_net.dir/event_sim.cpp.o" "gcc" "src/net/CMakeFiles/hecmine_net.dir/event_sim.cpp.o.d"
+  "/root/repo/src/net/latency.cpp" "src/net/CMakeFiles/hecmine_net.dir/latency.cpp.o" "gcc" "src/net/CMakeFiles/hecmine_net.dir/latency.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/hecmine_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/hecmine_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/offload.cpp" "src/net/CMakeFiles/hecmine_net.dir/offload.cpp.o" "gcc" "src/net/CMakeFiles/hecmine_net.dir/offload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/chain/CMakeFiles/hecmine_chain.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/hecmine_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/hecmine_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/hecmine_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/game/CMakeFiles/hecmine_game.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/numerics/CMakeFiles/hecmine_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

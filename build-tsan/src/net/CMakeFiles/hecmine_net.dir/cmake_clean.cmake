@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecmine_net.dir/campaign.cpp.o"
+  "CMakeFiles/hecmine_net.dir/campaign.cpp.o.d"
+  "CMakeFiles/hecmine_net.dir/event_sim.cpp.o"
+  "CMakeFiles/hecmine_net.dir/event_sim.cpp.o.d"
+  "CMakeFiles/hecmine_net.dir/latency.cpp.o"
+  "CMakeFiles/hecmine_net.dir/latency.cpp.o.d"
+  "CMakeFiles/hecmine_net.dir/network.cpp.o"
+  "CMakeFiles/hecmine_net.dir/network.cpp.o.d"
+  "CMakeFiles/hecmine_net.dir/offload.cpp.o"
+  "CMakeFiles/hecmine_net.dir/offload.cpp.o.d"
+  "libhecmine_net.a"
+  "libhecmine_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecmine_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/fixed_point.cpp" "src/numerics/CMakeFiles/hecmine_numerics.dir/fixed_point.cpp.o" "gcc" "src/numerics/CMakeFiles/hecmine_numerics.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/numerics/gradient.cpp" "src/numerics/CMakeFiles/hecmine_numerics.dir/gradient.cpp.o" "gcc" "src/numerics/CMakeFiles/hecmine_numerics.dir/gradient.cpp.o.d"
+  "/root/repo/src/numerics/optimize.cpp" "src/numerics/CMakeFiles/hecmine_numerics.dir/optimize.cpp.o" "gcc" "src/numerics/CMakeFiles/hecmine_numerics.dir/optimize.cpp.o.d"
+  "/root/repo/src/numerics/pga.cpp" "src/numerics/CMakeFiles/hecmine_numerics.dir/pga.cpp.o" "gcc" "src/numerics/CMakeFiles/hecmine_numerics.dir/pga.cpp.o.d"
+  "/root/repo/src/numerics/poly.cpp" "src/numerics/CMakeFiles/hecmine_numerics.dir/poly.cpp.o" "gcc" "src/numerics/CMakeFiles/hecmine_numerics.dir/poly.cpp.o.d"
+  "/root/repo/src/numerics/projection.cpp" "src/numerics/CMakeFiles/hecmine_numerics.dir/projection.cpp.o" "gcc" "src/numerics/CMakeFiles/hecmine_numerics.dir/projection.cpp.o.d"
+  "/root/repo/src/numerics/roots.cpp" "src/numerics/CMakeFiles/hecmine_numerics.dir/roots.cpp.o" "gcc" "src/numerics/CMakeFiles/hecmine_numerics.dir/roots.cpp.o.d"
+  "/root/repo/src/numerics/vi.cpp" "src/numerics/CMakeFiles/hecmine_numerics.dir/vi.cpp.o" "gcc" "src/numerics/CMakeFiles/hecmine_numerics.dir/vi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/hecmine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

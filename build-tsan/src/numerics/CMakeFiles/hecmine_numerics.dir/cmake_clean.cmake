@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecmine_numerics.dir/fixed_point.cpp.o"
+  "CMakeFiles/hecmine_numerics.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/hecmine_numerics.dir/gradient.cpp.o"
+  "CMakeFiles/hecmine_numerics.dir/gradient.cpp.o.d"
+  "CMakeFiles/hecmine_numerics.dir/optimize.cpp.o"
+  "CMakeFiles/hecmine_numerics.dir/optimize.cpp.o.d"
+  "CMakeFiles/hecmine_numerics.dir/pga.cpp.o"
+  "CMakeFiles/hecmine_numerics.dir/pga.cpp.o.d"
+  "CMakeFiles/hecmine_numerics.dir/poly.cpp.o"
+  "CMakeFiles/hecmine_numerics.dir/poly.cpp.o.d"
+  "CMakeFiles/hecmine_numerics.dir/projection.cpp.o"
+  "CMakeFiles/hecmine_numerics.dir/projection.cpp.o.d"
+  "CMakeFiles/hecmine_numerics.dir/roots.cpp.o"
+  "CMakeFiles/hecmine_numerics.dir/roots.cpp.o.d"
+  "CMakeFiles/hecmine_numerics.dir/vi.cpp.o"
+  "CMakeFiles/hecmine_numerics.dir/vi.cpp.o.d"
+  "libhecmine_numerics.a"
+  "libhecmine_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecmine_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

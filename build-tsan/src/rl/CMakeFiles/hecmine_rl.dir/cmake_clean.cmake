@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecmine_rl.dir/fictitious.cpp.o"
+  "CMakeFiles/hecmine_rl.dir/fictitious.cpp.o.d"
+  "CMakeFiles/hecmine_rl.dir/learner.cpp.o"
+  "CMakeFiles/hecmine_rl.dir/learner.cpp.o.d"
+  "CMakeFiles/hecmine_rl.dir/trainer.cpp.o"
+  "CMakeFiles/hecmine_rl.dir/trainer.cpp.o.d"
+  "libhecmine_rl.a"
+  "libhecmine_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecmine_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecmine_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hecmine_sim.dir/event_queue.cpp.o.d"
+  "libhecmine_sim.a"
+  "libhecmine_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecmine_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

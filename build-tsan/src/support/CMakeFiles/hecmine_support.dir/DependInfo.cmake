@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli.cpp" "src/support/CMakeFiles/hecmine_support.dir/cli.cpp.o" "gcc" "src/support/CMakeFiles/hecmine_support.dir/cli.cpp.o.d"
+  "/root/repo/src/support/config.cpp" "src/support/CMakeFiles/hecmine_support.dir/config.cpp.o" "gcc" "src/support/CMakeFiles/hecmine_support.dir/config.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/support/CMakeFiles/hecmine_support.dir/json.cpp.o" "gcc" "src/support/CMakeFiles/hecmine_support.dir/json.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/support/CMakeFiles/hecmine_support.dir/log.cpp.o" "gcc" "src/support/CMakeFiles/hecmine_support.dir/log.cpp.o.d"
+  "/root/repo/src/support/parallel.cpp" "src/support/CMakeFiles/hecmine_support.dir/parallel.cpp.o" "gcc" "src/support/CMakeFiles/hecmine_support.dir/parallel.cpp.o.d"
+  "/root/repo/src/support/provenance.cpp" "src/support/CMakeFiles/hecmine_support.dir/provenance.cpp.o" "gcc" "src/support/CMakeFiles/hecmine_support.dir/provenance.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/support/CMakeFiles/hecmine_support.dir/rng.cpp.o" "gcc" "src/support/CMakeFiles/hecmine_support.dir/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/support/CMakeFiles/hecmine_support.dir/stats.cpp.o" "gcc" "src/support/CMakeFiles/hecmine_support.dir/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/hecmine_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/hecmine_support.dir/table.cpp.o.d"
+  "/root/repo/src/support/telemetry.cpp" "src/support/CMakeFiles/hecmine_support.dir/telemetry.cpp.o" "gcc" "src/support/CMakeFiles/hecmine_support.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

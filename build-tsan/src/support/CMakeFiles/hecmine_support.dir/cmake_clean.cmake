@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecmine_support.dir/cli.cpp.o"
+  "CMakeFiles/hecmine_support.dir/cli.cpp.o.d"
+  "CMakeFiles/hecmine_support.dir/config.cpp.o"
+  "CMakeFiles/hecmine_support.dir/config.cpp.o.d"
+  "CMakeFiles/hecmine_support.dir/json.cpp.o"
+  "CMakeFiles/hecmine_support.dir/json.cpp.o.d"
+  "CMakeFiles/hecmine_support.dir/log.cpp.o"
+  "CMakeFiles/hecmine_support.dir/log.cpp.o.d"
+  "CMakeFiles/hecmine_support.dir/parallel.cpp.o"
+  "CMakeFiles/hecmine_support.dir/parallel.cpp.o.d"
+  "CMakeFiles/hecmine_support.dir/provenance.cpp.o"
+  "CMakeFiles/hecmine_support.dir/provenance.cpp.o.d"
+  "CMakeFiles/hecmine_support.dir/rng.cpp.o"
+  "CMakeFiles/hecmine_support.dir/rng.cpp.o.d"
+  "CMakeFiles/hecmine_support.dir/stats.cpp.o"
+  "CMakeFiles/hecmine_support.dir/stats.cpp.o.d"
+  "CMakeFiles/hecmine_support.dir/table.cpp.o"
+  "CMakeFiles/hecmine_support.dir/table.cpp.o.d"
+  "CMakeFiles/hecmine_support.dir/telemetry.cpp.o"
+  "CMakeFiles/hecmine_support.dir/telemetry.cpp.o.d"
+  "libhecmine_support.a"
+  "libhecmine_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecmine_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_audit.dir/test_core_audit.cpp.o"
+  "CMakeFiles/test_core_audit.dir/test_core_audit.cpp.o.d"
+  "test_core_audit"
+  "test_core_audit.pdb"
+  "test_core_audit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_closed_forms.dir/test_core_closed_forms.cpp.o"
+  "CMakeFiles/test_core_closed_forms.dir/test_core_closed_forms.cpp.o.d"
+  "test_core_closed_forms"
+  "test_core_closed_forms.pdb"
+  "test_core_closed_forms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_closed_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_decentralization.dir/test_core_decentralization.cpp.o"
+  "CMakeFiles/test_core_decentralization.dir/test_core_decentralization.cpp.o.d"
+  "test_core_decentralization"
+  "test_core_decentralization.pdb"
+  "test_core_decentralization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_decentralization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dynamic_types.dir/test_core_dynamic_types.cpp.o"
+  "CMakeFiles/test_core_dynamic_types.dir/test_core_dynamic_types.cpp.o.d"
+  "test_core_dynamic_types"
+  "test_core_dynamic_types.pdb"
+  "test_core_dynamic_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dynamic_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

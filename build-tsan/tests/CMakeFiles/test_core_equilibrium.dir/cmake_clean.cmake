@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_equilibrium.dir/test_core_equilibrium.cpp.o"
+  "CMakeFiles/test_core_equilibrium.dir/test_core_equilibrium.cpp.o.d"
+  "test_core_equilibrium"
+  "test_core_equilibrium.pdb"
+  "test_core_equilibrium[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_equilibrium_cache.dir/test_core_equilibrium_cache.cpp.o"
+  "CMakeFiles/test_core_equilibrium_cache.dir/test_core_equilibrium_cache.cpp.o.d"
+  "test_core_equilibrium_cache"
+  "test_core_equilibrium_cache.pdb"
+  "test_core_equilibrium_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_equilibrium_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

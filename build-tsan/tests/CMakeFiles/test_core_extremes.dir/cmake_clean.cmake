@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_extremes.dir/test_core_extremes.cpp.o"
+  "CMakeFiles/test_core_extremes.dir/test_core_extremes.cpp.o.d"
+  "test_core_extremes"
+  "test_core_extremes.pdb"
+  "test_core_extremes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_extremes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_miner.dir/test_core_miner.cpp.o"
+  "CMakeFiles/test_core_miner.dir/test_core_miner.cpp.o.d"
+  "test_core_miner"
+  "test_core_miner.pdb"
+  "test_core_miner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_monotonicity.dir/test_core_monotonicity.cpp.o"
+  "CMakeFiles/test_core_monotonicity.dir/test_core_monotonicity.cpp.o.d"
+  "test_core_monotonicity"
+  "test_core_monotonicity.pdb"
+  "test_core_monotonicity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

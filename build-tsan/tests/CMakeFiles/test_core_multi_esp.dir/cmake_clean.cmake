@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_multi_esp.dir/test_core_multi_esp.cpp.o"
+  "CMakeFiles/test_core_multi_esp.dir/test_core_multi_esp.cpp.o.d"
+  "test_core_multi_esp"
+  "test_core_multi_esp.pdb"
+  "test_core_multi_esp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_multi_esp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

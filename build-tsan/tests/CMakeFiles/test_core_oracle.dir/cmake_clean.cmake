@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_oracle.dir/test_core_oracle.cpp.o"
+  "CMakeFiles/test_core_oracle.dir/test_core_oracle.cpp.o.d"
+  "test_core_oracle"
+  "test_core_oracle.pdb"
+  "test_core_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

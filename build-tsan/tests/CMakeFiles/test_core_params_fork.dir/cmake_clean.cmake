@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_params_fork.dir/test_core_params_fork.cpp.o"
+  "CMakeFiles/test_core_params_fork.dir/test_core_params_fork.cpp.o.d"
+  "test_core_params_fork"
+  "test_core_params_fork.pdb"
+  "test_core_params_fork[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_params_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

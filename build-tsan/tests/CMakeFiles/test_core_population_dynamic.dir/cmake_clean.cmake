@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_population_dynamic.dir/test_core_population_dynamic.cpp.o"
+  "CMakeFiles/test_core_population_dynamic.dir/test_core_population_dynamic.cpp.o.d"
+  "test_core_population_dynamic"
+  "test_core_population_dynamic.pdb"
+  "test_core_population_dynamic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_population_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sensitivity.dir/test_core_sensitivity.cpp.o"
+  "CMakeFiles/test_core_sensitivity.dir/test_core_sensitivity.cpp.o.d"
+  "test_core_sensitivity"
+  "test_core_sensitivity.pdb"
+  "test_core_sensitivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

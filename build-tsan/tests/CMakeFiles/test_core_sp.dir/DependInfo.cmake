@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_sp.cpp" "tests/CMakeFiles/test_core_sp.dir/test_core_sp.cpp.o" "gcc" "tests/CMakeFiles/test_core_sp.dir/test_core_sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/rl/CMakeFiles/hecmine_rl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/hecmine_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/hecmine_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/chain/CMakeFiles/hecmine_chain.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/hecmine_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/game/CMakeFiles/hecmine_game.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/numerics/CMakeFiles/hecmine_numerics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/hecmine_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

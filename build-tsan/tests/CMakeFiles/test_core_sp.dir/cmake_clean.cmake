@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sp.dir/test_core_sp.cpp.o"
+  "CMakeFiles/test_core_sp.dir/test_core_sp.cpp.o.d"
+  "test_core_sp"
+  "test_core_sp.pdb"
+  "test_core_sp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

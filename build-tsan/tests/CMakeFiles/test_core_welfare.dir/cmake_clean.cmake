@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_welfare.dir/test_core_welfare.cpp.o"
+  "CMakeFiles/test_core_welfare.dir/test_core_welfare.cpp.o.d"
+  "test_core_welfare"
+  "test_core_welfare.pdb"
+  "test_core_welfare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_welfare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_winning.dir/test_core_winning.cpp.o"
+  "CMakeFiles/test_core_winning.dir/test_core_winning.cpp.o.d"
+  "test_core_winning"
+  "test_core_winning.pdb"
+  "test_core_winning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_winning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_consistency.dir/test_cross_consistency.cpp.o"
+  "CMakeFiles/test_cross_consistency.dir/test_cross_consistency.cpp.o.d"
+  "test_cross_consistency"
+  "test_cross_consistency.pdb"
+  "test_cross_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

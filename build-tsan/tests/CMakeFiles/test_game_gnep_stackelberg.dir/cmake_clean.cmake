@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_game_gnep_stackelberg.dir/test_game_gnep_stackelberg.cpp.o"
+  "CMakeFiles/test_game_gnep_stackelberg.dir/test_game_gnep_stackelberg.cpp.o.d"
+  "test_game_gnep_stackelberg"
+  "test_game_gnep_stackelberg.pdb"
+  "test_game_gnep_stackelberg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_game_gnep_stackelberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

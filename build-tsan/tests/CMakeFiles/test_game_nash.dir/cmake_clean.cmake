@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_game_nash.dir/test_game_nash.cpp.o"
+  "CMakeFiles/test_game_nash.dir/test_game_nash.cpp.o.d"
+  "test_game_nash"
+  "test_game_nash.pdb"
+  "test_game_nash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_game_nash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

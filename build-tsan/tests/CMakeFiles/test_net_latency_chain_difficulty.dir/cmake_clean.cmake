@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_latency_chain_difficulty.dir/test_net_latency_chain_difficulty.cpp.o"
+  "CMakeFiles/test_net_latency_chain_difficulty.dir/test_net_latency_chain_difficulty.cpp.o.d"
+  "test_net_latency_chain_difficulty"
+  "test_net_latency_chain_difficulty.pdb"
+  "test_net_latency_chain_difficulty[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_latency_chain_difficulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_net_latency_chain_difficulty.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_optimize.dir/test_numerics_optimize.cpp.o"
+  "CMakeFiles/test_numerics_optimize.dir/test_numerics_optimize.cpp.o.d"
+  "test_numerics_optimize"
+  "test_numerics_optimize.pdb"
+  "test_numerics_optimize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

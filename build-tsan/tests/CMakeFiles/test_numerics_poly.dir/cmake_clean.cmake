@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_poly.dir/test_numerics_poly.cpp.o"
+  "CMakeFiles/test_numerics_poly.dir/test_numerics_poly.cpp.o.d"
+  "test_numerics_poly"
+  "test_numerics_poly.pdb"
+  "test_numerics_poly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

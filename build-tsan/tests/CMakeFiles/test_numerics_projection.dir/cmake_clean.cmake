@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_projection.dir/test_numerics_projection.cpp.o"
+  "CMakeFiles/test_numerics_projection.dir/test_numerics_projection.cpp.o.d"
+  "test_numerics_projection"
+  "test_numerics_projection.pdb"
+  "test_numerics_projection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_solvers.dir/test_numerics_solvers.cpp.o"
+  "CMakeFiles/test_numerics_solvers.dir/test_numerics_solvers.cpp.o.d"
+  "test_numerics_solvers"
+  "test_numerics_solvers.pdb"
+  "test_numerics_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

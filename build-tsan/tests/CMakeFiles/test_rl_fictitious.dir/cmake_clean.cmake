@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_fictitious.dir/test_rl_fictitious.cpp.o"
+  "CMakeFiles/test_rl_fictitious.dir/test_rl_fictitious.cpp.o.d"
+  "test_rl_fictitious"
+  "test_rl_fictitious.pdb"
+  "test_rl_fictitious[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_fictitious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

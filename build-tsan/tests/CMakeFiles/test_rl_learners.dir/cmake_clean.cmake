@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_learners.dir/test_rl_learners.cpp.o"
+  "CMakeFiles/test_rl_learners.dir/test_rl_learners.cpp.o.d"
+  "test_rl_learners"
+  "test_rl_learners.pdb"
+  "test_rl_learners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_learners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rl_learners.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_config_scenario.dir/test_support_config_scenario.cpp.o"
+  "CMakeFiles/test_support_config_scenario.dir/test_support_config_scenario.cpp.o.d"
+  "test_support_config_scenario"
+  "test_support_config_scenario.pdb"
+  "test_support_config_scenario[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_config_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

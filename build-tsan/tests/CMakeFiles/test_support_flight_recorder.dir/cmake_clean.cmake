@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_flight_recorder.dir/test_support_flight_recorder.cpp.o"
+  "CMakeFiles/test_support_flight_recorder.dir/test_support_flight_recorder.cpp.o.d"
+  "test_support_flight_recorder"
+  "test_support_flight_recorder.pdb"
+  "test_support_flight_recorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_flight_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

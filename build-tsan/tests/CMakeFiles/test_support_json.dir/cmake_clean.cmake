@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_json.dir/test_support_json.cpp.o"
+  "CMakeFiles/test_support_json.dir/test_support_json.cpp.o.d"
+  "test_support_json"
+  "test_support_json.pdb"
+  "test_support_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_log.dir/test_support_log.cpp.o"
+  "CMakeFiles/test_support_log.dir/test_support_log.cpp.o.d"
+  "test_support_log"
+  "test_support_log.pdb"
+  "test_support_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

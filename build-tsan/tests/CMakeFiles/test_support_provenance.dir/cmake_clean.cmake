@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_provenance.dir/test_support_provenance.cpp.o"
+  "CMakeFiles/test_support_provenance.dir/test_support_provenance.cpp.o.d"
+  "test_support_provenance"
+  "test_support_provenance.pdb"
+  "test_support_provenance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

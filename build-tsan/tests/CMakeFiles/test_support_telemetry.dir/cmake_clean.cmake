@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_telemetry.dir/test_support_telemetry.cpp.o"
+  "CMakeFiles/test_support_telemetry.dir/test_support_telemetry.cpp.o.d"
+  "test_support_telemetry"
+  "test_support_telemetry.pdb"
+  "test_support_telemetry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,8 +10,10 @@
 // --threads=N (or the HECMINE_THREADS environment variable) controls how
 // many threads the SP-stage price scans use; 0 (the default) picks the
 // hardware concurrency. Results are bitwise identical across thread counts.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/audit.hpp"
@@ -25,6 +27,8 @@
 #include "net/network.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/provenance.hpp"
 #include "support/telemetry.hpp"
 
 namespace {
@@ -171,12 +175,31 @@ int cmd_dynamic(const core::Scenario& scenario) {
   return 0;
 }
 
+/// `--version`: the run-provenance manifest fields, human-readable.
+int cmd_version() {
+  const support::provenance::RunManifest manifest =
+      support::provenance::collect();
+  std::printf("hecmine %s\n", manifest.git_sha.c_str());
+  std::printf("build: %s, %s%s%s\n", manifest.build_type.c_str(),
+              manifest.compiler.c_str(),
+              manifest.sanitizer.empty() ? "" : ", sanitizer=",
+              manifest.sanitizer.c_str());
+  std::printf("host: %s (%s, %d hardware threads)\n", manifest.host.c_str(),
+              manifest.os.c_str(), manifest.hardware_concurrency);
+  for (const auto& schema : support::provenance::schema_versions())
+    std::printf("schema %s: %s\n", schema.artifact, schema.version);
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: hecmine_cli <solve|simulate|dynamic> <scenario-file> "
       "[--rounds=N] [--threads=N] [--log-level=L] [--telemetry-out=FILE]\n"
-      "                   [--iteration-log=FILE] [--audit]\n"
+      "                   [--iteration-log=FILE] [--trace-out=FILE]\n"
+      "                   [--flight-out=FILE] [--flight-interval-ms=N]\n"
+      "                   [--audit]\n"
+      "       hecmine_cli --version\n"
       "  --threads=N          threads for the SP-stage price scans; 0 (the\n"
       "                       default) uses all hardware threads. The\n"
       "                       HECMINE_THREADS environment variable provides\n"
@@ -193,6 +216,17 @@ int usage() {
       "                       (schema hecmine.iterlog.v1: residual, prices,\n"
       "                       aggregates, step, constraint flags) to F;\n"
       "                       HECMINE_ITERLOG is the fallback.\n"
+      "  --trace-out=F        write the solve timeline as Chrome Trace Event\n"
+      "                       JSON (schema hecmine.trace.v1, loadable in\n"
+      "                       Perfetto / chrome://tracing) to F;\n"
+      "                       HECMINE_TRACE_OUT is the fallback.\n"
+      "  --flight-out=F       flight recorder: snapshot all counters/gauges/\n"
+      "                       histograms to a rotating JSONL stream at F\n"
+      "                       every --flight-interval-ms (default 500) while\n"
+      "                       the run is in progress; HECMINE_FLIGHT_OUT /\n"
+      "                       HECMINE_FLIGHT_INTERVAL_MS are the fallbacks.\n"
+      "  --version            print the run-provenance manifest fields (git\n"
+      "                       sha, build type, compiler, schema versions).\n"
       "  --audit              audit the solved equilibrium (solve command):\n"
       "                       best-response gap, budget slack, capacity\n"
       "                       violation, Theorem-2 uniqueness check, leader\n"
@@ -204,6 +238,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   const support::CliArgs args(argc, argv);
+  if (args.has("version")) return cmd_version();
   if (args.positional().size() < 2) return usage();
   const std::string command = args.positional()[0];
   const std::string path = args.positional()[1];
@@ -212,6 +247,8 @@ int main(int argc, char** argv) {
     const core::Scenario scenario = core::load_scenario(path);
     const std::string telemetry_path = args.telemetry_out();
     const std::string iteration_log_path = args.iteration_log();
+    const std::string trace_path = args.trace_out();
+    const std::string flight_path = args.flight_out();
     const bool audit = args.has("audit");
     support::Telemetry telemetry;
     core::FollowerEquilibriumCache cache;
@@ -219,13 +256,26 @@ int main(int argc, char** argv) {
     context.threads = args.threads();
     context.cache = &cache;
     // A sink is attached whenever any consumer needs it: a telemetry JSON
-    // path, a streaming iteration log, or audit gauges.
-    context.telemetry =
-        telemetry_path.empty() && iteration_log_path.empty() && !audit
-            ? nullptr
-            : &telemetry;
+    // path, a streaming iteration log, a trace timeline, a flight
+    // recorder, or audit gauges.
+    context.telemetry = telemetry_path.empty() && iteration_log_path.empty() &&
+                                trace_path.empty() && flight_path.empty() &&
+                                !audit
+                            ? nullptr
+                            : &telemetry;
+    // Stamp the run half of the provenance manifest before any export or
+    // stream header embeds it.
+    telemetry.manifest = support::provenance::collect(
+        support::resolve_thread_count(context.threads), context.rng_root,
+        argc, argv);
     if (!iteration_log_path.empty())
-      telemetry.probe.stream_to(iteration_log_path);
+      telemetry.probe.stream_to(iteration_log_path, &telemetry.manifest);
+    std::optional<support::TelemetryFlusher> flusher;
+    if (!flight_path.empty()) {
+      support::TelemetryFlusher::Options options;
+      options.interval = std::chrono::milliseconds(args.flight_interval_ms());
+      flusher.emplace(telemetry, flight_path, options);
+    }
 
     int status = 2;
     if (command == "solve") {
@@ -238,6 +288,16 @@ int main(int argc, char** argv) {
       status = cmd_dynamic(scenario);
     } else {
       return usage();
+    }
+
+    // Stop the flight recorder first so its final line reflects the
+    // finished run.
+    if (flusher) {
+      flusher->stop();
+      std::printf("[flight] %s (%llu snapshots, %llu rotations)\n",
+                  flight_path.c_str(),
+                  static_cast<unsigned long long>(flusher->flushes()),
+                  static_cast<unsigned long long>(flusher->rotations()));
     }
 
     // End-of-run observability: the cache counters always get one line
@@ -261,6 +321,11 @@ int main(int argc, char** argv) {
         std::printf("[iteration-log] %s (%llu records)\n",
                     iteration_log_path.c_str(),
                     static_cast<unsigned long long>(telemetry.probe.total()));
+      }
+      if (!trace_path.empty()) {
+        support::write_chrome_trace(telemetry, trace_path);
+        std::printf("[trace] %s (%d tracks)\n", trace_path.c_str(),
+                    telemetry.trace.thread_count());
       }
     }
     return status;

@@ -259,6 +259,7 @@ EquilibriumProfile InstrumentedFollowerOracle::solve(
   // The scope makes the sink visible to the VI/GNEP layers on this thread
   // for exactly the duration of the inner solve.
   const support::TelemetryScope scope(telemetry_);
+  const support::SolveTrace::Scope span(&telemetry_->trace, "oracle.solve");
   support::ScopedTimer timer(&solve_ms_);
   const EquilibriumProfile profile = inner_->solve(prices);
   const support::ConvergenceReport report = profile.report();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "core/equilibrium_cache.hpp"
 #include "game/stackelberg.hpp"
@@ -77,6 +78,21 @@ void count_sequential_fallback(const SolveContext& context) {
   if (context.telemetry != nullptr)
     context.telemetry->metrics.counter("sp.sequential_fallbacks").add();
 }
+
+/// Installs the context's sink as the issuing thread's telemetry for the
+/// duration of a leader-stage entry point. The thread pool captures the
+/// issuer's thread-local sink at dispatch time, so without this scope the
+/// price-scan fan-outs would run untracked; a null sink installs nothing
+/// (any outer scope stays in effect).
+class StageTelemetryScope {
+ public:
+  explicit StageTelemetryScope(const SolveContext& context) {
+    if (context.telemetry != nullptr) scope_.emplace(context.telemetry);
+  }
+
+ private:
+  std::optional<support::TelemetryScope> scope_;
+};
 
 /// Symmetric fast-path oracle for n identical miners. `scan` caps the inner
 /// iteration budget: closed forms handle the common price regions
@@ -203,6 +219,7 @@ LeaderStageResult solve_leader_stage_homogeneous(const NetworkParams& params,
   HECMINE_REQUIRE(n >= 2, "SP solve: n >= 2 required");
   const SolveContext context = options.resolved_context();
   count_leader_solve(context);
+  const StageTelemetryScope telemetry_scope(context);
   const support::SolveTrace::Scope stage(trace_of(context),
                                          "leader_stage.homogeneous");
   const PriceBox box = price_box(params, options);
@@ -260,6 +277,7 @@ LeaderStageResult solve_leader_stage_sequential(const NetworkParams& params,
                                                 const SpSolveOptions& options) {
   params.validate();
   const SolveContext context = options.resolved_context();
+  const StageTelemetryScope telemetry_scope(context);
   const support::SolveTrace::Scope stage(trace_of(context),
                                          "leader_stage.sequential");
   const PriceBox box = price_box(params, options);
@@ -306,6 +324,7 @@ LeaderStageResult solve_leader_stage_sellout(const NetworkParams& params,
   HECMINE_REQUIRE(n >= 2, "SP solve: n >= 2 required");
   const SolveContext context = options.resolved_context();
   count_leader_solve(context);
+  const StageTelemetryScope telemetry_scope(context);
   const support::SolveTrace::Scope stage(trace_of(context),
                                          "leader_stage.sellout");
   const PriceBox box = price_box(params, options);
@@ -391,6 +410,7 @@ LeaderStageResult solve_leader_stage(const NetworkParams& params,
   }
   const SolveContext context = options.resolved_context();
   count_leader_solve(context);
+  const StageTelemetryScope telemetry_scope(context);
   const support::SolveTrace::Scope stage(trace_of(context),
                                          "leader_stage.profile");
   const PriceBox box = price_box(params, options);

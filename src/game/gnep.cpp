@@ -32,6 +32,12 @@ SharedPriceGnepResult solve_shared_price_gnep(
   SharedPriceGnepResult result;
   int inner_solves = 0;
 
+  // Timeline span for the whole bisection (nested under oracle.solve on
+  // whichever thread runs this solve); null sink records nothing.
+  support::Telemetry* span_sink = support::current_telemetry();
+  const support::SolveTrace::Scope span(
+      span_sink != nullptr ? &span_sink->trace : nullptr, "gnep.bisection");
+
   // Bisection-level probe records (one per inner NEP solve) group under a
   // single solve id; price context is borrowed from the inner binding when
   // the caller set one. Gating is hoisted: disarmed solves pay one

@@ -41,7 +41,12 @@ StackelbergResult solve_stackelberg(const LeaderPayoffFn& payoff,
   const std::uint64_t solve_id =
       probe_sink != nullptr ? probe_sink->probe.next_solve_id() : 0;
 
+  support::SolveTrace* trace = options.context.telemetry != nullptr
+                                   ? &options.context.telemetry->trace
+                                   : nullptr;
+
   for (int round = 0; round < options.max_rounds; ++round) {
+    const support::SolveTrace::Scope round_span(trace, "leader.round");
     result.rounds = round + 1;
     double round_change = 0.0;
     for (std::size_t leader = 0; leader < result.actions.size(); ++leader) {

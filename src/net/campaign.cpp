@@ -115,6 +115,18 @@ CampaignResult run_campaign_impl(
       result.block_intervals.add(outcome->solve_time);
       difficulty.observe_block(outcome->solve_time);
     }
+    if (config.telemetry != nullptr) {
+      // Flight-recorder feed: progress and cumulative event counts,
+      // updated per block so a periodic flusher sees a live campaign.
+      support::MetricsRegistry& metrics = config.telemetry->metrics;
+      metrics.counter("campaign.blocks").add();
+      metrics.gauge("campaign.block").set(static_cast<double>(block + 1));
+      metrics.gauge("campaign.transfers")
+          .set(static_cast<double>(result.transfers));
+      metrics.gauge("campaign.rejections")
+          .set(static_cast<double>(result.rejections));
+      metrics.gauge("campaign.forks").set(static_cast<double>(result.forks));
+    }
   }
 
   result.final_unit_rate = difficulty.unit_hash_rate();

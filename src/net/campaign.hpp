@@ -19,6 +19,7 @@
 #include "core/solve_context.hpp"
 #include "net/offload.hpp"
 #include "support/stats.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::net {
 
@@ -31,6 +32,11 @@ struct CampaignConfig {
   std::optional<core::PopulationModel> population;
   chain::DifficultyController::Config difficulty;
   std::size_t blocks = 1000;
+  /// Optional telemetry sink (not owned). Per-block progress counters and
+  /// gauges (campaign.blocks, campaign.transfers, campaign.rejections,
+  /// campaign.forks, campaign.block) feed the flight recorder during long
+  /// campaigns; null = campaign telemetry off.
+  support::Telemetry* telemetry = nullptr;
 
   void validate() const;
 };

@@ -67,6 +67,11 @@ VIResult solve_extragradient(const VariationalInequality& problem,
   result.point = problem.project(std::move(start));
   double tau = options.initial_step;
   std::uint64_t backtracks = 0;
+  // Timeline span for the whole inner loop (nested under the oracle.solve
+  // span on whichever thread runs this solve); null sink records nothing.
+  support::Telemetry* span_sink = support::current_telemetry();
+  const support::SolveTrace::Scope span(
+      span_sink != nullptr ? &span_sink->trace : nullptr, "vi.extragradient");
   // Per-iteration probe records. The VI layer is layout-agnostic (it cannot
   // name prices or aggregates), so records carry only the movement residual
   // and the adaptive step; gating is hoisted out of the loop.

@@ -163,6 +163,9 @@ TrainerResult train_miners(const core::NetworkParams& params,
                      {-10.0, -5.0, -2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 5.0,
                       10.0, 20.0, 50.0, 100.0})
           .observe(block_reward / static_cast<double>(active.size()));
+      // Flight-recorder progress marker: how far through the training run
+      // this sink's producer currently is.
+      config.telemetry->metrics.gauge("rl.block").set(block + 1);
     }
     for (auto& learner : learners) learner->end_round();
     if (config.curve_stride > 0 &&

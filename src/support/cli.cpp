@@ -97,6 +97,29 @@ std::string CliArgs::iteration_log() const {
   return flag_or_env("iteration-log", "HECMINE_ITERLOG");
 }
 
+std::string CliArgs::trace_out() const {
+  return flag_or_env("trace-out", "HECMINE_TRACE_OUT");
+}
+
+std::string CliArgs::flight_out() const {
+  return flag_or_env("flight-out", "HECMINE_FLIGHT_OUT");
+}
+
+int CliArgs::flight_interval_ms() const {
+  const std::string raw =
+      flag_or_env("flight-interval-ms", "HECMINE_FLIGHT_INTERVAL_MS", "500");
+  try {
+    const int interval = std::stoi(raw);
+    HECMINE_REQUIRE(interval > 0,
+                    "--flight-interval-ms must be a positive integer");
+    return interval;
+  } catch (const PreconditionError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw PreconditionError("malformed --flight-interval-ms value: " + raw);
+  }
+}
+
 LogLevel parse_log_level(const std::string& name) {
   if (name == "debug") return LogLevel::kDebug;
   if (name == "info") return LogLevel::kInfo;

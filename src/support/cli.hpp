@@ -35,11 +35,23 @@ class CliArgs {
   /// records) with the HECMINE_ITERLOG environment variable as the
   /// fallback; empty = iteration logging off.
   [[nodiscard]] std::string iteration_log() const;
+  /// `--trace-out` flag (a Chrome Trace Event JSON output path, loadable in
+  /// Perfetto / chrome://tracing) with the HECMINE_TRACE_OUT environment
+  /// variable as the fallback; empty = trace export off.
+  [[nodiscard]] std::string trace_out() const;
+  /// `--flight-out` flag (a JSONL flight-recorder path, see
+  /// support::TelemetryFlusher) with the HECMINE_FLIGHT_OUT environment
+  /// variable as the fallback; empty = flight recorder off.
+  [[nodiscard]] std::string flight_out() const;
+  /// `--flight-interval-ms` flag with the HECMINE_FLIGHT_INTERVAL_MS
+  /// environment variable as the fallback; defaults to 500.
+  [[nodiscard]] int flight_interval_ms() const;
   /// Flag-beats-environment resolution shared by every flag/env pair: the
   /// flag's value when present (even when empty), the environment variable
   /// otherwise, `fallback` when neither is set. All such pairs (threads,
-  /// log-level, telemetry-out, iteration-log) resolve through this one
-  /// helper so precedence cannot drift between them.
+  /// log-level, telemetry-out, iteration-log, trace-out, flight-out)
+  /// resolve through this one helper so precedence cannot drift between
+  /// them.
   [[nodiscard]] std::string flag_or_env(const std::string& name,
                                         const char* env_var,
                                         const std::string& fallback = {}) const;

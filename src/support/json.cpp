@@ -1,8 +1,11 @@
 #include "support/json.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -301,6 +304,135 @@ std::vector<Value> parse_lines(std::string_view text) {
     start = stop + 1;
   }
   return out;
+}
+
+void escape(std::ostream& os, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void number(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  std::ostringstream buffer;
+  buffer.precision(std::numeric_limits<double>::max_digits10);
+  buffer << value;
+  os << buffer.str();
+}
+
+void Writer::indent(std::size_t depth) {
+  os_ << '\n';
+  for (std::size_t i = 0; i < depth; ++i) os_ << "  ";
+}
+
+void Writer::before_item() {
+  if (key_pending_) {
+    // The separator was already written by key(); the value follows.
+    key_pending_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Frame& frame = stack_.back();
+  if (frame.members > 0) os_ << (frame.style == kBlock ? "," : ", ");
+  if (frame.style == kBlock) indent(stack_.size());
+  ++frame.members;
+}
+
+void Writer::begin_object(Style style) {
+  before_item();
+  os_ << '{';
+  stack_.push_back({'}', style, 0});
+}
+
+void Writer::begin_array(Style style) {
+  before_item();
+  os_ << '[';
+  stack_.push_back({']', style, 0});
+}
+
+void Writer::end_object() {
+  HECMINE_REQUIRE(!stack_.empty() && stack_.back().close == '}',
+                  "json::Writer: end_object without matching begin_object");
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  if (frame.style == kBlock && frame.members > 0) indent(stack_.size());
+  os_ << '}';
+}
+
+void Writer::end_array() {
+  HECMINE_REQUIRE(!stack_.empty() && stack_.back().close == ']',
+                  "json::Writer: end_array without matching begin_array");
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  if (frame.style == kBlock && frame.members > 0) indent(stack_.size());
+  os_ << ']';
+}
+
+void Writer::key(std::string_view name) {
+  HECMINE_REQUIRE(!stack_.empty() && stack_.back().close == '}',
+                  "json::Writer: key outside an object");
+  HECMINE_REQUIRE(!key_pending_, "json::Writer: key after key");
+  before_item();
+  os_ << '"';
+  escape(os_, name);
+  os_ << "\": ";
+  key_pending_ = true;
+}
+
+void Writer::value(std::string_view text) {
+  before_item();
+  os_ << '"';
+  escape(os_, text);
+  os_ << '"';
+}
+
+void Writer::value(double num) {
+  before_item();
+  number(os_, num);
+}
+
+void Writer::value(std::int64_t num) {
+  before_item();
+  os_ << num;
+}
+
+void Writer::value(std::uint64_t num) {
+  before_item();
+  os_ << num;
+}
+
+void Writer::value(bool boolean) {
+  before_item();
+  os_ << (boolean ? "true" : "false");
+}
+
+void Writer::null() {
+  before_item();
+  os_ << "null";
+}
+
+void Writer::finish() {
+  HECMINE_REQUIRE(stack_.empty() && !key_pending_,
+                  "json::Writer: finish with open containers");
+  os_ << '\n';
 }
 
 }  // namespace hecmine::support::json

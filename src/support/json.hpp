@@ -1,20 +1,24 @@
-// Minimal JSON reader for the project's own machine-readable artifacts.
+// Minimal JSON reader and writer for the project's own machine-readable
+// artifacts.
 //
 // hecmine emits JSON in several places (telemetry sinks, BENCH_*.json
-// ledger entries, --iteration-log JSONL) but until the perf-regression
-// ledger nothing needed to read it back: to_json() was emit-only and the
-// repo deliberately carries no third-party JSON dependency. bench_compare
-// and the audit tests must parse those artifacts, so this header provides
-// a small recursive-descent parser producing an immutable Value tree.
+// ledger entries, --iteration-log JSONL, trace timelines, run manifests)
+// and the repo deliberately carries no third-party JSON dependency.
+// bench_compare and the audit tests must parse those artifacts, so this
+// header provides a small recursive-descent parser producing an immutable
+// Value tree; every emitter goes through the streaming Writer below so
+// string escaping and number formatting live in exactly one place.
 //
-// Scope: full JSON syntax (objects, arrays, strings with escapes including
-// \uXXXX, numbers, true/false/null) with a fixed nesting-depth bound.
-// Not a streaming parser and not tuned for huge documents — the ledger
-// files it reads are a few kilobytes.
+// Parser scope: full JSON syntax (objects, arrays, strings with escapes
+// including \uXXXX, numbers, true/false/null) with a fixed nesting-depth
+// bound. Not a streaming parser and not tuned for huge documents — the
+// ledger files it reads are a few kilobytes.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <ostream>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -88,5 +92,78 @@ class Value {
 
 /// Parses a JSON-Lines document: one Value per non-empty line.
 [[nodiscard]] std::vector<Value> parse_lines(std::string_view text);
+
+/// Writes `text` with JSON string escaping (quotes not included).
+void escape(std::ostream& os, std::string_view text);
+
+/// Round-trippable JSON number with max_digits10 precision; non-finite
+/// values (not representable in JSON) degrade to null.
+void number(std::ostream& os, double value);
+
+/// Streaming JSON emitter: tracks container nesting and comma placement so
+/// emitters only state structure, never punctuation. Containers are
+/// either *compact* (members separated by ", " on one line — the style of
+/// JSONL records and small inline objects) or *block* (one member per
+/// line, indented two spaces per depth — the style of the top-level
+/// telemetry/ledger documents). Empty containers always print as {} / [].
+///
+///   Writer w(os);
+///   w.begin_object(Writer::kBlock);
+///   w.member("schema", "hecmine.bench.v1");
+///   w.key("runs"); w.begin_array(Writer::kBlock);
+///   ...
+///
+/// The writer does not buffer: output lands in the stream as calls are
+/// made, so a crashed run still leaves a readable prefix.
+class Writer {
+ public:
+  enum Style { kCompact, kBlock };
+
+  explicit Writer(std::ostream& os) : os_(os) {}
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void begin_object(Style style = kCompact);
+  void end_object();
+  void begin_array(Style style = kCompact);
+  void end_array();
+
+  /// Emits the member key of the enclosing object; must be followed by
+  /// exactly one value or container.
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(bool boolean);
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void member(std::string_view name, T&& item) {
+    key(name);
+    value(std::forward<T>(item));
+  }
+
+  /// Terminates the document with a trailing newline (top level only).
+  void finish();
+
+ private:
+  struct Frame {
+    char close = '}';
+    Style style = kCompact;
+    int members = 0;
+  };
+
+  void before_item();
+  void indent(std::size_t depth);
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
 
 }  // namespace hecmine::support::json

@@ -6,6 +6,7 @@
 
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace hecmine::support {
 
@@ -31,6 +32,7 @@ struct ThreadPool::Batch {
   std::exception_ptr error;  // first failure; guarded by mutex
   std::mutex mutex;
   std::condition_variable finished;
+  Telemetry* telemetry = nullptr;  // issuer's sink, propagated to executors
 };
 
 ThreadPool::ThreadPool(int workers) {
@@ -76,14 +78,34 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   auto future = packaged->get_future();
   if (threads_.empty()) {
-    (*packaged)();
+    (*packaged)();  // inline: the caller's own telemetry scope applies
     return future;
   }
-  enqueue([packaged] { (*packaged)(); });
+  if (Telemetry* sink = current_telemetry(); sink != nullptr) {
+    enqueue([packaged, sink] {
+      TelemetryScope scope(sink);
+      SolveTrace::Scope span(&sink->trace, "pool.task");
+      (*packaged)();
+    });
+  } else {
+    enqueue([packaged] { (*packaged)(); });
+  }
   return future;
 }
 
 void ThreadPool::run_batch(Batch& batch) {
+  if (batch.telemetry != nullptr) {
+    // Propagate the issuer's sink to this executor and record its busy
+    // window; idle time is the gap between busy spans on a track.
+    TelemetryScope scope(batch.telemetry);
+    SolveTrace::Scope span(&batch.telemetry->trace, "pool.batch");
+    claim_loop(batch);
+    return;
+  }
+  claim_loop(batch);
+}
+
+void ThreadPool::claim_loop(Batch& batch) {
   for (;;) {
     const std::size_t index = batch.next.fetch_add(1);
     if (index >= batch.size) return;
@@ -120,6 +142,9 @@ void ThreadPool::parallel_for(std::size_t n,
   auto batch = std::make_shared<Batch>();
   batch->size = n;
   batch->body = &body;
+  batch->telemetry = current_telemetry();
+  if (batch->telemetry != nullptr)
+    batch->telemetry->metrics.counter("pool.batches").add();
   for (std::size_t helper = 0; helper + 1 < executors; ++helper)
     enqueue([batch] { run_batch(*batch); });
   run_batch(*batch);  // the issuer participates — no idle blocking, and a

@@ -13,6 +13,15 @@
 // child stream per work item *before* dispatch and index them by item, so
 // the draw sequence is a function of the item index alone, never of the
 // schedule.
+//
+// Telemetry: submit() and parallel_for() capture the issuer's thread-local
+// telemetry sink (support::current_telemetry()) at issue time and install
+// it on whichever worker runs the task, so instrumentation deep inside
+// pool work reaches the same sink as the issuing solve. When a sink is
+// present each executing thread also records a "pool.batch" / "pool.task"
+// busy span — the gaps between those spans on a worker's timeline track
+// are its idle time. Disarmed (no sink installed), the cost is one
+// thread-local read per issue and a null test per task.
 #pragma once
 
 #include <condition_variable>
@@ -69,6 +78,7 @@ class ThreadPool {
   void enqueue(std::function<void()> task);
   void worker_loop();
   static void run_batch(Batch& batch);
+  static void claim_loop(Batch& batch);
 
   std::mutex mutex_;
   std::condition_variable wake_;

@@ -2,15 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <functional>
-#include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace hecmine::support {
@@ -217,18 +216,27 @@ double SolveTrace::now_ms() const noexcept {
 }
 
 int SolveTrace::begin(std::string_view name) {
-  const double start = now_ms();
   const std::lock_guard<std::mutex> lock(mutex_);
   if (spans_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return -1;
   }
-  auto& stack = open_stacks_[std::this_thread::get_id()];
+  // Clock read under the lock: recorded span order IS start-time order,
+  // even across threads, which the timeline exporter relies on.
+  const double start = now_ms();
+  const std::thread::id tid = std::this_thread::get_id();
+  auto ordinal = thread_ordinals_.find(tid);
+  if (ordinal == thread_ordinals_.end())
+    ordinal = thread_ordinals_
+                  .emplace(tid, static_cast<int>(thread_ordinals_.size()))
+                  .first;
+  auto& stack = open_stacks_[tid];
   Span span;
   span.name = std::string(name);
   span.id = static_cast<int>(spans_.size());
   span.parent = stack.empty() ? -1 : stack.back();
   span.depth = static_cast<int>(stack.size());
+  span.thread = ordinal->second;
   span.start_ms = start;
   stack.push_back(span.id);
   spans_.push_back(std::move(span));
@@ -257,6 +265,11 @@ std::vector<SolveTrace::Span> SolveTrace::snapshot() const {
   return spans_;
 }
 
+int SolveTrace::thread_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(thread_ordinals_.size());
+}
+
 namespace {
 thread_local Telemetry* t_current_telemetry = nullptr;
 }  // namespace
@@ -272,70 +285,22 @@ TelemetryScope::~TelemetryScope() { t_current_telemetry = previous_; }
 
 namespace {
 
-void json_escape(std::ostream& os, std::string_view text) {
-  for (char c : text) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                        static_cast<unsigned>(c));
-          os << buffer;
-        } else {
-          os << c;
-        }
-    }
-  }
-}
-
-/// Round-trippable JSON number; non-finite values (not representable in
-/// JSON) degrade to null.
-void json_number(std::ostream& os, double value) {
-  if (!std::isfinite(value)) {
-    os << "null";
-    return;
-  }
-  std::ostringstream buffer;
-  buffer.precision(std::numeric_limits<double>::max_digits10);
-  buffer << value;
-  os << buffer.str();
-}
-
-template <typename Range, typename Fn>
-void json_array(std::ostream& os, const Range& range, Fn&& item) {
-  os << '[';
-  bool first = true;
-  for (const auto& value : range) {
-    if (!first) os << ", ";
-    first = false;
-    item(value);
-  }
-  os << ']';
-}
-
 /// One iteration-log line ("hecmine.iterlog.v1" record), newline included.
 void jsonl_record(std::ostream& os, const IterationProbe::Record& record) {
-  os << "{\"solver\": \"";
-  json_escape(os, record.solver);
-  os << "\", \"solve\": " << record.solve
-     << ", \"iteration\": " << record.iteration << ", \"residual\": ";
-  json_number(os, record.residual);
-  os << ", \"price_edge\": ";
-  json_number(os, record.price_edge);
-  os << ", \"price_cloud\": ";
-  json_number(os, record.price_cloud);
-  os << ", \"total_edge\": ";
-  json_number(os, record.total_edge);
-  os << ", \"total_cloud\": ";
-  json_number(os, record.total_cloud);
-  os << ", \"step\": ";
-  json_number(os, record.step);
-  os << ", \"cap_active\": " << (record.cap_active ? "true" : "false")
-     << "}\n";
+  json::Writer writer(os);
+  writer.begin_object();
+  writer.member("solver", record.solver);
+  writer.member("solve", record.solve);
+  writer.member("iteration", record.iteration);
+  writer.member("residual", record.residual);
+  writer.member("price_edge", record.price_edge);
+  writer.member("price_cloud", record.price_cloud);
+  writer.member("total_edge", record.total_edge);
+  writer.member("total_cloud", record.total_cloud);
+  writer.member("step", record.step);
+  writer.member("cap_active", record.cap_active);
+  writer.end_object();
+  writer.finish();
 }
 
 }  // namespace
@@ -350,13 +315,24 @@ void IterationProbe::arm() noexcept {
   armed_.store(true, std::memory_order_relaxed);
 }
 
-void IterationProbe::stream_to(const std::string& path) {
+void IterationProbe::stream_to(const std::string& path,
+                               const provenance::RunManifest* manifest) {
   const std::filesystem::path file_path{path};
   if (file_path.has_parent_path())
     std::filesystem::create_directories(file_path.parent_path());
   auto out = std::make_unique<std::ofstream>(file_path);
   HECMINE_REQUIRE(out->good(), "cannot open iteration log: " + path);
-  *out << "{\"schema\": \"hecmine.iterlog.v1\"}\n";
+  {
+    json::Writer writer(*out);
+    writer.begin_object();
+    writer.member("schema", "hecmine.iterlog.v1");
+    if (manifest != nullptr) {
+      writer.key("manifest");
+      provenance::write(writer, *manifest);
+    }
+    writer.end_object();
+    writer.finish();
+  }
   HECMINE_REQUIRE(out->good(), "failed writing iteration log: " + path);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -394,68 +370,87 @@ std::uint64_t IterationProbe::overwritten() const {
   return recorded - ring_.size();
 }
 
+namespace {
+
+/// Shared by to_json and the flight recorder: the registry snapshot as
+/// "counters"/"gauges"/"histograms" members of the writer's open object.
+/// `full` additionally emits per-histogram edges/counts/min/max.
+void write_metrics(json::Writer& writer, const MetricsSnapshot& snap,
+                   bool full) {
+  writer.key("counters");
+  writer.begin_object(full ? json::Writer::kBlock : json::Writer::kCompact);
+  for (const CounterSample& counter : snap.counters)
+    writer.member(counter.name, counter.value);
+  writer.end_object();
+
+  writer.key("gauges");
+  writer.begin_object(full ? json::Writer::kBlock : json::Writer::kCompact);
+  for (const GaugeSample& gauge : snap.gauges)
+    writer.member(gauge.name, gauge.value);
+  writer.end_object();
+
+  writer.key("histograms");
+  writer.begin_object(full ? json::Writer::kBlock : json::Writer::kCompact);
+  for (const HistogramSample& histogram : snap.histograms) {
+    writer.key(histogram.name);
+    writer.begin_object();
+    if (full) {
+      writer.key("edges");
+      writer.begin_array();
+      for (double edge : histogram.edges) writer.value(edge);
+      writer.end_array();
+      writer.key("counts");
+      writer.begin_array();
+      for (std::uint64_t bucket : histogram.counts) writer.value(bucket);
+      writer.end_array();
+    }
+    writer.member("count", histogram.count);
+    writer.member("sum", histogram.sum);
+    if (full) {
+      writer.member("min", histogram.min);
+      writer.member("max", histogram.max);
+    }
+    writer.member("p50", histogram.p50);
+    writer.member("p95", histogram.p95);
+    writer.member("p99", histogram.p99);
+    writer.end_object();
+  }
+  writer.end_object();
+}
+
+}  // namespace
+
 std::string to_json(const Telemetry& telemetry) {
   const MetricsSnapshot snap = telemetry.metrics.snapshot();
   const auto spans = telemetry.trace.snapshot();
   std::ostringstream os;
-  os << "{\n  \"schema\": \"hecmine.telemetry.v1\",\n";
-
-  os << "  \"counters\": {";
-  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
-    os << (i == 0 ? "\n" : ",\n") << "    \"";
-    json_escape(os, snap.counters[i].name);
-    os << "\": " << snap.counters[i].value;
+  json::Writer writer(os);
+  writer.begin_object(json::Writer::kBlock);
+  writer.member("schema", "hecmine.telemetry.v1");
+  writer.key("manifest");
+  provenance::write(writer, telemetry.manifest);
+  write_metrics(writer, snap, /*full=*/true);
+  writer.key("trace");
+  writer.begin_object(json::Writer::kBlock);
+  writer.member("dropped", telemetry.trace.dropped());
+  writer.member("threads", telemetry.trace.thread_count());
+  writer.key("spans");
+  writer.begin_array(json::Writer::kBlock);
+  for (const SolveTrace::Span& span : spans) {
+    writer.begin_object();
+    writer.member("name", span.name);
+    writer.member("id", span.id);
+    writer.member("parent", span.parent);
+    writer.member("depth", span.depth);
+    writer.member("thread", span.thread);
+    writer.member("start_ms", span.start_ms);
+    writer.member("duration_ms", span.duration_ms);
+    writer.end_object();
   }
-  os << (snap.counters.empty() ? "}" : "\n  }") << ",\n";
-
-  os << "  \"gauges\": {";
-  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
-    os << (i == 0 ? "\n" : ",\n") << "    \"";
-    json_escape(os, snap.gauges[i].name);
-    os << "\": ";
-    json_number(os, snap.gauges[i].value);
-  }
-  os << (snap.gauges.empty() ? "}" : "\n  }") << ",\n";
-
-  os << "  \"histograms\": {";
-  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
-    const HistogramSample& h = snap.histograms[i];
-    os << (i == 0 ? "\n" : ",\n") << "    \"";
-    json_escape(os, h.name);
-    os << "\": {\"edges\": ";
-    json_array(os, h.edges, [&](double e) { json_number(os, e); });
-    os << ", \"counts\": ";
-    json_array(os, h.counts, [&](std::uint64_t c) { os << c; });
-    os << ", \"count\": " << h.count << ", \"sum\": ";
-    json_number(os, h.sum);
-    os << ", \"min\": ";
-    json_number(os, h.min);
-    os << ", \"max\": ";
-    json_number(os, h.max);
-    os << ", \"p50\": ";
-    json_number(os, h.p50);
-    os << ", \"p95\": ";
-    json_number(os, h.p95);
-    os << ", \"p99\": ";
-    json_number(os, h.p99);
-    os << "}";
-  }
-  os << (snap.histograms.empty() ? "}" : "\n  }") << ",\n";
-
-  os << "  \"trace\": {\"dropped\": " << telemetry.trace.dropped()
-     << ", \"spans\": [";
-  for (std::size_t i = 0; i < spans.size(); ++i) {
-    const SolveTrace::Span& span = spans[i];
-    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"";
-    json_escape(os, span.name);
-    os << "\", \"id\": " << span.id << ", \"parent\": " << span.parent
-       << ", \"depth\": " << span.depth << ", \"start_ms\": ";
-    json_number(os, span.start_ms);
-    os << ", \"duration_ms\": ";
-    json_number(os, span.duration_ms);
-    os << "}";
-  }
-  os << (spans.empty() ? "]}" : "\n  ]}") << "\n}\n";
+  writer.end_array();
+  writer.end_object();
+  writer.end_object();
+  writer.finish();
   return os.str();
 }
 
@@ -467,6 +462,80 @@ void write_json(const Telemetry& telemetry, const std::string& path) {
   HECMINE_REQUIRE(out.good(), "cannot open telemetry file: " + path);
   out << to_json(telemetry);
   HECMINE_REQUIRE(out.good(), "failed writing telemetry file: " + path);
+}
+
+std::string to_chrome_trace(const Telemetry& telemetry) {
+  const auto spans = telemetry.trace.snapshot();
+  const int threads = telemetry.trace.thread_count();
+  std::ostringstream os;
+  json::Writer writer(os);
+  writer.begin_object(json::Writer::kBlock);
+  writer.member("schema", "hecmine.trace.v1");
+  writer.member("displayTimeUnit", "ms");
+  writer.key("manifest");
+  provenance::write(writer, telemetry.manifest);
+  writer.member("dropped", telemetry.trace.dropped());
+  writer.key("traceEvents");
+  writer.begin_array(json::Writer::kBlock);
+  // Metadata events name the process and one track per recording thread;
+  // track ids are the trace's dense thread ordinals (0 = issuer).
+  writer.begin_object();
+  writer.member("ph", "M");
+  writer.member("name", "process_name");
+  writer.member("pid", 1);
+  writer.member("tid", 0);
+  writer.key("args");
+  writer.begin_object();
+  writer.member("name", "hecmine");
+  writer.end_object();
+  writer.end_object();
+  for (int track = 0; track < threads; ++track) {
+    writer.begin_object();
+    writer.member("ph", "M");
+    writer.member("name", "thread_name");
+    writer.member("pid", 1);
+    writer.member("tid", track);
+    writer.key("args");
+    writer.begin_object();
+    writer.member("name", track == 0
+                              ? std::string("issuer (t0)")
+                              : "worker (t" + std::to_string(track) + ")");
+    writer.end_object();
+    writer.end_object();
+  }
+  // One complete ("X") event per span; ts/dur are microseconds on the
+  // trace's monotonic clock, the Trace Event format's native unit.
+  for (const SolveTrace::Span& span : spans) {
+    writer.begin_object();
+    writer.member("ph", "X");
+    writer.member("name", span.name);
+    writer.member("cat", "solve");
+    writer.member("pid", 1);
+    writer.member("tid", span.thread);
+    writer.member("ts", span.start_ms * 1000.0);
+    writer.member("dur", span.duration_ms * 1000.0);
+    writer.key("args");
+    writer.begin_object();
+    writer.member("id", span.id);
+    writer.member("parent", span.parent);
+    writer.member("depth", span.depth);
+    writer.end_object();
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  writer.finish();
+  return os.str();
+}
+
+void write_chrome_trace(const Telemetry& telemetry, const std::string& path) {
+  const std::filesystem::path file_path{path};
+  if (file_path.has_parent_path())
+    std::filesystem::create_directories(file_path.parent_path());
+  std::ofstream out{file_path};
+  HECMINE_REQUIRE(out.good(), "cannot open trace file: " + path);
+  out << to_chrome_trace(telemetry);
+  HECMINE_REQUIRE(out.good(), "failed writing trace file: " + path);
 }
 
 void print_summary(std::ostream& os, const Telemetry& telemetry) {
@@ -505,6 +574,119 @@ void print_summary(std::ostream& os, const Telemetry& telemetry) {
     }
     if (telemetry.trace.dropped() > 0)
       os << "(" << telemetry.trace.dropped() << " spans dropped at capacity)\n";
+  }
+}
+
+TelemetryFlusher::TelemetryFlusher(const Telemetry& sink,
+                                   const std::string& path)
+    : TelemetryFlusher(sink, path, Options{}) {}
+
+TelemetryFlusher::TelemetryFlusher(const Telemetry& sink,
+                                   const std::string& path, Options options)
+    : sink_(sink),
+      path_(path),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()) {
+  HECMINE_REQUIRE(options_.interval.count() > 0,
+                  "TelemetryFlusher requires a positive interval");
+  const std::filesystem::path file_path{path_};
+  if (file_path.has_parent_path())
+    std::filesystem::create_directories(file_path.parent_path());
+  stream_ = std::make_unique<std::ofstream>(file_path);
+  HECMINE_REQUIRE(stream_->good(), "cannot open flight recorder: " + path_);
+  write_header();
+  thread_ = std::thread([this] { run(); });
+}
+
+TelemetryFlusher::~TelemetryFlusher() {
+  try {
+    stop();
+  } catch (...) {
+    // A failing final flush must not terminate during unwinding; the
+    // already-flushed prefix is the flight recorder's whole point.
+  }
+}
+
+void TelemetryFlusher::write_header() {
+  // Caller holds mutex_ (or the flusher thread has not started yet).
+  std::ostringstream buffer;
+  json::Writer writer(buffer);
+  writer.begin_object();
+  writer.member("schema", "hecmine.flight.v1");
+  writer.key("manifest");
+  provenance::write(writer, sink_.manifest);
+  writer.end_object();
+  writer.finish();
+  const std::string line = buffer.str();
+  *stream_ << line;
+  stream_->flush();
+  HECMINE_REQUIRE(stream_->good(), "failed writing flight recorder: " + path_);
+  bytes_ += line.size();
+}
+
+void TelemetryFlusher::maybe_rotate() {
+  // Caller holds mutex_.
+  if (bytes_ <= options_.max_bytes) return;
+  stream_->close();
+  // Best-effort rename: a failed rotation (exotic filesystem) just means
+  // the old generation is overwritten instead of preserved.
+  std::error_code ec;
+  std::filesystem::rename(path_, path_ + ".1", ec);
+  stream_ = std::make_unique<std::ofstream>(std::filesystem::path{path_});
+  HECMINE_REQUIRE(stream_->good(), "cannot reopen flight recorder: " + path_);
+  bytes_ = 0;
+  write_header();
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TelemetryFlusher::flush_now() {
+  const MetricsSnapshot snap = sink_.metrics.snapshot();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stream_ == nullptr) return;  // already stopped
+  std::ostringstream buffer;
+  json::Writer writer(buffer);
+  writer.begin_object();
+  writer.member("seq", flushes_.load(std::memory_order_relaxed));
+  writer.member("uptime_ms",
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - epoch_)
+                    .count());
+  write_metrics(writer, snap, /*full=*/false);
+  writer.end_object();
+  writer.finish();
+  const std::string line = buffer.str();
+  *stream_ << line;
+  // Flushed per line so a killed run still leaves every completed
+  // snapshot on disk.
+  stream_->flush();
+  HECMINE_REQUIRE(stream_->good(), "failed writing flight recorder: " + path_);
+  bytes_ += line.size();
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  maybe_rotate();
+}
+
+void TelemetryFlusher::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final flush so the last line always reflects the end of the run, then
+  // release the stream (turns later flush_now() calls into no-ops).
+  flush_now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stream_.reset();
+}
+
+void TelemetryFlusher::run() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  while (!stopping_) {
+    if (wake_.wait_for(lock, options_.interval, [this] { return stopping_; }))
+      break;
+    lock.unlock();
+    flush_now();
+    lock.lock();
   }
 }
 

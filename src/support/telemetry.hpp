@@ -38,6 +38,8 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -47,6 +49,8 @@
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "support/provenance.hpp"
 
 namespace hecmine::support {
 
@@ -211,12 +215,17 @@ class ScopedTimer {
 /// past `capacity` are dropped and counted, never silently lost.
 class SolveTrace {
  public:
-  /// One recorded phase. Times are milliseconds since trace construction.
+  /// One recorded phase. Times are milliseconds on the monotonic
+  /// (steady) clock since trace construction, read under the trace lock so
+  /// the recorded span order IS start-time order; `thread` is a dense
+  /// per-trace ordinal (0 = first thread ever to open a span, usually the
+  /// constructing thread) that becomes the timeline track id.
   struct Span {
     std::string name;
     int id = -1;
     int parent = -1;  ///< index into the span vector, -1 = root
     int depth = 0;
+    int thread = 0;   ///< dense thread ordinal (timeline track)
     double start_ms = 0.0;
     double duration_ms = 0.0;  ///< 0 while still open
   };
@@ -232,6 +241,8 @@ class SolveTrace {
   [[nodiscard]] std::uint64_t dropped() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Distinct threads that have opened at least one span.
+  [[nodiscard]] int thread_count() const;
 
   /// RAII span; tolerates a null trace (records nothing).
   class Scope {
@@ -257,6 +268,7 @@ class SolveTrace {
   mutable std::mutex mutex_;
   std::vector<Span> spans_;
   std::unordered_map<std::thread::id, std::vector<int>> open_stacks_;
+  std::unordered_map<std::thread::id, int> thread_ordinals_;
   std::atomic<std::uint64_t> dropped_{0};
 };
 
@@ -303,7 +315,11 @@ class IterationProbe {
 
   /// Arms the probe and additionally streams every record as one JSON line
   /// to `path` (parent directories are created; throws on I/O failure).
-  void stream_to(const std::string& path);
+  /// When `manifest` is set, the header line embeds the run-provenance
+  /// block so a log file can be traced back to the exact build that wrote
+  /// it.
+  void stream_to(const std::string& path,
+                 const provenance::RunManifest* manifest = nullptr);
 
   /// Fresh id grouping the records of one solver-loop invocation.
   [[nodiscard]] std::uint64_t next_solve_id() noexcept {
@@ -331,15 +347,19 @@ class IterationProbe {
   std::unique_ptr<std::ofstream> stream_;  ///< JSONL sink, null = ring only
 };
 
-/// One telemetry sink: the metrics registry, the solve trace, and the
-/// iteration probe. Pass a pointer down through core::SolveContext; null
-/// means "telemetry off" and costs instrumentation sites a single pointer
-/// test.
+/// One telemetry sink: the metrics registry, the solve trace, the
+/// iteration probe, and the run-provenance manifest embedded into every
+/// export. Pass a pointer down through core::SolveContext; null means
+/// "telemetry off" and costs instrumentation sites a single pointer test.
 class Telemetry {
  public:
   MetricsRegistry metrics;
   SolveTrace trace;
   IterationProbe probe;
+  /// Embedded into to_json / to_chrome_trace / flight-recorder headers.
+  /// Defaults to the build/host half; callers stamp threads/seed/args
+  /// (provenance::collect(threads, seed, argc, argv)).
+  provenance::RunManifest manifest = provenance::collect();
 };
 
 /// The thread's current sink (installed by TelemetryScope), or null.
@@ -360,16 +380,96 @@ class TelemetryScope {
   Telemetry* previous_;
 };
 
-/// Serializes the whole sink (counters, gauges, histograms, trace spans)
-/// as one JSON object. Deterministic: instruments are sorted by name.
+/// Serializes the whole sink (manifest, counters, gauges, histograms,
+/// trace spans) as one JSON object. Deterministic: instruments are sorted
+/// by name.
 [[nodiscard]] std::string to_json(const Telemetry& telemetry);
 
 /// Writes to_json() to `path`, creating parent directories. Throws on I/O
 /// failure.
 void write_json(const Telemetry& telemetry, const std::string& path);
 
+/// Serializes the solve trace as Chrome Trace Event JSON (schema
+/// hecmine.trace.v1): one complete ("X") event per span in microseconds on
+/// the trace's monotonic clock, one track (tid) per recording thread with
+/// thread_name metadata, and the run manifest embedded as a top-level
+/// "manifest" block. The file loads directly in Perfetto /
+/// chrome://tracing; the extra top-level keys are ignored there but keep
+/// the document parseable by support::json readers.
+[[nodiscard]] std::string to_chrome_trace(const Telemetry& telemetry);
+
+/// Writes to_chrome_trace() to `path`, creating parent directories.
+/// Throws on I/O failure.
+void write_chrome_trace(const Telemetry& telemetry, const std::string& path);
+
 /// Renders the registry and trace as aligned tables (support::Table) — the
 /// end-of-run summary the benches and hecmine_cli print.
 void print_summary(std::ostream& os, const Telemetry& telemetry);
+
+/// Flight recorder: a background thread that snapshots the sink's
+/// counters/gauges/histograms to a JSONL stream every `interval`, so a
+/// long training or campaign run that crashes or is killed still leaves an
+/// inspectable tail. The stream starts with a {"schema":
+/// "hecmine.flight.v1", "manifest": {...}} header line followed by one
+/// snapshot object per flush ({"seq", "uptime_ms", "counters", "gauges",
+/// "histograms"}); every line is flushed to the OS as written. When the
+/// file grows past `max_bytes` it is rotated to `<path>.1` (replacing any
+/// previous rotation) and a fresh header is written, bounding disk usage
+/// at roughly two generations. The recorder never touches solver hot
+/// paths: it only *reads* the lock-free instruments on its own thread.
+class TelemetryFlusher {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{500};
+    /// Rotate when the current file exceeds this many bytes.
+    std::size_t max_bytes = 4 * 1024 * 1024;
+  };
+
+  /// Opens `path` (parent directories created, throws on I/O failure),
+  /// writes the header, and starts the flusher thread. `sink` must outlive
+  /// the flusher. The two-argument form uses default Options.
+  TelemetryFlusher(const Telemetry& sink, const std::string& path);
+  TelemetryFlusher(const Telemetry& sink, const std::string& path,
+                   Options options);
+  /// Stops the thread after one final flush, so the last snapshot always
+  /// reflects the end state of the run.
+  ~TelemetryFlusher();
+  TelemetryFlusher(const TelemetryFlusher&) = delete;
+  TelemetryFlusher& operator=(const TelemetryFlusher&) = delete;
+
+  /// Writes one snapshot line immediately (also used by the final flush).
+  void flush_now();
+  /// Stops the background thread (idempotent); flushes once before
+  /// joining.
+  void stop();
+
+  /// Snapshot lines written so far (excluding headers).
+  [[nodiscard]] std::uint64_t flushes() const noexcept {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+  /// Rotations performed so far.
+  [[nodiscard]] std::uint64_t rotations() const noexcept {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void write_header();
+  void maybe_rotate();
+  void run();
+
+  const Telemetry& sink_;
+  const std::string path_;
+  const Options options_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::mutex mutex_;  ///< guards the stream and rotation
+  std::unique_ptr<std::ofstream> stream_;
+  std::size_t bytes_ = 0;  ///< bytes written to the current generation
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;  ///< guarded by wake_mutex_
+  std::thread thread_;
+};
 
 }  // namespace hecmine::support

@@ -157,6 +157,46 @@ TEST(BenchCompare, StructuralErrorsAreReported) {
   EXPECT_FALSE(missing.error.empty());
 }
 
+/// Wraps a ledger with a hecmine.manifest.v1 block carrying the given
+/// build-identity fields.
+std::string with_manifest(const std::string& ledger_text,
+                          const std::string& sha,
+                          const std::string& build_type) {
+  std::string text = ledger_text;
+  const std::string manifest =
+      R"("manifest": {"schema": "hecmine.manifest.v1", "git_sha": ")" + sha +
+      R"(", "build_type": ")" + build_type +
+      R"(", "sanitizer": "", "compiler": "gcc"}, )";
+  text.insert(1, manifest);
+  return text;
+}
+
+TEST(BenchCompare, ManifestMismatchWarnsWithoutFailing) {
+  const std::string base = ledger(100.0, 50.0, 0.0, 0.0);
+  const Value baseline = parse(with_manifest(base, "aaa111", "Release"));
+  const Value current = parse(with_manifest(base, "bbb222", "Debug"));
+  const auto result = bench::compare_bench_json(baseline, current);
+  EXPECT_TRUE(result.ok);  // warnings never fail the gate
+  ASSERT_EQ(result.warnings.size(), 2u);
+  EXPECT_NE(result.warnings[0].find("git_sha"), std::string::npos);
+  EXPECT_NE(result.warnings[1].find("build_type"), std::string::npos);
+  std::ostringstream os;
+  bench::print_compare(os, result);
+  EXPECT_NE(os.str().find("warn manifest.git_sha"), std::string::npos)
+      << os.str();
+}
+
+TEST(BenchCompare, MatchingOrAbsentManifestsProduceNoWarnings) {
+  const std::string base = ledger(100.0, 50.0, 0.0, 0.0);
+  const Value bare = parse(base);  // pre-manifest ledger
+  EXPECT_TRUE(bench::compare_bench_json(bare, bare).warnings.empty());
+  const Value stamped = parse(with_manifest(base, "aaa111", "Release"));
+  EXPECT_TRUE(
+      bench::compare_bench_json(stamped, stamped).warnings.empty());
+  // One side stamped, the other pre-manifest: nothing to compare.
+  EXPECT_TRUE(bench::compare_bench_json(bare, stamped).warnings.empty());
+}
+
 TEST(BenchCompare, PrintReportsVerdictAndDeltas) {
   const Value baseline = parse(ledger(100.0, 50.0, 0.0, 0.0));
   const Value slowed = parse(ledger(130.0, 50.0, 0.0, 0.0));

@@ -1,0 +1,150 @@
+// Flight-recorder tests: JSONL stream shape (header + snapshot lines,
+// every line parseable), manifest embedding, explicit and periodic
+// flushing, rotation once the file outgrows max_bytes, and clean shutdown
+// semantics (final flush on stop, flush_now a no-op afterwards).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/telemetry.hpp"
+
+namespace {
+
+using namespace hecmine;
+using support::json::Value;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FlightRecorder, StreamStartsWithManifestHeader) {
+  support::Telemetry telemetry;
+  telemetry.manifest = support::provenance::collect(4, 99);
+  const std::string path = testing::TempDir() + "/hecmine_flight_hdr.jsonl";
+  {
+    support::TelemetryFlusher::Options options;
+    options.interval = std::chrono::milliseconds(10'000);  // manual only
+    support::TelemetryFlusher flusher(telemetry, path, options);
+    flusher.stop();
+  }
+  const auto lines = support::json::parse_lines(slurp(path));
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_EQ(lines[0].at("schema").as_string(), "hecmine.flight.v1");
+  EXPECT_EQ(lines[0].at("manifest").at("schema").as_string(),
+            "hecmine.manifest.v1");
+  EXPECT_DOUBLE_EQ(lines[0].at("manifest").at("seed").as_number(), 99.0);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, SnapshotLinesCarryLiveInstrumentValues) {
+  support::Telemetry telemetry;
+  telemetry.metrics.counter("fl.count").add(3);
+  telemetry.metrics.gauge("fl.gauge").set(0.5);
+  telemetry.metrics.histogram("fl.hist", {1.0, 2.0}).observe(1.5);
+  const std::string path = testing::TempDir() + "/hecmine_flight_vals.jsonl";
+  {
+    support::TelemetryFlusher::Options options;
+    options.interval = std::chrono::milliseconds(10'000);
+    support::TelemetryFlusher flusher(telemetry, path, options);
+    flusher.flush_now();
+    telemetry.metrics.counter("fl.count").add(4);
+    flusher.flush_now();
+    EXPECT_EQ(flusher.flushes(), 2u);
+    flusher.stop();  // final flush
+    EXPECT_EQ(flusher.flushes(), 3u);
+  }
+  const auto lines = support::json::parse_lines(slurp(path));
+  ASSERT_EQ(lines.size(), 4u);  // header + three snapshots
+  const Value& first = lines[1];
+  const Value& second = lines[2];
+  EXPECT_DOUBLE_EQ(first.at("seq").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(second.at("seq").as_number(), 1.0);
+  EXPECT_GE(first.at("uptime_ms").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(first.at("counters").at("fl.count").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(second.at("counters").at("fl.count").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(first.at("gauges").at("fl.gauge").as_number(), 0.5);
+  const Value& hist = first.at("histograms").at("fl.hist");
+  EXPECT_DOUBLE_EQ(hist.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_number(), 1.5);
+  EXPECT_TRUE(hist.contains("p50"));
+  EXPECT_TRUE(hist.contains("p95"));
+  EXPECT_TRUE(hist.contains("p99"));
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, PeriodicThreadFlushesOnItsOwn) {
+  support::Telemetry telemetry;
+  telemetry.metrics.counter("fl.ticks").add();
+  const std::string path = testing::TempDir() + "/hecmine_flight_tick.jsonl";
+  {
+    support::TelemetryFlusher::Options options;
+    options.interval = std::chrono::milliseconds(5);
+    support::TelemetryFlusher flusher(telemetry, path, options);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (flusher.flushes() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GE(flusher.flushes(), 2u);
+  }
+  for (const Value& line : support::json::parse_lines(slurp(path)))
+    EXPECT_TRUE(line.is_object());  // every line parses
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, RotatesPastMaxBytesAndKeepsOneGeneration) {
+  support::Telemetry telemetry;
+  // Plenty of instruments so each snapshot line is a few hundred bytes.
+  for (int i = 0; i < 16; ++i)
+    telemetry.metrics.counter("fl.rot." + std::to_string(i)).add();
+  const std::string path = testing::TempDir() + "/hecmine_flight_rot.jsonl";
+  const std::string rotated = path + ".1";
+  std::remove(rotated.c_str());
+  {
+    support::TelemetryFlusher::Options options;
+    options.interval = std::chrono::milliseconds(10'000);
+    options.max_bytes = 512;  // force rotations quickly
+    support::TelemetryFlusher flusher(telemetry, path, options);
+    for (int i = 0; i < 12; ++i) flusher.flush_now();
+    flusher.stop();
+    EXPECT_GE(flusher.rotations(), 1u);
+  }
+  // Both generations exist and each starts with a fresh header.
+  for (const std::string& file : {path, rotated}) {
+    ASSERT_TRUE(std::filesystem::exists(file)) << file;
+    const auto lines = support::json::parse_lines(slurp(file));
+    ASSERT_GE(lines.size(), 1u) << file;
+    EXPECT_EQ(lines[0].at("schema").as_string(), "hecmine.flight.v1");
+  }
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+}
+
+TEST(FlightRecorder, StopIsIdempotentAndDisablesFlushNow) {
+  support::Telemetry telemetry;
+  const std::string path = testing::TempDir() + "/hecmine_flight_stop.jsonl";
+  support::TelemetryFlusher::Options options;
+  options.interval = std::chrono::milliseconds(10'000);
+  support::TelemetryFlusher flusher(telemetry, path, options);
+  flusher.stop();
+  const std::uint64_t after_stop = flusher.flushes();
+  EXPECT_GE(after_stop, 1u);  // the final flush
+  flusher.stop();  // idempotent
+  flusher.flush_now();  // no-op once the stream is closed
+  EXPECT_EQ(flusher.flushes(), after_stop);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,10 +1,15 @@
-// JSON reader tests: value kinds, accessors, escapes, error handling, the
-// JSONL line parser, and a round trip through the project's own telemetry
-// emitter (the parser's main customer is our own output).
+// JSON reader and writer tests: value kinds, accessors, escapes, error
+// handling, the JSONL line parser, the streaming Writer (compact and block
+// styles, escaping, number formatting), and a round trip through the
+// project's own telemetry emitter (the parser's main customer is our own
+// output).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 
 #include "support/error.hpp"
@@ -98,6 +103,102 @@ TEST(JsonParseFile, ReadsFromDiskAndReportsMissingFiles) {
   std::remove(path.c_str());
   EXPECT_THROW((void)support::json::parse_file(path),
                support::PreconditionError);
+}
+
+TEST(JsonWriter, CompactObjectAndArray) {
+  std::ostringstream os;
+  support::json::Writer writer(os);
+  writer.begin_object();
+  writer.member("label", "run/3");
+  writer.member("wall_ms", 1.5);
+  writer.member("ok", true);
+  writer.key("counts");
+  writer.begin_array();
+  writer.value(0);
+  writer.value(1);
+  writer.value(2);
+  writer.end_array();
+  writer.key("none");
+  writer.null();
+  writer.end_object();
+  writer.finish();
+  EXPECT_EQ(os.str(),
+            "{\"label\": \"run/3\", \"wall_ms\": 1.5, \"ok\": true, "
+            "\"counts\": [0, 1, 2], \"none\": null}\n");
+}
+
+TEST(JsonWriter, BlockStyleIndentsTwoSpacesPerDepth) {
+  std::ostringstream os;
+  support::json::Writer writer(os);
+  writer.begin_object(support::json::Writer::kBlock);
+  writer.member("schema", "hecmine.bench.v1");
+  writer.key("runs");
+  writer.begin_array(support::json::Writer::kBlock);
+  writer.begin_object();
+  writer.member("label", "a");
+  writer.end_object();
+  writer.end_array();
+  writer.end_object();
+  writer.finish();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"schema\": \"hecmine.bench.v1\",\n"
+            "  \"runs\": [\n"
+            "    {\"label\": \"a\"}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EmptyContainersStayOnOneLine) {
+  std::ostringstream os;
+  support::json::Writer writer(os);
+  writer.begin_object(support::json::Writer::kBlock);
+  writer.key("counters");
+  writer.begin_object();
+  writer.end_object();
+  writer.key("spans");
+  writer.begin_array(support::json::Writer::kBlock);
+  writer.end_array();
+  writer.end_object();
+  writer.finish();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"counters\": {},\n"
+            "  \"spans\": []\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+  std::ostringstream os;
+  support::json::Writer writer(os);
+  writer.begin_object();
+  writer.member("a\"b", "line1\nline2\t\\end");
+  writer.end_object();
+  writer.finish();
+  const Value doc = support::json::parse(os.str());
+  EXPECT_EQ(doc.at("a\"b").as_string(), "line1\nline2\t\\end");
+}
+
+TEST(JsonWriter, NumberFormattingRoundTrips) {
+  std::ostringstream os;
+  support::json::Writer writer(os);
+  writer.begin_object();
+  writer.member("third", 1.0 / 3.0);
+  writer.member("big", std::uint64_t{1} << 53);
+  writer.member("neg", std::int64_t{-42});
+  writer.member("nan", std::numeric_limits<double>::quiet_NaN());
+  writer.member("inf", std::numeric_limits<double>::infinity());
+  writer.end_object();
+  writer.finish();
+  const Value doc = support::json::parse(os.str());
+  EXPECT_DOUBLE_EQ(doc.at("third").as_number(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("big").as_number(),
+                   std::pow(2.0, 53.0));
+  EXPECT_DOUBLE_EQ(doc.at("neg").as_number(), -42.0);
+  // Non-finite doubles are not representable in JSON: they degrade to null
+  // rather than corrupting the document.
+  EXPECT_TRUE(doc.at("nan").is_null());
+  EXPECT_TRUE(doc.at("inf").is_null());
 }
 
 TEST(JsonParse, RoundTripsTelemetryEmitter) {

@@ -1,0 +1,172 @@
+// Trace-timeline tests: Chrome Trace Event export round-trips through the
+// project's own JSON parser, spans record monotonic start times and
+// parent/child nesting (including across pool workers, where each
+// recording thread becomes its own timeline track), and the run manifest
+// is embedded in every trace document.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
+
+namespace {
+
+using namespace hecmine;
+using support::json::Value;
+
+/// The "X" (complete) events of a parsed trace document.
+std::vector<const Value*> complete_events(const Value& doc) {
+  std::vector<const Value*> events;
+  for (const Value& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() == "X") events.push_back(&event);
+  }
+  return events;
+}
+
+TEST(TraceExport, EmptyTraceIsStillAValidDocument) {
+  support::Telemetry telemetry;
+  const Value doc = support::json::parse(support::to_chrome_trace(telemetry));
+  EXPECT_EQ(doc.at("schema").as_string(), "hecmine.trace.v1");
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  EXPECT_DOUBLE_EQ(doc.at("dropped").as_number(), 0.0);
+  EXPECT_EQ(doc.at("manifest").at("schema").as_string(),
+            "hecmine.manifest.v1");
+  // No spans -> the only events are process metadata.
+  EXPECT_TRUE(complete_events(doc).empty());
+  for (const Value& event : doc.at("traceEvents").as_array())
+    EXPECT_EQ(event.at("ph").as_string(), "M");
+}
+
+TEST(TraceExport, NestedScopesExportWithParentAndDepth) {
+  support::Telemetry telemetry;
+  {
+    const support::SolveTrace::Scope outer(&telemetry.trace, "leader.round");
+    const support::SolveTrace::Scope inner(&telemetry.trace, "oracle.solve");
+  }
+  const Value doc = support::json::parse(support::to_chrome_trace(telemetry));
+  const auto events = complete_events(doc);
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded (and exported) in start-time order: outer first.
+  const Value& outer = *events[0];
+  const Value& inner = *events[1];
+  EXPECT_EQ(outer.at("name").as_string(), "leader.round");
+  EXPECT_EQ(inner.at("name").as_string(), "oracle.solve");
+  EXPECT_DOUBLE_EQ(outer.at("args").at("parent").as_number(), -1.0);
+  EXPECT_DOUBLE_EQ(outer.at("args").at("depth").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(inner.at("args").at("parent").as_number(),
+                   outer.at("args").at("id").as_number());
+  EXPECT_DOUBLE_EQ(inner.at("args").at("depth").as_number(), 1.0);
+  // The child interval is contained in the parent's (ts/dur are in
+  // microseconds).
+  EXPECT_GE(inner.at("ts").as_number(), outer.at("ts").as_number());
+  EXPECT_LE(inner.at("ts").as_number() + inner.at("dur").as_number(),
+            outer.at("ts").as_number() + outer.at("dur").as_number() + 1e-9);
+  // Both ran on the constructing thread: one shared track, ordinal 0.
+  EXPECT_DOUBLE_EQ(outer.at("tid").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(inner.at("tid").as_number(), 0.0);
+}
+
+TEST(TraceExport, SnapshotStartTimesAreMonotonic) {
+  support::Telemetry telemetry;
+  for (int i = 0; i < 32; ++i) {
+    const support::SolveTrace::Scope scope(&telemetry.trace, "phase");
+  }
+  const auto spans = telemetry.trace.snapshot();
+  ASSERT_EQ(spans.size(), 32u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_ms, spans[i - 1].start_ms);
+    EXPECT_GE(spans[i].duration_ms, 0.0);
+  }
+}
+
+TEST(TraceExport, PoolWorkersGetTheirOwnTracks) {
+  support::Telemetry telemetry;
+  support::ThreadPool pool(3);
+  {
+    // Install the sink on the issuing thread; parallel_for captures it and
+    // records a pool.batch busy span on every executing thread.
+    const support::TelemetryScope scope(&telemetry);
+    pool.parallel_for(64, [&](std::size_t) {
+      const support::SolveTrace::Scope span(&telemetry.trace, "work.item");
+      // Keep each item busy long enough that the workers reliably wake up
+      // and claim a share before the issuer drains the batch alone.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+  }
+  // The issuer participates in the batch, so with 3 workers and 64 items
+  // at least two distinct threads must have recorded spans.
+  EXPECT_GE(telemetry.trace.thread_count(), 2);
+
+  const Value doc = support::json::parse(support::to_chrome_trace(telemetry));
+  std::set<int> metadata_tracks;
+  std::set<int> event_tracks;
+  bool saw_process_name = false;
+  for (const Value& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() == "M") {
+      if (event.at("name").as_string() == "thread_name")
+        metadata_tracks.insert(static_cast<int>(event.at("tid").as_number()));
+      if (event.at("name").as_string() == "process_name")
+        saw_process_name = true;
+    } else {
+      event_tracks.insert(static_cast<int>(event.at("tid").as_number()));
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_GE(event_tracks.size(), 2u);
+  // Every track that carries events is named by a metadata event.
+  for (const int track : event_tracks)
+    EXPECT_TRUE(metadata_tracks.count(track) > 0) << "unnamed track " << track;
+  // Root spans on worker threads: a pool.batch span is a root (parent -1)
+  // on its own track.
+  bool saw_worker_root = false;
+  for (const Value* event : complete_events(doc)) {
+    if (event->at("tid").as_number() > 0.0 &&
+        event->at("args").at("parent").as_number() == -1.0)
+      saw_worker_root = true;
+  }
+  EXPECT_TRUE(saw_worker_root);
+}
+
+TEST(TraceExport, CapacityOverflowIsCountedAsDropped) {
+  support::Telemetry telemetry;
+  support::SolveTrace small(2);
+  const int a = small.begin("a");
+  const int b = small.begin("b");
+  const int c = small.begin("c");  // past capacity
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, 0);
+  EXPECT_EQ(c, -1);
+  small.end(c);  // no-op
+  small.end(b);
+  small.end(a);
+  EXPECT_EQ(small.dropped(), 1u);
+  EXPECT_EQ(small.snapshot().size(), 2u);
+}
+
+TEST(TraceExport, WriteChromeTraceRoundTripsThroughDisk) {
+  support::Telemetry telemetry;
+  telemetry.manifest = support::provenance::collect(2, 77);
+  {
+    const support::SolveTrace::Scope scope(&telemetry.trace, "leader.stage");
+  }
+  const std::string path = testing::TempDir() + "/hecmine_trace_rt.json";
+  support::write_chrome_trace(telemetry, path);
+  const Value doc = support::json::parse_file(path);
+  EXPECT_EQ(doc.at("schema").as_string(), "hecmine.trace.v1");
+  EXPECT_DOUBLE_EQ(doc.at("manifest").at("seed").as_number(), 77.0);
+  EXPECT_DOUBLE_EQ(doc.at("manifest").at("threads").as_number(), 2.0);
+  ASSERT_EQ(complete_events(doc).size(), 1u);
+  EXPECT_EQ(complete_events(doc)[0]->at("name").as_string(), "leader.stage");
+  std::remove(path.c_str());
+}
+
+}  // namespace
