@@ -116,6 +116,16 @@ CompareResult compare_bench_json(const Value& baseline, const Value& current,
       result.deltas.push_back(std::move(delta));
       continue;
     }
+    // Convergence regression is a warning, not a gate failure: timing noise
+    // never flips this bit, so a true→false transition always means the
+    // workload's equilibrium path changed and deserves eyeballs.
+    const Value* base_conv = base_run.find("converged");
+    const Value* cur_conv = cur_run->find("converged");
+    if (base_conv != nullptr && cur_conv != nullptr && base_conv->is_bool() &&
+        cur_conv->is_bool() && base_conv->as_bool() && !cur_conv->as_bool()) {
+      result.warnings.push_back(label +
+                                " regressed from converged to non-converged");
+    }
     delta.baseline = timing_of(base_run, use_p50);
     delta.current = timing_of(*cur_run, use_p50);
     delta.ratio = delta.baseline > 0.0 ? delta.current / delta.baseline : 0.0;

@@ -21,14 +21,18 @@ namespace {
 /// Stacked negated-utility-gradient pseudo-gradient F of the follower game
 /// (the operator whose monotonicity is the Theorem-2 / Theorem-5
 /// uniqueness condition), over the flat layout [e_0, c_0, e_1, c_1, ...].
+/// `rest` carries the fixed aggregate of any miners outside the audited
+/// subset (zero when the subset is the whole pool), so the sampled audit
+/// probes monotonicity of the sub-game with the remainder frozen.
 std::vector<double> pseudo_gradient(const NetworkParams& params,
                                     const Prices& prices,
                                     const std::vector<double>& budgets,
                                     double edge_success,
-                                    const std::vector<double>& flat) {
+                                    const std::vector<double>& flat,
+                                    const Totals& rest) {
   const std::size_t n = budgets.size();
   std::vector<double> f(flat.size());
-  Totals totals;
+  Totals totals = rest;
   for (std::size_t i = 0; i < n; ++i) {
     totals.edge += flat[2 * i];
     totals.cloud += flat[2 * i + 1];
@@ -76,6 +80,28 @@ std::vector<std::vector<double>> sample_cloud(const std::vector<double>& base,
   return points;
 }
 
+/// Totals recomputed from the profile's own requests (the auditor never
+/// trusts solver-reported aggregates); O(K) for symmetric and class-shaped
+/// profiles, O(N) dense.
+Totals recompute_totals(const EquilibriumProfile& profile) {
+  HECMINE_REQUIRE(!profile.requests.empty(), "audit_equilibrium: empty profile");
+  if (profile.symmetric) {
+    const double dn = static_cast<double>(profile.miner_count);
+    return {dn * profile.requests.front().edge,
+            dn * profile.requests.front().cloud};
+  }
+  if (profile.class_shaped()) {
+    Totals totals;
+    for (std::size_t k = 0; k < profile.requests.size(); ++k) {
+      const double nk = static_cast<double>(profile.classes->counts[k]);
+      totals.edge += nk * profile.requests[k].edge;
+      totals.cloud += nk * profile.requests[k].cloud;
+    }
+    return totals;
+  }
+  return aggregate(profile.requests);
+}
+
 }  // namespace
 
 AuditReport audit_equilibrium(const Scenario& scenario, const Prices& prices,
@@ -96,21 +122,53 @@ AuditReport audit_equilibrium(const Scenario& scenario, const Prices& prices,
   report.iterations = profile.iterations;
   report.residual = profile.residual;
 
-  const std::vector<MinerRequest> requests = profile.expanded();
-  const Totals totals = aggregate(requests);
+  const std::size_t n = static_cast<std::size_t>(profile.miner_count);
+  const Totals totals = recompute_totals(profile);
+  const double h = connected ? params.edge_success : 1.0;
+
+  // Audited subset: every miner by default; an evenly spaced deterministic
+  // sample when max_audited_miners caps the walk (even spacing visits every
+  // budget class of a class-shaped profile once the cap exceeds K).
+  const bool subset = options.max_audited_miners > 0 &&
+                      n > static_cast<std::size_t>(options.max_audited_miners);
+  std::vector<std::size_t> audited;
+  if (subset) {
+    const std::size_t m =
+        static_cast<std::size_t>(options.max_audited_miners);
+    audited.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) audited.push_back(j * n / m);
+  } else {
+    audited.resize(n);
+    for (std::size_t i = 0; i < n; ++i) audited[i] = i;
+  }
 
   // Exploitability: the best-response-gap certificate, computed from the
-  // primitives rather than the solver's converged flag.
-  report.best_response_gap = miner_exploitability(
-      params, prices, scenario.budgets, profile, scenario.mode);
-
-  report.budget_slack.resize(requests.size());
+  // primitives rather than the solver's converged flag. Each audited miner
+  // deviates against the full pool (opponent aggregates include the
+  // unsampled remainder), in the surcharge-penalized game like
+  // miner_exploitability.
+  report.best_response_gap = 0.0;
+  report.budget_slack.resize(audited.size());
   report.min_budget_slack = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    report.budget_slack[i] =
-        scenario.budgets[i] - request_cost(requests[i], prices);
+  for (std::size_t j = 0; j < audited.size(); ++j) {
+    const std::size_t i = audited[j];
+    const MinerRequest& own = profile.request(i);
+    MinerEnv env;
+    env.reward = params.reward;
+    env.fork_rate = params.fork_rate;
+    env.edge_success = h;
+    env.prices = prices;
+    env.edge_surcharge = profile.surcharge;
+    env.budget = scenario.budgets[i];
+    env.others = {std::max(0.0, totals.edge - own.edge),
+                  std::max(0.0, totals.cloud - own.cloud)};
+    const double current = miner_penalized_utility(env, own);
+    const double best = miner_penalized_utility(env, miner_best_response(env));
+    report.best_response_gap =
+        std::max(report.best_response_gap, best - current);
+    report.budget_slack[j] = scenario.budgets[i] - request_cost(own, prices);
     report.min_budget_slack =
-        std::min(report.min_budget_slack, report.budget_slack[i]);
+        std::min(report.min_budget_slack, report.budget_slack[j]);
   }
 
   report.capacity_violation =
@@ -118,15 +176,25 @@ AuditReport audit_equilibrium(const Scenario& scenario, const Prices& prices,
                 : std::max(0.0, totals.edge - params.edge_capacity);
 
   // Theorem-2 / Theorem-5 uniqueness condition: strict monotonicity of the
-  // pseudo-gradient, probed empirically on a cloud around the point.
-  std::vector<double> flat(2 * requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    flat[2 * i] = requests[i].edge;
-    flat[2 * i + 1] = requests[i].cloud;
+  // pseudo-gradient, probed empirically on a cloud around the point. Under
+  // a sampled audit the cloud perturbs only the audited miners; the frozen
+  // remainder enters through its fixed aggregate.
+  std::vector<double> flat(2 * audited.size());
+  std::vector<double> audited_budgets(audited.size());
+  Totals rest = totals;
+  for (std::size_t j = 0; j < audited.size(); ++j) {
+    const MinerRequest& own = profile.request(audited[j]);
+    flat[2 * j] = own.edge;
+    flat[2 * j + 1] = own.cloud;
+    audited_budgets[j] = scenario.budgets[audited[j]];
+    rest.edge -= own.edge;
+    rest.cloud -= own.cloud;
   }
-  const double h = connected ? params.edge_success : 1.0;
+  if (!subset) rest = {0.0, 0.0};
+  rest.edge = std::max(0.0, rest.edge);
+  rest.cloud = std::max(0.0, rest.cloud);
   const auto map = [&](const std::vector<double>& point) {
-    return pseudo_gradient(params, prices, scenario.budgets, h, point);
+    return pseudo_gradient(params, prices, audited_budgets, h, point, rest);
   };
   const auto points =
       sample_cloud(flat, std::max(1, options.monotonicity_samples),

@@ -38,6 +38,13 @@ struct AuditOptions {
   /// Solver resources for the follower re-solves behind the leader gap;
   /// also seeds the deterministic sampling RNG (context.rng_root).
   SolveContext context;
+  /// Upper bound on the miners audited individually (0 = all). Above the
+  /// bound, certificates that walk miners one by one (best-response gap,
+  /// budget slack, monotonicity cloud) run on a deterministic evenly
+  /// spaced subset — the rest of the pool is held fixed and folded into
+  /// the opponent aggregates — so audits stay O(bound) at N = 10^6. The
+  /// capacity and leader-gap certificates always cover the full pool.
+  int max_audited_miners = 0;
 };
 
 /// Audit certificates for one (prices, profile) pair. All quantities are
@@ -47,7 +54,9 @@ struct AuditReport {
   /// Largest unilateral utility gain any miner realizes by best-responding
   /// to the profile (the exploitability certificate); ~0 at a true NE.
   double best_response_gap = 0.0;
-  /// B_i - P^T r_i per miner; negative = budget violated.
+  /// B_i - P^T r_i per audited miner (all miners unless
+  /// AuditOptions::max_audited_miners sampled a subset); negative = budget
+  /// violated.
   std::vector<double> budget_slack;
   double min_budget_slack = 0.0;
   /// max(0, E - E_max) in standalone mode; 0 in connected mode (no shared

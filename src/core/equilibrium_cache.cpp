@@ -55,6 +55,19 @@ FollowerEquilibriumCache::FollowerEquilibriumCache(std::size_t capacity,
                   "FollowerEquilibriumCache: price_quantum > 0");
 }
 
+std::size_t FollowerEquilibriumCache::recommended_capacity(int max_rounds,
+                                                           int grid_points) {
+  HECMINE_REQUIRE(max_rounds >= 1 && grid_points >= 1,
+                  "recommended_capacity: rounds and grid must be >= 1");
+  // Two leaders per round; each scan touches grid_points prices and the
+  // golden-section refine adds ~64 distinct probes near the maximizer.
+  const std::size_t footprint =
+      std::size_t{2} * static_cast<std::size_t>(max_rounds) *
+      (static_cast<std::size_t>(grid_points) + std::size_t{64});
+  return std::min<std::size_t>(1ULL << 20,
+                               std::max<std::size_t>(1024, std::bit_ceil(footprint)));
+}
+
 namespace {
 
 std::int64_t quantize(double price, double quantum) {

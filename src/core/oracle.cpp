@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "core/aggregate_oracle.hpp"
 #include "core/equilibrium_cache.hpp"
 #include "core/miner.hpp"
 #include "core/scenario.hpp"
@@ -52,6 +53,11 @@ MinerEnv symmetric_env(const NetworkParams& params, const Prices& prices,
 const MinerRequest& EquilibriumProfile::request(std::size_t i) const {
   HECMINE_REQUIRE(!requests.empty(), "EquilibriumProfile: empty profile");
   if (symmetric) return requests.front();
+  if (classes != nullptr) {
+    HECMINE_REQUIRE(i < classes->of.size(),
+                    "EquilibriumProfile: miner index out of range");
+    return requests[classes->of[i]];
+  }
   HECMINE_REQUIRE(i < requests.size(),
                   "EquilibriumProfile: miner index out of range");
   return requests[i];
@@ -60,16 +66,29 @@ const MinerRequest& EquilibriumProfile::request(std::size_t i) const {
 double EquilibriumProfile::utility(std::size_t i) const {
   HECMINE_REQUIRE(!utilities.empty(), "EquilibriumProfile: empty profile");
   if (symmetric) return utilities.front();
+  if (classes != nullptr) {
+    HECMINE_REQUIRE(i < classes->of.size(),
+                    "EquilibriumProfile: miner index out of range");
+    return utilities[classes->of[i]];
+  }
   HECMINE_REQUIRE(i < utilities.size(),
                   "EquilibriumProfile: miner index out of range");
   return utilities[i];
 }
 
 std::vector<MinerRequest> EquilibriumProfile::expanded() const {
-  if (!symmetric) return requests;
-  HECMINE_REQUIRE(!requests.empty(), "EquilibriumProfile: empty profile");
-  return std::vector<MinerRequest>(static_cast<std::size_t>(miner_count),
-                                   requests.front());
+  if (symmetric) {
+    HECMINE_REQUIRE(!requests.empty(), "EquilibriumProfile: empty profile");
+    return std::vector<MinerRequest>(static_cast<std::size_t>(miner_count),
+                                     requests.front());
+  }
+  if (classes != nullptr) {
+    std::vector<MinerRequest> out;
+    out.reserve(classes->of.size());
+    for (std::uint32_t k : classes->of) out.push_back(requests[k]);
+    return out;
+  }
+  return requests;
 }
 
 EquilibriumProfile to_profile(const MinerEquilibrium& eq) {
@@ -117,6 +136,10 @@ MinerEquilibrium to_miner_equilibrium(const EquilibriumProfile& profile) {
                     "to_miner_equilibrium: empty profile");
     eq.utilities.assign(static_cast<std::size_t>(profile.miner_count),
                         profile.utilities.front());
+  } else if (profile.classes != nullptr) {
+    eq.utilities.reserve(profile.classes->of.size());
+    for (std::uint32_t k : profile.classes->of)
+      eq.utilities.push_back(profile.utilities[k]);
   } else {
     eq.utilities = profile.utilities;
   }
@@ -392,12 +415,10 @@ std::unique_ptr<FollowerOracle> make_follower_oracle(
     oracle = std::make_unique<SymmetricFollowerOracle>(
         params, budgets.front(), static_cast<int>(budgets.size()), mode,
         context.follower);
-  } else if (mode == EdgeMode::kConnected) {
-    oracle =
-        std::make_unique<ConnectedNepOracle>(params, budgets, context.follower);
   } else {
-    oracle = std::make_unique<StandaloneGnepOracle>(
-        params, budgets, GnepAlgorithm::kSharedPrice, context.follower);
+    // Heterogeneous pools route through the profile-oracle factory, which
+    // honors context.aggregate's opt-in class-aggregate dispatch.
+    oracle = make_profile_oracle(params, budgets, mode, context);
   }
   return decorate_follower_oracle(std::move(oracle), context);
 }

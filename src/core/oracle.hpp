@@ -52,23 +52,46 @@ struct Scenario;                 // core/scenario.hpp
 /// (requests.size() == 1, symmetric == true); profile solves store all n.
 /// Accessors hide the difference so consumers never branch on the shape.
 struct EquilibriumProfile {
+  /// Budget-class shape of a class-aggregate solve (ClassAggregateOracle,
+  /// core/aggregate_oracle.hpp): requests/utilities then hold one entry per
+  /// class and `of` maps each miner index to its class. The shape is shared
+  /// and immutable so profile copies (and cache entries) stay O(K), not
+  /// O(N).
+  struct ClassShape {
+    std::vector<std::uint32_t> of;  ///< miner index -> class index (size n)
+    std::vector<int> counts;        ///< miners per class (size K)
+    std::vector<double> budgets;    ///< class budget keys (size K)
+  };
+
   int miner_count = 0;       ///< n — number of followers represented
   bool symmetric = false;    ///< true: requests/utilities hold one entry
-  std::vector<MinerRequest> requests;  ///< per-miner NE requests (or 1)
+  std::vector<MinerRequest> requests;  ///< per-miner NE requests (or 1/K)
   Totals totals;             ///< E*, C* across all miner_count miners
-  std::vector<double> utilities;       ///< U_i at equilibrium (or 1)
+  std::vector<double> utilities;       ///< U_i at equilibrium (or 1/K)
+  /// Null for dense and symmetric solves; set by class-aggregate solves,
+  /// in which case requests/utilities are per class (see ClassShape).
+  std::shared_ptr<const ClassShape> classes;
   double surcharge = 0.0;    ///< GNEP shadow price on E <= E_max (0 if slack)
   bool cap_active = false;   ///< standalone only: capacity constraint binds
   bool converged = false;
   int iterations = 0;        ///< solver sweeps (inner solves for GNEP)
   double residual = 0.0;     ///< last profile change / VI natural residual
 
-  /// Miner i's request; any index maps to the shared entry when symmetric.
+  /// True when the profile carries a class-aggregate shape.
+  [[nodiscard]] bool class_shaped() const noexcept {
+    return classes != nullptr;
+  }
+
+  /// Miner i's request; any index maps to the shared entry when symmetric,
+  /// and through the class map when class-shaped (lazy expansion — no
+  /// per-miner storage is materialized).
   [[nodiscard]] const MinerRequest& request(std::size_t i = 0) const;
-  /// Miner i's equilibrium utility; symmetric maps every index to entry 0.
+  /// Miner i's equilibrium utility; symmetric maps every index to entry 0,
+  /// class-shaped maps through the class map.
   [[nodiscard]] double utility(std::size_t i = 0) const;
   /// Full per-miner request vector of size miner_count (replicates the
-  /// shared request when symmetric).
+  /// shared request when symmetric, expands the class map when
+  /// class-shaped).
   [[nodiscard]] std::vector<MinerRequest> expanded() const;
 
   /// Convergence summary in the cross-solver vocabulary

@@ -42,6 +42,28 @@ struct MinerSolveOptions {
                          const MinerSolveOptions&) = default;
 };
 
+/// Dispatch and bucketing knobs of the ClassAggregateOracle
+/// (core/aggregate_oracle.hpp). Aggregation is opt-in: the oracle factories
+/// pick the aggregate oracle only when dispatch_threshold is positive, the
+/// pool holds at least that many miners, and bucketing the budgets yields
+/// at most max_classes classes; otherwise they fall back to the dense
+/// NEP/GNEP oracles unchanged.
+struct AggregateOracleOptions {
+  /// Minimum miner count before auto-dispatch considers the aggregate
+  /// oracle; 0 (the default) disables auto-dispatch entirely.
+  int dispatch_threshold = 0;
+  /// Largest class count the aggregate path accepts; pools that bucket
+  /// into more classes than this stay on the dense oracles.
+  int max_classes = 64;
+  /// Class keys are exact budget values when 0; otherwise budgets are
+  /// snapped onto this grid before bucketing (a documented approximation
+  /// that caps K on near-continuous budget distributions).
+  double budget_quantum = 0.0;
+
+  friend bool operator==(const AggregateOracleOptions&,
+                         const AggregateOracleOptions&) = default;
+};
+
 /// One bundle of cross-cutting solver resources, passed down every layer
 /// that embeds follower solves (leader stage, dynamic population, RL
 /// references, sweeps). Copyable; the cache pointer is shared, not owned.
@@ -55,6 +77,9 @@ struct SolveContext {
   std::uint64_t rng_root = 0x9e3779b97f4a7c15ULL;
   /// Tolerances of the embedded miner solves.
   MinerSolveOptions follower;
+  /// Aggregate-oracle dispatch knobs (off by default; see
+  /// AggregateOracleOptions).
+  AggregateOracleOptions aggregate;
   /// Optional telemetry sink (not owned). When set, oracle factories wrap
   /// solves in instrumentation and leader loops record phase spans; when
   /// null every instrumentation site reduces to one pointer test.

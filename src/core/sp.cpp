@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/aggregate_oracle.hpp"
 #include "core/equilibrium_cache.hpp"
 #include "game/stackelberg.hpp"
 #include "numerics/optimize.hpp"
@@ -116,15 +117,10 @@ std::unique_ptr<FollowerOracle> homogeneous_oracle(const NetworkParams& params,
 std::unique_ptr<FollowerOracle> profile_oracle(
     const NetworkParams& params, const std::vector<double>& budgets,
     EdgeMode mode, const SolveContext& context) {
-  std::unique_ptr<FollowerOracle> oracle;
-  if (mode == EdgeMode::kConnected) {
-    oracle = std::make_unique<ConnectedNepOracle>(params, budgets,
-                                                  context.follower);
-  } else {
-    oracle = std::make_unique<StandaloneGnepOracle>(
-        params, budgets, GnepAlgorithm::kSharedPrice, context.follower);
-  }
-  return decorate_follower_oracle(std::move(oracle), context);
+  // The factory honors context.aggregate, so large few-class pools run the
+  // leader stage over the O(K) class-aggregate follower solve.
+  return decorate_follower_oracle(
+      make_profile_oracle(params, budgets, mode, context), context);
 }
 
 /// Finishes a leader-stage result from final prices with the given

@@ -43,6 +43,26 @@ double aggregate_utility(const NetworkParams& params, const Prices& prices,
 
 double aggregate_utility(const NetworkParams& params, const Prices& prices,
                          const EquilibriumProfile& profile) {
+  if (profile.class_shaped()) {
+    // O(K): miners within a budget class share one request, so the class
+    // sum weighted by member counts equals the expanded per-miner sum.
+    params.validate();
+    Totals totals;
+    for (std::size_t k = 0; k < profile.requests.size(); ++k) {
+      const double nk = static_cast<double>(profile.classes->counts[k]);
+      totals.edge += nk * profile.requests[k].edge;
+      totals.cloud += nk * profile.requests[k].cloud;
+    }
+    double sum = 0.0;
+    for (std::size_t k = 0; k < profile.requests.size(); ++k) {
+      const double nk = static_cast<double>(profile.classes->counts[k]);
+      sum += nk * (params.reward *
+                       win_prob_full(profile.requests[k], totals,
+                                     params.fork_rate) -
+                   request_cost(profile.requests[k], prices));
+    }
+    return sum;
+  }
   return aggregate_utility(params, prices, profile.expanded());
 }
 

@@ -197,6 +197,45 @@ TEST(BenchCompare, MatchingOrAbsentManifestsProduceNoWarnings) {
   EXPECT_TRUE(bench::compare_bench_json(bare, stamped).warnings.empty());
 }
 
+/// Ledger with a single run whose convergence flag is configurable.
+std::string ledger_with_converged(bool converged, double wall_ms = 100.0) {
+  std::ostringstream out;
+  out << R"({"schema": "hecmine.bench.v1", "config": {"grid": 8},)"
+      << R"( "runs": [{"label": "heterogeneous/serial", "wall_ms": )"
+      << wall_ms << R"(, "wall_ms_p50": )" << wall_ms
+      << R"(, "converged": )" << (converged ? "true" : "false") << "}]}";
+  return out.str();
+}
+
+TEST(BenchCompare, ConvergedRegressionWarnsWithoutFailing) {
+  const Value baseline = parse(ledger_with_converged(true));
+  const Value regressed = parse(ledger_with_converged(false));
+  const auto result = bench::compare_bench_json(baseline, regressed);
+  EXPECT_TRUE(result.ok);  // timing unchanged; the flag alone never gates
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("heterogeneous/serial"),
+            std::string::npos);
+  EXPECT_NE(result.warnings[0].find("non-converged"), std::string::npos);
+  std::ostringstream os;
+  bench::print_compare(os, result);
+  EXPECT_NE(os.str().find("warn heterogeneous/serial"), std::string::npos)
+      << os.str();
+}
+
+TEST(BenchCompare, ConvergedStableOrRecoveredProducesNoWarning) {
+  const Value converged = parse(ledger_with_converged(true));
+  const Value cycling = parse(ledger_with_converged(false));
+  // Stable (true->true, false->false) and recovery (false->true) are quiet.
+  EXPECT_TRUE(bench::compare_bench_json(converged, converged).warnings.empty());
+  EXPECT_TRUE(bench::compare_bench_json(cycling, cycling).warnings.empty());
+  EXPECT_TRUE(bench::compare_bench_json(cycling, converged).warnings.empty());
+  // Pre-flag ledgers (no "converged" field) are also quiet.
+  const Value bare = parse(
+      R"({"runs": [{"label": "heterogeneous/serial", "wall_ms": 100.0}]})");
+  EXPECT_TRUE(bench::compare_bench_json(bare, converged).warnings.empty());
+  EXPECT_TRUE(bench::compare_bench_json(converged, bare).warnings.empty());
+}
+
 TEST(BenchCompare, PrintReportsVerdictAndDeltas) {
   const Value baseline = parse(ledger(100.0, 50.0, 0.0, 0.0));
   const Value slowed = parse(ledger(130.0, 50.0, 0.0, 0.0));

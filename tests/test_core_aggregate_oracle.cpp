@@ -1,0 +1,346 @@
+// Tests for the ClassAggregateOracle (core/aggregate_oracle.hpp): the
+// K-dimensional class fixed point must land on the same equilibrium as the
+// dense per-miner solvers (Theorem 2's uniqueness makes the NE symmetric
+// within budget classes), lazy per-miner expansion must be transparent to
+// every consumer, and make_profile_oracle must honor the opt-in dispatch
+// rules. Registered under the `aggregate` ctest label.
+#include "core/aggregate_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/equilibrium_cache.hpp"
+#include "core/oracle.hpp"
+#include "core/scenario.hpp"
+#include "core/sp.hpp"
+#include "core/welfare.hpp"
+#include "support/error.hpp"
+
+namespace hecmine::core {
+namespace {
+
+// Documented parity tolerance between the aggregate and dense solvers: both
+// iterate to a 1e-9 movement tolerance around the unique equilibrium, so
+// per-miner requests agree to ~1e-6 resource units at reward scale 100.
+constexpr double kParityTol = 1e-5;
+
+NetworkParams default_params() {
+  NetworkParams params;
+  params.reward = 100.0;
+  params.fork_rate = 0.2;
+  params.edge_success = 0.9;
+  params.edge_capacity = 8.0;
+  params.cost_edge = 1.0;
+  params.cost_cloud = 0.4;
+  return params;
+}
+
+// Three budget classes over five miners, with duplicates in arbitrary order.
+std::vector<double> few_class_budgets() { return {120.0, 50.0, 120.0, 50.0, 200.0}; }
+
+TEST(ClassPartition, ExactKeysBucketDuplicatesAndSortAscending) {
+  const auto partition = partition_budget_classes(few_class_budgets());
+  ASSERT_EQ(partition.classes.size(), 3u);
+  EXPECT_EQ(partition.classes[0].budget, 50.0);
+  EXPECT_EQ(partition.classes[0].count, 2);
+  EXPECT_EQ(partition.classes[1].budget, 120.0);
+  EXPECT_EQ(partition.classes[1].count, 2);
+  EXPECT_EQ(partition.classes[2].budget, 200.0);
+  EXPECT_EQ(partition.classes[2].count, 1);
+  const std::vector<std::uint32_t> expected{1, 0, 1, 0, 2};
+  EXPECT_EQ(partition.class_of, expected);
+}
+
+TEST(ClassPartition, QuantizationCollapsesNearEqualBudgets) {
+  const std::vector<double> budgets{100.0, 100.4, 99.6, 150.0};
+  const auto exact = partition_budget_classes(budgets);
+  EXPECT_EQ(exact.classes.size(), 4u);
+  const auto coarse = partition_budget_classes(budgets, 1.0);
+  ASSERT_EQ(coarse.classes.size(), 2u);
+  EXPECT_EQ(coarse.classes[0].budget, 100.0);
+  EXPECT_EQ(coarse.classes[0].count, 3);
+  EXPECT_EQ(coarse.classes[1].budget, 150.0);
+  EXPECT_EQ(coarse.classes[1].count, 1);
+}
+
+TEST(ClassPartition, RejectsNegativeInputs) {
+  EXPECT_THROW((void)partition_budget_classes({-1.0}),
+               support::PreconditionError);
+  EXPECT_THROW((void)partition_budget_classes({1.0}, -0.5),
+               support::PreconditionError);
+}
+
+TEST(ClassAggregateOracleParity, ConnectedMatchesDenseNepPerMiner) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets = few_class_budgets();
+  const auto dense = ConnectedNepOracle(params, budgets).solve(prices);
+  const auto aggregate =
+      ClassAggregateOracle(params, budgets, EdgeMode::kConnected)
+          .solve(prices);
+  ASSERT_TRUE(dense.converged);
+  ASSERT_TRUE(aggregate.converged);
+  EXPECT_TRUE(aggregate.class_shaped());
+  EXPECT_EQ(aggregate.miner_count, dense.miner_count);
+  EXPECT_NEAR(aggregate.totals.edge, dense.totals.edge, kParityTol);
+  EXPECT_NEAR(aggregate.totals.cloud, dense.totals.cloud, kParityTol);
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    EXPECT_NEAR(aggregate.request(i).edge, dense.request(i).edge, kParityTol);
+    EXPECT_NEAR(aggregate.request(i).cloud, dense.request(i).cloud,
+                kParityTol);
+    EXPECT_NEAR(aggregate.utility(i), dense.utility(i), kParityTol);
+  }
+}
+
+TEST(ClassAggregateOracleParity, StandaloneMatchesDenseGnepWithActiveCap) {
+  NetworkParams params = default_params();
+  params.edge_capacity = 4.0;  // small cap so the shared constraint binds
+  const Prices prices{1.5, 1.0};
+  const std::vector<double> budgets = few_class_budgets();
+  const auto dense =
+      StandaloneGnepOracle(params, budgets, GnepAlgorithm::kSharedPrice)
+          .solve(prices);
+  const auto aggregate =
+      ClassAggregateOracle(params, budgets, EdgeMode::kStandalone)
+          .solve(prices);
+  ASSERT_TRUE(dense.converged);
+  ASSERT_TRUE(aggregate.converged);
+  EXPECT_EQ(aggregate.cap_active, dense.cap_active);
+  EXPECT_NEAR(aggregate.totals.edge, dense.totals.edge, 1e-4);
+  EXPECT_NEAR(aggregate.surcharge, dense.surcharge, 1e-3);
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    EXPECT_NEAR(aggregate.request(i).edge, dense.request(i).edge, 1e-4);
+    EXPECT_NEAR(aggregate.request(i).cloud, dense.request(i).cloud, 1e-4);
+    EXPECT_NEAR(aggregate.utility(i), dense.utility(i), 1e-3);
+  }
+}
+
+TEST(ClassAggregateOracleParity, HomogeneousPoolMatchesSymmetricOracle) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets(6, 40.0);
+  const auto symmetric =
+      SymmetricFollowerOracle(params, 40.0, 6, EdgeMode::kConnected)
+          .solve(prices);
+  const auto aggregate =
+      ClassAggregateOracle(params, budgets, EdgeMode::kConnected)
+          .solve(prices);
+  ASSERT_TRUE(aggregate.converged);
+  EXPECT_EQ(ClassAggregateOracle(params, budgets, EdgeMode::kConnected)
+                .class_count(),
+            1);
+  EXPECT_NEAR(aggregate.request(0).edge, symmetric.request().edge, kParityTol);
+  EXPECT_NEAR(aggregate.request(0).cloud, symmetric.request().cloud,
+              kParityTol);
+}
+
+TEST(ClassAggregateOracle, ExpansionIsExactlyClassSymmetric) {
+  const NetworkParams params = default_params();
+  const auto profile =
+      ClassAggregateOracle(params, few_class_budgets(), EdgeMode::kConnected)
+          .solve({2.0, 1.0});
+  // Miners 1 and 3 share budget 50, miners 0 and 2 share budget 120: their
+  // lazily expanded requests are the same object, hence bitwise equal.
+  EXPECT_EQ(profile.request(1).edge, profile.request(3).edge);
+  EXPECT_EQ(profile.request(0).cloud, profile.request(2).cloud);
+  EXPECT_EQ(profile.utility(1), profile.utility(3));
+  const auto expanded = profile.expanded();
+  ASSERT_EQ(expanded.size(), 5u);
+  EXPECT_EQ(expanded[0].edge, expanded[2].edge);
+  EXPECT_THROW((void)profile.request(5), support::PreconditionError);
+  // Totals equal the count-weighted class sum.
+  double edge = 0.0;
+  for (const auto& request : expanded) edge += request.edge;
+  EXPECT_NEAR(profile.totals.edge, edge, 1e-9);
+}
+
+TEST(ClassAggregateOracle, SolveIsBitwiseIdenticalAcrossThreadCounts) {
+  const NetworkParams params = default_params();
+  const std::vector<double> budgets = few_class_budgets();
+  for (EdgeMode mode : {EdgeMode::kConnected, EdgeMode::kStandalone}) {
+    SolveContext serial;
+    serial.threads = 1;
+    SolveContext parallel;
+    parallel.threads = 4;
+    const auto a = ClassAggregateOracle(params, budgets, mode,
+                                        serial.follower)
+                       .solve({2.0, 1.0});
+    const auto b = ClassAggregateOracle(params, budgets, mode,
+                                        parallel.follower)
+                       .solve({2.0, 1.0});
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t k = 0; k < a.requests.size(); ++k) {
+      EXPECT_EQ(a.requests[k].edge, b.requests[k].edge);
+      EXPECT_EQ(a.requests[k].cloud, b.requests[k].cloud);
+      EXPECT_EQ(a.utilities[k], b.utilities[k]);
+    }
+    EXPECT_EQ(a.totals.edge, b.totals.edge);
+    EXPECT_EQ(a.surcharge, b.surcharge);
+  }
+}
+
+TEST(ProfileOracleDispatch, DefaultContextNeverPicksTheAggregateOracle) {
+  const NetworkParams params = default_params();
+  const auto oracle = make_profile_oracle(params, few_class_budgets(),
+                                          EdgeMode::kConnected, {});
+  EXPECT_EQ(dynamic_cast<const ClassAggregateOracle*>(oracle.get()), nullptr);
+  EXPECT_NE(dynamic_cast<const ConnectedNepOracle*>(oracle.get()), nullptr);
+}
+
+TEST(ProfileOracleDispatch, ThresholdAndClassCapGateTheAggregateOracle) {
+  const NetworkParams params = default_params();
+  const std::vector<double> budgets = few_class_budgets();
+  SolveContext context;
+  context.aggregate.dispatch_threshold = 4;
+  // Pool size 5 >= threshold 4 and K = 3 <= max_classes: aggregate.
+  auto oracle =
+      make_profile_oracle(params, budgets, EdgeMode::kConnected, context);
+  EXPECT_NE(dynamic_cast<const ClassAggregateOracle*>(oracle.get()), nullptr);
+  // Pool smaller than the threshold: dense.
+  context.aggregate.dispatch_threshold = 6;
+  oracle = make_profile_oracle(params, budgets, EdgeMode::kConnected, context);
+  EXPECT_EQ(dynamic_cast<const ClassAggregateOracle*>(oracle.get()), nullptr);
+  // Too many classes for the cap: dense.
+  context.aggregate.dispatch_threshold = 4;
+  context.aggregate.max_classes = 2;
+  oracle = make_profile_oracle(params, budgets, EdgeMode::kConnected, context);
+  EXPECT_EQ(dynamic_cast<const ClassAggregateOracle*>(oracle.get()), nullptr);
+  // Standalone pools dispatch identically.
+  context.aggregate.max_classes = 64;
+  oracle = make_profile_oracle(params, budgets, EdgeMode::kStandalone, context);
+  EXPECT_NE(dynamic_cast<const ClassAggregateOracle*>(oracle.get()), nullptr);
+}
+
+TEST(ProfileOracleDispatch, MakeFollowerOracleRoutesHeterogeneousPools) {
+  const NetworkParams params = default_params();
+  SolveContext context;
+  context.aggregate.dispatch_threshold = 2;
+  // No cache/telemetry: the factory returns the bare aggregate oracle.
+  const auto oracle = make_follower_oracle(params, few_class_budgets(),
+                                           EdgeMode::kConnected, context);
+  EXPECT_NE(dynamic_cast<const ClassAggregateOracle*>(oracle.get()), nullptr);
+  // Homogeneous pools keep the symmetric fast path regardless of the
+  // aggregate opt-in.
+  const auto homogeneous = make_follower_oracle(
+      params, std::vector<double>(8, 40.0), EdgeMode::kConnected, context);
+  EXPECT_EQ(dynamic_cast<const ClassAggregateOracle*>(homogeneous.get()),
+            nullptr);
+}
+
+TEST(ClassAggregateOracle, LazyExpansionSurvivesTheCacheDecorator) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  FollowerEquilibriumCache cache(64);
+  auto inner = std::make_unique<ClassAggregateOracle>(
+      params, few_class_budgets(), EdgeMode::kConnected);
+  const auto direct = inner->solve(prices);
+  CachedFollowerOracle cached(std::move(inner), cache);
+  const auto miss = cached.solve(prices);
+  const auto hit = cached.solve(prices);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  for (const auto* profile : {&miss, &hit}) {
+    ASSERT_TRUE(profile->class_shaped());
+    ASSERT_EQ(profile->requests.size(), 3u);
+    EXPECT_EQ(profile->expanded().size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(profile->request(i).edge, direct.request(i).edge);
+      EXPECT_EQ(profile->utility(i), direct.utility(i));
+    }
+  }
+}
+
+TEST(ClassAggregateOracle, EnvHashSeparatesShapeModeAndQuantum) {
+  const NetworkParams params = default_params();
+  const std::vector<double> budgets = few_class_budgets();
+  const ClassAggregateOracle connected(params, budgets, EdgeMode::kConnected);
+  const ClassAggregateOracle standalone(params, budgets,
+                                        EdgeMode::kStandalone);
+  const ClassAggregateOracle quantized(params, budgets, EdgeMode::kConnected,
+                                       {}, 1.0);
+  const ClassAggregateOracle reordered(params, {50.0, 120.0, 120.0, 50.0, 200.0},
+                                       EdgeMode::kConnected);
+  EXPECT_NE(connected.env_hash(), standalone.env_hash());
+  EXPECT_NE(connected.env_hash(), quantized.env_hash());
+  // Same multiset, different per-miner order: request(i) answers differ,
+  // so the identities must too.
+  EXPECT_NE(connected.env_hash(), reordered.env_hash());
+  // The aggregate oracle never shares a key with the dense oracle.
+  EXPECT_NE(connected.env_hash(),
+            ConnectedNepOracle(params, budgets).env_hash());
+}
+
+TEST(ClassAggregateOracle, LeaderStageAndConsumersAcceptClassProfiles) {
+  const NetworkParams params = default_params();
+  const Prices prices{2.0, 1.0};
+  const std::vector<double> budgets = few_class_budgets();
+  SolveContext context;
+  context.aggregate.dispatch_threshold = 2;
+  const auto profile =
+      make_follower_oracle(params, budgets, EdgeMode::kConnected, context)
+          ->solve(prices);
+  ASSERT_TRUE(profile.class_shaped());
+  // welfare: the O(K) class path equals the expanded per-miner sum.
+  const double class_sum = aggregate_utility(params, prices, profile);
+  EquilibriumProfile dense_view = profile;
+  dense_view.requests = profile.expanded();
+  dense_view.utilities.clear();
+  for (std::size_t i = 0; i < budgets.size(); ++i)
+    dense_view.utilities.push_back(profile.utility(i));
+  dense_view.classes.reset();
+  EXPECT_NEAR(class_sum, aggregate_utility(params, prices, dense_view), 1e-9);
+  // audit: full and sampled certificates accept the class shape.
+  Scenario scenario;
+  scenario.params = params;
+  scenario.mode = EdgeMode::kConnected;
+  scenario.budgets = budgets;
+  AuditOptions audit_options;
+  audit_options.context = context;
+  const AuditReport full = audit_equilibrium(scenario, prices, profile,
+                                             audit_options);
+  EXPECT_LE(full.best_response_gap, 1e-6 * params.reward);
+  audit_options.max_audited_miners = 3;
+  const AuditReport sampled = audit_equilibrium(scenario, prices, profile,
+                                                audit_options);
+  EXPECT_EQ(sampled.budget_slack.size(), 3u);
+  EXPECT_LE(sampled.best_response_gap, full.best_response_gap + 1e-12);
+  // legacy conversion expands utilities through the class map.
+  const MinerEquilibrium legacy = to_miner_equilibrium(profile);
+  ASSERT_EQ(legacy.requests.size(), budgets.size());
+  ASSERT_EQ(legacy.utilities.size(), budgets.size());
+  EXPECT_EQ(legacy.utilities[1], legacy.utilities[3]);
+}
+
+TEST(ClassAggregateOracle, LeaderStagePricesMatchDenseWithAggregateDispatch) {
+  const NetworkParams params = default_params();
+  const std::vector<double> budgets{50.0, 50.0, 120.0};
+  SpSolveOptions options;
+  options.grid_points = 6;
+  options.max_rounds = 4;
+  options.tolerance = 1e-2;
+  // One shared cache serves both runs: the aggregate oracle's env_hash
+  // differs from the dense one, so entries never cross-contaminate.
+  FollowerEquilibriumCache cache(1 << 14);
+  options.context.cache = &cache;
+  // Scan-grade follower tolerances (the symmetric leader path caps scan
+  // solves the same way); exploitability certification keeps the returned
+  // equilibria honest, and both runs share the settings.
+  options.context.follower.max_iterations = 600;
+  options.context.follower.tolerance = 1e-7;
+  const LeaderStageResult dense =
+      solve_leader_stage(params, budgets, EdgeMode::kConnected, options);
+  options.context.aggregate.dispatch_threshold = 2;
+  const LeaderStageResult aggregate =
+      solve_leader_stage(params, budgets, EdgeMode::kConnected, options);
+  // Follower parity makes the leader profit surfaces match, so the scans
+  // land on the same prices up to the leader tolerance.
+  EXPECT_NEAR(aggregate.prices.edge, dense.prices.edge, 1e-2);
+  EXPECT_NEAR(aggregate.prices.cloud, dense.prices.cloud, 1e-2);
+  EXPECT_NEAR(aggregate.followers.totals.edge, dense.followers.totals.edge,
+              1e-2);
+}
+
+}  // namespace
+}  // namespace hecmine::core
