@@ -47,7 +47,10 @@ void compare_manifests(const Value& baseline, const Value& current,
     // Pre-manifest ledgers: nothing to compare.
     return;
   }
-  for (const char* key : {"git_sha", "build_type", "sanitizer", "compiler"}) {
+  // "isa" catches -march=native (HECMINE_NATIVE) ledgers measured against
+  // generic-ISA baselines — a vectorization mismatch, not a regression.
+  for (const char* key :
+       {"git_sha", "build_type", "sanitizer", "compiler", "isa"}) {
     const Value* base_field = base->find(key);
     const Value* cur_field = cur->find(key);
     if (base_field == nullptr || cur_field == nullptr ||

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/equilibrium_cache.hpp"
+#include "core/kernels.hpp"
 #include "core/miner.hpp"
 #include "support/error.hpp"
 #include "support/telemetry.hpp"
@@ -19,20 +20,6 @@ namespace {
 // core/oracle.cpp) so class-aggregate solves never share a cache key with
 // the dense oracles even when every numeric input coincides.
 constexpr std::uint64_t kTagClassAggregate = 0xA6;
-
-MinerEnv class_env(const NetworkParams& params, const Prices& prices,
-                   double budget, double edge_success, double surcharge,
-                   const Totals& others) {
-  MinerEnv env;
-  env.reward = params.reward;
-  env.fork_rate = params.fork_rate;
-  env.edge_success = edge_success;
-  env.prices = prices;
-  env.edge_surcharge = surcharge;
-  env.budget = budget;
-  env.others = others;
-  return env;
-}
 
 }  // namespace
 
@@ -127,6 +114,11 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
     e[k] = seed[k].edge;
     c[k] = seed[k].cloud;
   }
+
+  // One env for every per-class solve in this fixed point: prices and the
+  // surcharge are loop-invariant, so construction and validation are
+  // hoisted out of the ~500-iteration boundary search below.
+  const KernelEnv kenv = make_kernel_env(params_, prices, edge_success, surcharge);
 
   // Interior KKT constants (paper Eq. 14 with lambda = 0; identical to
   // miner_interior_point, hoisted out of the sweep).
@@ -255,10 +247,10 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
           const double others_e = std::max(0.0, rest_e + (m - 1.0) * be);
           const double others_s =
               std::max(0.0, rest_s + (m - 1.0) * (be + bc));
-          const MinerEnv env = class_env(
-              params_, prices, budget[k], edge_success, surcharge,
-              {others_e, std::max(0.0, others_s - others_e)});
-          const MinerRequest br = miner_best_response(env);
+          const double others_g =
+              others_e + std::max(0.0, others_s - others_e);
+          const MinerRequest br =
+              best_response_kernel(kenv, budget[k], others_e, others_g);
           const double inner_e =
               (1.0 - inner_damping) * be + inner_damping * br.edge;
           const double inner_c =
@@ -326,13 +318,13 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
     // per class covers all N miners).
     double worst = 0.0;
     for (std::size_t k = 0; k < kn; ++k) {
-      const Totals others{std::max(0.0, out.totals.edge - e[k]),
-                          std::max(0.0, out.totals.cloud - c[k])};
-      const MinerEnv env = class_env(params_, prices, budget[k], edge_success,
-                                     surcharge, others);
-      const double current = miner_penalized_utility(env, out.requests[k]);
+      const double oe = std::max(0.0, out.totals.edge - e[k]);
+      const double og = oe + std::max(0.0, out.totals.cloud - c[k]);
+      const double current =
+          penalized_utility_kernel(kenv, e[k], c[k], oe, og);
+      const MinerRequest br = best_response_kernel(kenv, budget[k], oe, og);
       const double best =
-          miner_penalized_utility(env, miner_best_response(env));
+          penalized_utility_kernel(kenv, br.edge, br.cloud, oe, og);
       worst = std::max(worst, best - current);
     }
     out.converged = worst <= 1e-7 * params_.reward;
@@ -341,11 +333,9 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
   // True (surcharge-free) utilities, as in the dense finish_equilibrium.
   out.utilities.resize(kn);
   for (std::size_t k = 0; k < kn; ++k) {
-    const Totals others{std::max(0.0, out.totals.edge - e[k]),
-                        std::max(0.0, out.totals.cloud - c[k])};
-    const MinerEnv env =
-        class_env(params_, prices, budget[k], edge_success, 0.0, others);
-    out.utilities[k] = miner_utility(env, out.requests[k]);
+    const double oe = std::max(0.0, out.totals.edge - e[k]);
+    const double og = oe + std::max(0.0, out.totals.cloud - c[k]);
+    out.utilities[k] = utility_kernel(kenv, e[k], c[k], oe, og);
   }
   return out;
 }

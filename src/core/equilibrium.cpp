@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "core/closed_forms.hpp"
+#include "core/kernels.hpp"
+#include "core/soa.hpp"
 
 #include "game/gnep.hpp"
 #include "numerics/projection.hpp"
@@ -66,18 +68,34 @@ Totals others_of(const Profile& profile, std::size_t player) {
 }
 
 void finish_equilibrium(const NetworkParams& params, const Prices& prices,
-                        const std::vector<double>& budgets,
                         double edge_success, MinerEquilibrium& result) {
   result.totals = aggregate(result.requests);
   result.utilities.resize(result.requests.size());
+  // One hoisted env for the whole profile; utility_kernel mirrors
+  // miner_utility term for term, so the values match the per-miner
+  // MinerEnv construction this loop used to do.
+  const KernelEnv env = make_kernel_env(params, prices, edge_success, 0.0);
   for (std::size_t i = 0; i < result.requests.size(); ++i) {
-    Totals others = result.totals;
-    others.edge -= result.requests[i].edge;
-    others.cloud -= result.requests[i].cloud;
-    const MinerEnv env =
-        make_env(params, prices, budgets[i], edge_success, 0.0, others);
-    result.utilities[i] = miner_utility(env, result.requests[i]);
+    const double oe = result.totals.edge - result.requests[i].edge;
+    const double og = oe + (result.totals.cloud - result.requests[i].cloud);
+    result.utilities[i] = utility_kernel(env, result.requests[i].edge,
+                                         result.requests[i].cloud, oe, og);
   }
+}
+
+/// Seed requests of seed_profile in AoS form (same arithmetic).
+std::vector<MinerRequest> seed_requests(const Prices& prices,
+                                        const std::vector<double>& budgets,
+                                        double edge_cap) {
+  std::vector<MinerRequest> start(budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const double seed_edge =
+        std::min(0.25 * budgets[i] / prices.edge,
+                 0.5 * edge_cap / static_cast<double>(budgets.size()));
+    const double seed_cloud = 0.25 * budgets[i] / prices.cloud;
+    start[i] = {seed_edge, seed_cloud};
+  }
+  return start;
 }
 
 void check_inputs(const NetworkParams& params, const Prices& prices,
@@ -98,29 +116,45 @@ MinerEquilibrium solve_connected_nep(const NetworkParams& params,
                                      const MinerSolveOptions& options) {
   check_inputs(params, prices, budgets);
   const double h = params.edge_success;
-  const game::BestResponseFn oracle = [&](const Profile& profile,
-                                          std::size_t player) {
-    const MinerEnv env = make_env(params, prices, budgets[player], h, 0.0,
-                                  others_of(profile, player));
-    const MinerRequest response = miner_best_response(env);
-    return std::vector<double>{response.edge, response.cloud};
-  };
-  game::BestResponseOptions br;
-  br.damping = options.damping;
-  br.tolerance = options.tolerance;
-  br.max_iterations = options.max_iterations;
-  br.probe = game::ProbeBinding{"nep.best_response", prices.edge, prices.cloud};
-  auto nash = game::solve_best_response(
-      oracle,
-      seed_profile(prices, budgets, std::numeric_limits<double>::infinity()),
-      br);
-
+  const game::ProbeBinding binding{"nep.best_response", prices.edge,
+                                   prices.cloud};
   MinerEquilibrium result;
-  result.requests = to_requests(nash.profile);
-  result.converged = nash.converged;
-  result.iterations = nash.iterations;
-  result.residual = nash.residual;
-  finish_equilibrium(params, prices, budgets, h, result);
+  if (options.use_kernels) {
+    // Batched SoA path: one hoisted KernelEnv, opponent aggregates by
+    // running-total subtraction, Newton boundary solves.
+    const KernelEnv env = make_kernel_env(params, prices, h, 0.0);
+    MinerBatch batch = make_miner_batch(
+        budgets, seed_requests(prices, budgets,
+                               std::numeric_limits<double>::infinity()));
+    const BatchSweepResult sweep = solve_nep_batch(env, batch, options, binding);
+    result.requests = extract_requests(batch);
+    result.converged = sweep.converged;
+    result.iterations = sweep.iterations;
+    result.residual = sweep.residual;
+  } else {
+    // Legacy per-miner std::function sweep (kernels-off ablation path).
+    const game::BestResponseFn oracle = [&](const Profile& profile,
+                                            std::size_t player) {
+      const MinerEnv env = make_env(params, prices, budgets[player], h, 0.0,
+                                    others_of(profile, player));
+      const MinerRequest response = miner_best_response(env);
+      return std::vector<double>{response.edge, response.cloud};
+    };
+    game::BestResponseOptions br;
+    br.damping = options.damping;
+    br.tolerance = options.tolerance;
+    br.max_iterations = options.max_iterations;
+    br.probe = binding;
+    auto nash = game::solve_best_response(
+        oracle,
+        seed_profile(prices, budgets, std::numeric_limits<double>::infinity()),
+        br);
+    result.requests = to_requests(nash.profile);
+    result.converged = nash.converged;
+    result.iterations = nash.iterations;
+    result.residual = nash.residual;
+  }
+  finish_equilibrium(params, prices, h, result);
   if (!result.converged) {
     // The movement test can floor at the line-search noise while the point
     // is already an exact equilibrium; certify by exploitability instead.
@@ -136,37 +170,56 @@ MinerEquilibrium solve_standalone_gnep(const NetworkParams& params,
                                        const std::vector<double>& budgets,
                                        const MinerSolveOptions& options) {
   check_inputs(params, prices, budgets);
-  const game::PenalizedBestResponseFn oracle =
-      [&](const Profile& profile, std::size_t player, double surcharge) {
-        const MinerEnv env = make_env(params, prices, budgets[player], 1.0,
-                                      surcharge, others_of(profile, player));
-        const MinerRequest response = miner_best_response(env);
-        return std::vector<double>{response.edge, response.cloud};
-      };
-  const game::SharedUsageFn usage = [](const Profile& profile) {
-    double edge = 0.0;
-    for (const auto& strategy : profile) edge += strategy[0];
-    return edge;
-  };
-  game::SharedPriceGnepOptions gnep_options;
-  gnep_options.inner.damping = options.damping;
-  gnep_options.inner.tolerance = options.tolerance;
-  gnep_options.inner.max_iterations = options.max_iterations;
-  gnep_options.inner.probe =
-      game::ProbeBinding{"gnep.inner", prices.edge, prices.cloud};
-  gnep_options.surcharge_hi0 = 0.25 * prices.edge;
-  auto gnep = game::solve_shared_price_gnep(
-      oracle, usage, params.edge_capacity,
-      seed_profile(prices, budgets, params.edge_capacity), gnep_options);
-
+  const game::ProbeBinding binding{"gnep.inner", prices.edge, prices.cloud};
   MinerEquilibrium result;
-  result.requests = to_requests(gnep.profile);
-  result.surcharge = gnep.surcharge;
-  result.cap_active = gnep.cap_active;
-  result.converged = gnep.converged;
-  result.iterations = gnep.inner_solves;
-  result.residual = 0.0;
-  finish_equilibrium(params, prices, budgets, 1.0, result);
+  if (options.use_kernels) {
+    // Fused across-miners surcharge bisection on the SoA batch: the batch
+    // iterate is the warm start shared by every inner solve.
+    const KernelEnv env = make_kernel_env(params, prices, 1.0, 0.0);
+    MinerBatch batch = make_miner_batch(
+        budgets, seed_requests(prices, budgets, params.edge_capacity));
+    BatchGnepOptions gnep_options;
+    gnep_options.cap = params.edge_capacity;
+    gnep_options.surcharge_hi0 = 0.25 * prices.edge;
+    const BatchGnepResult gnep =
+        solve_gnep_batch(env, batch, gnep_options, options, binding);
+    result.requests = extract_requests(batch);
+    result.surcharge = gnep.surcharge;
+    result.cap_active = gnep.cap_active;
+    result.converged = gnep.converged;
+    result.iterations = gnep.inner_solves;
+    result.residual = 0.0;
+  } else {
+    // Legacy decomposition (kernels-off ablation path).
+    const game::PenalizedBestResponseFn oracle =
+        [&](const Profile& profile, std::size_t player, double surcharge) {
+          const MinerEnv env = make_env(params, prices, budgets[player], 1.0,
+                                        surcharge, others_of(profile, player));
+          const MinerRequest response = miner_best_response(env);
+          return std::vector<double>{response.edge, response.cloud};
+        };
+    const game::SharedUsageFn usage = [](const Profile& profile) {
+      double edge = 0.0;
+      for (const auto& strategy : profile) edge += strategy[0];
+      return edge;
+    };
+    game::SharedPriceGnepOptions gnep_options;
+    gnep_options.inner.damping = options.damping;
+    gnep_options.inner.tolerance = options.tolerance;
+    gnep_options.inner.max_iterations = options.max_iterations;
+    gnep_options.inner.probe = binding;
+    gnep_options.surcharge_hi0 = 0.25 * prices.edge;
+    auto gnep = game::solve_shared_price_gnep(
+        oracle, usage, params.edge_capacity,
+        seed_profile(prices, budgets, params.edge_capacity), gnep_options);
+    result.requests = to_requests(gnep.profile);
+    result.surcharge = gnep.surcharge;
+    result.cap_active = gnep.cap_active;
+    result.converged = gnep.converged;
+    result.iterations = gnep.inner_solves;
+    result.residual = 0.0;
+  }
+  finish_equilibrium(params, prices, 1.0, result);
   if (!result.converged &&
       result.totals.edge <= params.edge_capacity * (1.0 + 1e-6)) {
     // Same certification as the NEP path: accept when no miner can gain in
@@ -191,12 +244,16 @@ MinerEquilibrium solve_standalone_gnep_vi(const NetworkParams& params,
   std::vector<double> weights(2 * n, 0.0);
   for (std::size_t i = 0; i < n; ++i) weights[2 * i] = 1.0;  // edge coords
 
+  // Env construction/validation hoisted out of the operator: the map is
+  // evaluated thousands of times per extragradient solve and only the
+  // iterate changes between calls.
+  const KernelEnv kenv = make_kernel_env(params, prices, 1.0, 0.0);
   num::VariationalInequality problem;
   problem.project = [&, blocks, weights](const std::vector<double>& point) {
     return num::project_shared_cap(point, blocks, weights,
                                    params.edge_capacity);
   };
-  problem.map = [&](const std::vector<double>& flat) {
+  problem.map = [&, kenv](const std::vector<double>& flat) {
     std::vector<double> f(flat.size());
     Totals totals;
     for (std::size_t i = 0; i < n; ++i) {
@@ -204,13 +261,14 @@ MinerEquilibrium solve_standalone_gnep_vi(const NetworkParams& params,
       totals.cloud += flat[2 * i + 1];
     }
     for (std::size_t i = 0; i < n; ++i) {
-      Totals others = totals;
-      others.edge -= flat[2 * i];
-      others.cloud -= flat[2 * i + 1];
-      const MinerEnv env =
-          make_env(params, prices, budgets[i], 1.0, 0.0, others);
-      const auto [du_de, du_dc] =
-          miner_utility_gradient(env, {flat[2 * i], flat[2 * i + 1]});
+      const double e = flat[2 * i];
+      const double c = flat[2 * i + 1];
+      const double oe = totals.edge - e;
+      const double og = oe + (totals.cloud - c);
+      HECMINE_REQUIRE(og + e + c > 0.0, "gnep_vi map: empty network");
+      double du_de = 0.0;
+      double du_dc = 0.0;
+      gradient_kernel(kenv, e, c, oe, og, du_de, du_dc);
       f[2 * i] = -du_de;
       f[2 * i + 1] = -du_dc;
     }
@@ -230,22 +288,22 @@ MinerEquilibrium solve_standalone_gnep_vi(const NetworkParams& params,
   result.converged = vi.converged;
   result.iterations = vi.iterations;
   result.residual = vi.residual;
-  finish_equilibrium(params, prices, budgets, 1.0, result);
+  finish_equilibrium(params, prices, 1.0, result);
   result.cap_active =
       result.totals.edge >= params.edge_capacity - 1e-6 * (1.0 + params.edge_capacity);
   // Recover the shared multiplier from any miner with interior edge request:
   // at the variational equilibrium, dU/de = mu for such miners.
   for (std::size_t i = 0; i < n && result.cap_active; ++i) {
     if (result.requests[i].edge > 1e-9) {
-      Totals others = result.totals;
-      others.edge -= result.requests[i].edge;
-      others.cloud -= result.requests[i].cloud;
-      const MinerEnv env =
-          make_env(params, prices, budgets[i], 1.0, 0.0, others);
-      const double spend = request_cost(result.requests[i], env.prices);
+      const double spend = request_cost(result.requests[i], prices);
       if (spend < budgets[i] - 1e-7 * (1.0 + budgets[i])) {
-        result.surcharge =
-            std::max(0.0, miner_utility_gradient(env, result.requests[i]).first);
+        const double oe = result.totals.edge - result.requests[i].edge;
+        const double og = oe + (result.totals.cloud - result.requests[i].cloud);
+        double du_de = 0.0;
+        double du_dc = 0.0;
+        gradient_kernel(kenv, result.requests[i].edge, result.requests[i].cloud,
+                        oe, og, du_de, du_dc);
+        result.surcharge = std::max(0.0, du_de);
         break;
       }
     }
@@ -265,6 +323,10 @@ SymmetricEquilibrium symmetric_fixed_point(const NetworkParams& params,
   SymmetricEquilibrium result;
   MinerRequest current = seed;
   const double dn = static_cast<double>(n);
+  // Env construction and validation hoisted out of the loop: prices and
+  // the surcharge are fixed for the whole solve, only the opponent
+  // aggregates change per sweep.
+  const KernelEnv env = make_kernel_env(params, prices, edge_success, surcharge);
   // Probe gating hoisted out of the loop; the disarmed path costs one
   // thread-local read per solve (this is the symmetric hot path).
   support::Telemetry* telemetry = support::current_telemetry();
@@ -273,18 +335,10 @@ SymmetricEquilibrium symmetric_fixed_point(const NetworkParams& params,
       telemetry != nullptr ? telemetry->probe.next_solve_id() : 0;
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
-    Totals others;
-    others.edge = (dn - 1.0) * current.edge;
-    others.cloud = (dn - 1.0) * current.cloud;
-    MinerEnv env;
-    env.reward = params.reward;
-    env.fork_rate = params.fork_rate;
-    env.edge_success = edge_success;
-    env.prices = prices;
-    env.edge_surcharge = surcharge;
-    env.budget = budget;
-    env.others = others;
-    const MinerRequest response = miner_best_response(env);
+    const double others_edge = (dn - 1.0) * current.edge;
+    const double others_grand = others_edge + (dn - 1.0) * current.cloud;
+    const MinerRequest response =
+        best_response_kernel(env, budget, others_edge, others_grand);
     const double change = std::max(std::abs(response.edge - current.edge),
                                    std::abs(response.cloud - current.cloud));
     current.edge = (1.0 - options.damping) * current.edge +
@@ -506,16 +560,17 @@ double miner_exploitability(const NetworkParams& params, const Prices& prices,
                   "miner_exploitability: profile/budget size mismatch");
   const double h = mode_connected ? params.edge_success : 1.0;
   const Totals totals = aggregate(requests);
+  // One hoisted env for the whole audit loop; the opponent aggregates come
+  // from running-total subtraction exactly as the per-miner Totals did.
+  const KernelEnv env = make_kernel_env(params, prices, h, surcharge);
   double worst = 0.0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    Totals others = totals;
-    others.edge -= requests[i].edge;
-    others.cloud -= requests[i].cloud;
-    const MinerEnv env =
-        make_env(params, prices, budgets[i], h, surcharge, others);
-    const double current = miner_penalized_utility(env, requests[i]);
-    const double best =
-        miner_penalized_utility(env, miner_best_response(env));
+    const double oe = totals.edge - requests[i].edge;
+    const double og = oe + (totals.cloud - requests[i].cloud);
+    const double current = penalized_utility_kernel(env, requests[i].edge,
+                                                    requests[i].cloud, oe, og);
+    const MinerRequest br = best_response_kernel(env, budgets[i], oe, og);
+    const double best = penalized_utility_kernel(env, br.edge, br.cloud, oe, og);
     worst = std::max(worst, best - current);
   }
   return worst;

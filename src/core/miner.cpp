@@ -1,9 +1,8 @@
 #include "core/miner.hpp"
 
-#include <algorithm>
 #include <cmath>
 
-#include "numerics/optimize.hpp"
+#include "core/kernels.hpp"
 #include "support/error.hpp"
 
 namespace hecmine::core {
@@ -23,25 +22,16 @@ void MinerEnv::validate() const {
                   "MinerEnv: opponent totals must be non-negative");
 }
 
-namespace {
-
-/// Expected winning probability of Eq. (9)/(23) with degenerate-pool guards.
-double win_probability(const MinerEnv& env, const MinerRequest& own) {
-  const double s = env.others.grand() + own.total();
-  if (s <= 0.0) return 0.0;
-  const double base = (1.0 - env.fork_rate) * own.total() / s;
-  if (own.edge <= 0.0) return base;
-  const double e_total = env.others.edge + own.edge;
-  return base + env.fork_rate * env.edge_success * own.edge / e_total;
-}
-
-}  // namespace
+// The scalar entry points below are thin wrappers over the batch-of-one
+// kernels in core/kernels.cpp; the kernels mirror the historical
+// expressions term for term, so these wrappers are bitwise-identical to
+// the pre-kernel implementations on the smooth paths.
 
 double miner_utility(const MinerEnv& env, const MinerRequest& own) {
   HECMINE_REQUIRE(own.edge >= 0.0 && own.cloud >= 0.0,
                   "miner_utility: requests must be non-negative");
-  return env.reward * win_probability(env, own) -
-         request_cost(own, env.prices);
+  return utility_kernel(make_kernel_env(env), own.edge, own.cloud,
+                        env.others.edge, env.others.grand());
 }
 
 double miner_penalized_utility(const MinerEnv& env, const MinerRequest& own) {
@@ -50,20 +40,12 @@ double miner_penalized_utility(const MinerEnv& env, const MinerRequest& own) {
 
 std::pair<double, double> miner_utility_gradient(const MinerEnv& env,
                                                  const MinerRequest& own) {
-  const double s = env.others.grand() + own.total();
-  HECMINE_REQUIRE(s > 0.0, "miner_utility_gradient: empty network");
-  const double s_others = env.others.grand();
-  const double share_term =
-      env.reward * (1.0 - env.fork_rate) * s_others / (s * s);
-  double edge_term = 0.0;
-  const double e_total = env.others.edge + own.edge;
-  if (e_total > 0.0) {
-    edge_term = env.reward * env.fork_rate * env.edge_success *
-                env.others.edge / (e_total * e_total);
-  }
-  const double du_de =
-      share_term + edge_term - env.prices.edge - env.edge_surcharge;
-  const double du_dc = share_term - env.prices.cloud;
+  HECMINE_REQUIRE(env.others.grand() + own.total() > 0.0,
+                  "miner_utility_gradient: empty network");
+  double du_de = 0.0;
+  double du_dc = 0.0;
+  gradient_kernel(make_kernel_env(env), own.edge, own.cloud, env.others.edge,
+                  env.others.grand(), du_de, du_dc);
   return {du_de, du_dc};
 }
 
@@ -89,78 +71,10 @@ MinerRequest miner_interior_point(const MinerEnv& env) {
   return interior;
 }
 
-namespace {
-
-/// Maximizes the concave penalized utility along the parametrized segment
-/// request(t), t in [lo, hi].
-MinerRequest maximize_on_segment(
-    const MinerEnv& env, double lo, double hi,
-    const std::function<MinerRequest(double)>& request_at) {
-  if (hi <= lo) return request_at(lo);
-  num::Maximize1DOptions options;
-  options.tolerance = 1e-12 * (1.0 + hi - lo);
-  options.max_iterations = 400;
-  const auto objective = [&](double t) {
-    return miner_penalized_utility(env, request_at(t));
-  };
-  const auto best = num::golden_section_maximize(objective, lo, hi, options);
-  return request_at(best.argmax);
-}
-
-}  // namespace
-
 MinerRequest miner_best_response(const MinerEnv& env) {
   env.validate();
-  if (env.budget <= 0.0) return {0.0, 0.0};
-  const double max_edge = env.budget / env.prices.edge;
-  const double max_cloud = env.budget / env.prices.cloud;
-
-  // Degenerate opponents: the supremum is approached as the request shrinks
-  // to zero, where the contest share jumps. Return a small probe so
-  // best-response dynamics can bootstrap a live market (epsilon-BR).
-  if (env.others.grand() <= 0.0) {
-    const double probe = std::min(1e-6, 0.5 * max_edge);
-    return {probe, 0.0};
-  }
-
-  std::vector<MinerRequest> candidates;
-
-  // 1. Interior stationary point (exact KKT with inactive constraints).
-  const double effective_edge_price = env.prices.edge + env.edge_surcharge;
-  if (effective_edge_price > env.prices.cloud && env.others.edge > 0.0) {
-    const MinerRequest interior = miner_interior_point(env);
-    if (interior.edge >= 0.0 && interior.cloud >= 0.0 &&
-        request_cost(interior, env.prices) <= env.budget) {
-      candidates.push_back(interior);
-    }
-  }
-
-  // 2. Budget line: P_e e + P_c c = B, e in [0, B/P_e].
-  candidates.push_back(maximize_on_segment(
-      env, 0.0, max_edge, [&](double e) -> MinerRequest {
-        const double c = (env.budget - env.prices.edge * e) / env.prices.cloud;
-        return {e, std::max(c, 0.0)};
-      }));
-
-  // 3. Edge axis: c = 0.
-  candidates.push_back(maximize_on_segment(
-      env, 0.0, max_edge, [&](double e) -> MinerRequest { return {e, 0.0}; }));
-
-  // 4. Cloud axis: e = 0.
-  candidates.push_back(maximize_on_segment(
-      env, 0.0, max_cloud,
-      [&](double c) -> MinerRequest { return {0.0, c}; }));
-
-  MinerRequest best{0.0, 0.0};
-  double best_value = miner_penalized_utility(env, best);
-  for (const auto& candidate : candidates) {
-    const double value = miner_penalized_utility(env, candidate);
-    if (value > best_value) {
-      best_value = value;
-      best = candidate;
-    }
-  }
-  return best;
+  return best_response_kernel(make_kernel_env(env), env.budget,
+                              env.others.edge, env.others.grand());
 }
 
 }  // namespace hecmine::core

@@ -7,6 +7,7 @@
 
 #include "core/aggregate_oracle.hpp"
 #include "core/equilibrium_cache.hpp"
+#include "core/kernels.hpp"
 #include "core/miner.hpp"
 #include "core/scenario.hpp"
 #include "support/error.hpp"
@@ -30,22 +31,6 @@ std::uint64_t mix_budgets(std::uint64_t h, const std::vector<double>& budgets) {
   h = hash_mix(h, static_cast<std::uint64_t>(budgets.size()));
   for (double budget : budgets) h = hash_mix(h, budget);
   return h;
-}
-
-MinerEnv symmetric_env(const NetworkParams& params, const Prices& prices,
-                       double budget, int n, EdgeMode mode,
-                       const MinerRequest& request) {
-  MinerEnv env;
-  env.reward = params.reward;
-  env.fork_rate = params.fork_rate;
-  env.edge_success =
-      mode == EdgeMode::kConnected ? params.edge_success : 1.0;
-  env.prices = prices;
-  env.edge_surcharge = 0.0;  // true utility, as in the profile solvers
-  env.budget = budget;
-  const double others = static_cast<double>(n) - 1.0;
-  env.others = {others * request.edge, others * request.cloud};
-  return env;
 }
 
 }  // namespace
@@ -108,7 +93,8 @@ EquilibriumProfile to_profile(const MinerEquilibrium& eq) {
 
 EquilibriumProfile to_profile(const SymmetricEquilibrium& eq,
                               const NetworkParams& params, const Prices& prices,
-                              double budget, int n, EdgeMode mode) {
+                              [[maybe_unused]] double budget, int n,
+                              EdgeMode mode) {
   HECMINE_REQUIRE(n >= 1, "to_profile: miner count must be >= 1");
   EquilibriumProfile profile;
   profile.miner_count = n;
@@ -116,9 +102,15 @@ EquilibriumProfile to_profile(const SymmetricEquilibrium& eq,
   profile.requests = {eq.request};
   const double dn = static_cast<double>(n);
   profile.totals = {dn * eq.request.edge, dn * eq.request.cloud};
-  const MinerEnv env = symmetric_env(params, prices, budget, n, mode,
-                                     eq.request);
-  profile.utilities = {miner_utility(env, eq.request)};
+  // True (surcharge-free) utility at the symmetric point, as in the profile
+  // solvers; one kernel env replaces the per-call MinerEnv construction.
+  const double edge_success =
+      mode == EdgeMode::kConnected ? params.edge_success : 1.0;
+  const KernelEnv env = make_kernel_env(params, prices, edge_success, 0.0);
+  const double others_edge = (dn - 1.0) * eq.request.edge;
+  const double others_grand = others_edge + (dn - 1.0) * eq.request.cloud;
+  profile.utilities = {utility_kernel(env, eq.request.edge, eq.request.cloud,
+                                      others_edge, others_grand)};
   profile.surcharge = eq.surcharge;
   profile.cap_active = eq.cap_active;
   profile.converged = eq.converged;

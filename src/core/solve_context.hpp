@@ -35,6 +35,16 @@ struct MinerSolveOptions {
   double tolerance = 1e-9;    ///< profile max-norm change at convergence
   int max_iterations = 4000;
   double vi_tolerance = 1e-8; ///< natural-residual target of the VI solver
+  /// Run the profile solvers on the batched SoA kernels (core/kernels.hpp).
+  /// Off restores the legacy per-miner std::function sweep machinery —
+  /// kept for the kernels-on/off bench ablation and as an escape hatch.
+  bool use_kernels = true;
+  /// Sweeps between convergence / probe / stall-damping checkpoints in the
+  /// batched drivers (>= 1). Probe data across the tracked workloads puts
+  /// typical solves at tens of sweeps, so checking every 4th trades at
+  /// most 3 overshoot sweeps for 4x less bookkeeping; 1 restores the
+  /// legacy check-every-sweep cadence.
+  int convergence_stride = 4;
 
   /// Member-wise equality; lets option merging detect "still the default"
   /// (see the deprecated shims in SpSolveOptions).

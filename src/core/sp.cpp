@@ -160,6 +160,27 @@ game::StackelbergResult run_leader_best_response(const NetworkParams& params,
   return game::solve_stackelberg(payoff, start, {box.edge, box.cloud}, driver);
 }
 
+/// CSP reaction P_c*(P_e) against a given follower oracle over a given
+/// price box. Shared by csp_reaction_homogeneous and the sequential leader
+/// solver so the latter reuses ONE scan oracle across the whole composite
+/// scan instead of re-validating params and rebuilding the oracle at every
+/// composite point.
+double csp_reaction_with_oracle(const NetworkParams& params,
+                                const FollowerOracle& oracle,
+                                const PriceBox& box, double price_edge,
+                                const SpSolveOptions& options) {
+  num::Maximize1DOptions scan_options;
+  scan_options.grid_points = options.grid_points;
+  scan_options.tolerance = 1e-8;
+  const auto objective = [&](double price_cloud) {
+    const Prices prices{price_edge, price_cloud};
+    return sp_profits(params, prices, oracle.solve(prices).totals).cloud;
+  };
+  return num::maximize_scan(objective, box.cloud.lo, box.cloud.hi,
+                            scan_options)
+      .argmax;
+}
+
 /// Oracle-generic Theorem 4 construction: compute the CSP's numeric
 /// reaction curve P_c*(P_e) against the given follower oracle, substitute
 /// it into V_e and maximize the one-dimensional composite. Mirrors
@@ -171,16 +192,8 @@ LeaderStageResult sequential_with_oracle(const NetworkParams& params,
                                          const PriceBox& box,
                                          const SpSolveOptions& options,
                                          const SolveContext& context) {
-  num::Maximize1DOptions reaction;
-  reaction.grid_points = options.grid_points;
-  reaction.tolerance = 1e-8;
   const auto csp_reaction = [&](double price_edge) {
-    const auto objective = [&](double price_cloud) {
-      const Prices prices{price_edge, price_cloud};
-      return sp_profits(params, prices, oracle.solve(prices).totals).cloud;
-    };
-    return num::maximize_scan(objective, box.cloud.lo, box.cloud.hi, reaction)
-        .argmax;
+    return csp_reaction_with_oracle(params, oracle, box, price_edge, options);
   };
   num::Maximize1DOptions scan;
   scan.grid_points = std::max(4 * options.grid_points, 160);
@@ -255,16 +268,7 @@ double csp_reaction_homogeneous(const NetworkParams& params, double budget,
   const SolveContext context = options.resolved_context();
   const PriceBox box = price_box(params, options);
   const auto scan = homogeneous_oracle(params, budget, n, mode, context, true);
-  num::Maximize1DOptions scan_options;
-  scan_options.grid_points = options.grid_points;
-  scan_options.tolerance = 1e-8;
-  const auto objective = [&](double price_cloud) {
-    const Prices prices{price_edge, price_cloud};
-    return sp_profits(params, prices, scan->solve(prices).totals).cloud;
-  };
-  return num::maximize_scan(objective, box.cloud.lo, box.cloud.hi,
-                            scan_options)
-      .argmax;
+  return csp_reaction_with_oracle(params, *scan, box, price_edge, options);
 }
 
 LeaderStageResult solve_leader_stage_sequential(const NetworkParams& params,
@@ -289,10 +293,13 @@ LeaderStageResult solve_leader_stage_sequential(const NetworkParams& params,
   // V_e with the CSP reaction substituted (Theorem 4's re-written Eq. 22).
   // Each composite point is one full reaction-curve solve, so the outer
   // scan is the expensive stage — fan it out over the pool (the nested
-  // reaction scans stay serial inside each point).
+  // reaction scans stay serial inside each point). The reaction shares
+  // this scope's scan oracle: rebuilding it per composite point would
+  // re-validate params and redo the oracle setup a few hundred times.
   const auto composite = [&](double price_edge) {
     const double price_cloud =
-        csp_reaction_homogeneous(params, budget, n, mode, price_edge, options);
+        csp_reaction_with_oracle(params, *scan_oracle, box, price_edge,
+                                 options);
     const Prices prices{price_edge, price_cloud};
     return sp_profits(params, prices, scan_oracle->solve(prices).totals).edge;
   };
@@ -303,7 +310,7 @@ LeaderStageResult solve_leader_stage_sequential(const NetworkParams& params,
   Prices prices;
   prices.edge = best.argmax;
   prices.cloud =
-      csp_reaction_homogeneous(params, budget, n, mode, prices.edge, options);
+      csp_reaction_with_oracle(params, *scan_oracle, box, prices.edge, options);
   const auto full = homogeneous_oracle(params, budget, n, mode, context, false);
   auto result = finish_leader_stage(params, *full, prices);
   result.method = SpSolveMethod::kSequential;

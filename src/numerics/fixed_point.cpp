@@ -22,8 +22,11 @@ FixedPointResult iterate_fixed_point(
                   "fixed-point damping must be in (0, 1]");
   FixedPointResult result;
   result.point = std::move(start);
+  // Image buffer hoisted out of the loop (move-assigned from the map's
+  // return each sweep).
+  std::vector<double> image;
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    const std::vector<double> image = map(result.point);
+    image = map(result.point);
     HECMINE_REQUIRE(image.size() == result.point.size(),
                     "fixed-point map must preserve dimension");
     result.residual = max_norm_diff(image, result.point);

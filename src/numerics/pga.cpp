@@ -27,15 +27,18 @@ PgaResult projected_gradient_ascent(
     return central_gradient(objective, x, options.gradient_step);
   };
 
+  // Candidate buffer hoisted out of the backtracking loop; only project's
+  // own return allocates inside the line search.
+  std::vector<double> candidate;
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
     const auto grad = eval_gradient(result.point);
     bool accepted = false;
     for (int backtrack = 0; backtrack < 60; ++backtrack) {
-      std::vector<double> trial(result.point.size());
-      for (std::size_t i = 0; i < trial.size(); ++i)
-        trial[i] = result.point[i] + step * grad[i];
-      trial = project(trial);
+      candidate.resize(result.point.size());
+      for (std::size_t i = 0; i < candidate.size(); ++i)
+        candidate[i] = result.point[i] + step * grad[i];
+      std::vector<double> trial = project(candidate);
       const double movement = max_norm_diff(trial, result.point);
       if (movement < options.tolerance) {
         // Stationary: the projected gradient step no longer moves the point.

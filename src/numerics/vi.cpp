@@ -28,11 +28,14 @@ void record_vi_solve(const VIResult& result, std::uint64_t backtracks) {
 
 namespace {
 
-std::vector<double> axpy(const std::vector<double>& x, double alpha,
-                         const std::vector<double>& y) {
-  std::vector<double> out(x.size());
+/// out[i] = x[i] + alpha * y[i], into a caller-owned buffer. The solver
+/// loop below runs thousands of these per solve; writing into a reused
+/// buffer keeps the inner iteration allocation-free outside the user
+/// callbacks.
+void axpy_into(const std::vector<double>& x, double alpha,
+               const std::vector<double>& y, std::vector<double>& out) {
+  out.resize(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + alpha * y[i];
-  return out;
 }
 
 double norm2(const std::vector<double>& x) {
@@ -48,11 +51,26 @@ std::vector<double> subtract(const std::vector<double>& a,
   return out;
 }
 
+/// ||a - b||_2 without materializing the difference; the per-element
+/// arithmetic ((a[i] - b[i]) squared, summed in index order) matches
+/// norm2(subtract(a, b)) exactly.
+double diff_norm2(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double v = a[i] - b[i];
+    sum += v * v;
+  }
+  return std::sqrt(sum);
+}
+
 }  // namespace
 
 double natural_residual(const VariationalInequality& problem,
                         const std::vector<double>& point) {
-  const auto step = problem.project(axpy(point, -1.0, problem.map(point)));
+  const auto f = problem.map(point);
+  std::vector<double> shifted;
+  axpy_into(point, -1.0, f, shifted);
+  const auto step = problem.project(shifted);
   return max_norm_diff(point, step);
 }
 
@@ -79,24 +97,29 @@ VIResult solve_extragradient(const VariationalInequality& problem,
   if (probe_sink != nullptr && !probe_sink->probe.armed()) probe_sink = nullptr;
   const std::uint64_t solve_id =
       probe_sink != nullptr ? probe_sink->probe.next_solve_id() : 0;
+  // Step buffers hoisted out of the loop; the backtracking inner loop is
+  // allocation-free apart from whatever map/project themselves return.
+  std::vector<double> y;
+  std::vector<double> f_y;
+  std::vector<double> scratch;
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
     const auto f_x = problem.map(result.point);
     // Backtracking: shrink tau until the extrapolation step satisfies the
     // standard Lipschitz-surrogate test tau * ||F(x) - F(y)|| <= nu ||x - y||.
-    std::vector<double> y;
-    std::vector<double> f_y;
     constexpr double kNu = 0.9;
     for (int backtrack = 0; backtrack < 60; ++backtrack) {
-      y = problem.project(axpy(result.point, -tau, f_x));
+      axpy_into(result.point, -tau, f_x, scratch);
+      y = problem.project(scratch);
       f_y = problem.map(y);
-      const double lhs = tau * norm2(subtract(f_x, f_y));
-      const double rhs = kNu * norm2(subtract(result.point, y));
+      const double lhs = tau * diff_norm2(f_x, f_y);
+      const double rhs = kNu * diff_norm2(result.point, y);
       if (lhs <= rhs || rhs == 0.0) break;
       tau *= options.backtrack;
       ++backtracks;
     }
-    const auto next = problem.project(axpy(result.point, -tau, f_y));
+    axpy_into(result.point, -tau, f_y, scratch);
+    const auto next = problem.project(scratch);
     const double movement = max_norm_diff(next, result.point);
     result.point = next;
     if (probe_sink != nullptr) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/kernels.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -39,6 +40,11 @@ FictitiousPlayResult run_fictitious_play(const core::NetworkParams& params,
   std::vector<std::size_t> order(pool);
   std::iota(order.begin(), order.end(), std::size_t{0});
 
+  // Env construction and validation hoisted out of the block loop: only
+  // the per-miner beliefs change between best responses.
+  const core::KernelEnv env =
+      core::make_kernel_env(params, prices, config.edge_success, 0.0);
+
   for (int block = 0; block < config.blocks; ++block) {
     const int active_count = std::min<int>(population.sample(rng),
                                            static_cast<int>(pool));
@@ -48,14 +54,8 @@ FictitiousPlayResult run_fictitious_play(const core::NetworkParams& params,
 
     // Active miners best-respond to their current beliefs.
     for (std::size_t index : active) {
-      core::MinerEnv env;
-      env.reward = params.reward;
-      env.fork_rate = params.fork_rate;
-      env.edge_success = config.edge_success;
-      env.prices = prices;
-      env.budget = budget;
-      env.others = beliefs[index];
-      strategies[index] = core::miner_best_response(env);
+      strategies[index] = core::best_response_kernel(
+          env, budget, beliefs[index].edge, beliefs[index].grand());
     }
 
     // The network publishes the round's aggregate demand.

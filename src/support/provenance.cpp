@@ -20,6 +20,9 @@
 #ifndef HECMINE_SANITIZE_MODE
 #define HECMINE_SANITIZE_MODE ""
 #endif
+#ifndef HECMINE_ISA
+#define HECMINE_ISA "generic"
+#endif
 
 namespace hecmine::support::provenance {
 
@@ -62,6 +65,7 @@ RunManifest collect() {
   manifest.build_type = HECMINE_BUILD_TYPE;
   manifest.compiler = compiler_string();
   manifest.sanitizer = HECMINE_SANITIZE_MODE;
+  manifest.isa = HECMINE_ISA;
   manifest.hardware_concurrency =
       static_cast<int>(std::thread::hardware_concurrency());
 #if defined(__unix__) || defined(__APPLE__)
@@ -95,6 +99,7 @@ void write(json::Writer& writer, const RunManifest& manifest) {
   writer.member("build_type", manifest.build_type);
   writer.member("compiler", manifest.compiler);
   writer.member("sanitizer", manifest.sanitizer);
+  writer.member("isa", manifest.isa);
   writer.member("os", manifest.os);
   writer.member("host", manifest.host);
   writer.member("hardware_concurrency", manifest.hardware_concurrency);

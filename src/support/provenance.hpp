@@ -8,7 +8,7 @@
 // RunManifest (schema hecmine.manifest.v1) pins down:
 //
 //   * the build  — git sha (baked at configure time), CMake build type,
-//     compiler id + version, sanitizer mode,
+//     compiler id + version, sanitizer mode, ISA flag string,
 //   * the host   — OS/hostname and hardware concurrency,
 //   * the run    — resolved thread count, RNG root seed, CLI arguments,
 //   * the schemas — the version of every artifact format this binary
@@ -56,6 +56,8 @@ struct RunManifest {
   std::string build_type;  ///< CMAKE_BUILD_TYPE
   std::string compiler;    ///< compiler id + __VERSION__
   std::string sanitizer;   ///< HECMINE_SANITIZE ("" = none)
+  std::string isa;         ///< ISA flag string ("generic", or
+                           ///< "-march=native" under HECMINE_NATIVE)
   std::string os;          ///< uname sysname + release
   std::string host;        ///< uname nodename
   int hardware_concurrency = 0;

@@ -186,6 +186,27 @@ TEST(BenchCompare, ManifestMismatchWarnsWithoutFailing) {
       << os.str();
 }
 
+TEST(BenchCompare, IsaMismatchWarnsWithoutFailing) {
+  // A -march=native (HECMINE_NATIVE) ledger compared against a generic-ISA
+  // baseline is a vectorization mismatch: warn, never gate.
+  const std::string base = ledger(100.0, 50.0, 0.0, 0.0);
+  const auto with_isa = [&](const std::string& isa) {
+    std::string text = base;
+    const std::string manifest =
+        R"("manifest": {"schema": "hecmine.manifest.v1", "isa": ")" + isa +
+        R"("}, )";
+    text.insert(1, manifest);
+    return text;
+  };
+  const Value baseline = parse(with_isa("generic"));
+  const Value current = parse(with_isa("-march=native"));
+  const auto result = bench::compare_bench_json(baseline, current);
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("isa"), std::string::npos);
+  EXPECT_NE(result.warnings[0].find("-march=native"), std::string::npos);
+}
+
 TEST(BenchCompare, MatchingOrAbsentManifestsProduceNoWarnings) {
   const std::string base = ledger(100.0, 50.0, 0.0, 0.0);
   const Value bare = parse(base);  // pre-manifest ledger
