@@ -1,10 +1,13 @@
 // CI perf-regression gate over hecmine.bench.v1 ledger files.
 //
 //   bench_compare <baseline.json> <current.json> [--max-regression=0.15]
-//                 [--min-ms=1.0] [--no-config-check] [--no-audit-check]
+//                 [--min-ms=1.0] [--max-work-regression=0.10]
+//                 [--no-config-check] [--no-audit-check]
+//                 [--no-counter-check] [--strict]
 //
-// Exit codes: 0 = within tolerance, 1 = regression (timing or equilibrium
-// quality), 2 = usage / IO / schema error.
+// Exit codes: 0 = within tolerance, 1 = regression (timing, equilibrium
+// quality, or deterministic work counters; in --strict mode also any
+// provenance warning), 2 = usage / IO / schema error.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -18,16 +21,26 @@ int main(int argc, char** argv) {
   if (args.positional().size() != 2) {
     std::cerr << "usage: bench_compare <baseline.json> <current.json> "
                  "[--max-regression=R] [--min-ms=M]\n"
-                 "       [--no-config-check] [--no-audit-check]\n";
+                 "       [--max-work-regression=W] [--no-config-check] "
+                 "[--no-audit-check]\n"
+                 "       [--no-counter-check] [--strict]\n";
     return 2;
   }
   bench::CompareOptions options;
   options.max_regression = args.get("max-regression", options.max_regression);
   options.min_ms = args.get("min-ms", options.min_ms);
+  options.max_work_regression =
+      args.get("max-work-regression", options.max_work_regression);
   options.check_config = !args.has("no-config-check");
   options.check_audit = !args.has("no-audit-check");
+  options.check_counters = !args.has("no-counter-check");
+  options.strict = args.has("strict");
   if (options.max_regression <= 0.0) {
     std::cerr << "bench_compare: --max-regression must be positive\n";
+    return 2;
+  }
+  if (options.max_work_regression <= 0.0) {
+    std::cerr << "bench_compare: --max-work-regression must be positive\n";
     return 2;
   }
   const bench::CompareResult result = bench::compare_bench_files(

@@ -9,6 +9,7 @@
 // the perf trajectory is tracked across PRs.
 //
 //   --miners=N --budget=B --grid=G --threads=T (0 = auto) --repeat=R
+//   --perf-sampler (opt-in hardware counters in the telemetry pass)
 //
 // Thread speedup scales with the host's cores (a 1-core CI box reports
 // ~1x); the cache hit rate does not depend on the host.
@@ -99,6 +100,7 @@ struct BenchConfig {
 
 void write_json(const std::string& path, int threads,
                 const BenchConfig& config, const std::vector<RunResult>& runs,
+                const std::vector<bench::WorkLedgerEntry>& counters,
                 const core::AuditReport& audit,
                 const support::provenance::RunManifest& manifest) {
   std::filesystem::create_directories(
@@ -155,6 +157,7 @@ void write_json(const std::string& path, int threads,
     writer.end_object();
   }
   writer.end_array();
+  bench::write_counters(writer, counters);
   writer.key("audit");
   writer.begin_object();
   writer.member("best_response_gap", audit.best_response_gap);
@@ -317,11 +320,39 @@ int main(int argc, char** argv) {
   const core::AuditReport audit = core::audit_equilibrium(
       audit_scenario, equilibrium_prices, audit_profile, audit_options);
 
+  // Deterministic work accounting, separate from the timed runs (those
+  // stay sink-free): one serial instrumented pass per distinct
+  // computation. Serial/parallel label pairs share a pass — the parallel
+  // run is asserted bitwise identical above, so its work is by
+  // construction the serial pass's work.
+  std::vector<bench::WorkLedgerEntry> counters;
+  const auto count_labels = [&](std::initializer_list<const char*> labels,
+                                bool cached, const auto& solve) {
+    const support::prof::WorkCounters work = bench::counted_pass([&] {
+      core::FollowerEquilibriumCache cache(cache_capacity);
+      (void)solve(cached ? &cache : nullptr);
+    });
+    for (const char* label : labels) counters.push_back({label, 1, work});
+  };
+  count_labels({"homogeneous/serial", "homogeneous/parallel"}, false,
+               homogeneous(1));
+  count_labels({"homogeneous/serial+cache", "homogeneous/parallel+cache"},
+               true, homogeneous(1));
+  count_labels({"heterogeneous/serial"}, false, heterogeneous(1));
+  count_labels({"heterogeneous/parallel+cache"}, true, heterogeneous(1));
+  count_labels({"heterogeneous/serial/kernels-off"}, false,
+               heterogeneous_legacy(1));
+
   // Run provenance, embedded in the ledger and every telemetry/trace
   // export so bench_compare can warn when two ledgers came from different
-  // builds.
-  const support::provenance::RunManifest manifest = support::provenance::collect(
+  // builds. The optional perf sampler's state (off / on / unavailable)
+  // rides in the manifest so a ledger reveals whether hardware counters
+  // were being read during its telemetry pass.
+  support::provenance::RunManifest manifest = support::provenance::collect(
       threads, core::SolveContext{}.rng_root, argc, argv);
+  support::prof::PerfSampler perf_sampler;
+  if (args.has("perf-sampler")) perf_sampler.open();
+  manifest.perf_sampler = perf_sampler.status();
 
   BenchConfig config;
   config.miners = n;
@@ -331,7 +362,7 @@ int main(int argc, char** argv) {
   config.hetero_miners = hetero_n;
   config.max_rounds = base.max_rounds;
   write_json("bench_out/BENCH_leader_stage.json", threads, config, runs,
-             audit, manifest);
+             counters, audit, manifest);
   std::cout << "[json] bench_out/BENCH_leader_stage.json\n";
 
   // Telemetry/trace pass: deliberately separate from the timed runs above
@@ -344,6 +375,7 @@ int main(int argc, char** argv) {
   if (!telemetry_path.empty() || !trace_path.empty()) {
     support::Telemetry telemetry;
     telemetry.manifest = manifest;
+    if (perf_sampler.live()) telemetry.trace.set_perf_sampler(&perf_sampler);
     core::FollowerEquilibriumCache cache(cache_capacity);
     core::SpSolveOptions options = base;
     options.context.threads = threads;

@@ -17,6 +17,7 @@
 //   --n-list=1000,10000,100000,1000000 --classes=8 --budget=200
 //   --repeat=3 --audit-miners=16 --price-edge=2.0 --price-cloud=1.0
 //   --dense-limit=1000
+//   --perf-sampler (opt-in hardware counters in the telemetry pass)
 //
 // Emits machine-readable JSON (hecmine.bench.v1) to
 // bench_out/BENCH_perf_scale.json.
@@ -155,6 +156,7 @@ std::vector<double> class_budgets(int n, int classes, double budget) {
 
 void write_json(const std::string& path, int threads,
                 const BenchConfig& config, const std::vector<RunResult>& runs,
+                const std::vector<bench::WorkLedgerEntry>& counters,
                 const core::AuditReport& audit, double speedup_vs_dense,
                 const support::provenance::RunManifest& manifest) {
   std::filesystem::create_directories(
@@ -202,6 +204,7 @@ void write_json(const std::string& path, int threads,
     writer.end_object();
   }
   writer.end_array();
+  bench::write_counters(writer, counters);
   writer.key("audit");
   writer.begin_object();
   writer.member("best_response_gap", audit.best_response_gap);
@@ -255,6 +258,15 @@ int main(int argc, char** argv) {
   audit_context.aggregate.max_classes = std::max(64, classes);
 
   std::vector<RunResult> runs;
+  // Deterministic work accounting: one serial instrumented pass per row,
+  // separate from the timed repetitions (those stay sink-free). The
+  // oracle solves are deterministic, so one pass is exact, not a sample.
+  std::vector<bench::WorkLedgerEntry> counters;
+  const auto count_row = [&](const std::string& label, const auto& build) {
+    counters.push_back({label, 1, bench::counted_pass([&] {
+                          (void)build()->solve(prices);
+                        })});
+  };
   core::AuditReport worst;  // worst certificates across every audited row
   worst.uniqueness_ok = true;
   worst.converged = true;
@@ -296,34 +308,36 @@ int main(int argc, char** argv) {
     // Homogeneous pool through the aggregate path (K = 1): the degenerate
     // class count isolates the bucketing overhead from the fixed point.
     const std::vector<double> uniform(static_cast<std::size_t>(n), budget);
-    runs.push_back(timed_solve(
-        "connected/uniform" + suffix, repeat, prices, [&] {
-          return std::make_unique<core::ClassAggregateOracle>(
-              params, uniform, core::EdgeMode::kConnected, solve_options);
-        }));
+    const auto build_uniform = [&] {
+      return std::make_unique<core::ClassAggregateOracle>(
+          params, uniform, core::EdgeMode::kConnected, solve_options);
+    };
+    runs.push_back(timed_solve("connected/uniform" + suffix, repeat, prices,
+                               build_uniform));
+    count_row("connected/uniform" + suffix, build_uniform);
 
     // Few-class heterogeneous pool, both edge modes. The profile of the
     // last repetition feeds the sampled audit.
     const std::vector<double> budgets = class_budgets(n, classes, budget);
+    const auto build_connected = [&] {
+      return std::make_unique<core::ClassAggregateOracle>(
+          params, budgets, core::EdgeMode::kConnected, solve_options);
+    };
     core::EquilibriumProfile connected_profile;
-    runs.push_back(timed_solve(
-        "connected/classes" + suffix, repeat, prices,
-        [&] {
-          return std::make_unique<core::ClassAggregateOracle>(
-              params, budgets, core::EdgeMode::kConnected, solve_options);
-        },
-        &connected_profile));
+    runs.push_back(timed_solve("connected/classes" + suffix, repeat, prices,
+                               build_connected, &connected_profile));
+    count_row("connected/classes" + suffix, build_connected);
     audit_row(runs.back(), budgets, core::EdgeMode::kConnected,
               connected_profile);
 
+    const auto build_standalone = [&] {
+      return std::make_unique<core::ClassAggregateOracle>(
+          params, budgets, core::EdgeMode::kStandalone, solve_options);
+    };
     core::EquilibriumProfile standalone_profile;
-    runs.push_back(timed_solve(
-        "standalone/classes" + suffix, repeat, prices,
-        [&] {
-          return std::make_unique<core::ClassAggregateOracle>(
-              params, budgets, core::EdgeMode::kStandalone, solve_options);
-        },
-        &standalone_profile));
+    runs.push_back(timed_solve("standalone/classes" + suffix, repeat, prices,
+                               build_standalone, &standalone_profile));
+    count_row("standalone/classes" + suffix, build_standalone);
     audit_row(runs.back(), budgets, core::EdgeMode::kStandalone,
               standalone_profile);
 
@@ -340,14 +354,14 @@ int main(int argc, char** argv) {
     // same game through the per-miner NEP solver must land on the same
     // equilibrium, and the wall-clock ratio is the bench's headline.
     if (n == n_list.front() && n <= dense_limit) {
+      const auto build_dense = [&] {
+        return std::make_unique<core::ConnectedNepOracle>(params, budgets,
+                                                          solve_options);
+      };
       core::EquilibriumProfile dense_profile;
-      runs.push_back(timed_solve(
-          "dense/connected/classes" + suffix, 1, prices,
-          [&] {
-            return std::make_unique<core::ConnectedNepOracle>(params, budgets,
-                                                              solve_options);
-          },
-          &dense_profile));
+      runs.push_back(timed_solve("dense/connected/classes" + suffix, 1,
+                                 prices, build_dense, &dense_profile));
+      count_row("dense/connected/classes" + suffix, build_dense);
       const double scale = std::max(1.0, dense_profile.totals.edge);
       HECMINE_REQUIRE(
           std::abs(dense_profile.totals.edge - connected_profile.totals.edge) <
@@ -392,9 +406,12 @@ int main(int argc, char** argv) {
 
   HECMINE_REQUIRE(any_audited, "no heterogeneous row was audited");
 
-  const support::provenance::RunManifest manifest =
+  support::provenance::RunManifest manifest =
       support::provenance::collect(threads, core::SolveContext{}.rng_root,
                                    argc, argv);
+  support::prof::PerfSampler perf_sampler;
+  if (args.has("perf-sampler")) perf_sampler.open();
+  manifest.perf_sampler = perf_sampler.status();
 
   BenchConfig config;
   config.n_list = args.get("n-list", std::string("1000,10000,100000,1000000"));
@@ -405,8 +422,8 @@ int main(int argc, char** argv) {
   config.price_edge = prices.edge;
   config.price_cloud = prices.cloud;
   config.dense_limit = dense_limit;
-  write_json("bench_out/BENCH_perf_scale.json", threads, config, runs, worst,
-             speedup_vs_dense, manifest);
+  write_json("bench_out/BENCH_perf_scale.json", threads, config, runs,
+             counters, worst, speedup_vs_dense, manifest);
   std::cout << "[json] bench_out/BENCH_perf_scale.json\n";
 
   // Telemetry/trace pass, separate from the timed runs (those stay
@@ -418,6 +435,7 @@ int main(int argc, char** argv) {
   if (!telemetry_path.empty() || !trace_path.empty()) {
     support::Telemetry telemetry;
     telemetry.manifest = manifest;
+    if (perf_sampler.live()) telemetry.trace.set_perf_sampler(&perf_sampler);
     const std::vector<double> budgets =
         class_budgets(n_list.back(), classes, budget);
     core::SolveContext context = audit_context;

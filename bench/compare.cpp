@@ -172,6 +172,61 @@ CompareResult compare_bench_json(const Value& baseline, const Value& current,
     }
   }
 
+  if (options.check_counters) {
+    const Value* base_counters = baseline.find("counters");
+    const Value* cur_counters = current.find("counters");
+    // Pre-counter ledgers (either side) skip the whole check so committed
+    // baselines stay usable until refreshed.
+    if (base_counters != nullptr && cur_counters != nullptr &&
+        base_counters->is_object() && cur_counters->is_object()) {
+      for (const auto& [label, base_fields] : base_counters->as_object()) {
+        if (!base_fields.is_object()) continue;
+        const Value* cur_fields = cur_counters->find(label);
+        if (cur_fields == nullptr || !cur_fields->is_object()) {
+          MetricDelta delta;
+          delta.label = "counters." + label;
+          delta.skipped = true;
+          delta.note = "missing in current";
+          result.deltas.push_back(std::move(delta));
+          continue;
+        }
+        for (const auto& [field, base_value] : base_fields.as_object()) {
+          if (!base_value.is_number()) continue;
+          const Value* cur_value = cur_fields->find(field);
+          if (cur_value == nullptr || !cur_value->is_number()) continue;
+          MetricDelta delta;
+          delta.label = "counters." + label + "." + field;
+          delta.baseline = base_value.as_number();
+          delta.current = cur_value->as_number();
+          delta.ratio =
+              delta.baseline > 0.0 ? delta.current / delta.baseline : 0.0;
+          if (delta.baseline == 0.0) {
+            // Work appearing where the baseline had none usually means new
+            // instrumentation, not a regression; surface without gating.
+            if (delta.current > 0.0) {
+              delta.skipped = true;
+              delta.note = "new work metric (baseline 0)";
+            }
+          } else if (delta.current >
+                     delta.baseline * (1.0 + options.max_work_regression)) {
+            delta.regressed = true;
+            std::ostringstream note;
+            note << "more work by " << std::fixed << std::setprecision(1)
+                 << 100.0 * (delta.ratio - 1.0) << "% (limit "
+                 << 100.0 * options.max_work_regression << "%)";
+            delta.note = note.str();
+            ok = false;
+          }
+          result.deltas.push_back(std::move(delta));
+        }
+      }
+    }
+  }
+
+  if (options.strict && !result.warnings.empty()) {
+    ok = false;
+    result.strict_failed = true;
+  }
   result.ok = ok;
   return result;
 }
@@ -206,8 +261,13 @@ void print_compare(std::ostream& os, const CompareResult& result) {
     if (!delta.note.empty()) os << "  [" << delta.note << "]";
     os << "\n";
   }
-  os << (result.ok ? "bench_compare: OK — no regression beyond tolerance\n"
-                   : "bench_compare: REGRESSION detected\n");
+  if (result.ok) {
+    os << "bench_compare: OK — no regression beyond tolerance\n";
+  } else if (result.strict_failed) {
+    os << "bench_compare: FAILED (strict: warnings are fatal)\n";
+  } else {
+    os << "bench_compare: REGRESSION detected\n";
+  }
 }
 
 }  // namespace hecmine::bench

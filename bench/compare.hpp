@@ -27,6 +27,17 @@ struct CompareOptions {
   /// capacity_violation materially above the baseline fails the gate even
   /// if the timings improved.
   bool check_audit = true;
+  /// Maximum tolerated relative growth in any per-label work counter from
+  /// the ledgers' "counters" sections. Work counts are deterministic
+  /// (integer units of algorithmic work, not wall time), so this gate is
+  /// immune to machine noise; the tolerance only leaves headroom for
+  /// intentional small algorithm changes. Ledgers without a counters
+  /// section (pre-counter baselines) skip the check entirely.
+  double max_work_regression = 0.10;
+  bool check_counters = true;
+  /// Strict mode: promote the non-fatal warnings (manifest/provenance
+  /// mismatches, converged→non-converged transitions) to gate failures.
+  bool strict = false;
 };
 
 struct MetricDelta {
@@ -48,6 +59,9 @@ struct CompareResult {
   /// is often intentional (gating a fresh build against a committed
   /// baseline), so these warn instead of failing the gate.
   std::vector<std::string> warnings;
+  /// True when the verdict flipped to failure only because strict mode
+  /// promoted the warnings above.
+  bool strict_failed = false;
 };
 
 /// Compares two parsed bench documents. Timing metric per run:

@@ -1,0 +1,35 @@
+// hecmine_prof: fold a hecmine.trace.v1 timeline into the "where did the
+// work go" hot-path table (per-span-name exclusive time, exclusive work,
+// evals/sec, evals/span). Usage:
+//
+//   hecmine_prof TRACE.json [MORE_TRACES.json ...]
+//
+// Produce a trace with any bench/CLI --trace-out flag; the counters ride
+// in the span args, so the report needs no other input. Exit 0 on
+// success, 2 on a file that cannot be read or parsed.
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "support/json.hpp"
+#include "support/prof_report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: hecmine_prof TRACE.json [MORE_TRACES.json ...]\n";
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    try {
+      const auto trace = hecmine::support::json::parse_file(path);
+      const auto report = hecmine::support::prof::build_report(trace);
+      if (argc > 2) std::cout << "== " << path << " ==\n";
+      hecmine::support::prof::print_report(std::cout, report);
+    } catch (const std::exception& error) {
+      std::cerr << "hecmine_prof: " << path << ": " << error.what() << "\n";
+      return 2;
+    }
+  }
+  return 0;
+}

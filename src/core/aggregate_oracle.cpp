@@ -139,6 +139,7 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
   if (telemetry != nullptr && !telemetry->probe.armed()) telemetry = nullptr;
   const std::uint64_t solve_id =
       telemetry != nullptr ? telemetry->probe.next_solve_id() : 0;
+  support::prof::ThreadWorkBlock* work = support::prof::current_block();
 
   EquilibriumProfile out;
   out.miner_count = miner_count_;
@@ -224,6 +225,7 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
     if (!block_ok) std::fill(in_block.begin(), in_block.end(), 0);
 
     double change = 0.0;
+    std::uint64_t sweep_br_evals = 0;
     for (std::size_t k = 0; k < kn; ++k) {
       MinerRequest response;
       if (in_block[k] != 0) {
@@ -251,6 +253,7 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
               others_e + std::max(0.0, others_s - others_e);
           const MinerRequest br =
               best_response_kernel(kenv, budget[k], others_e, others_g);
+          ++sweep_br_evals;
           const double inner_e =
               (1.0 - inner_damping) * be + inner_damping * br.edge;
           const double inner_c =
@@ -277,6 +280,12 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
       c[k] = new_c;
     }
     out.residual = change;
+    if (work != nullptr) {
+      work->add(support::prof::WorkField::kSweeps, 1);
+      work->add(support::prof::WorkField::kConvergenceChecks, 1);
+      if (sweep_br_evals != 0)
+        work->add(support::prof::WorkField::kBestResponseEvals, sweep_br_evals);
+    }
     if (telemetry != nullptr) {
       support::IterationProbe::Record record;
       record.solver = "aggregate.fixed_point";
@@ -328,6 +337,12 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
       worst = std::max(worst, best - current);
     }
     out.converged = worst <= 1e-7 * params_.reward;
+    if (work != nullptr) {
+      work->add(support::prof::WorkField::kBestResponseEvals,
+                static_cast<std::uint64_t>(kn));
+      work->add(support::prof::WorkField::kUtilityEvals,
+                2 * static_cast<std::uint64_t>(kn));
+    }
   }
 
   // True (surcharge-free) utilities, as in the dense finish_equilibrium.
@@ -337,6 +352,9 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
     const double og = oe + std::max(0.0, out.totals.cloud - c[k]);
     out.utilities[k] = utility_kernel(kenv, e[k], c[k], oe, og);
   }
+  if (work != nullptr)
+    work->add(support::prof::WorkField::kUtilityEvals,
+              static_cast<std::uint64_t>(kn));
   return out;
 }
 
@@ -393,6 +411,13 @@ EquilibriumProfile ClassAggregateOracle::solve(const Prices& prices) const {
   // Standalone GNEP (Theorem 5): shared-multiplier decomposition. Solve
   // unconstrained first; when the cap binds, bisect the common surcharge to
   // complementarity E = E_max, exactly as solve_symmetric_standalone does.
+  // Every multiplier probe (initial, expansion, halving) counts as one
+  // bisection iteration in the work profile.
+  const auto count_probe = [] {
+    if (auto* work = support::prof::current_block(); work != nullptr)
+      work->add(support::prof::WorkField::kBisectionIters, 1);
+  };
+  count_probe();
   EquilibriumProfile unconstrained = fixed_point(prices, 1.0, 0.0, seed);
   int sweeps = unconstrained.iterations;
   const double cap = params_.edge_capacity;
@@ -412,6 +437,7 @@ EquilibriumProfile ClassAggregateOracle::solve(const Prices& prices) const {
   double hi = std::max(0.25 * prices.edge, 2.0 * std::max(analytic_mu, 0.0));
   bool converged = unconstrained.converged;
   for (int expansion = 0; expansion < 80; ++expansion) {
+    count_probe();
     const EquilibriumProfile at_hi = fixed_point(prices, 1.0, hi, seed);
     sweeps += at_hi.iterations;
     converged = converged && at_hi.converged;
@@ -421,6 +447,7 @@ EquilibriumProfile ClassAggregateOracle::solve(const Prices& prices) const {
     HECMINE_REQUIRE(hi < 1e30, "ClassAggregateOracle: surcharge blowup");
   }
   for (int step = 0; step < 200; ++step) {
+    count_probe();
     const double mid = 0.5 * (lo + hi);
     const EquilibriumProfile at_mid = fixed_point(prices, 1.0, mid, seed);
     sweeps += at_mid.iterations;
@@ -435,6 +462,7 @@ EquilibriumProfile ClassAggregateOracle::solve(const Prices& prices) const {
       hi = mid;
     if (hi - lo <= 1e-14 * (1.0 + hi)) break;
   }
+  count_probe();
   EquilibriumProfile last = fixed_point(prices, 1.0, 0.5 * (lo + hi), seed);
   sweeps += last.iterations;
   last.iterations = sweeps;

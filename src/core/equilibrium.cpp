@@ -333,8 +333,16 @@ SymmetricEquilibrium symmetric_fixed_point(const NetworkParams& params,
   if (telemetry != nullptr && !telemetry->probe.armed()) telemetry = nullptr;
   const std::uint64_t solve_id =
       telemetry != nullptr ? telemetry->probe.next_solve_id() : 0;
+  support::prof::ThreadWorkBlock* work = support::prof::current_block();
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
+    if (work != nullptr) {
+      // One symmetric sweep = one representative best response + one
+      // stopping-rule evaluation.
+      work->add(support::prof::WorkField::kSweeps, 1);
+      work->add(support::prof::WorkField::kBestResponseEvals, 1);
+      work->add(support::prof::WorkField::kConvergenceChecks, 1);
+    }
     const double others_edge = (dn - 1.0) * current.edge;
     const double others_grand = others_edge + (dn - 1.0) * current.cloud;
     const MinerRequest response =
@@ -498,6 +506,8 @@ SymmetricEquilibrium solve_symmetric_standalone(const NetworkParams& params,
   seed.edge = std::min(seed.edge, 0.5 * cap_per_miner);
 
   auto at_surcharge = [&](double mu) {
+    if (auto* work = support::prof::current_block(); work != nullptr)
+      work->add(support::prof::WorkField::kBisectionIters, 1);
     auto fp = symmetric_fixed_point(params, prices, budget, n, 1.0, mu,
                                     options, seed);
     seed = fp.request;  // warm start the next bisection step
@@ -563,6 +573,11 @@ double miner_exploitability(const NetworkParams& params, const Prices& prices,
   // One hoisted env for the whole audit loop; the opponent aggregates come
   // from running-total subtraction exactly as the per-miner Totals did.
   const KernelEnv env = make_kernel_env(params, prices, h, surcharge);
+  if (auto* work = support::prof::current_block(); work != nullptr) {
+    const auto n_audit = static_cast<std::uint64_t>(requests.size());
+    work->add(support::prof::WorkField::kBestResponseEvals, n_audit);
+    work->add(support::prof::WorkField::kUtilityEvals, 2 * n_audit);
+  }
   double worst = 0.0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const double oe = totals.edge - requests[i].edge;

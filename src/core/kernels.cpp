@@ -304,6 +304,8 @@ void batch_utility(const KernelEnv& env, MinerBatch& batch) {
     const double og = oe + std::max(0.0, total_cloud - c[i]);
     utility[i] = utility_kernel(env, e[i], c[i], oe, og);
   }
+  if (auto* work = support::prof::current_block(); work != nullptr)
+    work->add(support::prof::WorkField::kUtilityEvals, n);
 }
 
 void batch_gradient(const KernelEnv& env, const MinerBatch& batch,
@@ -318,6 +320,8 @@ void batch_gradient(const KernelEnv& env, const MinerBatch& batch,
     const double og = oe + std::max(0.0, total_cloud - c[i]);
     gradient_kernel(env, e[i], c[i], oe, og, du_de[i], du_dc[i]);
   }
+  if (auto* work = support::prof::current_block(); work != nullptr)
+    work->add(support::prof::WorkField::kGradientEvals, n);
 }
 
 void batch_best_response(const KernelEnv& env, MinerBatch& batch) {
@@ -336,6 +340,8 @@ void batch_best_response(const KernelEnv& env, MinerBatch& batch) {
     response_e[i] = response.edge;
     response_c[i] = response.cloud;
   }
+  if (auto* work = support::prof::current_block(); work != nullptr)
+    work->add(support::prof::WorkField::kBestResponseEvals, n);
 }
 
 BatchSweepResult solve_nep_batch(const KernelEnv& env, MinerBatch& batch,
@@ -365,6 +371,7 @@ BatchSweepResult solve_nep_batch(const KernelEnv& env, MinerBatch& batch,
   if (telemetry != nullptr && !telemetry->probe.armed()) telemetry = nullptr;
   const std::uint64_t solve_id =
       telemetry != nullptr ? telemetry->probe.next_solve_id() : 0;
+  support::prof::ThreadWorkBlock* work = support::prof::current_block();
 
   BatchSweepResult result;
   batch.recompute_totals();
@@ -392,12 +399,21 @@ BatchSweepResult solve_nep_batch(const KernelEnv& env, MinerBatch& batch,
     batch.total_edge = total_edge;
     batch.total_cloud = total_cloud;
     result.residual = change;
+    if (work != nullptr) {
+      // One Gauss-Seidel sweep = n best-response kernel evaluations. The
+      // counts are incremented per sweep (not per miner) so the profiled
+      // hot path pays two relaxed adds per n kernel calls.
+      work->add(support::prof::WorkField::kSweeps, 1);
+      work->add(support::prof::WorkField::kBestResponseEvals, n);
+    }
 
     if (iteration % stride != 0 && iteration != options.max_iterations)
       continue;
     // Checkpoint: exact re-sum bounds incremental-total drift, then the
     // legacy convergence / probe / stall logic runs on this sweep's change.
     batch.recompute_totals();
+    if (work != nullptr)
+      work->add(support::prof::WorkField::kConvergenceChecks, 1);
     if (telemetry != nullptr) {
       support::IterationProbe::Record record;
       record.solver = binding.solver;
@@ -464,6 +480,10 @@ BatchGnepResult solve_gnep_batch(const KernelEnv& env, MinerBatch& batch,
   // decomposition.
   bool inner_ok = true;
   const auto solve_at = [&](double mu) {
+    // Each surcharge probe (initial, bracket expansion, or halving step)
+    // counts as one bisection iteration.
+    if (auto* work = support::prof::current_block(); work != nullptr)
+      work->add(support::prof::WorkField::kBisectionIters, 1);
     const KernelEnv penalized = with_surcharge(env, mu);
     const BatchSweepResult sweep =
         solve_nep_batch(penalized, batch, options, inner_binding);

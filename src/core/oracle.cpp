@@ -244,7 +244,18 @@ EquilibriumProfile CachedFollowerOracle::solve(const Prices& prices) const {
   // identical bits (see core/equilibrium_cache.hpp).
   const Prices snapped = cache_.snap_prices(prices);
   const FollowerCacheKey key = cache_.make_key(snapped, inner_->env_hash());
-  return cache_.unified(key, [&] { return inner_->solve(snapped); });
+  // Hit/miss is observed through factory invocation (exact and
+  // thread-local, unlike a before/after delta of the shared cache stats).
+  bool miss = false;
+  EquilibriumProfile profile = cache_.unified(key, [&] {
+    miss = true;
+    return inner_->solve(snapped);
+  });
+  if (auto* work = support::prof::current_block(); work != nullptr)
+    work->add(miss ? support::prof::WorkField::kCacheMisses
+                   : support::prof::WorkField::kCacheHits,
+              1);
+  return profile;
 }
 
 std::uint64_t CachedFollowerOracle::env_hash() const {

@@ -1,8 +1,21 @@
 #include "core/soa.hpp"
 
 #include "support/error.hpp"
+#include "support/prof.hpp"
 
 namespace hecmine::core {
+
+namespace {
+
+/// Accounts bytes staged across the AoS<->SoA boundary (both directions):
+/// n miners x `lanes` double lanes each way.
+void count_soa_bytes(std::size_t n, std::size_t lanes) {
+  if (auto* work = support::prof::current_block(); work != nullptr)
+    work->add(support::prof::WorkField::kSoaBytesMoved,
+              static_cast<std::uint64_t>(n) * lanes * sizeof(double));
+}
+
+}  // namespace
 
 void MinerBatch::resize(std::size_t n) {
   budget.resize(n);
@@ -30,6 +43,7 @@ MinerBatch make_miner_batch(const std::vector<double>& budgets) {
   MinerBatch batch;
   batch.resize(budgets.size());
   batch.budget = budgets;
+  count_soa_bytes(budgets.size(), 1);  // budget lane in
   return batch;
 }
 
@@ -51,12 +65,14 @@ void load_requests(MinerBatch& batch,
     batch.cloud[i] = requests[i].cloud;
   }
   batch.recompute_totals();
+  count_soa_bytes(requests.size(), 2);  // edge + cloud lanes in
 }
 
 std::vector<MinerRequest> extract_requests(const MinerBatch& batch) {
   std::vector<MinerRequest> requests(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i)
     requests[i] = {batch.edge[i], batch.cloud[i]};
+  count_soa_bytes(batch.size(), 2);  // edge + cloud lanes out
   return requests;
 }
 

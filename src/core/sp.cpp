@@ -73,6 +73,17 @@ void count_best_response_rounds(const SolveContext& context, int rounds) {
   if (context.telemetry != nullptr && rounds > 0)
     context.telemetry->metrics.counter("sp.best_response_rounds")
         .add(static_cast<std::uint64_t>(rounds));
+  if (auto* work = support::prof::current_block();
+      work != nullptr && rounds > 0)
+    work->add(support::prof::WorkField::kConvergenceChecks,
+              static_cast<std::uint64_t>(rounds));
+}
+
+/// One leader candidate evaluated (a price point priced through the
+/// follower oracle into an SP profit).
+void count_leader_eval() {
+  if (auto* work = support::prof::current_block(); work != nullptr)
+    work->add(support::prof::WorkField::kUtilityEvals, 1);
 }
 
 void count_sequential_fallback(const SolveContext& context) {
@@ -144,6 +155,7 @@ game::StackelbergResult run_leader_best_response(const NetworkParams& params,
                                                  const SolveContext& context) {
   const game::LeaderPayoffFn payoff = [&](const std::vector<double>& actions,
                                           std::size_t leader) {
+    count_leader_eval();
     const Prices prices{actions[0], actions[1]};
     const SpProfits profits =
         sp_profits(params, prices, oracle.solve(prices).totals);
@@ -173,6 +185,7 @@ double csp_reaction_with_oracle(const NetworkParams& params,
   scan_options.grid_points = options.grid_points;
   scan_options.tolerance = 1e-8;
   const auto objective = [&](double price_cloud) {
+    count_leader_eval();
     const Prices prices{price_edge, price_cloud};
     return sp_profits(params, prices, oracle.solve(prices).totals).cloud;
   };
@@ -201,6 +214,7 @@ LeaderStageResult sequential_with_oracle(const NetworkParams& params,
   // Each composite point runs a full reaction scan (serial inside), so the
   // outer scan is the stage to fan out.
   const auto composite = [&](double price_edge) {
+    count_leader_eval();
     const Prices prices{price_edge, csp_reaction(price_edge)};
     return sp_profits(params, prices, oracle.solve(prices).totals).edge;
   };
@@ -297,6 +311,7 @@ LeaderStageResult solve_leader_stage_sequential(const NetworkParams& params,
   // this scope's scan oracle: rebuilding it per composite point would
   // re-validate params and redo the oracle setup a few hundred times.
   const auto composite = [&](double price_edge) {
+    count_leader_eval();
     const double price_cloud =
         csp_reaction_with_oracle(params, *scan_oracle, box, price_edge,
                                  options);
@@ -366,6 +381,7 @@ LeaderStageResult solve_leader_stage_sellout(const NetworkParams& params,
   scan.grid_points = options.grid_points;
   scan.tolerance = 1e-7;
   const auto csp_profit = [&](double price_cloud) {
+    count_leader_eval();
     const Prices prices{sellout_price(price_cloud), price_cloud};
     const EquilibriumProfile eq = scan_oracle->solve(prices);
     return (price_cloud - params.cost_cloud) * eq.totals.cloud;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/prof.hpp"
 
 namespace hecmine::num {
 
@@ -25,12 +26,17 @@ FixedPointResult iterate_fixed_point(
   // Image buffer hoisted out of the loop (move-assigned from the map's
   // return each sweep).
   std::vector<double> image;
+  support::prof::ThreadWorkBlock* work = support::prof::current_block();
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     image = map(result.point);
     HECMINE_REQUIRE(image.size() == result.point.size(),
                     "fixed-point map must preserve dimension");
     result.residual = max_norm_diff(image, result.point);
     result.iterations = iteration + 1;
+    if (work != nullptr) {
+      work->add(support::prof::WorkField::kSweeps, 1);
+      work->add(support::prof::WorkField::kConvergenceChecks, 1);
+    }
     for (std::size_t i = 0; i < result.point.size(); ++i)
       result.point[i] = (1.0 - options.damping) * result.point[i] +
                         options.damping * image[i];

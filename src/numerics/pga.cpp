@@ -5,6 +5,7 @@
 #include "numerics/fixed_point.hpp"
 #include "numerics/gradient.hpp"
 #include "support/error.hpp"
+#include "support/prof.hpp"
 
 namespace hecmine::num {
 
@@ -30,9 +31,14 @@ PgaResult projected_gradient_ascent(
   // Candidate buffer hoisted out of the backtracking loop; only project's
   // own return allocates inside the line search.
   std::vector<double> candidate;
+  support::prof::ThreadWorkBlock* work = support::prof::current_block();
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
     const auto grad = eval_gradient(result.point);
+    if (work != nullptr) {
+      work->add(support::prof::WorkField::kSweeps, 1);
+      work->add(support::prof::WorkField::kGradientEvals, 1);
+    }
     bool accepted = false;
     for (int backtrack = 0; backtrack < 60; ++backtrack) {
       candidate.resize(result.point.size());
@@ -40,12 +46,18 @@ PgaResult projected_gradient_ascent(
         candidate[i] = result.point[i] + step * grad[i];
       std::vector<double> trial = project(candidate);
       const double movement = max_norm_diff(trial, result.point);
+      if (work != nullptr) {
+        work->add(support::prof::WorkField::kProjectionClips, 1);
+        work->add(support::prof::WorkField::kConvergenceChecks, 1);
+      }
       if (movement < options.tolerance) {
         // Stationary: the projected gradient step no longer moves the point.
         result.converged = true;
         return result;
       }
       const double trial_value = objective(trial);
+      if (work != nullptr)
+        work->add(support::prof::WorkField::kUtilityEvals, 1);
       // Armijo condition on the projected step.
       double inner = 0.0;
       for (std::size_t i = 0; i < trial.size(); ++i)

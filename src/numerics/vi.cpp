@@ -4,6 +4,7 @@
 
 #include "numerics/fixed_point.hpp"
 #include "support/error.hpp"
+#include "support/prof.hpp"
 #include "support/telemetry.hpp"
 
 namespace hecmine::num {
@@ -67,6 +68,10 @@ double diff_norm2(const std::vector<double>& a, const std::vector<double>& b) {
 
 double natural_residual(const VariationalInequality& problem,
                         const std::vector<double>& point) {
+  if (auto* work = support::prof::current_block(); work != nullptr) {
+    work->add(support::prof::WorkField::kGradientEvals, 1);
+    work->add(support::prof::WorkField::kProjectionClips, 1);
+  }
   const auto f = problem.map(point);
   std::vector<double> shifted;
   axpy_into(point, -1.0, f, shifted);
@@ -102,9 +107,17 @@ VIResult solve_extragradient(const VariationalInequality& problem,
   std::vector<double> y;
   std::vector<double> f_y;
   std::vector<double> scratch;
+  // Work counters: one sweep + one convergence (movement) check per outer
+  // iteration; each F(.) evaluation counts as a gradient eval and each
+  // projection as a clip (backtracking retries included).
+  support::prof::ThreadWorkBlock* work = support::prof::current_block();
+  if (work != nullptr)
+    work->add(support::prof::WorkField::kProjectionClips, 1);  // start point
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     result.iterations = iteration + 1;
     const auto f_x = problem.map(result.point);
+    std::uint64_t maps = 1;
+    std::uint64_t projections = 0;
     // Backtracking: shrink tau until the extrapolation step satisfies the
     // standard Lipschitz-surrogate test tau * ||F(x) - F(y)|| <= nu ||x - y||.
     constexpr double kNu = 0.9;
@@ -112,6 +125,8 @@ VIResult solve_extragradient(const VariationalInequality& problem,
       axpy_into(result.point, -tau, f_x, scratch);
       y = problem.project(scratch);
       f_y = problem.map(y);
+      ++maps;
+      ++projections;
       const double lhs = tau * diff_norm2(f_x, f_y);
       const double rhs = kNu * diff_norm2(result.point, y);
       if (lhs <= rhs || rhs == 0.0) break;
@@ -120,8 +135,15 @@ VIResult solve_extragradient(const VariationalInequality& problem,
     }
     axpy_into(result.point, -tau, f_y, scratch);
     const auto next = problem.project(scratch);
+    ++projections;
     const double movement = max_norm_diff(next, result.point);
     result.point = next;
+    if (work != nullptr) {
+      work->add(support::prof::WorkField::kSweeps, 1);
+      work->add(support::prof::WorkField::kConvergenceChecks, 1);
+      work->add(support::prof::WorkField::kGradientEvals, maps);
+      work->add(support::prof::WorkField::kProjectionClips, projections);
+    }
     if (probe_sink != nullptr) {
       support::IterationProbe::Record record;
       record.solver = "vi.extragradient";

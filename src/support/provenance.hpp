@@ -58,6 +58,10 @@ struct RunManifest {
   std::string sanitizer;   ///< HECMINE_SANITIZE ("" = none)
   std::string isa;         ///< ISA flag string ("generic", or
                            ///< "-march=native" under HECMINE_NATIVE)
+  /// Hardware perf sampler state of the run: "off" (default), "on", or
+  /// "unavailable: <reason>" (prof::PerfSampler::status()). Sampling adds
+  /// per-span read overhead, so ledgers record whether it was live.
+  std::string perf_sampler = "off";
   std::string os;          ///< uname sysname + release
   std::string host;        ///< uname nodename
   int hardware_concurrency = 0;

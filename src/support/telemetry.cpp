@@ -238,6 +238,11 @@ int SolveTrace::begin(std::string_view name) {
   span.depth = static_cast<int>(stack.size());
   span.thread = ordinal->second;
   span.start_ms = start;
+  // Start-of-span snapshots; end() turns them into deltas. The work
+  // snapshot is the *calling* thread's cumulative block, so the recorded
+  // delta is same-thread inclusive work.
+  if (profile_ != nullptr) span.work = profile_->local().snapshot();
+  if (sampler_ != nullptr) span.perf = sampler_->read();
   stack.push_back(span.id);
   spans_.push_back(std::move(span));
   return spans_.back().id;
@@ -250,6 +255,10 @@ void SolveTrace::end(int id) {
   if (static_cast<std::size_t>(id) >= spans_.size()) return;
   Span& span = spans_[static_cast<std::size_t>(id)];
   span.duration_ms = stop - span.start_ms;
+  if (profile_ != nullptr)
+    span.work = profile_->local().snapshot().delta_since(span.work);
+  if (sampler_ != nullptr) span.perf = sampler_->read().delta_since(span.perf);
+  span.closed = true;
   auto& stack = open_stacks_[std::this_thread::get_id()];
   // Unwind to the ended span so a missed inner end() cannot wedge the
   // thread's parent stack.
@@ -276,12 +285,17 @@ thread_local Telemetry* t_current_telemetry = nullptr;
 
 Telemetry* current_telemetry() noexcept { return t_current_telemetry; }
 
-TelemetryScope::TelemetryScope(Telemetry* sink) noexcept
-    : previous_(t_current_telemetry) {
+TelemetryScope::TelemetryScope(Telemetry* sink)
+    : previous_(t_current_telemetry),
+      previous_block_(prof::exchange_current_block(
+          sink != nullptr ? &sink->work.local() : nullptr)) {
   t_current_telemetry = sink;
 }
 
-TelemetryScope::~TelemetryScope() { t_current_telemetry = previous_; }
+TelemetryScope::~TelemetryScope() {
+  t_current_telemetry = previous_;
+  prof::exchange_current_block(previous_block_);
+}
 
 namespace {
 
@@ -418,6 +432,19 @@ void write_metrics(json::Writer& writer, const MetricsSnapshot& snap,
   writer.end_object();
 }
 
+/// One WorkCounters object. `all_fields` emits every field (the stable
+/// taxonomy shape); otherwise only nonzero fields (per-span deltas).
+void write_work(json::Writer& writer, const prof::WorkCounters& work,
+                bool all_fields) {
+  writer.begin_object();
+  for (std::size_t i = 0; i < prof::kWorkFieldCount; ++i) {
+    const auto field = static_cast<prof::WorkField>(i);
+    if (all_fields || work[field] != 0)
+      writer.member(prof::work_field_name(field), work[field]);
+  }
+  writer.end_object();
+}
+
 }  // namespace
 
 std::string to_json(const Telemetry& telemetry) {
@@ -430,6 +457,10 @@ std::string to_json(const Telemetry& telemetry) {
   writer.key("manifest");
   provenance::write(writer, telemetry.manifest);
   write_metrics(writer, snap, /*full=*/true);
+  // Deterministic work totals (field-wise sum of every thread's block):
+  // the full taxonomy, zeros included, so the shape is seed-stable.
+  writer.key("work");
+  write_work(writer, telemetry.work.total(), /*all_fields=*/true);
   writer.key("trace");
   writer.begin_object(json::Writer::kBlock);
   writer.member("dropped", telemetry.trace.dropped());
@@ -445,6 +476,10 @@ std::string to_json(const Telemetry& telemetry) {
     writer.member("thread", span.thread);
     writer.member("start_ms", span.start_ms);
     writer.member("duration_ms", span.duration_ms);
+    if (span.closed && span.work.any()) {
+      writer.key("work");
+      write_work(writer, span.work, /*all_fields=*/false);
+    }
     writer.end_object();
   }
   writer.end_array();
@@ -504,7 +539,9 @@ std::string to_chrome_trace(const Telemetry& telemetry) {
     writer.end_object();
   }
   // One complete ("X") event per span; ts/dur are microseconds on the
-  // trace's monotonic clock, the Trace Event format's native unit.
+  // trace's monotonic clock, the Trace Event format's native unit. Spans
+  // that recorded work carry the deltas in args (hecmine_prof reads them
+  // back for the hot-path table).
   for (const SolveTrace::Span& span : spans) {
     writer.begin_object();
     writer.member("ph", "X");
@@ -519,8 +556,66 @@ std::string to_chrome_trace(const Telemetry& telemetry) {
     writer.member("id", span.id);
     writer.member("parent", span.parent);
     writer.member("depth", span.depth);
+    if (span.closed && span.work.any()) {
+      writer.key("work");
+      write_work(writer, span.work, /*all_fields=*/false);
+    }
+    if (span.perf.any()) {
+      writer.member("perf_cycles", span.perf.cycles);
+      writer.member("perf_instructions", span.perf.instructions);
+      writer.member("perf_cache_misses", span.perf.cache_misses);
+    }
     writer.end_object();
     writer.end_object();
+  }
+  // Perfetto counter tracks: one "C" series per (thread, work field),
+  // stepping to the thread's cumulative count at each span close. Span
+  // work deltas are same-thread *inclusive*, so the staircase sums each
+  // span's exclusive share (delta minus its direct children's deltas —
+  // children are always same-thread by construction) in close-time order;
+  // that keeps every track monotone with no double counting.
+  {
+    std::vector<prof::WorkCounters> exclusive(spans.size());
+    for (const SolveTrace::Span& span : spans)
+      if (span.closed) exclusive[static_cast<std::size_t>(span.id)] = span.work;
+    for (const SolveTrace::Span& span : spans) {
+      if (!span.closed || span.parent < 0 ||
+          !spans[static_cast<std::size_t>(span.parent)].closed)
+        continue;
+      // Nested same-thread intervals of monotone counters: the child's
+      // delta never exceeds the parent's, so this cannot underflow.
+      prof::WorkCounters& parent = exclusive[static_cast<std::size_t>(span.parent)];
+      parent = parent.delta_since(span.work);
+    }
+    std::vector<std::size_t> by_close;
+    for (std::size_t i = 0; i < spans.size(); ++i)
+      if (spans[i].closed && exclusive[i].any()) by_close.push_back(i);
+    std::sort(by_close.begin(), by_close.end(), [&](std::size_t a, std::size_t b) {
+      return spans[a].start_ms + spans[a].duration_ms <
+             spans[b].start_ms + spans[b].duration_ms;
+    });
+    std::unordered_map<int, prof::WorkCounters> cumulative;
+    for (const std::size_t index : by_close) {
+      const SolveTrace::Span& span = spans[index];
+      prof::WorkCounters& track = cumulative[span.thread];
+      track += exclusive[index];
+      for (std::size_t i = 0; i < prof::kWorkFieldCount; ++i) {
+        const auto field = static_cast<prof::WorkField>(i);
+        if (exclusive[index][field] == 0) continue;
+        writer.begin_object();
+        writer.member("ph", "C");
+        writer.member("name", std::string("work.") + prof::work_field_name(field) +
+                                  " (t" + std::to_string(span.thread) + ")");
+        writer.member("pid", 1);
+        writer.member("tid", span.thread);
+        writer.member("ts", (span.start_ms + span.duration_ms) * 1000.0);
+        writer.key("args");
+        writer.begin_object();
+        writer.member("value", track[field]);
+        writer.end_object();
+        writer.end_object();
+      }
+    }
   }
   writer.end_array();
   writer.end_object();
@@ -540,6 +635,18 @@ void write_chrome_trace(const Telemetry& telemetry, const std::string& path) {
 
 void print_summary(std::ostream& os, const Telemetry& telemetry) {
   const MetricsSnapshot snap = telemetry.metrics.snapshot();
+  const prof::WorkCounters work = telemetry.work.total();
+  if (work.any()) {
+    Table table("work counter", {"count"});
+    for (std::size_t i = 0; i < prof::kWorkFieldCount; ++i) {
+      const auto field = static_cast<prof::WorkField>(i);
+      if (work[field] != 0)
+        table.add_row(prof::work_field_name(field),
+                      {static_cast<double>(work[field])});
+    }
+    print_section(os, "telemetry: work counters");
+    table.print(os, 0);
+  }
   if (!snap.counters.empty()) {
     Table table("counter", {"value"});
     for (const auto& sample : snap.counters)

@@ -50,6 +50,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/prof.hpp"
 #include "support/provenance.hpp"
 
 namespace hecmine::support {
@@ -228,6 +229,15 @@ class SolveTrace {
     int thread = 0;   ///< dense thread ordinal (timeline track)
     double start_ms = 0.0;
     double duration_ms = 0.0;  ///< 0 while still open
+    bool closed = false;       ///< end() reached (work/perf deltas valid)
+    /// Work performed *on the span's own thread* between begin() and
+    /// end() (holds the start-of-span cumulative snapshot while open).
+    /// Same-thread inclusive: nested same-thread spans count the same
+    /// work; spans dispatched to other threads do not.
+    prof::WorkCounters work;
+    /// Hardware-counter delta when a PerfSampler is attached (zeros
+    /// otherwise; see PerfSampler for the threads=1 caveat).
+    prof::PerfSample perf;
   };
 
   explicit SolveTrace(std::size_t capacity = 4096);
@@ -243,6 +253,17 @@ class SolveTrace {
   }
   /// Distinct threads that have opened at least one span.
   [[nodiscard]] int thread_count() const;
+
+  /// Attaches the work profile whose per-thread counters begin()/end()
+  /// snapshot to attribute work to spans (Telemetry wires its own).
+  void set_work_profile(prof::WorkProfile* profile) noexcept {
+    profile_ = profile;
+  }
+  /// Attaches an opened PerfSampler so spans additionally carry hardware
+  /// counter deltas. Null detaches.
+  void set_perf_sampler(prof::PerfSampler* sampler) noexcept {
+    sampler_ = sampler;
+  }
 
   /// RAII span; tolerates a null trace (records nothing).
   class Scope {
@@ -265,6 +286,8 @@ class SolveTrace {
 
   const std::size_t capacity_;
   const std::uint64_t epoch_ns_;
+  prof::WorkProfile* profile_ = nullptr;
+  prof::PerfSampler* sampler_ = nullptr;
   mutable std::mutex mutex_;
   std::vector<Span> spans_;
   std::unordered_map<std::thread::id, std::vector<int>> open_stacks_;
@@ -353,9 +376,15 @@ class IterationProbe {
 /// "telemetry off" and costs instrumentation sites a single pointer test.
 class Telemetry {
  public:
+  Telemetry() { trace.set_work_profile(&work); }
+
   MetricsRegistry metrics;
   SolveTrace trace;
   IterationProbe probe;
+  /// Deterministic work accounting (support::prof): per-thread counter
+  /// blocks installed by TelemetryScope, attributed to trace spans at
+  /// span close, summed by work.total().
+  prof::WorkProfile work;
   /// Embedded into to_json / to_chrome_trace / flight-recorder headers.
   /// Defaults to the build/host half; callers stamp threads/seed/args
   /// (provenance::collect(threads, seed, argc, argv)).
@@ -371,13 +400,14 @@ class Telemetry {
 /// bisection — can record without seeing a SolveContext.
 class TelemetryScope {
  public:
-  explicit TelemetryScope(Telemetry* sink) noexcept;
+  explicit TelemetryScope(Telemetry* sink);
   ~TelemetryScope();
   TelemetryScope(const TelemetryScope&) = delete;
   TelemetryScope& operator=(const TelemetryScope&) = delete;
 
  private:
   Telemetry* previous_;
+  prof::ThreadWorkBlock* previous_block_;
 };
 
 /// Serializes the whole sink (manifest, counters, gauges, histograms,
@@ -391,8 +421,11 @@ void write_json(const Telemetry& telemetry, const std::string& path);
 
 /// Serializes the solve trace as Chrome Trace Event JSON (schema
 /// hecmine.trace.v1): one complete ("X") event per span in microseconds on
-/// the trace's monotonic clock, one track (tid) per recording thread with
-/// thread_name metadata, and the run manifest embedded as a top-level
+/// the trace's monotonic clock (args carry the span's work-counter deltas
+/// when profiling recorded any), one track (tid) per recording thread with
+/// thread_name metadata, per-thread Perfetto counter ("C") tracks named
+/// "work.<field> (t<ordinal>)" stepping to the thread's cumulative count
+/// at each span close, and the run manifest embedded as a top-level
 /// "manifest" block. The file loads directly in Perfetto /
 /// chrome://tracing; the extra top-level keys are ignored there but keep
 /// the document parseable by support::json readers.

@@ -267,4 +267,124 @@ TEST(BenchCompare, PrintReportsVerdictAndDeltas) {
   EXPECT_NE(text.find("homogeneous/serial"), std::string::npos) << text;
 }
 
+/// Ledger with one run plus a deterministic work-counters section.
+std::string work_ledger(std::uint64_t sweeps, std::uint64_t br_evals = 4000,
+                        bool with_counters = true) {
+  std::ostringstream out;
+  out << R"({"schema": "hecmine.bench.v1", "config": {"miners": 4},)"
+      << R"( "runs": [{"label": "homogeneous/serial", "wall_ms": 100.0}])";
+  if (with_counters) {
+    out << R"(, "counters": {"homogeneous/serial": {"solves": 1,)"
+        << R"( "sweeps": )" << sweeps << R"(, "best_response_evals": )"
+        << br_evals << R"(, "cache_hits": 0}}})";
+  } else {
+    out << "}";
+  }
+  return out.str();
+}
+
+TEST(BenchCompare, InjectedSweepCountRegressionFailsTheGate) {
+  const Value baseline = parse(work_ledger(1000));
+  const Value bloated = parse(work_ledger(1200));  // +20% work, same timing
+  const auto result = bench::compare_bench_json(baseline, bloated);
+  EXPECT_FALSE(result.ok);
+  bool found = false;
+  for (const auto& delta : result.deltas) {
+    if (delta.label == "counters.homogeneous/serial.sweeps") {
+      EXPECT_TRUE(delta.regressed);
+      EXPECT_NEAR(delta.ratio, 1.2, 1e-12);
+      found = true;
+    } else {
+      EXPECT_FALSE(delta.regressed) << delta.label;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompare, IdenticalWorkCountsPassTheGate) {
+  const Value doc = parse(work_ledger(1000));
+  const auto result = bench::compare_bench_json(doc, doc);
+  EXPECT_TRUE(result.ok);
+  // Deterministic counts compare exactly: every counter delta is present
+  // and clean.
+  bool saw_counter = false;
+  for (const auto& delta : result.deltas)
+    if (delta.label.rfind("counters.", 0) == 0) {
+      saw_counter = true;
+      EXPECT_FALSE(delta.regressed) << delta.label;
+    }
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(BenchCompare, WorkToleranceIsConfigurable) {
+  const Value baseline = parse(work_ledger(1000));
+  const Value bloated = parse(work_ledger(1200));
+  bench::CompareOptions loose;
+  loose.max_work_regression = 0.25;
+  EXPECT_TRUE(bench::compare_bench_json(baseline, bloated, loose).ok);
+  bench::CompareOptions off;
+  off.check_counters = false;
+  const auto result = bench::compare_bench_json(baseline, bloated, off);
+  EXPECT_TRUE(result.ok);
+  for (const auto& delta : result.deltas)
+    EXPECT_EQ(delta.label.rfind("counters.", 0), std::string::npos);
+}
+
+TEST(BenchCompare, MissingCountersSectionSkipsTheCheck) {
+  // Pre-counter baselines (and currents) stay comparable: the whole check
+  // is skipped when either side lacks the section.
+  const Value with = parse(work_ledger(1000));
+  const Value without = parse(work_ledger(0, 0, false));
+  EXPECT_TRUE(bench::compare_bench_json(without, with).ok);
+  EXPECT_TRUE(bench::compare_bench_json(with, without).ok);
+}
+
+TEST(BenchCompare, NewAndVanishedWorkMetricsSkipNotFail) {
+  // Baseline 0 -> current positive is new instrumentation, not a
+  // regression; a label missing from the current counters is skipped.
+  const Value zero = parse(work_ledger(0));
+  const Value nonzero = parse(work_ledger(500));
+  const auto grown = bench::compare_bench_json(zero, nonzero);
+  EXPECT_TRUE(grown.ok);
+  bool skipped = false;
+  for (const auto& delta : grown.deltas)
+    if (delta.label == "counters.homogeneous/serial.sweeps") {
+      EXPECT_TRUE(delta.skipped);
+      skipped = true;
+    }
+  EXPECT_TRUE(skipped);
+
+  const std::string other_label = R"({"schema": "hecmine.bench.v1",
+    "config": {"miners": 4},
+    "runs": [{"label": "homogeneous/serial", "wall_ms": 100.0}],
+    "counters": {"homogeneous/parallel": {"sweeps": 7}}})";
+  const auto renamed = bench::compare_bench_json(parse(work_ledger(1000)),
+                                                 parse(other_label));
+  EXPECT_TRUE(renamed.ok);
+  bool label_skipped = false;
+  for (const auto& delta : renamed.deltas)
+    if (delta.label == "counters.homogeneous/serial" && delta.skipped)
+      label_skipped = true;
+  EXPECT_TRUE(label_skipped);
+}
+
+TEST(BenchCompare, StrictModePromotesWarningsToFailure) {
+  const std::string base = ledger(100.0, 50.0, 0.0, 0.0);
+  const Value baseline = parse(with_manifest(base, "aaa111", "Release"));
+  const Value current = parse(with_manifest(base, "bbb222", "Release"));
+  bench::CompareOptions options;
+  // Non-strict: the git_sha mismatch only warns.
+  EXPECT_TRUE(bench::compare_bench_json(baseline, current, options).ok);
+  options.strict = true;
+  const auto result = bench::compare_bench_json(baseline, current, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.strict_failed);
+  ASSERT_EQ(result.warnings.size(), 1u);
+  std::ostringstream os;
+  bench::print_compare(os, result);
+  EXPECT_NE(os.str().find("strict"), std::string::npos) << os.str();
+  // Strict with nothing to warn about stays green.
+  EXPECT_TRUE(bench::compare_bench_json(baseline, baseline, options).ok);
+}
+
 }  // namespace

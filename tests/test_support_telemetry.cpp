@@ -99,6 +99,18 @@ TEST(HistogramMetric, QuantilesClampToTheObservedRange) {
 TEST(HistogramMetric, QuantileOfEmptyIsZero) {
   support::HistogramMetric histogram({1.0});
   EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.95), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 0.0);
+}
+
+TEST(HistogramMetric, SingleSampleIsEveryQuantile) {
+  // One observation: min == max == the sample, so every quantile must
+  // collapse to it regardless of where it lands inside the bucket.
+  support::HistogramMetric histogram({1.0, 10.0});
+  histogram.observe(3.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.50), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.95), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 3.0);
 }
 
 TEST(HistogramMetric, SkewedDistributionSeparatesP50FromTail) {
@@ -152,6 +164,28 @@ TEST(MetricsRegistry, ConcurrentIncrementsUnderThePoolLoseNothing) {
   EXPECT_EQ(registry.counter("pool.counter").value(), kTasks * kPerTask);
   EXPECT_EQ(registry.histogram("pool.histogram", {}).count(),
             kTasks * kPerTask);
+}
+
+TEST(MetricsRegistry, PoolTasksAggregateWorkCountersDeterministically) {
+  // Pool workers install the issuer's sink (TelemetryScope in the worker
+  // loop), so work counted inside tasks lands in the sink's WorkProfile —
+  // and sums to the same total regardless of worker count.
+  support::Telemetry sink;
+  const support::TelemetryScope scope(&sink);
+  constexpr std::size_t kTasks = 32;
+  support::parallel_for(
+      kTasks,
+      [&](std::size_t i) {
+        support::prof::ThreadWorkBlock* work = support::prof::current_block();
+        ASSERT_NE(work, nullptr);
+        work->add(support::prof::WorkField::kBestResponseEvals, i + 1);
+        sink.metrics.counter("pool.work").add();
+      },
+      4);
+  const support::prof::WorkCounters total = sink.work.total();
+  EXPECT_EQ(total[support::prof::WorkField::kBestResponseEvals],
+            kTasks * (kTasks + 1) / 2);
+  EXPECT_EQ(sink.metrics.counter("pool.work").value(), kTasks);
 }
 
 TEST(MetricsRegistry, SnapshotIsSortedByName) {

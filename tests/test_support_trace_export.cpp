@@ -75,6 +75,52 @@ TEST(TraceExport, NestedScopesExportWithParentAndDepth) {
   EXPECT_DOUBLE_EQ(inner.at("tid").as_number(), 0.0);
 }
 
+TEST(TraceExport, WorkCounterTracksAreCumulativeStaircases) {
+  // Spans that counted work export Perfetto "C" (counter) events: one
+  // per (field, track) at each span close, carrying the cumulative
+  // exclusive total so the track renders as a monotone staircase.
+  support::Telemetry telemetry;
+  {
+    const support::TelemetryScope scope(&telemetry);
+    const support::SolveTrace::Scope outer(&telemetry.trace, "leader.round");
+    support::prof::current_block()->add(support::prof::WorkField::kSweeps, 2);
+    {
+      const support::SolveTrace::Scope inner(&telemetry.trace,
+                                             "oracle.solve");
+      support::prof::current_block()->add(support::prof::WorkField::kSweeps,
+                                          5);
+    }
+  }
+  const Value doc = support::json::parse(support::to_chrome_trace(telemetry));
+  std::vector<const Value*> counters;
+  for (const Value& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() == "C") counters.push_back(&event);
+  }
+  ASSERT_EQ(counters.size(), 2u);
+  double previous_ts = -1.0;
+  double previous_value = -1.0;
+  for (const Value* event : counters) {
+    EXPECT_EQ(event->at("name").as_string(), "work.sweeps (t0)");
+    EXPECT_DOUBLE_EQ(event->at("pid").as_number(), 1.0);
+    EXPECT_DOUBLE_EQ(event->at("tid").as_number(), 0.0);
+    EXPECT_GE(event->at("ts").as_number(), previous_ts);
+    EXPECT_GT(event->at("args").at("value").as_number(), previous_value);
+    previous_ts = event->at("ts").as_number();
+    previous_value = event->at("args").at("value").as_number();
+  }
+  // Close-time order: the inner span's 5 sweeps first, then the outer
+  // span's close lifts the cumulative total to 7 (its own 2 on top).
+  EXPECT_DOUBLE_EQ(counters[0]->at("args").at("value").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(counters[1]->at("args").at("value").as_number(), 7.0);
+  // The complete events still carry inclusive work in their args.
+  const auto events = complete_events(doc);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      events[0]->at("args").at("work").at("sweeps").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(
+      events[1]->at("args").at("work").at("sweeps").as_number(), 5.0);
+}
+
 TEST(TraceExport, SnapshotStartTimesAreMonotonic) {
   support::Telemetry telemetry;
   for (int i = 0; i < 32; ++i) {
