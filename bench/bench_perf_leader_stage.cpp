@@ -28,7 +28,9 @@
 #include "core/scenario.hpp"
 #include "core/sp.hpp"
 #include "support/error.hpp"
+#include "support/health.hpp"
 #include "support/json.hpp"
+#include "support/openmetrics.hpp"
 #include "support/parallel.hpp"
 #include "support/provenance.hpp"
 #include "support/telemetry.hpp"
@@ -368,14 +370,25 @@ int main(int argc, char** argv) {
   // Telemetry/trace pass: deliberately separate from the timed runs above
   // (those stay sink-free so the tracked numbers measure the solver, not
   // the instrumentation). One extra cached parallel solve with the sink
-  // attached produces the machine-readable profile and, when requested,
-  // the Chrome Trace Event timeline.
+  // attached produces the machine-readable profile, the per-iteration log
+  // and health gauges, and, when requested, the Chrome Trace Event
+  // timeline and OpenMetrics snapshot.
   const std::string telemetry_path = args.telemetry_out();
   const std::string trace_path = args.trace_out();
-  if (!telemetry_path.empty() || !trace_path.empty()) {
+  const std::string iteration_log_path = args.iteration_log();
+  const std::string metrics_path = args.metrics_out();
+  if (!telemetry_path.empty() || !trace_path.empty() ||
+      !iteration_log_path.empty() || !metrics_path.empty()) {
     support::Telemetry telemetry;
     telemetry.manifest = manifest;
     if (perf_sampler.live()) telemetry.trace.set_perf_sampler(&perf_sampler);
+    if (!iteration_log_path.empty())
+      telemetry.probe.stream_to(iteration_log_path, &telemetry.manifest);
+    // The health watchdog rides the instrumented pass (observe-only: a
+    // bench gathers evidence, it should not abort or spam warnings).
+    support::health::HealthOptions health_options;
+    health_options.action = support::health::WatchdogAction::kObserve;
+    support::health::HealthMonitor health_monitor(telemetry, health_options);
     core::FollowerEquilibriumCache cache(cache_capacity);
     core::SpSolveOptions options = base;
     options.context.threads = threads;
@@ -393,6 +406,15 @@ int main(int argc, char** argv) {
       support::write_chrome_trace(telemetry, trace_path);
       std::cout << "[trace] " << trace_path << " ("
                 << telemetry.trace.thread_count() << " tracks)\n";
+    }
+    if (!iteration_log_path.empty()) {
+      std::cout << "[iteration-log] " << iteration_log_path << " ("
+                << telemetry.probe.total() << " records)\n";
+    }
+    std::cout << "[health] " << health_monitor.incidents() << " incidents\n";
+    if (!metrics_path.empty()) {
+      support::write_openmetrics(telemetry, metrics_path);
+      std::cout << "[metrics] " << metrics_path << "\n";
     }
   }
   std::cout << "threads=" << threads << "  parallel speedup "

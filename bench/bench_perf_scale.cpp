@@ -40,7 +40,9 @@
 #include "core/oracle.hpp"
 #include "core/scenario.hpp"
 #include "support/error.hpp"
+#include "support/health.hpp"
 #include "support/json.hpp"
+#include "support/openmetrics.hpp"
 #include "support/parallel.hpp"
 #include "support/provenance.hpp"
 #include "support/telemetry.hpp"
@@ -432,10 +434,20 @@ int main(int argc, char** argv) {
   // Chrome Trace Event timeline when requested.
   const std::string telemetry_path = args.telemetry_out();
   const std::string trace_path = args.trace_out();
-  if (!telemetry_path.empty() || !trace_path.empty()) {
+  const std::string iteration_log_path = args.iteration_log();
+  const std::string metrics_path = args.metrics_out();
+  if (!telemetry_path.empty() || !trace_path.empty() ||
+      !iteration_log_path.empty() || !metrics_path.empty()) {
     support::Telemetry telemetry;
     telemetry.manifest = manifest;
     if (perf_sampler.live()) telemetry.trace.set_perf_sampler(&perf_sampler);
+    if (!iteration_log_path.empty())
+      telemetry.probe.stream_to(iteration_log_path, &telemetry.manifest);
+    // Observe-only health watchdog on the instrumented pass: the bench
+    // gathers evidence without warnings or aborts.
+    support::health::HealthOptions health_options;
+    health_options.action = support::health::WatchdogAction::kObserve;
+    support::health::HealthMonitor health_monitor(telemetry, health_options);
     const std::vector<double> budgets =
         class_budgets(n_list.back(), classes, budget);
     core::SolveContext context = audit_context;
@@ -454,6 +466,15 @@ int main(int argc, char** argv) {
       support::write_chrome_trace(telemetry, trace_path);
       std::cout << "[trace] " << trace_path << " ("
                 << telemetry.trace.thread_count() << " tracks)\n";
+    }
+    if (!iteration_log_path.empty()) {
+      std::cout << "[iteration-log] " << iteration_log_path << " ("
+                << telemetry.probe.total() << " records)\n";
+    }
+    std::cout << "[health] " << health_monitor.incidents() << " incidents\n";
+    if (!metrics_path.empty()) {
+      support::write_openmetrics(telemetry, metrics_path);
+      std::cout << "[metrics] " << metrics_path << "\n";
     }
   }
 

@@ -1,0 +1,261 @@
+// hecmine_health: fold a hecmine.iterlog.v1 stream into a per-loop solver
+// health report — the offline counterpart of the streaming HealthMonitor.
+// Usage:
+//
+//   hecmine_health ITERLOG.jsonl [--json=REPORT.json] [--fail-on-divergence]
+//
+// Produce an iteration log with any bench/CLI --iteration-log flag. Every
+// record is replayed, in iteration order per (solver, solve id), through
+// the same ConvergenceEstimator the live watchdog runs, so the offline
+// report and the health.* gauges of the producing run agree by
+// construction: per-loop worst contraction rate rho, stall / oscillation /
+// divergence incident counts, and predicted-vs-actual iteration counts
+// (the prediction the estimator made at its first post-warmup iterate).
+//
+// Exit codes: 0 on success — including an empty or header-only log, which
+// reports "nothing to analyze"; 2 on unreadable/malformed input (with
+// diagnostics); 3 when --fail-on-divergence is set and any loop recorded a
+// divergence incident. `--help` prints usage and exits 0.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/health.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hecmine;
+namespace health = support::health;
+
+void print_usage(std::ostream& os) {
+  os << "usage: hecmine_health ITERLOG.jsonl [--json=REPORT.json] "
+        "[--fail-on-divergence]\n"
+        "  Replays a hecmine.iterlog.v1 stream (any --iteration-log output)\n"
+        "  through the solver-health convergence estimator and prints a\n"
+        "  per-loop report: solves, iterations, worst contraction rate rho,\n"
+        "  predicted-vs-actual iteration counts, and stall / oscillation /\n"
+        "  divergence incidents.\n"
+        "  --json=F              also write the report as hecmine.health.v1\n"
+        "                        JSON to F.\n"
+        "  --fail-on-divergence  exit 3 when any divergence was classified\n"
+        "                        (for CI gates).\n";
+}
+
+/// One raw iterate parsed out of the log.
+struct LogRecord {
+  std::uint64_t solve = 0;
+  int iteration = 0;
+  double residual = 0.0;
+  double tolerance = 0.0;
+};
+
+/// Offline per-loop aggregate (superset of LoopHealthStats: the offline
+/// pass can afford to keep predicted-vs-actual sums).
+struct LoopReport {
+  std::uint64_t solves = 0;
+  std::uint64_t records = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t oscillations = 0;
+  std::uint64_t divergences = 0;
+  double rho_worst = 0.0;
+  std::uint64_t iterations_max = 0;
+  double iterations_sum = 0.0;
+  /// Sum over solves of the estimator's first post-warmup total-iteration
+  /// prediction (only solves where that prediction was finite).
+  double predicted_sum = 0.0;
+  double predicted_actual_sum = 0.0;  ///< actual iterations of those solves
+  std::uint64_t predicted_count = 0;
+
+  [[nodiscard]] double iterations_mean() const {
+    return solves == 0 ? 0.0 : iterations_sum / static_cast<double>(solves);
+  }
+  [[nodiscard]] double predicted_mean() const {
+    return predicted_count == 0
+               ? 0.0
+               : predicted_sum / static_cast<double>(predicted_count);
+  }
+  [[nodiscard]] double predicted_actual_mean() const {
+    return predicted_count == 0
+               ? 0.0
+               : predicted_actual_sum / static_cast<double>(predicted_count);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::CliArgs args(argc, argv);
+  if (args.has("help")) {
+    print_usage(std::cout);
+    return 0;
+  }
+  const std::string json_path = args.get("json", std::string{});
+  const bool fail_on_divergence = args.has("fail-on-divergence");
+  if (args.positional().size() != 1) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string path = args.positional().front();
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open file");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = std::move(buffer).str();
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+      std::cout << "hecmine_health: " << path
+                << ": empty iteration log — nothing to analyze (was the run "
+                   "started with --iteration-log?)\n";
+      return 0;
+    }
+
+    const std::vector<support::json::Value> lines =
+        support::json::parse_lines(text);
+    // Line 1 is the stream header; everything after is one iterate.
+    if (lines.empty() || !lines.front().is_object() ||
+        !lines.front().contains("schema") ||
+        lines.front().at("schema").as_string() != "hecmine.iterlog.v1") {
+      throw std::runtime_error(
+          "not a hecmine.iterlog.v1 stream (missing schema header line)");
+    }
+    // Group by (solver label, solve id); solve ids are globally unique, so
+    // the pair key only serves readable per-loop grouping.
+    std::map<std::string, std::map<std::uint64_t, std::vector<LogRecord>>>
+        solves;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const support::json::Value& line = lines[i];
+      if (!line.is_object() || !line.contains("solver"))
+        throw std::runtime_error("line " + std::to_string(i + 1) +
+                                 ": not an iterlog record (no solver field)");
+      LogRecord record;
+      record.solve = static_cast<std::uint64_t>(line.number_or("solve", 0.0));
+      record.iteration = static_cast<int>(line.number_or("iteration", 0.0));
+      record.residual = line.number_or("residual", 0.0);
+      record.tolerance = line.number_or("tolerance", 0.0);
+      solves[line.at("solver").as_string()][record.solve].push_back(record);
+    }
+    if (solves.empty()) {
+      std::cout << "hecmine_health: " << path
+                << ": header-only iteration log — nothing to analyze\n";
+      return 0;
+    }
+
+    const health::HealthOptions options;
+    std::map<std::string, LoopReport> loops;
+    for (auto& [solver, per_solve] : solves) {
+      LoopReport& loop = loops[solver];
+      for (auto& [solve_id, records] : per_solve) {
+        std::stable_sort(records.begin(), records.end(),
+                         [](const LogRecord& a, const LogRecord& b) {
+                           return a.iteration < b.iteration;
+                         });
+        health::ConvergenceEstimator estimator(options);
+        double predicted_total = std::numeric_limits<double>::infinity();
+        for (const LogRecord& record : records) {
+          const health::LoopState fired =
+              estimator.update(record.residual, record.tolerance);
+          switch (fired) {
+            case health::LoopState::kStalled: loop.stalls += 1; break;
+            case health::LoopState::kOscillating: loop.oscillations += 1; break;
+            case health::LoopState::kDiverging: loop.divergences += 1; break;
+            case health::LoopState::kHealthy: break;
+          }
+          // First post-warmup finite prediction: remaining + spent so far.
+          if (!std::isfinite(predicted_total) &&
+              estimator.iterations() >= options.warmup &&
+              std::isfinite(estimator.predicted_iterations())) {
+            predicted_total = static_cast<double>(estimator.iterations()) +
+                              estimator.predicted_iterations();
+          }
+        }
+        loop.solves += 1;
+        loop.records += records.size();
+        loop.rho_worst = std::max(loop.rho_worst, estimator.rho_worst());
+        loop.iterations_max =
+            std::max(loop.iterations_max,
+                     static_cast<std::uint64_t>(records.size()));
+        loop.iterations_sum += static_cast<double>(records.size());
+        if (std::isfinite(predicted_total)) {
+          loop.predicted_sum += predicted_total;
+          loop.predicted_actual_sum += static_cast<double>(records.size());
+          loop.predicted_count += 1;
+        }
+      }
+    }
+
+    support::print_section(std::cout, "hecmine_health: per-loop report");
+    support::Table table("loop", {"solves", "iters", "iters_mean", "iters_max",
+                                  "rho_worst", "pred_iters", "actual_iters",
+                                  "stall", "oscil", "diverg"});
+    std::uint64_t total_divergences = 0;
+    for (const auto& [solver, loop] : loops) {
+      total_divergences += loop.divergences;
+      table.add_row(solver,
+                    {static_cast<double>(loop.solves),
+                     static_cast<double>(loop.records), loop.iterations_mean(),
+                     static_cast<double>(loop.iterations_max), loop.rho_worst,
+                     loop.predicted_mean(), loop.predicted_actual_mean(),
+                     static_cast<double>(loop.stalls),
+                     static_cast<double>(loop.oscillations),
+                     static_cast<double>(loop.divergences)});
+    }
+    table.print(std::cout, 3);
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot open --json output: " +
+                                         json_path);
+      support::json::Writer writer(out);
+      writer.begin_object(support::json::Writer::kBlock);
+      writer.member("schema", "hecmine.health.v1");
+      writer.member("kind", "report");
+      writer.member("source", path);
+      writer.key("loops");
+      writer.begin_array(support::json::Writer::kBlock);
+      for (const auto& [solver, loop] : loops) {
+        writer.begin_object();
+        writer.member("solver", solver);
+        writer.member("solves", loop.solves);
+        writer.member("records", loop.records);
+        writer.member("iterations_mean", loop.iterations_mean());
+        writer.member("iterations_max", loop.iterations_max);
+        writer.member("rho_worst", loop.rho_worst);
+        writer.member("predicted_iterations_mean", loop.predicted_mean());
+        writer.member("predicted_actual_iterations_mean",
+                      loop.predicted_actual_mean());
+        writer.member("predicted_solves", loop.predicted_count);
+        writer.member("stalls", loop.stalls);
+        writer.member("oscillations", loop.oscillations);
+        writer.member("divergences", loop.divergences);
+        writer.end_object();
+      }
+      writer.end_array();
+      writer.end_object();
+      writer.finish();
+      std::cout << "[health-report] " << json_path << "\n";
+    }
+
+    if (fail_on_divergence && total_divergences > 0) {
+      std::cerr << "hecmine_health: " << total_divergences
+                << " divergence incident(s) classified (--fail-on-divergence)"
+                << "\n";
+      return 3;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "hecmine_health: " << path << ": " << error.what() << "\n";
+    return 2;
+  }
+}

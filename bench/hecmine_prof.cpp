@@ -5,26 +5,78 @@
 //   hecmine_prof TRACE.json [MORE_TRACES.json ...]
 //
 // Produce a trace with any bench/CLI --trace-out flag; the counters ride
-// in the span args, so the report needs no other input. Exit 0 on
-// success, 2 on a file that cannot be read or parsed.
+// in the span args, so the report needs no other input.
+//
+// Exit codes: 0 on success — including empty and span-free traces, which
+// get a clear one-line explanation instead of a bare table; 2 on a file
+// that cannot be read or parsed (with the parser's diagnostics) and on a
+// usage error. `--help` prints usage and exits 0.
+#include <cstring>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "support/json.hpp"
 #include "support/prof_report.hpp"
 
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: hecmine_prof TRACE.json [MORE_TRACES.json ...]\n"
+        "  Folds hecmine.trace.v1 timelines (any --trace-out output) into\n"
+        "  the per-span hot-path table. Empty or span-free traces report\n"
+        "  \"nothing to profile\" and exit 0; unreadable or malformed input\n"
+        "  exits 2 with diagnostics.\n";
+}
+
+/// Whole-file read so an empty trace can be told apart from a malformed
+/// one before the JSON parser sees it.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+bool whitespace_only(const std::string& text) {
+  return text.find_first_not_of(" \t\r\n") == std::string::npos;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_usage(std::cout);
+      return 0;
+    }
+  }
   if (argc < 2) {
-    std::cerr << "usage: hecmine_prof TRACE.json [MORE_TRACES.json ...]\n";
+    print_usage(std::cerr);
     return 2;
   }
   for (int i = 1; i < argc; ++i) {
     const std::string path = argv[i];
+    if (argc > 2) std::cout << "== " << path << " ==\n";
     try {
-      const auto trace = hecmine::support::json::parse_file(path);
+      const std::string text = slurp(path);
+      if (whitespace_only(text)) {
+        std::cout << "hecmine_prof: " << path
+                  << ": empty trace — nothing to profile (was the run "
+                     "started with --trace-out?)\n";
+        continue;
+      }
+      const auto trace = hecmine::support::json::parse(text);
       const auto report = hecmine::support::prof::build_report(trace);
-      if (argc > 2) std::cout << "== " << path << " ==\n";
+      if (report.spans == 0) {
+        std::cout << "hecmine_prof: " << path
+                  << ": trace has no complete spans — nothing to profile "
+                     "(the run recorded no solver scopes)\n";
+        continue;
+      }
       hecmine::support::prof::print_report(std::cout, report);
     } catch (const std::exception& error) {
       std::cerr << "hecmine_prof: " << path << ": " << error.what() << "\n";

@@ -1,0 +1,63 @@
+// openmetrics_lint: validate an OpenMetrics text snapshot (any
+// --metrics-out output) against the subset of the format hecmine emits.
+// Usage:
+//
+//   openmetrics_lint METRICS.om [MORE.om ...]
+//
+// Checks (see support::lint_openmetrics): TYPE declarations precede their
+// samples, counter samples carry the _total suffix, histogram buckets are
+// cumulative and end in an +Inf bucket matching _count, numbers parse, and
+// the exposition ends with "# EOF". Exit 0 when every file is clean, 1
+// when any file has findings (each printed as "path:line: message"), 2 on
+// unreadable input or a usage error. `--help` prints usage and exits 0.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/openmetrics.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: openmetrics_lint METRICS.om [MORE.om ...]\n"
+        "  Lints OpenMetrics text snapshots (any --metrics-out output).\n"
+        "  Exit 0 when clean, 1 with one finding per line otherwise.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_usage(std::cout);
+      return 0;
+    }
+  }
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  bool dirty = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "openmetrics_lint: " << path << ": cannot open file\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::vector<std::string> findings =
+        hecmine::support::lint_openmetrics(std::move(buffer).str());
+    for (const std::string& finding : findings)
+      std::cout << path << ": " << finding << "\n";
+    if (findings.empty())
+      std::cout << "openmetrics_lint: " << path << ": OK\n";
+    else
+      dirty = true;
+  }
+  return dirty ? 1 : 0;
+}

@@ -3,6 +3,7 @@
 //   hecmine_cli solve    <scenario-file>             equilibrium + welfare
 //   hecmine_cli simulate <scenario-file> [--rounds=N]  replay on the simulator
 //   hecmine_cli dynamic  <scenario-file>             Sec. V uncertainty view
+//   hecmine_cli campaign <scenario-file> [--blocks=N]  equilibrium campaign
 //
 // Scenario files are flat key=value text; see examples/scenarios/ and
 // core/scenario.hpp for the schema.
@@ -11,6 +12,7 @@
 // many threads the SP-stage price scans use; 0 (the default) picks the
 // hardware concurrency. Results are bitwise identical across thread counts.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -24,9 +26,12 @@
 #include "core/solve_context.hpp"
 #include "core/sp.hpp"
 #include "core/welfare.hpp"
+#include "net/campaign.hpp"
 #include "net/network.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/health.hpp"
+#include "support/openmetrics.hpp"
 #include "support/parallel.hpp"
 #include "support/provenance.hpp"
 #include "support/telemetry.hpp"
@@ -68,7 +73,8 @@ SolvedScenario solve_scenario(const core::Scenario& scenario,
 }
 
 int cmd_solve(const core::Scenario& scenario,
-              const core::SolveContext& context, bool audit) {
+              const core::SolveContext& context, bool audit,
+              double audit_tol) {
   const auto solved = solve_scenario(scenario, context);
   std::printf("prices: P_e=%.4f P_c=%.4f%s\n", solved.prices.edge,
               solved.prices.cloud,
@@ -103,7 +109,57 @@ int cmd_solve(const core::Scenario& scenario,
     core::print_audit(std::cout, report);
     if (context.telemetry != nullptr)
       core::record_audit(*context.telemetry, report);
+    // Scriptable gate: any follower-side certificate beyond the tolerance
+    // fails the run, so CI can assert on audit quality directly.
+    const double worst = core::worst_violation(report);
+    if (worst > audit_tol) {
+      std::fprintf(stderr,
+                   "audit FAILED: worst follower-side violation %.3e exceeds "
+                   "tolerance %.3e (--audit-tol)\n",
+                   worst, audit_tol);
+      return 4;
+    }
+    std::printf("audit OK: worst follower-side violation %.3e <= %.3e\n",
+                worst, audit_tol);
   }
+  return 0;
+}
+
+int cmd_campaign(const core::Scenario& scenario, std::size_t blocks,
+                 std::uint64_t seed, const core::SolveContext& context) {
+  HECMINE_REQUIRE(scenario.fixed_prices.has_value(),
+                  "campaign command requires fixed prices in the scenario");
+  net::CampaignConfig config;
+  config.params = scenario.params;
+  config.policy.mode = scenario.mode;
+  config.policy.success_prob = scenario.params.edge_success;
+  config.policy.capacity = scenario.params.edge_capacity;
+  config.prices = *scenario.fixed_prices;
+  config.population = scenario.population;
+  config.blocks = blocks;
+  config.telemetry = context.telemetry;
+  // The campaign draws the active subset from the population support, so
+  // the strategy pool must cover max_miners — pad the budget pool with the
+  // scenario's last budget (the trainer uses the same convention).
+  std::vector<double> budgets = scenario.budgets;
+  if (scenario.population) {
+    const auto pool =
+        static_cast<std::size_t>(scenario.population->max_miners());
+    if (budgets.size() < pool) budgets.resize(pool, budgets.back());
+  }
+  const auto campaign =
+      net::run_campaign_at_equilibrium(config, budgets, seed, context);
+  const auto& result = campaign.result;
+  std::printf("campaign: %zu blocks at P_e=%.4f P_c=%.4f "
+              "(transfers=%zu rejections=%zu forks=%zu)\n",
+              result.blocks_mined, config.prices.edge, config.prices.cloud,
+              result.transfers, result.rejections, result.forks);
+  std::printf("block intervals: mean %.3f (n=%zu), %zu retargets, final unit "
+              "rate %.4f\n",
+              result.block_intervals.mean(), result.block_intervals.count(),
+              result.retargets, result.final_unit_rate);
+  std::printf("realized HHI %.4f over %zu miners\n", result.realized_hhi,
+              result.miners.size());
   return 0;
 }
 
@@ -194,11 +250,13 @@ int cmd_version() {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: hecmine_cli <solve|simulate|dynamic> <scenario-file> "
-      "[--rounds=N] [--threads=N] [--log-level=L] [--telemetry-out=FILE]\n"
-      "                   [--iteration-log=FILE] [--trace-out=FILE]\n"
+      "usage: hecmine_cli <solve|simulate|dynamic|campaign> <scenario-file> "
+      "[--rounds=N] [--blocks=N] [--threads=N] [--log-level=L]\n"
+      "                   [--telemetry-out=FILE] [--iteration-log=FILE]\n"
+      "                   [--trace-out=FILE] [--metrics-out=FILE]\n"
       "                   [--flight-out=FILE] [--flight-interval-ms=N]\n"
-      "                   [--audit]\n"
+      "                   [--health=off|observe|warn|abort]\n"
+      "                   [--audit] [--audit-tol=T]\n"
       "       hecmine_cli --version\n"
       "  --threads=N          threads for the SP-stage price scans; 0 (the\n"
       "                       default) uses all hardware threads. The\n"
@@ -225,12 +283,27 @@ int usage() {
       "                       every --flight-interval-ms (default 500) while\n"
       "                       the run is in progress; HECMINE_FLIGHT_OUT /\n"
       "                       HECMINE_FLIGHT_INTERVAL_MS are the fallbacks.\n"
+      "  --metrics-out=F      write the metrics registry + work counters +\n"
+      "                       health gauges as an OpenMetrics/Prometheus\n"
+      "                       text snapshot to F; HECMINE_METRICS_OUT is the\n"
+      "                       fallback. Empty/absent = metrics export off.\n"
+      "  --health=A           solver health watchdog policy when a telemetry\n"
+      "                       sink is attached: off, observe (gauges/events\n"
+      "                       only), warn (default; log each incident), or\n"
+      "                       abort (throw a typed error on divergence);\n"
+      "                       HECMINE_HEALTH is the fallback.\n"
+      "  --blocks=N           campaign length in blocks (campaign command,\n"
+      "                       default 1000).\n"
+      "  --campaign-seed=N    campaign RNG seed (campaign command, default\n"
+      "                       97).\n"
       "  --version            print the run-provenance manifest fields (git\n"
       "                       sha, build type, compiler, schema versions).\n"
       "  --audit              audit the solved equilibrium (solve command):\n"
       "                       best-response gap, budget slack, capacity\n"
       "                       violation, Theorem-2 uniqueness check, leader\n"
-      "                       optimality gap.\n");
+      "                       optimality gap. Exits 4 when the worst\n"
+      "                       follower-side violation exceeds --audit-tol\n"
+      "                       (default 1e-6).\n");
   return 2;
 }
 
@@ -249,7 +322,10 @@ int main(int argc, char** argv) {
     const std::string iteration_log_path = args.iteration_log();
     const std::string trace_path = args.trace_out();
     const std::string flight_path = args.flight_out();
+    const std::string metrics_path = args.metrics_out();
+    const std::string health_policy = args.health();
     const bool audit = args.has("audit");
+    const double audit_tol = args.get("audit-tol", 1e-6);
     support::Telemetry telemetry;
     core::FollowerEquilibriumCache cache;
     core::SolveContext context;
@@ -257,10 +333,10 @@ int main(int argc, char** argv) {
     context.cache = &cache;
     // A sink is attached whenever any consumer needs it: a telemetry JSON
     // path, a streaming iteration log, a trace timeline, a flight
-    // recorder, or audit gauges.
+    // recorder, an OpenMetrics snapshot, or audit gauges.
     context.telemetry = telemetry_path.empty() && iteration_log_path.empty() &&
                                 trace_path.empty() && flight_path.empty() &&
-                                !audit
+                                metrics_path.empty() && !audit
                             ? nullptr
                             : &telemetry;
     // Stamp the run half of the provenance manifest before any export or
@@ -270,22 +346,40 @@ int main(int argc, char** argv) {
         argc, argv);
     if (!iteration_log_path.empty())
       telemetry.probe.stream_to(iteration_log_path, &telemetry.manifest);
+    // Health monitoring is on by default whenever a sink is attached
+    // (--health=off disables it). Declared before the flusher so the
+    // flusher — whose event drain reads the monitor — is destroyed first
+    // on every path, including typed-error unwinds.
+    std::optional<support::health::HealthMonitor> health_monitor;
+    if (context.telemetry != nullptr && health_policy != "off") {
+      support::health::HealthOptions health_options;
+      health_options.action =
+          support::health::parse_watchdog_action(health_policy);
+      health_monitor.emplace(telemetry, health_options);
+    }
     std::optional<support::TelemetryFlusher> flusher;
     if (!flight_path.empty()) {
       support::TelemetryFlusher::Options options;
       options.interval = std::chrono::milliseconds(args.flight_interval_ms());
       flusher.emplace(telemetry, flight_path, options);
+      if (health_monitor)
+        flusher->set_event_drain(
+            [&monitor = *health_monitor] { return monitor.drain_event_lines(); });
     }
 
     int status = 2;
     if (command == "solve") {
-      status = cmd_solve(scenario, context, audit);
+      status = cmd_solve(scenario, context, audit, audit_tol);
     } else if (command == "simulate") {
       status = cmd_simulate(scenario,
                             static_cast<std::size_t>(args.get("rounds", 20000)),
                             context);
     } else if (command == "dynamic") {
       status = cmd_dynamic(scenario);
+    } else if (command == "campaign") {
+      status = cmd_campaign(
+          scenario, static_cast<std::size_t>(args.get("blocks", 1000)),
+          static_cast<std::uint64_t>(args.get("campaign-seed", 97)), context);
     } else {
       return usage();
     }
@@ -328,7 +422,32 @@ int main(int argc, char** argv) {
                     telemetry.trace.thread_count());
       }
     }
+    if (health_monitor) {
+      std::uint64_t stalls = 0, oscillations = 0, divergences = 0;
+      for (const auto& [label, stats] : health_monitor->loop_stats()) {
+        stalls += stats.stalls;
+        oscillations += stats.oscillations;
+        divergences += stats.divergences;
+      }
+      std::printf("[health] %llu incidents (%llu stalls, %llu oscillations, "
+                  "%llu divergences)\n",
+                  static_cast<unsigned long long>(health_monitor->incidents()),
+                  static_cast<unsigned long long>(stalls),
+                  static_cast<unsigned long long>(oscillations),
+                  static_cast<unsigned long long>(divergences));
+    }
+    // The OpenMetrics snapshot is written last so it includes every gauge
+    // the run produced (audit, cache, health).
+    if (!metrics_path.empty()) {
+      support::write_openmetrics(telemetry, metrics_path);
+      std::printf("[metrics] %s\n", metrics_path.c_str());
+    }
     return status;
+  } catch (const support::health::SolverHealthError& error) {
+    // The watchdog abort path: the flight recorder (destroyed during this
+    // unwind) has already flushed the hecmine.health.v1 event.
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 5;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -292,6 +292,7 @@ EquilibriumProfile ClassAggregateOracle::fixed_point(
       record.solve = solve_id;
       record.iteration = out.iterations;
       record.residual = change;
+      record.tolerance = options_.tolerance;
       record.price_edge = prices.edge;
       record.price_cloud = prices.cloud;
       record.total_edge = total_e;

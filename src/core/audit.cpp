@@ -231,6 +231,11 @@ AuditReport audit_equilibrium(const Scenario& scenario, const Prices& prices,
   return report;
 }
 
+double worst_violation(const AuditReport& report) {
+  return std::max({report.best_response_gap, report.capacity_violation,
+                   std::max(0.0, -report.min_budget_slack)});
+}
+
 void record_audit(support::Telemetry& telemetry, const AuditReport& report) {
   support::MetricsRegistry& metrics = telemetry.metrics;
   metrics.gauge("audit.best_response_gap").set(report.best_response_gap);

@@ -92,6 +92,14 @@ struct AuditReport {
                                             const EquilibriumProfile& profile,
                                             const AuditOptions& options = {});
 
+/// Largest follower-side certificate violation of the report: the
+/// best-response gap, the capacity violation, and any budget overrun
+/// (max(0, -min_budget_slack)), whichever is worst. The leader gaps are
+/// deliberately excluded — they measure price optimality, which fixed-price
+/// scenarios do not promise — so this is the quantity a scriptable audit
+/// gate (hecmine_cli --audit --audit-tol) compares against its tolerance.
+[[nodiscard]] double worst_violation(const AuditReport& report);
+
 /// Exports the report as audit.* gauges in the hecmine.telemetry.v1
 /// registry (booleans as 0/1).
 void record_audit(support::Telemetry& telemetry, const AuditReport& report);

@@ -359,6 +359,7 @@ SymmetricEquilibrium symmetric_fixed_point(const NetworkParams& params,
       record.solve = solve_id;
       record.iteration = result.iterations;
       record.residual = change;
+      record.tolerance = options.tolerance;
       record.price_edge = prices.edge;
       record.price_cloud = prices.cloud;
       record.total_edge = dn * current.edge;

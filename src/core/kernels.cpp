@@ -420,6 +420,7 @@ BatchSweepResult solve_nep_batch(const KernelEnv& env, MinerBatch& batch,
       record.solve = solve_id;
       record.iteration = iteration;
       record.residual = change;
+      record.tolerance = options.tolerance;
       record.price_edge = binding.price_edge;
       record.price_cloud = binding.price_cloud;
       record.total_edge = batch.total_edge;
@@ -495,6 +496,7 @@ BatchGnepResult solve_gnep_batch(const KernelEnv& env, MinerBatch& batch,
       record.solve = bisection_id;
       record.iteration = result.inner_solves;
       record.residual = std::max(0.0, batch.total_edge - gnep.cap);
+      record.tolerance = gnep.complementarity_tol;
       record.price_edge = inner_binding.price_edge;
       record.price_cloud = inner_binding.price_cloud;
       record.total_edge = batch.total_edge;

@@ -65,6 +65,7 @@ SharedPriceGnepResult solve_shared_price_gnep(
       record.solve = bisection_id;
       record.iteration = inner_solves;
       record.residual = std::max(0.0, used - cap);  // capacity violation
+      record.tolerance = options.complementarity_tol;
       if (options.inner.probe) {
         record.price_edge = options.inner.probe->price_edge;
         record.price_cloud = options.inner.probe->price_cloud;

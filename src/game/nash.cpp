@@ -53,12 +53,13 @@ void blend_into(std::vector<double>& target, const std::vector<double>& image,
 /// present) the cloud request.
 void record_sweep(support::Telemetry& telemetry,
                   const game::ProbeBinding& binding, std::uint64_t solve_id,
-                  const NashResult& result, double damping) {
+                  const NashResult& result, double damping, double tolerance) {
   support::IterationProbe::Record record;
   record.solver = binding.solver;
   record.solve = solve_id;
   record.iteration = result.iterations;
   record.residual = result.residual;
+  record.tolerance = tolerance;
   record.price_edge = binding.price_edge;
   record.price_cloud = binding.price_cloud;
   record.step = damping;
@@ -114,7 +115,8 @@ NashResult solve_best_response(const BestResponseFn& best_response,
     }
     result.residual = profile_distance(before, result.profile);
     if (telemetry != nullptr)
-      record_sweep(*telemetry, *options.probe, solve_id, result, damping);
+      record_sweep(*telemetry, *options.probe, solve_id, result, damping,
+                   options.tolerance);
     if (result.residual < options.tolerance) {
       result.converged = true;
       return result;

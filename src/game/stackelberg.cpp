@@ -75,6 +75,7 @@ StackelbergResult solve_stackelberg(const LeaderPayoffFn& payoff,
       record.solve = solve_id;
       record.iteration = result.rounds;
       record.residual = round_change;
+      record.tolerance = options.tolerance;
       if (!result.actions.empty()) record.price_edge = result.actions[0];
       if (result.actions.size() > 1) record.price_cloud = result.actions[1];
       probe_sink->probe.record(record);

@@ -150,6 +150,7 @@ VIResult solve_extragradient(const VariationalInequality& problem,
       record.solve = solve_id;
       record.iteration = result.iterations;
       record.residual = movement;
+      record.tolerance = options.tolerance;
       record.step = tau;
       probe_sink->probe.record(record);
     }

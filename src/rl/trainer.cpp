@@ -264,6 +264,7 @@ AdaptivePricingResult adaptive_pricing_loop(
       record.solve = solve_id;
       record.iteration = result.periods;
       record.residual = movement;
+      record.tolerance = config.price_tolerance;
       record.price_edge = result.prices.edge;
       record.price_cloud = result.prices.cloud;
       record.step = step;

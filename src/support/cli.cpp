@@ -120,6 +120,19 @@ int CliArgs::flight_interval_ms() const {
   }
 }
 
+std::string CliArgs::metrics_out() const {
+  return flag_or_env("metrics-out", "HECMINE_METRICS_OUT");
+}
+
+std::string CliArgs::health() const {
+  const std::string value = flag_or_env("health", "HECMINE_HEALTH", "warn");
+  HECMINE_REQUIRE(value == "off" || value == "observe" || value == "warn" ||
+                      value == "abort",
+                  "--health/HECMINE_HEALTH must be off|observe|warn|abort, "
+                  "got: " + value);
+  return value;
+}
+
 LogLevel parse_log_level(const std::string& name) {
   if (name == "debug") return LogLevel::kDebug;
   if (name == "info") return LogLevel::kInfo;

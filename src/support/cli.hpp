@@ -46,6 +46,14 @@ class CliArgs {
   /// `--flight-interval-ms` flag with the HECMINE_FLIGHT_INTERVAL_MS
   /// environment variable as the fallback; defaults to 500.
   [[nodiscard]] int flight_interval_ms() const;
+  /// `--metrics-out` flag (an OpenMetrics text snapshot path, see
+  /// support::render_openmetrics) with the HECMINE_METRICS_OUT environment
+  /// variable as the fallback; empty = metrics export off.
+  [[nodiscard]] std::string metrics_out() const;
+  /// `--health` flag (off|observe|warn|abort — the solver health watchdog
+  /// policy, see support::health) with the HECMINE_HEALTH environment
+  /// variable as the fallback; defaults to "warn".
+  [[nodiscard]] std::string health() const;
   /// Flag-beats-environment resolution shared by every flag/env pair: the
   /// flag's value when present (even when empty), the environment variable
   /// otherwise, `fallback` when neither is set. All such pairs (threads,

@@ -307,6 +307,7 @@ void jsonl_record(std::ostream& os, const IterationProbe::Record& record) {
   writer.member("solve", record.solve);
   writer.member("iteration", record.iteration);
   writer.member("residual", record.residual);
+  writer.member("tolerance", record.tolerance);
   writer.member("price_edge", record.price_edge);
   writer.member("price_cloud", record.price_cloud);
   writer.member("total_edge", record.total_edge);
@@ -355,17 +356,28 @@ void IterationProbe::stream_to(const std::string& path,
   arm();
 }
 
+void IterationProbe::set_observer(Observer* observer) noexcept {
+  observer_.store(observer, std::memory_order_relaxed);
+  if (observer != nullptr) arm();
+}
+
 void IterationProbe::record(const Record& record) {
   if (!armed()) return;
   total_.fetch_add(1, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(record);
-  } else {
-    ring_[head_] = record;
-    head_ = (head_ + 1) % capacity_;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(record);
+    } else {
+      ring_[head_] = record;
+      head_ = (head_ + 1) % capacity_;
+    }
+    if (stream_ != nullptr) jsonl_record(*stream_, record);
   }
-  if (stream_ != nullptr) jsonl_record(*stream_, record);
+  // Outside the probe lock: the observer takes its own lock and — on the
+  // watchdog abort path — may throw through the recording solver loop.
+  if (Observer* observer = observer_.load(std::memory_order_relaxed))
+    observer->on_record(record);
 }
 
 std::vector<IterationProbe::Record> IterationProbe::snapshot() const {
@@ -746,10 +758,21 @@ void TelemetryFlusher::maybe_rotate() {
   rotations_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void TelemetryFlusher::set_event_drain(EventDrain drain) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  event_drain_ = std::move(drain);
+}
+
 void TelemetryFlusher::flush_now() {
   const MetricsSnapshot snap = sink_.metrics.snapshot();
   const std::lock_guard<std::mutex> lock(mutex_);
   if (stream_ == nullptr) return;  // already stopped
+  if (event_drain_) {
+    for (const std::string& event : event_drain_()) {
+      *stream_ << event << '\n';
+      bytes_ += event.size() + 1;
+    }
+  }
   std::ostringstream buffer;
   json::Writer writer(buffer);
   writer.begin_object();

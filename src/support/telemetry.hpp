@@ -41,6 +41,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -315,12 +316,24 @@ class IterationProbe {
     std::uint64_t solve = 0;   ///< per-probe solve sequence id
     int iteration = 0;         ///< 1-based iteration index
     double residual = 0.0;     ///< the loop's own stopping metric
+    double tolerance = 0.0;    ///< the loop's own stopping tolerance (0 = unknown)
     double price_edge = 0.0;   ///< P_e in effect for this solve
     double price_cloud = 0.0;  ///< P_c in effect for this solve
     double total_edge = 0.0;   ///< aggregate edge demand E at this iterate
     double total_cloud = 0.0;  ///< aggregate cloud demand C at this iterate
     double step = 0.0;         ///< damping / step size / bisection knob
     bool cap_active = false;   ///< shared capacity constraint binding?
+  };
+
+  /// Streaming consumer of probe records (the health monitor implements
+  /// this). on_record() runs on the recording thread, after the record has
+  /// landed in the ring, with no probe lock held — an observer may throw
+  /// (the watchdog abort path) and the exception unwinds the solver loop
+  /// that produced the record.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void on_record(const Record& record) = 0;
   };
 
   explicit IterationProbe(std::size_t capacity = 16384);
@@ -344,6 +357,15 @@ class IterationProbe {
   void stream_to(const std::string& path,
                  const provenance::RunManifest* manifest = nullptr);
 
+  /// Installs `observer` as the probe's streaming consumer (null detaches).
+  /// A non-null observer arms the probe, so solver loops start feeding
+  /// records without any per-loop wiring. Attach before solving begins:
+  /// the pointer is read with relaxed ordering on the hot path.
+  void set_observer(Observer* observer) noexcept;
+  [[nodiscard]] Observer* observer() const noexcept {
+    return observer_.load(std::memory_order_relaxed);
+  }
+
   /// Fresh id grouping the records of one solver-loop invocation.
   [[nodiscard]] std::uint64_t next_solve_id() noexcept {
     return next_solve_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -362,6 +384,7 @@ class IterationProbe {
  private:
   const std::size_t capacity_;
   std::atomic<bool> armed_{false};
+  std::atomic<Observer*> observer_{nullptr};
   std::atomic<std::uint64_t> next_solve_{0};
   std::atomic<std::uint64_t> total_{0};
   mutable std::mutex mutex_;
@@ -476,6 +499,14 @@ class TelemetryFlusher {
   /// joining.
   void stop();
 
+  /// Supplier of extra pre-serialized JSONL lines (newline excluded) to
+  /// append ahead of each snapshot — the health monitor's event drain.
+  /// Called on every flush *including the final one in stop()/destruction*,
+  /// so watchdog events raised between the last periodic flush and
+  /// shutdown (or a typed-error unwind) still reach disk.
+  using EventDrain = std::function<std::vector<std::string>()>;
+  void set_event_drain(EventDrain drain);
+
   /// Snapshot lines written so far (excluding headers).
   [[nodiscard]] std::uint64_t flushes() const noexcept {
     return flushes_.load(std::memory_order_relaxed);
@@ -494,7 +525,8 @@ class TelemetryFlusher {
   const std::string path_;
   const Options options_;
   const std::chrono::steady_clock::time_point epoch_;
-  std::mutex mutex_;  ///< guards the stream and rotation
+  std::mutex mutex_;  ///< guards the stream, rotation and event drain
+  EventDrain event_drain_;
   std::unique_ptr<std::ofstream> stream_;
   std::size_t bytes_ = 0;  ///< bytes written to the current generation
   std::atomic<std::uint64_t> flushes_{0};

@@ -1,0 +1,430 @@
+// Solver-health tests: the ConvergenceEstimator classifiers on synthetic
+// residual streams (clean geometric decay, sign-alternating oscillation,
+// plateau/stall, divergence by sustained growth / window blowup / NaN,
+// short-stream and below-tolerance edge cases), the HealthMonitor's
+// probe-fed gauges and hecmine.health.v1 events, watchdog escalation
+// (warn vs abort), thread-count invariance of the health.* gauges, and the
+// flight-recorder event-drain durability path (events written by the final
+// flush on destruction).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/health.hpp"
+#include "support/json.hpp"
+#include "support/telemetry.hpp"
+
+namespace {
+
+using namespace hecmine;
+namespace health = support::health;
+using health::ConvergenceEstimator;
+using health::LoopState;
+
+/// Residual stream r_0 * prod(ratios, cyclically) of length `count`.
+std::vector<double> stream(double r0, const std::vector<double>& ratios,
+                           int count) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  double r = r0;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(r);
+    r *= ratios[static_cast<std::size_t>(i) % ratios.size()];
+  }
+  return out;
+}
+
+/// Feeds a residual stream; returns the first non-healthy classification
+/// the estimator emitted (kHealthy if none ever fired).
+LoopState feed(ConvergenceEstimator& estimator,
+               const std::vector<double>& residuals, double tolerance) {
+  LoopState first = LoopState::kHealthy;
+  for (double r : residuals) {
+    const LoopState fired = estimator.update(r, tolerance);
+    if (fired != LoopState::kHealthy && first == LoopState::kHealthy)
+      first = fired;
+  }
+  return first;
+}
+
+double gauge_value(const support::Telemetry& telemetry,
+                   const std::string& name) {
+  for (const auto& gauge : telemetry.metrics.snapshot().gauges)
+    if (gauge.name == name) return gauge.value;
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+support::IterationProbe::Record make_record(const std::string& solver,
+                                            std::uint64_t solve, int iteration,
+                                            double residual,
+                                            double tolerance) {
+  support::IterationProbe::Record record;
+  record.solver = solver;
+  record.solve = solve;
+  record.iteration = iteration;
+  record.residual = residual;
+  record.tolerance = tolerance;
+  return record;
+}
+
+TEST(ConvergenceEstimatorTest, GeometricDecayStaysHealthy) {
+  ConvergenceEstimator estimator;
+  const auto residuals = stream(1.0, {0.5}, 30);
+  EXPECT_EQ(feed(estimator, residuals, 1e-12), LoopState::kHealthy);
+  EXPECT_EQ(estimator.state(), LoopState::kHealthy);
+  EXPECT_NEAR(estimator.rho(), 0.5, 1e-9);
+  EXPECT_NEAR(estimator.rho_worst(), 0.5, 1e-9);
+  EXPECT_EQ(estimator.iterations(), 30);
+}
+
+TEST(ConvergenceEstimatorTest, PredictionMatchesGeometricDecay) {
+  ConvergenceEstimator estimator;
+  const double tol = 1e-6;
+  const auto residuals = stream(1.0, {0.5}, 10);
+  feed(estimator, residuals, tol);
+  // r_9 = 0.5^9; rho = 0.5 exactly, so predicted = ceil(log2(r/tol)).
+  const double expected =
+      std::ceil(std::log(tol / estimator.last_residual()) / std::log(0.5));
+  EXPECT_DOUBLE_EQ(estimator.predicted_iterations(), expected);
+  EXPECT_GT(expected, 0.0);
+  EXPECT_TRUE(std::isfinite(expected));
+}
+
+TEST(ConvergenceEstimatorTest, SignAlternationClassifiedAsOscillation) {
+  ConvergenceEstimator estimator;
+  // Residual bounces up/down every step (ratios 0.6 / 1.6): pure sign
+  // alternation with essentially no net decay. The EWMA never holds above
+  // the divergence threshold, so oscillation — not divergence — fires.
+  const auto residuals = stream(1.0, {0.6, 1.6}, 24);
+  EXPECT_EQ(feed(estimator, residuals, 1e-9), LoopState::kOscillating);
+  EXPECT_EQ(estimator.state(), LoopState::kOscillating);
+}
+
+TEST(ConvergenceEstimatorTest, BracketingZeroBouncesStayHealthy) {
+  ConvergenceEstimator estimator;
+  // A bracketing loop (the GNEP surcharge bisection) reports residual 0 at
+  // every feasible probe and a shrinking violation at every infeasible one.
+  // The zero -> positive transitions carry no contraction information and
+  // must not be fed to the EWMA as capped growth ratios.
+  std::vector<double> residuals;
+  double violation = 1.0;
+  for (int i = 0; i < 16; ++i) {
+    residuals.push_back(violation);
+    residuals.push_back(0.0);
+    violation *= 0.5;
+  }
+  EXPECT_EQ(feed(estimator, residuals, 1e-12), LoopState::kHealthy);
+  EXPECT_EQ(estimator.state(), LoopState::kHealthy);
+  EXPECT_LT(estimator.rho_worst(), 1.0);
+}
+
+TEST(ConvergenceEstimatorTest, PeriodicLimitCycleIsOscillationNotDivergence) {
+  ConvergenceEstimator estimator;
+  // A period-4 limit cycle far above tolerance (the shape of a leader
+  // best-response loop bouncing between grid points). The up-leg ratios
+  // push the EWMA above the divergence threshold, but the residual never
+  // exceeds values it has already visited — recurrence classifies it as
+  // oscillation and the fresh-high requirement keeps divergence quiet.
+  std::vector<double> residuals;
+  const double cycle[4] = {1.7, 50.1, 42.0, 6.3};
+  for (int i = 0; i < 40; ++i) residuals.push_back(cycle[i % 4]);
+  EXPECT_EQ(feed(estimator, residuals, 1e-5), LoopState::kOscillating);
+  EXPECT_EQ(estimator.state(), LoopState::kOscillating);
+  EXPECT_GT(estimator.rho_worst(), 1.0);
+}
+
+TEST(ConvergenceEstimatorTest, PlateauClassifiedAsStall) {
+  ConvergenceEstimator estimator;
+  // Decays briefly, then sits at exactly 0.5 far above tolerance.
+  std::vector<double> residuals = {1.0, 0.9, 0.8, 0.7, 0.6};
+  for (int i = 0; i < 12; ++i) residuals.push_back(0.5);
+  EXPECT_EQ(feed(estimator, residuals, 1e-9), LoopState::kStalled);
+  EXPECT_EQ(estimator.state(), LoopState::kStalled);
+}
+
+TEST(ConvergenceEstimatorTest, SustainedGrowthClassifiedAsDivergence) {
+  ConvergenceEstimator estimator;
+  // Steady 1.3x growth: the EWMA locks above divergence_rho = 1.1 and the
+  // patience counter fires; window blowup (100x) never triggers first.
+  const auto residuals = stream(1e-3, {1.3}, 20);
+  EXPECT_EQ(feed(estimator, residuals, 1e-9), LoopState::kDiverging);
+  EXPECT_EQ(estimator.state(), LoopState::kDiverging);
+  EXPECT_GT(estimator.rho_worst(), 1.1);
+}
+
+TEST(ConvergenceEstimatorTest, WindowBlowupClassifiedAsDivergence) {
+  ConvergenceEstimator estimator;
+  // Doubling each step: 2^7 = 128x growth across the 8-wide window fires
+  // the fast path before the patience counter completes.
+  const auto residuals = stream(1e-3, {2.0}, 9);
+  EXPECT_EQ(feed(estimator, residuals, 1e-9), LoopState::kDiverging);
+}
+
+TEST(ConvergenceEstimatorTest, NonFiniteResidualIsImmediateDivergence) {
+  ConvergenceEstimator estimator;
+  EXPECT_EQ(estimator.update(1.0, 1e-9), LoopState::kHealthy);
+  EXPECT_EQ(estimator.update(std::numeric_limits<double>::quiet_NaN(), 1e-9),
+            LoopState::kDiverging);
+  // Fires only once.
+  EXPECT_EQ(estimator.update(std::numeric_limits<double>::infinity(), 1e-9),
+            LoopState::kHealthy);
+  EXPECT_EQ(estimator.state(), LoopState::kDiverging);
+}
+
+TEST(ConvergenceEstimatorTest, ShortStreamNeverFires) {
+  // Even an aggressively growing stream shorter than the warmup stays
+  // unclassified — too few samples to call anything.
+  ConvergenceEstimator estimator;
+  const auto residuals = stream(1.0, {2.0}, 5);
+  EXPECT_EQ(feed(estimator, residuals, 1e-9), LoopState::kHealthy);
+  EXPECT_EQ(estimator.state(), LoopState::kHealthy);
+}
+
+TEST(ConvergenceEstimatorTest, BelowToleranceNeverFires) {
+  // A residual plateau *below* the loop's tolerance is the loop jittering
+  // at its exit condition, not a stall.
+  ConvergenceEstimator estimator;
+  const auto residuals = stream(1e-8, {1.0}, 20);
+  EXPECT_EQ(feed(estimator, residuals, 1e-6), LoopState::kHealthy);
+  EXPECT_DOUBLE_EQ(estimator.predicted_iterations(), 0.0);
+}
+
+TEST(ConvergenceEstimatorTest, ToleranceFallsBackWhenUnknown) {
+  health::HealthOptions options;
+  options.fallback_tolerance = 1e-3;
+  ConvergenceEstimator estimator(options);
+  // Plateau at 1e-4 < fallback tolerance: healthy.
+  const auto residuals = stream(1e-4, {1.0}, 20);
+  EXPECT_EQ(feed(estimator, residuals, 0.0), LoopState::kHealthy);
+  EXPECT_DOUBLE_EQ(estimator.tolerance(), 1e-3);
+}
+
+TEST(HealthMonitorTest, CleanSolvesProduceNoIncidents) {
+  support::Telemetry telemetry;
+  health::HealthMonitor monitor(telemetry);
+  EXPECT_TRUE(telemetry.probe.armed());  // observer arms the probe
+  for (int s = 0; s < 3; ++s) {
+    const std::uint64_t solve = telemetry.probe.next_solve_id();
+    const auto residuals = stream(1.0, {0.5}, 20);
+    for (int i = 0; i < 20; ++i)
+      telemetry.probe.record(make_record(
+          "nep.best_response", solve, i + 1,
+          residuals[static_cast<std::size_t>(i)], 1e-12));
+  }
+  EXPECT_EQ(monitor.incidents(), 0u);
+  EXPECT_TRUE(monitor.events().empty());
+  EXPECT_EQ(gauge_value(telemetry, "health.nep.best_response.solves"), 3.0);
+  EXPECT_EQ(gauge_value(telemetry, "health.nep.best_response.records"), 60.0);
+  EXPECT_EQ(gauge_value(telemetry, "health.nep.best_response.divergences"),
+            0.0);
+  EXPECT_NEAR(gauge_value(telemetry, "health.nep.best_response.rho_worst"),
+              0.5, 1e-9);
+  EXPECT_EQ(gauge_value(telemetry, "health.incidents"), 0.0);
+}
+
+TEST(HealthMonitorTest, DivergingSolveRaisesEventAndGauges) {
+  support::Telemetry telemetry;
+  health::HealthOptions options;
+  options.action = health::WatchdogAction::kObserve;
+  health::HealthMonitor monitor(telemetry, options);
+  const std::uint64_t solve = telemetry.probe.next_solve_id();
+  const auto residuals = stream(1e-3, {1.3}, 20);
+  for (int i = 0; i < 20; ++i)
+    telemetry.probe.record(make_record(
+        "vi.extragradient", solve, i + 1,
+        residuals[static_cast<std::size_t>(i)], 1e-9));
+  EXPECT_EQ(monitor.incidents(), 1u);
+  const std::vector<health::HealthEvent> events = monitor.events();
+  ASSERT_EQ(events.size(), 1u);
+  const health::HealthEvent& event = events.front();
+  EXPECT_EQ(event.solver, "vi.extragradient");
+  EXPECT_EQ(event.solve, solve);
+  EXPECT_EQ(event.classification, LoopState::kDiverging);
+  EXPECT_GT(event.rho, 1.1);
+  EXPECT_EQ(gauge_value(telemetry, "health.vi.extragradient.divergences"),
+            1.0);
+  EXPECT_EQ(gauge_value(telemetry, "health.incidents"), 1.0);
+
+  // The drained line is a parseable hecmine.health.v1 record.
+  const auto lines = monitor.drain_event_lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const auto parsed = support::json::parse(lines.front());
+  EXPECT_EQ(parsed.at("schema").as_string(), "hecmine.health.v1");
+  EXPECT_EQ(parsed.at("solver").as_string(), "vi.extragradient");
+  EXPECT_EQ(parsed.at("classification").as_string(), "diverging");
+  EXPECT_EQ(parsed.at("action").as_string(), "observe");
+  // Draining moves the lines out: a second drain is empty.
+  EXPECT_TRUE(monitor.drain_event_lines().empty());
+}
+
+TEST(HealthMonitorTest, AbortActionThrowsTypedErrorOnDivergence) {
+  support::Telemetry telemetry;
+  health::HealthOptions options;
+  options.action = health::WatchdogAction::kAbort;
+  health::HealthMonitor monitor(telemetry, options);
+  const std::uint64_t solve = telemetry.probe.next_solve_id();
+  const auto residuals = stream(1e-3, {1.3}, 20);
+  bool thrown = false;
+  try {
+    for (int i = 0; i < 20; ++i)
+      telemetry.probe.record(make_record(
+          "gnep.inner", solve, i + 1, residuals[static_cast<std::size_t>(i)],
+          1e-9));
+  } catch (const health::SolverHealthError& error) {
+    thrown = true;
+    EXPECT_EQ(error.solver(), "gnep.inner");
+    EXPECT_EQ(error.solve(), solve);
+    EXPECT_EQ(error.state(), LoopState::kDiverging);
+    EXPECT_GT(error.rho(), 1.1);
+  }
+  EXPECT_TRUE(thrown);
+  EXPECT_EQ(monitor.incidents(), 1u);
+  // The record that triggered the abort still landed in the probe ring
+  // (the observer runs after ring insertion).
+  EXPECT_FALSE(telemetry.probe.snapshot().empty());
+}
+
+TEST(HealthMonitorTest, WarnActionDoesNotThrow) {
+  support::Telemetry telemetry;
+  health::HealthOptions options;
+  options.action = health::WatchdogAction::kWarn;
+  health::HealthMonitor monitor(telemetry, options);
+  const std::uint64_t solve = telemetry.probe.next_solve_id();
+  const auto residuals = stream(1e-3, {1.3}, 20);
+  EXPECT_NO_THROW({
+    for (int i = 0; i < 20; ++i)
+      telemetry.probe.record(make_record(
+          "gnep.inner", solve, i + 1, residuals[static_cast<std::size_t>(i)],
+          1e-9));
+  });
+  EXPECT_EQ(monitor.incidents(), 1u);
+}
+
+TEST(HealthMonitorTest, DetachOnDestructionDisablesObserver) {
+  support::Telemetry telemetry;
+  {
+    health::HealthMonitor monitor(telemetry);
+    EXPECT_EQ(telemetry.probe.observer(), &monitor);
+  }
+  EXPECT_EQ(telemetry.probe.observer(), nullptr);
+}
+
+/// The determinism contract: health.* gauges are sums and maxima over the
+/// multiset of solves, so any interleaving of the same solves across any
+/// number of threads produces identical values.
+TEST(HealthMonitorTest, GaugesInvariantAcrossThreadCounts) {
+  // 8 solves: 6 clean geometric decays with different rates, 2 divergent.
+  std::vector<std::vector<double>> solves;
+  for (int s = 0; s < 6; ++s)
+    solves.push_back(stream(1.0, {0.4 + 0.05 * s}, 25));
+  solves.push_back(stream(1e-3, {1.3}, 20));
+  solves.push_back(stream(1e-2, {1.3}, 20));
+
+  const auto run = [&](int threads) {
+    support::Telemetry telemetry;
+    health::HealthOptions options;
+    options.action = health::WatchdogAction::kObserve;
+    health::HealthMonitor monitor(telemetry, options);
+    // Solve ids fixed up front so they do not depend on thread scheduling.
+    std::vector<std::uint64_t> ids;
+    for (std::size_t s = 0; s < solves.size(); ++s)
+      ids.push_back(telemetry.probe.next_solve_id());
+    const auto worker = [&](std::size_t begin, std::size_t step) {
+      for (std::size_t s = begin; s < solves.size(); s += step) {
+        for (std::size_t i = 0; i < solves[s].size(); ++i)
+          telemetry.probe.record(make_record("aggregate.fixed_point", ids[s],
+                                             static_cast<int>(i) + 1,
+                                             solves[s][i], 1e-10));
+      }
+    };
+    if (threads <= 1) {
+      worker(0, 1);
+    } else {
+      std::vector<std::thread> pool;
+      for (int t = 0; t < threads; ++t)
+        pool.emplace_back(worker, static_cast<std::size_t>(t),
+                          static_cast<std::size_t>(threads));
+      for (auto& thread : pool) thread.join();
+    }
+    std::vector<std::pair<std::string, double>> gauges;
+    for (const auto& gauge : telemetry.metrics.snapshot().gauges)
+      gauges.emplace_back(gauge.name, gauge.value);
+    return gauges;
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].first, parallel[i].first);
+    EXPECT_DOUBLE_EQ(serial[i].second, parallel[i].second)
+        << "gauge " << serial[i].first;
+  }
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Durability satellite: watchdog events raised after the last periodic
+/// flush still reach the flight stream, because the final flush (run by
+/// stop(), and by the destructor on unwinds) drains them first.
+TEST(HealthMonitorTest, FlightRecorderDrainsEventsOnDestruction) {
+  const std::string path =
+      testing::TempDir() + "/hecmine_health_flight.jsonl";
+  support::Telemetry telemetry;
+  {
+    health::HealthOptions options;
+    options.action = health::WatchdogAction::kObserve;
+    health::HealthMonitor monitor(telemetry, options);
+    support::TelemetryFlusher::Options flush_options;
+    flush_options.interval = std::chrono::milliseconds(60'000);  // final only
+    support::TelemetryFlusher flusher(telemetry, path, flush_options);
+    flusher.set_event_drain([&monitor] { return monitor.drain_event_lines(); });
+    const std::uint64_t solve = telemetry.probe.next_solve_id();
+    const auto residuals = stream(1e-3, {1.3}, 20);
+    for (int i = 0; i < 20; ++i)
+      telemetry.probe.record(make_record(
+          "symmetric.fixed_point", solve, i + 1,
+          residuals[static_cast<std::size_t>(i)], 1e-9));
+    EXPECT_EQ(monitor.incidents(), 1u);
+    // No flush_now, no stop: the destructor's final flush must drain.
+  }
+  const auto lines = support::json::parse_lines(slurp_file(path));
+  ASSERT_GE(lines.size(), 2u);  // header + event + final snapshot
+  bool found = false;
+  for (const auto& line : lines) {
+    if (!line.is_object() || !line.contains("schema")) continue;
+    if (line.at("schema").as_string() != "hecmine.health.v1") continue;
+    found = true;
+    EXPECT_EQ(line.at("solver").as_string(), "symmetric.fixed_point");
+    EXPECT_EQ(line.at("classification").as_string(), "diverging");
+  }
+  EXPECT_TRUE(found) << "no hecmine.health.v1 event in the flight stream";
+  std::remove(path.c_str());
+}
+
+TEST(HealthOptionsTest, WatchdogActionParsesAndRejects) {
+  EXPECT_EQ(health::parse_watchdog_action("observe"),
+            health::WatchdogAction::kObserve);
+  EXPECT_EQ(health::parse_watchdog_action("warn"),
+            health::WatchdogAction::kWarn);
+  EXPECT_EQ(health::parse_watchdog_action("abort"),
+            health::WatchdogAction::kAbort);
+  EXPECT_THROW((void)health::parse_watchdog_action("off"),
+               support::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// OpenMetrics exporter tests: rendered snapshots pass the repo's own
+// structural lint, name mangling, counter/gauge/histogram shapes, the
+// build-info metric, corruption detection by the lint, and value parity
+// between the OpenMetrics text exposition and the JSON telemetry export
+// for the same registry state (including health.* gauges).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/health.hpp"
+#include "support/json.hpp"
+#include "support/openmetrics.hpp"
+#include "support/telemetry.hpp"
+
+namespace {
+
+using namespace hecmine;
+
+/// Value of the single-line sample `name value` in an OpenMetrics text.
+double sample_value(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + " ", 0) == 0)
+      return std::stod(line.substr(name.size() + 1));
+  }
+  ADD_FAILURE() << "no sample named " << name;
+  return 0.0;
+}
+
+TEST(OpenMetricsNameTest, ManglesDotsUnderPrefix) {
+  EXPECT_EQ(support::openmetrics_name("oracle.solves"),
+            "hecmine_oracle_solves");
+  EXPECT_EQ(support::openmetrics_name("health.nep.best_response.rho_worst"),
+            "hecmine_health_nep_best_response_rho_worst");
+}
+
+TEST(OpenMetricsRenderTest, SnapshotPassesOwnLint) {
+  support::Telemetry telemetry;
+  telemetry.metrics.counter("oracle.solves").add(42);
+  telemetry.metrics.gauge("cache.hit_rate").set(0.75);
+  telemetry.metrics.histogram("solve.iterations", {1.0, 4.0, 16.0})
+      .observe(3.0);
+  telemetry.metrics.histogram("solve.iterations", {1.0, 4.0, 16.0})
+      .observe(40.0);
+  const std::string text = support::render_openmetrics(telemetry);
+  const auto findings = support::lint_openmetrics(text);
+  EXPECT_TRUE(findings.empty()) << [&] {
+    std::ostringstream os;
+    for (const auto& finding : findings) os << finding << "\n";
+    return os.str();
+  }();
+  // Counter sample carries _total; histogram has cumulative buckets; the
+  // exposition terminates with # EOF.
+  EXPECT_NE(text.find("# TYPE hecmine_oracle_solves counter"),
+            std::string::npos);
+  EXPECT_EQ(sample_value(text, "hecmine_oracle_solves_total"), 42.0);
+  EXPECT_EQ(sample_value(text, "hecmine_cache_hit_rate"), 0.75);
+  EXPECT_NE(text.find("hecmine_solve_iterations_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("hecmine_build_info{"), std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(OpenMetricsRenderTest, EmptyRegistryStillLints) {
+  support::Telemetry telemetry;
+  const std::string text = support::render_openmetrics(telemetry);
+  EXPECT_TRUE(support::lint_openmetrics(text).empty());
+  EXPECT_NE(text.find("hecmine_build_info{"), std::string::npos);
+}
+
+TEST(OpenMetricsLintTest, CatchesCorruption) {
+  support::Telemetry telemetry;
+  telemetry.metrics.counter("oracle.solves").add(1);
+  const std::string text = support::render_openmetrics(telemetry);
+
+  // Missing # EOF terminator.
+  std::string truncated = text.substr(0, text.rfind("# EOF"));
+  EXPECT_FALSE(support::lint_openmetrics(truncated).empty());
+
+  // Counter sample without the _total suffix.
+  std::string renamed = text;
+  const std::string sample = "hecmine_oracle_solves_total 1";
+  const auto pos = renamed.find(sample);
+  ASSERT_NE(pos, std::string::npos);
+  renamed.replace(pos, sample.size(), "hecmine_oracle_solves 1");
+  EXPECT_FALSE(support::lint_openmetrics(renamed).empty());
+
+  // Unparseable sample value.
+  std::string garbled = text;
+  const auto vpos = garbled.find(" 1\n");
+  ASSERT_NE(vpos, std::string::npos);
+  garbled.replace(vpos, 3, " banana\n");
+  EXPECT_FALSE(support::lint_openmetrics(garbled).empty());
+}
+
+TEST(OpenMetricsLintTest, CatchesNonCumulativeHistogram) {
+  const std::string text =
+      "# TYPE hecmine_h histogram\n"
+      "hecmine_h_bucket{le=\"1\"} 5\n"
+      "hecmine_h_bucket{le=\"2\"} 3\n"
+      "hecmine_h_bucket{le=\"+Inf\"} 5\n"
+      "hecmine_h_count 5\n"
+      "hecmine_h_sum 4\n"
+      "# EOF\n";
+  EXPECT_FALSE(support::lint_openmetrics(text).empty());
+}
+
+/// Round-trip satellite: the OpenMetrics exposition reports exactly the
+/// gauge values of the JSON telemetry export for the same registry state —
+/// exercised through a real HealthMonitor feed so health.* gauges are part
+/// of the comparison.
+TEST(OpenMetricsParityTest, GaugeValuesMatchJsonExport) {
+  support::Telemetry telemetry;
+  support::health::HealthOptions options;
+  options.action = support::health::WatchdogAction::kObserve;
+  support::health::HealthMonitor monitor(telemetry, options);
+  // One clean and one divergent solve populate the health gauges.
+  for (int pattern = 0; pattern < 2; ++pattern) {
+    const std::uint64_t solve = telemetry.probe.next_solve_id();
+    double r = pattern == 0 ? 1.0 : 1e-3;
+    const double ratio = pattern == 0 ? 0.5 : 1.3;
+    for (int i = 0; i < 20; ++i) {
+      support::IterationProbe::Record record;
+      record.solver = "nep.best_response";
+      record.solve = solve;
+      record.iteration = i + 1;
+      record.residual = r;
+      record.tolerance = 1e-12;
+      telemetry.probe.record(record);
+      r *= ratio;
+    }
+  }
+  telemetry.metrics.gauge("cache.hit_rate").set(0.123456789012345);
+
+  const std::string om_text = support::render_openmetrics(telemetry);
+  EXPECT_TRUE(support::lint_openmetrics(om_text).empty());
+
+  const std::string json_path =
+      testing::TempDir() + "/hecmine_om_parity.json";
+  support::write_json(telemetry, json_path);
+  const auto doc = support::json::parse_file(json_path);
+  const auto& gauges = doc.at("gauges");
+  ASSERT_TRUE(gauges.is_object());
+  std::size_t compared = 0;
+  for (const auto& [name, value] : gauges.as_object()) {
+    EXPECT_DOUBLE_EQ(sample_value(om_text, support::openmetrics_name(name)),
+                     value.as_number())
+        << "gauge " << name;
+    ++compared;
+  }
+  // The comparison must actually have covered the health gauges.
+  EXPECT_GE(compared, 8u);
+  EXPECT_TRUE(gauges.contains("health.nep.best_response.rho_worst"));
+  EXPECT_TRUE(gauges.contains("health.incidents"));
+  std::remove(json_path.c_str());
+}
+
+}  // namespace
