@@ -6,7 +6,9 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "chain/blocklog.hpp"
 #include "rl/trainer.hpp"
+#include "support/provenance.hpp"
 
 int main(int argc, char** argv) {
   using namespace hecmine;
@@ -18,8 +20,8 @@ int main(int argc, char** argv) {
   params.edge_success = 0.9;
   params.edge_capacity = 20.0;
   const core::Prices prices{2.0, 1.0};
-  const double budget = args.get("budget", 12.0);
-  const int n = args.get("miners", 5);
+  const double budget = args.positive_double("budget", 12.0);
+  const int n = args.positive_int("miners", 5);
   const core::PopulationModel fixed(static_cast<double>(n), 0.0, 1, n);
 
   const auto analytic = rl::equilibrium_reference(params, prices, budget,
@@ -34,7 +36,7 @@ int main(int argc, char** argv) {
 
   support::Table table({"block", "eps_greedy_dist", "ucb1_dist",
                         "boltzmann_dist"});
-  const int blocks = args.get("blocks", 12000);
+  const int blocks = args.positive_int("blocks", 12000);
   const int stride = blocks / 24;
   std::vector<std::vector<rl::CurvePoint>> curves;
   for (rl::LearnerKind kind :
@@ -61,6 +63,27 @@ int main(int argc, char** argv) {
                    distance(curves[2][point].mean_greedy)});
   }
   bench::emit("ablation_rl_learners", table);
+
+  // --block-log: one extra epsilon-greedy pass under realized feedback
+  // (the only mode that runs PoW races, hence the only one with blocks to
+  // log) streaming every training round as hecmine.blocklog.v1.
+  const std::string block_log_path = args.block_log();
+  if (!block_log_path.empty()) {
+    const support::provenance::RunManifest manifest =
+        support::provenance::collect();
+    chain::BlockLogWriter block_log(block_log_path, &manifest);
+    rl::TrainerConfig config;
+    config.blocks = blocks;
+    config.edge_steps = 13;
+    config.cloud_steps = 13;
+    config.feedback = rl::FeedbackMode::kRealized;
+    config.edge_success = params.edge_success;
+    config.block_log = &block_log;
+    (void)rl::train_miners(params, prices, budget, fixed, config, 4242);
+    std::cout << "[block-log] " << block_log_path << " ("
+              << block_log.records() << " records)\n";
+  }
+
   std::cout << "Expected: every learner's distance to the NE shrinks with "
                "training and ends within a grid step or two; epsilon-greedy "
                "(the paper's choice) is competitive.\n";

@@ -12,11 +12,21 @@
 //
 // A Monte-Carlo column drawn from the chain simulator's fork decisions
 // cross-checks the analytic curve.
+//
+// Observability: --block-log streams the hecmine.blocklog.v1 record of an
+// instrumented simulator pass at --delay (default 10 s, the paper's
+// effective propagation scale); --metrics-out / --trace-out export the
+// fig2.* gauges and the sim-time fork-rate timeline of that same pass.
 #include <iostream>
+#include <optional>
 
 #include "bench_util.hpp"
+#include "chain/blocklog.hpp"
 #include "chain/race.hpp"
+#include "chain/simulator.hpp"
 #include "core/params.hpp"
+#include "support/openmetrics.hpp"
+#include "support/provenance.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -28,8 +38,10 @@ constexpr double kTau = 12.6;
 int main(int argc, char** argv) {
   using namespace hecmine;
   const support::CliArgs args(argc, argv);
-  const double tau = args.get("tau", kTau);
-  const int points = args.get("points", 25);
+  const double tau = args.positive_double("tau", kTau);
+  const int points = args.positive_int("points", 25);
+  const auto rounds =
+      static_cast<std::size_t>(args.positive_int("rounds", 40000));
   const core::ForkModel model(tau);
 
   support::Table pdf({"delay_s", "collision_pdf"});
@@ -49,7 +61,6 @@ int main(int argc, char** argv) {
     chain::RaceConfig config;
     config.fork_rate = beta;
     std::size_t forks = 0;
-    const std::size_t rounds = 40000;
     for (std::size_t r = 0; r < rounds; ++r) {
       const auto outcome =
           chain::run_race({{1.0, 0.0}, {0.0, 1.0}}, config, rng);
@@ -60,6 +71,60 @@ int main(int argc, char** argv) {
     cdf.add_row({d, beta, mc});
   }
   bench::emit("fig2b_fork_rate_cdf", cdf, 5);
+
+  // Instrumented pass: replay one delay point through the ledger-backed
+  // simulator with the block log and telemetry sinks attached. Kept
+  // separate from the sweep above so the table rows stay sink-free.
+  const std::string block_log_path = args.block_log();
+  const std::string metrics_path = args.metrics_out();
+  const std::string trace_path = args.trace_out();
+  if (!block_log_path.empty() || !metrics_path.empty() ||
+      !trace_path.empty()) {
+    const double delay = args.positive_double("delay", 10.0);
+    const double beta = model.fork_rate(delay);
+    support::Telemetry telemetry;
+    telemetry.manifest = support::provenance::collect();
+    std::optional<chain::BlockLogWriter> block_log;
+    if (!block_log_path.empty())
+      block_log.emplace(block_log_path, &telemetry.manifest);
+    chain::RaceConfig config;
+    config.fork_rate = beta;
+    chain::MiningSimulator simulator(config, 2026);
+    if (block_log) simulator.set_block_log(&*block_log);
+    const std::vector<chain::Allocation> allocations{{1.0, 0.0}, {0.0, 1.0}};
+    std::size_t mc_forks = 0;
+    double fork_ewma = beta;  // seeded at the model value
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const auto outcome = simulator.step(allocations);
+      if (outcome && outcome->fork_occurred) ++mc_forks;
+      fork_ewma += 0.01 * ((outcome && outcome->fork_occurred ? 1.0 : 0.0) -
+                           fork_ewma);
+      if (r % 64 == 0)
+        telemetry.timeline.counter("fig2.fork_ewma",
+                                   simulator.sim_time() * 1000.0, fork_ewma);
+    }
+    support::MetricsRegistry& metrics = telemetry.metrics;
+    metrics.gauge("fig2.tau").set(tau);
+    metrics.gauge("fig2.delay").set(delay);
+    metrics.gauge("fig2.fork_rate_beta").set(beta);
+    metrics.gauge("fig2.fork_rate_mc")
+        .set(2.0 * static_cast<double>(mc_forks) /
+             static_cast<double>(rounds));
+    metrics.gauge("fig2.rounds").set(static_cast<double>(rounds));
+    if (block_log) {
+      std::cout << "[block-log] " << block_log_path << " ("
+                << block_log->records() << " records)\n";
+    }
+    if (!metrics_path.empty()) {
+      support::write_openmetrics(telemetry, metrics_path);
+      std::cout << "[metrics] " << metrics_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      support::write_chrome_trace(telemetry, trace_path);
+      std::cout << "[trace] " << trace_path << "\n";
+    }
+  }
+
   std::cout << "\nShape check: beta(D) is monotone and ~linear for D << tau="
             << tau << " s, matching the paper's Fig. 2(b).\n";
   return 0;

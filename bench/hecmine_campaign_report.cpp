@@ -1,0 +1,419 @@
+// hecmine_campaign_report: replay a hecmine.blocklog.v1 stream into a
+// per-miner convergence table — the offline counterpart of the streaming
+// net::CampaignMonitor. Usage:
+//
+//   hecmine_campaign_report BLOCKLOG.jsonl [--json=REPORT.json]
+//       [--fail-on-drift] [--z=4] [--min-rel-gap=0.02] [--min-rounds=256]
+//
+// Produce a block log with any --block-log flag (hecmine_cli campaign,
+// bench_fig2_fork_model, bench_ablation_rl_learners). The replay applies
+// exactly the drift rule the live monitor runs: per miner, the CLT score
+// z = (wins - m) / sqrt(v) against the reference equilibrium's expectation
+// sums, gated by the min_rel_gap guard and a min_rounds floor; the fork
+// counter is scored against the beta(D) model the same way.
+//
+// Aggregates come from the trailing summary line when the log has one
+// (authoritative — covers rounds dropped by --block-log-stride and shares
+// elided by the per-record miner cap). Without a summary the replay
+// recomputes the sums from the per-record hash shares; when both are
+// available the recomputation cross-checks the summary and a mismatch is
+// a malformed-input error.
+//
+// Exit codes: 0 on success — including an empty or header-only log, which
+// reports "nothing to analyze"; 2 on unreadable/malformed input (with
+// diagnostics); 3 when --fail-on-drift is set and any miner (or the fork
+// counter) drifted beyond the thresholds. `--help` prints usage, exit 0.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/winning.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hecmine;
+namespace json = support::json;
+
+void print_usage(std::ostream& os) {
+  os << "usage: hecmine_campaign_report BLOCKLOG.jsonl [--json=REPORT.json]\n"
+        "           [--fail-on-drift] [--z=4] [--min-rel-gap=0.02]\n"
+        "           [--min-rounds=256]\n"
+        "  Replays a hecmine.blocklog.v1 stream (any --block-log output)\n"
+        "  into a per-miner convergence table: empirical win rates against\n"
+        "  the sampler expectation and, when the log carries a reference\n"
+        "  equilibrium, against the model's W_i — each scored with the CLT\n"
+        "  drift statistic z = (wins - m) / sqrt(v).\n"
+        "  --json=F          also write the report as hecmine.blocklog.v1\n"
+        "                    JSON to F.\n"
+        "  --fail-on-drift   exit 3 when any miner or the fork counter\n"
+        "                    drifted beyond the thresholds (for CI gates).\n"
+        "  --z=Z             drift threshold in standard deviations\n"
+        "                    (default 4, matching the live monitor).\n"
+        "  --min-rel-gap=G   also require the absolute rate gap to exceed\n"
+        "                    G * expected rate (default 0.02).\n"
+        "  --min-rounds=N    score only miners with at least N observed\n"
+        "                    rounds (default 256).\n";
+}
+
+/// Per-miner CLT sums, either read from the summary line or recomputed
+/// from per-record shares (mirrors chain::BlockLogMinerSummary).
+struct MinerStats {
+  std::uint64_t miner = 0;
+  std::uint64_t wins = 0;
+  std::uint64_t rounds = 0;
+  double expected = 0.0;
+  double variance = 0.0;
+  double expected_ref = 0.0;
+  double variance_ref = 0.0;
+};
+
+/// The reference-equilibrium line, when the log has one.
+struct Reference {
+  bool connected = false;
+  double fork_rate = 0.0;
+  double edge_success = 1.0;
+  std::vector<core::MinerRequest> requests;
+};
+
+double drift_score(double wins, double expected, double variance) {
+  if (variance < 1e-12) return 0.0;
+  return (wins - expected) / std::sqrt(variance);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::CliArgs args(argc, argv);
+  if (args.has("help")) {
+    print_usage(std::cout);
+    return 0;
+  }
+  const std::string json_path = args.get("json", std::string{});
+  const bool fail_on_drift = args.has("fail-on-drift");
+  if (args.positional().size() != 1) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string path = args.positional().front();
+  try {
+    const double drift_z = args.positive_double("z", 4.0);
+    const double min_rel_gap = args.positive_double("min-rel-gap", 0.02);
+    const auto min_rounds =
+        static_cast<std::uint64_t>(args.positive_int("min-rounds", 256));
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open file");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = std::move(buffer).str();
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+      std::cout << "hecmine_campaign_report: " << path
+                << ": empty block log — nothing to analyze (was the run "
+                   "started with --block-log?)\n";
+      return 0;
+    }
+
+    const std::vector<json::Value> lines = json::parse_lines(text);
+    if (lines.empty() || !lines.front().is_object() ||
+        !lines.front().contains("schema") ||
+        lines.front().at("schema").as_string() != "hecmine.blocklog.v1") {
+      throw std::runtime_error(
+          "not a hecmine.blocklog.v1 stream (missing schema header line)");
+    }
+
+    // One pass over the stream: pick up the reference line, recompute the
+    // per-miner CLT sums from every record that embeds shares, and stash
+    // the trailing summary when present.
+    std::optional<Reference> reference;
+    const json::Value* summary = nullptr;
+    std::map<std::uint64_t, MinerStats> recomputed;
+    std::uint64_t records = 0, records_with_shares = 0;
+    std::uint64_t rec_blocks = 0, rec_forks = 0;
+    double rec_fork_expected = 0.0, rec_fork_variance = 0.0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const json::Value& line = lines[i];
+      if (!line.is_object())
+        throw std::runtime_error("line " + std::to_string(i + 1) +
+                                 ": not a block log record");
+      if (const json::Value* kind = line.find("kind"); kind != nullptr) {
+        if (kind->as_string() == "reference") {
+          Reference parsed;
+          parsed.connected = line.at("mode").as_string() == "connected";
+          parsed.fork_rate = line.number_or("fork_rate", 0.0);
+          parsed.edge_success = line.number_or("edge_success", 1.0);
+          for (const json::Value& request : line.at("requests").as_array()) {
+            const json::Value::Array& pair = request.as_array();
+            if (pair.size() != 2)
+              throw std::runtime_error("line " + std::to_string(i + 1) +
+                                       ": malformed reference request");
+            parsed.requests.push_back(
+                core::MinerRequest{pair[0].as_number(), pair[1].as_number()});
+          }
+          reference = std::move(parsed);
+        } else if (kind->as_string() == "summary") {
+          summary = &line;
+        } else {
+          throw std::runtime_error("line " + std::to_string(i + 1) +
+                                   ": unknown record kind: " +
+                                   kind->as_string());
+        }
+        continue;
+      }
+      if (!line.contains("round"))
+        throw std::runtime_error("line " + std::to_string(i + 1) +
+                                 ": not a block record (no round field)");
+      ++records;
+      const auto winner = static_cast<std::int64_t>(line.number_or("winner", -1.0));
+      const double fork_rate = line.number_or("fork_rate", 0.0);
+      const double p_fork = line.number_or("p_fork", 0.0);
+      if (winner >= 0) {
+        ++rec_blocks;
+        if (line.contains("fork") && line.at("fork").as_bool()) ++rec_forks;
+        rec_fork_expected += p_fork;
+        rec_fork_variance += p_fork * (1.0 - p_fork);
+      }
+      const json::Value* shares = line.find("shares");
+      if (shares == nullptr) continue;
+      ++records_with_shares;
+      // Mirror of the monitor's sampler/reference expectations: totals
+      // over the round's granted shares, then Eq. 6 (or Eq. 9) per miner.
+      double edge_total = 0.0, cloud_total = 0.0;
+      for (const json::Value& share : shares->as_array()) {
+        const json::Value::Array& triple = share.as_array();
+        if (triple.size() != 3)
+          throw std::runtime_error("line " + std::to_string(i + 1) +
+                                   ": malformed share triple");
+        edge_total += triple[1].as_number();
+        cloud_total += triple[2].as_number();
+      }
+      const double total = edge_total + cloud_total;
+      core::Totals reference_totals;
+      if (reference) {
+        for (const json::Value& share : shares->as_array()) {
+          const auto id =
+              static_cast<std::size_t>(share.as_array()[0].as_number());
+          if (id >= reference->requests.size()) continue;
+          reference_totals.edge += reference->requests[id].edge;
+          reference_totals.cloud += reference->requests[id].cloud;
+        }
+      }
+      for (const json::Value& share : shares->as_array()) {
+        const json::Value::Array& triple = share.as_array();
+        const auto id = static_cast<std::uint64_t>(triple[0].as_number());
+        MinerStats& stats = recomputed[id];
+        stats.miner = id;
+        ++stats.rounds;
+        if (winner >= 0 && static_cast<std::uint64_t>(winner) == id)
+          ++stats.wins;
+        if (total > 0.0) {
+          double p = (1.0 - fork_rate) *
+                     (triple[1].as_number() + triple[2].as_number()) / total;
+          if (edge_total > 0.0)
+            p += fork_rate * triple[1].as_number() / edge_total;
+          stats.expected += p;
+          stats.variance += p * (1.0 - p);
+        }
+        if (reference && id < reference->requests.size()) {
+          const core::MinerRequest& request = reference->requests[id];
+          const double p_ref =
+              reference->connected
+                  ? core::win_prob_connected(request, reference_totals,
+                                             reference->fork_rate,
+                                             reference->edge_success)
+                  : core::win_prob_full(request, reference_totals,
+                                        reference->fork_rate);
+          stats.expected_ref += p_ref;
+          stats.variance_ref += p_ref * (1.0 - p_ref);
+        }
+      }
+    }
+
+    // Assemble the per-miner table source: summary line when present,
+    // recomputed sums otherwise.
+    bool has_reference = reference.has_value();
+    std::vector<MinerStats> miners;
+    std::uint64_t forks = rec_forks;
+    double fork_expected = rec_fork_expected;
+    double fork_variance = rec_fork_variance;
+    std::uint64_t blocks = rec_blocks;
+    if (summary != nullptr) {
+      has_reference =
+          summary->contains("has_reference") &&
+          summary->at("has_reference").as_bool();
+      forks = static_cast<std::uint64_t>(summary->number_or("forks", 0.0));
+      blocks = static_cast<std::uint64_t>(summary->number_or("blocks", 0.0));
+      fork_expected = summary->number_or("fork_expected", 0.0);
+      fork_variance = summary->number_or("fork_variance", 0.0);
+      for (const json::Value& entry : summary->at("miners").as_array()) {
+        MinerStats stats;
+        stats.miner = static_cast<std::uint64_t>(entry.number_or("miner", 0.0));
+        stats.wins = static_cast<std::uint64_t>(entry.number_or("wins", 0.0));
+        stats.rounds =
+            static_cast<std::uint64_t>(entry.number_or("rounds", 0.0));
+        stats.expected = entry.number_or("expected", 0.0);
+        stats.variance = entry.number_or("variance", 0.0);
+        stats.expected_ref = entry.number_or("expected_ref", 0.0);
+        stats.variance_ref = entry.number_or("variance_ref", 0.0);
+        miners.push_back(stats);
+      }
+      // Cross-check: an unstrided full-share log must recompute to the
+      // summary's expectation sums — a mismatch means the producer and
+      // the replay disagree on the model, which is a corrupt log.
+      if (records_with_shares == records && records > 0) {
+        for (const MinerStats& stats : miners) {
+          const auto it = recomputed.find(stats.miner);
+          const MinerStats empty{};
+          const MinerStats& replay =
+              it == recomputed.end() ? empty : it->second;
+          if (replay.wins != stats.wins ||
+              std::abs(replay.expected - stats.expected) >
+                  1e-6 * std::max(1.0, stats.expected)) {
+            throw std::runtime_error(
+                "summary/replay mismatch for miner " +
+                std::to_string(stats.miner) +
+                " (summary expected sum " + std::to_string(stats.expected) +
+                ", replay " + std::to_string(replay.expected) + ")");
+          }
+        }
+      }
+    } else {
+      miners.reserve(recomputed.size());
+      for (const auto& [id, stats] : recomputed) miners.push_back(stats);
+    }
+
+    if (miners.empty()) {
+      std::cout << "hecmine_campaign_report: " << path
+                << ": no per-miner statistics (header-only log, or strided "
+                   "records without shares and no summary line)\n";
+      return 0;
+    }
+
+    // Drift rule, identical to the live monitor: |z| beyond the threshold
+    // AND a material rate gap, only past the min-rounds floor.
+    std::uint64_t drifted = 0;
+    support::print_section(std::cout,
+                           "hecmine_campaign_report: convergence vs model");
+    support::Table table("miner",
+                         {"wins", "rounds", "rate", "sampler_rate", "z",
+                          "ref_rate", "z_ref", "drift"});
+    for (const MinerStats& stats : miners) {
+      const double rounds = static_cast<double>(std::max<std::uint64_t>(
+          stats.rounds, 1));
+      const double empirical = static_cast<double>(stats.wins) / rounds;
+      const double sampler_z = drift_score(static_cast<double>(stats.wins),
+                                           stats.expected, stats.variance);
+      const double ref_z =
+          has_reference ? drift_score(static_cast<double>(stats.wins),
+                                      stats.expected_ref, stats.variance_ref)
+                        : 0.0;
+      bool drift = false;
+      if (stats.rounds >= min_rounds && has_reference &&
+          std::abs(ref_z) > drift_z) {
+        const double expected_rate = stats.expected_ref / rounds;
+        const double gap = std::abs(empirical - expected_rate);
+        drift = gap > min_rel_gap * std::max(expected_rate, 1e-12);
+      }
+      drifted += drift ? 1 : 0;
+      table.add_row("miner_" + std::to_string(stats.miner),
+                    {static_cast<double>(stats.wins),
+                     static_cast<double>(stats.rounds), empirical,
+                     stats.expected / rounds, sampler_z,
+                     has_reference ? stats.expected_ref / rounds : 0.0, ref_z,
+                     drift ? 1.0 : 0.0});
+    }
+    const double fork_z =
+        drift_score(static_cast<double>(forks), fork_expected, fork_variance);
+    bool fork_drift = false;
+    if (blocks >= min_rounds && std::abs(fork_z) > drift_z) {
+      const double denom = static_cast<double>(std::max<std::uint64_t>(blocks, 1));
+      const double empirical = static_cast<double>(forks) / denom;
+      const double expected_rate = fork_expected / denom;
+      fork_drift = std::abs(empirical - expected_rate) >
+                   min_rel_gap * std::max(expected_rate, 1e-12);
+    }
+    table.add_row("forks",
+                  {static_cast<double>(forks), static_cast<double>(blocks),
+                   blocks == 0 ? 0.0
+                               : static_cast<double>(forks) /
+                                     static_cast<double>(blocks),
+                   blocks == 0 ? 0.0 : fork_expected /
+                                           static_cast<double>(blocks),
+                   fork_z, 0.0, 0.0, fork_drift ? 1.0 : 0.0});
+    table.print(std::cout, 4);
+    if (!has_reference) {
+      std::cout << "(no reference-equilibrium line: z_ref not available, "
+                   "drift checked against the sampler only)\n";
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out)
+        throw std::runtime_error("cannot open --json output: " + json_path);
+      json::Writer writer(out);
+      writer.begin_object(json::Writer::kBlock);
+      writer.member("schema", "hecmine.blocklog.v1");
+      writer.member("kind", "report");
+      writer.member("source", path);
+      writer.member("records", records);
+      writer.member("blocks", blocks);
+      writer.member("forks", forks);
+      writer.member("fork_z", fork_z);
+      writer.member("fork_drift", fork_drift);
+      writer.member("has_reference", has_reference);
+      writer.member("drift_z_threshold", drift_z);
+      writer.member("drifted_miners", drifted);
+      writer.key("miners");
+      writer.begin_array(json::Writer::kBlock);
+      for (const MinerStats& stats : miners) {
+        const double rounds = static_cast<double>(std::max<std::uint64_t>(
+            stats.rounds, 1));
+        writer.begin_object();
+        writer.member("miner", stats.miner);
+        writer.member("wins", stats.wins);
+        writer.member("rounds", stats.rounds);
+        writer.member("rate", static_cast<double>(stats.wins) / rounds);
+        writer.member("sampler_rate", stats.expected / rounds);
+        writer.member("sampler_z",
+                      drift_score(static_cast<double>(stats.wins),
+                                  stats.expected, stats.variance));
+        if (has_reference) {
+          writer.member("ref_rate", stats.expected_ref / rounds);
+          writer.member("ref_z",
+                        drift_score(static_cast<double>(stats.wins),
+                                    stats.expected_ref, stats.variance_ref));
+        }
+        writer.end_object();
+      }
+      writer.end_array();
+      writer.end_object();
+      writer.finish();
+      std::cout << "[campaign-report] " << json_path << "\n";
+    }
+
+    if (fail_on_drift && (drifted > 0 || fork_drift)) {
+      std::cerr << "hecmine_campaign_report: " << drifted
+                << " miner(s) drifted beyond z=" << drift_z
+                << (fork_drift ? ", fork rate drifted" : "")
+                << " (--fail-on-drift)\n";
+      return 3;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "hecmine_campaign_report: " << path << ": " << error.what()
+              << "\n";
+    return 2;
+  }
+}

@@ -17,7 +17,9 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 
+#include "chain/blocklog.hpp"
 #include "core/audit.hpp"
 #include "core/equilibrium_cache.hpp"
 #include "core/dynamic.hpp"
@@ -27,6 +29,7 @@
 #include "core/sp.hpp"
 #include "core/welfare.hpp"
 #include "net/campaign.hpp"
+#include "net/campaign_monitor.hpp"
 #include "net/network.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
@@ -126,7 +129,10 @@ int cmd_solve(const core::Scenario& scenario,
 }
 
 int cmd_campaign(const core::Scenario& scenario, std::size_t blocks,
-                 std::uint64_t seed, const core::SolveContext& context) {
+                 std::uint64_t seed, double misprice_edge,
+                 const core::SolveContext& context,
+                 chain::BlockLogWriter* block_log,
+                 net::CampaignMonitor* monitor) {
   HECMINE_REQUIRE(scenario.fixed_prices.has_value(),
                   "campaign command requires fixed prices in the scenario");
   net::CampaignConfig config;
@@ -138,6 +144,8 @@ int cmd_campaign(const core::Scenario& scenario, std::size_t blocks,
   config.population = scenario.population;
   config.blocks = blocks;
   config.telemetry = context.telemetry;
+  config.block_log = block_log;
+  config.monitor = monitor;
   // The campaign draws the active subset from the population support, so
   // the strategy pool must cover max_miners — pad the budget pool with the
   // scenario's last budget (the trainer uses the same convention).
@@ -147,9 +155,40 @@ int cmd_campaign(const core::Scenario& scenario, std::size_t blocks,
         static_cast<std::size_t>(scenario.population->max_miners());
     if (budgets.size() < pool) budgets.resize(pool, budgets.back());
   }
-  const auto campaign =
-      net::run_campaign_at_equilibrium(config, budgets, seed, context);
-  const auto& result = campaign.result;
+  net::CampaignResult result;
+  if (misprice_edge != 1.0) {
+    // Drift-injection mode: the auditor's reference stays the equilibrium
+    // at the scenario prices, but the miners play the equilibrium of a
+    // campaign whose edge price was scaled by the factor — a controlled
+    // convergence failure for exercising the campaign drift watchdog.
+    const bool connected = scenario.mode == core::EdgeMode::kConnected;
+    const double edge_success = connected ? scenario.params.edge_success : 1.0;
+    const auto reference = core::solve_followers(
+        scenario.params, config.prices, budgets, scenario.mode, context);
+    const std::vector<core::MinerRequest> audited = reference.expanded();
+    if (monitor != nullptr && !monitor->has_reference())
+      monitor->set_reference(audited, scenario.mode,
+                             scenario.params.fork_rate, edge_success);
+    if (block_log != nullptr) {
+      std::vector<chain::Allocation> requests(audited.size());
+      for (std::size_t i = 0; i < audited.size(); ++i)
+        requests[i] = chain::Allocation{audited[i].edge, audited[i].cloud};
+      block_log->write_reference(connected ? "connected" : "standalone",
+                                 scenario.params.fork_rate, edge_success,
+                                 requests);
+    }
+    core::Prices played_prices = config.prices;
+    played_prices.edge *= misprice_edge;
+    const auto played = core::solve_followers(
+        scenario.params, played_prices, budgets, scenario.mode, context);
+    std::printf("campaign: playing the P_e=%.4f equilibrium against the "
+                "P_e=%.4f reference (--misprice-edge=%.3f)\n",
+                played_prices.edge, config.prices.edge, misprice_edge);
+    result = net::run_campaign(config, played.expanded(), seed);
+  } else {
+    result =
+        net::run_campaign_at_equilibrium(config, budgets, seed, context).result;
+  }
   std::printf("campaign: %zu blocks at P_e=%.4f P_c=%.4f "
               "(transfers=%zu rejections=%zu forks=%zu)\n",
               result.blocks_mined, config.prices.edge, config.prices.cloud,
@@ -160,6 +199,13 @@ int cmd_campaign(const core::Scenario& scenario, std::size_t blocks,
               result.retargets, result.final_unit_rate);
   std::printf("realized HHI %.4f over %zu miners\n", result.realized_hhi,
               result.miners.size());
+  if (monitor != nullptr) {
+    std::printf("campaign drift: max |z| %.3f vs reference (sampler %.3f, "
+                "fork %.3f), %llu incidents\n",
+                monitor->max_drift_z(), monitor->max_sampler_z(),
+                monitor->fork_z(),
+                static_cast<unsigned long long>(monitor->incidents()));
+  }
   return 0;
 }
 
@@ -255,6 +301,8 @@ int usage() {
       "                   [--telemetry-out=FILE] [--iteration-log=FILE]\n"
       "                   [--trace-out=FILE] [--metrics-out=FILE]\n"
       "                   [--flight-out=FILE] [--flight-interval-ms=N]\n"
+      "                   [--block-log=FILE] [--block-log-stride=N]\n"
+      "                   [--drift-z=Z] [--misprice-edge=F]\n"
       "                   [--health=off|observe|warn|abort]\n"
       "                   [--audit] [--audit-tol=T]\n"
       "       hecmine_cli --version\n"
@@ -292,6 +340,24 @@ int usage() {
       "                       only), warn (default; log each incident), or\n"
       "                       abort (throw a typed error on divergence);\n"
       "                       HECMINE_HEALTH is the fallback.\n"
+      "  --block-log=F        stream one hecmine.blocklog.v1 JSONL record\n"
+      "                       per simulated block (winner, fork outcome,\n"
+      "                       difficulty, interval, hash shares) to F\n"
+      "                       during the campaign command; HECMINE_BLOCK_LOG\n"
+      "                       is the fallback. Replay with\n"
+      "                       hecmine_campaign_report.\n"
+      "  --block-log-stride=N log every N-th block only (default 1).\n"
+      "  --drift-z=Z          campaign drift threshold in standard\n"
+      "                       deviations (default 4): the campaign monitor\n"
+      "                       raises a hecmine.health.v1 incident when an\n"
+      "                       empirical win rate drifts beyond Z sigma of\n"
+      "                       the reference equilibrium W_i, escalated per\n"
+      "                       --health (abort exits 5).\n"
+      "  --misprice-edge=F    drift-injection knob (campaign command): play\n"
+      "                       the equilibrium of an edge price scaled by F\n"
+      "                       while auditing against the scenario-price\n"
+      "                       equilibrium. F != 1 makes a healthy campaign\n"
+      "                       mis-converge by construction (default 1).\n"
       "  --blocks=N           campaign length in blocks (campaign command,\n"
       "                       default 1000).\n"
       "  --campaign-seed=N    campaign RNG seed (campaign command, default\n"
@@ -323,6 +389,7 @@ int main(int argc, char** argv) {
     const std::string trace_path = args.trace_out();
     const std::string flight_path = args.flight_out();
     const std::string metrics_path = args.metrics_out();
+    const std::string block_log_path = args.block_log();
     const std::string health_policy = args.health();
     const bool audit = args.has("audit");
     const double audit_tol = args.get("audit-tol", 1e-6);
@@ -333,10 +400,11 @@ int main(int argc, char** argv) {
     context.cache = &cache;
     // A sink is attached whenever any consumer needs it: a telemetry JSON
     // path, a streaming iteration log, a trace timeline, a flight
-    // recorder, an OpenMetrics snapshot, or audit gauges.
+    // recorder, an OpenMetrics snapshot, a block log, or audit gauges.
     context.telemetry = telemetry_path.empty() && iteration_log_path.empty() &&
                                 trace_path.empty() && flight_path.empty() &&
-                                metrics_path.empty() && !audit
+                                metrics_path.empty() &&
+                                block_log_path.empty() && !audit
                             ? nullptr
                             : &telemetry;
     // Stamp the run half of the provenance manifest before any export or
@@ -357,29 +425,62 @@ int main(int argc, char** argv) {
           support::health::parse_watchdog_action(health_policy);
       health_monitor.emplace(telemetry, health_options);
     }
+    // The campaign command always carries its statistics monitor: the
+    // campaign.* gauges and the equilibrium drift watchdog. --health=off
+    // demotes the watchdog to observe (gauges and retained events only);
+    // any other policy escalates drift incidents exactly like solver
+    // divergence, so --health=abort exits 5 on a mis-converged campaign.
+    std::optional<chain::BlockLogWriter> block_log;
+    if (command == "campaign" && !block_log_path.empty()) {
+      chain::BlockLogWriter::Options log_options;
+      log_options.stride =
+          static_cast<std::size_t>(args.positive_int("block-log-stride", 1));
+      block_log.emplace(block_log_path, &telemetry.manifest, log_options);
+    }
+    std::optional<net::CampaignMonitor> campaign_monitor;
+    if (command == "campaign") {
+      net::CampaignMonitorOptions monitor_options;
+      monitor_options.drift_z = args.positive_double("drift-z", 4.0);
+      monitor_options.action =
+          health_policy == "off"
+              ? support::health::WatchdogAction::kObserve
+              : support::health::parse_watchdog_action(health_policy);
+      campaign_monitor.emplace(telemetry, monitor_options);
+    }
     std::optional<support::TelemetryFlusher> flusher;
     if (!flight_path.empty()) {
       support::TelemetryFlusher::Options options;
       options.interval = std::chrono::milliseconds(args.flight_interval_ms());
       flusher.emplace(telemetry, flight_path, options);
-      if (health_monitor)
-        flusher->set_event_drain(
-            [&monitor = *health_monitor] { return monitor.drain_event_lines(); });
+      if (health_monitor || campaign_monitor)
+        flusher->set_event_drain([&health_monitor, &campaign_monitor] {
+          std::vector<std::string> lines;
+          if (health_monitor) lines = health_monitor->drain_event_lines();
+          if (campaign_monitor) {
+            auto extra = campaign_monitor->drain_event_lines();
+            for (auto& line : extra) lines.push_back(std::move(line));
+          }
+          return lines;
+        });
     }
 
     int status = 2;
     if (command == "solve") {
       status = cmd_solve(scenario, context, audit, audit_tol);
     } else if (command == "simulate") {
-      status = cmd_simulate(scenario,
-                            static_cast<std::size_t>(args.get("rounds", 20000)),
-                            context);
+      status = cmd_simulate(
+          scenario,
+          static_cast<std::size_t>(args.positive_int("rounds", 20000)),
+          context);
     } else if (command == "dynamic") {
       status = cmd_dynamic(scenario);
     } else if (command == "campaign") {
       status = cmd_campaign(
-          scenario, static_cast<std::size_t>(args.get("blocks", 1000)),
-          static_cast<std::uint64_t>(args.get("campaign-seed", 97)), context);
+          scenario, static_cast<std::size_t>(args.positive_int("blocks", 1000)),
+          static_cast<std::uint64_t>(args.get("campaign-seed", 97)),
+          args.positive_double("misprice-edge", 1.0), context,
+          block_log ? &*block_log : nullptr,
+          campaign_monitor ? &*campaign_monitor : nullptr);
     } else {
       return usage();
     }
@@ -420,6 +521,10 @@ int main(int argc, char** argv) {
         support::write_chrome_trace(telemetry, trace_path);
         std::printf("[trace] %s (%d tracks)\n", trace_path.c_str(),
                     telemetry.trace.thread_count());
+      }
+      if (block_log) {
+        std::printf("[block-log] %s (%llu records)\n", block_log_path.c_str(),
+                    static_cast<unsigned long long>(block_log->records()));
       }
     }
     if (health_monitor) {

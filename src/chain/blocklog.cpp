@@ -1,0 +1,137 @@
+#include "chain/blocklog.hpp"
+
+#include <filesystem>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace hecmine::chain {
+
+namespace json = support::json;
+
+BlockLogWriter::BlockLogWriter(
+    const std::string& path,
+    const support::provenance::RunManifest* manifest)
+    : BlockLogWriter(path, manifest, Options{}) {}
+
+BlockLogWriter::BlockLogWriter(
+    const std::string& path,
+    const support::provenance::RunManifest* manifest, Options options)
+    : path_(path), options_(options) {
+  HECMINE_REQUIRE(options_.stride > 0, "BlockLogWriter: stride must be > 0");
+  const std::filesystem::path file_path{path};
+  if (file_path.has_parent_path())
+    std::filesystem::create_directories(file_path.parent_path());
+  out_.open(file_path);
+  HECMINE_REQUIRE(out_.good(), "cannot open block log: " + path);
+  json::Writer writer(out_);
+  writer.begin_object();
+  writer.member("schema", kBlockLogSchema);
+  if (manifest != nullptr) {
+    writer.key("manifest");
+    support::provenance::write(writer, *manifest);
+  }
+  writer.end_object();
+  writer.finish();
+  HECMINE_REQUIRE(out_.good(), "failed writing block log header: " + path);
+}
+
+void BlockLogWriter::write_reference(const std::string& mode,
+                                     double fork_rate, double edge_success,
+                                     const std::vector<Allocation>& requests) {
+  json::Writer writer(out_);
+  writer.begin_object();
+  writer.member("kind", "reference");
+  writer.member("mode", mode);
+  writer.member("fork_rate", fork_rate);
+  writer.member("edge_success", edge_success);
+  writer.key("requests");
+  writer.begin_array();
+  for (const Allocation& request : requests) {
+    writer.begin_array();
+    writer.value(request.edge_units);
+    writer.value(request.cloud_units);
+    writer.end_array();
+  }
+  writer.end_array();
+  writer.end_object();
+  writer.finish();
+  HECMINE_REQUIRE(out_.good(), "failed writing block log reference: " + path_);
+}
+
+void BlockLogWriter::append(const BlockRecord& record,
+                            const std::vector<std::size_t>* active_ids,
+                            const std::vector<Allocation>* granted) {
+  if (record.round % options_.stride != 0) return;
+  json::Writer writer(out_);
+  writer.begin_object();
+  writer.member("round", record.round);
+  writer.member("height", record.height);
+  writer.member("winner", record.winner);
+  writer.member("via_edge", record.via_edge);
+  writer.member("fork", record.fork);
+  writer.member("steal", record.steal);
+  writer.member("interval", record.interval);
+  writer.member("sim_time", record.sim_time);
+  writer.member("fork_rate", record.fork_rate);
+  writer.member("difficulty", record.difficulty);
+  writer.member("unit_rate", record.unit_rate);
+  writer.member("active", record.active);
+  writer.member("edge_units", record.edge_units);
+  writer.member("cloud_units", record.cloud_units);
+  writer.member("p_fork", record.p_fork);
+  writer.member("p_winner", record.p_winner);
+  if (active_ids != nullptr && granted != nullptr &&
+      active_ids->size() == granted->size() &&
+      active_ids->size() <= options_.max_share_miners) {
+    // [global id, granted edge units, granted cloud units] per active
+    // miner — enough for a replay to recompute every sampler win prob.
+    writer.key("shares");
+    writer.begin_array();
+    for (std::size_t a = 0; a < active_ids->size(); ++a) {
+      writer.begin_array();
+      writer.value(static_cast<std::uint64_t>((*active_ids)[a]));
+      writer.value((*granted)[a].edge_units);
+      writer.value((*granted)[a].cloud_units);
+      writer.end_array();
+    }
+    writer.end_array();
+  }
+  writer.end_object();
+  writer.finish();
+  ++records_;
+  HECMINE_REQUIRE(out_.good(), "failed writing block log record: " + path_);
+}
+
+void BlockLogWriter::write_summary(const BlockLogSummary& summary) {
+  json::Writer writer(out_);
+  writer.begin_object();
+  writer.member("kind", "summary");
+  writer.member("rounds", summary.rounds);
+  writer.member("blocks", summary.blocks);
+  writer.member("forks", summary.forks);
+  writer.member("fork_expected", summary.fork_expected);
+  writer.member("fork_variance", summary.fork_variance);
+  writer.member("has_reference", summary.has_reference);
+  writer.key("miners");
+  writer.begin_array();
+  for (const BlockLogMinerSummary& miner : summary.miners) {
+    writer.begin_object();
+    writer.member("miner", miner.miner);
+    writer.member("wins", miner.wins);
+    writer.member("rounds", miner.rounds);
+    writer.member("expected", miner.expected);
+    writer.member("variance", miner.variance);
+    if (summary.has_reference) {
+      writer.member("expected_ref", miner.expected_ref);
+      writer.member("variance_ref", miner.variance_ref);
+    }
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  writer.finish();
+  HECMINE_REQUIRE(out_.good(), "failed writing block log summary: " + path_);
+}
+
+}  // namespace hecmine::chain

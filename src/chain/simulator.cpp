@@ -32,7 +32,9 @@ WinTally MiningSimulator::run(const std::vector<Allocation>& allocations,
 std::optional<RaceOutcome> MiningSimulator::step(
     const std::vector<Allocation>& allocations) {
   const auto outcome = run_race(allocations, config_, rng_);
+  const std::uint64_t round = rounds_++;
   if (outcome) {
+    sim_time_ += outcome->solve_time;
     Block block;
     block.owner = outcome->winner;
     block.source = outcome->winner_via_edge ? BlockSource::kEdge
@@ -40,6 +42,47 @@ std::optional<RaceOutcome> MiningSimulator::step(
     block.solve_time = outcome->solve_time;
     block.fork_resolved = outcome->fork_occurred;
     ledger_.append(block);
+  }
+  if (block_log_ != nullptr) {
+    double edge_total = 0.0;
+    double cloud_total = 0.0;
+    std::uint64_t active = 0;
+    for (const Allocation& allocation : allocations) {
+      edge_total += allocation.edge_units;
+      cloud_total += allocation.cloud_units;
+      if (allocation.edge_units + allocation.cloud_units > 0.0) ++active;
+    }
+    const double total = edge_total + cloud_total;
+    BlockRecord record;
+    record.round = round;
+    record.height = ledger_.height();
+    record.interval = outcome ? outcome->solve_time : 0.0;
+    record.sim_time = sim_time_;
+    record.fork_rate = config_.fork_rate;
+    record.unit_rate = config_.unit_hash_rate;
+    record.active = active;
+    record.edge_units = edge_total;
+    record.cloud_units = cloud_total;
+    if (total > 0.0)
+      record.p_fork = config_.fork_rate * cloud_total / total;
+    if (outcome) {
+      record.winner = static_cast<std::int64_t>(outcome->winner);
+      record.via_edge = outcome->winner_via_edge;
+      record.fork = outcome->fork_occurred;
+      record.steal = outcome->fork_stole;
+      // Sampler win probability of the realized winner: Eq. (6),
+      // (1-beta)(e_i+c_i)/S + beta e_i/E (edge term drops when E = 0).
+      const Allocation& winner = allocations[outcome->winner];
+      record.p_winner =
+          (1.0 - config_.fork_rate) *
+          (winner.edge_units + winner.cloud_units) / total;
+      if (edge_total > 0.0)
+        record.p_winner +=
+            config_.fork_rate * winner.edge_units / edge_total;
+    }
+    std::vector<std::size_t> ids(allocations.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+    block_log_->append(record, &ids, &allocations);
   }
   return outcome;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "chain/block.hpp"
+#include "chain/blocklog.hpp"
 #include "chain/race.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -43,10 +44,24 @@ class MiningSimulator {
   [[nodiscard]] const RaceConfig& config() const noexcept { return config_; }
   [[nodiscard]] support::Rng& rng() noexcept { return rng_; }
 
+  /// Attaches a hecmine.blocklog.v1 stream (not owned; null detaches):
+  /// every subsequent step() appends one BlockRecord — race outcome, fork
+  /// flags, interval, cumulative sim time, hash shares — through the
+  /// writer's stride/share-cap policy. Idle rounds (no active units) are
+  /// logged with winner = -1.
+  void set_block_log(BlockLogWriter* log) noexcept { block_log_ = log; }
+  /// Cumulative simulated time over all rounds stepped so far.
+  [[nodiscard]] double sim_time() const noexcept { return sim_time_; }
+  /// Rounds stepped so far (idle rounds included).
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
  private:
   RaceConfig config_;
   support::Rng rng_;
   Ledger ledger_;
+  BlockLogWriter* block_log_ = nullptr;
+  double sim_time_ = 0.0;
+  std::uint64_t rounds_ = 0;
 };
 
 }  // namespace hecmine::chain

@@ -5,6 +5,7 @@
 
 #include "chain/race.hpp"
 #include "core/decentralization.hpp"
+#include "net/campaign_monitor.hpp"
 #include "support/error.hpp"
 
 namespace hecmine::net {
@@ -37,6 +38,8 @@ CampaignResult run_campaign_impl(
 
   support::Rng rng{seed};
   chain::DifficultyController difficulty(config.difficulty);
+  if (config.monitor != nullptr) config.monitor->begin_campaign(config.blocks);
+  double sim_time = 0.0;
 
   CampaignResult result;
   result.miners.resize(strategies.size());
@@ -74,6 +77,9 @@ CampaignResult run_campaign_impl(
     chain::RaceConfig race;
     race.fork_rate = config.params.fork_rate;
     race.unit_hash_rate = difficulty.unit_hash_rate();
+    // Difficulty in effect for *this* race, captured before the retarget
+    // that a produced block may trigger below.
+    const double relative_difficulty = difficulty.relative_difficulty();
     const auto outcome = chain::run_race(allocations, race, rng);
 
     // Reward flow: solo winners keep the block reward; a pooled winner's
@@ -113,7 +119,49 @@ CampaignResult run_campaign_impl(
       ++result.blocks_mined;
       if (outcome->fork_occurred) ++result.forks;
       result.block_intervals.add(outcome->solve_time);
+      sim_time += outcome->solve_time;
       difficulty.observe_block(outcome->solve_time);
+    }
+    if (config.block_log != nullptr || config.monitor != nullptr) {
+      double edge_total = 0.0;
+      double cloud_total = 0.0;
+      std::uint64_t granted_active = 0;
+      for (const chain::Allocation& allocation : allocations) {
+        edge_total += allocation.edge_units;
+        cloud_total += allocation.cloud_units;
+        if (allocation.edge_units + allocation.cloud_units > 0.0)
+          ++granted_active;
+      }
+      const double total = edge_total + cloud_total;
+      chain::BlockRecord record;
+      record.round = block;
+      record.height = result.blocks_mined;
+      record.interval = outcome ? outcome->solve_time : 0.0;
+      record.sim_time = sim_time;
+      record.fork_rate = race.fork_rate;
+      record.difficulty = relative_difficulty;
+      record.unit_rate = race.unit_hash_rate;
+      record.active = granted_active;
+      record.edge_units = edge_total;
+      record.cloud_units = cloud_total;
+      if (total > 0.0) record.p_fork = race.fork_rate * cloud_total / total;
+      if (outcome) {
+        record.winner = static_cast<std::int64_t>(active[outcome->winner]);
+        record.via_edge = outcome->winner_via_edge;
+        record.fork = outcome->fork_occurred;
+        record.steal = outcome->fork_stole;
+        // Sampler win probability of the winner (Eq. 6 on granted units).
+        const chain::Allocation& winner = allocations[outcome->winner];
+        record.p_winner = (1.0 - race.fork_rate) *
+                          (winner.edge_units + winner.cloud_units) / total;
+        if (edge_total > 0.0)
+          record.p_winner +=
+              race.fork_rate * winner.edge_units / edge_total;
+      }
+      if (config.block_log != nullptr)
+        config.block_log->append(record, &active, &allocations);
+      if (config.monitor != nullptr)
+        config.monitor->observe_block(record, active, allocations);
     }
     if (config.telemetry != nullptr) {
       // Flight-recorder feed: progress and cumulative event counts,
@@ -139,6 +187,10 @@ CampaignResult run_campaign_impl(
     any_wins = any_wins || miner.wins > 0;
   }
   if (any_wins) result.realized_hhi = core::herfindahl_index(win_shares);
+  // Final drift scan + summary line; under WatchdogAction::kAbort a
+  // mis-converged campaign throws SolverHealthError from here (after the
+  // summary is on disk, so the log stays analyzable).
+  if (config.monitor != nullptr) config.monitor->finalize(config.block_log);
   return result;
 }
 
@@ -165,8 +217,27 @@ EquilibriumCampaignResult run_campaign_at_equilibrium(
   EquilibriumCampaignResult outcome;
   outcome.equilibrium = core::solve_followers(params, config.prices, budgets,
                                               config.policy.mode, context);
-  outcome.result =
-      run_campaign_impl(config, outcome.equilibrium.expanded(), {}, seed);
+  const std::vector<core::MinerRequest> expanded =
+      outcome.equilibrium.expanded();
+  // The solved equilibrium is the auditor's reference: install it into the
+  // monitor (unless the caller already audits against something else) and
+  // stamp it into the block log so an offline replay can recompute the
+  // expected W_i per block.
+  const bool connected = config.policy.mode == core::EdgeMode::kConnected;
+  const double edge_success = connected ? params.edge_success : 1.0;
+  if (config.monitor != nullptr && !config.monitor->has_reference()) {
+    config.monitor->set_reference(expanded, config.policy.mode,
+                                  config.params.fork_rate, edge_success);
+  }
+  if (config.block_log != nullptr) {
+    std::vector<chain::Allocation> requests(expanded.size());
+    for (std::size_t i = 0; i < expanded.size(); ++i)
+      requests[i] = chain::Allocation{expanded[i].edge, expanded[i].cloud};
+    config.block_log->write_reference(connected ? "connected" : "standalone",
+                                      config.params.fork_rate, edge_success,
+                                      requests);
+  }
+  outcome.result = run_campaign_impl(config, expanded, {}, seed);
   return outcome;
 }
 

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "chain/blocklog.hpp"
 #include "chain/difficulty.hpp"
 #include "chain/simulator.hpp"
 #include "core/oracle.hpp"
@@ -22,6 +23,8 @@
 #include "support/telemetry.hpp"
 
 namespace hecmine::net {
+
+class CampaignMonitor;
 
 /// Configuration of a campaign.
 struct CampaignConfig {
@@ -37,6 +40,14 @@ struct CampaignConfig {
   /// campaign.forks, campaign.block) feed the flight recorder during long
   /// campaigns; null = campaign telemetry off.
   support::Telemetry* telemetry = nullptr;
+  /// Optional hecmine.blocklog.v1 stream (not owned): one record per
+  /// round — winner, fork outcome, difficulty, interval, hash shares.
+  chain::BlockLogWriter* block_log = nullptr;
+  /// Optional streaming campaign statistics + drift watchdog (not owned).
+  /// run_campaign_at_equilibrium installs the solved equilibrium as its
+  /// reference when none is set; finalize() runs at end of campaign and
+  /// writes the summary line into `block_log`.
+  CampaignMonitor* monitor = nullptr;
 
   void validate() const;
 };

@@ -1,0 +1,197 @@
+// Streaming campaign aggregates + equilibrium drift detection.
+//
+// A campaign is trustworthy only if its realized statistics converge to
+// the model: empirical per-miner win rates to the closed-form W_i of the
+// auditor's equilibrium (PAPER.md Eqs. 4-9), the orphan rate to the
+// beta(D) fork model. The CampaignMonitor folds the per-block record
+// stream (the same records the blocklog writes) into:
+//
+//   * CLT drift scores. For each miner the monitor accumulates the exact
+//     per-round win probability under the *granted* allocations (the
+//     sampler expectation — validates chain::run_race against Eq. 6) and,
+//     when a reference equilibrium is installed, the per-round W_i the
+//     active subset would have under the reference requests (the
+//     equilibrium expectation — validates that the campaign actually
+//     plays the audited equilibrium). With expectation sum m = sum_b p_b
+//     and variance sum v = sum_b p_b (1 - p_b), the drift score is
+//     z = (wins - m) / sqrt(v); |z| > drift_z with a material rate gap is
+//     a win-rate-drift incident. The same machinery scores the fork
+//     counter against m_f = sum_b beta C_b / S_b.
+//   * campaign.* gauges — difficulty, EWMA orphan rate (observed and
+//     model), drift-z maxima, decentralization (HHI / effective miners /
+//     Nakamoto at finalize), queue depth/throughput, sim time — exported
+//     through the shared Telemetry sink into OpenMetrics snapshots and
+//     the flight recorder. Every gauge except campaign.sim_wall_ratio is
+//     a pure function of the observed record stream, hence bitwise
+//     invariant to the solver thread count.
+//   * Perfetto campaign tracks: per-block spans plus difficulty / orphan
+//     / queue-depth counter series on the sink's sim-time DomainTimeline.
+//   * hecmine.health.v1 incidents under the existing observe/warn/abort
+//     watchdog policy: abort throws support::health::SolverHealthError
+//     out of the campaign loop, so a mis-converged campaign terminates
+//     with a typed error (CLI exit 5) instead of silently producing
+//     garbage statistics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "chain/blocklog.hpp"
+#include "core/types.hpp"
+#include "support/health.hpp"
+#include "support/telemetry.hpp"
+
+namespace hecmine::net {
+
+/// Tuning for the campaign monitor. Defaults keep the repo's tracked
+/// campaigns incident-free; see DESIGN.md §16 for the calibration notes.
+struct CampaignMonitorOptions {
+  /// Drift fires when |z| exceeds this (z is in standard deviations, so 4
+  /// is a ~6e-5 two-sided false-positive rate per check).
+  double drift_z = 4.0;
+  /// ...and the absolute win-rate gap |wins/rounds - m/rounds| also
+  /// exceeds this fraction of the expected rate. The second guard keeps
+  /// model error (the connected-mode Eq. 9 is itself an approximation of
+  /// the transfer process) from tripping the CLT bound at huge n.
+  double min_rel_gap = 0.02;
+  /// Rounds a miner must accumulate before its drift score may fire.
+  std::size_t min_rounds = 256;
+  /// Cadence (in observed rounds) of the O(n) drift / decentralization
+  /// scans; scalar gauges update every round regardless.
+  std::size_t check_stride = 64;
+  /// Smoothing of the observed / model orphan-rate EWMAs.
+  double fork_ewma_alpha = 0.01;
+  /// Target number of sim-time timeline samples over the whole campaign;
+  /// begin_campaign() derives the decimation stride from this.
+  std::size_t timeline_samples = 2048;
+  /// Emit campaign.sim_wall_ratio (the one wall-clock gauge, excluded
+  /// from the determinism contract). Tests disable it.
+  bool wall_clock = true;
+  /// Escalation policy for drift incidents (observe / warn / abort).
+  support::health::WatchdogAction action =
+      support::health::WatchdogAction::kWarn;
+  /// Retained + pending event lines are each bounded by this.
+  std::size_t max_events = 64;
+};
+
+/// Live campaign statistics monitor. One instance per campaign run; feed
+/// it every round via observe_block() (the campaign loop does this when
+/// CampaignConfig::monitor is set) and call finalize() at end of run.
+class CampaignMonitor {
+ public:
+  CampaignMonitor(support::Telemetry& sink,
+                  CampaignMonitorOptions options = {});
+
+  /// Installs the auditor's reference equilibrium: `requests[i]` is the
+  /// request global miner i is expected to play. Per observed round the
+  /// monitor recomputes the active subset's W_i under these requests
+  /// (standalone: Eq. 6; connected: Eq. 9 with `edge_success`) and
+  /// accumulates the CLT pair against realized wins.
+  void set_reference(std::vector<core::MinerRequest> requests,
+                     core::EdgeMode mode, double fork_rate,
+                     double edge_success);
+  [[nodiscard]] bool has_reference() const;
+
+  /// Declares the expected campaign length (sets the timeline decimation
+  /// stride). Optional; without it every round lands on the timeline
+  /// until its capacity bound.
+  void begin_campaign(std::size_t expected_blocks);
+
+  /// Folds one round. `active_ids`/`granted` are the global ids and
+  /// granted allocations of the round's active miners (parallel arrays);
+  /// `record` carries the race outcome and aggregates, exactly as logged
+  /// to the blocklog. Under WatchdogAction::kAbort a drift incident
+  /// throws SolverHealthError from inside this call.
+  void observe_block(const chain::BlockRecord& record,
+                     const std::vector<std::size_t>& active_ids,
+                     const std::vector<chain::Allocation>& granted);
+
+  /// Folds event-queue statistics from the event-driven network path
+  /// (sim::EventQueue depth watermark + processed-event count) into the
+  /// campaign.queue_* gauges and the timeline.
+  void observe_queue(std::size_t max_depth, std::uint64_t processed);
+
+  /// Final O(n) scan: updates the decentralization gauges (including the
+  /// Nakamoto coefficient, too costly per stride), re-checks drift,
+  /// writes the summary line into `log` when given, and escalates a
+  /// pending abort. Idempotent on the gauges; call once.
+  void finalize(chain::BlockLogWriter* log = nullptr);
+
+  /// Per-miner convergence sums (sampler and reference CLT pairs).
+  [[nodiscard]] std::vector<chain::BlockLogMinerSummary> miner_summaries()
+      const;
+  /// Full-campaign summary (the object finalize() writes to the log).
+  [[nodiscard]] chain::BlockLogSummary summary() const;
+  /// Largest |z| against the reference equilibrium over miners with
+  /// enough rounds (0 without a reference).
+  [[nodiscard]] double max_drift_z() const;
+  /// Largest |z| of the sampler self-consistency check.
+  [[nodiscard]] double max_sampler_z() const;
+  /// Fork-count drift score against the beta(D) model.
+  [[nodiscard]] double fork_z() const;
+  /// Drift incidents raised so far.
+  [[nodiscard]] std::uint64_t incidents() const;
+  /// Retained incident events, oldest first (bounded by max_events).
+  [[nodiscard]] std::vector<support::health::HealthEvent> events() const;
+  /// Moves out pending hecmine.health.v1 lines — wire into
+  /// TelemetryFlusher::set_event_drain alongside the HealthMonitor drain.
+  [[nodiscard]] std::vector<std::string> drain_event_lines();
+
+  [[nodiscard]] const CampaignMonitorOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct MinerSlot {
+    chain::BlockLogMinerSummary sums;
+    bool fired = false;  ///< win-rate incident raised (once per miner)
+  };
+
+  void ensure_miners(std::size_t count);
+  /// |z| of (wins, m, v); 0 while v is too small to normalize.
+  [[nodiscard]] static double drift_score(double wins, double expected,
+                                          double variance);
+  /// Raises one incident: retains the event, queues its JSON line,
+  /// bumps gauges, and warns/throws per the watchdog action. The caller
+  /// holds the mutex; a throw leaves the monitor consistent.
+  void raise(const std::string& solver, std::uint64_t solve,
+             std::uint64_t round, double z, double gap, double bound,
+             double empirical, double expected);
+  /// O(n) drift + decentralization scan (mutex held).
+  void scan(std::uint64_t round, bool final_scan);
+
+  support::Telemetry& sink_;
+  const CampaignMonitorOptions options_;
+  mutable std::mutex mutex_;
+
+  // Reference equilibrium (empty = sampler checks only).
+  std::vector<core::MinerRequest> reference_;
+  core::EdgeMode reference_mode_ = core::EdgeMode::kStandalone;
+  double reference_fork_rate_ = 0.0;
+  double reference_edge_success_ = 1.0;
+
+  std::vector<MinerSlot> miners_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t forks_ = 0;
+  double fork_expected_ = 0.0;
+  double fork_variance_ = 0.0;
+  bool fork_fired_ = false;
+  double fork_ewma_ = 0.0;
+  double fork_model_ewma_ = 0.0;
+  bool ewma_seeded_ = false;
+  double sim_time_ = 0.0;
+  double max_drift_z_ = 0.0;
+  double max_sampler_z_ = 0.0;
+  std::uint64_t timeline_stride_ = 1;
+  std::uint64_t incidents_ = 0;
+  bool finalized_ = false;
+  std::deque<support::health::HealthEvent> events_;
+  std::vector<std::string> pending_lines_;
+  std::uint64_t wall_start_ns_ = 0;  ///< steady clock at construction
+};
+
+}  // namespace hecmine::net

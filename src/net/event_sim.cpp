@@ -161,6 +161,9 @@ std::optional<EventRoundOutcome> EventDrivenNetwork::run_round(
 
   ++stats_.rounds;
   ++stats_.wins[outcome.winner];
+  stats_.events_processed += queue.processed();
+  stats_.queue_depth_max = std::max(stats_.queue_depth_max,
+                                    queue.max_pending());
   if (outcome.fork) ++stats_.forks;
   if (first_found_it->source == chain::BlockSource::kCloud) {
     ++stats_.cloud_first;

@@ -16,6 +16,7 @@
 // (tests verify the match).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -83,6 +84,12 @@ struct EventSimStats {
   std::size_t forks = 0;            ///< rounds won by overtaking
   std::size_t cloud_first = 0;      ///< rounds whose first-found block was cloud
   std::size_t cloud_overtaken = 0;  ///< of those, how many were overtaken
+  /// Kernel events fired across all rounds (sim::EventQueue::processed());
+  /// with consensus_times.sum() this gives events-per-sim-second
+  /// throughput for the campaign.queue_* gauges.
+  std::uint64_t events_processed = 0;
+  /// Largest per-round queue depth (sim::EventQueue::max_pending()).
+  std::size_t queue_depth_max = 0;
   support::Accumulator consensus_times;
 
   /// Empirical fork rate of first-found cloud blocks — the endogenous

@@ -5,6 +5,7 @@
 #include <memory>
 #include <numeric>
 
+#include "chain/blocklog.hpp"
 #include "chain/race.hpp"
 #include "support/error.hpp"
 #include "support/telemetry.hpp"
@@ -41,32 +42,42 @@ double expected_utility(const core::NetworkParams& params,
   return params.reward * win - core::request_cost(active[i], prices);
 }
 
+/// One realized-feedback round: the sampled race plus everything the
+/// block log needs to describe it.
+struct RealizedRound {
+  std::vector<double> utilities;
+  std::vector<chain::Allocation> allocations;  ///< post-transfer units
+  std::optional<chain::RaceOutcome> outcome;
+};
+
 /// Realized utility: edge requests independently served w.p. h (else
 /// transferred to the cloud), then one PoW race decides the reward.
-std::vector<double> realized_utilities(
+RealizedRound realized_utilities(
     const core::NetworkParams& params, const core::Prices& prices,
     double edge_success, const std::vector<core::MinerRequest>& active,
     support::Rng& rng) {
-  std::vector<chain::Allocation> allocations(active.size());
+  RealizedRound round;
+  round.allocations.resize(active.size());
   std::vector<double> payments(active.size());
   for (std::size_t i = 0; i < active.size(); ++i) {
     payments[i] = core::request_cost(active[i], prices);
     const bool transferred =
         active[i].edge > 0.0 && !rng.bernoulli(edge_success);
-    allocations[i] = transferred
-                         ? chain::Allocation{0.0, active[i].total()}
-                         : chain::Allocation{active[i].edge, active[i].cloud};
+    round.allocations[i] =
+        transferred
+            ? chain::Allocation{0.0, active[i].total()}
+            : chain::Allocation{active[i].edge, active[i].cloud};
   }
   chain::RaceConfig race;
   race.fork_rate = params.fork_rate;
-  const auto outcome = chain::run_race(allocations, race, rng);
-  std::vector<double> utilities(active.size());
+  round.outcome = chain::run_race(round.allocations, race, rng);
+  round.utilities.resize(active.size());
   for (std::size_t i = 0; i < active.size(); ++i) {
     const double income =
-        (outcome && outcome->winner == i) ? params.reward : 0.0;
-    utilities[i] = income - payments[i];
+        (round.outcome && round.outcome->winner == i) ? params.reward : 0.0;
+    round.utilities[i] = income - payments[i];
   }
-  return utilities;
+  return round;
 }
 
 }  // namespace
@@ -115,6 +126,8 @@ TrainerResult train_miners(const core::NetworkParams& params,
   std::iota(order.begin(), order.end(), std::size_t{0});
 
   TrainerResult result;
+  double sim_time = 0.0;
+  std::uint64_t height = 0;
   const auto record_curve_point = [&](int block) {
     CurvePoint point;
     point.block = block;
@@ -149,11 +162,51 @@ TrainerResult train_miners(const core::NetworkParams& params,
         block_reward += reward;
       }
     } else {
-      const auto utilities = realized_utilities(
+      const RealizedRound round = realized_utilities(
           params, prices, config.edge_success, profile, rng);
       for (std::size_t a = 0; a < active.size(); ++a) {
-        learners[active[a]]->update(chosen[a], utilities[a]);
-        block_reward += utilities[a];
+        learners[active[a]]->update(chosen[a], round.utilities[a]);
+        block_reward += round.utilities[a];
+      }
+      if (config.block_log != nullptr) {
+        double edge_total = 0.0;
+        double cloud_total = 0.0;
+        std::uint64_t granted_active = 0;
+        for (const chain::Allocation& allocation : round.allocations) {
+          edge_total += allocation.edge_units;
+          cloud_total += allocation.cloud_units;
+          if (allocation.edge_units + allocation.cloud_units > 0.0)
+            ++granted_active;
+        }
+        const double total = edge_total + cloud_total;
+        chain::BlockRecord record;
+        record.round = static_cast<std::uint64_t>(block);
+        record.fork_rate = params.fork_rate;
+        record.active = granted_active;
+        record.edge_units = edge_total;
+        record.cloud_units = cloud_total;
+        if (total > 0.0)
+          record.p_fork = params.fork_rate * cloud_total / total;
+        if (round.outcome) {
+          ++height;
+          sim_time += round.outcome->solve_time;
+          record.winner =
+              static_cast<std::int64_t>(active[round.outcome->winner]);
+          record.via_edge = round.outcome->winner_via_edge;
+          record.fork = round.outcome->fork_occurred;
+          record.steal = round.outcome->fork_stole;
+          record.interval = round.outcome->solve_time;
+          const chain::Allocation& winner =
+              round.allocations[round.outcome->winner];
+          record.p_winner = (1.0 - params.fork_rate) *
+                            (winner.edge_units + winner.cloud_units) / total;
+          if (edge_total > 0.0)
+            record.p_winner +=
+                params.fork_rate * winner.edge_units / edge_total;
+        }
+        record.height = height;
+        record.sim_time = sim_time;
+        config.block_log->append(record, &active, &round.allocations);
       }
     }
     if (config.telemetry != nullptr && !active.empty()) {

@@ -21,6 +21,10 @@
 #include "core/types.hpp"
 #include "rl/learner.hpp"
 
+namespace hecmine::chain {
+class BlockLogWriter;
+}
+
 namespace hecmine::rl {
 
 /// Model-side reference the learned strategies should approach (the filled
@@ -64,6 +68,12 @@ struct TrainerConfig {
   /// Optional telemetry sink (not owned): per-block mean-reward histogram
   /// and end-of-training greedy-strategy gauges (`rl.*`). Null = off.
   support::Telemetry* telemetry = nullptr;
+  /// Optional hecmine.blocklog.v1 stream (not owned): one record per
+  /// training round with the sampled race outcome and the learners' hash
+  /// shares. Only the realized-feedback mode runs races, so records are
+  /// emitted only under FeedbackMode::kRealized (expected-feedback rounds
+  /// have no block to log). Null = off.
+  chain::BlockLogWriter* block_log = nullptr;
 };
 
 /// One sampled point of the learning trajectory.

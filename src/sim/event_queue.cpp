@@ -11,6 +11,7 @@ void EventQueue::schedule_at(double when, Handler handler) {
   HECMINE_REQUIRE(static_cast<bool>(handler),
                   "EventQueue: handler must be callable");
   heap_.push(Entry{when, next_sequence_++, std::move(handler)});
+  if (heap_.size() > max_pending_) max_pending_ = heap_.size();
 }
 
 void EventQueue::schedule_in(double delay, Handler handler) {
@@ -27,6 +28,7 @@ std::size_t EventQueue::run(std::size_t max_events) {
     now_ = entry.when;
     entry.handler();
     ++processed;
+    ++processed_;
   }
   return processed;
 }
@@ -39,6 +41,7 @@ std::size_t EventQueue::run_until(double horizon) {
     now_ = entry.when;
     entry.handler();
     ++processed;
+    ++processed_;
   }
   if (now_ < horizon) now_ = horizon;
   return processed;

@@ -13,6 +13,14 @@
 namespace hecmine::sim {
 
 /// Discrete-event scheduler with deterministic FIFO tie-breaking.
+///
+/// The queue is a plain value type: copying one takes a snapshot (clock,
+/// pending events, sequence counter and statistics all ride along), and
+/// assigning a snapshot back restores it — the tests use this to prove
+/// that a restored queue replays the exact event sequence of the
+/// original. Note the handlers themselves are shared via std::function
+/// copy, so snapshot/restore is only meaningful for handlers whose
+/// captured state is either value-captured or external to the queue.
 class EventQueue {
  public:
   using Handler = std::function<void()>;
@@ -34,6 +42,13 @@ class EventQueue {
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Events fired over the queue's lifetime (throughput numerator for the
+  /// campaign.queue_* gauges).
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+  /// High-water mark of pending() — the queue-depth gauge.
+  [[nodiscard]] std::size_t max_pending() const noexcept {
+    return max_pending_;
+  }
 
  private:
   struct Entry {
@@ -51,6 +66,8 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   double now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t max_pending_ = 0;
 };
 
 }  // namespace hecmine::sim

@@ -120,8 +120,27 @@ int CliArgs::flight_interval_ms() const {
   }
 }
 
+std::string CliArgs::block_log() const {
+  return flag_or_env("block-log", "HECMINE_BLOCK_LOG");
+}
+
 std::string CliArgs::metrics_out() const {
   return flag_or_env("metrics-out", "HECMINE_METRICS_OUT");
+}
+
+int CliArgs::positive_int(const std::string& name, int fallback) const {
+  const int value = get(name, fallback);
+  HECMINE_REQUIRE(value > 0,
+                  "--" + name + " must be a positive integer (got " +
+                      std::to_string(value) + ")");
+  return value;
+}
+
+double CliArgs::positive_double(const std::string& name,
+                                double fallback) const {
+  const double value = get(name, fallback);
+  HECMINE_REQUIRE(value > 0.0, "--" + name + " must be positive");
+  return value;
 }
 
 std::string CliArgs::health() const {

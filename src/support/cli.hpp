@@ -46,6 +46,11 @@ class CliArgs {
   /// `--flight-interval-ms` flag with the HECMINE_FLIGHT_INTERVAL_MS
   /// environment variable as the fallback; defaults to 500.
   [[nodiscard]] int flight_interval_ms() const;
+  /// `--block-log` flag (a hecmine.blocklog.v1 JSONL path, one record per
+  /// simulated block — see chain::BlockLogWriter) with the
+  /// HECMINE_BLOCK_LOG environment variable as the fallback; empty =
+  /// block logging off.
+  [[nodiscard]] std::string block_log() const;
   /// `--metrics-out` flag (an OpenMetrics text snapshot path, see
   /// support::render_openmetrics) with the HECMINE_METRICS_OUT environment
   /// variable as the fallback; empty = metrics export off.
@@ -69,6 +74,15 @@ class CliArgs {
   /// Numeric flag value or `fallback`; throws on a malformed number.
   [[nodiscard]] double get(const std::string& name, double fallback) const;
   [[nodiscard]] int get(const std::string& name, int fallback) const;
+  /// Duration/size flag (block counts, round counts, strides, intervals):
+  /// like get(), but rejects zero and negative values with a clear error
+  /// instead of letting them reach a loop bound or a sleep. `fallback`
+  /// must itself be positive.
+  [[nodiscard]] int positive_int(const std::string& name, int fallback) const;
+  /// Positive-real counterpart of positive_int (tolerances, thresholds,
+  /// scale factors that must stay > 0).
+  [[nodiscard]] double positive_double(const std::string& name,
+                                       double fallback) const;
   /// Flags seen but never queried through any accessor.
   [[nodiscard]] std::vector<std::string> unknown_flags() const;
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {

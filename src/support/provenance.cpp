@@ -44,7 +44,9 @@ const std::vector<SchemaVersion>& schema_versions() {
   // Sorted by artifact so manifests serialize deterministically.
   static const std::vector<SchemaVersion> kVersions = {
       {"bench", "hecmine.bench.v1"},
+      {"blocklog", "hecmine.blocklog.v1"},
       {"flight", "hecmine.flight.v1"},
+      {"health", "hecmine.health.v1"},
       {"iterlog", "hecmine.iterlog.v1"},
       {"manifest", kManifestSchema},
       {"telemetry", "hecmine.telemetry.v1"},

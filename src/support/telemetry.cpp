@@ -320,6 +320,45 @@ void jsonl_record(std::ostream& os, const IterationProbe::Record& record) {
 
 }  // namespace
 
+DomainTimeline::DomainTimeline(std::size_t capacity) : capacity_(capacity) {}
+
+void DomainTimeline::counter(std::string_view name, double t_ms,
+                             double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  counters_.push_back(CounterSample{std::string(name), t_ms, value});
+}
+
+void DomainTimeline::span(std::string_view name, double start_ms,
+                          double duration_ms, std::int64_t index,
+                          std::int64_t owner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(Span{std::string(name), start_ms, duration_ms, index,
+                        owner});
+}
+
+std::vector<DomainTimeline::CounterSample> DomainTimeline::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::vector<DomainTimeline::Span> DomainTimeline::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+bool DomainTimeline::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.empty() && spans_.empty();
+}
+
 IterationProbe::IterationProbe(std::size_t capacity) : capacity_(capacity) {
   HECMINE_REQUIRE(capacity_ >= 1, "IterationProbe requires capacity >= 1");
 }
@@ -522,6 +561,7 @@ std::string to_chrome_trace(const Telemetry& telemetry) {
   writer.key("manifest");
   provenance::write(writer, telemetry.manifest);
   writer.member("dropped", telemetry.trace.dropped());
+  writer.member("domain_dropped", telemetry.timeline.dropped());
   writer.key("traceEvents");
   writer.begin_array(json::Writer::kBlock);
   // Metadata events name the process and one track per recording thread;
@@ -624,6 +664,63 @@ std::string to_chrome_trace(const Telemetry& telemetry) {
         writer.key("args");
         writer.begin_object();
         writer.member("value", track[field]);
+        writer.end_object();
+        writer.end_object();
+      }
+    }
+  }
+  // Domain (sim-time) process: campaign block spans and counter series on
+  // pid 2, all timestamps simulated — deterministic for a fixed seed.
+  {
+    const auto domain_spans = telemetry.timeline.spans();
+    const auto domain_counters = telemetry.timeline.counters();
+    if (!domain_spans.empty() || !domain_counters.empty()) {
+      writer.begin_object();
+      writer.member("ph", "M");
+      writer.member("name", "process_name");
+      writer.member("pid", 2);
+      writer.member("tid", 0);
+      writer.key("args");
+      writer.begin_object();
+      writer.member("name", "hecmine sim");
+      writer.end_object();
+      writer.end_object();
+      writer.begin_object();
+      writer.member("ph", "M");
+      writer.member("name", "thread_name");
+      writer.member("pid", 2);
+      writer.member("tid", 0);
+      writer.key("args");
+      writer.begin_object();
+      writer.member("name", "campaign (sim time)");
+      writer.end_object();
+      writer.end_object();
+      for (const DomainTimeline::Span& span : domain_spans) {
+        writer.begin_object();
+        writer.member("ph", "X");
+        writer.member("name", span.name);
+        writer.member("cat", "campaign");
+        writer.member("pid", 2);
+        writer.member("tid", 0);
+        writer.member("ts", span.start_ms * 1000.0);
+        writer.member("dur", span.duration_ms * 1000.0);
+        writer.key("args");
+        writer.begin_object();
+        writer.member("index", span.index);
+        writer.member("owner", span.owner);
+        writer.end_object();
+        writer.end_object();
+      }
+      for (const DomainTimeline::CounterSample& sample : domain_counters) {
+        writer.begin_object();
+        writer.member("ph", "C");
+        writer.member("name", sample.name);
+        writer.member("pid", 2);
+        writer.member("tid", 0);
+        writer.member("ts", sample.t_ms * 1000.0);
+        writer.key("args");
+        writer.begin_object();
+        writer.member("value", sample.value);
         writer.end_object();
         writer.end_object();
       }

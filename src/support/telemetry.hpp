@@ -296,6 +296,53 @@ class SolveTrace {
   std::atomic<std::uint64_t> dropped_{0};
 };
 
+/// Capacity-bounded domain timeline: counter samples and spans stamped
+/// with *simulated* time instead of the wall clock. The campaign / chain
+/// layers feed it (per-block spans, difficulty / orphan-rate / queue-depth
+/// series) and to_chrome_trace renders it as its own Perfetto process
+/// (pid 2, "campaign (sim time)") next to the wall-clock solver tracks.
+/// Because every timestamp is simulated, the rendered track is
+/// deterministic for a fixed seed — unlike the SolveTrace spans, which
+/// read the monotonic clock. Entries past `capacity` (counters and spans
+/// bounded independently) are dropped and counted, never silently lost.
+class DomainTimeline {
+ public:
+  /// One point of a Perfetto counter ("C") series.
+  struct CounterSample {
+    std::string name;
+    double t_ms = 0.0;  ///< simulated time, milliseconds
+    double value = 0.0;
+  };
+  /// One complete ("X") span on the domain track.
+  struct Span {
+    std::string name;
+    double start_ms = 0.0;     ///< simulated time, milliseconds
+    double duration_ms = 0.0;
+    std::int64_t index = -1;   ///< domain ordinal (e.g. block height)
+    std::int64_t owner = -1;   ///< domain actor (e.g. winning miner)
+  };
+
+  explicit DomainTimeline(std::size_t capacity = 8192);
+
+  void counter(std::string_view name, double t_ms, double value);
+  void span(std::string_view name, double start_ms, double duration_ms,
+            std::int64_t index = -1, std::int64_t owner = -1);
+
+  [[nodiscard]] std::vector<CounterSample> counters() const;
+  [[nodiscard]] std::vector<Span> spans() const;
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<CounterSample> counters_;
+  std::vector<Span> spans_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
 /// Per-iteration convergence probe. Solver loops (connected-NEP best
 /// response, GNEP price bargaining, VI extragradient, RL training) feed one
 /// Record per iteration so a solve's trajectory — not just its endpoint —
@@ -404,6 +451,9 @@ class Telemetry {
   MetricsRegistry metrics;
   SolveTrace trace;
   IterationProbe probe;
+  /// Sim-time campaign/chain timeline (block spans, difficulty / orphan /
+  /// queue-depth counter series); empty unless a campaign layer feeds it.
+  DomainTimeline timeline;
   /// Deterministic work accounting (support::prof): per-thread counter
   /// blocks installed by TelemetryScope, attributed to trace spans at
   /// span close, summed by work.total().
@@ -449,9 +499,12 @@ void write_json(const Telemetry& telemetry, const std::string& path);
 /// thread_name metadata, per-thread Perfetto counter ("C") tracks named
 /// "work.<field> (t<ordinal>)" stepping to the thread's cumulative count
 /// at each span close, and the run manifest embedded as a top-level
-/// "manifest" block. The file loads directly in Perfetto /
-/// chrome://tracing; the extra top-level keys are ignored there but keep
-/// the document parseable by support::json readers.
+/// "manifest" block. When the sink's DomainTimeline is non-empty it is
+/// rendered as a second process (pid 2, "hecmine sim") whose single track
+/// carries the campaign block spans and sim-time counter series. The file
+/// loads directly in Perfetto / chrome://tracing; the extra top-level keys
+/// are ignored there but keep the document parseable by support::json
+/// readers.
 [[nodiscard]] std::string to_chrome_trace(const Telemetry& telemetry);
 
 /// Writes to_chrome_trace() to `path`, creating parent directories.

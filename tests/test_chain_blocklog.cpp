@@ -1,0 +1,200 @@
+// Tests for the hecmine.blocklog.v1 streaming writer and its simulator
+// hook: header/reference/record/summary round-trips through the JSON
+// parser, the stride and share-cap policies, and MiningSimulator emission.
+#include "chain/blocklog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chain/simulator.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/provenance.hpp"
+
+namespace hecmine::chain {
+namespace {
+
+namespace json = support::json;
+
+std::vector<json::Value> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return json::parse_lines(buffer.str());
+}
+
+TEST(BlockLog, HeaderCarriesSchemaAndManifest) {
+  const std::string path = testing::TempDir() + "/hecmine_blocklog_hdr.jsonl";
+  const support::provenance::RunManifest manifest =
+      support::provenance::collect();
+  { BlockLogWriter log(path, &manifest); }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].at("schema").as_string(), kBlockLogSchema);
+  ASSERT_TRUE(lines[0].contains("manifest"));
+  EXPECT_TRUE(lines[0].at("manifest").contains("git_sha"));
+}
+
+TEST(BlockLog, RecordReferenceAndSummaryRoundTrip) {
+  const std::string path = testing::TempDir() + "/hecmine_blocklog_rt.jsonl";
+  {
+    BlockLogWriter log(path);
+    log.write_reference("standalone", 0.2, 1.0,
+                        {{1.5, 0.5}, {0.0, 2.0}});
+    BlockRecord record;
+    record.round = 0;
+    record.height = 1;
+    record.winner = 1;
+    record.via_edge = false;
+    record.fork = true;
+    record.steal = false;
+    record.interval = 0.75;
+    record.sim_time = 0.75;
+    record.fork_rate = 0.2;
+    record.difficulty = 1.25;
+    record.unit_rate = 0.8;
+    record.active = 2;
+    record.edge_units = 1.5;
+    record.cloud_units = 2.5;
+    record.p_fork = 0.125;
+    record.p_winner = 0.6;
+    const std::vector<std::size_t> ids{0, 3};
+    const std::vector<Allocation> granted{{1.5, 0.5}, {0.0, 2.0}};
+    log.append(record, &ids, &granted);
+    EXPECT_EQ(log.records(), 1u);
+    BlockLogSummary summary;
+    summary.rounds = 1;
+    summary.blocks = 1;
+    summary.forks = 1;
+    summary.fork_expected = 0.125;
+    summary.fork_variance = 0.125 * 0.875;
+    summary.has_reference = true;
+    BlockLogMinerSummary miner;
+    miner.miner = 3;
+    miner.wins = 1;
+    miner.rounds = 1;
+    miner.expected = 0.55;
+    miner.variance = 0.55 * 0.45;
+    miner.expected_ref = 0.5;
+    miner.variance_ref = 0.25;
+    summary.miners.push_back(miner);
+    log.write_summary(summary);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);  // header, reference, record, summary
+
+  const json::Value& reference = lines[1];
+  EXPECT_EQ(reference.at("kind").as_string(), "reference");
+  EXPECT_EQ(reference.at("mode").as_string(), "standalone");
+  EXPECT_DOUBLE_EQ(reference.at("fork_rate").as_number(), 0.2);
+  ASSERT_EQ(reference.at("requests").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      reference.at("requests").as_array()[0].as_array()[0].as_number(), 1.5);
+
+  const json::Value& record = lines[2];
+  EXPECT_DOUBLE_EQ(record.at("round").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(record.at("winner").as_number(), 1.0);
+  EXPECT_TRUE(record.at("fork").as_bool());
+  EXPECT_FALSE(record.at("steal").as_bool());
+  EXPECT_DOUBLE_EQ(record.at("difficulty").as_number(), 1.25);
+  EXPECT_DOUBLE_EQ(record.at("p_winner").as_number(), 0.6);
+  ASSERT_TRUE(record.contains("shares"));
+  const json::Value::Array& shares = record.at("shares").as_array();
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(shares[1].as_array()[0].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(shares[1].as_array()[2].as_number(), 2.0);
+
+  const json::Value& summary = lines[3];
+  EXPECT_EQ(summary.at("kind").as_string(), "summary");
+  EXPECT_TRUE(summary.at("has_reference").as_bool());
+  ASSERT_EQ(summary.at("miners").as_array().size(), 1u);
+  const json::Value& miner = summary.at("miners").as_array()[0];
+  EXPECT_DOUBLE_EQ(miner.at("miner").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(miner.at("expected_ref").as_number(), 0.5);
+}
+
+TEST(BlockLog, StrideKeepsEveryNthRoundAndShareCapElidesShares) {
+  const std::string path = testing::TempDir() + "/hecmine_blocklog_str.jsonl";
+  {
+    BlockLogWriter::Options options;
+    options.stride = 3;
+    options.max_share_miners = 1;
+    BlockLogWriter log(path, nullptr, options);
+    const std::vector<std::size_t> ids{0, 1};
+    const std::vector<Allocation> granted{{1.0, 0.0}, {0.0, 1.0}};
+    for (std::uint64_t round = 0; round < 10; ++round) {
+      BlockRecord record;
+      record.round = round;
+      log.append(record, &ids, &granted);
+    }
+    EXPECT_EQ(log.records(), 4u);  // rounds 0, 3, 6, 9
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 5u);  // header + 4 records
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_DOUBLE_EQ(lines[i].at("round").as_number(),
+                     static_cast<double>((i - 1) * 3));
+    // Two active miners exceed the one-miner share cap: no shares field.
+    EXPECT_FALSE(lines[i].contains("shares"));
+  }
+}
+
+TEST(BlockLog, RejectsZeroStride) {
+  BlockLogWriter::Options options;
+  options.stride = 0;
+  EXPECT_THROW(BlockLogWriter(testing::TempDir() + "/hecmine_blocklog_z.jsonl",
+                              nullptr, options),
+               support::PreconditionError);
+}
+
+TEST(BlockLog, MiningSimulatorStreamsRecordsWithSimTime) {
+  const std::string path = testing::TempDir() + "/hecmine_blocklog_sim.jsonl";
+  constexpr std::size_t kRounds = 32;
+  {
+    BlockLogWriter log(path);
+    RaceConfig config;
+    config.fork_rate = 0.2;
+    MiningSimulator simulator(config, 11);
+    simulator.set_block_log(&log);
+    const std::vector<Allocation> allocations{{1.0, 0.0}, {0.0, 1.0}};
+    for (std::size_t round = 0; round < kRounds; ++round)
+      (void)simulator.step(allocations);
+    EXPECT_EQ(simulator.rounds(), kRounds);
+    EXPECT_GT(simulator.sim_time(), 0.0);
+    EXPECT_EQ(log.records(), kRounds);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u + kRounds);
+  double previous_sim_time = 0.0;
+  std::uint64_t previous_height = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const json::Value& record = lines[i];
+    EXPECT_DOUBLE_EQ(record.at("round").as_number(),
+                     static_cast<double>(i - 1));
+    // The sim clock accumulates monotonically; heights never decrease.
+    EXPECT_GE(record.at("sim_time").as_number(), previous_sim_time);
+    previous_sim_time = record.at("sim_time").as_number();
+    const auto height =
+        static_cast<std::uint64_t>(record.at("height").as_number());
+    EXPECT_GE(height, previous_height);
+    previous_height = height;
+    EXPECT_DOUBLE_EQ(record.at("fork_rate").as_number(), 0.2);
+    // Both miners always active with unit allocations.
+    ASSERT_TRUE(record.contains("shares"));
+    EXPECT_EQ(record.at("shares").as_array().size(), 2u);
+    // The winner's sampler probability follows Eq. 6 with E=C=1, S=2:
+    // edge winner (1-beta)/2 + beta, cloud winner (1-beta)/2.
+    const double p = record.at("p_winner").as_number();
+    if (record.at("via_edge").as_bool())
+      EXPECT_DOUBLE_EQ(p, 0.4 + 0.2);
+    else
+      EXPECT_DOUBLE_EQ(p, 0.4);
+  }
+}
+
+}  // namespace
+}  // namespace hecmine::chain

@@ -1,0 +1,220 @@
+// Tests for net/campaign_monitor: streaming campaign statistics, CLT
+// drift detection against the reference equilibrium, watchdog escalation,
+// and the determinism contract of the campaign.* gauges.
+#include "net/campaign_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/campaign.hpp"
+#include "support/error.hpp"
+#include "support/health.hpp"
+#include "support/telemetry.hpp"
+
+namespace hecmine::net {
+namespace {
+
+namespace health = support::health;
+
+CampaignConfig base_config() {
+  CampaignConfig config;
+  config.params.reward = 100.0;
+  config.params.fork_rate = 0.2;
+  config.params.edge_success = 0.9;
+  config.params.edge_capacity = 10.0;
+  config.policy = {core::EdgeMode::kConnected, 0.9, 10.0};
+  config.prices = {2.0, 1.0};
+  config.difficulty.target_interval = 1.0;
+  config.difficulty.window = 32;
+  config.blocks = 4000;
+  return config;
+}
+
+CampaignMonitorOptions deterministic_options() {
+  CampaignMonitorOptions options;
+  options.wall_clock = false;  // campaign.sim_wall_ratio is wall-clock
+  return options;
+}
+
+/// All counter/gauge samples of a sink, keyed by name (sorted), for
+/// bitwise comparison across runs.
+std::map<std::string, double> metric_values(const support::Telemetry& sink) {
+  std::map<std::string, double> values;
+  const support::MetricsSnapshot snapshot = sink.metrics.snapshot();
+  for (const auto& counter : snapshot.counters)
+    values["counter." + counter.name] = static_cast<double>(counter.value);
+  for (const auto& gauge : snapshot.gauges)
+    values["gauge." + gauge.name] = gauge.value;
+  return values;
+}
+
+TEST(CampaignMonitor, ConvergedEquilibriumCampaignStaysWithinBounds) {
+  CampaignConfig config = base_config();
+  support::Telemetry telemetry;
+  CampaignMonitor monitor(telemetry, deterministic_options());
+  config.monitor = &monitor;
+  const std::vector<double> budgets(5, 12.0);
+  const auto outcome = run_campaign_at_equilibrium(config, budgets, 71);
+  ASSERT_TRUE(monitor.has_reference());
+  EXPECT_EQ(monitor.incidents(), 0u);
+  EXPECT_TRUE(monitor.events().empty());
+  // Healthy campaign: both drift families stay under the 4-sigma bound.
+  EXPECT_LT(monitor.max_sampler_z(), monitor.options().drift_z);
+  EXPECT_LT(monitor.max_drift_z(), monitor.options().drift_z);
+  EXPECT_LT(std::abs(monitor.fork_z()), monitor.options().drift_z);
+
+  // Summary consistency with the campaign result.
+  const chain::BlockLogSummary summary = monitor.summary();
+  EXPECT_TRUE(summary.has_reference);
+  EXPECT_EQ(summary.rounds, static_cast<std::uint64_t>(config.blocks));
+  EXPECT_EQ(summary.blocks, static_cast<std::uint64_t>(config.blocks));
+  ASSERT_EQ(summary.miners.size(), outcome.result.miners.size());
+  std::uint64_t wins = 0;
+  for (std::size_t i = 0; i < summary.miners.size(); ++i) {
+    EXPECT_EQ(summary.miners[i].wins, outcome.result.miners[i].wins);
+    EXPECT_EQ(summary.miners[i].rounds,
+              static_cast<std::uint64_t>(config.blocks));
+    wins += summary.miners[i].wins;
+  }
+  EXPECT_EQ(wins, summary.blocks);
+
+  // Gauges and the sim-time timeline were populated.
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("campaign.rounds").value(),
+                   static_cast<double>(config.blocks));
+  EXPECT_GT(telemetry.metrics.gauge("campaign.hhi").value(), 0.0);
+  EXPECT_GT(telemetry.metrics.gauge("campaign.nakamoto").value(), 0.0);
+  EXPECT_FALSE(telemetry.timeline.spans().empty());
+  EXPECT_FALSE(telemetry.timeline.counters().empty());
+  // wall_clock=false keeps the one nondeterministic gauge unset.
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("campaign.sim_wall_ratio").value(),
+                   0.0);
+}
+
+TEST(CampaignMonitor, MispricedReferenceRaisesWinRateIncident) {
+  CampaignConfig config = base_config();
+  support::Telemetry telemetry;
+  CampaignMonitor monitor(telemetry, deterministic_options());
+  config.monitor = &monitor;
+  // The campaign plays these fixed strategies...
+  const std::vector<core::MinerRequest> played{
+      {2.0, 1.0}, {1.0, 3.0}, {0.5, 2.0}};
+  // ...while the auditor expects miner 0 at double the units — a
+  // mis-priced reference the realized win rates cannot match.
+  std::vector<core::MinerRequest> reference = played;
+  reference[0] = {4.0, 2.0};
+  monitor.set_reference(reference, core::EdgeMode::kConnected,
+                        config.params.fork_rate, config.params.edge_success);
+  (void)run_campaign(config, played, 72);
+  EXPECT_GE(monitor.incidents(), 1u);
+  EXPECT_GT(monitor.max_drift_z(), monitor.options().drift_z);
+  const auto events = monitor.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().solver, "campaign.win_rate");
+  EXPECT_EQ(events.front().classification, health::LoopState::kDiverging);
+  // The pending hecmine.health.v1 lines carry the incident for the
+  // flight-recorder drain.
+  const auto lines = monitor.drain_event_lines();
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.front().find("campaign.win_rate"), std::string::npos);
+  EXPECT_NE(lines.front().find("hecmine.health.v1"), std::string::npos);
+  // Drained once: the queue is empty afterwards.
+  EXPECT_TRUE(monitor.drain_event_lines().empty());
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("campaign.incidents").value(),
+                   static_cast<double>(monitor.incidents()));
+  // The sampler self-consistency check stays healthy: run_race matches
+  // its own granted allocations even when the reference is wrong.
+  EXPECT_LT(monitor.max_sampler_z(), monitor.options().drift_z);
+}
+
+TEST(CampaignMonitor, AbortPolicyThrowsSolverHealthError) {
+  CampaignConfig config = base_config();
+  support::Telemetry telemetry;
+  CampaignMonitorOptions options = deterministic_options();
+  options.action = health::WatchdogAction::kAbort;
+  CampaignMonitor monitor(telemetry, options);
+  config.monitor = &monitor;
+  const std::vector<core::MinerRequest> played{
+      {2.0, 1.0}, {1.0, 3.0}, {0.5, 2.0}};
+  std::vector<core::MinerRequest> reference = played;
+  reference[0] = {4.0, 2.0};
+  monitor.set_reference(reference, core::EdgeMode::kConnected,
+                        config.params.fork_rate, config.params.edge_success);
+  EXPECT_THROW((void)run_campaign(config, played, 72),
+               health::SolverHealthError);
+  EXPECT_GE(monitor.incidents(), 1u);
+}
+
+TEST(CampaignMonitor, ObservePolicySuppressesEscalationButKeepsEvidence) {
+  CampaignConfig config = base_config();
+  support::Telemetry telemetry;
+  CampaignMonitorOptions options = deterministic_options();
+  options.action = health::WatchdogAction::kObserve;
+  CampaignMonitor monitor(telemetry, options);
+  config.monitor = &monitor;
+  const std::vector<core::MinerRequest> played{
+      {2.0, 1.0}, {1.0, 3.0}, {0.5, 2.0}};
+  std::vector<core::MinerRequest> reference = played;
+  reference[0] = {4.0, 2.0};
+  monitor.set_reference(reference, core::EdgeMode::kConnected,
+                        config.params.fork_rate, config.params.edge_success);
+  EXPECT_NO_THROW((void)run_campaign(config, played, 72));
+  EXPECT_GE(monitor.incidents(), 1u);
+  EXPECT_FALSE(monitor.events().empty());
+}
+
+TEST(CampaignMonitor, GaugesAreBitwiseThreadCountInvariant) {
+  // Every campaign.* gauge except the (disabled) sim_wall_ratio is a pure
+  // function of the record stream, so solver thread count must not change
+  // a single bit.
+  std::map<std::string, double> per_thread_values[2];
+  const int thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    CampaignConfig config = base_config();
+    support::Telemetry telemetry;
+    CampaignMonitor monitor(telemetry, deterministic_options());
+    config.monitor = &monitor;
+    config.telemetry = &telemetry;
+    core::SolveContext context;
+    context.threads = thread_counts[i];
+    const std::vector<double> budgets(5, 12.0);
+    (void)run_campaign_at_equilibrium(config, budgets, 73, context);
+    per_thread_values[i] = metric_values(telemetry);
+  }
+  ASSERT_EQ(per_thread_values[0].size(), per_thread_values[1].size());
+  for (const auto& [name, value] : per_thread_values[0]) {
+    const auto it = per_thread_values[1].find(name);
+    ASSERT_NE(it, per_thread_values[1].end()) << name;
+    // Bitwise: EXPECT_EQ on doubles, not EXPECT_NEAR.
+    EXPECT_EQ(value, it->second) << name;
+  }
+}
+
+TEST(CampaignMonitor, ObserveQueueFeedsQueueGauges) {
+  support::Telemetry telemetry;
+  CampaignMonitor monitor(telemetry, deterministic_options());
+  monitor.observe_queue(17, 4242);
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("campaign.queue_depth").value(),
+                   17.0);
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("campaign.queue_events").value(),
+                   4242.0);
+  EXPECT_FALSE(telemetry.timeline.counters().empty());
+}
+
+TEST(CampaignMonitor, ReferenceMustBeSetBeforeObserving) {
+  support::Telemetry telemetry;
+  CampaignMonitor monitor(telemetry, deterministic_options());
+  chain::BlockRecord record;
+  record.round = 0;
+  record.sim_time = 1.0;
+  monitor.observe_block(record, {}, {});
+  EXPECT_THROW(monitor.set_reference({{1.0, 1.0}}, core::EdgeMode::kConnected,
+                                     0.2, 0.9),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hecmine::net

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace hecmine::sim {
 namespace {
@@ -72,6 +75,113 @@ TEST(EventQueue, MaxEventsBudget) {
   EXPECT_EQ(queue.run(4), 4u);
   EXPECT_EQ(fired, 4);
   EXPECT_EQ(queue.pending(), 6u);
+}
+
+TEST(EventQueue, SameTimestampPopsStayFifoAtScale) {
+  EventQueue queue;
+  std::vector<int> fired;
+  // Many events on few distinct timestamps: within each timestamp the pop
+  // order must be exactly the insertion order, however deep the heap got.
+  constexpr int kEvents = 1000;
+  for (int i = 0; i < kEvents; ++i) {
+    const double when = static_cast<double>(i % 7);
+    queue.schedule_at(when, [&fired, i] { fired.push_back(i); });
+  }
+  EXPECT_EQ(queue.run(), static_cast<std::size_t>(kEvents));
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(kEvents));
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    if (fired[i - 1] % 7 == fired[i] % 7) {
+      EXPECT_LT(fired[i - 1], fired[i]) << "FIFO violated at pop " << i;
+    }
+  }
+}
+
+TEST(EventQueue, CountsProcessedAndDepthWatermark) {
+  EventQueue queue;
+  for (int i = 0; i < 6; ++i)
+    queue.schedule_at(static_cast<double>(i), [] {});
+  EXPECT_EQ(queue.max_pending(), 6u);
+  EXPECT_EQ(queue.processed(), 0u);
+  (void)queue.run(2);
+  EXPECT_EQ(queue.processed(), 2u);
+  // The watermark is a lifetime high-water mark, not the current depth.
+  (void)queue.run();
+  EXPECT_EQ(queue.processed(), 6u);
+  EXPECT_EQ(queue.max_pending(), 6u);
+  queue.schedule_at(queue.now() + 1.0, [] {});
+  EXPECT_EQ(queue.max_pending(), 6u);
+}
+
+/// Drives a seeded self-rescheduling workload on `queue` and returns the
+/// exact (time, id) firing sequence. `sink` indirection lets a snapshot
+/// replay record into its own trace while sharing the handlers.
+std::vector<std::pair<double, int>> drain_workload(
+    EventQueue& queue, std::vector<std::pair<double, int>>*& sink) {
+  std::vector<std::pair<double, int>> trace;
+  sink = &trace;
+  (void)queue.run();
+  return trace;
+}
+
+TEST(EventQueue, IdenticalWorkloadsReplayBitwiseIdenticalSequences) {
+  // Two queues fed the same seeded workload must fire the same events at
+  // bitwise-identical times in the same order — the determinism contract
+  // the campaign.queue_* gauges and the trace exports rely on.
+  std::vector<std::pair<double, int>>* sink = nullptr;
+  const auto build = [&sink](EventQueue& queue) {
+    support::Rng rng{20260808};
+    for (int i = 0; i < 200; ++i) {
+      const double when = rng.uniform(0.0, 50.0);
+      queue.schedule_at(when, [&sink, i, when] {
+        sink->push_back({when, i});
+      });
+    }
+  };
+  EventQueue first, second;
+  build(first);
+  build(second);
+  const auto trace_first = drain_workload(first, sink);
+  const auto trace_second = drain_workload(second, sink);
+  ASSERT_EQ(trace_first.size(), trace_second.size());
+  for (std::size_t i = 0; i < trace_first.size(); ++i) {
+    EXPECT_EQ(trace_first[i].second, trace_second[i].second);
+    // Bitwise, not approximate: the kernel must not perturb timestamps.
+    EXPECT_EQ(trace_first[i].first, trace_second[i].first);
+  }
+  EXPECT_EQ(first.processed(), second.processed());
+  EXPECT_EQ(first.max_pending(), second.max_pending());
+}
+
+TEST(EventQueue, SnapshotRestoreReplaysTheRemainingSequence) {
+  std::vector<std::pair<double, int>>* sink = nullptr;
+  EventQueue queue;
+  support::Rng rng{7};
+  for (int i = 0; i < 64; ++i) {
+    const double when = rng.uniform(0.0, 10.0);
+    queue.schedule_at(when, [&sink, i, when] {
+      sink->push_back({when, i});
+    });
+  }
+  // Drain half, snapshot by copy, drain the rest on the original.
+  std::vector<std::pair<double, int>> head;
+  sink = &head;
+  (void)queue.run(32);
+  const EventQueue snapshot = queue;
+  EXPECT_EQ(snapshot.pending(), queue.pending());
+  EXPECT_EQ(snapshot.processed(), queue.processed());
+  EXPECT_DOUBLE_EQ(snapshot.now(), queue.now());
+  std::vector<std::pair<double, int>> tail_original;
+  sink = &tail_original;
+  (void)queue.run();
+  // Restoring the snapshot replays the exact remaining sequence.
+  EventQueue restored = snapshot;
+  std::vector<std::pair<double, int>> tail_restored;
+  sink = &tail_restored;
+  (void)restored.run();
+  ASSERT_EQ(tail_original.size(), 32u);
+  ASSERT_EQ(tail_restored, tail_original);
+  EXPECT_EQ(restored.processed(), queue.processed());
+  EXPECT_EQ(restored.max_pending(), queue.max_pending());
 }
 
 TEST(EventQueue, RejectsPastAndEmptyHandlers) {
